@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Experiments are deterministic
+and moderately expensive, so each runs exactly once via
+``benchmark.pedantic(..., rounds=1)``; the paper-style table is printed to
+stdout (run with ``-s`` to see it) and the headline numbers are stored in
+``benchmark.extra_info`` so they land in the JSON output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    Returns the experiment's result and records its headline numbers.
+    """
+
+    def runner(experiment, **extra_info):
+        result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+        for key, value in extra_info.items():
+            benchmark.extra_info[key] = value
+        if isinstance(result, dict):
+            for key, value in result.items():
+                if isinstance(value, (int, float, str)):
+                    benchmark.extra_info[key] = value
+        return result
+
+    return runner
+
+
+def print_header(title: str) -> None:
+    """A visual separator for the printed experiment reports."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,67 @@
+"""A10 (extension) — proactive autoscaling from energy interfaces.
+
+§2: "With deeper visibility into future energy behavior, resource
+managers could make better decisions."  The replica autoscaler is the
+cleanest demonstration: a reactive scaler (the Kubernetes-HPA pattern)
+follows observed utilisation and pays for its lag twice — dropped
+traffic on every ramp, stale capacity after every peak — while a scaler
+evaluating the workload's arrival interface and the replica's energy
+interface provisions *ahead* of the ramp and shrinks *at* the peak's
+end.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.managers.autoscaler import (
+    AutoscaleSim,
+    InterfaceAutoscaler,
+    ReactiveAutoscaler,
+    ReplicaSpec,
+    diurnal_profile,
+)
+
+from conftest import print_header
+
+SPEC = ReplicaSpec(capacity_rps=100.0, power_idle_w=35.0,
+                   joules_per_request=0.8, startup_energy_j=900.0,
+                   startup_intervals=1)
+N_DAYS = 4
+INTERVALS_PER_DAY = 24
+INTERVAL_SECONDS = 3600.0
+
+
+def test_a10_autoscaling(run_once):
+    def experiment():
+        profile = diurnal_profile(base_rps=120.0, peak_rps=1200.0,
+                                  intervals_per_day=INTERVALS_PER_DAY)
+        sim = AutoscaleSim(SPEC, profile,
+                           interval_seconds=INTERVAL_SECONDS)
+        n_intervals = N_DAYS * INTERVALS_PER_DAY
+        return {
+            "reactive": sim.run(ReactiveAutoscaler(SPEC), n_intervals,
+                                initial_replicas=2),
+            "interface": sim.run(
+                InterfaceAutoscaler(SPEC, profile, INTERVAL_SECONDS),
+                n_intervals, initial_replicas=2),
+        }
+
+    results = run_once(experiment)
+    print_header(f"A10 — autoscaling a diurnal service over {N_DAYS} days")
+    rows = [[name, f"{r.energy_joules / 1e6:.2f} MJ",
+             f"{r.drop_ratio:.2%}", f"{r.joules_per_request:.2f} J/req",
+             str(r.scale_ups)]
+            for name, r in results.items()]
+    print(format_table(["scaler", "energy", "dropped traffic",
+                        "energy/request", "scale-ups"], rows))
+
+    reactive, interface = results["reactive"], results["interface"]
+    savings = 1.0 - interface.energy_joules / reactive.energy_joules
+    print(f"\ninterface scaling: {savings:.1%} less energy and "
+          f"{reactive.drop_ratio - interface.drop_ratio:.2%} less "
+          f"dropped traffic")
+
+    assert interface.drop_ratio < 0.005
+    assert reactive.drop_ratio > 0.01
+    assert interface.energy_joules < reactive.energy_joules
+    assert interface.joules_per_request < reactive.joules_per_request

@@ -1,0 +1,91 @@
+"""A11 (extension) — §6's energy-vs-latency asymmetry, quantified.
+
+"The energy consumption of a web request from Switzerland to a server in
+Taiwan consists of the energy consumption at all layers ... and all
+machines that processed the request along the way.  In contrast, the
+latency of the request can be measured directly from the client side."
+
+We build the Zurich→Taipei route (client edge, national backbone,
+submarine cable segments, Taiwanese edge, the DC fabric), compute the
+request's energy from the hop interfaces, and then quantify the
+asymmetry: removing visibility into any one hop leaves latency
+measurement untouched (the stopwatch still works) but silently loses
+that hop's full energy share — up to tens of percent for the big
+routers.  Energy accounting *requires* cooperation from every layer;
+latency does not.  That is exactly why energy needs interfaces.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.network.path import Hop, LinkSpec, NetworkPath, \
+    PathEnergyInterface, RouterSpec
+
+from conftest import print_header
+
+REQUEST_BYTES = 800
+RESPONSE_BYTES = 250_000  # a typical page asset
+
+ZURICH_TAIPEI = NetworkPath("zurich-taipei", [
+    Hop(RouterSpec("zurich-edge", joules_per_packet=35e-6,
+                   static_power_w=800.0, utilization=0.15,
+                   capacity_pps=2e7),
+        LinkSpec("ch-backbone", length_km=600.0, joules_per_bit=4e-9)),
+    Hop(RouterSpec("frankfurt-core", joules_per_packet=15e-6,
+                   static_power_w=6000.0, utilization=0.35,
+                   capacity_pps=3e8),
+        LinkSpec("eu-med", length_km=2900.0, joules_per_bit=2.5e-9)),
+    Hop(RouterSpec("marseille-cls", joules_per_packet=18e-6,
+                   static_power_w=5000.0, utilization=0.4,
+                   capacity_pps=2e8),
+        LinkSpec("sea-me-we", length_km=8000.0, joules_per_bit=3.5e-9)),
+    Hop(RouterSpec("singapore-core", joules_per_packet=15e-6,
+                   static_power_w=6000.0, utilization=0.45,
+                   capacity_pps=3e8),
+        LinkSpec("apcn", length_km=3300.0, joules_per_bit=3.0e-9)),
+    Hop(RouterSpec("taipei-edge", joules_per_packet=30e-6,
+                   static_power_w=1200.0, utilization=0.2,
+                   capacity_pps=4e7),
+        LinkSpec("tw-metro", length_km=40.0, joules_per_bit=5e-9)),
+])
+
+
+def test_a11_energy_latency_asymmetry(run_once):
+    def experiment():
+        interface = PathEnergyInterface(ZURICH_TAIPEI)
+        total_energy = interface.E_round_trip(REQUEST_BYTES,
+                                              RESPONSE_BYTES).as_joules
+        latency = interface.T_one_way()
+        shares = {}
+        for index, hop in enumerate(ZURICH_TAIPEI.hops):
+            hop_energy = (interface.E_hop(index, REQUEST_BYTES).as_joules
+                          + interface.E_hop(index,
+                                            RESPONSE_BYTES).as_joules)
+            shares[hop.router.name] = hop_energy / total_energy
+        return {"total_energy": total_energy, "latency": latency,
+                "shares": shares}
+
+    result = run_once(experiment)
+    print_header("A11 — a web request, Zurich -> Taipei")
+    print(f"route: {ZURICH_TAIPEI.length_km:.0f} km, one-way latency "
+          f"{result['latency'] * 1000:.1f} ms (one stopwatch, no "
+          f"cooperation needed)")
+    print(f"round-trip energy: {result['total_energy'] * 1000:.2f} mJ "
+          f"(requires EVERY hop's interface)\n")
+    rows = [[name, f"{share:.1%}",
+             "lost if this hop is opaque"]
+            for name, share in sorted(result["shares"].items(),
+                                      key=lambda kv: -kv[1])]
+    print(format_table(["hop", "energy share", "accounting consequence"],
+                       rows))
+
+    # Sanity on the physics: ~15 km of route, light-in-fibre latency.
+    assert 0.05 < result["latency"] < 0.12
+    # Every hop carries a material share; none is negligible, so no
+    # client-side trick recovers the total.
+    shares = list(result["shares"].values())
+    assert sum(shares) == __import__("pytest").approx(1.0)
+    assert max(shares) < 0.75
+    assert min(shares) > 0.02
+    # Hiding the largest hop loses a big chunk of the energy account.
+    assert max(shares) > 0.25

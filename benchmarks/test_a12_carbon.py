@@ -1,0 +1,84 @@
+"""A12 (extension) — carbon-aware scheduling of the fuzzing campaign.
+
+The related work the paper cites (Ecovisor, carbon-aware networking)
+controls *when* flexible work runs; energy interfaces supply the missing
+demand side.  We compose the M2 fuzzing campaign's energy interface
+(fleet power, duration — both interface outputs) with a diurnal grid
+carbon signal and ask: within the deadline, when should the campaign
+start?  The answer cuts emissions double-digit percent at identical
+energy and identical coverage — a decision no amount of energy-only
+accounting could have made.
+"""
+
+from __future__ import annotations
+
+from repro.apps.fuzzing import (
+    CapacityPlanner,
+    FuzzingCampaignModel,
+    FuzzingEnergyInterface,
+)
+from repro.core.carbon import (
+    SECONDS_PER_DAY,
+    CarbonAwareScheduler,
+    carbon_of,
+    diurnal_grid,
+)
+from repro.core.report import format_table
+
+from conftest import print_header
+
+DEADLINE = 5 * SECONDS_PER_DAY
+COVERAGE = 0.90
+
+
+def test_a12_carbon_aware_campaign(run_once):
+    def experiment():
+        interface = FuzzingEnergyInterface(FuzzingCampaignModel())
+        planner = CapacityPlanner(interface, max_machines=150)
+        answer = planner.optimal_fleet(COVERAGE)
+        n = answer.optimal_machines
+        duration = interface.campaign.time_to_coverage(COVERAGE, n)
+        fleet_power = (n * interface.machine_fuzzing_power_w
+                       + interface.infra_power_w)
+
+        grid = diurnal_grid()
+        scheduler = CarbonAwareScheduler(grid, resolution_s=1800.0)
+        naive_grams = scheduler.emissions(lambda t: fleet_power,
+                                          duration,
+                                          start_s=0.8 * SECONDS_PER_DAY)
+        best = scheduler.best_start(lambda t: fleet_power, duration,
+                                    deadline_s=DEADLINE)
+        average_grams = carbon_of(
+            answer.energy, grid.average(0.0, SECONDS_PER_DAY))
+        return {
+            "machines": n,
+            "duration_days": duration / SECONDS_PER_DAY,
+            "energy_kwh": answer.energy.as_kilowatt_hours,
+            "naive_grams": naive_grams,
+            "best": best,
+            "average_grams": average_grams,
+        }
+
+    result = run_once(experiment)
+    print_header(f"A12 — carbon-aware start for the {COVERAGE:.0%} "
+                 f"fuzzing campaign")
+    best = result["best"]
+    rows = [
+        ["start at the evening peak", f"{result['naive_grams'] / 1000:.1f} kg"],
+        ["grid-average estimate", f"{result['average_grams'] / 1000:.1f} kg"],
+        [f"interface-chosen start (+{best.start_seconds / 3600:.1f} h)",
+         f"{best.grams / 1000:.1f} kg"],
+    ]
+    print(format_table(
+        [f"{result['machines']} machines, "
+         f"{result['duration_days']:.2f} days, "
+         f"{result['energy_kwh']:.0f} kWh", "emissions"], rows))
+    savings = 1.0 - best.grams / result["naive_grams"]
+    print(f"\ncarbon saved vs naive start: {savings:.1%} "
+          f"(same Joules, same coverage)")
+
+    assert best.grams < result["naive_grams"]
+    assert savings > 0.05
+    # The campaign spans days, so the gain is bounded by diurnal
+    # averaging — sanity-check it is not fabricated.
+    assert savings < 0.5

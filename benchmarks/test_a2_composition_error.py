@@ -1,0 +1,145 @@
+"""A2 — §6's open question: how do leaf-interface errors compose?
+
+"An important question in composition is how the lack of accuracy in
+different lower-level interfaces influences the accuracy of a higher-
+level interface."  We answer it empirically for linear composition (the
+common case — a service interface summing resource interfaces):
+
+* **independent, zero-mean leaf errors** partially cancel: end-to-end
+  relative error concentrates like ``eps / sqrt(n)`` for n equal-share
+  leaves;
+* **correlated (systematic) leaf errors** pass straight through: the
+  composed error equals the leaf error regardless of depth.
+
+The practical consequence the bench demonstrates: unbiased-but-noisy leaf
+interfaces are benign; biased ones poison everything above them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import EnergyInterface
+from repro.core.report import format_table
+from repro.core.units import Energy
+
+from conftest import print_header
+
+LEAF_SHARE_JOULES = 1.0
+EPSILON = 0.10
+N_WORLDS = 400
+
+
+class LeafInterface(EnergyInterface):
+    """A leaf with a fixed relative error against its ground truth."""
+
+    def __init__(self, name, relative_error):
+        super().__init__(name)
+        self.relative_error = relative_error
+
+    def E_op(self):
+        return Energy(LEAF_SHARE_JOULES * (1.0 + self.relative_error))
+
+
+class ComposedInterface(EnergyInterface):
+    """A parent summing its leaves — the canonical composition."""
+
+    def __init__(self, leaves):
+        super().__init__("composed")
+        self.leaves = leaves
+
+    def E_total(self):
+        return Energy(sum(leaf.E_op().as_joules for leaf in self.leaves))
+
+
+def composed_error(n_leaves: int, correlated: bool,
+                   rng: np.random.Generator) -> float:
+    """One random world: build leaves with eps-sized errors, compose."""
+    if correlated:
+        shared = float(rng.choice([-EPSILON, EPSILON]))
+        errors = [shared] * n_leaves
+    else:
+        errors = [float(rng.choice([-EPSILON, EPSILON]))
+                  for _ in range(n_leaves)]
+    composed = ComposedInterface(
+        [LeafInterface(f"leaf{i}", e) for i, e in enumerate(errors)])
+    truth = n_leaves * LEAF_SHARE_JOULES
+    predicted = composed.E_total().as_joules
+    return abs(predicted - truth) / truth
+
+
+def sweep(correlated: bool) -> dict[int, float]:
+    rng = np.random.default_rng(13 if correlated else 31)
+    results = {}
+    for n_leaves in (1, 4, 16, 64):
+        errors = [composed_error(n_leaves, correlated, rng)
+                  for _ in range(N_WORLDS)]
+        results[n_leaves] = float(np.mean(errors))
+    return results
+
+
+def test_a2_error_composition(run_once):
+    def experiment():
+        return {
+            "independent": sweep(correlated=False),
+            "correlated": sweep(correlated=True),
+        }
+
+    results = run_once(experiment)
+    print_header("A2 — end-to-end error vs leaf count "
+                 f"(leaf error = {EPSILON:.0%})")
+    rows = []
+    for n_leaves in (1, 4, 16, 64):
+        rows.append([
+            str(n_leaves),
+            f"{results['independent'][n_leaves]:.3%}",
+            f"{EPSILON / np.sqrt(n_leaves):.3%}",
+            f"{results['correlated'][n_leaves]:.3%}",
+        ])
+    print(format_table(
+        ["leaves", "independent errors", "eps/sqrt(n) theory",
+         "correlated errors"], rows))
+
+    independent = results["independent"]
+    correlated = results["correlated"]
+    # Independent errors shrink roughly like 1/sqrt(n)...
+    for n_leaves in (4, 16, 64):
+        theory = EPSILON / np.sqrt(n_leaves) * np.sqrt(2 / np.pi) \
+            if n_leaves > 1 else EPSILON
+        assert independent[n_leaves] < EPSILON * 0.75
+        assert independent[n_leaves] == \
+            __import__("pytest").approx(theory, rel=0.35)
+    assert independent[64] < independent[4] < independent[1]
+    # ...while correlated errors never shrink.
+    for n_leaves in (1, 4, 16, 64):
+        assert correlated[n_leaves] == \
+            __import__("pytest").approx(EPSILON, rel=1e-9)
+
+
+def test_a2_worst_case_bounds_compose_additively(run_once):
+    """Contracts survive composition: the sum of leaf upper bounds is a
+    sound upper bound for the composition, whatever the leaf errors."""
+
+    def experiment():
+        rng = np.random.default_rng(7)
+        sound = 0
+        trials = 200
+        for _ in range(trials):
+            n_leaves = int(rng.integers(1, 20))
+            errors = rng.uniform(-EPSILON, EPSILON, size=n_leaves)
+            leaves = [LeafInterface(f"l{i}", float(e))
+                      for i, e in enumerate(errors)]
+            composed = ComposedInterface(leaves)
+            bound = sum(
+                leaf.worst_case("E_op").as_joules * (1 + EPSILON)
+                / (1 + leaf.relative_error)
+                for leaf in leaves)
+            if composed.E_total().as_joules <= bound + 1e-12:
+                sound += 1
+        return {"sound": sound, "trials": trials}
+
+    result = run_once(experiment)
+    print_header("A2 — additive worst-case bounds")
+    print(f"sound in {result['sound']}/{result['trials']} random "
+          f"compositions")
+    assert result["sound"] == result["trials"]

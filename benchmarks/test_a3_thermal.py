@@ -1,0 +1,141 @@
+"""A3 — §6's "no energy modularity": thermal coupling, quantified.
+
+"Running a process on a core produces heat that in turn can affect the
+energy consumption of a nearby circuit."  Our GPUs model exactly this:
+static power scales with die temperature, and the die heats under load.
+An energy interface that assumes the calibration-time (cool) static power
+under-predicts long runs; an interface extended with a thermal term
+(steady-state temperature from the datasheet's thermal resistance)
+recovers most of the gap.
+
+The bench uses a thermally-exaggerated GPU profile so the effect is
+clearly visible above the sensor noise, then reports both interfaces'
+errors versus run length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.hardware.gpu import KernelProfile
+from repro.hardware.machine import Machine
+from repro.hardware.gpu import GPU
+from repro.hardware.profiles import SIM3070
+
+from conftest import print_header
+
+#: SIM3070 with severe leakage and a fast thermal mass: a passively
+#: cooled small-form-factor build of the same silicon.
+HOT_SPEC = replace(SIM3070, name="sim3070-sff", leakage_coeff=0.02,
+                   thermal_r=0.5, thermal_c=40.0)
+
+#: A steady VRAM-bound kernel (1 ms of memory traffic per launch).
+KERNEL = KernelProfile("load", vram_sectors=1.4e10 * 0.001,
+                       instructions=1e8, l2_sectors=1e6,
+                       row_miss_fraction=0.03)
+
+
+def run_for(seconds: float) -> dict:
+    machine = Machine("sff-box")
+    gpu = machine.add(GPU("gpu0", HOT_SPEC))
+    t_start = machine.now
+    while machine.now - t_start < seconds:
+        gpu.launch(KERNEL)
+    measured = machine.ledger.energy_between(t_start, machine.now,
+                                             component="gpu0")
+    duration = machine.now - t_start
+    launches = gpu.counters.kernel_launches
+
+    dynamic = gpu.kernel_dynamic_energy(KERNEL) * launches
+    # Interface 1: constant (cool) static power.
+    naive = dynamic + HOT_SPEC.p_static_w * duration
+    # Interface 2: with a thermal term.  From the datasheet thermal
+    # resistance and capacity, the die heads to a steady state
+    # T_ss = T_amb + P_ss * R (P_ss solved as a fixed point because
+    # leakage feeds back into power), approached with time constant RC.
+    # The average leakage over the run uses the transient's mean rise.
+    p_dyn = dynamic / duration
+    k, r, p_s0 = HOT_SPEC.leakage_coeff, HOT_SPEC.thermal_r, \
+        HOT_SPEC.p_static_w
+    p_ss = (p_dyn + p_s0) / (1.0 - k * r * p_s0)
+    delta_ss = p_ss * r
+    tau = HOT_SPEC.thermal_r * HOT_SPEC.thermal_c
+    mean_rise = delta_ss * (1.0 - tau / duration
+                            * (1.0 - np.exp(-duration / tau)))
+    thermal_aware = (p_dyn + p_s0 * (1.0 + k * mean_rise)) * duration
+    return {
+        "seconds": seconds,
+        "measured": measured,
+        "temperature": gpu.temperature,
+        "naive_error": abs(naive - measured) / measured,
+        "thermal_error": abs(thermal_aware - measured) / measured,
+    }
+
+
+def test_a3_thermal_term(run_once):
+    def experiment():
+        return [run_for(seconds) for seconds in (2.0, 30.0, 120.0)]
+
+    results = run_once(experiment)
+    print_header("A3 — thermal non-modularity "
+                 f"(leakage {HOT_SPEC.leakage_coeff}/degC)")
+    rows = [[f"{r['seconds']:.0f} s", f"{r['temperature']:.0f} C",
+             f"{100 * r['naive_error']:.2f}%",
+             f"{100 * r['thermal_error']:.2f}%"] for r in results]
+    print(format_table(
+        ["run length", "die temp", "error (no thermal term)",
+         "error (with thermal term)"], rows))
+
+    # The cool-static interface degrades as the die heats...
+    assert results[-1]["naive_error"] > results[0]["naive_error"]
+    assert results[-1]["naive_error"] > 0.03
+    # ...while the thermal-aware interface stays accurate on long runs.
+    assert results[-1]["thermal_error"] < results[-1]["naive_error"] / 2
+    assert results[-1]["thermal_error"] < 0.03
+
+
+def test_a3_neighbour_heating(run_once):
+    """Cross-component coupling: a busy neighbour raises *this* core's
+    static energy — the exact §6 example, on the CPU package."""
+
+    def experiment():
+        from repro.hardware.cpu import Core, Package
+        from repro.hardware.profiles import BIG_CORE
+        from repro.hardware.thermal import LeakageModel, ThermalNode
+
+        def build():
+            machine = Machine("m")
+            package = machine.add(Package(
+                "pkg", static_active_w=5.0, static_idle_w=5.0,
+                thermal=ThermalNode(r_thermal=3.0, c_thermal=5.0),
+                leakage=LeakageModel(0.05)))
+            victim = machine.add(Core("victim", BIG_CORE, package))
+            neighbour = machine.add(Core("neighbour", BIG_CORE, package))
+            return machine, victim, neighbour
+
+        # Quiet neighbour: victim's package-share measured over 60 s.
+        machine_a, victim_a, _ = build()
+        machine_a.advance(60.0)
+        quiet = machine_a.ledger.total_joules(component="pkg")
+
+        # Busy neighbour: same victim workload (none), neighbour flat out.
+        machine_b, _, neighbour_b = build()
+        t = 0.0
+        while t < 60.0:
+            t_end, _ = neighbour_b.execute_at(t, BIG_CORE.max_capacity
+                                              * 0.5)
+            machine_b.advance_to(t_end)
+            t = t_end
+        busy = machine_b.ledger.total_joules(component="pkg")
+        return {"quiet_pkg_joules": quiet, "busy_pkg_joules": busy}
+
+    result = run_once(experiment)
+    print_header("A3 — neighbour heating raises shared static energy")
+    print(format_table(
+        ["scenario", "package static energy (60 s)"],
+        [["neighbour idle", f"{result['quiet_pkg_joules']:.1f} J"],
+         ["neighbour busy", f"{result['busy_pkg_joules']:.1f} J"]]))
+    assert result["busy_pkg_joules"] > 1.1 * result["quiet_pkg_joules"]

@@ -1,0 +1,147 @@
+"""A5 — §4.2's toolchain: extracting interfaces from implementations.
+
+The paper reports its interfaces were manual and hopes for automation
+"using techniques similar to CFAR".  Our toolchain does the restricted
+version: symbolic execution over the implementation enumerates paths,
+resource-call results become ECVs, symbolic loops are summarised, and the
+result is an executable energy interface plus Fig.-1-style source.
+
+The bench extracts the ML-web-service implementation and checks the
+extracted interface against the handwritten one — prediction parity on
+every path — then demonstrates the §4.1 refinement check catching an
+implementation that violates its declared energy envelope.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.extract import extract_interface
+from repro.analysis.symbex import ResourceModel
+from repro.core.contracts import check_refinement
+from repro.core.ecv import BernoulliECV
+from repro.core.interface import EnergyInterface
+from repro.core.report import format_table
+from repro.core.units import Energy
+
+from conftest import print_header
+
+
+# The implementation under analysis: Fig. 1's request handler, written
+# against abstract resources.
+def handle_request(res, image_pixels, n_zeros):
+    hit = res.cache.lookup(image_pixels)
+    if hit:
+        return 0
+    res.gpu.conv2d(image_pixels - n_zeros)
+    for _ in range(8):
+        res.gpu.relu(256)
+    for _ in range(16):
+        res.gpu.mlp(256)
+    res.cache.store(1024)
+
+
+class CacheIface(EnergyInterface):
+    def E_lookup(self, size):
+        return Energy.millijoules(0.4)
+
+    def E_store(self, size):
+        return Energy.millijoules(0.6)
+
+
+class GpuIface(EnergyInterface):
+    def E_conv2d(self, n):
+        return Energy.microjoules(0.8 * n)
+
+    def E_relu(self, n):
+        return Energy.nanojoules(40 * n)
+
+    def E_mlp(self, n):
+        return Energy.microjoules(1.2 * n)
+
+
+class HandwrittenInterface(EnergyInterface):
+    """What a careful engineer would write for the same module."""
+
+    def __init__(self):
+        super().__init__("handwritten")
+        self.declare_ecv(BernoulliECV("cache_lookup_0", 0.5))
+        self.cache = CacheIface()
+        self.gpu = GpuIface()
+
+    def E_handle(self, image_pixels, n_zeros):
+        if self.ecv("cache_lookup_0"):
+            return self.cache.E_lookup(image_pixels)
+        return (self.cache.E_lookup(image_pixels)
+                + self.gpu.E_conv2d(image_pixels - n_zeros)
+                + 8 * self.gpu.E_relu(256)
+                + 16 * self.gpu.E_mlp(256)
+                + self.cache.E_store(1024))
+
+
+RESOURCES = [ResourceModel("cache", returning={"lookup": "bool"}),
+             ResourceModel("gpu")]
+SUBS = {"cache": CacheIface(), "gpu": GpuIface()}
+
+
+def test_a5_extraction_parity(run_once):
+    def experiment():
+        extracted = extract_interface(handle_request, RESOURCES, SUBS)
+        handwritten = HandwrittenInterface()
+        probes = [(50176, 5000), (50176, 45000), (1024, 0), (250000, 125000)]
+        comparisons = []
+        for probe in probes:
+            for p_hit in (0.0, 0.5, 0.95):
+                env = {"cache_lookup_0":
+                       BernoulliECV("cache_lookup_0", p_hit)}
+                got = extracted.expected("E_call", *probe,
+                                         env=env).as_joules
+                want = handwritten.expected("E_handle", *probe,
+                                            env=env).as_joules
+                comparisons.append((probe, p_hit, got, want))
+        return {"extracted": extracted, "comparisons": comparisons}
+
+    result = run_once(experiment)
+    extracted = result["extracted"]
+    print_header("A5 — extracted interface (emitted source)")
+    print(extracted.emit_python())
+    print()
+    rows = [[f"{probe}", f"{p_hit:.2f}", f"{got * 1e3:.4f} mJ",
+             f"{want * 1e3:.4f} mJ"]
+            for probe, p_hit, got, want in result["comparisons"]]
+    print(format_table(["input", "p(hit)", "extracted", "handwritten"],
+                       rows))
+
+    for probe, p_hit, got, want in result["comparisons"]:
+        assert got == __import__("pytest").approx(want, rel=1e-12), \
+            (probe, p_hit)
+    # The extraction discovered the cache-hit ECV by itself.
+    assert "cache_lookup_0" in extracted.ecv_declarations
+
+
+def test_a5_refinement_check_catches_violations(run_once):
+    """§4.1: before implementing, check the composition fits the budget
+    envelope the higher-level interface promised."""
+
+    def experiment():
+        extracted = extract_interface(handle_request, RESOURCES, SUBS)
+
+        class GenerousEnvelope(EnergyInterface):
+            def E_handle(self, image_pixels, n_zeros):
+                return Energy.microjoules(1.0 * image_pixels + 30000)
+
+        class TightEnvelope(EnergyInterface):
+            def E_handle(self, image_pixels, n_zeros):
+                return Energy.microjoules(0.2 * image_pixels)
+
+        probes = [(50176, 5000), (1024, 0), (250000, 0)]
+        fits = check_refinement(GenerousEnvelope().E_handle,
+                                extracted.E_call, probes)
+        breaks = check_refinement(TightEnvelope().E_handle,
+                                  extracted.E_call, probes)
+        return {"fits": fits, "breaks": breaks}
+
+    result = run_once(experiment)
+    print_header("A5 — refinement (compatibility) checks")
+    print(f"generous envelope: {result['fits']}")
+    print(f"tight envelope:    {result['breaks']}")
+    assert result["fits"].ok
+    assert not result["breaks"].ok

@@ -1,0 +1,77 @@
+"""A9 (extension) — DVFS governor ablation under interface scheduling.
+
+DESIGN.md calls out the governor as a design choice worth ablating: the
+scheduler decides *where* work runs, the governor decides *how fast*.
+We fix the best scheduler (interface-aware) and sweep the governor:
+
+* ``performance`` — race-to-idle at the top OPP;
+* ``schedutil`` — lowest OPP covering the load with headroom (Linux's
+  default pairing with EAS);
+* ``powersave`` — bottom OPP regardless of load.
+
+Expected shape: schedutil wins energy at (near) zero misses;
+performance matches QoS but pays the high-OPP premium; powersave saves
+nothing once its missed deadlines are accounted — slow cores must run
+longer *and* drop work.
+"""
+
+from __future__ import annotations
+
+from repro.apps.transcode import bimodal_transcoder, steady_task
+from repro.core.report import format_table
+from repro.hardware.dvfs import (
+    PerformanceGovernor,
+    PowersaveGovernor,
+    SchedutilGovernor,
+)
+from repro.hardware.profiles import build_big_little
+from repro.managers.base import SchedulerSim
+from repro.managers.interface_scheduler import InterfaceScheduler
+
+from conftest import print_header
+
+CORE_NAMES = ("little0", "little1", "little2", "little3",
+              "big0", "big1", "big2", "big3")
+N_QUANTA = 240
+
+
+def run_with_governor(governor):
+    machine = build_big_little()
+    cores = [machine.component(name) for name in CORE_NAMES]
+    sim = SchedulerSim(machine, cores, quantum_seconds=0.05,
+                       governor=governor)
+    tasks = ([bimodal_transcoder(f"tc{i}", burst_util=780, trough_util=40,
+                                 burst_quanta=1, trough_quanta=5,
+                                 phase_offset=i) for i in range(4)]
+             + [steady_task("bg", 100)])
+    return sim.run(InterfaceScheduler(), tasks, N_QUANTA)
+
+
+def test_a9_governor_ablation(run_once):
+    def experiment():
+        return {
+            "performance": run_with_governor(PerformanceGovernor()),
+            "schedutil": run_with_governor(SchedutilGovernor()),
+            "powersave": run_with_governor(PowersaveGovernor()),
+        }
+
+    results = run_once(experiment)
+    print_header("A9 — DVFS governors under the interface scheduler")
+    rows = [[name, f"{r.energy_joules:.2f} J", f"{r.miss_ratio:.1%}",
+             f"{1000 * r.energy_per_work:.2f} mJ/cap-s"]
+            for name, r in results.items()]
+    print(format_table(["governor", "energy", "late work", "energy/work"],
+                       rows))
+
+    performance = results["performance"]
+    schedutil = results["schedutil"]
+    powersave = results["powersave"]
+
+    # schedutil: cheapest among the QoS-preserving governors.
+    assert schedutil.miss_ratio < 0.02
+    assert performance.miss_ratio < 0.02
+    assert schedutil.energy_joules < performance.energy_joules
+    # powersave destroys QoS — its energy number buys late work.
+    assert powersave.miss_ratio > 0.10
+    # Per *delivered* capacity-second, schedutil still leads performance.
+    assert schedutil.energy_per_work < performance.energy_per_work

@@ -1,0 +1,82 @@
+"""Framework micro-benchmarks: evaluation and simulation throughput.
+
+Unlike the experiment benches (which run once), these measure the steady-
+state performance of the framework's hot paths with real repetition —
+useful for catching performance regressions in the evaluator, the ledger
+and the GPU simulator.
+"""
+
+from __future__ import annotations
+
+from repro.core.ecv import BernoulliECV
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+from repro.hardware.gpu import KernelProfile
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+from repro.llm.config import GPT2_SMALL
+from repro.llm.runtime import GPT2Runtime
+
+
+class NestedInterface(EnergyInterface):
+    def __init__(self):
+        super().__init__("nested")
+        self.declare_ecv(BernoulliECV("a", 0.5))
+        self.declare_ecv(BernoulliECV("b", 0.3))
+        self.declare_ecv(BernoulliECV("c", 0.9))
+
+    def E_op(self, n):
+        total = 1.0 if self.ecv("a") else 2.0
+        if self.ecv("b"):
+            total += 0.5 * n
+        if self.ecv("c"):
+            total += 0.1
+        return Energy(total)
+
+
+def test_perf_ecv_enumeration(benchmark):
+    """Expected-value evaluation with 8 enumerated traces."""
+    interface = NestedInterface()
+    result = benchmark(lambda: interface.expected("E_op", 10))
+    assert result.as_joules > 0
+
+
+def test_perf_worst_case_evaluation(benchmark):
+    interface = NestedInterface()
+    result = benchmark(lambda: interface.worst_case("E_op", 10))
+    assert result.as_joules > 0
+
+
+def test_perf_gpu_kernel_launch(benchmark):
+    machine = build_gpu_workstation(SIM4090)
+    gpu = machine.component("gpu0")
+    kernel = KernelProfile("k", instructions=1e6, l1_wavefronts=1e5,
+                           l2_sectors=1e5, vram_sectors=1e4)
+    benchmark(lambda: gpu.launch(kernel))
+    assert gpu.counters.kernel_launches > 0
+
+
+def test_perf_gpt2_decode_step(benchmark):
+    machine = build_gpu_workstation(SIM4090)
+    runtime = GPT2Runtime(machine.component("gpu0"), GPT2_SMALL)
+    runtime.prefill(8)
+
+    def step():
+        if runtime.kv_len >= GPT2_SMALL.n_ctx - 1:
+            runtime.reset_cache()
+            runtime.prefill(8)
+        runtime.decode_token()
+
+    benchmark(step)
+
+
+def test_perf_ledger_window_query(benchmark):
+    machine = build_gpu_workstation(SIM4090)
+    gpu = machine.component("gpu0")
+    kernel = KernelProfile("k", vram_sectors=1e5)
+    for _ in range(2000):
+        gpu.launch(kernel)
+    horizon = machine.now
+
+    result = benchmark(lambda: machine.ledger.energy_between(
+        horizon * 0.4, horizon * 0.6, component="gpu0"))
+    assert result > 0

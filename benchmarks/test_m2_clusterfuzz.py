@@ -1,0 +1,95 @@
+"""M2 — §1's ClusterFuzz questions, answered from interfaces alone.
+
+Question 1: "What is the optimal number of machines to deploy to minimize
+energy consumption while achieving 95% testing coverage?"
+
+Question 2: "How much additional energy is required to increase coverage
+from 90% to 95% using the same number of machines?"
+
+The paper's complaint is that answering these today takes deploy-measure
+-revise loops that "could consume more energy than [they save]".  With
+the campaign's energy interface, both answers are interface evaluations.
+The shapes to show: an *interior* fleet-size optimum (shared
+infrastructure power punishes small fleets, coordination overhead
+punishes large ones) and a marginal-energy blow-up in the coverage tail.
+"""
+
+from __future__ import annotations
+
+from repro.apps.fuzzing import (
+    CapacityPlanner,
+    FuzzingCampaignModel,
+    FuzzingEnergyInterface,
+)
+from repro.core.report import format_table
+
+from conftest import print_header
+
+DEADLINE = 3 * 86_400.0  # three days
+
+
+def build_planner():
+    interface = FuzzingEnergyInterface(FuzzingCampaignModel())
+    return CapacityPlanner(interface, max_machines=150,
+                           deadline_seconds=DEADLINE)
+
+
+def test_m2_question1_optimal_fleet(run_once):
+    def experiment():
+        planner = build_planner()
+        answer = planner.optimal_fleet(0.95)
+        unconstrained = CapacityPlanner(
+            FuzzingEnergyInterface(FuzzingCampaignModel()),
+            max_machines=150).optimal_fleet(0.95)
+        curve = {n: answer.energy_by_fleet_size[n]
+                 for n in sorted(answer.energy_by_fleet_size)
+                 if n % 10 == 0 or n == answer.optimal_machines}
+        return {"answer": answer, "curve": curve,
+                "unconstrained": unconstrained}
+
+    result = run_once(experiment)
+    answer = result["answer"]
+    print_header("M2 Q1 — optimal fleet size for 95% coverage")
+    rows = [[str(n), f"{joules / 3.6e6:.0f} kWh",
+             "<-- optimum" if n == answer.optimal_machines else ""]
+            for n, joules in result["curve"].items()]
+    print(format_table(["machines", "campaign energy", ""], rows))
+    print(f"\nanswer: {answer.optimal_machines} machines, "
+          f"{answer.energy}, {answer.campaign_seconds / 86400:.2f} days")
+
+    # Without a deadline the energy optimum is interior: both a 1-machine
+    # fleet (infra burns for weeks) and a 150-machine fleet (coordination
+    # overhead) cost more than the optimum.
+    unconstrained = result["unconstrained"]
+    full_curve = unconstrained.energy_by_fleet_size
+    optimum = unconstrained.optimal_machines
+    assert 1 < optimum < 150, "the unconstrained optimum must be interior"
+    assert full_curve[1] > unconstrained.energy.as_joules
+    assert full_curve[150] > unconstrained.energy.as_joules
+    # With the 3-day deadline the chosen fleet is feasible and at least
+    # as large as the unconstrained optimum.
+    assert answer.campaign_seconds <= DEADLINE
+    assert answer.optimal_machines >= optimum
+
+
+def test_m2_question2_marginal_coverage_energy(run_once):
+    def experiment():
+        planner = build_planner()
+        n = planner.optimal_fleet(0.95).optimal_machines
+        steps = [(0.80, 0.85), (0.85, 0.90), (0.90, 0.95)]
+        marginals = {f"{a:.0%}->{b:.0%}":
+                     planner.marginal_coverage_energy(a, b, n).as_joules
+                    for a, b in steps}
+        return {"n": n, "marginals": marginals}
+
+    result = run_once(experiment)
+    print_header("M2 Q2 — marginal energy per 5 coverage points "
+                 f"({result['n']} machines)")
+    rows = [[step, f"{joules / 3.6e6:.0f} kWh"]
+            for step, joules in result["marginals"].items()]
+    print(format_table(["coverage step", "marginal energy"], rows))
+
+    values = list(result["marginals"].values())
+    # Saturation: each step costs strictly more, and the last blows up.
+    assert values[0] < values[1] < values[2]
+    assert values[2] > 2.5 * values[1]

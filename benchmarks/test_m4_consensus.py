@@ -1,0 +1,46 @@
+"""M4 — §1's Ethereum claim: PoW -> PoS saves ~99.95%.
+
+The reduction is a design-level property visible by evaluating two energy
+interfaces over the same service abstraction (a day of chain security /
+a block), long before any deployment — energy clarity's cheapest win.
+"""
+
+from __future__ import annotations
+
+from repro.apps.consensus import (
+    PoSEnergyInterface,
+    PoSNetworkSpec,
+    PoWEnergyInterface,
+    PoWNetworkSpec,
+    merge_savings,
+)
+from repro.core.report import format_table
+
+from conftest import print_header
+
+
+def test_m4_merge_savings(run_once):
+    def experiment():
+        pow_iface = PoWEnergyInterface(PoWNetworkSpec())
+        pos_iface = PoSEnergyInterface(PoSNetworkSpec())
+        return {
+            "pow_daily_j": pow_iface.E_secure_day().as_joules,
+            "pos_daily_j": pos_iface.E_secure_day().as_joules,
+            "pow_per_block_j": pow_iface.E_per_block().as_joules,
+            "pos_per_block_j": pos_iface.E_per_block().as_joules,
+            "savings": merge_savings(),
+        }
+
+    result = run_once(experiment)
+    print_header("M4 — proof-of-work vs proof-of-stake")
+    print(format_table(
+        ["protocol", "energy/day", "energy/block"],
+        [["PoW", f"{result['pow_daily_j'] / 3.6e9:.1f} MWh",
+          f"{result['pow_per_block_j'] / 3.6e6:.1f} kWh"],
+         ["PoS", f"{result['pos_daily_j'] / 3.6e9:.3f} MWh",
+          f"{result['pos_per_block_j'] / 3.6e6:.4f} kWh"]]))
+    print(f"\nreduction: {result['savings']:.4%}  (paper: 99.95%)")
+
+    assert result["savings"] > 0.999
+    assert result["savings"] < 0.99999
+    assert abs(result["savings"] - 0.9995) < 0.001

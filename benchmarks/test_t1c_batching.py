@@ -1,0 +1,81 @@
+"""T1c (extension) — the batching curve: LLM serving's biggest knob.
+
+§1 motivates energy clarity with ML's energy footprint; for LLM serving
+the dominant configuration decision is the batch size.  The batched
+GPT-2 interface predicts the energy-per-token curve — steep amortisation
+of the weight stream, then a flatten toward the compute-bound regime —
+and the benchmark validates it against the simulated GPU across the
+sweep.  This is the ClusterFuzz story for serving: the configuration
+question answered from interfaces instead of load tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+from repro.llm.batching import BatchedGPT2Interface, BatchedGPT2Runtime
+from repro.llm.config import GPT2_SMALL
+from repro.measurement.calibration import calibrate_gpu
+from repro.measurement.nvml import NVMLSim
+
+from conftest import print_header
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+KV_LEN = 256
+MIN_WINDOW_SECONDS = 0.08  # span many sensor update periods
+
+
+def test_t1c_batching_curve(run_once):
+    def experiment():
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        nvml = NVMLSim(gpu, seed=7)
+        model = calibrate_gpu(gpu, nvml)
+        runtime = BatchedGPT2Runtime(gpu, GPT2_SMALL)
+        interface = BatchedGPT2Interface(GPT2_SMALL, model, SIM4090)
+
+        points = []
+        for batch in BATCHES:
+            gpu.idle(0.02)
+            t0 = gpu.now
+            steps = 0
+            tokens = 0
+            while gpu.now - t0 < MIN_WINDOW_SECONDS or steps < 4:
+                _, _, step_tokens = runtime.decode_steps(
+                    batch, KV_LEN + steps, 1)
+                tokens += step_tokens
+                steps += 1
+            measured = nvml.measure_interval(t0, gpu.now) / tokens
+            predicted = sum(
+                interface.E_per_token(batch, KV_LEN + step).as_joules
+                for step in range(steps)) / steps
+            points.append({
+                "batch": batch,
+                "measured": measured,
+                "predicted": predicted,
+                "error": abs(predicted - measured) / measured,
+                "throughput": interface.tokens_per_second(batch, KV_LEN),
+            })
+        knee = interface.crossover_batch(KV_LEN)
+        return {"points": points, "knee": knee}
+
+    result = run_once(experiment)
+    print_header("T1c — energy per token vs batch size (gpt2, sim4090)")
+    rows = [[str(p["batch"]), f"{p['predicted'] * 1e3:.2f} mJ",
+             f"{p['measured'] * 1e3:.2f} mJ",
+             f"{100 * p['error']:.1f}%",
+             f"{p['throughput']:.0f} tok/s"]
+            for p in result["points"]]
+    print(format_table(["batch", "predicted/token", "measured/token",
+                        "error", "throughput"], rows))
+    print(f"\ninterface-recommended serving batch (knee): "
+          f"{result['knee']}")
+
+    points = result["points"]
+    for point in points:
+        assert point["error"] < 0.06, point
+    measured_curve = [p["measured"] for p in points]
+    assert measured_curve == sorted(measured_curve, reverse=True)
+    # Batching is roughly an order of magnitude at this scale.
+    assert measured_curve[0] > 8 * measured_curve[-1]
+    assert 8 <= result["knee"] <= 256

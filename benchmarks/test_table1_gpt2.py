@@ -1,0 +1,131 @@
+"""T1 — Table 1: GPT-2 energy-prediction error on two GPUs.
+
+Regenerates the paper's only quantitative result: a manually-derived
+energy interface for GPT-2 autoregressive inference (energy in terms of
+static power + VRAM/L2/L1/instruction counts, unit energies calibrated by
+microbenchmark) predicts NVML-measured energy for generations of up to
+200 tokens.
+
+Paper (real RTX 4090 / RTX 3070 + NVML):
+
+    GPU              Average error   Max error
+    Nvidia RTX4090   0.70%           0.93%
+    Nvidia RTX3070   6.06%           8.11%
+
+We run the same pipeline against the simulated boards (see DESIGN.md for
+the substitution argument).  The shape to reproduce: low single-digit
+errors overall, with the 3070-class board several times worse than the
+4090-class one (hidden DRAM row-activation costs + a worse power sensor).
+
+An ablation with *oracle* unit energies (the simulator's ground truth
+instead of the calibrated fit) separates calibration error from sensor
+and unmodelled-physics error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
+from repro.llm.config import GPT2_SMALL
+from repro.llm.interface import GPT2EnergyInterface
+from repro.llm.runtime import GPT2Runtime
+from repro.measurement.calibration import CalibratedModel, calibrate_gpu
+from repro.measurement.nvml import NVMLSim
+
+from conftest import print_header
+
+N_TRIALS = 10
+MAX_TOKENS = 200
+SEED = 7
+
+
+def oracle_model(spec) -> CalibratedModel:
+    return CalibratedModel(spec.name, {
+        "instructions": spec.e_instruction,
+        "l1_wavefronts": spec.e_l1_wavefront,
+        "l2_sectors": spec.e_l2_sector,
+        "vram_sectors": spec.e_vram_sector,
+        "kernel_launches": spec.e_kernel_launch,
+        "busy_seconds": spec.p_static_w,
+    }, residual_rms=0.0, n_samples=0)
+
+
+def run_gpu(spec, use_oracle_units: bool = False) -> dict:
+    """The full §5 pipeline on one simulated GPU."""
+    machine = build_gpu_workstation(spec)
+    gpu = machine.component("gpu0")
+    nvml = NVMLSim(gpu, seed=SEED)
+    model = (oracle_model(spec) if use_oracle_units
+             else calibrate_gpu(gpu, nvml))
+    runtime = GPT2Runtime(gpu, GPT2_SMALL)
+    interface = GPT2EnergyInterface(GPT2_SMALL, model, spec)
+
+    rng = np.random.default_rng(3)
+    errors = []
+    for _ in range(N_TRIALS):
+        n_tokens = int(rng.integers(MAX_TOKENS // 4, MAX_TOKENS + 1))
+        prompt_len = int(rng.integers(8, 65))
+        gpu.idle(0.05)
+        stats = runtime.generate(prompt_len, n_tokens)
+        measured = nvml.measure_interval(stats.t_start, stats.t_end)
+        predicted = interface.E_generate(prompt_len, n_tokens).as_joules
+        errors.append(abs(predicted - measured) / measured)
+    return {
+        "gpu": spec.name,
+        "avg_error": float(np.mean(errors)),
+        "max_error": float(np.max(errors)),
+        "calibration_residual": model.residual_rms,
+    }
+
+
+def test_table1(run_once):
+    """Regenerate Table 1 (calibrated unit energies, the paper's setup)."""
+
+    def experiment():
+        return {spec.name: run_gpu(spec) for spec in (SIM4090, SIM3070)}
+
+    results = run_once(experiment)
+    print_header("T1 / Table 1 — GPT-2 energy-prediction error "
+                 "(calibrated units)")
+    rows = []
+    paper = {"sim4090": ("RTX4090", 0.70, 0.93),
+             "sim3070": ("RTX3070", 6.06, 8.11)}
+    for name, result in results.items():
+        label, paper_avg, paper_max = paper[name]
+        rows.append([
+            name, f"{100 * result['avg_error']:.2f}%",
+            f"{100 * result['max_error']:.2f}%",
+            f"(paper {label}: {paper_avg:.2f}% / {paper_max:.2f}%)",
+        ])
+    print(format_table(["GPU", "Average error", "Max error", "Paper"], rows))
+
+    r4090, r3070 = results["sim4090"], results["sim3070"]
+    # Shape assertions: who wins and by roughly what factor.
+    assert r4090["avg_error"] < 0.02, "4090-class error should be ~1%"
+    assert r3070["avg_error"] < 0.12, "3070-class error stays single/low-double digits"
+    assert r3070["avg_error"] > 2.0 * r4090["avg_error"], \
+        "the 3070-class board must be several times worse"
+    assert r4090["max_error"] < 0.03
+    assert r3070["max_error"] > r3070["avg_error"]
+
+
+def test_table1_oracle_units_ablation(run_once):
+    """Ablation: ground-truth unit energies isolate non-calibration error."""
+
+    def experiment():
+        return {spec.name: run_gpu(spec, use_oracle_units=True)
+                for spec in (SIM4090, SIM3070)}
+
+    results = run_once(experiment)
+    print_header("T1 ablation — oracle unit energies "
+                 "(no calibration error)")
+    rows = [[name, f"{100 * r['avg_error']:.2f}%",
+             f"{100 * r['max_error']:.2f}%"]
+            for name, r in results.items()]
+    print(format_table(["GPU", "Average error", "Max error"], rows))
+    # Even with perfect units, hidden row costs and the sensor keep the
+    # 3070-class board worse.
+    assert results["sim3070"]["avg_error"] > results["sim4090"]["avg_error"]
+    assert results["sim4090"]["avg_error"] < 0.05

@@ -1,0 +1,118 @@
+"""T1b (extension) — the GPT-2 interface generalises across the family.
+
+§3's defining property: an interface "is valid for all possible inputs,
+previously seen or unseen — unlike energy profiling or empirical
+modeling, which relies on sampling only some of the possible inputs."
+The calibration never saw a transformer; the interface is derived from
+the architecture.  So the same calibrated unit energies must predict
+*every* GPT-2 variant and any context length without re-profiling.
+
+Two sweeps on the sim4090:
+
+* model size (117M → 774M parameters): error stays low and flat;
+* per-token energy vs context length: the interface's prediction tracks
+  the measured KV-cache growth curve point by point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+from repro.llm.config import GPT2_LARGE, GPT2_MEDIUM, GPT2_SMALL
+from repro.llm.interface import GPT2EnergyInterface
+from repro.llm.runtime import GPT2Runtime
+from repro.measurement.calibration import calibrate_gpu
+from repro.measurement.nvml import NVMLSim
+
+from conftest import print_header
+
+
+def test_t1b_model_size_sweep(run_once):
+    def experiment():
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        nvml = NVMLSim(gpu, seed=7)
+        model = calibrate_gpu(gpu, nvml)  # calibrated ONCE
+        results = []
+        for config in (GPT2_SMALL, GPT2_MEDIUM, GPT2_LARGE):
+            runtime = GPT2Runtime(gpu, config)
+            interface = GPT2EnergyInterface(config, model, SIM4090)
+            gpu.idle(0.05)
+            stats = runtime.generate(prompt_len=16, n_tokens=60)
+            measured = nvml.measure_interval(stats.t_start, stats.t_end)
+            predicted = interface.E_generate(16, 60).as_joules
+            results.append({
+                "model": config.name,
+                "params_m": config.param_count / 1e6,
+                "measured": measured,
+                "predicted": predicted,
+                "error": abs(predicted - measured) / measured,
+            })
+        return results
+
+    results = run_once(experiment)
+    print_header("T1b — one calibration predicts the whole GPT-2 family")
+    rows = [[r["model"], f"{r['params_m']:.0f}M",
+             f"{r['predicted']:.2f} J", f"{r['measured']:.2f} J",
+             f"{100 * r['error']:.2f}%"] for r in results]
+    print(format_table(["model", "params", "predicted", "measured",
+                        "error"], rows))
+
+    for result in results:
+        assert result["error"] < 0.03, result
+    # Bigger model costs more; the interface tracks the scaling.
+    measured = [r["measured"] for r in results]
+    predicted = [r["predicted"] for r in results]
+    assert measured == sorted(measured)
+    assert predicted == sorted(predicted)
+    # 774M vs 117M should scale roughly with parameter count (decode is
+    # weight-streaming bound).
+    ratio_measured = measured[-1] / measured[0]
+    ratio_params = results[-1]["params_m"] / results[0]["params_m"]
+    assert 0.4 * ratio_params < ratio_measured < 1.6 * ratio_params
+
+
+def test_t1b_context_length_curve(run_once):
+    def experiment():
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        nvml = NVMLSim(gpu, seed=7)
+        model = calibrate_gpu(gpu, nvml)
+        runtime = GPT2Runtime(gpu, GPT2_SMALL)
+        interface = GPT2EnergyInterface(GPT2_SMALL, model, SIM4090)
+
+        points = []
+        for kv_len in (0, 128, 384, 768):
+            runtime.reset_cache()
+            if kv_len:
+                runtime.prefill(kv_len)
+            # Measure a 32-token block at this context depth.
+            gpu.idle(0.02)
+            before = gpu.now
+            for _ in range(32):
+                runtime.decode_token()
+            measured = nvml.measure_interval(before, gpu.now) / 32
+            predicted = np.mean([
+                interface.E_decode_token(kv_len + step).as_joules
+                for step in range(32)])
+            points.append({"kv_len": kv_len, "measured": measured,
+                           "predicted": float(predicted)})
+        return points
+
+    points = run_once(experiment)
+    print_header("T1b — per-token energy vs context length (gpt2)")
+    rows = [[str(p["kv_len"]), f"{p['predicted'] * 1e3:.2f} mJ",
+             f"{p['measured'] * 1e3:.2f} mJ",
+             f"{100 * abs(p['predicted'] - p['measured']) / p['measured']:.2f}%"]
+            for p in points]
+    print(format_table(["context", "predicted/token", "measured/token",
+                        "error"], rows))
+
+    for point in points:
+        error = abs(point["predicted"] - point["measured"]) \
+            / point["measured"]
+        assert error < 0.04, point
+    # KV growth: deeper context costs measurably more per token.
+    assert points[-1]["measured"] > points[0]["measured"] * 1.05

@@ -1,0 +1,93 @@
+"""§4.2's toolchain: extract an energy interface from an implementation.
+
+Run:  python examples/extract_interface.py
+
+Symbolically executes a request handler written against abstract
+resources, turning it into an executable energy interface: branches on
+resource results become ECVs, symbolic loops are summarised, and the
+interface can be read back as Fig.-1-style Python.  Ends with the radio
+side-effect example — the wake energy charged to the first caller only.
+"""
+
+from repro.analysis.extract import extract_interface
+from repro.analysis.sideeffects import RADIO_MODEL, analyze_sequence
+from repro.analysis.symbex import ResourceModel
+from repro.core.ecv import BernoulliECV
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+
+
+# ---- the implementation under analysis ---------------------------------
+
+def handle_request(res, image_pixels, n_zeros):
+    """Serve one request: cache lookup, CNN inference on miss."""
+    hit = res.cache.lookup(image_pixels)
+    if hit:
+        return 0
+    res.gpu.conv2d(image_pixels - n_zeros)
+    for _ in range(8):
+        res.gpu.relu(256)
+    for _ in range(16):
+        res.gpu.mlp(256)
+    res.cache.store(1024)
+
+
+def sync_metrics(res, payload_bytes):
+    """Periodic telemetry upload over the radio."""
+    res.nic.send(payload_bytes)
+    res.nic.send(64)  # the ack
+
+
+# ---- energy interfaces of the resources it calls ------------------------
+
+class CacheIface(EnergyInterface):
+    def E_lookup(self, size):
+        return Energy.millijoules(0.4)
+
+    def E_store(self, size):
+        return Energy.millijoules(0.6)
+
+
+class GpuIface(EnergyInterface):
+    def E_conv2d(self, n):
+        return Energy.microjoules(0.8 * n)
+
+    def E_relu(self, n):
+        return Energy.nanojoules(40 * n)
+
+    def E_mlp(self, n):
+        return Energy.microjoules(1.2 * n)
+
+
+def main():
+    resources = [ResourceModel("cache", returning={"lookup": "bool"}),
+                 ResourceModel("gpu")]
+    subinterfaces = {"cache": CacheIface(), "gpu": GpuIface()}
+
+    print("=== symbolic extraction ===")
+    interface = extract_interface(handle_request, resources, subinterfaces)
+    print("the tool emitted this interface from the implementation:\n")
+    print(interface.emit_python())
+
+    print("\n=== the extracted interface is executable ===")
+    probe = (50176, 12000)  # a 224x224 image, ~24% zeros
+    print("worst case (cache miss):",
+          interface.worst_case("E_call", *probe))
+    print("expected at p(hit)=0.9: ",
+          interface.expected("E_call", *probe,
+                             env={"cache_lookup_0":
+                                  BernoulliECV("cache_lookup_0", 0.9)}))
+
+    print("\n=== side effects: the WiFi radio example (Section 4.2) ===")
+    analyses = analyze_sequence([sync_metrics, sync_metrics],
+                                [ResourceModel("nic")], [RADIO_MODEL])
+    for position, analysis in enumerate(analyses, start=1):
+        terms = " + ".join(t.render() for t in analysis.paths[0].energy_terms)
+        print(f"app #{position} (radio initially "
+              f"{analysis.initial_states['nic']}): {terms}")
+    print("-> the first app pays E_nic.wake(); the second rides its "
+          "side effect,\n   exactly the paper's smartphone example.")
+
+
+if __name__ == "__main__":
+    main()

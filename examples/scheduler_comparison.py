@@ -1,0 +1,70 @@
+"""§1's EAS claim: interface-aware scheduling of bimodal tasks.
+
+Run:  python examples/scheduler_comparison.py
+
+Simulates real-time transcoders (compute bursts alternating with I/O
+troughs) on a big.LITTLE machine under four schedulers: the kernel-style
+utilisation-EWMA EAS, a peak-clamped variant (how operators protect QoS
+today), an energy-interface-aware scheduler, and a perfect oracle.
+"""
+
+from repro.apps.transcode import bimodal_transcoder, steady_task
+from repro.core.report import format_table
+from repro.hardware.profiles import build_big_little
+from repro.managers.base import SchedulerSim
+from repro.managers.eas import EASScheduler, PeakEASScheduler
+from repro.managers.interface_scheduler import (
+    InterfaceScheduler,
+    OracleScheduler,
+)
+
+CORES = ("little0", "little1", "little2", "little3",
+         "big0", "big1", "big2", "big3")
+
+
+def run(scheduler, tasks, quanta=240):
+    machine = build_big_little()
+    cores = [machine.component(name) for name in CORES]
+    sim = SchedulerSim(machine, cores, quantum_seconds=0.05)
+    return sim.run(scheduler, tasks, quanta)
+
+
+def report(title, tasks):
+    print(f"\n=== {title} ===")
+    rows = []
+    for scheduler in (EASScheduler(), PeakEASScheduler(),
+                      InterfaceScheduler(), OracleScheduler()):
+        result = run(scheduler, tasks)
+        rows.append([scheduler.name, f"{result.energy_joules:.2f} J",
+                     f"{result.miss_ratio:.1%}",
+                     f"{1000 * result.energy_per_work:.2f} mJ/cap-s"])
+    print(format_table(["scheduler", "energy", "late work", "energy/work"],
+                       rows))
+
+
+def main():
+    transcoders = ([bimodal_transcoder(f"transcoder{i}", burst_util=780,
+                                       trough_util=40, burst_quanta=1,
+                                       trough_quanta=5, phase_offset=i)
+                    for i in range(4)]
+                   + [steady_task("background", 100)])
+    report("bimodal transcoding (the paper's example)", transcoders)
+    print("""
+reading the table:
+ * plain EAS predicts the bimodal tasks' *average* load, so bursts land
+   on under-provisioned cores and ~1 in 5 capacity-seconds runs late;
+ * peak-EAS rescues the deadlines by assuming every quantum is a burst,
+   paying big-core power through every trough;
+ * the interface scheduler asks each task's energy interface what the
+   next quantum holds — oracle-equal QoS at oracle-equal energy.""")
+
+    steady = [steady_task(f"steady{i}", 120 + 40 * i) for i in range(4)]
+    report("steady control workload (no phase structure)", steady)
+    print("""
+on steady loads the EWMA is already a perfect predictor, so every
+scheduler ties — the interface only wins where there is structure the
+proxy cannot see, exactly the paper's argument.""")
+
+
+if __name__ == "__main__":
+    main()

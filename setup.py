@@ -1,0 +1,4 @@
+"""Legacy setuptools shim (offline environments without the wheel package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — energy interfaces for energy clarity.
+
+A comprehensive reproduction of *The Case for Energy Clarity* (Chung, Kuo,
+Candea — HotOS 2025).  The package implements the paper's proposal —
+**energy interfaces**: executable programs that predict a module's energy
+consumption, composed across the layers of a system stack — together with
+every substrate the paper's argument and evaluation rely on, simulated in
+pure Python:
+
+* :mod:`repro.core` — the energy-interface framework (units, random
+  ECVs, evaluation modes, composition, contracts).
+* :mod:`repro.sim` — a discrete-event simulation kernel.
+* :mod:`repro.hardware` — simulated CPUs (big.LITTLE + DVFS), GPUs
+  (counter-level, two device profiles), DRAM, NIC and thermals.
+* :mod:`repro.measurement` — NVML-like and RAPL-like measurement
+  channels plus microbenchmark calibration.
+* :mod:`repro.llm` — a kernel-level GPT-2 inference simulator (the §5
+  experiment workload).
+* :mod:`repro.analysis` — the implementation→interface toolchain
+  (symbolic execution, extraction, side effects, energy-bug detection).
+* :mod:`repro.managers` — resource managers: EAS-like and
+  interface-driven schedulers, a cluster scheduler, a cache manager.
+* :mod:`repro.apps` / :mod:`repro.workloads` — the applications and
+  workloads used by the paper's motivation and our benchmarks.
+
+Quickstart::
+
+    from repro.core import EnergyInterface, BernoulliECV, Energy
+
+    class CacheInterface(EnergyInterface):
+        def __init__(self):
+            super().__init__("cache")
+            self.declare_ecv(BernoulliECV("hit", p=0.9))
+
+        def E_lookup(self, response_len):
+            per_byte = 5 if self.ecv("hit") else 100
+            return Energy.millijoules(per_byte * response_len)
+
+    iface = CacheInterface()
+    print(iface.expected("E_lookup", 1024))      # mean over ECVs
+    print(iface.worst_case("E_lookup", 1024))    # contract bound
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

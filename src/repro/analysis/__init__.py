@@ -1,0 +1,35 @@
+"""The implementation→interface toolchain: symbolic execution, extraction,
+side-effect analysis and energy-bug detection (§4.2)."""
+
+from repro.analysis.expr import (
+    BinOp,
+    Compare,
+    Const,
+    EnergyTerm,
+    Expr,
+    FreshSymbol,
+    UnaryOp,
+    Var,
+    as_expr,
+    evaluate_expr,
+)
+from repro.analysis.extract import ExtractedInterface, extract_interface
+from repro.analysis.sideeffects import (
+    RADIO_MODEL,
+    DeviceStateModel,
+    ModuleAnalysis,
+    analyze_module,
+    analyze_sequence,
+)
+from repro.analysis.symbex import PathSummary, ResourceModel, symbolic_execute
+from repro.analysis.verify import DivergenceReport, EnergyBug, divergence_test
+
+__all__ = [
+    "Expr", "Const", "Var", "FreshSymbol", "BinOp", "Compare", "UnaryOp",
+    "EnergyTerm", "as_expr", "evaluate_expr",
+    "ResourceModel", "PathSummary", "symbolic_execute",
+    "ExtractedInterface", "extract_interface",
+    "DeviceStateModel", "ModuleAnalysis", "analyze_module",
+    "analyze_sequence", "RADIO_MODEL",
+    "EnergyBug", "DivergenceReport", "divergence_test",
+]

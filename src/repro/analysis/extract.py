@@ -1,0 +1,168 @@
+"""Turning symbolic-execution paths into executable energy interfaces.
+
+The output of :func:`repro.analysis.symbex.symbolic_execute` is a list of
+paths; :class:`ExtractedInterface` packages them as a *bona fide*
+:class:`~repro.core.interface.EnergyInterface`:
+
+* it evaluates against concrete inputs by selecting the matching path and
+  summing its energy terms, resolving each term through the energy
+  interfaces of the resources the implementation called — composition
+  exactly as §3 prescribes;
+* fresh symbols (unknown resource-call results) become declared ECVs, so
+  the extracted interface plugs into the probabilistic evaluator, the
+  contract checkers, and everything else in :mod:`repro.core`;
+* :meth:`ExtractedInterface.emit_python` renders the interface back to
+  Fig.-1-style Python source for humans.
+
+:func:`extract_interface` is the one-call front end: implementation in,
+energy interface out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.expr import EnergyTerm, evaluate_expr
+from repro.analysis.symbex import PathSummary, ResourceModel, symbolic_execute
+from repro.core.ecv import BernoulliECV, ContinuousECV, UniformIntECV
+from repro.core.errors import ExtractionError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy, as_joules
+
+__all__ = ["ExtractedInterface", "extract_interface"]
+
+
+class ExtractedInterface(EnergyInterface):
+    """An energy interface recovered from an implementation.
+
+    ``subinterfaces`` maps resource names to the energy interfaces of the
+    resources the implementation calls; term ``cache.lookup(n)`` resolves
+    to ``subinterfaces["cache"].E_lookup(n)``.
+
+    ECVs discovered during extraction are declared with permissive
+    defaults (``Bernoulli(0.5)`` for booleans); callers — typically the
+    resource manager, which knows the real distributions — bind them via
+    the usual environment mechanism.
+    """
+
+    def __init__(self, name: str, input_names: Sequence[str],
+                 paths: Sequence[PathSummary],
+                 subinterfaces: Mapping[str, EnergyInterface]) -> None:
+        super().__init__(name)
+        if not paths:
+            raise ExtractionError(f"interface {name!r} extracted zero paths")
+        self.input_names = list(input_names)
+        self.paths = list(paths)
+        self.subinterfaces = dict(subinterfaces)
+        self._declare_discovered_ecvs()
+        self._check_resources_covered()
+
+    # -- construction helpers ------------------------------------------------
+    def _declare_discovered_ecvs(self) -> None:
+        for path in self.paths:
+            for symbol, (kind, origin) in path.ecvs.items():
+                if self.declared_ecv(symbol) is not None:
+                    continue
+                if kind == "bool":
+                    self.declare_ecv(BernoulliECV(symbol, p=0.5,
+                                                  description=origin))
+                elif kind == "int":
+                    self.declare_ecv(UniformIntECV(symbol, 0, 1,
+                                                   description=origin))
+                else:
+                    self.declare_ecv(ContinuousECV(symbol, 0.0, 1.0,
+                                                   description=origin))
+
+    def _check_resources_covered(self) -> None:
+        used = {term.resource for path in self.paths
+                for term in path.energy_terms}
+        missing = used - set(self.subinterfaces)
+        if missing:
+            raise ExtractionError(
+                f"extracted interface {self.name!r} calls resources with no "
+                f"energy interface: {sorted(missing)}")
+
+    # -- evaluation -------------------------------------------------------------
+    def _symbol_environment(self, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        """Bind inputs plus one ECV read per discovered symbol."""
+        env: dict[str, Any] = dict(inputs)
+        for path in self.paths:
+            for symbol in path.ecvs:
+                if symbol not in env:
+                    env[symbol] = self.ecv(symbol)
+        return env
+
+    def _term_energy(self, term: EnergyTerm, env: Mapping[str, Any]) -> float:
+        interface = self.subinterfaces[term.resource]
+        method = getattr(interface, f"E_{term.method}", None)
+        if method is None:
+            raise ExtractionError(
+                f"energy interface for resource {term.resource!r} has no "
+                f"method E_{term.method}")
+        args = [evaluate_expr(argument, env) for argument in term.args]
+        multiplier = evaluate_expr(term.multiplier, env)
+        return multiplier * as_joules(method(*args))
+
+    def E_call(self, *args: Any, **kwargs: Any) -> Energy:
+        """The extracted interface: energy of one call on these inputs."""
+        inputs = dict(zip(self.input_names, args))
+        inputs.update(kwargs)
+        missing = [name for name in self.input_names if name not in inputs]
+        if missing:
+            raise ExtractionError(f"missing inputs {missing} for {self.name!r}")
+        env = self._symbol_environment(inputs)
+        for path in self.paths:
+            if all(evaluate_expr(clause, env) for clause in path.condition):
+                total = sum(self._term_energy(term, env)
+                            for term in path.energy_terms)
+                return Energy(total)
+        raise ExtractionError(
+            f"no extracted path matches inputs {inputs!r}; paths should "
+            f"partition the input space — this is an extraction bug")
+
+    # -- rendering ----------------------------------------------------------------
+    def emit_python(self) -> str:
+        """Render the interface as Fig.-1-style Python source."""
+        lines = [f"def E_{self.name}({', '.join(self.input_names)}):"]
+        declarations = self.ecv_declarations
+        for symbol in sorted(declarations):
+            description = declarations[symbol].description or "unknown state"
+            lines.append(f"    # ECV: {symbol} - {description}")
+        for index, path in enumerate(self.paths):
+            keyword = "if" if index == 0 else "elif"
+            condition = path.condition_text()
+            lines.append(f"    {keyword} {condition}:")
+            if path.energy_terms:
+                body = " + ".join(term.render() for term in path.energy_terms)
+            else:
+                body = "0  # this path consumes no modelled energy"
+            lines.append(f"        return {body}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"ExtractedInterface(name={self.name!r}, "
+                f"paths={len(self.paths)}, inputs={self.input_names})")
+
+
+def extract_interface(fn: Callable,
+                      resources: Sequence[ResourceModel],
+                      subinterfaces: Mapping[str, EnergyInterface],
+                      name: str | None = None,
+                      helpers: Mapping[str, Callable] | None = None,
+                      max_paths: int = 512) -> ExtractedInterface:
+    """The §4.2 front end: implementation in, energy interface out.
+
+    ``fn(res, x, y, ...)`` is symbolically executed against the declared
+    resource models; the resulting paths become an
+    :class:`ExtractedInterface` whose terms resolve through
+    ``subinterfaces``.
+    """
+    import inspect
+
+    paths = symbolic_execute(fn, resources, helpers=helpers,
+                             max_paths=max_paths)
+    signature = inspect.signature(fn)
+    parameter_names = list(signature.parameters)[1:]
+    interface_name = name if name is not None else fn.__name__
+    return ExtractedInterface(interface_name, parameter_names, paths,
+                              subinterfaces)

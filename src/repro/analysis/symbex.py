@@ -1,0 +1,631 @@
+"""A restricted symbolic executor over Python ASTs (§4.2's analysis tool).
+
+The implementation→interface workflow needs "a program analysis tool
+[that] derives an intermediate representation that captures how that
+module combines lower-level resources to implement its own logic ...
+a combination of per-path analysis (e.g., using symbolic execution) with
+side-effects analysis".  This module is that tool, scoped to the
+implementation style used throughout this repository:
+
+* the analysed function's first parameter is a *resource namespace* —
+  ``impl(res, request_len)`` calls ``res.cache.lookup(...)``,
+  ``res.gpu.infer(...)`` etc.;
+* remaining parameters are integers/floats/booleans (or abstractions of
+  the real input, per §3);
+* supported constructs: arithmetic, comparisons, boolean logic, ``if`` /
+  ``elif`` / ``else``, ``for`` over ``range`` (concrete bounds unroll,
+  symbolic bounds are *summarised*), ``while`` with concrete conditions,
+  tuple assignment, ``min`` / ``max`` / ``abs``, calls to helper
+  functions (inlined).
+
+Execution enumerates paths lazily by re-execution with forced branch
+choices — the same mechanism the ECV evaluator uses.  Calls into
+resources record :class:`~repro.analysis.expr.EnergyTerm` entries; a call
+whose *result* the program branches on yields a deterministic fresh
+symbol, which the extracted interface exposes as an ECV (state not
+determined by the input — precisely the paper's definition).
+
+Loop summarisation: a ``for`` over a symbolic ``range`` runs its body
+once; if the body neither branches nor writes variables that survive the
+loop, its energy terms are multiplied by the (symbolic) trip count.  This
+covers the ubiquitous "for each token / request / block, pay E" pattern
+while refusing (loudly) anything it cannot prove.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.expr import (
+    BinOp,
+    Compare,
+    Const,
+    EnergyTerm,
+    Expr,
+    FreshSymbol,
+    UnaryOp,
+    Var,
+    as_expr,
+)
+from repro.core.errors import SymbolicExecutionError
+
+__all__ = ["ResourceModel", "PathSummary", "symbolic_execute"]
+
+#: Guard rails.
+MAX_PATHS = 512
+MAX_UNROLL = 4096
+MAX_WHILE = 4096
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """How the executor models one resource during analysis.
+
+    ``returning`` maps method names to the kind of value the call returns:
+    ``"bool"`` / ``"int"`` / ``"float"`` produce a fresh symbol (an ECV);
+    methods not listed return ``None`` (pure energy consumers).
+    """
+
+    name: str
+    returning: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class PathSummary:
+    """One enumerated path through the implementation."""
+
+    condition: list[Expr]
+    energy_terms: list[EnergyTerm]
+    returns: Any
+    ecvs: dict[str, tuple[str, str]]  # fresh-symbol name -> (kind, origin)
+    final_states: dict[str, str] = field(default_factory=dict)
+
+    def condition_text(self) -> str:
+        """The path condition as readable Python."""
+        if not self.condition:
+            return "True"
+        return " and ".join(clause.render() for clause in self.condition)
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+def _negate(expr: Expr) -> Expr:
+    if isinstance(expr, (Compare, UnaryOp)):
+        try:
+            return expr.negated()
+        except SymbolicExecutionError:
+            pass
+    return UnaryOp("not", expr)
+
+
+class _Recorder:
+    """Per-execution state: branch choices, path condition, energy terms."""
+
+    def __init__(self, forced: list[bool],
+                 state_models: Mapping[str, "DeviceStateModel"] | None = None,
+                 initial_states: Mapping[str, str] | None = None) -> None:
+        self.forced = forced
+        self.taken: list[bool] = []
+        self.condition: list[Expr] = []
+        self.energy: list[EnergyTerm] = []
+        self.pending: list[list[bool]] = []
+        self.ecvs: dict[str, str] = {}
+        self._symbol_counter = 0
+        self.frozen_branching = False  # set during loop summarisation
+        self.state_models = dict(state_models or {})
+        self.device_states = {name: model.initial_state
+                              for name, model in self.state_models.items()}
+        self.device_states.update(initial_states or {})
+
+    def decide(self, expr: Expr) -> bool:
+        """Resolve a symbolic branch, forking lazily."""
+        if self.frozen_branching:
+            raise SymbolicExecutionError(
+                "branch on a symbolic condition inside a summarised loop "
+                "body; use concrete loop bounds instead")
+        position = len(self.taken)
+        if position < len(self.forced):
+            choice = self.forced[position]
+        else:
+            choice = True
+            self.pending.append(self.taken + [False])
+        self.taken.append(choice)
+        self.condition.append(expr if choice else _negate(expr))
+        return choice
+
+    def truth(self, value: Any) -> bool:
+        """Concrete or symbolic truthiness."""
+        if isinstance(value, Expr):
+            return self.decide(value)
+        return bool(value)
+
+    def fresh(self, hint: str, origin: str, kind: str = "int") -> FreshSymbol:
+        """A fresh symbol with a name stable across re-executions."""
+        symbol = FreshSymbol.__new__(FreshSymbol)
+        symbol.name = f"{hint}_{self._symbol_counter}"
+        symbol.origin = origin
+        self._symbol_counter += 1
+        self.ecvs[symbol.name] = (kind, origin)
+        return symbol
+
+    def record_call(self, resource: str, method: str, args: tuple,
+                    returning: str | None) -> Any:
+        model = self.state_models.get(resource)
+        if model is not None and method in model.transitions:
+            if self.frozen_branching:
+                raise SymbolicExecutionError(
+                    "stateful resource call inside a summarised loop; state "
+                    "transitions need concrete loop bounds")
+            pre_state = self.device_states[resource]
+            post_state, extra_method = model.transitions[method].get(
+                pre_state, (pre_state, None))
+            if extra_method is not None:
+                self.energy.append(EnergyTerm(resource, extra_method, ()))
+            self.device_states[resource] = post_state
+        self.energy.append(EnergyTerm(resource, method, args))
+        if returning is None:
+            return None
+        return self.fresh(f"{resource}_{method}",
+                          f"result of {resource}.{method}", returning)
+
+
+class _ResourceProxy:
+    """Stands in for one resource during symbolic execution."""
+
+    def __init__(self, model: ResourceModel, recorder: _Recorder) -> None:
+        self._model = model
+        self._recorder = recorder
+
+    def __getattr__(self, method: str) -> Callable:
+        model = object.__getattribute__(self, "_model")
+        recorder = object.__getattribute__(self, "_recorder")
+
+        def call(*args: Any) -> Any:
+            return recorder.record_call(model.name, method,
+                                        tuple(as_expr(a) for a in args),
+                                        model.returning.get(method))
+
+        return call
+
+
+class _Namespace:
+    """The ``res`` argument: attribute access to resource proxies."""
+
+    def __init__(self, proxies: Mapping[str, _ResourceProxy]) -> None:
+        self._proxies = dict(proxies)
+
+    def __getattr__(self, name: str) -> _ResourceProxy:
+        proxies = object.__getattribute__(self, "_proxies")
+        if name not in proxies:
+            raise SymbolicExecutionError(
+                f"implementation used undeclared resource {name!r}; declare "
+                f"a ResourceModel for it")
+        return proxies[name]
+
+
+def _function_ast(fn: Callable) -> ast.FunctionDef:
+    source = textwrap.dedent(inspect.getsource(fn))
+    module = ast.parse(source)
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise SymbolicExecutionError(f"could not find a function definition in "
+                                 f"{fn!r}")
+
+
+class _Interpreter:
+    """One symbolic execution of the function body."""
+
+    def __init__(self, recorder: _Recorder,
+                 helpers: Mapping[str, Callable]) -> None:
+        self.recorder = recorder
+        self.helpers = dict(helpers)
+
+    # -- statements ----------------------------------------------------------
+    def exec_block(self, statements: Sequence[ast.stmt],
+                   env: dict[str, Any]) -> None:
+        for statement in statements:
+            self.exec_stmt(statement, env)
+
+    def exec_stmt(self, node: ast.stmt, env: dict[str, Any]) -> None:
+        if isinstance(node, ast.Return):
+            raise _ReturnSignal(self.eval(node.value, env)
+                                if node.value else None)
+        if isinstance(node, ast.Assign):
+            value = self.eval(node.value, env)
+            for target in node.targets:
+                self._assign(target, value, env)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._assign(node.target, self.eval(node.value, env), env)
+            return
+        if isinstance(node, ast.AugAssign):
+            if not isinstance(node.target, ast.Name):
+                raise SymbolicExecutionError(
+                    "augmented assignment only supported on plain names")
+            current = env.get(node.target.id)
+            if current is None and node.target.id not in env:
+                raise SymbolicExecutionError(
+                    f"augmented assignment to unbound name {node.target.id!r}")
+            operand = self.eval(node.value, env)
+            env[node.target.id] = self._binop(node.op, current, operand)
+            return
+        if isinstance(node, ast.If):
+            if self.recorder.truth(self.eval(node.test, env)):
+                self.exec_block(node.body, env)
+            else:
+                self.exec_block(node.orelse, env)
+            return
+        if isinstance(node, ast.For):
+            self._exec_for(node, env)
+            return
+        if isinstance(node, ast.While):
+            self._exec_while(node, env)
+            return
+        if isinstance(node, ast.Expr):
+            self.eval(node.value, env)
+            return
+        if isinstance(node, ast.Pass):
+            return
+        if isinstance(node, ast.Break):
+            raise _BreakSignal()
+        if isinstance(node, ast.Continue):
+            raise _ContinueSignal()
+        if isinstance(node, ast.Assert):
+            if not self.recorder.truth(self.eval(node.test, env)):
+                raise SymbolicExecutionError(
+                    "assertion can fail on this path; energy interfaces must "
+                    "cover all inputs")
+            return
+        raise SymbolicExecutionError(
+            f"unsupported statement {type(node).__name__} at line "
+            f"{node.lineno}")
+
+    def _assign(self, target: ast.expr, value: Any, env: dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        if isinstance(target, ast.Tuple):
+            values = list(value)
+            if len(values) != len(target.elts):
+                raise SymbolicExecutionError("tuple unpacking arity mismatch")
+            for element, item in zip(target.elts, values):
+                self._assign(element, item, env)
+            return
+        raise SymbolicExecutionError(
+            f"unsupported assignment target {type(target).__name__}")
+
+    # -- loops ------------------------------------------------------------------
+    def _exec_for(self, node: ast.For, env: dict[str, Any]) -> None:
+        if node.orelse:
+            raise SymbolicExecutionError("for/else is not supported")
+        iterable = node.iter
+        if (isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Name)
+                and iterable.func.id == "range"):
+            bounds = [self.eval(argument, env) for argument in iterable.args]
+            if any(isinstance(bound, Expr) for bound in bounds):
+                self._summarise_loop(node, bounds, env)
+                return
+            iterations = list(range(*[int(b) for b in bounds]))
+            if len(iterations) > MAX_UNROLL:
+                raise SymbolicExecutionError(
+                    f"loop unrolls to {len(iterations)} iterations "
+                    f"(cap {MAX_UNROLL})")
+            for value in iterations:
+                self._assign(node.target, value, env)
+                try:
+                    self.exec_block(node.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+            return
+        concrete = self.eval(iterable, env)
+        if isinstance(concrete, Expr):
+            raise SymbolicExecutionError(
+                "can only iterate range() or concrete sequences")
+        for value in list(concrete):
+            self._assign(node.target, value, env)
+            try:
+                self.exec_block(node.body, env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def _summarise_loop(self, node: ast.For, bounds: list[Any],
+                        env: dict[str, Any]) -> None:
+        """Symbolic trip count: run the body once, scale its energy."""
+        if len(bounds) == 1:
+            start, stop = Const(0), as_expr(bounds[0])
+        elif len(bounds) == 2:
+            start, stop = as_expr(bounds[0]), as_expr(bounds[1])
+        else:
+            raise SymbolicExecutionError(
+                "symbolic range() with a step cannot be summarised")
+        count = BinOp("-", stop, start)
+        before_env = dict(env)
+        before_terms = len(self.recorder.energy)
+        loop_var = self.recorder.fresh("loop_index", "summarised loop index")
+        self._assign(node.target, loop_var, env)
+        self.recorder.ecvs.pop(loop_var.name, None)  # not a real ECV
+        self.recorder.frozen_branching = True
+        try:
+            self.exec_block(node.body, env)
+        except (_BreakSignal, _ContinueSignal):
+            raise SymbolicExecutionError(
+                "break/continue inside a summarised loop")
+        finally:
+            self.recorder.frozen_branching = False
+        body_terms = self.recorder.energy[before_terms:]
+        del self.recorder.energy[before_terms:]
+        loop_name = loop_var.name
+        for term in body_terms:
+            if loop_name in term.free_variables():
+                raise SymbolicExecutionError(
+                    "summarised loop body's energy depends on the loop "
+                    "index; rewrite with concrete bounds or hoist the "
+                    "dependence")
+            self.recorder.energy.append(term.scaled(count))
+        # The body must not leak state: restore and verify.
+        target_names = {n.id for n in ast.walk(node.target)
+                        if isinstance(n, ast.Name)}
+        for name, value in env.items():
+            if name in target_names:
+                continue
+            if name not in before_env:
+                raise SymbolicExecutionError(
+                    f"summarised loop defines {name!r} used after the loop")
+            if repr(before_env[name]) != repr(value):
+                raise SymbolicExecutionError(
+                    f"summarised loop mutates {name!r}; accumulators over "
+                    f"symbolic trip counts are not supported")
+        for name in target_names:
+            env.pop(name, None)
+            if name in before_env:
+                env[name] = before_env[name]
+
+    def _exec_while(self, node: ast.While, env: dict[str, Any]) -> None:
+        if node.orelse:
+            raise SymbolicExecutionError("while/else is not supported")
+        iterations = 0
+        while True:
+            test = self.eval(node.test, env)
+            if isinstance(test, Expr):
+                raise SymbolicExecutionError(
+                    "while conditions must stay concrete; bound the loop "
+                    "with range() over the symbolic count instead")
+            if not test:
+                return
+            iterations += 1
+            if iterations > MAX_WHILE:
+                raise SymbolicExecutionError(
+                    f"while loop exceeded {MAX_WHILE} iterations")
+            try:
+                self.exec_block(node.body, env)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                continue
+
+    # -- expressions ---------------------------------------------------------
+    def eval(self, node: ast.expr, env: dict[str, Any]) -> Any:
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in self.helpers:
+                return self.helpers[node.id]
+            raise SymbolicExecutionError(f"unbound name {node.id!r}")
+        if isinstance(node, ast.BinOp):
+            return self._binop(node.op, self.eval(node.left, env),
+                               self.eval(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                return -operand if not isinstance(operand, Expr) \
+                    else UnaryOp("-", operand)
+            if isinstance(node.op, ast.Not):
+                if isinstance(operand, Expr):
+                    return _negate(operand)
+                return not operand
+            raise SymbolicExecutionError(
+                f"unsupported unary operator {type(node.op).__name__}")
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env)
+        if isinstance(node, ast.BoolOp):
+            return self._boolop(node, env)
+        if isinstance(node, ast.IfExp):
+            if self.recorder.truth(self.eval(node.test, env)):
+                return self.eval(node.body, env)
+            return self.eval(node.orelse, env)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.Attribute):
+            value = self.eval(node.value, env)
+            return getattr(value, node.attr)
+        if isinstance(node, ast.Tuple):
+            return tuple(self.eval(element, env) for element in node.elts)
+        if isinstance(node, ast.List):
+            return [self.eval(element, env) for element in node.elts]
+        raise SymbolicExecutionError(
+            f"unsupported expression {type(node).__name__} at line "
+            f"{node.lineno}")
+
+    def _binop(self, op: ast.operator, left: Any, right: Any) -> Any:
+        symbolic = isinstance(left, Expr) or isinstance(right, Expr)
+        table = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+                 ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**"}
+        op_name = table.get(type(op))
+        if op_name is None:
+            raise SymbolicExecutionError(
+                f"unsupported operator {type(op).__name__}")
+        if not symbolic:
+            import operator as op_module
+            concrete = {"+": op_module.add, "-": op_module.sub,
+                        "*": op_module.mul, "/": op_module.truediv,
+                        "//": op_module.floordiv, "%": op_module.mod,
+                        "**": op_module.pow}
+            return concrete[op_name](left, right)
+        return BinOp(op_name, as_expr(left), as_expr(right))
+
+    def _compare(self, node: ast.Compare, env: dict[str, Any]) -> Any:
+        if len(node.ops) != 1:
+            raise SymbolicExecutionError("chained comparisons not supported")
+        left = self.eval(node.left, env)
+        right = self.eval(node.comparators[0], env)
+        table = {ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+                 ast.Eq: "==", ast.NotEq: "!="}
+        op_name = table.get(type(node.ops[0]))
+        if op_name is None:
+            raise SymbolicExecutionError(
+                f"unsupported comparison {type(node.ops[0]).__name__}")
+        if isinstance(left, Expr) or isinstance(right, Expr):
+            return Compare(op_name, as_expr(left), as_expr(right))
+        import operator as op_module
+        concrete = {"<": op_module.lt, "<=": op_module.le, ">": op_module.gt,
+                    ">=": op_module.ge, "==": op_module.eq,
+                    "!=": op_module.ne}
+        return concrete[op_name](left, right)
+
+    def _boolop(self, node: ast.BoolOp, env: dict[str, Any]) -> Any:
+        is_and = isinstance(node.op, ast.And)
+        result: Any = is_and
+        for value_node in node.values:
+            value = self.eval(value_node, env)
+            truth = self.recorder.truth(value)
+            if is_and and not truth:
+                return False
+            if not is_and and truth:
+                return True
+            result = truth
+        return result
+
+    def _call(self, node: ast.Call, env: dict[str, Any]) -> Any:
+        if node.keywords:
+            raise SymbolicExecutionError(
+                "keyword arguments are not supported under analysis")
+        args = [self.eval(argument, env) for argument in node.args]
+        # Resource calls: res.<resource>.<method>(...)
+        if isinstance(node.func, ast.Attribute):
+            owner = self.eval(node.func.value, env)
+            if isinstance(owner, _ResourceProxy):
+                return getattr(owner, node.func.attr)(*args)
+            raise SymbolicExecutionError(
+                f"method call on non-resource object at line {node.lineno}")
+        if not isinstance(node.func, ast.Name):
+            raise SymbolicExecutionError("only simple calls are supported")
+        name = node.func.id
+        if name in ("min", "max"):
+            return self._minmax(name, args)
+        if name == "abs":
+            (value,) = args
+            if isinstance(value, Expr):
+                if self.recorder.truth(Compare(">=", value, Const(0))):
+                    return value
+                return UnaryOp("-", value)
+            return abs(value)
+        if name in ("int", "float", "len", "round") and not any(
+                isinstance(a, Expr) for a in args):
+            return {"int": int, "float": float, "len": len,
+                    "round": round}[name](*args)
+        if name in self.helpers:
+            return self._inline(self.helpers[name], args)
+        if name in env:
+            return self._inline(env[name], args)
+        raise SymbolicExecutionError(f"call to unsupported function {name!r}")
+
+    def _minmax(self, which: str, args: list[Any]) -> Any:
+        if len(args) == 1:
+            args = list(args[0])
+        if not any(isinstance(a, Expr) for a in args):
+            return (min if which == "min" else max)(args)
+        result = args[0]
+        for candidate in args[1:]:
+            comparison = Compare("<=" if which == "min" else ">=",
+                                 as_expr(result), as_expr(candidate))
+            result = result if self.recorder.truth(comparison) else candidate
+        return result
+
+    def _inline(self, fn: Callable, args: list[Any]) -> Any:
+        """Inline a helper function (it must follow the same subset)."""
+        tree = _function_ast(fn)
+        params = [argument.arg for argument in tree.args.args]
+        if len(params) != len(args):
+            raise SymbolicExecutionError(
+                f"helper {tree.name!r} called with {len(args)} args, "
+                f"expected {len(params)}")
+        local_env = dict(zip(params, args))
+        try:
+            self.exec_block(tree.body, local_env)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+
+def symbolic_execute(fn: Callable, resources: Sequence[ResourceModel],
+                     helpers: Mapping[str, Callable] | None = None,
+                     max_paths: int = MAX_PATHS,
+                     state_models: Mapping[str, "DeviceStateModel"] | None = None,
+                     initial_states: Mapping[str, str] | None = None
+                     ) -> list[PathSummary]:
+    """Enumerate all paths of ``fn`` symbolically.
+
+    ``fn``'s first parameter is the resource namespace; the rest become
+    symbolic input variables named after the parameters.  ``state_models``
+    adds side-effect tracking (see :mod:`repro.analysis.sideeffects`):
+    stateful resource calls pay state-dependent extra energy and mutate
+    device state, and each path records its ``final_states``.
+    """
+    tree = _function_ast(fn)
+    params = [argument.arg for argument in tree.args.args]
+    if not params:
+        raise SymbolicExecutionError(
+            "the analysed function needs a resource-namespace parameter")
+    input_names = params[1:]
+    summaries: list[PathSummary] = []
+    pending: list[list[bool]] = [[]]
+    while pending:
+        forced = pending.pop()
+        recorder = _Recorder(forced, state_models, initial_states)
+        proxies = {model.name: _ResourceProxy(model, recorder)
+                   for model in resources}
+        env: dict[str, Any] = {params[0]: _Namespace(proxies)}
+        for name in input_names:
+            env[name] = Var(name)
+        interpreter = _Interpreter(recorder, helpers or {})
+        returns: Any = None
+        try:
+            interpreter.exec_block(tree.body, env)
+        except _ReturnSignal as signal:
+            returns = signal.value
+        summaries.append(PathSummary(
+            condition=list(recorder.condition),
+            energy_terms=list(recorder.energy),
+            returns=returns,
+            ecvs=dict(recorder.ecvs),
+            final_states=dict(recorder.device_states),
+        ))
+        pending.extend(recorder.pending)
+        if len(summaries) + len(pending) > max_paths:
+            raise SymbolicExecutionError(
+                f"path explosion: more than {max_paths} paths")
+    return summaries

@@ -1,0 +1,112 @@
+"""Testing and verification with energy interfaces (§4.2).
+
+Two mechanisms close the loop between interfaces and implementations:
+
+* **Divergence testing** — run the real implementation on the simulated
+  hardware with a measurement channel (RAPL/NVML), compare against the
+  interface's prediction, and flag divergences as *energy bugs*: "running
+  the layer with well chosen inputs, measuring the consumed energy, and
+  comparing it to the interface's prediction; divergences would then be
+  flagged as energy bugs."
+* **Worst-case verification** — check every path of an (extracted or
+  handwritten) interface against an upper-bound contract, via
+  :mod:`repro.core.contracts`.
+
+Benchmark A4 injects real bugs (cache disabled, radio left on, DVFS
+stuck) and shows divergence testing catching them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.ecv import ECVEnvironment
+from repro.core.errors import EnergyError
+from repro.core.interface import evaluate
+from repro.core.units import Energy, as_joules
+from repro.measurement.meter import EnergyMeter
+
+__all__ = ["EnergyBug", "DivergenceReport", "divergence_test"]
+
+
+@dataclass(frozen=True)
+class EnergyBug:
+    """One flagged divergence between prediction and measurement."""
+
+    inputs: tuple
+    predicted: Energy
+    measured: Energy
+    relative_error: float
+
+    def __str__(self) -> str:
+        direction = ("implementation uses MORE energy than its interface "
+                     "promises" if self.measured > self.predicted else
+                     "implementation uses LESS energy than its interface "
+                     "claims (stale interface?)")
+        return (f"inputs={self.inputs!r}: predicted {self.predicted}, "
+                f"measured {self.measured} "
+                f"({100 * self.relative_error:.1f}% off) — {direction}")
+
+
+@dataclass
+class DivergenceReport:
+    """Result of a divergence-testing campaign."""
+
+    checked: int = 0
+    threshold: float = 0.1
+    bugs: list[EnergyBug] = field(default_factory=list)
+    worst_error: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no input diverged beyond the threshold."""
+        return not self.bugs
+
+    def __str__(self) -> str:
+        status = ("no energy bugs" if self.ok
+                  else f"{len(self.bugs)} energy bug(s)")
+        return (f"divergence test: {self.checked} inputs, threshold "
+                f"{self.threshold:.0%}, worst error "
+                f"{self.worst_error:.1%} — {status}")
+
+
+def divergence_test(predict: Callable[..., Any],
+                    run: Callable[..., None],
+                    meter: EnergyMeter,
+                    inputs: Iterable,
+                    threshold: float = 0.10,
+                    env: ECVEnvironment | Mapping[str, Any] | None = None
+                    ) -> DivergenceReport:
+    """Compare interface predictions against metered executions.
+
+    ``predict(*args)`` is an energy-interface method (evaluated in
+    expected mode under ``env``); ``run(*args)`` executes the real
+    implementation on the simulated machine; ``meter`` measures it.
+    Inputs whose relative divergence exceeds ``threshold`` are flagged.
+    """
+    if threshold <= 0:
+        raise EnergyError(f"divergence threshold must be positive, got "
+                          f"{threshold}")
+    report = DivergenceReport(threshold=threshold)
+    for args in inputs:
+        if not isinstance(args, tuple):
+            args = (args,)
+        predicted_joules = as_joules(
+            evaluate(lambda a=args: predict(*a), mode="expected", env=env))
+        measurement = meter.run(lambda a=args: run(*a))
+        measured_joules = measurement.joules
+        report.checked += 1
+        if measured_joules <= 0:
+            relative = float("inf") if predicted_joules > 0 else 0.0
+        else:
+            relative = abs(predicted_joules - measured_joules) / measured_joules
+        report.worst_error = max(report.worst_error, relative)
+        if relative > threshold:
+            report.bugs.append(EnergyBug(
+                inputs=args,
+                predicted=Energy(predicted_joules),
+                measured=Energy(measured_joules),
+                relative_error=relative,
+            ))
+    return report

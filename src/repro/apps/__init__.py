@@ -1,0 +1,58 @@
+"""Application models: the paper's motivating workloads, runnable."""
+
+from repro.apps.consensus import (
+    PoSEnergyInterface,
+    PoSNetworkSpec,
+    PoWEnergyInterface,
+    PoWNetworkSpec,
+    merge_savings,
+)
+from repro.apps.crypto import (
+    ConstantTimeInterface,
+    ConstantTimeVerifier,
+    EarlyExitInterface,
+    EarlyExitVerifier,
+)
+from repro.apps.drone import (
+    DroneSpec,
+    FeasibilityReport,
+    MissionEnergyInterface,
+    MissionLeg,
+    MissionPlanner,
+)
+from repro.apps.kvstore import KVStore, KVStoreEnergyInterface, \
+    StorageManager
+from repro.apps.fuzzing import (
+    CapacityPlanner,
+    FuzzingCampaignModel,
+    FuzzingEnergyInterface,
+    PlanningAnswer,
+)
+from repro.apps.mlservice import (
+    REQUEST_BYTES,
+    RESPONSE_BYTES,
+    CacheLookupInterface,
+    CNNForwardInterface,
+    CNNModel,
+    MLServiceInterface,
+    MLWebService,
+    build_service_machine,
+    build_service_stack,
+)
+from repro.apps.transcode import bimodal_transcoder, noisy_task, steady_task
+
+__all__ = [
+    "CNNModel", "MLWebService", "CacheLookupInterface", "CNNForwardInterface",
+    "MLServiceInterface", "build_service_machine", "build_service_stack",
+    "RESPONSE_BYTES", "REQUEST_BYTES",
+    "bimodal_transcoder", "steady_task", "noisy_task",
+    "FuzzingCampaignModel", "FuzzingEnergyInterface", "CapacityPlanner",
+    "PlanningAnswer",
+    "PoWNetworkSpec", "PoSNetworkSpec", "PoWEnergyInterface",
+    "PoSEnergyInterface", "merge_savings",
+    "ConstantTimeVerifier", "EarlyExitVerifier",
+    "ConstantTimeInterface", "EarlyExitInterface",
+    "DroneSpec", "MissionLeg", "MissionEnergyInterface", "MissionPlanner",
+    "FeasibilityReport",
+    "KVStore", "KVStoreEnergyInterface", "StorageManager",
+]

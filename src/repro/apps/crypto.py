@@ -1,0 +1,109 @@
+"""Constant-energy crypto modules (§4.1's side-channel requirement).
+
+"There might be situations in which additional constraints would need to
+be expressed, such as constant-energy execution for crypto code, to
+explicitly disallow energy side-channels — a mere upper bound is not
+sufficient for this."
+
+Two MAC-verification implementations over the simulated CPU illustrate
+the point:
+
+* :class:`ConstantTimeVerifier` — compares every byte regardless of
+  mismatches (the correct construction);
+* :class:`EarlyExitVerifier` — returns at the first mismatching byte
+  (the classic bug): its *energy* now depends on how many prefix bytes
+  of the attacker's guess are correct — a measurable side channel.
+
+Both carry energy interfaces; the early-exit one's interface honestly
+exposes the secret-dependent ECV, which is exactly what lets the
+:class:`~repro.core.contracts.ConstantEnergyContract` reject it at
+design time, before any silicon leaks anything.
+"""
+
+from __future__ import annotations
+
+from repro.core.ecv import UniformIntECV
+from repro.core.errors import WorkloadError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+from repro.hardware.cpu import Core
+
+__all__ = ["ConstantTimeVerifier", "EarlyExitVerifier",
+           "ConstantTimeInterface", "EarlyExitInterface",
+           "WORK_PER_BYTE"]
+
+#: CPU work (capacity-seconds) to compare one byte of MAC.
+WORK_PER_BYTE = 0.002
+
+
+class ConstantTimeVerifier:
+    """Constant-time MAC comparison running on a simulated core."""
+
+    def __init__(self, core: Core, mac_bytes: int = 32) -> None:
+        if mac_bytes <= 0:
+            raise WorkloadError("mac_bytes must be positive")
+        self.core = core
+        self.mac_bytes = mac_bytes
+
+    def verify(self, guess: bytes, secret: bytes) -> bool:
+        """Compare all bytes; accumulate the difference bitwise."""
+        if len(guess) != self.mac_bytes or len(secret) != self.mac_bytes:
+            raise WorkloadError(f"MACs must be {self.mac_bytes} bytes")
+        difference = 0
+        for guess_byte, secret_byte in zip(guess, secret):
+            difference |= guess_byte ^ secret_byte
+            self.core.run(WORK_PER_BYTE, tag="ct-compare")
+        return difference == 0
+
+
+class EarlyExitVerifier:
+    """The buggy version: bails at the first mismatch."""
+
+    def __init__(self, core: Core, mac_bytes: int = 32) -> None:
+        if mac_bytes <= 0:
+            raise WorkloadError("mac_bytes must be positive")
+        self.core = core
+        self.mac_bytes = mac_bytes
+
+    def verify(self, guess: bytes, secret: bytes) -> bool:
+        if len(guess) != self.mac_bytes or len(secret) != self.mac_bytes:
+            raise WorkloadError(f"MACs must be {self.mac_bytes} bytes")
+        for guess_byte, secret_byte in zip(guess, secret):
+            self.core.run(WORK_PER_BYTE, tag="ee-compare")
+            if guess_byte != secret_byte:
+                return False
+        return True
+
+
+class ConstantTimeInterface(EnergyInterface):
+    """Interface of the constant-time verifier: input-independent."""
+
+    def __init__(self, joules_per_byte: float, mac_bytes: int = 32) -> None:
+        super().__init__("ct_verifier")
+        self.joules_per_byte = joules_per_byte
+        self.mac_bytes = mac_bytes
+
+    def E_verify(self) -> Energy:
+        return Energy(self.joules_per_byte * self.mac_bytes)
+
+
+class EarlyExitInterface(EnergyInterface):
+    """Interface of the early-exit verifier.
+
+    The number of compared bytes is state the *input abstraction* cannot
+    contain — it depends on the secret — so it surfaces as an ECV.  Its
+    mere presence in the interface is the design-time red flag; the
+    constant-energy contract turns the flag into a hard failure.
+    """
+
+    def __init__(self, joules_per_byte: float, mac_bytes: int = 32) -> None:
+        super().__init__("ee_verifier")
+        self.joules_per_byte = joules_per_byte
+        self.mac_bytes = mac_bytes
+        self.declare_ecv(UniformIntECV(
+            "matching_prefix", 0, mac_bytes - 1,
+            description="bytes of the guess matching the SECRET"))
+
+    def E_verify(self) -> Energy:
+        compared = min(self.ecv("matching_prefix") + 1, self.mac_bytes)
+        return Energy(self.joules_per_byte * compared)

@@ -1,0 +1,200 @@
+"""Mission planning for a battery-powered drone (§1's battery devices).
+
+For battery devices, energy clarity decides *feasibility*: the mission
+either fits the charge or the aircraft lands in a field.  This module
+pairs the battery model with a mission energy interface:
+
+* :class:`DroneSpec` — airframe power model: hover power from weight,
+  cruise power versus speed (induced + parasitic drag, so there is a
+  real minimum-energy-per-meter speed), payload sensitivity, and a
+  headwind ECV (weather is state the route cannot carry);
+* :class:`MissionEnergyInterface` — ``E_mission(legs)``: energy of a
+  multi-leg route (cruise legs + hover work at waypoints), evaluated in
+  expectation or worst case over the wind;
+* :class:`MissionPlanner` — feasibility checks against the battery's
+  usable charge, best cruise speed selection, and maximum-range queries
+  — all before takeoff, which is the whole point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.ecv import ContinuousECV
+from repro.core.errors import WorkloadError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+from repro.hardware.battery import Battery
+
+__all__ = ["DroneSpec", "MissionLeg", "MissionEnergyInterface",
+           "MissionPlanner", "FeasibilityReport"]
+
+GRAVITY = 9.81
+
+
+@dataclass(frozen=True)
+class DroneSpec:
+    """Airframe power model parameters."""
+
+    name: str = "quadrotor"
+    empty_mass_kg: float = 1.4
+    hover_power_per_kg: float = 170.0   # W per kg of all-up mass
+    parasitic_drag_w_per_mps3: float = 0.035  # P_drag = c * v^3
+    avionics_power_w: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.empty_mass_kg <= 0 or self.hover_power_per_kg <= 0:
+            raise WorkloadError(f"drone {self.name!r} needs positive mass "
+                                f"and hover power")
+        if self.parasitic_drag_w_per_mps3 < 0 or self.avionics_power_w < 0:
+            raise WorkloadError("drag and avionics power must be >= 0")
+
+    def hover_power(self, payload_kg: float) -> float:
+        """Watts to hover with a payload."""
+        if payload_kg < 0:
+            raise WorkloadError("payload must be >= 0")
+        mass = self.empty_mass_kg + payload_kg
+        return mass * self.hover_power_per_kg + self.avionics_power_w
+
+    def cruise_power(self, airspeed_mps: float, payload_kg: float) -> float:
+        """Watts at a given airspeed.
+
+        Induced power falls with speed (translational lift), parasitic
+        drag rises with its cube — hence an interior optimum speed.
+        """
+        if airspeed_mps < 0:
+            raise WorkloadError("airspeed must be >= 0")
+        hover = self.hover_power(payload_kg)
+        induced = hover / (1.0 + 0.12 * airspeed_mps)
+        parasitic = self.parasitic_drag_w_per_mps3 * airspeed_mps ** 3
+        return induced + parasitic + self.avionics_power_w
+
+
+@dataclass(frozen=True)
+class MissionLeg:
+    """One leg: fly ``distance_m`` then hover ``hover_seconds``."""
+
+    distance_m: float
+    hover_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distance_m < 0 or self.hover_seconds < 0:
+            raise WorkloadError("legs need non-negative distance and hover")
+
+
+class MissionEnergyInterface(EnergyInterface):
+    """Energy of a mission, as a function of its abstraction.
+
+    The input is the route abstraction (distances, hover durations,
+    payload, chosen cruise speed); the headwind is an ECV bound by
+    whoever has the forecast.  Positive headwind raises the airspeed
+    needed for a given ground speed.
+    """
+
+    def __init__(self, drone: DroneSpec,
+                 max_headwind_mps: float = 8.0) -> None:
+        super().__init__(f"E_{drone.name}_mission")
+        self.drone = drone
+        self.declare_ecv(ContinuousECV(
+            "headwind_mps", -max_headwind_mps, max_headwind_mps,
+            description="average headwind along the route (forecast)"))
+
+    def E_leg(self, distance_m: float, hover_seconds: float,
+              payload_kg: float, ground_speed_mps: float) -> Energy:
+        """Energy of one leg under the current wind ECV."""
+        if ground_speed_mps <= 0:
+            raise WorkloadError("ground speed must be positive")
+        headwind = self.ecv("headwind_mps")
+        airspeed = max(ground_speed_mps + headwind, 0.0)
+        cruise_w = self.drone.cruise_power(airspeed, payload_kg)
+        cruise_seconds = distance_m / ground_speed_mps
+        hover_w = self.drone.hover_power(payload_kg)
+        return Energy(cruise_w * cruise_seconds
+                      + hover_w * hover_seconds)
+
+    def E_mission(self, legs: Sequence[MissionLeg], payload_kg: float,
+                  ground_speed_mps: float) -> Energy:
+        """Energy of the whole route."""
+        total = Energy(0.0)
+        for leg in legs:
+            total = total + self.E_leg(leg.distance_m, leg.hover_seconds,
+                                       payload_kg, ground_speed_mps)
+        return total
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """The planner's verdict on one mission."""
+
+    feasible_expected: bool
+    feasible_worst_case: bool
+    expected: Energy
+    worst_case: Energy
+    usable: Energy
+
+    @property
+    def margin(self) -> float:
+        """Usable charge remaining after the worst case, as a fraction."""
+        if self.usable.as_joules == 0:
+            return -1.0
+        return 1.0 - self.worst_case.as_joules / self.usable.as_joules
+
+    def __str__(self) -> str:
+        verdict = ("GO" if self.feasible_worst_case
+                   else "GO (fair weather only)" if self.feasible_expected
+                   else "NO-GO")
+        return (f"{verdict}: expected {self.expected}, worst "
+                f"{self.worst_case}, usable {self.usable} "
+                f"(margin {self.margin:.0%})")
+
+
+class MissionPlanner:
+    """Feasibility and optimisation queries over mission interfaces."""
+
+    def __init__(self, interface: MissionEnergyInterface,
+                 battery: Battery) -> None:
+        self.interface = interface
+        self.battery = battery
+
+    def check(self, legs: Sequence[MissionLeg], payload_kg: float,
+              ground_speed_mps: float) -> FeasibilityReport:
+        """Can the mission complete? Expected and worst-case answers."""
+        expected = self.interface.expected(
+            "E_mission", list(legs), payload_kg, ground_speed_mps)
+        worst = self.interface.worst_case(
+            "E_mission", list(legs), payload_kg, ground_speed_mps)
+        usable = self.battery.usable()
+        return FeasibilityReport(
+            feasible_expected=expected.as_joules <= usable.as_joules,
+            feasible_worst_case=worst.as_joules <= usable.as_joules,
+            expected=expected,
+            worst_case=worst,
+            usable=usable,
+        )
+
+    def best_speed(self, payload_kg: float,
+                   candidates: Sequence[float] = tuple(range(4, 26, 2)),
+                   headwind_mps: float = 0.0) -> float:
+        """The minimum-energy-per-meter cruise speed for this payload."""
+        best = None
+        for speed in candidates:
+            energy = self.interface.evaluate(
+                "E_leg", 1000.0, 0.0, payload_kg, float(speed),
+                env={"headwind_mps": headwind_mps}).as_joules
+            if best is None or energy < best[0]:
+                best = (energy, float(speed))
+        if best is None:
+            raise WorkloadError("no candidate speeds supplied")
+        return best[1]
+
+    def max_range_m(self, payload_kg: float, ground_speed_mps: float,
+                    worst_case: bool = True) -> float:
+        """How far can we fly on the usable charge (one-way)?"""
+        mode = "worst" if worst_case else "expected"
+        per_km = self.interface.evaluate(
+            "E_leg", 1000.0, 0.0, payload_kg, ground_speed_mps,
+            mode=mode).as_joules
+        if per_km <= 0:
+            return float("inf")
+        return self.battery.usable().as_joules / per_km * 1000.0

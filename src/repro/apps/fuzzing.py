@@ -1,0 +1,207 @@
+"""ClusterFuzz-style capacity planning from energy interfaces (§1).
+
+The paper's motivating questions for an infrastructure engineer running a
+fuzzing cluster:
+
+1. *What is the optimal number of machines to deploy to minimize energy
+   consumption while achieving 95 % testing coverage?*
+2. *How much additional energy is required to increase coverage from 90 %
+   to 95 % using the same number of machines?*
+
+Answering them today means deploy-measure-revise loops; with energy
+interfaces they fall out of evaluating a program.  This module provides:
+
+* :class:`FuzzingCampaignModel` — the campaign's behaviour: coverage
+  saturates as ``C(executions) = c_max * (1 - (1 + x/s)^-beta)`` (a
+  heavy-tailed saturation law: each new unit of coverage needs
+  geometrically more executions, as fuzzing practice shows), with
+  machines contributing executions at a fixed rate but suffering a
+  coordination overhead (deduplication, corpus sync) that grows with the
+  fleet;
+* :class:`FuzzingEnergyInterface` — the campaign's energy interface:
+  energy to reach a target coverage with ``n`` machines, derived from the
+  machine-level interfaces (node power at fuzzing load);
+* :class:`CapacityPlanner` — answers the two questions *before deploying
+  anything*, exactly the §1 pitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import WorkloadError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+
+__all__ = ["FuzzingCampaignModel", "FuzzingEnergyInterface",
+           "CapacityPlanner", "PlanningAnswer"]
+
+
+@dataclass(frozen=True)
+class FuzzingCampaignModel:
+    """How coverage accrues for a given fuzzing campaign."""
+
+    max_coverage: float = 1.0            # asymptotic coverage fraction
+    saturation_executions: float = 1e9   # the "s" scale parameter
+    beta: float = 0.55                   # tail exponent (<1 = heavy tail)
+    executions_per_machine_second: float = 40_000.0
+    coordination_overhead: float = 0.012  # per-extra-machine coordination cost
+
+    def __post_init__(self) -> None:
+        if not 0 < self.max_coverage <= 1:
+            raise WorkloadError("max_coverage must be in (0, 1]")
+        if self.saturation_executions <= 0 or self.beta <= 0:
+            raise WorkloadError("saturation parameters must be positive")
+        if not 0 <= self.coordination_overhead < 1:
+            raise WorkloadError("coordination_overhead must be in [0, 1)")
+
+    # -- the coverage law --------------------------------------------------
+    def coverage(self, executions: float) -> float:
+        """Coverage fraction after ``executions`` total fuzz executions."""
+        if executions < 0:
+            raise WorkloadError("executions must be >= 0")
+        ratio = 1.0 + executions / self.saturation_executions
+        return self.max_coverage * (1.0 - ratio ** (-self.beta))
+
+    def executions_for(self, coverage: float) -> float:
+        """Executions needed to reach ``coverage`` (inverse of the law)."""
+        if not 0 <= coverage < self.max_coverage:
+            raise WorkloadError(
+                f"coverage {coverage} is unreachable (max "
+                f"{self.max_coverage})")
+        remaining = 1.0 - coverage / self.max_coverage
+        ratio = remaining ** (-1.0 / self.beta)
+        return (ratio - 1.0) * self.saturation_executions
+
+    # -- fleet behaviour ------------------------------------------------------
+    def fleet_rate(self, n_machines: int) -> float:
+        """Aggregate executions/second of ``n_machines`` (with overhead).
+
+        Efficiency decays hyperbolically with fleet size — deduplication,
+        corpus synchronisation and scheduling contention grow with the
+        fleet, so doubling machines never doubles throughput.
+        """
+        if n_machines <= 0:
+            raise WorkloadError("n_machines must be positive")
+        efficiency = 1.0 / (1.0 + self.coordination_overhead
+                            * (n_machines - 1))
+        return n_machines * self.executions_per_machine_second * efficiency
+
+    def time_to_coverage(self, coverage: float, n_machines: int) -> float:
+        """Campaign seconds to reach ``coverage`` with ``n_machines``."""
+        return self.executions_for(coverage) / self.fleet_rate(n_machines)
+
+
+class FuzzingEnergyInterface(EnergyInterface):
+    """The campaign's energy interface.
+
+    ``machine_fuzzing_power_w`` comes from the node's energy interface
+    evaluated at the fuzzing load (all cores saturated);
+    ``machine_idle_power_w`` covers machines past the campaign-useful
+    point.  Both are *inputs from the layer below*, not measurements of a
+    deployed fleet.
+    """
+
+    def __init__(self, campaign: FuzzingCampaignModel,
+                 machine_fuzzing_power_w: float = 210.0,
+                 infra_power_w: float = 2500.0) -> None:
+        super().__init__("fuzzing_campaign")
+        if machine_fuzzing_power_w <= 0:
+            raise WorkloadError("machine power must be positive")
+        if infra_power_w < 0:
+            raise WorkloadError("infrastructure power must be >= 0")
+        self.campaign = campaign
+        self.machine_fuzzing_power_w = machine_fuzzing_power_w
+        self.infra_power_w = infra_power_w
+
+    def E_campaign(self, coverage: float, n_machines: int) -> Energy:
+        """Energy to reach ``coverage`` with ``n_machines`` machines.
+
+        Shared infrastructure (dedup servers, corpus storage, dashboards)
+        draws power for the whole campaign regardless of fleet size — the
+        term that makes small fleets *not* automatically energy-optimal:
+        a longer campaign keeps the infrastructure burning.
+        """
+        duration = self.campaign.time_to_coverage(coverage, n_machines)
+        fleet_power = n_machines * self.machine_fuzzing_power_w
+        return Energy((fleet_power + self.infra_power_w) * duration)
+
+    def E_marginal(self, coverage_from: float, coverage_to: float,
+                   n_machines: int) -> Energy:
+        """Extra energy to push coverage from one level to another (Q2)."""
+        if coverage_to < coverage_from:
+            raise WorkloadError("coverage_to must be >= coverage_from")
+        return (self.E_campaign(coverage_to, n_machines)
+                - self.E_campaign(coverage_from, n_machines))
+
+
+@dataclass(frozen=True)
+class PlanningAnswer:
+    """The planner's answer to §1's question 1."""
+
+    target_coverage: float
+    optimal_machines: int
+    energy: Energy
+    campaign_seconds: float
+    energy_by_fleet_size: dict[int, float]
+
+
+class CapacityPlanner:
+    """Answers the §1 questions by evaluating interfaces, not deploying."""
+
+    def __init__(self, interface: FuzzingEnergyInterface,
+                 max_machines: int = 200,
+                 deadline_seconds: float | None = None) -> None:
+        if max_machines <= 0:
+            raise WorkloadError("max_machines must be positive")
+        self.interface = interface
+        self.max_machines = max_machines
+        self.deadline_seconds = deadline_seconds
+
+    def optimal_fleet(self, coverage: float) -> PlanningAnswer:
+        """Question 1: the energy-minimal fleet size for a coverage target.
+
+        With coordination overhead, more machines waste executions; with a
+        deadline, too few machines are infeasible.  The planner sweeps the
+        interface over fleet sizes — a few thousand evaluations of a
+        little program instead of a few thousand deployments.
+        """
+        energies: dict[int, float] = {}
+        best: tuple[float, int] | None = None
+        for n_machines in range(1, self.max_machines + 1):
+            duration = self.interface.campaign.time_to_coverage(coverage,
+                                                                n_machines)
+            if (self.deadline_seconds is not None
+                    and duration > self.deadline_seconds):
+                continue
+            joules = self.interface.E_campaign(coverage,
+                                               n_machines).as_joules
+            energies[n_machines] = joules
+            if best is None or joules < best[0]:
+                best = (joules, n_machines)
+        if best is None:
+            raise WorkloadError(
+                f"no fleet size up to {self.max_machines} meets the deadline")
+        optimal = best[1]
+        return PlanningAnswer(
+            target_coverage=coverage,
+            optimal_machines=optimal,
+            energy=Energy(best[0]),
+            campaign_seconds=self.interface.campaign.time_to_coverage(
+                coverage, optimal),
+            energy_by_fleet_size=energies,
+        )
+
+    def marginal_coverage_energy(self, coverage_from: float,
+                                 coverage_to: float,
+                                 n_machines: int) -> Energy:
+        """Question 2: energy to go from one coverage to another."""
+        return self.interface.E_marginal(coverage_from, coverage_to,
+                                         n_machines)
+
+    def coverage_cost_curve(self, n_machines: int,
+                            coverages: list[float]) -> dict[float, float]:
+        """Joules to reach each coverage level (for reporting)."""
+        return {coverage: self.interface.E_campaign(coverage,
+                                                    n_machines).as_joules
+                for coverage in coverages}

@@ -1,0 +1,427 @@
+"""Fig. 1's ML-model web service, end to end.
+
+A CNN inference service with a two-level request cache, exactly the
+paper's example: a request either hits the request cache (locally — cheap
+DRAM read — or on a peer node — NIC round-trip) or pays for a CNN forward
+pass whose cost depends on the image's *non-zero* pixels (the
+zero-skipping accelerator the paper cites as an energy-relevant model
+property).
+
+Three artefacts live here:
+
+* :class:`MLWebService` — the implementation, running on simulated
+  hardware (GPU + DRAM + NIC + CPU) with an
+  :class:`~repro.managers.cachemgr.LRUCacheManager` as the cache's
+  resource manager;
+* :class:`CacheLookupInterface` / :class:`CNNForwardInterface` /
+  :class:`MLServiceInterface` — the energy interfaces, shaped exactly
+  like Fig. 1 (same ECVs, same structure);
+* :func:`build_service_stack` — the Fig. 2 system stack wiring the
+  interfaces through their resource managers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.composition import BoundInterface
+from repro.core.ecv import BernoulliECV
+from repro.core.interface import EnergyInterface
+from repro.core.stack import Layer, Resource, ResourceManager, SystemStack
+from repro.core.units import Energy
+from repro.hardware.cpu import Core, Package
+from repro.hardware.gpu import GPU, GPUSpec, KernelProfile
+from repro.hardware.machine import Machine
+from repro.hardware.memory import DRAM, DRAMSpec
+from repro.hardware.nic import NIC, NICSpec
+from repro.hardware.profiles import BIG_CORE, SIM4090
+from repro.managers.cachemgr import LRUCacheManager
+from repro.measurement.calibration import CalibratedModel
+from repro.workloads.traces import ImageRequest
+
+__all__ = [
+    "CNNModel",
+    "MLWebService",
+    "CacheLookupInterface",
+    "CNNForwardInterface",
+    "MLServiceInterface",
+    "build_service_machine",
+    "build_service_stack",
+    "RESPONSE_BYTES",
+    "REQUEST_BYTES",
+]
+
+#: Fig. 1's max_response_len, in bytes.
+RESPONSE_BYTES = 1024
+REQUEST_BYTES = 256
+
+#: CPU work (capacity-seconds) for request parsing/serialisation.
+CPU_WORK_PER_REQUEST = 0.08
+
+
+@dataclass(frozen=True)
+class CNNModel:
+    """Shape of the object-detection CNN (Fig. 1's E_cnn_forward).
+
+    8 convolution stages, 8 ReLUs and 16 MLP blocks over an embedding of
+    256, matching the figure.  Convolution cost scales with *non-zero*
+    pixels.
+    """
+
+    n_conv: int = 8
+    n_relu: int = 8
+    n_mlp: int = 16
+    n_embedding: int = 256
+    conv_channels: int = 32
+    conv_kernel: int = 9  # 3x3
+
+    def conv_kernel_profile(self, active_pixels: int) -> KernelProfile:
+        """One convolution stage over ``active_pixels`` non-zero pixels."""
+        macs = float(self.conv_kernel * self.conv_channels
+                     * max(active_pixels, 0))
+        bytes_moved = max(active_pixels, 0) * 2.0 * self.conv_channels
+        return KernelProfile(
+            name="conv2d",
+            instructions=macs / 32 * 1.3,
+            l1_wavefronts=bytes_moved / 128,
+            l2_sectors=bytes_moved / 32,
+            vram_sectors=bytes_moved / 32 * 0.5,
+            row_miss_fraction=0.05,
+        )
+
+    def relu_kernel_profile(self) -> KernelProfile:
+        """One ReLU over the embedding."""
+        bytes_moved = self.n_embedding * 2.0
+        return KernelProfile(
+            name="relu",
+            instructions=self.n_embedding / 32 * 2,
+            l1_wavefronts=bytes_moved / 128 * 2,
+            l2_sectors=bytes_moved / 32,
+            vram_sectors=0.0,
+            row_miss_fraction=0.0,
+        )
+
+    def mlp_kernel_profile(self) -> KernelProfile:
+        """One MLP block over the embedding."""
+        macs = float(self.n_embedding * self.n_embedding)
+        weight_bytes = macs * 2.0
+        return KernelProfile(
+            name="mlp",
+            instructions=macs / 32 * 1.3,
+            l1_wavefronts=weight_bytes / 128,
+            l2_sectors=weight_bytes / 32,
+            vram_sectors=weight_bytes / 32,
+            row_miss_fraction=0.045,
+        )
+
+    def forward_kernels(self, image_pixels: int,
+                        zero_pixels: int) -> list[KernelProfile]:
+        """The full forward pass for one image."""
+        active = max(image_pixels - zero_pixels, 0)
+        kernels = [self.conv_kernel_profile(active)
+                   for _ in range(self.n_conv)]
+        kernels.extend(self.relu_kernel_profile() for _ in range(self.n_relu))
+        kernels.extend(self.mlp_kernel_profile() for _ in range(self.n_mlp))
+        return kernels
+
+
+def build_service_machine(gpu_spec: GPUSpec = SIM4090,
+                          n_cores: int = 4) -> Machine:
+    """The service node: CPU package, DRAM, NIC and a GPU."""
+    machine = Machine("mlservice-node")
+    package = machine.add(Package("pkg0", static_active_w=12.0,
+                                  static_idle_w=3.0))
+    for index in range(n_cores):
+        machine.add(Core(f"cpu{index}", BIG_CORE, package))
+    machine.add(DRAM("dram0", DRAMSpec(p_refresh_w=2.0)))
+    machine.add(NIC("nic0", NICSpec(name="dc-nic", e_per_byte_tx=2e-9,
+                                    e_per_byte_rx=1.5e-9, e_wake=0.0,
+                                    wake_latency=0.0, p_idle_w=3.0,
+                                    p_off_w=0.5, bandwidth_bytes=1.25e9)))
+    machine.add(GPU("gpu0", gpu_spec))
+    return machine
+
+
+class MLWebService:
+    """The running implementation of Fig. 1's service."""
+
+    def __init__(self, machine: Machine, cnn: CNNModel | None = None,
+                 local_cache_entries: int = 200,
+                 cluster_cache_entries: int = 1200) -> None:
+        self.machine = machine
+        self.cnn = cnn if cnn is not None else CNNModel()
+        self.local_cache = LRUCacheManager("redis-local",
+                                           capacity=local_cache_entries,
+                                           ecv_name="local_cache_hit")
+        self.cluster_cache = LRUCacheManager("redis-cluster",
+                                             capacity=cluster_cache_entries,
+                                             ecv_name="request_hit")
+        self._gpu: GPU = machine.component("gpu0")
+        self._dram: DRAM = machine.component("dram0")
+        self._nic: NIC = machine.component("nic0")
+        self._cpu: Core = machine.component("cpu0")
+        self.requests_served = 0
+        self._local_hits_given_request_hit = 0
+
+    # -- request path ----------------------------------------------------------
+    def handle(self, request: ImageRequest) -> str:
+        """Serve one request on the simulated hardware.
+
+        Returns which path served it: ``"local"``, ``"remote"`` or
+        ``"infer"`` (useful for tests and divergence analysis).
+        """
+        self.requests_served += 1
+        self._cpu.run(CPU_WORK_PER_REQUEST, tag="request-handling")
+        # NOTE: look up the cluster cache first so its hit statistic means
+        # "the response existed somewhere" (Fig. 1's request_hit), then the
+        # local cache for placement.
+        in_cluster = self.cluster_cache.lookup(request.object_id)
+        in_local = self.local_cache.lookup(request.object_id)
+        if in_cluster and in_local:
+            self._local_hits_given_request_hit += 1
+            self._dram.access(bytes_read=RESPONSE_BYTES + 256,
+                              tag="cache-local")
+            return "local"
+        if in_cluster:
+            self._nic.send(REQUEST_BYTES)
+            self._nic.receive(RESPONSE_BYTES)
+            self._dram.access(bytes_written=RESPONSE_BYTES,
+                              tag="cache-fill")
+            return "remote"
+        for kernel in self.cnn.forward_kernels(request.image_pixels,
+                                               request.zero_pixels):
+            self._gpu.launch(kernel, tag="cnn-forward")
+        self._dram.access(bytes_written=RESPONSE_BYTES, tag="cache-fill")
+        self._nic.send(RESPONSE_BYTES)  # publish to the cluster cache
+        return "infer"
+
+    # -- manager knowledge ----------------------------------------------------
+    def observed_bindings(self) -> dict:
+        """ECV bindings the service's managers can report from observation.
+
+        ``request_hit`` is the cluster-wide hit rate; ``local_cache_hit``
+        is the probability the hit was *local given it hit at all* — the
+        conditional the Fig. 1 interface branches on.
+        """
+        bindings: dict = {}
+        cluster_hits = self.cluster_cache.hits
+        if self.cluster_cache.observations >= 30:
+            bindings["request_hit"] = BernoulliECV(
+                "request_hit", p=self.cluster_cache.hit_rate,
+                description="observed cluster cache hit rate")
+        if cluster_hits >= 30:
+            bindings["local_cache_hit"] = BernoulliECV(
+                "local_cache_hit",
+                p=self._local_hits_given_request_hit / cluster_hits,
+                description="observed local-hit rate among cache hits")
+        return bindings
+
+
+class CacheLookupInterface(EnergyInterface):
+    """Fig. 1's ``E_cache_lookup``: local hit vs remote fetch.
+
+    Costs are grounded in the hardware interfaces below it: a local hit
+    reads DRAM; a remote hit pays a NIC round-trip.  ``local_cache_hit``
+    is the ECV the cache manager binds from observation.  The ``T_*``
+    methods predict durations, which the service-level interface needs to
+    charge node static power.
+    """
+
+    def __init__(self, dram_spec: DRAMSpec, nic_spec: NICSpec) -> None:
+        super().__init__("redis_cache")
+        self.dram_spec = dram_spec
+        self.nic_spec = nic_spec
+        self.declare_ecv(BernoulliECV(
+            "local_cache_hit", p=0.5,
+            description="cache hit in current node"))
+
+    def E_lookup(self, response_len: int) -> Energy:
+        lines = -(-(response_len + 256) // 64)
+        if self.ecv("local_cache_hit"):
+            return Energy(lines * self.dram_spec.e_read_line)
+        joules = (REQUEST_BYTES * self.nic_spec.e_per_byte_tx
+                  + response_len * self.nic_spec.e_per_byte_rx
+                  + (-(-response_len // 64)) * self.dram_spec.e_write_line)
+        return Energy(joules)
+
+    def E_store(self, response_len: int) -> Energy:
+        """Writing a fresh response into the cache + publishing it."""
+        lines = -(-response_len // 64)
+        return Energy(lines * self.dram_spec.e_write_line
+                      + response_len * self.nic_spec.e_per_byte_tx)
+
+    def T_lookup(self, response_len: int) -> float:
+        """Seconds a lookup occupies the node."""
+        if self.ecv("local_cache_hit"):
+            return (response_len + 256) / self.dram_spec.bandwidth_bytes
+        return ((REQUEST_BYTES + response_len) / self.nic_spec.bandwidth_bytes
+                + response_len / self.dram_spec.bandwidth_bytes)
+
+    def T_store(self, response_len: int) -> float:
+        """Seconds a store + publish occupies the node."""
+        return (response_len / self.dram_spec.bandwidth_bytes
+                + response_len / self.nic_spec.bandwidth_bytes)
+
+
+class CNNForwardInterface(EnergyInterface):
+    """Fig. 1's ``E_cnn_forward``: counts x calibrated unit energies.
+
+    ``E_forward`` is *dynamic-only* — the service-level interface charges
+    the node's static power (GPU included) over the request's predicted
+    duration, so per-kernel static is deliberately excluded here to avoid
+    double counting.
+    """
+
+    def __init__(self, cnn: CNNModel, calibrated: CalibratedModel,
+                 rates: GPUSpec) -> None:
+        super().__init__("cnn_model")
+        self.cnn = cnn
+        self.calibrated = calibrated
+        self.rates = rates
+
+    def _kernel_duration(self, kernel: KernelProfile) -> float:
+        return max(
+            kernel.instructions / self.rates.instr_rate,
+            kernel.l1_wavefronts / self.rates.l1_rate,
+            kernel.l2_sectors / self.rates.l2_rate,
+            kernel.vram_sectors / self.rates.vram_rate,
+        ) + self.rates.kernel_launch_latency
+
+    def _kernel_cost(self, kernel: KernelProfile) -> float:
+        return self.calibrated.predict_joules({
+            "instructions": kernel.instructions,
+            "l1_wavefronts": kernel.l1_wavefronts,
+            "l2_sectors": kernel.l2_sectors,
+            "vram_sectors": kernel.vram_sectors,
+            "kernel_launches": 1.0,
+            "busy_seconds": 0.0,
+        })
+
+    def E_forward(self, image_pixels: int, zero_pixels: int) -> Energy:
+        total = sum(self._kernel_cost(kernel)
+                    for kernel in self.cnn.forward_kernels(image_pixels,
+                                                           zero_pixels))
+        return Energy(total)
+
+    def T_forward(self, image_pixels: int, zero_pixels: int) -> float:
+        """Seconds the forward pass occupies the GPU."""
+        return sum(self._kernel_duration(kernel)
+                   for kernel in self.cnn.forward_kernels(image_pixels,
+                                                          zero_pixels))
+
+
+class MLServiceInterface(EnergyInterface):
+    """Fig. 1's top-level ``E_ml_webservice_handle``.
+
+    Composes the cache and CNN interfaces and charges the node's static
+    power over each request's predicted duration — a request occupies the
+    whole node (GPU idle power, package, DRAM refresh, NIC idle) while it
+    is being served, and that share belongs in its energy.
+    """
+
+    def __init__(self, cache: EnergyInterface, cnn: EnergyInterface,
+                 node_static_power_w: float = 0.0,
+                 cpu_seconds_per_request: float = 0.0,
+                 cpu_joules_per_request: float = 0.0) -> None:
+        super().__init__("ml_webservice")
+        self.cache = cache
+        self.cnn = cnn
+        self.node_static_power_w = node_static_power_w
+        self.cpu_seconds_per_request = cpu_seconds_per_request
+        self.cpu_joules_per_request = cpu_joules_per_request
+        self.declare_ecv(BernoulliECV(
+            "request_hit", p=0.5,
+            description="request found in cache (any node)"))
+
+    def E_handle(self, image_pixels: int, zero_pixels: int) -> Energy:
+        max_response_len = RESPONSE_BYTES
+        overhead = Energy(self.cpu_joules_per_request)
+        if self.ecv("request_hit"):
+            duration = (self.cpu_seconds_per_request
+                        + self.cache.T_lookup(max_response_len))
+            return (overhead
+                    + self.cache.E_lookup(max_response_len)
+                    + Energy(self.node_static_power_w * duration))
+        duration = (self.cpu_seconds_per_request
+                    + self.cnn.T_forward(image_pixels, zero_pixels)
+                    + self.cache.T_store(max_response_len))
+        return (overhead
+                + self.cnn.E_forward(image_pixels, zero_pixels)
+                + self.cache.E_store(max_response_len)
+                + Energy(self.node_static_power_w * duration))
+
+    def E_idle(self, seconds: float) -> Energy:
+        """§3's idle-state input: the node burns static power between
+        requests whether or not traffic arrives."""
+        return Energy(self.node_static_power_w * seconds)
+
+    def T_handle(self, image_pixels: int, zero_pixels: int) -> float:
+        """Predicted wall seconds to serve a request."""
+        max_response_len = RESPONSE_BYTES
+        if self.ecv("request_hit"):
+            return (self.cpu_seconds_per_request
+                    + self.cache.T_lookup(max_response_len))
+        return (self.cpu_seconds_per_request
+                + self.cnn.T_forward(image_pixels, zero_pixels)
+                + self.cache.T_store(max_response_len))
+
+
+def build_service_stack(service: MLWebService,
+                        calibrated: CalibratedModel) -> SystemStack:
+    """Wire the Fig. 2 stack for the service.
+
+    hardware layer (GPU/DRAM/NIC interfaces) → OS layer (systemd exporting
+    the cache interface with manager-observed ECV bindings) → runtime
+    layer (the service interface with both cache ECVs bound).  The node's
+    static power and the CPU cost per request are *derived from the
+    hardware layer's interfaces*, not measured.
+    """
+    machine = service.machine
+    dram_spec = machine.component("dram0").spec
+    nic_spec = machine.component("nic0").spec
+    gpu_spec = machine.component("gpu0").spec
+    package = machine.component("pkg0")
+    cpu = machine.component("cpu0")
+
+    cache_iface = CacheLookupInterface(dram_spec, nic_spec)
+    cnn_iface = CNNForwardInterface(service.cnn, calibrated, gpu_spec)
+
+    # Node static power: calibrated GPU idle + package retention + DRAM
+    # refresh + NIC idle.
+    node_static_w = (calibrated.static_power_w
+                     + package.static_idle_w
+                     + dram_spec.p_refresh_w
+                     + nic_spec.p_idle_w)
+    # CPU handling cost from the core's OPP table (the hardware interface):
+    # request work runs at the current (lowest) OPP.
+    opp = cpu.opp
+    cpu_seconds = CPU_WORK_PER_REQUEST / opp.capacity
+    cpu_joules = ((opp.power_active_w - opp.power_idle_w) * cpu_seconds
+                  + (package.static_active_w - package.static_idle_w)
+                  * cpu_seconds)
+
+    hardware = Layer("hardware")
+    hw_manager = hardware.add_manager(ResourceManager("driver"))
+    hw_manager.register(Resource("cnn_model", cnn_iface,
+                                 description="accelerator driver interface"))
+
+    os_layer = Layer("os")
+    systemd = os_layer.add_manager(service.local_cache)
+    systemd.register(Resource("redis_cache", cache_iface,
+                              functional=service.local_cache,
+                              description="request cache under systemd"))
+
+    runtime = Layer("runtime")
+    python_rt = runtime.add_manager(service.cluster_cache)
+    service_iface = MLServiceInterface(
+        cache=BoundInterface(cache_iface, service.observed_bindings()),
+        cnn=cnn_iface,
+        node_static_power_w=node_static_w,
+        cpu_seconds_per_request=cpu_seconds,
+        cpu_joules_per_request=cpu_joules,
+    )
+    python_rt.register(Resource("ml_webservice", service_iface,
+                                functional=service,
+                                description="Django app + PyTorch model"))
+
+    return SystemStack([hardware, os_layer, runtime])

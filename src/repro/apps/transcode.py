@@ -1,0 +1,93 @@
+"""Task models for the EAS motivating claim (§1).
+
+"Real-time video transcoding can exhibit a bi-modal behavior, with
+compute peaks during active transcoding and troughs when doing I/O."
+:func:`bimodal_transcoder` builds exactly that task: a deterministic
+burst/trough cycle (compute-heavy while encoding a group of pictures,
+near-idle while reading/writing).  Its utilisation interface — the slice
+of its energy interface a scheduler consumes — predicts each quantum's
+phase perfectly, because the phase structure is a property of the
+program, not of history.
+
+:func:`steady_task` is the control: a constant load for which the EAS
+EWMA is already a perfect predictor, so interface scheduling should win
+nothing (benchmark M1 checks both sides of the claim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.managers.base import Task
+from repro.managers.interface_scheduler import UtilizationInterface
+
+__all__ = ["bimodal_transcoder", "steady_task", "noisy_task"]
+
+
+def bimodal_transcoder(name: str, burst_util: float = 820.0,
+                       trough_util: float = 45.0,
+                       burst_quanta: int = 3, trough_quanta: int = 3,
+                       phase_offset: int = 0) -> Task:
+    """A transcoder alternating compute bursts and I/O troughs.
+
+    Utilisations are in EAS capacity units (1024 = the biggest core flat
+    out); the defaults put bursts beyond any LITTLE core and troughs well
+    within one.
+    """
+    if burst_quanta <= 0 or trough_quanta <= 0:
+        raise WorkloadError("phase lengths must be positive")
+    if burst_util < trough_util:
+        raise WorkloadError("burst utilisation must be >= trough utilisation")
+    period = burst_quanta + trough_quanta
+
+    def profile(quantum_index: int) -> float:
+        position = (quantum_index + phase_offset) % period
+        return burst_util if position < burst_quanta else trough_util
+
+    interface = UtilizationInterface(
+        profile,
+        description=f"bimodal: {burst_util:g} for {burst_quanta} quanta, "
+                    f"then {trough_util:g} for {trough_quanta}")
+    return Task(name=name, utilization_profile=profile,
+                energy_interface=interface)
+
+
+def steady_task(name: str, utilization: float = 300.0) -> Task:
+    """A constant-load task (EWMA predicts it perfectly)."""
+    if utilization < 0:
+        raise WorkloadError("utilisation must be >= 0")
+
+    def profile(quantum_index: int) -> float:
+        return utilization
+
+    interface = UtilizationInterface(
+        profile, description=f"steady at {utilization:g}")
+    return Task(name=name, utilization_profile=profile,
+                energy_interface=interface)
+
+
+def noisy_task(name: str, mean_util: float, std_util: float,
+               seed: int = 0) -> Task:
+    """A stochastic load around a mean — hard for everyone.
+
+    The task's interface predicts the mean (that *is* what its energy
+    interface can promise); the EWMA tracks roughly the same thing, so M1
+    expects parity here too.
+    """
+    if mean_util < 0 or std_util < 0:
+        raise WorkloadError("utilisation parameters must be >= 0")
+    rng = np.random.default_rng(seed)
+    cache: dict[int, float] = {}
+
+    def profile(quantum_index: int) -> float:
+        if quantum_index not in cache:
+            cache[quantum_index] = float(
+                max(rng.normal(mean_util, std_util), 0.0))
+        return cache[quantum_index]
+
+    interface = UtilizationInterface(
+        lambda quantum_index: mean_util,
+        description=f"noisy around {mean_util:g} (std {std_util:g})")
+    return Task(name=name, utilization_profile=profile,
+                energy_interface=interface)

@@ -1,0 +1,217 @@
+"""Command-line front end: run the reproduction's experiments.
+
+``repro-energy <command>`` (installed by the package) or
+``python -m repro.cli <command>``:
+
+* ``table1``      — the §5 experiment (GPT-2 prediction error, Table 1);
+* ``mlservice``   — Fig. 1's web service, prediction vs measurement;
+* ``schedulers``  — the §1 EAS comparison on bimodal transcoding;
+* ``fuzzing``     — the §1 ClusterFuzz capacity-planning questions;
+* ``consensus``   — the §1 Ethereum PoW/PoS comparison;
+* ``calibrate``   — show a GPU profile's calibrated hardware interface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.report import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.hardware.profiles import SIM3070, SIM4090, \
+        build_gpu_workstation
+    from repro.llm.config import GPT2_SMALL
+    from repro.llm.interface import GPT2EnergyInterface
+    from repro.llm.runtime import GPT2Runtime
+    from repro.measurement.calibration import calibrate_gpu
+    from repro.measurement.nvml import NVMLSim
+
+    rows = []
+    for spec in (SIM4090, SIM3070):
+        machine = build_gpu_workstation(spec)
+        gpu = machine.component("gpu0")
+        nvml = NVMLSim(gpu, seed=args.seed)
+        model = calibrate_gpu(gpu, nvml)
+        runtime = GPT2Runtime(gpu, GPT2_SMALL)
+        interface = GPT2EnergyInterface(GPT2_SMALL, model, spec)
+        rng = np.random.default_rng(3)
+        errors = []
+        for _ in range(args.trials):
+            n_tokens = int(rng.integers(50, 201))
+            prompt_len = int(rng.integers(8, 65))
+            gpu.idle(0.05)
+            stats = runtime.generate(prompt_len, n_tokens)
+            measured = nvml.measure_interval(stats.t_start, stats.t_end)
+            predicted = interface.E_generate(prompt_len,
+                                             n_tokens).as_joules
+            errors.append(abs(predicted - measured) / measured)
+        rows.append([spec.name, f"{100 * np.mean(errors):.2f}%",
+                     f"{100 * np.max(errors):.2f}%"])
+    print(format_table(["GPU", "Average error", "Max error"], rows,
+                       title="Table 1 (reproduced on simulated GPUs)"))
+    print("paper: RTX4090 0.70% / 0.93%; RTX3070 6.06% / 8.11%")
+    return 0
+
+
+def _cmd_mlservice(args: argparse.Namespace) -> int:
+    from repro.apps.mlservice import MLWebService, build_service_machine, \
+        build_service_stack
+    from repro.measurement.calibration import calibrate_gpu
+    from repro.measurement.nvml import NVMLSim
+    from repro.workloads.traces import image_request_trace
+
+    machine = build_service_machine()
+    service = MLWebService(machine)
+    gpu = machine.component("gpu0")
+    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=args.seed))
+    rng = np.random.default_rng(11)
+    for request in image_request_trace(500, rng):
+        service.handle(request)
+    stack = build_service_stack(service, model)
+    interface = stack.exported_interface("runtime/ml_webservice")
+    trace = image_request_trace(args.requests, rng)
+    t_start = machine.now
+    for request in trace:
+        service.handle(request)
+    measured = machine.ledger.energy_between(t_start, machine.now)
+    predicted = sum(
+        interface.evaluate("E_handle", r.image_pixels,
+                           r.zero_pixels).as_joules for r in trace)
+    error = abs(predicted - measured) / measured
+    print(f"{args.requests} requests: predicted {predicted:.2f} J, "
+          f"measured {measured:.2f} J, error {100 * error:.1f}%")
+    return 0
+
+
+def _cmd_schedulers(args: argparse.Namespace) -> int:
+    from repro.apps.transcode import bimodal_transcoder, steady_task
+    from repro.hardware.profiles import build_big_little
+    from repro.managers.base import SchedulerSim
+    from repro.managers.eas import EASScheduler, PeakEASScheduler
+    from repro.managers.interface_scheduler import (
+        InterfaceScheduler,
+        OracleScheduler,
+    )
+
+    core_names = ("little0", "little1", "little2", "little3",
+                  "big0", "big1", "big2", "big3")
+    tasks = ([bimodal_transcoder(f"tc{i}", burst_util=780, trough_util=40,
+                                 burst_quanta=1, trough_quanta=5,
+                                 phase_offset=i) for i in range(4)]
+             + [steady_task("bg", 100)])
+    rows = []
+    for scheduler in (EASScheduler(), PeakEASScheduler(),
+                      InterfaceScheduler(), OracleScheduler()):
+        machine = build_big_little()
+        cores = [machine.component(name) for name in core_names]
+        sim = SchedulerSim(machine, cores, quantum_seconds=0.05)
+        result = sim.run(scheduler, tasks, args.quanta)
+        rows.append([scheduler.name, f"{result.energy_joules:.2f} J",
+                     f"{result.miss_ratio:.1%}"])
+    print(format_table(["scheduler", "energy", "late work"], rows,
+                       title="bimodal transcoding on big.LITTLE"))
+    return 0
+
+
+def _cmd_fuzzing(args: argparse.Namespace) -> int:
+    from repro.apps.fuzzing import (
+        CapacityPlanner,
+        FuzzingCampaignModel,
+        FuzzingEnergyInterface,
+    )
+
+    interface = FuzzingEnergyInterface(FuzzingCampaignModel())
+    planner = CapacityPlanner(interface, max_machines=150,
+                              deadline_seconds=args.deadline_days * 86400)
+    answer = planner.optimal_fleet(args.coverage)
+    print(f"optimal fleet for {args.coverage:.0%} coverage: "
+          f"{answer.optimal_machines} machines "
+          f"({answer.energy}, {answer.campaign_seconds / 86400:.2f} days)")
+    marginal = planner.marginal_coverage_energy(
+        args.coverage - 0.05, args.coverage, answer.optimal_machines)
+    print(f"marginal energy {args.coverage - 0.05:.0%} -> "
+          f"{args.coverage:.0%}: {marginal}")
+    return 0
+
+
+def _cmd_consensus(args: argparse.Namespace) -> int:
+    from repro.apps.consensus import (
+        PoSEnergyInterface,
+        PoSNetworkSpec,
+        PoWEnergyInterface,
+        PoWNetworkSpec,
+        merge_savings,
+    )
+
+    pow_iface = PoWEnergyInterface(PoWNetworkSpec())
+    pos_iface = PoSEnergyInterface(PoSNetworkSpec())
+    print(f"PoW: {pow_iface.E_secure_day()} per day")
+    print(f"PoS: {pos_iface.E_secure_day()} per day")
+    print(f"reduction: {merge_savings():.4%} (paper: 99.95%)")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.hardware.profiles import SIM3070, SIM4090, \
+        build_gpu_workstation
+    from repro.measurement.calibration import calibrate_gpu
+    from repro.measurement.nvml import NVMLSim
+
+    spec = {"sim4090": SIM4090, "sim3070": SIM3070}[args.gpu]
+    machine = build_gpu_workstation(spec)
+    gpu = machine.component("gpu0")
+    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=args.seed))
+    print(model.describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-energy`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-energy",
+        description="Experiments from 'The Case for Energy Clarity' "
+                    "(HotOS 2025), reproduced on simulated hardware.")
+    parser.add_argument("--seed", type=int, default=7)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="the §5 experiment")
+    table1.add_argument("--trials", type=int, default=6)
+    table1.set_defaults(handler=_cmd_table1)
+
+    mlservice = commands.add_parser("mlservice", help="Fig. 1's service")
+    mlservice.add_argument("--requests", type=int, default=300)
+    mlservice.set_defaults(handler=_cmd_mlservice)
+
+    schedulers = commands.add_parser("schedulers",
+                                     help="the §1 EAS comparison")
+    schedulers.add_argument("--quanta", type=int, default=240)
+    schedulers.set_defaults(handler=_cmd_schedulers)
+
+    fuzzing = commands.add_parser("fuzzing",
+                                  help="the §1 ClusterFuzz questions")
+    fuzzing.add_argument("--coverage", type=float, default=0.95)
+    fuzzing.add_argument("--deadline-days", type=float, default=3.0)
+    fuzzing.set_defaults(handler=_cmd_fuzzing)
+
+    consensus = commands.add_parser("consensus",
+                                    help="the §1 Ethereum claim")
+    consensus.set_defaults(handler=_cmd_consensus)
+
+    calibrate = commands.add_parser("calibrate",
+                                    help="calibrate a GPU profile")
+    calibrate.add_argument("--gpu", choices=("sim4090", "sim3070"),
+                           default="sim4090")
+    calibrate.set_defaults(handler=_cmd_calibrate)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Energy attribution: splitting measured Joules across consumers.
+
+Attribution is what existing tools (per-process energy accounting à la
+power containers, Scaphandre, Kepler) already do, and the paper is
+explicit that it is *necessary but not sufficient* for energy clarity:
+attribution explains where past Joules went; interfaces predict future
+ones.  This module provides the attribution half so the repository can
+(a) validate interfaces against per-activity ground truth and (b) show
+the gap: attribution cannot answer a single what-if.
+
+The perennial policy question is what to do with **unattributed** energy
+— static/idle power that no activity directly caused.  Three standard
+policies are implemented:
+
+* ``"activity"`` — ignore it (report dynamic energy only);
+* ``"proportional"`` — split it pro-rata to each consumer's dynamic
+  energy (the Kepler-style default);
+* ``"duration"`` — split it by each consumer's busy time (closer to a
+  time-based chargeback).
+
+Consumers are identified by ledger record *tags*; anything logged with
+the reserved tag ``"static"`` is overhead to be apportioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import EnergyError
+from repro.hardware.ledger import EnergyLedger
+
+__all__ = ["Attribution", "attribute", "POLICIES"]
+
+POLICIES = ("activity", "proportional", "duration")
+
+#: Tags treated as unattributed overhead.
+OVERHEAD_TAGS = frozenset({"static"})
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """The result of one attribution pass."""
+
+    policy: str
+    window: tuple[float, float]
+    shares: dict[str, float]          # tag -> attributed Joules
+    dynamic_joules: float
+    overhead_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        """Everything the window consumed."""
+        return self.dynamic_joules + self.overhead_joules
+
+    def share_of(self, tag: str) -> float:
+        """Attributed Joules for one consumer (0.0 if absent)."""
+        return self.shares.get(tag, 0.0)
+
+    def fractions(self) -> dict[str, float]:
+        """Each consumer's fraction of the attributed total."""
+        attributed = sum(self.shares.values())
+        if attributed == 0:
+            return {tag: 0.0 for tag in self.shares}
+        return {tag: joules / attributed
+                for tag, joules in self.shares.items()}
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{tag}={joules:.4g} J"
+                          for tag, joules in sorted(self.shares.items()))
+        return (f"Attribution[{self.policy}] over "
+                f"[{self.window[0]:.4g}, {self.window[1]:.4g}]s: {parts} "
+                f"(overhead {self.overhead_joules:.4g} J)")
+
+
+def attribute(ledger: EnergyLedger, t0: float, t1: float,
+              policy: str = "proportional",
+              component: str | None = None) -> Attribution:
+    """Attribute the window ``[t0, t1]`` of a ledger to consumer tags.
+
+    ``component`` restricts the pass to one component's records (e.g.
+    attribute only the GPU).  Overlapping records are pro-rated into the
+    window exactly as :meth:`EnergyLedger.energy_between` does.
+    """
+    if policy not in POLICIES:
+        raise EnergyError(
+            f"unknown attribution policy {policy!r}; expected one of "
+            f"{POLICIES}")
+    if t1 < t0:
+        raise EnergyError(f"inverted attribution window [{t0}, {t1}]")
+
+    dynamic: dict[str, float] = {}
+    busy_seconds: dict[str, float] = {}
+    overhead = 0.0
+    for record in ledger.records(component=component):
+        joules = record.overlap_joules(t0, t1)
+        if joules <= 0.0 and not (record.duration == 0.0
+                                  and t0 <= record.t_start <= t1):
+            continue
+        if record.tag in OVERHEAD_TAGS:
+            overhead += joules
+            continue
+        dynamic[record.tag] = dynamic.get(record.tag, 0.0) + joules
+        overlap = min(record.t_end, t1) - max(record.t_start, t0)
+        busy_seconds[record.tag] = busy_seconds.get(record.tag, 0.0) \
+            + max(overlap, 0.0)
+
+    shares = dict(dynamic)
+    dynamic_total = sum(dynamic.values())
+    if policy == "proportional" and dynamic_total > 0:
+        for tag in shares:
+            shares[tag] += overhead * dynamic[tag] / dynamic_total
+    elif policy == "duration":
+        time_total = sum(busy_seconds.values())
+        if time_total > 0:
+            for tag in shares:
+                shares[tag] += overhead * busy_seconds[tag] / time_total
+    return Attribution(
+        policy=policy,
+        window=(t0, t1),
+        shares=shares,
+        dynamic_joules=dynamic_total,
+        overhead_joules=overhead,
+    )

@@ -1,0 +1,164 @@
+"""Carbon-aware use of energy interfaces.
+
+The paper's related-work section surveys energy/carbon accounting and
+carbon-aware networking; its own proposal stops at Joules.  The natural
+composition is one step further: once a job's *energy* behaviour is a
+program (its interface), multiplying by a grid carbon-intensity signal
+makes its *carbon* behaviour a program too — and temporal flexibility
+(start a deadline-constrained job when the grid is clean) becomes an
+optimisation over interface evaluations rather than a measurement
+campaign.
+
+* :class:`CarbonIntensitySignal` — grams CO2e per kWh as a function of
+  time; :func:`diurnal_grid` builds the standard solar-dip/evening-peak
+  shape.
+* :func:`carbon_of` — Joules × intensity → grams.
+* :class:`CarbonAwareScheduler` — choose the start time of a job with a
+  known power profile (taken from its energy interface) under a
+  deadline, minimising total emissions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.core.errors import EnergyError
+from repro.core.units import Energy, as_joules
+
+__all__ = ["CarbonIntensitySignal", "diurnal_grid", "carbon_of",
+           "CarbonAwareScheduler", "SchedulingChoice", "SECONDS_PER_DAY"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class CarbonIntensitySignal:
+    """Grid carbon intensity over time, in gCO2e per kWh."""
+
+    def __init__(self, intensity_fn: Callable[[float], float],
+                 name: str = "grid") -> None:
+        self._fn = intensity_fn
+        self.name = name
+
+    def at(self, t_seconds: float) -> float:
+        """Intensity at an absolute time, gCO2e/kWh."""
+        value = float(self._fn(t_seconds))
+        if value < 0:
+            raise EnergyError(f"signal {self.name!r} returned negative "
+                              f"intensity {value}")
+        return value
+
+    def average(self, t_start: float, t_end: float,
+                resolution_s: float = 900.0) -> float:
+        """Mean intensity over a window (left Riemann sum)."""
+        if t_end <= t_start:
+            raise EnergyError(f"inverted window [{t_start}, {t_end}]")
+        steps = max(int((t_end - t_start) / resolution_s), 1)
+        width = (t_end - t_start) / steps
+        return sum(self.at(t_start + index * width)
+                   for index in range(steps)) / steps
+
+
+def diurnal_grid(base_g_per_kwh: float = 120.0,
+                 peak_g_per_kwh: float = 420.0,
+                 solar_dip_fraction: float = 0.45) -> CarbonIntensitySignal:
+    """A day-shaped grid: clean around solar noon, dirty in the evening.
+
+    ``solar_dip_fraction`` scales how far below the daily mean the noon
+    trough drops.
+    """
+    if not 0 <= base_g_per_kwh <= peak_g_per_kwh:
+        raise EnergyError("need 0 <= base <= peak intensity")
+    if not 0.0 <= solar_dip_fraction <= 1.0:
+        raise EnergyError("solar_dip_fraction must be in [0, 1]")
+
+    def intensity(t_seconds: float) -> float:
+        day_phase = 2 * math.pi * (t_seconds % SECONDS_PER_DAY) \
+            / SECONDS_PER_DAY
+        # Evening peak (phase ~ 0.8 day), solar dip at noon (phase 0.5).
+        evening = 0.5 * (1 + math.cos(day_phase - 1.6 * math.pi))
+        solar = math.sin(day_phase - 0.5 * math.pi)
+        solar_dip = solar_dip_fraction * max(solar, 0.0)
+        raw = base_g_per_kwh + (peak_g_per_kwh - base_g_per_kwh) * evening
+        return max(raw * (1.0 - solar_dip), 0.0)
+
+    return CarbonIntensitySignal(intensity, name="diurnal")
+
+
+def carbon_of(energy: Energy | float, intensity_g_per_kwh: float) -> float:
+    """Emissions of ``energy`` at a given intensity, in grams CO2e."""
+    if intensity_g_per_kwh < 0:
+        raise EnergyError("intensity must be >= 0")
+    kwh = as_joules(energy) / 3.6e6
+    return kwh * intensity_g_per_kwh
+
+
+class SchedulingChoice:
+    """One evaluated start time for a flexible job."""
+
+    def __init__(self, start_seconds: float, grams: float) -> None:
+        self.start_seconds = start_seconds
+        self.grams = grams
+
+    def __repr__(self) -> str:
+        hours = self.start_seconds / 3600.0
+        return f"SchedulingChoice(start=+{hours:.1f} h, {self.grams:.0f} g)"
+
+
+class CarbonAwareScheduler:
+    """Pick when to run a deadline-flexible job to minimise emissions.
+
+    ``power_profile(t_rel)`` is the job's power draw (Watts) ``t_rel``
+    seconds after its own start — obtainable from its energy interface —
+    and ``duration_s`` its length.
+    """
+
+    def __init__(self, signal: CarbonIntensitySignal,
+                 resolution_s: float = 900.0) -> None:
+        if resolution_s <= 0:
+            raise EnergyError("resolution must be positive")
+        self.signal = signal
+        self.resolution_s = resolution_s
+
+    def emissions(self, power_profile: Callable[[float], float],
+                  duration_s: float, start_s: float) -> float:
+        """Grams CO2e of running the job starting at ``start_s``."""
+        if duration_s <= 0:
+            raise EnergyError("duration must be positive")
+        steps = max(int(duration_s / self.resolution_s), 1)
+        width = duration_s / steps
+        grams = 0.0
+        for index in range(steps):
+            t_rel = index * width
+            power = power_profile(t_rel)
+            if power < 0:
+                raise EnergyError("power profile returned negative Watts")
+            energy_j = power * width
+            grams += carbon_of(energy_j, self.signal.at(start_s + t_rel))
+        return grams
+
+    def best_start(self, power_profile: Callable[[float], float],
+                   duration_s: float, deadline_s: float,
+                   candidates: Sequence[float] | None = None
+                   ) -> SchedulingChoice:
+        """The feasible start minimising emissions.
+
+        The job must finish by ``deadline_s`` (absolute).  Candidate
+        starts default to one per resolution step across the slack.
+        """
+        slack = deadline_s - duration_s
+        if slack < 0:
+            raise EnergyError("the job cannot meet the deadline at all")
+        if candidates is None:
+            steps = max(int(slack / self.resolution_s), 1)
+            candidates = [slack * index / steps for index in range(steps + 1)]
+        best: SchedulingChoice | None = None
+        for start in candidates:
+            if start < 0 or start > slack:
+                continue
+            grams = self.emissions(power_profile, duration_s, start)
+            if best is None or grams < best.grams:
+                best = SchedulingChoice(start, grams)
+        if best is None:
+            raise EnergyError("no feasible candidate start times")
+        return best

@@ -1,0 +1,164 @@
+"""Combinators for composing energy interfaces.
+
+Resource managers are "the main agent of composition" (§3): they take the
+interfaces of the resources they manage and export specialised interfaces
+to the layer above.  The wrappers here implement the recurring composition
+patterns:
+
+:class:`BoundInterface`
+    An interface with some of its ECVs bound by the manager — e.g. a cache
+    manager that observes a 92 % hit rate exports the cache interface with
+    ``local_cache_hit`` pre-bound.  Caller-supplied environments still win,
+    so what-if analysis remains possible.
+
+:class:`OverheadInterface`
+    An interface with per-call management overhead added — e.g. the Python
+    runtime adds interpreter dispatch energy to every call into an app.
+
+:class:`SequenceInterface`
+    The energy of a fixed call sequence across several interfaces (a
+    request pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.distributions import EnergyDistribution
+from repro.core.errors import CompositionError
+from repro.core.interface import _ACTIVE_CONTEXT, EnergyInterface
+from repro.core.units import AbstractEnergy, Energy, as_joules
+
+__all__ = ["BoundInterface", "OverheadInterface", "SequenceInterface"]
+
+
+def _add_outcomes(left: Any, right: Any) -> Any:
+    """Add two interface-method outcomes of compatible kinds."""
+    if isinstance(left, AbstractEnergy) or isinstance(right, AbstractEnergy):
+        if isinstance(left, AbstractEnergy) and isinstance(right, AbstractEnergy):
+            return left + right
+        raise CompositionError(
+            "cannot add abstract and concrete energies; ground abstract units "
+            "first")
+    if isinstance(left, EnergyDistribution) or isinstance(right, EnergyDistribution):
+        from repro.core.distributions import as_distribution
+        return as_distribution(left) + as_distribution(right)
+    return Energy(as_joules(left) + as_joules(right))
+
+
+class BoundInterface(EnergyInterface):
+    """An interface whose ECVs are partially bound by a resource manager.
+
+    Method calls on the wrapper delegate to the inner interface; while the
+    inner method runs, the manager's bindings act as *defaults* in the
+    active evaluation context (explicit caller bindings still override).
+    Only energy methods (``E_*``) are wrapped; other attributes pass
+    through untouched.
+    """
+
+    def __init__(self, inner: EnergyInterface, bindings: Mapping[str, Any],
+                 name: str | None = None) -> None:
+        super().__init__(name if name is not None else inner.name)
+        self._inner = inner
+        self._bindings = dict(bindings)
+
+    @property
+    def inner(self) -> EnergyInterface:
+        """The wrapped interface."""
+        return self._inner
+
+    @property
+    def bindings(self) -> dict[str, Any]:
+        """The manager-supplied ECV bindings."""
+        return dict(self._bindings)
+
+    def __getattr__(self, attribute: str) -> Any:
+        # Only reached when normal lookup fails, i.e. for inner attributes.
+        inner = object.__getattribute__(self, "_inner")
+        value = getattr(inner, attribute)
+        if callable(value) and attribute.startswith("E_"):
+            bindings = object.__getattribute__(self, "_bindings")
+
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                context = _ACTIVE_CONTEXT.get()
+                if context is None:
+                    return value(*args, **kwargs)
+                saved = context.env
+                context.env = context.env.with_defaults(bindings)
+                try:
+                    return value(*args, **kwargs)
+                finally:
+                    context.env = saved
+
+            wrapper.__name__ = attribute
+            return wrapper
+        return value
+
+
+class OverheadInterface(EnergyInterface):
+    """An interface with per-call management overhead added.
+
+    ``overhead`` is either a fixed energy added to every ``E_*`` call or a
+    callable ``(method_name, args, kwargs) -> Energy`` for call-dependent
+    overhead (e.g. marshalling cost proportional to payload size).
+    """
+
+    def __init__(self, inner: EnergyInterface,
+                 overhead: Energy | float | Callable[..., Any],
+                 name: str | None = None) -> None:
+        super().__init__(name if name is not None else inner.name)
+        self._inner = inner
+        self._overhead = overhead
+
+    @property
+    def inner(self) -> EnergyInterface:
+        """The wrapped interface."""
+        return self._inner
+
+    def _overhead_for(self, method: str, args: tuple, kwargs: dict) -> Any:
+        if callable(self._overhead):
+            return self._overhead(method, args, kwargs)
+        return self._overhead
+
+    def __getattr__(self, attribute: str) -> Any:
+        inner = object.__getattribute__(self, "_inner")
+        value = getattr(inner, attribute)
+        if callable(value) and attribute.startswith("E_"):
+
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                base = value(*args, **kwargs)
+                extra = self._overhead_for(attribute, args, kwargs)
+                return _add_outcomes(base, extra)
+
+            wrapper.__name__ = attribute
+            return wrapper
+        return value
+
+
+class SequenceInterface(EnergyInterface):
+    """The energy of a fixed sequence of calls across interfaces.
+
+    ``steps`` is a list of ``(interface, method_name, args_fn)`` where
+    ``args_fn`` maps this interface's input to the step's arguments.  The
+    exported method :meth:`E_sequence` sums the step energies — the energy
+    of a request flowing through a pipeline of resources.
+    """
+
+    def __init__(self, name: str,
+                 steps: Sequence[tuple[EnergyInterface, str,
+                                       Callable[..., tuple]]]) -> None:
+        super().__init__(name)
+        if not steps:
+            raise CompositionError("a sequence interface needs at least one step")
+        self._steps = list(steps)
+
+    def E_sequence(self, *args: Any, **kwargs: Any) -> Any:
+        """Total energy of executing every step in order."""
+        total: Any = None
+        for interface, method, args_fn in self._steps:
+            step_args = args_fn(*args, **kwargs)
+            if not isinstance(step_args, tuple):
+                step_args = (step_args,)
+            outcome = getattr(interface, method)(*step_args)
+            total = outcome if total is None else _add_outcomes(total, outcome)
+        return total

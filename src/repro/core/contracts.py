@@ -1,0 +1,213 @@
+"""Energy contracts: interfaces as requirements (§4.1).
+
+In the interface→implementation workflow, a module's energy interface is
+written *before* the implementation and acts as an upper-bound requirement:
+for each path through the interface, its return value is the worst-case
+energy any conforming implementation may consume on that path.  Some
+modules need stronger constraints — crypto code must be *constant-energy*
+so that energy consumption leaks nothing about secrets.
+
+Contract types:
+
+:class:`UpperBoundContract`
+    Pointwise bound: for every probe input, the implementation's worst-case
+    energy must not exceed the bound interface's worst-case energy.
+
+:class:`BudgetContract`
+    A single energy budget covering all probe inputs.
+
+:class:`ConstantEnergyContract`
+    All probe inputs and all ECV traces must consume (nearly) identical
+    energy — the side-channel requirement.
+
+:func:`check_refinement`
+    The §4.1 compatibility check: does a composed lower-level interface
+    satisfy the envelope promised by a higher-level interface?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.ecv import ECVEnvironment
+from repro.core.errors import ContractViolation
+from repro.core.interface import evaluate
+from repro.core.units import Energy, as_joules
+
+__all__ = [
+    "ContractReport",
+    "Violation",
+    "UpperBoundContract",
+    "BudgetContract",
+    "ConstantEnergyContract",
+    "check_refinement",
+]
+
+EnergyFn = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One contract violation: the probe input and the offending energies."""
+
+    inputs: tuple
+    actual: Energy
+    allowed: Energy
+    detail: str = ""
+
+    def __str__(self) -> str:
+        base = (f"inputs={self.inputs!r}: actual {self.actual} exceeds "
+                f"allowed {self.allowed}")
+        return f"{base} ({self.detail})" if self.detail else base
+
+
+@dataclass
+class ContractReport:
+    """Result of checking a contract over a set of probe inputs."""
+
+    contract: str
+    checked: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no probe input violated the contract."""
+        return not self.violations
+
+    def raise_on_violation(self) -> None:
+        """Raise :class:`~repro.core.errors.ContractViolation` if not ok."""
+        if not self.ok:
+            lines = "\n  ".join(str(v) for v in self.violations[:10])
+            raise ContractViolation(
+                f"{self.contract}: {len(self.violations)} of {self.checked} "
+                f"probe inputs violate the contract:\n  {lines}")
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violations"
+        return f"{self.contract}: {self.checked} inputs checked, {status}"
+
+
+def _worst(fn: EnergyFn, inputs: tuple,
+           env: ECVEnvironment | Mapping[str, Any] | None) -> Energy:
+    return evaluate(lambda: fn(*inputs), mode="worst", env=env)
+
+
+def _as_input_tuples(inputs: Iterable) -> list[tuple]:
+    return [args if isinstance(args, tuple) else (args,) for args in inputs]
+
+
+class UpperBoundContract:
+    """``implementation(x)`` must never exceed ``bound(x)`` for probed ``x``.
+
+    ``bound`` is an energy-interface method (it may itself read ECVs; its
+    worst case is used).  ``slack`` is a multiplicative allowance: a slack
+    of 0.05 permits the implementation to exceed the bound by 5 %.
+    """
+
+    def __init__(self, bound: EnergyFn, name: str = "upper-bound contract",
+                 slack: float = 0.0) -> None:
+        if slack < 0:
+            raise ContractViolation(f"slack must be >= 0, got {slack}")
+        self._bound = bound
+        self._slack = slack
+        self.name = name
+
+    def check(self, implementation: EnergyFn, inputs: Iterable,
+              env: ECVEnvironment | Mapping[str, Any] | None = None
+              ) -> ContractReport:
+        """Check the implementation against the bound on every probe input."""
+        report = ContractReport(self.name)
+        for args in _as_input_tuples(inputs):
+            actual = _worst(implementation, args, env)
+            allowed = _worst(self._bound, args, env) * (1.0 + self._slack)
+            report.checked += 1
+            if actual > allowed:
+                report.violations.append(Violation(args, actual, allowed))
+        return report
+
+
+class BudgetContract:
+    """The implementation must stay within a fixed energy budget."""
+
+    def __init__(self, budget: Energy | float,
+                 name: str = "budget contract") -> None:
+        self._budget = Energy(as_joules(budget))
+        self.name = name
+
+    @property
+    def budget(self) -> Energy:
+        """The allowed energy per call."""
+        return self._budget
+
+    def check(self, implementation: EnergyFn, inputs: Iterable,
+              env: ECVEnvironment | Mapping[str, Any] | None = None
+              ) -> ContractReport:
+        """Check every probe input against the budget."""
+        report = ContractReport(self.name)
+        for args in _as_input_tuples(inputs):
+            actual = _worst(implementation, args, env)
+            report.checked += 1
+            if actual > self._budget:
+                report.violations.append(Violation(args, actual, self._budget))
+        return report
+
+
+class ConstantEnergyContract:
+    """All inputs and ECV traces must consume identical energy.
+
+    This is the crypto side-channel requirement from §4.1: a mere upper
+    bound does not rule out energy variation correlated with secrets, so
+    the contract checks that the *spread* between the best and worst case
+    across all probe inputs stays within ``rel_tol`` of the mean.
+    """
+
+    def __init__(self, rel_tol: float = 1e-6,
+                 name: str = "constant-energy contract") -> None:
+        self._rel_tol = rel_tol
+        self.name = name
+
+    def check(self, implementation: EnergyFn, inputs: Iterable,
+              env: ECVEnvironment | Mapping[str, Any] | None = None
+              ) -> ContractReport:
+        """Check that energy is constant across inputs and ECV traces."""
+        report = ContractReport(self.name)
+        observed: list[tuple[tuple, float, float]] = []
+        for args in _as_input_tuples(inputs):
+            worst = evaluate(lambda a=args: implementation(*a),
+                             mode="worst", env=env).as_joules
+            best = evaluate(lambda a=args: implementation(*a),
+                            mode="best", env=env).as_joules
+            observed.append((args, best, worst))
+            report.checked += 1
+        if not observed:
+            return report
+        lows = [low for _, low, _ in observed]
+        highs = [high for _, _, high in observed]
+        mean = (min(lows) + max(highs)) / 2.0
+        allowed_spread = abs(mean) * self._rel_tol
+        if max(highs) - min(lows) > allowed_spread:
+            for args, low, high in observed:
+                if high - min(lows) > allowed_spread or max(highs) - low > allowed_spread:
+                    report.violations.append(Violation(
+                        args, Energy(high), Energy(min(lows) + allowed_spread),
+                        detail=f"energy varies by {max(highs) - min(lows):.3g} J "
+                               f"across inputs/traces"))
+        return report
+
+
+def check_refinement(abstract: EnergyFn, concrete: EnergyFn,
+                     inputs: Iterable,
+                     env: ECVEnvironment | Mapping[str, Any] | None = None,
+                     slack: float = 0.0,
+                     name: str = "refinement check") -> ContractReport:
+    """§4.1 compatibility: does ``concrete`` fit ``abstract``'s envelope?
+
+    For every probe input, the worst case of the concrete (composed,
+    lower-level) interface must not exceed the worst case promised by the
+    abstract (higher-level) interface.  This is the "first-cut answer on
+    whether modules are compatible with each other" run before any
+    implementation exists.
+    """
+    contract = UpperBoundContract(abstract, name=name, slack=slack)
+    return contract.check(concrete, inputs, env=env)

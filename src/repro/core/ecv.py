@@ -1,0 +1,278 @@
+"""Energy-critical variables (ECVs).
+
+§3 of the paper: an energy interface must account for state that influences
+energy but is not part of the interface's input — whether a request is in
+the cache, whether the WiFi radio is already on, the CPU's current DVFS
+state.  ECVs capture such state as *random variables*; with ECVs bound to
+distributions, an interface's return value becomes a probability
+distribution over energies.
+
+An :class:`ECV` is a declaration: a name, a human-readable description and
+a distribution over its values.  Concrete subclasses cover the common
+cases:
+
+* :class:`BernoulliECV` — boolean state ("request_hit"),
+* :class:`CategoricalECV` — finite-valued state ("dvfs_state"),
+* :class:`FixedECV` — degenerate (known) state,
+* :class:`UniformIntECV` — integer state uniform on a range,
+* :class:`ContinuousECV` — real-valued state; not enumerable, handled by
+  sampling or by its bounds in worst-case mode.
+
+An :class:`ECVEnvironment` binds ECV names to concrete values or to
+replacement ECVs.  Resource managers use environments to specialise the
+interfaces they export: a cache manager that observes a 92 % hit rate
+exports the cache's interface with ``local_cache_hit`` bound to
+``BernoulliECV(..., p=0.92)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import ECVBindingError
+
+__all__ = [
+    "ECV",
+    "BernoulliECV",
+    "CategoricalECV",
+    "FixedECV",
+    "UniformIntECV",
+    "ContinuousECV",
+    "ECVEnvironment",
+    "as_ecv",
+]
+
+
+class ECV:
+    """Base class for energy-critical variable declarations.
+
+    Subclasses implement :meth:`support` (for discrete enumeration),
+    :meth:`sample` and :meth:`extreme_values` (for worst-case analysis).
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name or not name.strip():
+            raise ECVBindingError("an ECV needs a non-empty name")
+        self.name = name
+        self.description = description
+
+    def support(self) -> list[tuple[Any, float]] | None:
+        """``(value, probability)`` pairs, or ``None`` when not enumerable."""
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one value."""
+        raise NotImplementedError
+
+    def extreme_values(self) -> list[Any]:
+        """Candidate values for worst-case analysis.
+
+        For discrete ECVs this is the whole support; for continuous ones
+        it is the interval endpoints (energy interfaces are expected to be
+        monotone in continuous ECVs, which all our models are).
+        """
+        raise NotImplementedError
+
+    def is_enumerable(self) -> bool:
+        """True when :meth:`support` returns a finite list."""
+        return self.support() is not None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class BernoulliECV(ECV):
+    """A boolean ECV that is ``True`` with probability ``p``."""
+
+    def __init__(self, name: str, p: float, description: str = "") -> None:
+        super().__init__(name, description)
+        if not 0.0 <= p <= 1.0:
+            raise ECVBindingError(f"Bernoulli probability must be in [0, 1], got {p}")
+        self.p = float(p)
+
+    def support(self) -> list[tuple[Any, float]]:
+        if self.p == 0.0:
+            return [(False, 1.0)]
+        if self.p == 1.0:
+            return [(True, 1.0)]
+        return [(False, 1.0 - self.p), (True, self.p)]
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.p)
+
+    def extreme_values(self) -> list[Any]:
+        return [value for value, _ in self.support()]
+
+
+class CategoricalECV(ECV):
+    """An ECV over a finite set of values with given probabilities."""
+
+    def __init__(self, name: str, outcomes: Mapping[Any, float],
+                 description: str = "") -> None:
+        super().__init__(name, description)
+        if not outcomes:
+            raise ECVBindingError(f"ECV {name!r} needs at least one outcome")
+        probs = [float(p) for p in outcomes.values()]
+        if any(p < 0 for p in probs):
+            raise ECVBindingError(f"ECV {name!r} has a negative probability")
+        total = sum(probs)
+        if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-9):
+            raise ECVBindingError(
+                f"ECV {name!r} probabilities must sum to 1, got {total}")
+        self._outcomes = [(value, p / total) for value, p in outcomes.items()]
+
+    def support(self) -> list[tuple[Any, float]]:
+        return [(value, p) for value, p in self._outcomes if p > 0.0]
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        threshold = rng.random()
+        cumulative = 0.0
+        for value, p in self._outcomes:
+            cumulative += p
+            if threshold < cumulative:
+                return value
+        return self._outcomes[-1][0]
+
+    def extreme_values(self) -> list[Any]:
+        return [value for value, _ in self.support()]
+
+
+class FixedECV(ECV):
+    """An ECV whose value is known (a degenerate distribution)."""
+
+    def __init__(self, name: str, value: Any, description: str = "") -> None:
+        super().__init__(name, description)
+        self.value = value
+
+    def support(self) -> list[tuple[Any, float]]:
+        return [(self.value, 1.0)]
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.value
+
+    def extreme_values(self) -> list[Any]:
+        return [self.value]
+
+
+class UniformIntECV(ECV):
+    """An integer ECV uniform on ``[low, high]`` inclusive."""
+
+    def __init__(self, name: str, low: int, high: int, description: str = "") -> None:
+        super().__init__(name, description)
+        if high < low:
+            raise ECVBindingError(f"ECV {name!r} has inverted bounds [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+
+    def support(self) -> list[tuple[Any, float]]:
+        count = self.high - self.low + 1
+        return [(value, 1.0 / count) for value in range(self.low, self.high + 1)]
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def extreme_values(self) -> list[Any]:
+        if self.low == self.high:
+            return [self.low]
+        return [self.low, self.high]
+
+
+class ContinuousECV(ECV):
+    """A real-valued ECV on ``[low, high]`` with a custom sampler.
+
+    Continuous ECVs cannot be enumerated; the evaluator falls back to
+    Monte Carlo whenever one is read in distribution mode, and uses the
+    interval endpoints in worst-case mode.
+    """
+
+    def __init__(self, name: str, low: float, high: float,
+                 sampler: Callable[[np.random.Generator], float] | None = None,
+                 description: str = "") -> None:
+        super().__init__(name, description)
+        if high < low:
+            raise ECVBindingError(f"ECV {name!r} has inverted bounds [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self._sampler = sampler
+
+    def support(self) -> None:
+        return None
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._sampler is not None:
+            value = float(self._sampler(rng))
+            return min(max(value, self.low), self.high)
+        return float(rng.uniform(self.low, self.high))
+
+    def extreme_values(self) -> list[Any]:
+        if self.low == self.high:
+            return [self.low]
+        return [self.low, self.high]
+
+
+def as_ecv(name: str, binding: Any) -> ECV:
+    """Coerce an environment binding to an ECV.
+
+    * an :class:`ECV` passes through (renamed bindings keep their own name),
+    * any other value becomes a :class:`FixedECV`.
+    """
+    if isinstance(binding, ECV):
+        return binding
+    return FixedECV(name, binding)
+
+
+class ECVEnvironment:
+    """Bindings from ECV names to values or replacement ECVs.
+
+    Lookup accepts *qualified* names (``"redis_cache.local_cache_hit"``)
+    with fallback to the bare name, so an environment can target one
+    interface's ECV specifically or all ECVs sharing a name.
+
+    Environments are immutable; :meth:`extended` returns a new environment
+    with additional bindings (new bindings win on conflict).
+    """
+
+    def __init__(self, bindings: Mapping[str, Any] | None = None) -> None:
+        self._bindings = dict(bindings or {})
+
+    def lookup(self, qualified: str, bare: str) -> ECV | None:
+        """Resolve a binding, preferring the qualified name."""
+        for key in (qualified, bare):
+            if key in self._bindings:
+                return as_ecv(key, self._bindings[key])
+        return None
+
+    def extended(self, bindings: Mapping[str, Any]) -> "ECVEnvironment":
+        """A new environment with ``bindings`` layered on top of this one."""
+        merged = dict(self._bindings)
+        merged.update(bindings)
+        return ECVEnvironment(merged)
+
+    def with_defaults(self, defaults: Mapping[str, Any]) -> "ECVEnvironment":
+        """A new environment where this environment's bindings win.
+
+        Used by resource managers: the manager's knowledge (``defaults``)
+        applies unless the caller explicitly bound the same ECV.
+        """
+        merged = dict(defaults)
+        merged.update(self._bindings)
+        return ECVEnvironment(merged)
+
+    def keys(self) -> Sequence[str]:
+        return list(self._bindings)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        return f"ECVEnvironment({sorted(self._bindings)})"
+
+
+#: The empty environment, shared as a default.
+ECVEnvironment.EMPTY = ECVEnvironment()

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the energy-interfaces framework.
+
+Every error raised by :mod:`repro` derives from :class:`EnergyError` so
+callers can catch framework errors without masking programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class EnergyError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class UnitMismatchError(EnergyError):
+    """Raised when combining abstract energies over incompatible units."""
+
+
+class UnknownECVError(EnergyError):
+    """Raised when an interface reads an ECV that is neither declared nor bound."""
+
+
+class ECVBindingError(EnergyError):
+    """Raised when an ECV binding is malformed (e.g. probability out of range)."""
+
+
+class EvaluationError(EnergyError):
+    """Raised when an energy interface cannot be evaluated."""
+
+
+class ContractViolation(EnergyError):
+    """Raised when an implementation violates an energy contract."""
+
+
+class CompositionError(EnergyError):
+    """Raised when energy interfaces cannot be composed (missing layer, cycle)."""
+
+
+class ExtractionError(EnergyError):
+    """Raised when the analysis toolchain cannot extract an interface."""
+
+
+class SymbolicExecutionError(ExtractionError):
+    """Raised when the symbolic executor meets an unsupported construct."""
+
+
+class MeasurementError(EnergyError):
+    """Raised by simulated measurement channels (NVML/RAPL) on misuse."""
+
+
+class HardwareError(EnergyError):
+    """Raised by the simulated hardware substrate on invalid operations."""
+
+
+class SchedulerError(EnergyError):
+    """Raised by resource managers (schedulers) on invalid placement requests."""
+
+
+class WorkloadError(EnergyError):
+    """Raised by workload generators on invalid parameters."""

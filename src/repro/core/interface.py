@@ -1,0 +1,439 @@
+"""Energy interfaces: executable programs that compute energy usage.
+
+An energy interface (§3 of the paper) is *a program* that takes the same
+input as the module it summarises (or an abstraction of that input) and
+returns the energy the module would consume.  Interfaces read
+energy-critical variables (ECVs) for state that is not part of the input;
+with ECVs bound to distributions the return value becomes a probability
+distribution.
+
+This module provides:
+
+:class:`EnergyInterface`
+    Base class.  Subclasses write ordinary Python methods (conventionally
+    named ``E_<operation>``) that return :class:`~repro.core.units.Energy`,
+    a plain number of Joules, an
+    :class:`~repro.core.units.AbstractEnergy`, or an
+    :class:`~repro.core.distributions.EnergyDistribution`.  Inside a
+    method, ``self.ecv("name")`` reads an ECV.
+
+Evaluation modes (:meth:`EnergyInterface.evaluate`)
+    * ``"expected"`` — the mean over ECV randomness,
+    * ``"distribution"`` — the full mixture distribution,
+    * ``"worst"`` — the supremum over all ECV values (contract reasoning),
+    * ``"best"`` — the infimum,
+    * ``"sample"`` — one Monte-Carlo draw.
+
+The evaluator *re-executes* the interface once per ECV-read trace,
+enumerating the tree of discrete ECV choices lazily.  This handles nested
+interfaces and data-dependent ECV reads with no cooperation from the
+interface author: interface code just reads ECVs as if they were plain
+values, exactly like Fig. 1 of the paper.  Interfaces must be
+deterministic given their inputs and ECV values.
+
+If any *continuous* ECV is read, exact enumeration is impossible and the
+evaluator transparently falls back to Monte-Carlo sampling (worst-case
+mode instead uses the interval endpoints, which is exact for interfaces
+monotone in the ECV — true of all models in this repository).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.core.distributions import (
+    Discrete,
+    Empirical,
+    EnergyDistribution,
+    Mixture,
+    PointMass,
+    as_distribution,
+)
+from repro.core.ecv import ECV, ECVEnvironment
+from repro.core.errors import EvaluationError, UnknownECVError
+from repro.core.units import AbstractEnergy, Energy
+
+__all__ = [
+    "EnergyInterface",
+    "TraceOutcome",
+    "evaluate",
+    "DEFAULT_MAX_TRACES",
+]
+
+#: Safety cap on the number of enumerated ECV traces per evaluation.
+DEFAULT_MAX_TRACES = 4096
+
+#: Default Monte-Carlo sample count when enumeration is impossible.
+DEFAULT_MC_SAMPLES = 4000
+
+_ACTIVE_CONTEXT: contextvars.ContextVar["_BaseContext | None"] = (
+    contextvars.ContextVar("repro_energy_eval_context", default=None))
+
+
+@dataclass(frozen=True)
+class TraceOutcome:
+    """One enumerated ECV trace: its probability, outcome and assignments."""
+
+    probability: float
+    value: Any
+    assignments: Mapping[str, Any]
+
+
+class _NotEnumerable(Exception):
+    """Internal: a continuous ECV was read during exact enumeration."""
+
+    def __init__(self, ecv_name: str) -> None:
+        super().__init__(ecv_name)
+        self.ecv_name = ecv_name
+
+
+class _BaseContext:
+    """Shared resolution logic for all evaluation contexts."""
+
+    def __init__(self, env: ECVEnvironment) -> None:
+        self.env = env
+        self.assignments: dict[str, Any] = {}
+
+    def _resolve(self, owner: "EnergyInterface", name: str) -> ECV:
+        qualified = f"{owner.name}.{name}"
+        bound = self.env.lookup(qualified, name)
+        if bound is not None:
+            return bound
+        declared = owner.declared_ecv(name)
+        if declared is not None:
+            return declared
+        raise UnknownECVError(
+            f"interface {owner.name!r} read undeclared, unbound ECV {name!r}; "
+            f"declare it with declare_ecv() or bind it in the environment")
+
+    def read(self, owner: "EnergyInterface", name: str) -> Any:
+        raise NotImplementedError
+
+
+class _TraceContext(_BaseContext):
+    """Exact enumeration context: replays forced choices, records branches."""
+
+    def __init__(self, env: ECVEnvironment,
+                 forced: list[tuple[str, int]],
+                 worst_case: bool) -> None:
+        super().__init__(env)
+        self._forced = forced
+        self._worst_case = worst_case
+        self._choices: list[tuple[str, int]] = []
+        self.probability = 1.0
+        self.unexplored: list[list[tuple[str, int]]] = []
+
+    def _support(self, ecv: ECV) -> list[tuple[Any, float]]:
+        if self._worst_case:
+            return [(value, 1.0) for value in ecv.extreme_values()]
+        support = ecv.support()
+        if support is None:
+            raise _NotEnumerable(ecv.name)
+        return support
+
+    def read(self, owner: "EnergyInterface", name: str) -> Any:
+        ecv = self._resolve(owner, name)
+        support = self._support(ecv)
+        position = len(self._choices)
+        if position < len(self._forced):
+            key, index = self._forced[position]
+            if index >= len(support):
+                raise EvaluationError(
+                    f"non-deterministic interface: ECV {name!r} support changed "
+                    f"between trace replays")
+        else:
+            index = 0
+            prefix = list(self._choices)
+            for alternative in range(1, len(support)):
+                self.unexplored.append(
+                    prefix + [(f"{owner.name}.{name}", alternative)])
+        value, probability = support[index]
+        self._choices.append((f"{owner.name}.{name}", index))
+        self.probability *= probability
+        self.assignments[f"{owner.name}.{name}"] = value
+        return value
+
+
+class _SamplingContext(_BaseContext):
+    """Monte-Carlo context: each ECV read draws from its distribution."""
+
+    def __init__(self, env: ECVEnvironment, rng: np.random.Generator) -> None:
+        super().__init__(env)
+        self._rng = rng
+
+    def read(self, owner: "EnergyInterface", name: str) -> Any:
+        ecv = self._resolve(owner, name)
+        value = ecv.sample(self._rng)
+        self.assignments[f"{owner.name}.{name}"] = value
+        return value
+
+
+class _FixedContext(_BaseContext):
+    """Deterministic context: every ECV must resolve to a single value."""
+
+    def read(self, owner: "EnergyInterface", name: str) -> Any:
+        ecv = self._resolve(owner, name)
+        support = ecv.support()
+        if support is None or len(support) != 1:
+            raise EvaluationError(
+                f"deterministic evaluation requires ECV {name!r} of interface "
+                f"{owner.name!r} to be bound to a single value")
+        value = support[0][0]
+        self.assignments[f"{owner.name}.{name}"] = value
+        return value
+
+
+class EnergyInterface:
+    """Base class for energy interfaces.
+
+    Subclasses define methods returning energies and may declare ECVs in
+    ``__init__`` via :meth:`declare_ecv`.  Sub-interfaces (the lower-layer
+    resources this interface "calls into", §3) are ordinary attributes
+    whose methods are invoked directly — ECV reads in nested interfaces
+    participate in the same evaluation automatically.
+
+    Example, mirroring Fig. 1 of the paper::
+
+        class CacheLookupInterface(EnergyInterface):
+            def __init__(self):
+                super().__init__("redis_cache")
+                self.declare_ecv(BernoulliECV(
+                    "local_cache_hit", p=0.9,
+                    description="cache hit in current node"))
+
+            def E_lookup(self, key_size, response_len):
+                hit = self.ecv("local_cache_hit")
+                per_byte = 5 if hit else 100
+                return Energy.millijoules(per_byte * response_len)
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name if name is not None else type(self).__name__
+        self._declared_ecvs: dict[str, ECV] = {}
+
+    # -- ECV handling ------------------------------------------------------
+    def declare_ecv(self, ecv: ECV) -> None:
+        """Declare an ECV with its default distribution."""
+        self._declared_ecvs[ecv.name] = ecv
+
+    def declared_ecv(self, name: str) -> ECV | None:
+        """Look up a declared ECV by name."""
+        return self._declared_ecvs.get(name)
+
+    @property
+    def ecv_declarations(self) -> dict[str, ECV]:
+        """All declared ECVs, by name."""
+        return dict(self._declared_ecvs)
+
+    def ecv(self, name: str) -> Any:
+        """Read an ECV's value inside an interface method.
+
+        Only valid during evaluation; the active evaluation context decides
+        how the read resolves (enumeration, sampling, fixed binding).
+        """
+        context = _ACTIVE_CONTEXT.get()
+        if context is None:
+            raise EvaluationError(
+                f"ECV {name!r} of interface {self.name!r} was read outside an "
+                f"evaluation; call the interface through evaluate()")
+        return context.read(self, name)
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, method: str | Callable[..., Any], *args: Any,
+                 mode: str = "expected",
+                 env: ECVEnvironment | Mapping[str, Any] | None = None,
+                 rng: np.random.Generator | None = None,
+                 n_samples: int = DEFAULT_MC_SAMPLES,
+                 max_traces: int = DEFAULT_MAX_TRACES,
+                 **kwargs: Any) -> Any:
+        """Evaluate an interface method under ECV randomness.
+
+        ``method`` is a method name (e.g. ``"E_handle"``) or a bound
+        callable.  See the module docstring for the evaluation modes.
+        Returns :class:`~repro.core.units.Energy` for ``expected`` /
+        ``worst`` / ``best`` / ``sample`` modes (or
+        :class:`~repro.core.units.AbstractEnergy` when the method returns
+        abstract units), and an
+        :class:`~repro.core.distributions.EnergyDistribution` for
+        ``distribution`` mode.
+        """
+        fn = getattr(self, method) if isinstance(method, str) else method
+        return evaluate(lambda: fn(*args, **kwargs), mode=mode, env=env,
+                        rng=rng, n_samples=n_samples, max_traces=max_traces)
+
+    def distribution(self, method: str, *args: Any,
+                     env: ECVEnvironment | Mapping[str, Any] | None = None,
+                     **kwargs: Any) -> EnergyDistribution:
+        """Shorthand for ``evaluate(..., mode="distribution")``."""
+        return self.evaluate(method, *args, mode="distribution", env=env, **kwargs)
+
+    def expected(self, method: str, *args: Any,
+                 env: ECVEnvironment | Mapping[str, Any] | None = None,
+                 **kwargs: Any) -> Any:
+        """Shorthand for ``evaluate(..., mode="expected")``."""
+        return self.evaluate(method, *args, mode="expected", env=env, **kwargs)
+
+    def worst_case(self, method: str, *args: Any,
+                   env: ECVEnvironment | Mapping[str, Any] | None = None,
+                   **kwargs: Any) -> Energy:
+        """Shorthand for ``evaluate(..., mode="worst")``."""
+        return self.evaluate(method, *args, mode="worst", env=env, **kwargs)
+
+    def __repr__(self) -> str:
+        ecvs = sorted(self._declared_ecvs)
+        return f"{type(self).__name__}(name={self.name!r}, ecvs={ecvs})"
+
+
+def _coerce_env(env: ECVEnvironment | Mapping[str, Any] | None) -> ECVEnvironment:
+    if env is None:
+        return ECVEnvironment.EMPTY
+    if isinstance(env, ECVEnvironment):
+        return env
+    return ECVEnvironment(env)
+
+
+def _run_in_context(fn: Callable[[], Any], context: _BaseContext) -> Any:
+    token = _ACTIVE_CONTEXT.set(context)
+    try:
+        return fn()
+    finally:
+        _ACTIVE_CONTEXT.reset(token)
+
+
+def enumerate_traces(fn: Callable[[], Any],
+                     env: ECVEnvironment | Mapping[str, Any] | None = None,
+                     max_traces: int = DEFAULT_MAX_TRACES,
+                     worst_case: bool = False) -> list[TraceOutcome]:
+    """Enumerate all ECV-read traces of ``fn`` exactly.
+
+    Each enumerated trace yields a :class:`TraceOutcome` with its joint
+    probability (probabilities are meaningless in ``worst_case`` mode,
+    where extreme values are enumerated instead of the support).
+
+    Raises :class:`~repro.core.errors.EvaluationError` when the trace tree
+    exceeds ``max_traces`` and propagates an internal signal (handled by
+    :func:`evaluate`) when a continuous ECV blocks exact enumeration.
+    """
+    environment = _coerce_env(env)
+    pending: list[list[tuple[str, int]]] = [[]]
+    outcomes: list[TraceOutcome] = []
+    while pending:
+        forced = pending.pop()
+        context = _TraceContext(environment, forced, worst_case)
+        value = _run_in_context(fn, context)
+        outcomes.append(TraceOutcome(context.probability, value,
+                                     dict(context.assignments)))
+        pending.extend(context.unexplored)
+        if len(outcomes) + len(pending) > max_traces:
+            raise EvaluationError(
+                f"ECV trace enumeration exceeded {max_traces} traces; "
+                f"bind some ECVs or raise max_traces")
+    return outcomes
+
+
+def _combine_expected(outcomes: list[TraceOutcome]) -> Any:
+    """Probability-weighted average of trace outcomes."""
+    total_probability = sum(outcome.probability for outcome in outcomes)
+    if not math.isclose(total_probability, 1.0, rel_tol=1e-6):
+        raise EvaluationError(
+            f"trace probabilities sum to {total_probability}, expected 1; "
+            f"is the interface non-deterministic?")
+    first = outcomes[0].value
+    if isinstance(first, AbstractEnergy):
+        total = AbstractEnergy()
+        for outcome in outcomes:
+            if not isinstance(outcome.value, AbstractEnergy):
+                raise EvaluationError(
+                    "interface mixed abstract and concrete energies across "
+                    "ECV traces; return one kind consistently")
+            total = total + outcome.probability * outcome.value
+        return total
+    mean = sum(outcome.probability * as_distribution(outcome.value).mean()
+               for outcome in outcomes)
+    return Energy(mean)
+
+
+def _combine_distribution(outcomes: list[TraceOutcome]) -> EnergyDistribution:
+    components: list[EnergyDistribution] = []
+    weights: list[float] = []
+    for outcome in outcomes:
+        if isinstance(outcome.value, AbstractEnergy):
+            raise EvaluationError(
+                "distribution mode needs concrete energies; ground abstract "
+                "units first")
+        components.append(as_distribution(outcome.value))
+        weights.append(outcome.probability)
+    if all(isinstance(c, PointMass) for c in components):
+        return Discrete([c.mean() for c in components], weights)
+    return Mixture.collapse(components, weights)
+
+
+def evaluate(fn: Callable[[], Any], *, mode: str = "expected",
+             env: ECVEnvironment | Mapping[str, Any] | None = None,
+             rng: np.random.Generator | None = None,
+             n_samples: int = DEFAULT_MC_SAMPLES,
+             max_traces: int = DEFAULT_MAX_TRACES) -> Any:
+    """Evaluate a zero-argument callable that reads ECVs.
+
+    This is the free-function form of :meth:`EnergyInterface.evaluate`; it
+    is what resource managers and tools use to evaluate compositions that
+    span several interfaces.
+    """
+    environment = _coerce_env(env)
+    if mode == "fixed":
+        return _run_in_context(fn, _FixedContext(environment))
+    if mode == "sample":
+        generator = rng if rng is not None else np.random.default_rng()
+        value = _run_in_context(fn, _SamplingContext(environment, generator))
+        if isinstance(value, (AbstractEnergy, Energy)):
+            return value
+        if isinstance(value, EnergyDistribution):
+            return Energy(float(value.sample(generator, 1)[0]))
+        return Energy(float(value))
+    if mode in ("worst", "best"):
+        outcomes = enumerate_traces(fn, environment, max_traces, worst_case=True)
+        bounds = []
+        for outcome in outcomes:
+            if isinstance(outcome.value, AbstractEnergy):
+                raise EvaluationError(
+                    "worst/best-case mode needs concrete energies; ground "
+                    "abstract units first")
+            dist = as_distribution(outcome.value)
+            bounds.append(dist.upper_bound() if mode == "worst"
+                          else dist.lower_bound())
+        return Energy(max(bounds) if mode == "worst" else min(bounds))
+    if mode not in ("expected", "distribution"):
+        raise EvaluationError(
+            f"unknown evaluation mode {mode!r}; expected one of "
+            f"expected/distribution/worst/best/sample/fixed")
+    try:
+        outcomes = enumerate_traces(fn, environment, max_traces)
+    except _NotEnumerable:
+        return _monte_carlo(fn, environment, mode, rng, n_samples)
+    if mode == "expected":
+        return _combine_expected(outcomes)
+    return _combine_distribution(outcomes)
+
+
+def _monte_carlo(fn: Callable[[], Any], env: ECVEnvironment, mode: str,
+                 rng: np.random.Generator | None, n_samples: int) -> Any:
+    """Fallback evaluation by sampling when a continuous ECV is present."""
+    generator = rng if rng is not None else np.random.default_rng(0xEC5)
+    draws = np.empty(n_samples)
+    for index in range(n_samples):
+        value = _run_in_context(fn, _SamplingContext(env, generator))
+        if isinstance(value, AbstractEnergy):
+            raise EvaluationError(
+                "Monte-Carlo evaluation needs concrete energies; ground "
+                "abstract units first")
+        dist = as_distribution(value)
+        draws[index] = (dist.mean() if isinstance(dist, PointMass)
+                        else float(dist.sample(generator, 1)[0]))
+    if mode == "expected":
+        return Energy(float(np.mean(draws)))
+    return Empirical(draws)

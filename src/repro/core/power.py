@@ -1,0 +1,202 @@
+"""Power values and peak-power reasoning.
+
+§3: "One could imagine energy interfaces that return power (i.e., energy
+per unit of time), or peak power, which can be useful for resource
+managers to optimize power provisioning and increase utilization of
+resources."  The paper sets these aside; we implement the natural
+extension because provisioning is where data-centre operators feel the
+pain first (breaker limits are per-instant, not per-Joule).
+
+* :class:`Power` — a Watts value type mirroring
+  :class:`~repro.core.units.Energy` (multiplying by seconds yields
+  Energy, dividing Energy by seconds yields Power).
+* Peak-power evaluation needs no new machinery: a power-returning
+  interface method evaluated in ``worst`` mode *is* the peak-power
+  interface.  :func:`provision` packages the resulting arithmetic for a
+  rack of resources, with the standard sum-of-peaks vs peak-of-sums gap
+  that statistical multiplexing exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+from repro.core.errors import EnergyError
+from repro.core.units import Energy
+
+__all__ = ["Power", "as_watts", "provision", "ProvisioningReport"]
+
+
+class Power:
+    """An amount of power, stored internally in Watts."""
+
+    __slots__ = ("_watts",)
+
+    def __init__(self, watts: float) -> None:
+        self._watts = float(watts)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def watts(cls, value: float) -> "Power":
+        """Construct from Watts."""
+        return cls(value)
+
+    @classmethod
+    def milliwatts(cls, value: float) -> "Power":
+        """Construct from milli-Watts."""
+        return cls(value * 1e-3)
+
+    @classmethod
+    def kilowatts(cls, value: float) -> "Power":
+        """Construct from kilo-Watts."""
+        return cls(value * 1e3)
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def as_watts(self) -> float:
+        """The value in Watts as a plain float."""
+        return self._watts
+
+    @property
+    def as_kilowatts(self) -> float:
+        """The value in kilo-Watts."""
+        return self._watts / 1e3
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: "Power") -> "Power":
+        if isinstance(other, Power):
+            return Power(self._watts + other._watts)
+        if other == 0:
+            return Power(self._watts)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Power") -> "Power":
+        if isinstance(other, Power):
+            return Power(self._watts - other._watts)
+        return NotImplemented
+
+    def __mul__(self, factor: float) -> Union["Power", Energy]:
+        if isinstance(factor, (int, float)):
+            return Power(self._watts * factor)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def for_duration(self, seconds: float) -> Energy:
+        """The energy of drawing this power for ``seconds``."""
+        if seconds < 0:
+            raise EnergyError(f"duration must be >= 0, got {seconds}")
+        return Energy(self._watts * seconds)
+
+    def __truediv__(self, other: Union["Power", float]) -> Union["Power",
+                                                                 float]:
+        if isinstance(other, Power):
+            return self._watts / other._watts
+        if isinstance(other, (int, float)):
+            return Power(self._watts / other)
+        return NotImplemented
+
+    # -- comparisons ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Power):
+            return self._watts == other._watts
+        return NotImplemented
+
+    def __lt__(self, other: "Power") -> bool:
+        if isinstance(other, Power):
+            return self._watts < other._watts
+        return NotImplemented
+
+    def __le__(self, other: "Power") -> bool:
+        if isinstance(other, Power):
+            return self._watts <= other._watts
+        return NotImplemented
+
+    def __gt__(self, other: "Power") -> bool:
+        if isinstance(other, Power):
+            return self._watts > other._watts
+        return NotImplemented
+
+    def __ge__(self, other: "Power") -> bool:
+        if isinstance(other, Power):
+            return self._watts >= other._watts
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Power", self._watts))
+
+    def isclose(self, other: "Power", rel_tol: float = 1e-9) -> bool:
+        """Approximate equality."""
+        return math.isclose(self._watts, other._watts, rel_tol=rel_tol)
+
+    def __repr__(self) -> str:
+        if abs(self._watts) >= 1e3:
+            return f"Power({self._watts / 1e3:.6g} kW)"
+        if abs(self._watts) >= 1.0 or self._watts == 0:
+            return f"Power({self._watts:.6g} W)"
+        return f"Power({self._watts * 1e3:.6g} mW)"
+
+
+def as_watts(value: Union[Power, float, int]) -> float:
+    """Coerce a :class:`Power` or a bare number (Watts) to a float."""
+    if isinstance(value, Power):
+        return value.as_watts
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise TypeError(f"cannot interpret {value!r} as power in Watts")
+
+
+class ProvisioningReport:
+    """Outcome of a peak-power provisioning calculation."""
+
+    def __init__(self, sum_of_peaks_w: float, diversified_peak_w: float,
+                 budget_w: float) -> None:
+        self.sum_of_peaks = Power(sum_of_peaks_w)
+        self.diversified_peak = Power(diversified_peak_w)
+        self.budget = Power(budget_w)
+
+    @property
+    def fits_worst_case(self) -> bool:
+        """Does the breaker survive literally everything peaking at once?"""
+        return self.sum_of_peaks.as_watts <= self.budget.as_watts
+
+    @property
+    def fits_diversified(self) -> bool:
+        """Does it survive under the diversity assumption?"""
+        return self.diversified_peak.as_watts <= self.budget.as_watts
+
+    @property
+    def oversubscription(self) -> float:
+        """sum-of-peaks / budget — how hard the operator is multiplexing."""
+        if self.budget.as_watts == 0:
+            return float("inf")
+        return self.sum_of_peaks.as_watts / self.budget.as_watts
+
+    def __repr__(self) -> str:
+        return (f"ProvisioningReport(sum_of_peaks={self.sum_of_peaks}, "
+                f"diversified={self.diversified_peak}, "
+                f"budget={self.budget})")
+
+
+def provision(peaks: Sequence[Union[Power, float]],
+              budget: Union[Power, float],
+              diversity_factor: float = 1.0) -> ProvisioningReport:
+    """Peak-power provisioning from per-resource peak interfaces.
+
+    ``peaks`` are the resources' peak powers (from their power interfaces
+    evaluated in worst-case mode); ``diversity_factor`` in (0, 1] scales
+    the sum to account for peaks not coinciding (1.0 = fully
+    conservative).  Returns a report comparing both against the budget.
+    """
+    if not 0.0 < diversity_factor <= 1.0:
+        raise EnergyError(
+            f"diversity factor must be in (0, 1], got {diversity_factor}")
+    total = sum(as_watts(p) for p in peaks)
+    return ProvisioningReport(
+        sum_of_peaks_w=total,
+        diversified_peak_w=total * diversity_factor,
+        budget_w=as_watts(budget),
+    )

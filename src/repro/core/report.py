@@ -1,0 +1,146 @@
+"""Human-readable rendering of interfaces, predictions and comparisons.
+
+Energy interfaces are programs meant to be *read* (§3): "a developer can
+read this program to understand and reason about the energy behavior of
+the resource".  :func:`describe_interface` renders an interface the way a
+developer would want to see it — its ECVs with their distributions and the
+actual Python source of its energy methods.
+
+The module also provides the plain-text tables used by the examples and
+the benchmark harness to report paper-style results.
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+from typing import Any, Sequence
+
+from repro.core.ecv import (
+    BernoulliECV,
+    CategoricalECV,
+    ContinuousECV,
+    FixedECV,
+    UniformIntECV,
+)
+from repro.core.interface import EnergyInterface
+
+__all__ = ["describe_interface", "format_table", "format_comparison",
+           "render_stack"]
+
+
+def _describe_ecv(ecv: Any) -> str:
+    if isinstance(ecv, BernoulliECV):
+        spec = f"Bernoulli(p={ecv.p:g})"
+    elif isinstance(ecv, CategoricalECV):
+        support = ", ".join(f"{value!r}:{p:g}" for value, p in ecv.support())
+        spec = f"Categorical({support})"
+    elif isinstance(ecv, FixedECV):
+        spec = f"Fixed({ecv.value!r})"
+    elif isinstance(ecv, UniformIntECV):
+        spec = f"UniformInt[{ecv.low}, {ecv.high}]"
+    elif isinstance(ecv, ContinuousECV):
+        spec = f"Continuous[{ecv.low:g}, {ecv.high:g}]"
+    else:
+        spec = type(ecv).__name__
+    if ecv.description:
+        return f"{ecv.name} ~ {spec}  # {ecv.description}"
+    return f"{ecv.name} ~ {spec}"
+
+
+def _method_source(method: Any) -> str:
+    try:
+        source = inspect.getsource(method)
+    except (OSError, TypeError):
+        doc = inspect.getdoc(method) or "(source unavailable)"
+        return f"# {doc}"
+    return textwrap.dedent(source).rstrip()
+
+
+def describe_interface(interface: EnergyInterface,
+                       include_source: bool = True) -> str:
+    """Render an interface: header, ECV declarations, energy-method source."""
+    lines = [f"energy interface {interface.name!r} "
+             f"({type(interface).__name__})"]
+    doc = inspect.getdoc(type(interface))
+    if doc:
+        first_line = doc.splitlines()[0]
+        lines.append(f"  {first_line}")
+    declarations = interface.ecv_declarations
+    if declarations:
+        lines.append("  ECVs:")
+        for name in sorted(declarations):
+            lines.append(f"    {_describe_ecv(declarations[name])}")
+    methods = [name for name in dir(interface)
+               if name.startswith("E_") and callable(getattr(interface, name))]
+    if methods:
+        lines.append("  energy methods:")
+        for name in sorted(methods):
+            if include_source:
+                source = _method_source(getattr(interface, name))
+                lines.append(textwrap.indent(source, "    "))
+            else:
+                signature = inspect.signature(getattr(interface, name))
+                lines.append(f"    {name}{signature}")
+    return "\n".join(lines)
+
+
+def render_stack(stack: Any) -> str:
+    """Render a Fig.-2-style view of a system stack.
+
+    Layers top-down (as the figure draws them), each with its managers,
+    their resources, and the ECVs each exported interface carries —
+    the at-a-glance answer to "who composes what for whom".
+    """
+    lines: list[str] = [f"system stack ({len(stack.layers)} layers, "
+                        f"top-down)"]
+    for layer in reversed(stack.layers):
+        lines.append(f"[{layer.name}]")
+        for manager in layer.managers:
+            bindings = manager.known_bindings()
+            binding_note = (f" binds {sorted(bindings)}" if bindings
+                            else "")
+            lines.append(f"  manager {manager.name}{binding_note}")
+            for resource in manager.resources:
+                interface = resource.energy_interface
+                ecvs = sorted(interface.ecv_declarations)
+                ecv_note = f" ECVs={ecvs}" if ecvs else ""
+                lines.append(f"    resource {resource.name} -> "
+                             f"{type(interface).__name__}{ecv_note}")
+                if resource.description:
+                    lines.append(f"      # {resource.description}")
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render a plain-text table with aligned columns."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def render_row(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width)
+                         for value, width in zip(values, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_comparison(label: str, predicted_joules: float,
+                      measured_joules: float) -> str:
+    """One-line prediction-vs-measurement comparison with relative error."""
+    if measured_joules != 0:
+        error = abs(predicted_joules - measured_joules) / abs(measured_joules)
+        error_text = f"{100 * error:.2f}%"
+    else:
+        error_text = "n/a"
+    return (f"{label}: predicted {predicted_joules:.6g} J, "
+            f"measured {measured_joules:.6g} J, error {error_text}")

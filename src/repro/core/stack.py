@@ -1,0 +1,246 @@
+"""The layered system stack: resources, resource managers and layers.
+
+Fig. 2 of the paper models a system as a stack of *layers*; each layer
+contains *resources* (hardware or software components that perform
+energy-consuming work) administered by at least one *resource manager*.
+Managers have visibility into the energy interfaces of the resources they
+manage, and — because they decide allocation and hold the bindings between
+layers — they are the agents that *compose* those interfaces and export
+the result to the layer above (arrows ①–④ in the figure).
+
+:class:`SystemStack` captures the two advantages §3 claims for this
+layered view:
+
+* **Machine retargeting** — :meth:`SystemStack.replace_layer` swaps the
+  bottom (hardware) layer for a different machine's energy interfaces;
+  nothing above changes, and end-to-end predictions update automatically.
+* **Granularity tailoring** — callers can ask any layer for its exported
+  interfaces, obtaining the same system's energy behaviour at service
+  level, runtime level or hardware level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.composition import BoundInterface
+from repro.core.errors import CompositionError
+from repro.core.interface import EnergyInterface
+
+__all__ = ["Resource", "ResourceManager", "Layer", "SystemStack"]
+
+
+@dataclass
+class Resource:
+    """A hardware or software component with an energy interface.
+
+    ``functional`` optionally holds the implementation object (whose
+    semantics the functional interface would describe); the framework only
+    needs it for divergence testing (§4.2).
+    """
+
+    name: str
+    energy_interface: EnergyInterface
+    functional: Any = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CompositionError("a resource needs a non-empty name")
+
+
+class ResourceManager:
+    """A resource manager: registers resources, exports composed interfaces.
+
+    The base class exports each resource's interface with the manager's
+    *known bindings* applied (see :meth:`known_bindings`).  Subclasses in
+    :mod:`repro.managers` override :meth:`known_bindings` or
+    :meth:`export_interface` to encode their management policy — a cache
+    manager binds hit-rate ECVs from observed statistics, a scheduler binds
+    DVFS-state ECVs from its governor policy, and so on.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._resources: dict[str, Resource] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(self, resource: Resource) -> Resource:
+        """Register a resource under this manager."""
+        if resource.name in self._resources:
+            raise CompositionError(
+                f"manager {self.name!r} already manages a resource named "
+                f"{resource.name!r}")
+        self._resources[resource.name] = resource
+        return resource
+
+    def resource(self, name: str) -> Resource:
+        """Look up a managed resource by name."""
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise CompositionError(
+                f"manager {self.name!r} manages no resource named {name!r}; "
+                f"known: {sorted(self._resources)}") from None
+
+    @property
+    def resources(self) -> list[Resource]:
+        """All managed resources, in registration order."""
+        return list(self._resources.values())
+
+    # -- composition ---------------------------------------------------------
+    def known_bindings(self) -> Mapping[str, Any]:
+        """ECV bindings this manager can supply from its policy/state.
+
+        The base manager knows nothing; subclasses override.
+        """
+        return {}
+
+    def export_interface(self, resource_name: str) -> EnergyInterface:
+        """The interface for ``resource_name`` as exported to the layer above.
+
+        Applies :meth:`known_bindings` (as defaults — explicit caller
+        environments still override them, enabling what-if analysis).
+        """
+        resource = self.resource(resource_name)
+        bindings = dict(self.known_bindings())
+        if not bindings:
+            return resource.energy_interface
+        return BoundInterface(resource.energy_interface, bindings)
+
+    def export_all(self) -> dict[str, EnergyInterface]:
+        """Exported interfaces for every managed resource."""
+        return {name: self.export_interface(name) for name in self._resources}
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"resources={sorted(self._resources)})")
+
+
+@dataclass
+class Layer:
+    """One layer of the system stack: resources plus their manager(s)."""
+
+    name: str
+    managers: list[ResourceManager] = field(default_factory=list)
+
+    def add_manager(self, manager: ResourceManager) -> ResourceManager:
+        """Attach a resource manager to this layer."""
+        self.managers.append(manager)
+        return manager
+
+    def manager(self, name: str) -> ResourceManager:
+        """Look up a manager by name."""
+        for manager in self.managers:
+            if manager.name == name:
+                return manager
+        raise CompositionError(
+            f"layer {self.name!r} has no manager named {name!r}; known: "
+            f"{[m.name for m in self.managers]}")
+
+    def resources(self) -> list[Resource]:
+        """All resources across this layer's managers."""
+        found: list[Resource] = []
+        for manager in self.managers:
+            found.extend(manager.resources)
+        return found
+
+    def exported_interfaces(self) -> dict[str, EnergyInterface]:
+        """Interfaces this layer exports upward, keyed by resource name."""
+        exported: dict[str, EnergyInterface] = {}
+        for manager in self.managers:
+            for name, interface in manager.export_all().items():
+                if name in exported:
+                    raise CompositionError(
+                        f"layer {self.name!r} exports two resources named "
+                        f"{name!r}")
+                exported[name] = interface
+        return exported
+
+
+class SystemStack:
+    """An ordered stack of layers, bottom (hardware) first."""
+
+    def __init__(self, layers: Iterable[Layer] = ()) -> None:
+        self._layers: list[Layer] = []
+        for layer in layers:
+            self.add_layer(layer)
+
+    # -- structure -----------------------------------------------------------
+    def add_layer(self, layer: Layer) -> Layer:
+        """Append a layer on top of the stack."""
+        if any(existing.name == layer.name for existing in self._layers):
+            raise CompositionError(f"stack already has a layer named {layer.name!r}")
+        self._layers.append(layer)
+        return layer
+
+    @property
+    def layers(self) -> list[Layer]:
+        """Layers bottom-up."""
+        return list(self._layers)
+
+    def layer(self, name: str) -> Layer:
+        """Look up a layer by name."""
+        for layer in self._layers:
+            if layer.name == name:
+                return layer
+        raise CompositionError(
+            f"stack has no layer named {name!r}; known: "
+            f"{[layer.name for layer in self._layers]}")
+
+    def replace_layer(self, name: str, replacement: Layer) -> None:
+        """Swap a layer in place — §3's machine-retargeting advantage.
+
+        Replacing the bottom (hardware) layer re-targets every prediction
+        made through exported interfaces without touching upper layers.
+        """
+        for index, layer in enumerate(self._layers):
+            if layer.name == name:
+                self._layers[index] = replacement
+                return
+        raise CompositionError(f"stack has no layer named {name!r} to replace")
+
+    # -- lookup ---------------------------------------------------------------
+    def resource(self, path: str) -> Resource:
+        """Look up a resource by ``"layer/resource"`` path."""
+        if "/" not in path:
+            raise CompositionError(
+                f"resource path must look like 'layer/resource', got {path!r}")
+        layer_name, _, resource_name = path.partition("/")
+        layer = self.layer(layer_name)
+        for manager in layer.managers:
+            for resource in manager.resources:
+                if resource.name == resource_name:
+                    return resource
+        raise CompositionError(
+            f"layer {layer_name!r} has no resource named {resource_name!r}")
+
+    def exported_interface(self, path: str) -> EnergyInterface:
+        """The exported (manager-composed) interface of a resource."""
+        layer_name, _, resource_name = path.partition("/")
+        layer = self.layer(layer_name)
+        for manager in layer.managers:
+            try:
+                manager.resource(resource_name)
+            except CompositionError:
+                continue
+            return manager.export_interface(resource_name)
+        raise CompositionError(
+            f"layer {layer_name!r} exports no resource named {resource_name!r}")
+
+    def stack_bindings(self) -> dict[str, Any]:
+        """All ECV bindings known by any manager in the stack.
+
+        Bindings from higher layers win on conflict: they are closer to
+        the workload and therefore better informed.
+        """
+        merged: dict[str, Any] = {}
+        for layer in self._layers:
+            for manager in layer.managers:
+                merged.update(manager.known_bindings())
+        return merged
+
+    def __repr__(self) -> str:
+        names = " -> ".join(layer.name for layer in self._layers)
+        return f"SystemStack({names})"

@@ -1,0 +1,370 @@
+"""Energy value types: concrete Joules and abstract energy units.
+
+The paper (§3) allows an energy interface to return energy either in
+concrete physical units (Joules, milli-Joules, Watt-seconds, ...) or in
+*abstract energy units* such as "energy for a 2D convolution" or "energy
+for a ReLU".  Abstract units support composition and relative comparison
+("this function costs twice as much as that one") without committing to a
+hardware-specific Joule figure; they are *grounded* to Joules by supplying
+a per-unit cost table, typically obtained from a hardware energy interface
+or from microbenchmark calibration.
+
+Two value types implement this:
+
+:class:`Energy`
+    An immutable wrapper around a float number of Joules with full
+    arithmetic, comparison and formatting support.
+
+:class:`AbstractEnergy`
+    An immutable linear combination of named abstract units, e.g.
+    ``8 * Unit("conv2d") + 16 * Unit("mlp")``, with :meth:`AbstractEnergy.ground`
+    converting it to :class:`Energy` given a cost table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping, Union
+
+from repro.core.errors import UnitMismatchError
+
+__all__ = [
+    "Energy",
+    "AbstractEnergy",
+    "Unit",
+    "ZERO",
+    "as_joules",
+]
+
+#: Tolerance used by :meth:`Energy.isclose` and equality of grounded values.
+_REL_TOL = 1e-9
+
+
+class Energy:
+    """An amount of energy, stored internally in Joules.
+
+    ``Energy`` is immutable and supports the arithmetic a physical
+    quantity should: addition/subtraction with other energies, scaling by
+    dimensionless numbers, division by another energy (yielding a float
+    ratio) and total-order comparisons.
+
+    >>> Energy.millijoules(5) + Energy.millijoules(100)
+    Energy(0.105 J)
+    >>> 2 * Energy.joules(1.5)
+    Energy(3 J)
+    """
+
+    __slots__ = ("_joules",)
+
+    def __init__(self, joules: float) -> None:
+        self._joules = float(joules)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def joules(cls, value: float) -> "Energy":
+        """Construct from Joules."""
+        return cls(value)
+
+    @classmethod
+    def millijoules(cls, value: float) -> "Energy":
+        """Construct from milli-Joules."""
+        return cls(value * 1e-3)
+
+    @classmethod
+    def microjoules(cls, value: float) -> "Energy":
+        """Construct from micro-Joules."""
+        return cls(value * 1e-6)
+
+    @classmethod
+    def nanojoules(cls, value: float) -> "Energy":
+        """Construct from nano-Joules."""
+        return cls(value * 1e-9)
+
+    @classmethod
+    def picojoules(cls, value: float) -> "Energy":
+        """Construct from pico-Joules."""
+        return cls(value * 1e-12)
+
+    @classmethod
+    def watt_seconds(cls, value: float) -> "Energy":
+        """Construct from Watt-seconds (identical to Joules)."""
+        return cls(value)
+
+    @classmethod
+    def watt_hours(cls, value: float) -> "Energy":
+        """Construct from Watt-hours."""
+        return cls(value * 3600.0)
+
+    @classmethod
+    def kilowatt_hours(cls, value: float) -> "Energy":
+        """Construct from kilo-Watt-hours."""
+        return cls(value * 3.6e6)
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def as_joules(self) -> float:
+        """The value in Joules as a plain float."""
+        return self._joules
+
+    @property
+    def as_millijoules(self) -> float:
+        """The value in milli-Joules as a plain float."""
+        return self._joules * 1e3
+
+    @property
+    def as_microjoules(self) -> float:
+        """The value in micro-Joules as a plain float."""
+        return self._joules * 1e6
+
+    @property
+    def as_watt_hours(self) -> float:
+        """The value in Watt-hours as a plain float."""
+        return self._joules / 3600.0
+
+    @property
+    def as_kilowatt_hours(self) -> float:
+        """The value in kilo-Watt-hours as a plain float."""
+        return self._joules / 3.6e6
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: "Energy") -> "Energy":
+        if isinstance(other, Energy):
+            return Energy(self._joules + other._joules)
+        if other == 0:  # allow sum() over energies
+            return Energy(self._joules)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Energy") -> "Energy":
+        if isinstance(other, Energy):
+            return Energy(self._joules - other._joules)
+        return NotImplemented
+
+    def __mul__(self, factor: float) -> "Energy":
+        if isinstance(factor, (int, float)):
+            return Energy(self._joules * factor)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Energy", float]) -> Union["Energy", float]:
+        if isinstance(other, Energy):
+            return self._joules / other._joules
+        if isinstance(other, (int, float)):
+            return Energy(self._joules / other)
+        return NotImplemented
+
+    def __neg__(self) -> "Energy":
+        return Energy(-self._joules)
+
+    def __abs__(self) -> "Energy":
+        return Energy(abs(self._joules))
+
+    def __float__(self) -> float:
+        return self._joules
+
+    # -- comparisons ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Energy):
+            return self._joules == other._joules
+        return NotImplemented
+
+    def __lt__(self, other: "Energy") -> bool:
+        if isinstance(other, Energy):
+            return self._joules < other._joules
+        return NotImplemented
+
+    def __le__(self, other: "Energy") -> bool:
+        if isinstance(other, Energy):
+            return self._joules <= other._joules
+        return NotImplemented
+
+    def __gt__(self, other: "Energy") -> bool:
+        if isinstance(other, Energy):
+            return self._joules > other._joules
+        return NotImplemented
+
+    def __ge__(self, other: "Energy") -> bool:
+        if isinstance(other, Energy):
+            return self._joules >= other._joules
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Energy", self._joules))
+
+    def isclose(self, other: "Energy", rel_tol: float = _REL_TOL,
+                abs_tol: float = 0.0) -> bool:
+        """Approximate equality, mirroring :func:`math.isclose`."""
+        return math.isclose(self._joules, other._joules,
+                            rel_tol=rel_tol, abs_tol=abs_tol)
+
+    # -- formatting -------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Energy({self.human_readable()})"
+
+    def __str__(self) -> str:
+        return self.human_readable()
+
+    def human_readable(self) -> str:
+        """Render with an SI prefix chosen to keep the mantissa readable."""
+        value = self._joules
+        if value == 0:
+            return "0 J"
+        magnitude = abs(value)
+        for threshold, factor, suffix in (
+            (3.6e6, 1 / 3.6e6, "kWh"),
+            (1.0, 1.0, "J"),
+            (1e-3, 1e3, "mJ"),
+            (1e-6, 1e6, "uJ"),
+            (1e-9, 1e9, "nJ"),
+        ):
+            if magnitude >= threshold:
+                return f"{value * factor:.6g} {suffix}"
+        return f"{value * 1e12:.6g} pJ"
+
+
+#: The zero energy, convenient as a fold seed.
+ZERO = Energy(0.0)
+
+
+def as_joules(value: Union["Energy", float, int]) -> float:
+    """Coerce an :class:`Energy` or a bare number (interpreted as Joules)."""
+    if isinstance(value, Energy):
+        return value.as_joules
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise TypeError(f"cannot interpret {value!r} as an energy in Joules")
+
+
+class AbstractEnergy:
+    """A linear combination of named abstract energy units.
+
+    Instances behave like sparse vectors indexed by unit name.  They are
+    immutable; arithmetic returns new instances.  Terms with coefficient
+    zero are dropped, so ``a - a == AbstractEnergy()``.
+
+    >>> conv, relu = Unit("conv2d"), Unit("relu")
+    >>> cost = 8 * conv + 8 * relu
+    >>> cost.coefficient("conv2d")
+    8.0
+    >>> cost.ground({"conv2d": Energy.microjoules(3), "relu": Energy.nanojoules(40)})
+    Energy(24.32 uJ)
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[str, float] | None = None) -> None:
+        cleaned = {}
+        for unit, coeff in (terms or {}).items():
+            coeff = float(coeff)
+            if coeff != 0.0:
+                cleaned[str(unit)] = coeff
+        self._terms = cleaned
+
+    # -- accessors --------------------------------------------------------
+    def coefficient(self, unit: str) -> float:
+        """Coefficient of ``unit`` (0.0 when absent)."""
+        return self._terms.get(unit, 0.0)
+
+    @property
+    def units(self) -> frozenset:
+        """The set of unit names with non-zero coefficients."""
+        return frozenset(self._terms)
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        """Iterate ``(unit, coefficient)`` pairs in sorted unit order."""
+        return iter(sorted(self._terms.items()))
+
+    def is_zero(self) -> bool:
+        """True when every coefficient is zero."""
+        return not self._terms
+
+    # -- algebra ----------------------------------------------------------
+    def __add__(self, other: "AbstractEnergy") -> "AbstractEnergy":
+        if isinstance(other, AbstractEnergy):
+            merged = dict(self._terms)
+            for unit, coeff in other._terms.items():
+                merged[unit] = merged.get(unit, 0.0) + coeff
+            return AbstractEnergy(merged)
+        if other == 0:
+            return self
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "AbstractEnergy") -> "AbstractEnergy":
+        if isinstance(other, AbstractEnergy):
+            return self + (-1.0) * other
+        return NotImplemented
+
+    def __mul__(self, factor: float) -> "AbstractEnergy":
+        if isinstance(factor, (int, float)):
+            return AbstractEnergy(
+                {unit: coeff * factor for unit, coeff in self._terms.items()})
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AbstractEnergy):
+            return self._terms == other._terms
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    # -- semantics --------------------------------------------------------
+    def ratio_to(self, other: "AbstractEnergy") -> float:
+        """Relative cost of ``self`` versus ``other``.
+
+        Only defined when the two combinations are proportional (same units,
+        coefficients in a single common ratio) — this is the paper's
+        "2 ReLUs vs 4 ReLUs" comparison.  Raises
+        :class:`~repro.core.errors.UnitMismatchError` otherwise.
+        """
+        if other.is_zero():
+            raise UnitMismatchError("cannot take a ratio to a zero abstract energy")
+        if self.is_zero():
+            return 0.0
+        if self.units != other.units:
+            raise UnitMismatchError(
+                f"abstract energies use different units: "
+                f"{sorted(self.units)} vs {sorted(other.units)}")
+        ratios = {self._terms[u] / other._terms[u] for u in self._terms}
+        first = next(iter(ratios))
+        if any(not math.isclose(r, first, rel_tol=_REL_TOL) for r in ratios):
+            raise UnitMismatchError(
+                "abstract energies are not proportional; ground them to Joules "
+                "before comparing")
+        return first
+
+    def ground(self, cost_table: Mapping[str, Union[Energy, float]]) -> Energy:
+        """Convert to concrete :class:`Energy` using a per-unit cost table.
+
+        ``cost_table`` maps unit names to the Joules one unit costs (either
+        :class:`Energy` or a bare float in Joules).  Every unit present in
+        this combination must be covered.
+        """
+        total = 0.0
+        for unit, coeff in self._terms.items():
+            if unit not in cost_table:
+                raise UnitMismatchError(
+                    f"cost table has no entry for abstract unit {unit!r}")
+            total += coeff * as_joules(cost_table[unit])
+        return Energy(total)
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "AbstractEnergy(0)"
+        body = " + ".join(f"{coeff:g}*{unit}" for unit, coeff in self.items())
+        return f"AbstractEnergy({body})"
+
+
+def Unit(name: str) -> AbstractEnergy:
+    """One abstract energy unit with the given name.
+
+    A convenience constructor so interfaces read naturally:
+    ``8 * Unit("conv2d") + 16 * Unit("mlp")``.
+    """
+    return AbstractEnergy({name: 1.0})

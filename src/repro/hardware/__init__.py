@@ -1,0 +1,42 @@
+"""Simulated hardware substrate: components, ledger, CPU, GPU, DRAM, NIC."""
+
+from repro.hardware.battery import Battery, BatterySpec
+from repro.hardware.component import Component
+from repro.hardware.cpu import Core, CoreTypeSpec, Package
+from repro.hardware.dvfs import (
+    OPP,
+    Governor,
+    OPPTable,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    SchedutilGovernor,
+)
+from repro.hardware.gpu import GPU, GPUCounters, GPUSpec, KernelProfile
+from repro.hardware.ledger import EnergyLedger, EnergyRecord
+from repro.hardware.machine import Machine
+from repro.hardware.memory import DRAM, DRAMSpec
+from repro.hardware.nic import NIC, NICSpec
+from repro.hardware.storage import SSD, SSDSpec
+from repro.hardware.profiles import (
+    BIG_CORE,
+    LITTLE_CORE,
+    SIM3070,
+    SIM4090,
+    build_big_little,
+    build_gpu_workstation,
+    build_server,
+)
+from repro.hardware.thermal import LeakageModel, ThermalNode
+
+__all__ = [
+    "Component", "EnergyLedger", "EnergyRecord", "Machine",
+    "OPP", "OPPTable", "Governor", "PerformanceGovernor",
+    "PowersaveGovernor", "SchedutilGovernor",
+    "CoreTypeSpec", "Package", "Core",
+    "GPU", "GPUSpec", "GPUCounters", "KernelProfile",
+    "DRAM", "DRAMSpec", "NIC", "NICSpec", "SSD", "SSDSpec",
+    "Battery", "BatterySpec",
+    "ThermalNode", "LeakageModel",
+    "SIM4090", "SIM3070", "LITTLE_CORE", "BIG_CORE",
+    "build_gpu_workstation", "build_big_little", "build_server",
+]

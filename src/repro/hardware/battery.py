@@ -1,0 +1,128 @@
+"""A battery model for energy-constrained devices.
+
+§1: "devices that rely on batteries — ranging from tiny cyber-physical
+systems to electric vehicles and drones — are playing an increasingly
+central role in modern life."  For these devices energy clarity is not
+an efficiency nicety but a feasibility question: *can this mission
+complete on the charge I have?*  The battery model supplies the budget
+side of that question; the mission's energy interface supplies the
+demand side (:mod:`repro.apps.drone`).
+
+The model covers the first-order effects that matter for planning:
+
+* usable capacity (Wh) with a reserve floor (landing reserve, shutdown
+  margin);
+* discharge inefficiency that grows with draw (internal resistance —
+  high-power flight legs cost more charge than their mechanical energy);
+* capacity fade with full-cycle count (long-horizon planning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import HardwareError
+from repro.core.units import Energy
+
+__all__ = ["BatterySpec", "Battery"]
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """Electrical characteristics of a battery pack."""
+
+    name: str = "4s-lipo"
+    capacity_wh: float = 50.0
+    nominal_voltage: float = 14.8
+    internal_resistance_ohm: float = 0.04
+    reserve_fraction: float = 0.15     # never plan below this
+    fade_per_cycle: float = 0.0004     # capacity lost per full cycle
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh <= 0 or self.nominal_voltage <= 0:
+            raise HardwareError(f"battery {self.name!r} needs positive "
+                                f"capacity and voltage")
+        if self.internal_resistance_ohm < 0:
+            raise HardwareError("internal resistance must be >= 0")
+        if not 0.0 <= self.reserve_fraction < 1.0:
+            raise HardwareError("reserve fraction must be in [0, 1)")
+        if not 0.0 <= self.fade_per_cycle < 0.01:
+            raise HardwareError("fade per cycle must be in [0, 0.01)")
+
+
+class Battery:
+    """A discharging battery with draw-dependent losses."""
+
+    def __init__(self, spec: BatterySpec | None = None,
+                 cycles: float = 0.0) -> None:
+        self.spec = spec if spec is not None else BatterySpec()
+        if cycles < 0:
+            raise HardwareError("cycle count must be >= 0")
+        self.cycles = float(cycles)
+        self._charge_j = self.effective_capacity().as_joules
+
+    # -- capacity ----------------------------------------------------------
+    def effective_capacity(self) -> Energy:
+        """Full capacity after fade, in Energy."""
+        fade = max(1.0 - self.spec.fade_per_cycle * self.cycles, 0.5)
+        return Energy(self.spec.capacity_wh * 3600.0 * fade)
+
+    @property
+    def charge(self) -> Energy:
+        """Energy remaining right now."""
+        return Energy(self._charge_j)
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining fraction of effective capacity."""
+        capacity = self.effective_capacity().as_joules
+        return self._charge_j / capacity if capacity > 0 else 0.0
+
+    def usable(self) -> Energy:
+        """Charge available above the planning reserve."""
+        floor = (self.spec.reserve_fraction
+                 * self.effective_capacity().as_joules)
+        return Energy(max(self._charge_j - floor, 0.0))
+
+    # -- discharge ----------------------------------------------------------
+    def loss_factor(self, power_w: float) -> float:
+        """Charge drawn per Joule delivered at ``power_w``.
+
+        I²R loss: delivering ``P`` at the pack voltage ``V`` draws
+        ``P + I²R`` from the cells with ``I = P / V``.
+        """
+        if power_w < 0:
+            raise HardwareError("power draw must be >= 0")
+        if power_w == 0:
+            return 1.0
+        current = power_w / self.spec.nominal_voltage
+        loss = current ** 2 * self.spec.internal_resistance_ohm
+        return (power_w + loss) / power_w
+
+    def draw(self, power_w: float, seconds: float) -> Energy:
+        """Discharge at ``power_w`` for ``seconds``; returns charge used.
+
+        Raises when the draw would exhaust the pack (brown-out), leaving
+        the charge at zero — planners must check :meth:`usable` first,
+        which is the entire point of pairing batteries with interfaces.
+        """
+        if seconds < 0:
+            raise HardwareError("duration must be >= 0")
+        needed = power_w * seconds * self.loss_factor(power_w)
+        if needed > self._charge_j:
+            self._charge_j = 0.0
+            raise HardwareError(
+                f"battery exhausted: needed {needed:.1f} J, had "
+                f"{self._charge_j:.1f} J")
+        self._charge_j -= needed
+        return Energy(needed)
+
+    def recharge(self) -> None:
+        """Full recharge; counts one cycle of fade."""
+        self.cycles += 1.0
+        self._charge_j = self.effective_capacity().as_joules
+
+    def __repr__(self) -> str:
+        return (f"Battery({self.spec.name!r}, "
+                f"{self.state_of_charge:.0%} of "
+                f"{self.effective_capacity()})")

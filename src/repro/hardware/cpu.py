@@ -1,0 +1,217 @@
+"""Simulated CPU: big.LITTLE cores, DVFS, shared package power.
+
+The CPU model reproduces the effects the paper's motivation leans on:
+
+* **Asymmetric cores** (§1, Linux EAS): big cores finish faster but burn
+  more Joules per unit of work at the top OPPs; LITTLE cores are slower
+  but more efficient.  Work is measured in *capacity-seconds* (the EAS
+  convention, see :mod:`repro.hardware.dvfs`).
+* **Shared package power** (§2): the package draws static power while any
+  core is awake, so the *marginal* energy of placing work on an
+  already-busy package is lower than waking an idle one — scheduling a
+  task to a busy core can be energy-optimal.
+* **Thermal coupling** (§6): all cores of a package heat one shared
+  thermal node; package leakage rises with temperature.
+
+Cores execute *serially* (one task at a time each) with explicit start
+times, so event-driven scheduler simulations control placement and timing;
+sequential callers can use :meth:`Core.run`, which advances the machine
+clock itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import HardwareError
+from repro.hardware.component import Component
+from repro.hardware.dvfs import OPP, Governor, OPPTable
+from repro.hardware.thermal import LeakageModel, ThermalNode
+
+__all__ = ["CoreTypeSpec", "Package", "Core"]
+
+
+@dataclass(frozen=True)
+class CoreTypeSpec:
+    """A core microarchitecture: its name, OPP table and sleep power.
+
+    ``sleep_power_w`` is the deep-C-state draw of a core that had no work
+    at all during an accounting interval — cpuidle power-gates it.  A core
+    that ran anything during the interval pays its OPP's clock-gated idle
+    power for the remainder instead.
+    """
+
+    name: str
+    opp_table: OPPTable
+    sleep_power_w: float = 0.002
+
+    @property
+    def max_capacity(self) -> float:
+        """Capacity at the top OPP."""
+        return self.opp_table.max_capacity
+
+
+class Package(Component):
+    """A CPU package: shared static power, shared thermal node.
+
+    Static power has three regimes:
+
+    * ``off`` — the package is power-gated and draws nothing;
+    * idle — no core is busy: ``static_idle_w`` (retention power);
+    * active — at least one core is busy: ``static_active_w`` scaled by
+      the thermal leakage factor.
+    """
+
+    def __init__(self, name: str, static_active_w: float = 1.2,
+                 static_idle_w: float = 0.15,
+                 thermal: ThermalNode | None = None,
+                 leakage: LeakageModel | None = None) -> None:
+        super().__init__(name, domain="cpu")
+        if static_idle_w > static_active_w:
+            raise HardwareError("idle static power cannot exceed active")
+        self.static_active_w = float(static_active_w)
+        self.static_idle_w = float(static_idle_w)
+        self.thermal = thermal if thermal is not None else ThermalNode(
+            r_thermal=2.0, c_thermal=10.0)
+        self.leakage = leakage if leakage is not None else LeakageModel(0.004)
+        self.cores: list["Core"] = []
+        self.powered = True
+
+    # -- power states ---------------------------------------------------------
+    def set_powered(self, powered: bool) -> None:
+        """Gate or ungate the whole package (deep idle)."""
+        self.powered = powered
+
+    def any_core_busy(self, at_time: float) -> bool:
+        """True when at least one core has work at ``at_time``."""
+        return any(core.busy_until > at_time for core in self.cores)
+
+    @property
+    def temperature(self) -> float:
+        """Package temperature in Celsius."""
+        return self.thermal.temperature
+
+    # -- accounting ----------------------------------------------------------
+    def static_power(self) -> float:
+        if not self.powered:
+            return 0.0
+        base = (self.static_active_w if self.any_core_busy(self.now)
+                else self.static_idle_w)
+        return base * self.leakage.factor(self.thermal.temperature)
+
+    def on_advance(self, t_start: float, t_end: float) -> None:
+        dt = t_end - t_start
+        if dt <= 0:
+            return
+        if self.powered:
+            # Active whenever any core had work during the interval (a core
+            # whose task just finished at t_end counts: it ran in [t0, t1]).
+            busy = any(core.busy_until > t_start for core in self.cores)
+            base = self.static_active_w if busy else self.static_idle_w
+            power = base * self.leakage.factor(self.thermal.temperature)
+            joules = power * dt
+            if joules > 0:
+                self.log_activity(t_start, t_end, joules, tag="static")
+                self.thermal.deposit(joules)
+        self.thermal.step(dt)
+
+
+class Core(Component):
+    """One CPU core, attached to a package, running tasks serially."""
+
+    def __init__(self, name: str, spec: CoreTypeSpec, package: Package) -> None:
+        super().__init__(name, domain="cpu")
+        self.spec = spec
+        self.package = package
+        package.cores.append(self)
+        self._opp: OPP = spec.opp_table.min_opp
+        self.busy_until = 0.0
+
+    # -- DVFS ------------------------------------------------------------------
+    @property
+    def opp(self) -> OPP:
+        """The core's current operating point."""
+        return self._opp
+
+    def set_opp(self, opp: OPP) -> None:
+        """Pin the core to an OPP."""
+        self.spec.opp_table.index_of(opp)  # validates membership
+        self._opp = opp
+
+    def apply_governor(self, governor: Governor, utilization: float) -> OPP:
+        """Let a governor pick the OPP for the given load."""
+        self._opp = governor.select(self.spec.opp_table, utilization)
+        return self._opp
+
+    # -- execution ----------------------------------------------------------
+    def duration_of(self, work: float, opp: OPP | None = None) -> float:
+        """Seconds to execute ``work`` capacity-seconds at an OPP."""
+        if work < 0:
+            raise HardwareError(f"work must be >= 0, got {work}")
+        chosen = opp if opp is not None else self._opp
+        return work / chosen.capacity
+
+    def energy_of(self, work: float, opp: OPP | None = None) -> float:
+        """Extra Joules (above idle) to execute ``work`` at an OPP."""
+        chosen = opp if opp is not None else self._opp
+        duration = self.duration_of(work, chosen)
+        return (chosen.power_active_w - chosen.power_idle_w) * duration
+
+    def execute_at(self, t_start: float, work: float, tag: str = "task"
+                   ) -> tuple[float, float]:
+        """Run ``work`` capacity-seconds starting at ``t_start``.
+
+        Returns ``(t_end, joules_extra)``.  The energy logged here is the
+        *extra* power above idle; idle power is accounted continuously as
+        static energy by :meth:`static_power`, so ledger totals conserve.
+        Raises when the core is still busy at ``t_start``.
+        """
+        if not self.package.powered:
+            raise HardwareError(
+                f"core {self.name!r} cannot execute: package "
+                f"{self.package.name!r} is power-gated")
+        if t_start < self.busy_until:
+            raise HardwareError(
+                f"core {self.name!r} is busy until t={self.busy_until} s, "
+                f"cannot start at t={t_start} s")
+        duration = self.duration_of(work)
+        joules = self.energy_of(work)
+        t_end = t_start + duration
+        self.log_activity(t_start, t_end, joules, tag=tag)
+        self.package.thermal.deposit(joules)
+        self.busy_until = t_end
+        return t_end, joules
+
+    def run(self, work: float, tag: str = "task") -> tuple[float, float]:
+        """Sequential convenience: execute now and advance the machine clock."""
+        start = max(self.now, self.busy_until)
+        if start > self.now:
+            self.machine.advance_to(start)
+        t_end, joules = self.execute_at(start, work, tag=tag)
+        self.machine.advance_to(t_end)
+        return t_end, joules
+
+    # -- accounting ----------------------------------------------------------
+    def static_power(self) -> float:
+        if not self.package.powered:
+            return 0.0
+        if self.busy_until <= self.now:
+            return self.spec.sleep_power_w
+        return self._opp.power_idle_w
+
+    def on_advance(self, t_start: float, t_end: float) -> None:
+        dt = t_end - t_start
+        if dt <= 0:
+            return
+        if not self.package.powered:
+            return
+        # A core untouched for the whole interval sleeps in a deep
+        # C-state; one that ran at all keeps its OPP's idle power.
+        if self.busy_until <= t_start:
+            power = self.spec.sleep_power_w
+        else:
+            power = self._opp.power_idle_w
+        if power > 0:
+            joules = power * dt
+            self.log_activity(t_start, t_end, joules, tag="static")
+            self.package.thermal.deposit(joules)

@@ -1,0 +1,155 @@
+"""DVFS operating performance points (OPPs) and frequency governors.
+
+Models the voltage/frequency scaling that makes CPU energy behaviour
+non-linear: each :class:`OPP` pairs a clock frequency with the core's
+active and idle power at that point (power grows roughly with ``f * V^2``,
+and voltage must rise with frequency, so the energy *per cycle* is far
+higher at the top OPPs — the race-to-idle vs pace-to-deadline trade-off
+schedulers navigate).
+
+The table and capacity conventions follow the Linux Energy-Aware
+Scheduler's energy model: each OPP has a *capacity* (work per second,
+normalised so the biggest core's top OPP is 1024, as in the kernel), and
+a core's utilisation is expressed in the same scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import HardwareError
+
+__all__ = ["OPP", "OPPTable", "Governor", "PerformanceGovernor",
+           "PowersaveGovernor", "SchedutilGovernor"]
+
+#: The Linux convention: the largest core's top OPP has this capacity.
+MAX_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class OPP:
+    """One operating performance point of a core."""
+
+    frequency_hz: float
+    capacity: float          # work rate in capacity units (<= MAX_CAPACITY)
+    power_active_w: float    # full-throttle power at this OPP
+    power_idle_w: float      # clock-gated idle power at this OPP
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise HardwareError(f"OPP frequency must be > 0, got {self.frequency_hz}")
+        if not 0 < self.capacity <= MAX_CAPACITY:
+            raise HardwareError(
+                f"OPP capacity must be in (0, {MAX_CAPACITY}], got {self.capacity}")
+        if self.power_active_w < self.power_idle_w:
+            raise HardwareError("active power cannot be below idle power")
+
+    @property
+    def energy_per_capacity_second(self) -> float:
+        """Joules to deliver one capacity-unit-second of work at this OPP.
+
+        The EAS-style efficiency metric: lower is more efficient.
+        """
+        return self.power_active_w / self.capacity
+
+
+class OPPTable:
+    """The ordered list of OPPs a core type supports (ascending frequency)."""
+
+    def __init__(self, opps: list[OPP]) -> None:
+        if not opps:
+            raise HardwareError("an OPP table needs at least one OPP")
+        ordered = sorted(opps, key=lambda opp: opp.frequency_hz)
+        for lower, higher in zip(ordered, ordered[1:]):
+            if higher.capacity < lower.capacity:
+                raise HardwareError("OPP capacity must be non-decreasing in "
+                                    "frequency")
+        self._opps = ordered
+
+    def __len__(self) -> int:
+        return len(self._opps)
+
+    def __getitem__(self, index: int) -> OPP:
+        return self._opps[index]
+
+    def __iter__(self):
+        return iter(self._opps)
+
+    @property
+    def min_opp(self) -> OPP:
+        """The lowest-frequency OPP."""
+        return self._opps[0]
+
+    @property
+    def max_opp(self) -> OPP:
+        """The highest-frequency OPP."""
+        return self._opps[-1]
+
+    @property
+    def max_capacity(self) -> float:
+        """The capacity at the top OPP."""
+        return self._opps[-1].capacity
+
+    def lowest_fitting(self, utilization: float) -> OPP:
+        """The most efficient OPP whose capacity covers ``utilization``.
+
+        This is the schedutil policy: run as slowly as the load allows.
+        Falls back to the top OPP when even it cannot fit the load.
+        """
+        for opp in self._opps:
+            if opp.capacity >= utilization:
+                return opp
+        return self._opps[-1]
+
+    def index_of(self, opp: OPP) -> int:
+        """Position of an OPP in the table."""
+        for index, candidate in enumerate(self._opps):
+            if candidate == opp:
+                return index
+        raise HardwareError(f"OPP {opp} is not in this table")
+
+
+class Governor:
+    """Strategy choosing the OPP for a given core utilisation."""
+
+    name = "governor"
+
+    def select(self, table: OPPTable, utilization: float) -> OPP:
+        """Pick an OPP for a core whose load is ``utilization`` capacity units."""
+        raise NotImplementedError
+
+
+class PerformanceGovernor(Governor):
+    """Always run at the top OPP (race to idle)."""
+
+    name = "performance"
+
+    def select(self, table: OPPTable, utilization: float) -> OPP:
+        return table.max_opp
+
+
+class PowersaveGovernor(Governor):
+    """Always run at the bottom OPP."""
+
+    name = "powersave"
+
+    def select(self, table: OPPTable, utilization: float) -> OPP:
+        return table.min_opp
+
+
+class SchedutilGovernor(Governor):
+    """Pick the lowest OPP that fits the load with headroom.
+
+    Mirrors the kernel's schedutil: request capacity ``util * 1.25`` so
+    transient load growth does not immediately saturate the core.
+    """
+
+    name = "schedutil"
+
+    def __init__(self, headroom: float = 1.25) -> None:
+        if headroom < 1.0:
+            raise HardwareError(f"headroom must be >= 1, got {headroom}")
+        self.headroom = headroom
+
+    def select(self, table: OPPTable, utilization: float) -> OPP:
+        return table.lowest_fitting(utilization * self.headroom)

@@ -1,0 +1,168 @@
+"""Ground-truth energy accounting for simulated hardware.
+
+Every simulated component writes :class:`EnergyRecord` entries into its
+machine's :class:`EnergyLedger` — one record per activity or static-power
+interval, with the Joules consumed and the interval it covers.  The ledger
+is the *ground truth* of the simulation:
+
+* measurement channels (:mod:`repro.measurement`) expose noisy, quantised,
+  coarse views of it (as NVML and RAPL do for real silicon);
+* energy interfaces *predict* it;
+* divergence between the two is what §4.2's testing workflow flags as an
+  energy bug.
+
+Records assume uniform power over their interval, which lets the ledger
+answer windowed queries (``energy_between``) and instantaneous power
+queries (``power_at``) by pro-rating.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import HardwareError
+
+__all__ = ["EnergyRecord", "EnergyLedger"]
+
+
+@dataclass(frozen=True)
+class EnergyRecord:
+    """One accounted interval of energy consumption."""
+
+    component: str
+    domain: str
+    t_start: float
+    t_end: float
+    joules: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise HardwareError(
+                f"energy record for {self.component!r} has inverted interval "
+                f"[{self.t_start}, {self.t_end}]")
+        if self.joules < 0:
+            raise HardwareError(
+                f"energy record for {self.component!r} has negative energy "
+                f"{self.joules} J")
+
+    @property
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.t_end - self.t_start
+
+    def overlap_joules(self, t0: float, t1: float) -> float:
+        """Energy attributable to the window ``[t0, t1]`` (pro-rated)."""
+        if self.duration == 0.0:
+            # Instantaneous record: counts if its instant is in the window.
+            return self.joules if t0 <= self.t_start <= t1 else 0.0
+        overlap = min(self.t_end, t1) - max(self.t_start, t0)
+        if overlap <= 0:
+            return 0.0
+        return self.joules * overlap / self.duration
+
+    @property
+    def average_power(self) -> float:
+        """Mean power over the interval in Watts (inf for instants)."""
+        if self.duration == 0.0:
+            return float("inf") if self.joules > 0 else 0.0
+        return self.joules / self.duration
+
+
+class EnergyLedger:
+    """Append-only store of energy records with windowed queries."""
+
+    def __init__(self) -> None:
+        self._records: list[EnergyRecord] = []
+        self._starts: list[float] = []
+        self._max_end = 0.0
+        self._max_duration = 0.0
+
+    def log(self, record: EnergyRecord) -> None:
+        """Append one record. Records must arrive in start-time order."""
+        if self._starts and record.t_start < self._starts[-1]:
+            raise HardwareError(
+                f"energy records must be appended in start-time order; got "
+                f"t_start={record.t_start} after {self._starts[-1]}")
+        self._records.append(record)
+        self._starts.append(record.t_start)
+        self._max_end = max(self._max_end, record.t_end)
+        self._max_duration = max(self._max_duration, record.duration)
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, component: str | None = None,
+                domain: str | None = None) -> list[EnergyRecord]:
+        """All records, optionally filtered by component and/or domain."""
+        selected: Iterable[EnergyRecord] = self._records
+        if component is not None:
+            selected = (r for r in selected if r.component == component)
+        if domain is not None:
+            selected = (r for r in selected if r.domain == domain)
+        return list(selected)
+
+    def total_joules(self, component: str | None = None,
+                     domain: str | None = None) -> float:
+        """Total accounted energy, optionally filtered."""
+        return sum(r.joules for r in self.records(component, domain))
+
+    def energy_between(self, t0: float, t1: float,
+                       component: str | None = None,
+                       domain: str | None = None) -> float:
+        """Energy attributable to the window ``[t0, t1]``, pro-rated."""
+        if t1 < t0:
+            raise HardwareError(f"inverted query window [{t0}, {t1}]")
+        # Records are start-ordered; those starting after t1 cannot overlap,
+        # and none starting before t0 - max_duration can reach into [t0, t1].
+        stop = bisect.bisect_right(self._starts, t1)
+        begin = bisect.bisect_left(self._starts, t0 - self._max_duration)
+        total = 0.0
+        for record in self._records[begin:stop]:
+            if record.t_end < t0 and record.duration > 0:
+                continue
+            if component is not None and record.component != component:
+                continue
+            if domain is not None and record.domain != domain:
+                continue
+            total += record.overlap_joules(t0, t1)
+        return total
+
+    def power_at(self, t: float, component: str | None = None,
+                 domain: str | None = None) -> float:
+        """Instantaneous power at time ``t`` (sum of covering records)."""
+        stop = bisect.bisect_right(self._starts, t)
+        power = 0.0
+        for record in self._records[:stop]:
+            if record.t_end <= t or record.duration == 0.0:
+                continue
+            if component is not None and record.component != component:
+                continue
+            if domain is not None and record.domain != domain:
+                continue
+            power += record.average_power
+        return power
+
+    def by_component(self) -> dict[str, float]:
+        """Total Joules per component — the attribution breakdown."""
+        totals: dict[str, float] = {}
+        for record in self._records:
+            totals[record.component] = totals.get(record.component, 0.0) + record.joules
+        return totals
+
+    def by_tag(self, component: str | None = None) -> dict[str, float]:
+        """Total Joules per tag, optionally for a single component."""
+        totals: dict[str, float] = {}
+        for record in self._records:
+            if component is not None and record.component != component:
+                continue
+            totals[record.tag] = totals.get(record.tag, 0.0) + record.joules
+        return totals
+
+    @property
+    def horizon(self) -> float:
+        """Latest record end time."""
+        return self._max_end

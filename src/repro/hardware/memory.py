@@ -1,0 +1,80 @@
+"""Simulated DRAM: per-line access energy plus refresh background power.
+
+Used by the CPU-side applications (web service, cache, schedulers) and by
+the RAPL DRAM domain.  Accesses are accounted per 64-byte line; refresh
+and self-refresh power accrue as static energy on the machine clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import HardwareError
+from repro.hardware.component import Component
+
+__all__ = ["DRAMSpec", "DRAM"]
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class DRAMSpec:
+    """Energy characteristics of a DRAM subsystem."""
+
+    name: str = "ddr4"
+    e_read_line: float = 15e-9      # J per 64 B line read
+    e_write_line: float = 18e-9     # J per 64 B line written
+    p_refresh_w: float = 0.8        # background refresh power
+    bandwidth_bytes: float = 25e9   # B/s
+
+    def __post_init__(self) -> None:
+        if min(self.e_read_line, self.e_write_line, self.p_refresh_w,
+               self.bandwidth_bytes) < 0:
+            raise HardwareError(f"DRAM spec {self.name!r} has negative values")
+
+
+class DRAM(Component):
+    """A DRAM component accounting access and refresh energy."""
+
+    def __init__(self, name: str, spec: DRAMSpec | None = None) -> None:
+        super().__init__(name, domain="dram")
+        self.spec = spec if spec is not None else DRAMSpec()
+        self.lines_read = 0
+        self.lines_written = 0
+
+    def access_energy(self, bytes_read: float = 0.0,
+                      bytes_written: float = 0.0) -> float:
+        """Joules for an access of the given size (whole lines)."""
+        if bytes_read < 0 or bytes_written < 0:
+            raise HardwareError("access sizes must be >= 0")
+        read_lines = -(-int(bytes_read) // LINE_BYTES) if bytes_read else 0
+        write_lines = -(-int(bytes_written) // LINE_BYTES) if bytes_written else 0
+        return (read_lines * self.spec.e_read_line
+                + write_lines * self.spec.e_write_line)
+
+    def access_duration(self, bytes_read: float = 0.0,
+                        bytes_written: float = 0.0) -> float:
+        """Seconds the access occupies the memory bus."""
+        return (bytes_read + bytes_written) / self.spec.bandwidth_bytes
+
+    def access_at(self, t_start: float, bytes_read: float = 0.0,
+                  bytes_written: float = 0.0, tag: str = "access"
+                  ) -> tuple[float, float]:
+        """Account an access at an explicit time; returns (t_end, joules)."""
+        joules = self.access_energy(bytes_read, bytes_written)
+        duration = self.access_duration(bytes_read, bytes_written)
+        self.log_activity(t_start, t_start + duration, joules, tag=tag)
+        self.lines_read += -(-int(bytes_read) // LINE_BYTES) if bytes_read else 0
+        self.lines_written += (-(-int(bytes_written) // LINE_BYTES)
+                               if bytes_written else 0)
+        return t_start + duration, joules
+
+    def access(self, bytes_read: float = 0.0, bytes_written: float = 0.0,
+               tag: str = "access") -> tuple[float, float]:
+        """Sequential convenience: access now, advancing the machine clock."""
+        t_end, joules = self.access_at(self.now, bytes_read, bytes_written, tag)
+        self.machine.advance_to(t_end)
+        return t_end, joules
+
+    def static_power(self) -> float:
+        return self.spec.p_refresh_w

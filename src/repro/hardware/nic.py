@@ -1,0 +1,100 @@
+"""Simulated network interface with an explicit radio power-state machine.
+
+This is the paper's §4.2 side-effect example made concrete: "if an app
+causes a smartphone's WiFi radio to turn on, subsequent apps using WiFi
+will consume less energy than if it had been them turning the radio on".
+Sending on a sleeping radio *implicitly wakes it* — a state mutation whose
+energy is attributed to the first sender and whose benefit accrues to
+later senders.  The side-effects analysis in
+:mod:`repro.analysis.sideeffects` must track exactly this.
+
+States: ``off`` (radio powered down), ``idle`` (awake, listening),
+``active`` (transmitting/receiving — modelled per operation, the
+persistent states are off/idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import HardwareError
+from repro.hardware.component import Component
+
+__all__ = ["NICSpec", "NIC"]
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """Energy characteristics of a network interface / radio."""
+
+    name: str = "wifi"
+    e_per_byte_tx: float = 6e-9    # J per byte transmitted
+    e_per_byte_rx: float = 4e-9    # J per byte received
+    e_wake: float = 0.030          # J to power the radio up
+    wake_latency: float = 0.004    # s to power up
+    p_idle_w: float = 0.25         # awake-listening power
+    p_off_w: float = 0.002         # leakage while off
+    bandwidth_bytes: float = 40e6  # B/s on the air
+
+    def __post_init__(self) -> None:
+        if min(self.e_per_byte_tx, self.e_per_byte_rx, self.e_wake,
+               self.wake_latency, self.p_idle_w, self.p_off_w,
+               self.bandwidth_bytes) < 0:
+            raise HardwareError(f"NIC spec {self.name!r} has negative values")
+
+
+class NIC(Component):
+    """A NIC whose radio wakes implicitly on first use."""
+
+    def __init__(self, name: str, spec: NICSpec | None = None) -> None:
+        super().__init__(name, domain="nic")
+        self.spec = spec if spec is not None else NICSpec()
+        self.state = "off"
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        self.wake_count = 0
+
+    # -- state machine ------------------------------------------------------
+    def wake(self) -> float:
+        """Power the radio up; returns the latency paid (0 if already awake)."""
+        if self.state != "off":
+            return 0.0
+        t_start = self.now
+        self.log_activity(t_start, t_start + self.spec.wake_latency,
+                          self.spec.e_wake, tag="wake")
+        self.machine.advance(self.spec.wake_latency)
+        self.state = "idle"
+        self.wake_count += 1
+        return self.spec.wake_latency
+
+    def sleep(self) -> None:
+        """Power the radio down."""
+        self.state = "off"
+
+    # -- traffic -------------------------------------------------------------
+    def _transfer(self, n_bytes: int, per_byte: float, tag: str) -> float:
+        if n_bytes < 0:
+            raise HardwareError(f"cannot transfer {n_bytes} bytes")
+        latency = self.wake()  # the implicit side effect
+        duration = n_bytes / self.spec.bandwidth_bytes
+        t_start = self.now
+        self.log_activity(t_start, t_start + duration, n_bytes * per_byte,
+                          tag=tag)
+        self.machine.advance(duration)
+        return latency + duration
+
+    def send(self, n_bytes: int) -> float:
+        """Transmit; wakes the radio if needed. Returns total seconds."""
+        seconds = self._transfer(n_bytes, self.spec.e_per_byte_tx, "tx")
+        self.bytes_tx += n_bytes
+        return seconds
+
+    def receive(self, n_bytes: int) -> float:
+        """Receive; wakes the radio if needed. Returns total seconds."""
+        seconds = self._transfer(n_bytes, self.spec.e_per_byte_rx, "rx")
+        self.bytes_rx += n_bytes
+        return seconds
+
+    # -- accounting ----------------------------------------------------------
+    def static_power(self) -> float:
+        return self.spec.p_idle_w if self.state != "off" else self.spec.p_off_w

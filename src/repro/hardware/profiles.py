@@ -1,0 +1,156 @@
+"""Concrete device profiles and machine builders.
+
+The two GPU profiles stand in for the paper's RTX 4090 and RTX 3070
+(we have neither the hardware nor NVML, see DESIGN.md).  Their per-event
+energies and rates are set from public figures — die process, memory
+bandwidth, board power — scaled to warp-instruction / sector granularity.
+The important *relationships* are preserved:
+
+* SIM4090 (5 nm-class): lower energy per event, large L2, mild
+  thermal-leakage slope, small hidden row-activation cost;
+* SIM3070 (8 nm-class, GDDR6): higher per-event energy, a much larger
+  hidden row-activation cost and steeper leakage — the unmodelled effects
+  that give its energy interface the paper's ~6 % error instead of ~0.7 %.
+
+The CPU profiles model a big.LITTLE part in the style of the Linux EAS
+documentation, with capacities normalised to 1024.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import Core, CoreTypeSpec, Package
+from repro.hardware.dvfs import OPP, OPPTable
+from repro.hardware.gpu import GPU, GPUSpec
+from repro.hardware.machine import Machine
+from repro.hardware.memory import DRAM, DRAMSpec
+from repro.hardware.nic import NIC, NICSpec
+
+__all__ = [
+    "SIM4090",
+    "SIM3070",
+    "LITTLE_CORE",
+    "BIG_CORE",
+    "build_gpu_workstation",
+    "build_big_little",
+    "build_server",
+]
+
+SIM4090 = GPUSpec(
+    name="sim4090",
+    e_instruction=1.5e-11,
+    e_l1_wavefront=3.0e-11,
+    e_l2_sector=1.0e-10,
+    e_vram_sector=6.0e-9,
+    e_vram_row_activate=1.0e-9,
+    e_kernel_launch=5.0e-6,
+    p_static_w=55.0,
+    thermal_r=0.08,
+    thermal_c=500.0,
+    leakage_coeff=0.0015,
+    instr_rate=2.0e13,
+    l1_rate=8.0e12,
+    l2_rate=1.6e11,
+    vram_rate=3.15e10,
+    kernel_launch_latency=5.0e-6,
+    row_miss_fraction_default=0.04,
+)
+
+SIM3070 = GPUSpec(
+    name="sim3070",
+    e_instruction=2.5e-11,
+    e_l1_wavefront=5.0e-11,
+    e_l2_sector=1.6e-10,
+    e_vram_sector=8.0e-9,
+    e_vram_row_activate=1.6e-8,
+    e_kernel_launch=8.0e-6,
+    p_static_w=32.0,
+    thermal_r=0.15,
+    thermal_c=250.0,
+    leakage_coeff=0.005,
+    instr_rate=5.0e12,
+    l1_rate=2.5e12,
+    l2_rate=6.0e10,
+    vram_rate=1.4e10,
+    kernel_launch_latency=8.0e-6,
+    row_miss_fraction_default=0.06,
+)
+
+LITTLE_CORE = CoreTypeSpec(
+    name="little",
+    sleep_power_w=0.001,
+    opp_table=OPPTable([
+        OPP(frequency_hz=0.6e9, capacity=120, power_active_w=0.07,
+            power_idle_w=0.004),
+        OPP(frequency_hz=1.0e9, capacity=200, power_active_w=0.14,
+            power_idle_w=0.006),
+        OPP(frequency_hz=1.4e9, capacity=280, power_active_w=0.26,
+            power_idle_w=0.009),
+        OPP(frequency_hz=1.8e9, capacity=360, power_active_w=0.45,
+            power_idle_w=0.012),
+    ]),
+)
+
+BIG_CORE = CoreTypeSpec(
+    name="big",
+    sleep_power_w=0.006,
+    opp_table=OPPTable([
+        # Big cores are leaky: even the lowest OPP pays a wide, hot
+        # microarchitecture, so their Joules-per-capacity never approach a
+        # LITTLE core's (the asymmetry EAS exists to exploit).
+        OPP(frequency_hz=0.8e9, capacity=290, power_active_w=0.55,
+            power_idle_w=0.065),
+        OPP(frequency_hz=1.4e9, capacity=512, power_active_w=1.05,
+            power_idle_w=0.085),
+        OPP(frequency_hz=2.0e9, capacity=730, power_active_w=1.90,
+            power_idle_w=0.110),
+        OPP(frequency_hz=2.4e9, capacity=880, power_active_w=2.70,
+            power_idle_w=0.130),
+        OPP(frequency_hz=2.8e9, capacity=1024, power_active_w=3.60,
+            power_idle_w=0.155),
+    ]),
+)
+
+
+def build_gpu_workstation(spec: GPUSpec, name: str | None = None) -> Machine:
+    """A machine with one GPU and host DRAM — the §5 testbed."""
+    machine = Machine(name if name is not None else f"{spec.name}-workstation")
+    machine.add(GPU("gpu0", spec))
+    machine.add(DRAM("dram0", DRAMSpec()))
+    return machine
+
+
+def build_big_little(n_little: int = 4, n_big: int = 4,
+                     name: str = "big-little") -> Machine:
+    """A big.LITTLE machine — the EAS motivating platform.
+
+    LITTLE cores share one package, big cores another, so package static
+    power and thermal coupling follow the usual cluster layout.
+    """
+    machine = Machine(name)
+    little_pkg = machine.add(Package("pkg-little", static_active_w=0.5,
+                                     static_idle_w=0.05))
+    big_pkg = machine.add(Package("pkg-big", static_active_w=1.4,
+                                  static_idle_w=0.12))
+    for index in range(n_little):
+        machine.add(Core(f"little{index}", LITTLE_CORE, little_pkg))
+    for index in range(n_big):
+        machine.add(Core(f"big{index}", BIG_CORE, big_pkg))
+    machine.add(DRAM("dram0", DRAMSpec()))
+    return machine
+
+
+def build_server(name: str = "server", n_cores: int = 8,
+                 with_nic: bool = True) -> Machine:
+    """A homogeneous server node (used by cluster and web-service sims)."""
+    machine = Machine(name)
+    package = machine.add(Package("pkg0", static_active_w=18.0,
+                                  static_idle_w=4.0))
+    for index in range(n_cores):
+        machine.add(Core(f"cpu{index}", BIG_CORE, package))
+    machine.add(DRAM("dram0", DRAMSpec(p_refresh_w=2.5)))
+    if with_nic:
+        machine.add(NIC("nic0", NICSpec(name="10gbe", e_per_byte_tx=2e-9,
+                                        e_per_byte_rx=1.5e-9, e_wake=0.0,
+                                        wake_latency=0.0, p_idle_w=4.0,
+                                        p_off_w=0.5, bandwidth_bytes=1.25e9)))
+    return machine

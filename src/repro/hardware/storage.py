@@ -1,0 +1,139 @@
+"""Simulated flash storage (SSD): asymmetric read/write/erase energy.
+
+Flash's energy behaviour is famously non-uniform — reads are cheap,
+programs (writes) cost several times more, and background garbage
+collection periodically erases blocks at two orders of magnitude the
+page cost, *triggered by past write volume* rather than by the current
+request.  That makes storage a textbook ECV case: the energy of "write
+4 KiB" depends on whether this write tips the GC threshold — state the
+input cannot carry.
+
+The component tracks dirty pages and runs GC when the dirty ratio
+crosses a threshold, attributing the erase energy to the triggering
+write (how a measurement would see it), while
+:class:`StorageEnergyInterface` in :mod:`repro.apps` amortises it via a
+``gc_triggered`` ECV — the two views divergence testing reconciles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import HardwareError
+from repro.hardware.component import Component
+
+__all__ = ["SSDSpec", "SSD"]
+
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """Energy characteristics of a flash device."""
+
+    name: str = "nvme"
+    e_read_page: float = 6e-6       # J per 4 KiB page read
+    e_write_page: float = 25e-6     # J per 4 KiB page programmed
+    e_erase_block: float = 1.8e-3   # J per block erase
+    pages_per_block: int = 256
+    p_idle_w: float = 0.05
+    gc_dirty_threshold: float = 0.75   # dirty fraction triggering GC
+    capacity_blocks: int = 1024
+    read_bandwidth: float = 3.0e9      # B/s
+    write_bandwidth: float = 1.5e9     # B/s
+
+    def __post_init__(self) -> None:
+        if min(self.e_read_page, self.e_write_page, self.e_erase_block,
+               self.p_idle_w, self.read_bandwidth,
+               self.write_bandwidth) < 0:
+            raise HardwareError(f"SSD spec {self.name!r} has negative values")
+        if not 0.0 < self.gc_dirty_threshold <= 1.0:
+            raise HardwareError("gc_dirty_threshold must be in (0, 1]")
+        if self.pages_per_block <= 0 or self.capacity_blocks <= 0:
+            raise HardwareError("SSD geometry must be positive")
+
+
+class SSD(Component):
+    """A flash device with write-triggered garbage collection."""
+
+    def __init__(self, name: str, spec: SSDSpec | None = None) -> None:
+        super().__init__(name, domain="storage")
+        self.spec = spec if spec is not None else SSDSpec()
+        self.dirty_pages = 0
+        self.pages_read = 0
+        self.pages_written = 0
+        self.gc_runs = 0
+
+    # -- capacity accounting -------------------------------------------------
+    @property
+    def total_pages(self) -> int:
+        """Device capacity in pages."""
+        return self.spec.capacity_blocks * self.spec.pages_per_block
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Fraction of pages awaiting garbage collection."""
+        return self.dirty_pages / self.total_pages
+
+    # -- operations -----------------------------------------------------------
+    def read(self, n_bytes: int) -> tuple[float, float]:
+        """Read ``n_bytes``; returns (seconds, joules)."""
+        if n_bytes < 0:
+            raise HardwareError(f"cannot read {n_bytes} bytes")
+        pages = -(-n_bytes // PAGE_BYTES)
+        joules = pages * self.spec.e_read_page
+        duration = n_bytes / self.spec.read_bandwidth
+        self.log_activity(self.now, self.now + duration, joules, tag="read")
+        self.machine.advance(duration)
+        self.pages_read += pages
+        return duration, joules
+
+    def write(self, n_bytes: int) -> tuple[float, float]:
+        """Write ``n_bytes``; may trigger GC.  Returns (seconds, joules).
+
+        The erase energy lands on the write that crosses the dirty
+        threshold — the lumpy behaviour measurements observe.
+        """
+        if n_bytes < 0:
+            raise HardwareError(f"cannot write {n_bytes} bytes")
+        pages = -(-n_bytes // PAGE_BYTES)
+        joules = pages * self.spec.e_write_page
+        duration = n_bytes / self.spec.write_bandwidth
+        self.log_activity(self.now, self.now + duration, joules,
+                          tag="write")
+        self.machine.advance(duration)
+        self.pages_written += pages
+        self.dirty_pages = min(self.dirty_pages + pages, self.total_pages)
+        gc_joules = 0.0
+        if self.dirty_fraction >= self.spec.gc_dirty_threshold:
+            gc_joules = self._collect_garbage()
+        return duration, joules + gc_joules
+
+    def _collect_garbage(self) -> float:
+        """Erase every dirty block; returns the Joules spent."""
+        blocks = self.dirty_pages // self.spec.pages_per_block
+        if blocks == 0:
+            return 0.0
+        joules = blocks * self.spec.e_erase_block
+        # Erase at ~3 ms per block, a typical figure.
+        duration = blocks * 0.003
+        self.log_activity(self.now, self.now + duration, joules, tag="gc")
+        self.machine.advance(duration)
+        self.dirty_pages -= blocks * self.spec.pages_per_block
+        self.gc_runs += 1
+        return joules
+
+    def writes_until_gc(self) -> int:
+        """Pages of headroom before the next GC — manager knowledge.
+
+        A storage manager exports this as the basis for the
+        ``gc_triggered`` ECV binding: the probability that a given write
+        triggers GC is (pages written per request) / headroom.
+        """
+        threshold_pages = int(self.spec.gc_dirty_threshold
+                              * self.total_pages)
+        return max(threshold_pages - self.dirty_pages, 0)
+
+    # -- accounting -------------------------------------------------------------
+    def static_power(self) -> float:
+        return self.spec.p_idle_w

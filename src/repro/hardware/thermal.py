@@ -1,0 +1,104 @@
+"""A lumped RC thermal model with temperature-dependent leakage.
+
+§6 of the paper identifies thermal coupling as the key obstacle to
+"energy modularity": running a process on one core produces heat that
+raises the leakage of nearby circuits.  This module provides the
+first-order (single-node RC) thermal model our CPU and GPU components use:
+
+* ``dT/dt = (P_in - (T - T_ambient) / R) / C`` integrated explicitly at
+  machine-clock granularity;
+* a leakage multiplier ``1 + k * (T - T_ref)``, linearised around the
+  reference temperature, applied to static power.
+
+Components that share a :class:`ThermalNode` heat each other — two cores
+of the same package, or SMs of the same GPU die — which is exactly the
+cross-component coupling an energy interface must either model (as a
+temperature ECV) or absorb as prediction error.  Benchmark A3 quantifies
+that choice.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import HardwareError
+
+__all__ = ["ThermalNode", "LeakageModel"]
+
+
+class ThermalNode:
+    """A single-node RC thermal mass heated by attached components."""
+
+    def __init__(self, r_thermal: float, c_thermal: float,
+                 t_ambient: float = 25.0) -> None:
+        if r_thermal <= 0 or c_thermal <= 0:
+            raise HardwareError(
+                f"thermal RC constants must be positive, got R={r_thermal}, "
+                f"C={c_thermal}")
+        self.r_thermal = float(r_thermal)
+        self.c_thermal = float(c_thermal)
+        self.t_ambient = float(t_ambient)
+        self.temperature = float(t_ambient)
+        self._pending_joules = 0.0
+
+    def deposit(self, joules: float) -> None:
+        """Add heat produced since the last :meth:`step` call."""
+        if joules < 0:
+            raise HardwareError(f"cannot deposit negative heat ({joules} J)")
+        self._pending_joules += joules
+
+    def step(self, dt: float) -> float:
+        """Integrate the RC equation over ``dt`` seconds; returns temperature.
+
+        Uses sub-stepping so large machine-clock advances stay stable
+        (explicit Euler diverges when ``dt`` exceeds ``2*R*C``).
+        """
+        if dt < 0:
+            raise HardwareError(f"cannot step thermal model by {dt} s")
+        if dt == 0:
+            return self.temperature
+        power_in = self._pending_joules / dt
+        self._pending_joules = 0.0
+        time_constant = self.r_thermal * self.c_thermal
+        substeps = max(1, int(dt / (0.25 * time_constant)) + 1)
+        h = dt / substeps
+        for _ in range(substeps):
+            cooling = (self.temperature - self.t_ambient) / self.r_thermal
+            self.temperature += h * (power_in - cooling) / self.c_thermal
+        return self.temperature
+
+    def reset(self) -> None:
+        """Return to ambient with no pending heat."""
+        self.temperature = self.t_ambient
+        self._pending_joules = 0.0
+
+    @property
+    def steady_state_rise(self) -> float:
+        """Equilibrium temperature rise per Watt (= R)."""
+        return self.r_thermal
+
+    def __repr__(self) -> str:
+        return (f"ThermalNode(T={self.temperature:.2f} C, "
+                f"R={self.r_thermal}, C={self.c_thermal})")
+
+
+class LeakageModel:
+    """Linearised temperature-dependent leakage multiplier.
+
+    ``factor(T) = max(0, 1 + coefficient * (T - t_ref))`` — silicon
+    leakage grows roughly exponentially with temperature; over the
+    20–40 °C excursions our simulations produce, the linearisation is
+    accurate and keeps interfaces analysable.
+    """
+
+    def __init__(self, coefficient: float, t_ref: float = 25.0) -> None:
+        if coefficient < 0:
+            raise HardwareError(
+                f"leakage coefficient must be >= 0, got {coefficient}")
+        self.coefficient = float(coefficient)
+        self.t_ref = float(t_ref)
+
+    def factor(self, temperature: float) -> float:
+        """The multiplier applied to nominal static power."""
+        return max(0.0, 1.0 + self.coefficient * (temperature - self.t_ref))
+
+    def __repr__(self) -> str:
+        return f"LeakageModel(k={self.coefficient}/C, t_ref={self.t_ref} C)"

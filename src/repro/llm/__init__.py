@@ -1,0 +1,32 @@
+"""Kernel-level GPT-2 inference simulation and its energy interface (§5)."""
+
+from repro.llm.batching import (
+    BatchedGPT2Interface,
+    BatchedGPT2Runtime,
+    batched_decode_kernels,
+)
+from repro.llm.config import (
+    GPT2_LARGE,
+    GPT2_MEDIUM,
+    GPT2_SMALL,
+    GPT2_XL,
+    GPT2Config,
+)
+from repro.llm.interface import GPT2EnergyInterface
+from repro.llm.kernels import (
+    attention_kernel,
+    decode_step_kernels,
+    embedding_kernel,
+    gemv_kernel,
+    layernorm_kernel,
+    prefill_kernels,
+)
+from repro.llm.runtime import GenerationStats, GPT2Runtime
+
+__all__ = [
+    "GPT2Config", "GPT2_SMALL", "GPT2_MEDIUM", "GPT2_LARGE", "GPT2_XL",
+    "GPT2Runtime", "GenerationStats", "GPT2EnergyInterface",
+    "gemv_kernel", "attention_kernel", "layernorm_kernel",
+    "embedding_kernel", "decode_step_kernels", "prefill_kernels",
+    "BatchedGPT2Interface", "BatchedGPT2Runtime", "batched_decode_kernels",
+]

@@ -1,0 +1,184 @@
+"""Batched LLM serving: the energy-per-token lever the interface exposes.
+
+§1 motivates energy clarity with ML serving; the single most effective
+energy knob in LLM inference is **batching**: decode at batch 1 is
+memory-bound (every token re-streams every weight), so serving B
+requests together amortises the weight traffic B ways while the KV-cache
+traffic still scales per-request.  The energy-per-token curve therefore
+falls steeply and then flattens into the compute-bound regime — a shape
+an operator wants *before* choosing a serving configuration.
+
+This module extends the GPT-2 simulator with batched decode kernels and
+provides :class:`BatchedGPT2Interface`, whose
+``E_per_token(batch_size, kv_len)`` answers the configuration question
+directly.  Benchmark T1c validates the interface against simulation
+across the batch sweep and locates the memory→compute crossover.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WorkloadError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+from repro.hardware.gpu import GPU, GPUSpec, KernelProfile, SECTOR_BYTES, \
+    WAVEFRONT_BYTES
+from repro.llm.config import GPT2Config
+from repro.llm.kernels import (
+    INSTR_OVERHEAD,
+    L2_AMPLIFICATION,
+    ROW_MISS_KV,
+    ROW_MISS_WEIGHTS,
+    WARP_WIDTH,
+    embedding_kernel,
+    layernorm_kernel,
+)
+from repro.measurement.calibration import METRICS, CalibratedModel
+
+__all__ = ["batched_decode_kernels", "BatchedGPT2Runtime",
+           "BatchedGPT2Interface"]
+
+
+def _batched_gemm(name: str, weight_bytes: float, macs_per_item: float,
+                  batch: int, activation_bytes_per_item: float
+                  ) -> KernelProfile:
+    """A weight-stationary GEMM: weights stream once for the whole batch."""
+    total_macs = macs_per_item * batch
+    activations = activation_bytes_per_item * batch
+    vram_sectors = weight_bytes / SECTOR_BYTES  # amortised across the batch
+    return KernelProfile(
+        name=name,
+        instructions=total_macs / WARP_WIDTH * INSTR_OVERHEAD,
+        l1_wavefronts=(weight_bytes + activations) / WAVEFRONT_BYTES,
+        l2_sectors=vram_sectors * L2_AMPLIFICATION
+        + activations / SECTOR_BYTES,
+        vram_sectors=vram_sectors,
+        row_miss_fraction=ROW_MISS_WEIGHTS,
+    )
+
+
+def batched_decode_kernels(config: GPT2Config, kv_len: int,
+                           batch: int) -> list[KernelProfile]:
+    """One decode step for ``batch`` concurrent sequences.
+
+    Weights stream once per step (the amortisation); each sequence reads
+    its own KV cache (no amortisation there) and runs its own softmax.
+    """
+    if batch <= 0:
+        raise WorkloadError(f"batch must be positive, got {batch}")
+    if kv_len < 0:
+        raise WorkloadError(f"kv_len must be >= 0, got {kv_len}")
+    d = config.d_model
+    dtype = config.dtype_bytes
+    act = d * dtype
+    kernels: list[KernelProfile] = [embedding_kernel(config).scaled(batch)]
+    kv_bytes = 2 * kv_len * d * dtype * batch
+    kv_sectors = kv_bytes / SECTOR_BYTES
+    attention = KernelProfile(
+        name=f"batched_attention[b={batch},kv={kv_len}]",
+        instructions=(2 * kv_len * d * batch / WARP_WIDTH * INSTR_OVERHEAD
+                      + config.n_head * kv_len * batch / WARP_WIDTH * 2),
+        l1_wavefronts=kv_bytes / WAVEFRONT_BYTES * 1.5,
+        l2_sectors=kv_sectors * L2_AMPLIFICATION,
+        vram_sectors=kv_sectors,
+        row_miss_fraction=ROW_MISS_KV,
+    )
+    per_layer = [
+        layernorm_kernel(config).scaled(batch),
+        _batched_gemm("qkv_proj", 3 * d * d * dtype, 3 * d * d, batch, act),
+        attention,
+        _batched_gemm("attn_out", d * d * dtype, d * d, batch, act),
+        layernorm_kernel(config).scaled(batch),
+        _batched_gemm("mlp_up", d * config.d_ff * dtype, d * config.d_ff,
+                      batch, act),
+        _batched_gemm("mlp_down", config.d_ff * d * dtype,
+                      config.d_ff * d, batch, config.d_ff * dtype),
+    ]
+    for _ in range(config.n_layer):
+        kernels.extend(per_layer)
+    kernels.append(layernorm_kernel(config).scaled(batch))
+    kernels.append(_batched_gemm("lm_head", config.vocab_size * d * dtype,
+                                 config.vocab_size * d, batch, act))
+    return kernels
+
+
+class BatchedGPT2Runtime:
+    """Runs batched decode steps on the simulated GPU."""
+
+    def __init__(self, gpu: GPU, config: GPT2Config) -> None:
+        self._gpu = gpu
+        self.config = config
+
+    def decode_steps(self, batch: int, kv_len: int, n_steps: int) -> tuple:
+        """Run ``n_steps`` batched steps at fixed context; returns
+        ``(t_start, t_end, tokens_generated)``."""
+        if n_steps <= 0:
+            raise WorkloadError("n_steps must be positive")
+        t_start = self._gpu.now
+        for step in range(n_steps):
+            for kernel in batched_decode_kernels(self.config,
+                                                 kv_len + step, batch):
+                self._gpu.launch(kernel,
+                                 tag=f"{self.config.name}:batched")
+        return t_start, self._gpu.now, batch * n_steps
+
+
+class BatchedGPT2Interface(EnergyInterface):
+    """Energy per generated token as a function of the serving config."""
+
+    def __init__(self, config: GPT2Config, calibrated: CalibratedModel,
+                 rates: GPUSpec) -> None:
+        super().__init__(f"E_{config.name}_batched@{calibrated.gpu_name}")
+        self.config = config
+        self.calibrated = calibrated
+        self.rates = rates
+
+    def _kernel_duration(self, kernel: KernelProfile) -> float:
+        rates = self.rates
+        return max(
+            kernel.instructions / rates.instr_rate,
+            kernel.l1_wavefronts / rates.l1_rate,
+            kernel.l2_sectors / rates.l2_rate,
+            kernel.vram_sectors / rates.vram_rate,
+        ) + rates.kernel_launch_latency
+
+    def E_step(self, batch_size: int, kv_len: int) -> Energy:
+        """Energy of one batched decode step (all sequences advance)."""
+        counters = {metric: 0.0 for metric in METRICS}
+        for kernel in batched_decode_kernels(self.config, kv_len,
+                                             batch_size):
+            counters["instructions"] += kernel.instructions
+            counters["l1_wavefronts"] += kernel.l1_wavefronts
+            counters["l2_sectors"] += kernel.l2_sectors
+            counters["vram_sectors"] += kernel.vram_sectors
+            counters["kernel_launches"] += 1.0
+            counters["busy_seconds"] += self._kernel_duration(kernel)
+        return Energy(self.calibrated.predict_joules(counters))
+
+    def E_per_token(self, batch_size: int, kv_len: int) -> Energy:
+        """The serving question: Joules per generated token."""
+        return self.E_step(batch_size, kv_len) * (1.0 / batch_size)
+
+    def tokens_per_second(self, batch_size: int, kv_len: int) -> float:
+        """Aggregate decode throughput at this configuration."""
+        step_seconds = sum(
+            self._kernel_duration(kernel)
+            for kernel in batched_decode_kernels(self.config, kv_len,
+                                                 batch_size))
+        return batch_size / step_seconds
+
+    def crossover_batch(self, kv_len: int, max_batch: int = 256,
+                        tolerance: float = 0.2) -> int:
+        """The batch size where amortisation stops paying.
+
+        The smallest batch whose per-token energy is within ``tolerance``
+        of the ``max_batch`` asymptote — the knee an operator should
+        serve at.
+        """
+        floor = self.E_per_token(max_batch, kv_len).as_joules
+        batch = 1
+        while batch < max_batch:
+            if self.E_per_token(batch, kv_len).as_joules \
+                    <= floor * (1.0 + tolerance):
+                return batch
+            batch *= 2
+        return max_batch

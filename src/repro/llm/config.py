@@ -1,0 +1,79 @@
+"""GPT-2 model configurations.
+
+Shapes follow the public GPT-2 family (Radford et al., 2019; the
+HuggingFace checkpoints the paper used).  Only shape information is needed
+— the simulator models *energy*, not text, so there are no weights here,
+just the dimensions that determine memory traffic and instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import WorkloadError
+
+__all__ = ["GPT2Config", "GPT2_SMALL", "GPT2_MEDIUM", "GPT2_LARGE", "GPT2_XL"]
+
+
+@dataclass(frozen=True)
+class GPT2Config:
+    """Shape parameters of one GPT-2 variant."""
+
+    name: str
+    n_layer: int
+    n_head: int
+    d_model: int
+    vocab_size: int = 50257
+    n_ctx: int = 1024
+    dtype_bytes: int = 2  # fp16 inference
+
+    def __post_init__(self) -> None:
+        if min(self.n_layer, self.n_head, self.d_model, self.vocab_size,
+               self.n_ctx, self.dtype_bytes) <= 0:
+            raise WorkloadError(f"GPT-2 config {self.name!r} has non-positive "
+                                f"dimensions")
+        if self.d_model % self.n_head != 0:
+            raise WorkloadError(
+                f"GPT-2 config {self.name!r}: d_model={self.d_model} not "
+                f"divisible by n_head={self.n_head}")
+
+    @property
+    def d_ff(self) -> int:
+        """The MLP hidden width (GPT-2 uses 4x)."""
+        return 4 * self.d_model
+
+    @property
+    def d_head(self) -> int:
+        """Per-head width."""
+        return self.d_model // self.n_head
+
+    @property
+    def layer_param_count(self) -> int:
+        """Parameters of one transformer block (weights + biases)."""
+        d = self.d_model
+        attention = 3 * d * d + 3 * d + d * d + d        # qkv + out proj
+        mlp = d * self.d_ff + self.d_ff + self.d_ff * d + d
+        layernorms = 4 * d
+        return attention + mlp + layernorms
+
+    @property
+    def param_count(self) -> int:
+        """Total parameters, embeddings included (tied LM head)."""
+        embeddings = self.vocab_size * self.d_model + self.n_ctx * self.d_model
+        final_ln = 2 * self.d_model
+        return self.n_layer * self.layer_param_count + embeddings + final_ln
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of weights at the configured dtype."""
+        return self.param_count * self.dtype_bytes
+
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes appended per generated token (all layers)."""
+        return 2 * self.n_layer * self.d_model * self.dtype_bytes
+
+
+GPT2_SMALL = GPT2Config("gpt2", n_layer=12, n_head=12, d_model=768)
+GPT2_MEDIUM = GPT2Config("gpt2-medium", n_layer=24, n_head=16, d_model=1024)
+GPT2_LARGE = GPT2Config("gpt2-large", n_layer=36, n_head=20, d_model=1280)
+GPT2_XL = GPT2Config("gpt2-xl", n_layer=48, n_head=25, d_model=1600)

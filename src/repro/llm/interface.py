@@ -1,0 +1,129 @@
+"""The manually-derived energy interface for GPT-2 inference (§5).
+
+This is the reproduction's version of the paper's high-level interface:
+it "computes energy consumed in terms of static power, VRAM sector
+reads/writes, L2 sector reads/writes, L1 wavefront reads/writes, and
+instruction executions".  Counter counts per token are derived from the
+model architecture (shapes are public); the per-metric unit energies come
+from microbenchmark calibration
+(:class:`~repro.measurement.calibration.CalibratedModel`); durations are
+predicted from the device's datasheet throughput rates.
+
+What the interface deliberately does *not* know — DRAM row-activation
+costs, thermal leakage drift, sensor noise — is exactly what separates its
+predictions from NVML measurements in benchmark T1.
+
+The interface is valid for **all** inputs (any prompt length and token
+count within the context window), unlike a profiled model: it is a
+program over the workload's abstraction (two integers), not a fit to
+observed runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.interface import EnergyInterface
+from repro.core.units import AbstractEnergy, Energy
+from repro.hardware.gpu import GPUSpec, KernelProfile
+from repro.llm.config import GPT2Config
+from repro.llm.kernels import decode_step_kernels, prefill_kernels
+from repro.measurement.calibration import METRICS, CalibratedModel
+
+__all__ = ["GPT2EnergyInterface"]
+
+
+class GPT2EnergyInterface(EnergyInterface):
+    """Predicts GPT-2 generation energy from counts x calibrated units.
+
+    ``rates`` supplies only *throughput* information (instruction rate,
+    cache and VRAM bandwidths, launch latency) — the datasheet numbers a
+    vendor publishes — never the per-event energies, which the interface
+    must obtain by calibration.
+    """
+
+    def __init__(self, config: GPT2Config, calibrated: CalibratedModel,
+                 rates: GPUSpec) -> None:
+        super().__init__(f"E_{config.name}@{calibrated.gpu_name}")
+        self.config = config
+        self.calibrated = calibrated
+        self.rates = rates
+
+    # -- counter prediction -------------------------------------------------
+    def _kernel_duration(self, kernel: KernelProfile) -> float:
+        """Roofline duration from datasheet rates (mirrors the device)."""
+        rates = self.rates
+        return max(
+            kernel.instructions / rates.instr_rate,
+            kernel.l1_wavefronts / rates.l1_rate,
+            kernel.l2_sectors / rates.l2_rate,
+            kernel.vram_sectors / rates.vram_rate,
+        ) + rates.kernel_launch_latency
+
+    def predicted_counters(self, prompt_len: int, n_tokens: int,
+                           kv_start: int = 0) -> dict[str, float]:
+        """The profiler-counter footprint of one generation, predicted.
+
+        Derived from the architecture: per decode step, every weight
+        matrix streams once and the KV cache (which grows by one token per
+        step) streams once.
+        """
+        totals = {metric: 0.0 for metric in METRICS}
+
+        def accumulate(kernel: KernelProfile) -> None:
+            totals["instructions"] += kernel.instructions
+            totals["l1_wavefronts"] += kernel.l1_wavefronts
+            totals["l2_sectors"] += kernel.l2_sectors
+            totals["vram_sectors"] += kernel.vram_sectors
+            totals["kernel_launches"] += 1.0
+            totals["busy_seconds"] += self._kernel_duration(kernel)
+
+        for kernel in prefill_kernels(self.config, prompt_len):
+            accumulate(kernel)
+        kv_len = kv_start + prompt_len
+        for step in range(n_tokens):
+            for kernel in decode_step_kernels(self.config, kv_len + step):
+                accumulate(kernel)
+        return totals
+
+    # -- the energy interface proper --------------------------------------
+    def E_generate(self, prompt_len: int, n_tokens: int) -> Energy:
+        """Energy to prefill ``prompt_len`` tokens and generate ``n_tokens``."""
+        counters = self.predicted_counters(prompt_len, n_tokens)
+        return Energy(self.calibrated.predict_joules(counters))
+
+    def E_decode_token(self, kv_len: int) -> Energy:
+        """Energy to generate one token with ``kv_len`` tokens of context."""
+        counters = {metric: 0.0 for metric in METRICS}
+        for kernel in decode_step_kernels(self.config, kv_len):
+            counters["instructions"] += kernel.instructions
+            counters["l1_wavefronts"] += kernel.l1_wavefronts
+            counters["l2_sectors"] += kernel.l2_sectors
+            counters["vram_sectors"] += kernel.vram_sectors
+            counters["kernel_launches"] += 1.0
+            counters["busy_seconds"] += self._kernel_duration(kernel)
+        return Energy(self.calibrated.predict_joules(counters))
+
+    def E_prefill(self, prompt_len: int) -> Energy:
+        """Energy to ingest a prompt."""
+        return self.E_generate(prompt_len, 0)
+
+    def E_idle(self, seconds: float) -> Energy:
+        """§3's special idle-state input: energy of doing nothing.
+
+        A loaded model still pins VRAM and keeps the device awake; the
+        idle interface is static power over the duration.
+        """
+        return Energy(self.calibrated.static_power_w * seconds)
+
+    def E_generate_abstract(self, prompt_len: int,
+                            n_tokens: int) -> AbstractEnergy:
+        """The same prediction in abstract units (§3): counts, not Joules.
+
+        Ground it with any device's calibrated unit energies — this is how
+        one interface retargets across machines.
+        """
+        counters = self.predicted_counters(prompt_len, n_tokens)
+        return AbstractEnergy(counters)
+
+    def predicted_duration(self, prompt_len: int, n_tokens: int) -> float:
+        """Predicted wall seconds for a generation."""
+        return self.predicted_counters(prompt_len, n_tokens)["busy_seconds"]

@@ -1,0 +1,187 @@
+"""Kernel footprints for GPT-2 autoregressive inference.
+
+Decode at batch 1 is memory-bound: every generated token streams every
+weight matrix from VRAM once (GEMV), plus the growing KV cache.  The
+functions here translate one decode step (or a prefill pass) into the
+:class:`~repro.hardware.gpu.KernelProfile` launches the simulated GPU
+executes — with counter footprints derived from the shapes:
+
+* a GEMV over ``W`` weight bytes reads ``W / 32`` VRAM sectors (weights do
+  not fit in cache across layers, so each step re-streams them), passes
+  them through L2, and issues one L1 wavefront per 128 weight bytes;
+* instruction counts follow the MACs: one warp instruction per 32 fused
+  multiply-accumulates plus a fixed loop-overhead factor;
+* attention reads the KV cache (``kv_len * d_model`` elements for K and
+  again for V) with *poor row locality* (strided per head), which is where
+  the hidden row-activation cost bites hardest.
+
+These same formulas — minus anything the profiler cannot see — are what
+the manually-derived energy interface in :mod:`repro.llm.interface`
+computes, exactly as the paper's §5 interface did.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WorkloadError
+from repro.hardware.gpu import KernelProfile, SECTOR_BYTES, WAVEFRONT_BYTES
+from repro.llm.config import GPT2Config
+
+__all__ = [
+    "gemv_kernel",
+    "attention_kernel",
+    "layernorm_kernel",
+    "embedding_kernel",
+    "decode_step_kernels",
+    "prefill_kernels",
+    "ROW_MISS_WEIGHTS",
+    "ROW_MISS_KV",
+]
+
+#: Row-activation miss fractions: streaming weight reads are friendly,
+#: per-head strided KV reads are not.
+ROW_MISS_WEIGHTS = 0.045
+ROW_MISS_KV = 0.12
+
+#: Warp width and instruction overhead for the instruction-count model.
+WARP_WIDTH = 32
+INSTR_OVERHEAD = 1.3
+
+#: L2 sees the VRAM stream plus activation re-references.
+L2_AMPLIFICATION = 1.15
+
+
+def gemv_kernel(name: str, weight_bytes: float, macs: float,
+                activation_bytes: float = 0.0,
+                row_miss: float = ROW_MISS_WEIGHTS) -> KernelProfile:
+    """A matrix-vector product streaming ``weight_bytes`` of parameters."""
+    if weight_bytes < 0 or macs < 0:
+        raise WorkloadError(f"kernel {name!r}: negative sizes")
+    bytes_total = weight_bytes + activation_bytes
+    vram_sectors = weight_bytes / SECTOR_BYTES
+    return KernelProfile(
+        name=name,
+        instructions=macs / WARP_WIDTH * INSTR_OVERHEAD,
+        l1_wavefronts=bytes_total / WAVEFRONT_BYTES,
+        l2_sectors=vram_sectors * L2_AMPLIFICATION
+        + activation_bytes / SECTOR_BYTES,
+        vram_sectors=vram_sectors,
+        row_miss_fraction=row_miss,
+    )
+
+
+def attention_kernel(config: GPT2Config, kv_len: int) -> KernelProfile:
+    """Score + weighted-sum over the KV cache for one decode token."""
+    if kv_len < 0:
+        raise WorkloadError(f"kv_len must be >= 0, got {kv_len}")
+    d = config.d_model
+    kv_bytes = 2 * kv_len * d * config.dtype_bytes  # K and V
+    macs = 2 * kv_len * d                            # scores + weighted sum
+    vram_sectors = kv_bytes / SECTOR_BYTES
+    return KernelProfile(
+        name=f"attention[kv={kv_len}]",
+        instructions=macs / WARP_WIDTH * INSTR_OVERHEAD
+        + config.n_head * kv_len / WARP_WIDTH * 2,   # softmax
+        l1_wavefronts=kv_bytes / WAVEFRONT_BYTES * 1.5,
+        l2_sectors=vram_sectors * L2_AMPLIFICATION,
+        vram_sectors=vram_sectors,
+        row_miss_fraction=ROW_MISS_KV,
+    )
+
+
+def layernorm_kernel(config: GPT2Config) -> KernelProfile:
+    """One LayerNorm over d_model activations (cache-resident)."""
+    d_bytes = config.d_model * config.dtype_bytes
+    return KernelProfile(
+        name="layernorm",
+        instructions=config.d_model / WARP_WIDTH * 6,
+        l1_wavefronts=d_bytes / WAVEFRONT_BYTES * 3,
+        l2_sectors=d_bytes / SECTOR_BYTES,
+        vram_sectors=0.0,
+        row_miss_fraction=0.0,
+    )
+
+
+def embedding_kernel(config: GPT2Config) -> KernelProfile:
+    """Token + position embedding lookup for one token."""
+    d_bytes = config.d_model * config.dtype_bytes
+    return KernelProfile(
+        name="embedding",
+        instructions=config.d_model / WARP_WIDTH * 2,
+        l1_wavefronts=2 * d_bytes / WAVEFRONT_BYTES,
+        l2_sectors=2 * d_bytes / SECTOR_BYTES,
+        vram_sectors=2 * d_bytes / SECTOR_BYTES,
+        row_miss_fraction=0.5,  # two random rows of the embedding table
+    )
+
+
+def decode_step_kernels(config: GPT2Config, kv_len: int) -> list[KernelProfile]:
+    """All kernel launches for generating one token with ``kv_len`` context."""
+    d = config.d_model
+    dtype = config.dtype_bytes
+    kernels: list[KernelProfile] = [embedding_kernel(config)]
+    per_layer = [
+        layernorm_kernel(config),
+        gemv_kernel("qkv_proj", weight_bytes=3 * d * d * dtype,
+                    macs=3 * d * d, activation_bytes=d * dtype),
+        attention_kernel(config, kv_len),
+        gemv_kernel("attn_out", weight_bytes=d * d * dtype, macs=d * d,
+                    activation_bytes=d * dtype),
+        layernorm_kernel(config),
+        gemv_kernel("mlp_up", weight_bytes=d * config.d_ff * dtype,
+                    macs=d * config.d_ff, activation_bytes=d * dtype),
+        gemv_kernel("mlp_down", weight_bytes=config.d_ff * d * dtype,
+                    macs=config.d_ff * d,
+                    activation_bytes=config.d_ff * dtype),
+    ]
+    for _ in range(config.n_layer):
+        kernels.extend(per_layer)
+    kernels.append(layernorm_kernel(config))
+    kernels.append(gemv_kernel(
+        "lm_head", weight_bytes=config.vocab_size * d * dtype,
+        macs=config.vocab_size * d, activation_bytes=d * dtype))
+    return kernels
+
+
+def prefill_kernels(config: GPT2Config, prompt_len: int) -> list[KernelProfile]:
+    """Kernel launches for ingesting a prompt of ``prompt_len`` tokens.
+
+    Prefill is a batched pass: weights stream once while activations scale
+    with the prompt length, and attention is quadratic in it.  No LM-head
+    projection — only the hidden states and KV cache are needed.
+    """
+    if prompt_len < 0:
+        raise WorkloadError(f"prompt_len must be >= 0, got {prompt_len}")
+    if prompt_len == 0:
+        return []
+    d = config.d_model
+    dtype = config.dtype_bytes
+    activation = prompt_len * d * dtype
+    kernels: list[KernelProfile] = [
+        embedding_kernel(config).scaled(prompt_len)]
+    per_layer = [
+        layernorm_kernel(config).scaled(prompt_len),
+        gemv_kernel("qkv_proj", weight_bytes=3 * d * d * dtype,
+                    macs=3 * d * d * prompt_len, activation_bytes=activation),
+        # Quadratic self-attention over the prompt.
+        KernelProfile(
+            name=f"prefill_attention[{prompt_len}]",
+            instructions=2 * prompt_len * prompt_len * d
+            / WARP_WIDTH * INSTR_OVERHEAD / 2,  # causal mask halves it
+            l1_wavefronts=prompt_len * prompt_len * dtype / WAVEFRONT_BYTES,
+            l2_sectors=prompt_len * d * dtype / SECTOR_BYTES * 2,
+            vram_sectors=prompt_len * d * dtype / SECTOR_BYTES,
+            row_miss_fraction=ROW_MISS_KV,
+        ),
+        gemv_kernel("attn_out", weight_bytes=d * d * dtype,
+                    macs=d * d * prompt_len, activation_bytes=activation),
+        layernorm_kernel(config).scaled(prompt_len),
+        gemv_kernel("mlp_up", weight_bytes=d * config.d_ff * dtype,
+                    macs=d * config.d_ff * prompt_len,
+                    activation_bytes=activation),
+        gemv_kernel("mlp_down", weight_bytes=config.d_ff * d * dtype,
+                    macs=config.d_ff * d * prompt_len,
+                    activation_bytes=prompt_len * config.d_ff * dtype),
+    ]
+    for _ in range(config.n_layer):
+        kernels.extend(per_layer)
+    return kernels

@@ -1,0 +1,104 @@
+"""Autoregressive GPT-2 inference on the simulated GPU.
+
+:class:`GPT2Runtime` plays the role of the PyTorch/CUDA stack in the §5
+experiment: it launches the decode/prefill kernels on a
+:class:`~repro.hardware.gpu.GPU`, maintains the KV-cache length, and
+reports what actually happened (duration, counter deltas) so experiments
+can compare interface predictions against NVML-measured energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import WorkloadError
+from repro.hardware.gpu import GPU, GPUCounters
+from repro.llm.config import GPT2Config
+from repro.llm.kernels import decode_step_kernels, prefill_kernels
+
+__all__ = ["GenerationStats", "GPT2Runtime"]
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """What one generation run did on the GPU."""
+
+    prompt_len: int
+    generated_tokens: int
+    t_start: float
+    t_end: float
+    counters: GPUCounters          # deltas over the run
+    kernel_launches: int
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the generation took."""
+        return self.t_end - self.t_start
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Decode throughput."""
+        if self.duration == 0:
+            return 0.0
+        return self.generated_tokens / self.duration
+
+
+class GPT2Runtime:
+    """Runs GPT-2 inference workloads on a simulated GPU."""
+
+    def __init__(self, gpu: GPU, config: GPT2Config) -> None:
+        self._gpu = gpu
+        self.config = config
+        self.kv_len = 0
+
+    @property
+    def gpu(self) -> GPU:
+        """The device this runtime drives."""
+        return self._gpu
+
+    def reset_cache(self) -> None:
+        """Drop the KV cache (start a fresh sequence)."""
+        self.kv_len = 0
+
+    def prefill(self, prompt_len: int) -> None:
+        """Ingest a prompt, filling the KV cache."""
+        if self.kv_len + prompt_len > self.config.n_ctx:
+            raise WorkloadError(
+                f"prompt of {prompt_len} tokens overflows the context "
+                f"({self.kv_len} cached, {self.config.n_ctx} max)")
+        for kernel in prefill_kernels(self.config, prompt_len):
+            self._gpu.launch(kernel, tag=f"{self.config.name}:prefill")
+        self.kv_len += prompt_len
+
+    def decode_token(self) -> None:
+        """Generate one token, growing the KV cache."""
+        if self.kv_len + 1 > self.config.n_ctx:
+            raise WorkloadError(
+                f"context overflow: {self.kv_len} tokens cached, "
+                f"{self.config.n_ctx} max")
+        for kernel in decode_step_kernels(self.config, self.kv_len):
+            self._gpu.launch(kernel, tag=f"{self.config.name}:decode")
+        self.kv_len += 1
+
+    def generate(self, prompt_len: int, n_tokens: int,
+                 reset: bool = True) -> GenerationStats:
+        """Run a full generation: prefill then ``n_tokens`` decode steps."""
+        if n_tokens < 0:
+            raise WorkloadError(f"n_tokens must be >= 0, got {n_tokens}")
+        if reset:
+            self.reset_cache()
+        before = self._gpu.counters.snapshot()
+        t_start = self._gpu.now
+        self.prefill(prompt_len)
+        for _ in range(n_tokens):
+            self.decode_token()
+        t_end = self._gpu.now
+        delta = self._gpu.counters.delta(before)
+        return GenerationStats(
+            prompt_len=prompt_len,
+            generated_tokens=n_tokens,
+            t_start=t_start,
+            t_end=t_end,
+            counters=delta,
+            kernel_launches=delta.kernel_launches,
+        )

@@ -1,0 +1,47 @@
+"""Resource managers: CPU schedulers, cluster scheduler, cache manager."""
+
+from repro.managers.autoscaler import (
+    AutoscaleSim,
+    Autoscaler,
+    InterfaceAutoscaler,
+    ReactiveAutoscaler,
+    ReplicaSpec,
+    ScalingResult,
+    diurnal_profile,
+)
+from repro.managers.base import (
+    Placement,
+    Scheduler,
+    SchedulerResult,
+    SchedulerSim,
+    Task,
+)
+from repro.managers.cachemgr import LRUCacheManager
+from repro.managers.cluster import (
+    ClusterOutcome,
+    ClusterScheduler,
+    InterfacePackingScheduler,
+    Node,
+    NodeType,
+    PodEnergyInterface,
+    PodSpec,
+    RequestScheduler,
+    run_cluster,
+)
+from repro.managers.eas import EASScheduler, PeakEASScheduler
+from repro.managers.interface_scheduler import (
+    InterfaceScheduler,
+    OracleScheduler,
+    UtilizationInterface,
+)
+
+__all__ = [
+    "Task", "Placement", "Scheduler", "SchedulerResult", "SchedulerSim",
+    "EASScheduler", "PeakEASScheduler", "InterfaceScheduler", "OracleScheduler",
+    "UtilizationInterface", "LRUCacheManager",
+    "NodeType", "Node", "PodSpec", "PodEnergyInterface", "ClusterScheduler",
+    "RequestScheduler", "InterfacePackingScheduler", "ClusterOutcome",
+    "run_cluster",
+    "ReplicaSpec", "ScalingResult", "Autoscaler", "ReactiveAutoscaler",
+    "InterfaceAutoscaler", "AutoscaleSim", "diurnal_profile",
+]

@@ -1,0 +1,233 @@
+"""Replica autoscaling: reactive thresholds vs energy interfaces.
+
+A service's replica count is a resource-management decision with a
+direct energy price: every warm replica burns idle power, every
+scale-up pays a startup cost, and too few replicas drop traffic.  A
+reactive autoscaler (the Kubernetes-HPA pattern) follows *observed*
+utilisation and therefore lags every load swing — it burns replicas
+after the rush is over and sheds traffic when the rush begins.
+
+With energy clarity the scaler evaluates, for each candidate replica
+count, the *predicted* energy and overload of the coming interval —
+using the workload's arrival interface (diurnal shape is a property of
+the service, knowable ahead of time) and the replica's energy interface.
+This module implements both and the simulation that compares them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import SchedulerError
+
+__all__ = ["ReplicaSpec", "ScalingResult", "Autoscaler",
+           "ReactiveAutoscaler", "InterfaceAutoscaler", "AutoscaleSim",
+           "diurnal_profile"]
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica's capacity and energy characteristics."""
+
+    capacity_rps: float = 100.0
+    power_idle_w: float = 35.0
+    joules_per_request: float = 0.8
+    startup_energy_j: float = 900.0     # image pull, JIT warm-up
+    startup_intervals: int = 1          # intervals before it serves
+
+    def __post_init__(self) -> None:
+        if self.capacity_rps <= 0:
+            raise SchedulerError("replica capacity must be positive")
+        if min(self.power_idle_w, self.joules_per_request,
+               self.startup_energy_j) < 0:
+            raise SchedulerError("replica energy terms must be >= 0")
+        if self.startup_intervals < 0:
+            raise SchedulerError("startup_intervals must be >= 0")
+
+
+@dataclass
+class ScalingResult:
+    """Outcome of one autoscaling simulation."""
+
+    scaler: str
+    intervals: int
+    interval_seconds: float
+    energy_joules: float = 0.0
+    served_requests: float = 0.0
+    dropped_requests: float = 0.0
+    replica_intervals: int = 0
+    scale_ups: int = 0
+
+    @property
+    def drop_ratio(self) -> float:
+        """Fraction of offered traffic that found no capacity."""
+        offered = self.served_requests + self.dropped_requests
+        return self.dropped_requests / offered if offered else 0.0
+
+    @property
+    def joules_per_request(self) -> float:
+        """Total energy per served request."""
+        if self.served_requests == 0:
+            return float("inf")
+        return self.energy_joules / self.served_requests
+
+    def __str__(self) -> str:
+        return (f"{self.scaler}: {self.energy_joules / 1000:.1f} kJ, "
+                f"drops {self.drop_ratio:.2%}, "
+                f"{self.joules_per_request:.2f} J/request, "
+                f"{self.scale_ups} scale-ups")
+
+
+class Autoscaler:
+    """Strategy: choose the replica count for the coming interval."""
+
+    name = "autoscaler"
+
+    def decide(self, interval_index: int, observed_rps: float,
+               current_replicas: int) -> int:
+        raise NotImplementedError
+
+
+class ReactiveAutoscaler(Autoscaler):
+    """HPA-style: size for the *last* interval's observed load."""
+
+    name = "reactive"
+
+    def __init__(self, spec: ReplicaSpec, target_utilization: float = 0.7,
+                 min_replicas: int = 1, max_replicas: int = 64) -> None:
+        if not 0.0 < target_utilization <= 1.0:
+            raise SchedulerError("target utilisation must be in (0, 1]")
+        self.spec = spec
+        self.target_utilization = target_utilization
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+
+    def decide(self, interval_index: int, observed_rps: float,
+               current_replicas: int) -> int:
+        wanted = math.ceil(observed_rps
+                           / (self.spec.capacity_rps
+                              * self.target_utilization))
+        return max(self.min_replicas, min(wanted, self.max_replicas))
+
+
+class InterfaceAutoscaler(Autoscaler):
+    """Interface-driven: size for the *predicted* load, by energy.
+
+    ``forecast(interval)`` is the workload's arrival interface; for each
+    candidate count the scaler computes predicted energy (idle + dynamic
+    + startup amortisation) plus a drop penalty, and picks the minimum.
+    ``drop_penalty_j`` prices one dropped request (an SLO, expressed in
+    Joules so the optimisation is single-objective).
+    """
+
+    name = "interface"
+
+    def __init__(self, spec: ReplicaSpec,
+                 forecast: Callable[[int], float],
+                 interval_seconds: float,
+                 drop_penalty_j: float = 50.0,
+                 headroom: float = 1.1,
+                 min_replicas: int = 1, max_replicas: int = 64) -> None:
+        if headroom < 1.0:
+            raise SchedulerError("headroom must be >= 1")
+        self.spec = spec
+        self.forecast = forecast
+        self.interval_seconds = interval_seconds
+        self.drop_penalty_j = drop_penalty_j
+        self.headroom = headroom
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+
+    def predicted_cost(self, replicas: int, rps: float,
+                       current_replicas: int) -> float:
+        """The energy interface of the *configuration*, in Joules."""
+        spec = self.spec
+        capacity = replicas * spec.capacity_rps
+        served = min(rps, capacity) * self.interval_seconds
+        dropped = max(rps - capacity, 0.0) * self.interval_seconds
+        idle = replicas * spec.power_idle_w * self.interval_seconds
+        startups = max(replicas - current_replicas, 0)
+        return (idle + served * spec.joules_per_request
+                + startups * spec.startup_energy_j
+                + dropped * self.drop_penalty_j)
+
+    def decide(self, interval_index: int, observed_rps: float,
+               current_replicas: int) -> int:
+        # Look past the startup lag: replicas ordered now serve when the
+        # *future* load arrives — the proactive move a reactive scaler
+        # cannot make.
+        horizon = interval_index + self.spec.startup_intervals
+        predicted_rps = max(self.forecast(interval_index),
+                            self.forecast(horizon)) * self.headroom
+        best: tuple[float, int] | None = None
+        for replicas in range(self.min_replicas, self.max_replicas + 1):
+            cost = self.predicted_cost(replicas, predicted_rps,
+                                       current_replicas)
+            if best is None or cost < best[0]:
+                best = (cost, replicas)
+        return best[1]
+
+
+def diurnal_profile(base_rps: float = 120.0, peak_rps: float = 900.0,
+                    intervals_per_day: int = 96) -> Callable[[int], float]:
+    """A day-shaped arrival rate (the service's workload interface)."""
+    if base_rps < 0 or peak_rps < base_rps:
+        raise SchedulerError("need 0 <= base_rps <= peak_rps")
+
+    def profile(interval_index: int) -> float:
+        phase = 2 * math.pi * (interval_index % intervals_per_day) \
+            / intervals_per_day
+        swing = 0.5 * (1 - math.cos(phase))  # 0 at midnight, 1 mid-day
+        return base_rps + (peak_rps - base_rps) * swing ** 2
+
+    return profile
+
+
+class AutoscaleSim:
+    """Drives an autoscaler against a ground-truth arrival process."""
+
+    def __init__(self, spec: ReplicaSpec,
+                 arrivals: Callable[[int], float],
+                 interval_seconds: float = 900.0) -> None:
+        if interval_seconds <= 0:
+            raise SchedulerError("interval must be positive")
+        self.spec = spec
+        self.arrivals = arrivals
+        self.interval_seconds = interval_seconds
+
+    def run(self, scaler: Autoscaler, n_intervals: int,
+            initial_replicas: int = 1) -> ScalingResult:
+        """Simulate ``n_intervals``; returns totals."""
+        if n_intervals <= 0:
+            raise SchedulerError("n_intervals must be positive")
+        spec = self.spec
+        result = ScalingResult(scaler=scaler.name, intervals=n_intervals,
+                               interval_seconds=self.interval_seconds)
+        replicas = initial_replicas
+        warming: list[int] = []   # replicas still starting up
+        observed_rps = self.arrivals(0)
+        for interval in range(n_intervals):
+            decision = scaler.decide(interval, observed_rps, replicas)
+            if decision > replicas:
+                added = decision - replicas
+                result.energy_joules += added * spec.startup_energy_j
+                result.scale_ups += 1
+                warming.extend([spec.startup_intervals] * added)
+            replicas = decision
+            warming = [left - 1 for left in warming if left > 0]
+            ready = replicas - len(warming)
+
+            true_rps = self.arrivals(interval)
+            capacity = max(ready, 0) * spec.capacity_rps
+            served = min(true_rps, capacity) * self.interval_seconds
+            dropped = max(true_rps - capacity, 0.0) * self.interval_seconds
+            result.energy_joules += (
+                replicas * spec.power_idle_w * self.interval_seconds
+                + served * spec.joules_per_request)
+            result.served_requests += served
+            result.dropped_requests += dropped
+            result.replica_intervals += replicas
+            observed_rps = true_rps
+        return result

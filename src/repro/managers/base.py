@@ -1,0 +1,237 @@
+"""The CPU-scheduling framework: tasks, placements, the quantum loop.
+
+This is the substrate for the paper's §1 motivating claim about the Linux
+Energy-Aware Scheduler.  Time is divided into scheduling quanta; each
+task demands some utilisation (in EAS capacity units) every quantum, the
+scheduler places tasks on cores, cores pick an OPP for their load, and
+the machine's ledger accumulates the true energy.  Missed work (demand
+beyond the chosen core's capacity) is tracked as a QoS metric.
+
+Schedulers differ only in how they *predict* a task's next-quantum
+utilisation and therefore where they place it:
+:class:`repro.managers.eas.EASScheduler` uses a PELT-style utilisation
+EWMA (the kernel's proxy);
+:class:`repro.managers.interface_scheduler.InterfaceScheduler` asks the
+task's energy interface.  Everything else is shared, so measured energy
+differences are attributable to prediction quality alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.errors import SchedulerError
+from repro.hardware.cpu import Core
+from repro.hardware.dvfs import Governor, SchedutilGovernor
+from repro.hardware.machine import Machine
+
+__all__ = ["Task", "Placement", "Scheduler", "SchedulerResult",
+           "SchedulerSim"]
+
+
+@dataclass
+class Task:
+    """A schedulable task with a per-quantum utilisation demand.
+
+    ``utilization_profile(quantum_index)`` returns the capacity units the
+    task wants during that quantum — the ground truth the scheduler tries
+    to predict.  ``energy_interface`` optionally carries the task's own
+    energy/utilisation interface for interface-aware scheduling.
+    """
+
+    name: str
+    utilization_profile: Callable[[int], float]
+    energy_interface: object | None = None
+
+    def demand(self, quantum_index: int) -> float:
+        """Ground-truth utilisation for a quantum."""
+        value = float(self.utilization_profile(quantum_index))
+        if value < 0:
+            raise SchedulerError(f"task {self.name!r} demanded negative "
+                                 f"utilisation {value}")
+        return value
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One task's assignment for one quantum."""
+
+    task: Task
+    core: Core
+
+
+class Scheduler:
+    """Strategy interface: predict utilisation and place tasks."""
+
+    name = "scheduler"
+
+    def predict(self, task: Task, quantum_index: int) -> float:
+        """Predicted utilisation of ``task`` for the coming quantum."""
+        raise NotImplementedError
+
+    def place(self, tasks: Sequence[Task], cores: Sequence[Core],
+              quantum_index: int) -> list[Placement]:
+        """Assign every task to a core for the coming quantum.
+
+        The default policy is the EAS-style greedy energy-delta placement:
+        tasks (largest predicted demand first) go to the core where the
+        *predicted marginal energy* of adding them is smallest, subject to
+        fitting under the core's top capacity where possible.
+        """
+        loads: dict[str, float] = {core.name: 0.0 for core in cores}
+        placements: list[Placement] = []
+        ordered = sorted(tasks, key=lambda t: -self.predict(t, quantum_index))
+        for task in ordered:
+            demand = self.predict(task, quantum_index)
+            best: tuple[tuple[bool, float], Core] | None = None
+            for core in cores:
+                current = loads[core.name]
+                delta = (self._core_energy_rate(core, current + demand)
+                         - self._core_energy_rate(core, current))
+                fits = (current + demand
+                        <= core.spec.opp_table.max_capacity)
+                # Prefer fitting cores; among them, least marginal energy.
+                key = (not fits, delta)
+                if best is None or key < best[0]:
+                    best = (key, core)
+            chosen = best[1]
+            loads[chosen.name] += demand
+            placements.append(Placement(task, chosen))
+        return placements
+
+    def _core_energy_rate(self, core: Core, utilization: float) -> float:
+        """Predicted Watts for a core at the given load (EAS energy model)."""
+        if utilization <= 0:
+            return core.spec.opp_table.min_opp.power_idle_w
+        opp = core.spec.opp_table.lowest_fitting(
+            min(utilization, core.spec.opp_table.max_capacity))
+        busy_fraction = min(utilization / opp.capacity, 1.0)
+        return (opp.power_active_w * busy_fraction
+                + opp.power_idle_w * (1.0 - busy_fraction))
+
+    def observe(self, task: Task, actual_utilization: float) -> None:
+        """Feedback after a quantum (used by EWMA-based schedulers)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass
+class SchedulerResult:
+    """Outcome of one scheduling simulation."""
+
+    scheduler: str
+    quanta: int
+    quantum_seconds: float
+    energy_joules: float
+    delivered_work: float = 0.0
+    missed_work: float = 0.0
+    placements_log: list[dict[str, str]] = field(default_factory=list)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of demanded work that missed its quantum."""
+        demanded = self.delivered_work + self.missed_work
+        if demanded == 0:
+            return 0.0
+        return self.missed_work / demanded
+
+    @property
+    def energy_per_work(self) -> float:
+        """Joules per delivered capacity-second."""
+        if self.delivered_work == 0:
+            return float("inf")
+        return self.energy_joules / self.delivered_work
+
+    def __str__(self) -> str:
+        return (f"{self.scheduler}: {self.energy_joules:.2f} J over "
+                f"{self.quanta} quanta, miss ratio {self.miss_ratio:.1%}, "
+                f"{self.energy_per_work * 1000:.2f} mJ per capacity-second")
+
+
+class SchedulerSim:
+    """Runs a scheduler against ground-truth task demands on a machine."""
+
+    def __init__(self, machine: Machine, cores: Sequence[Core],
+                 quantum_seconds: float = 0.05,
+                 governor: Governor | None = None) -> None:
+        if quantum_seconds <= 0:
+            raise SchedulerError("the scheduling quantum must be positive")
+        if not cores:
+            raise SchedulerError("the simulation needs at least one core")
+        self._machine = machine
+        self._cores = list(cores)
+        self.quantum_seconds = quantum_seconds
+        self._governor = governor if governor is not None \
+            else SchedutilGovernor()
+
+    def run(self, scheduler: Scheduler, tasks: Sequence[Task],
+            n_quanta: int, log_placements: bool = False) -> SchedulerResult:
+        """Simulate ``n_quanta`` scheduling periods; returns the outcome.
+
+        Work a core cannot complete within a quantum becomes *backlog*
+        carried to the task's next quantum (a real-time task falling
+        behind), so every scheduler eventually executes the same total
+        demand; ``missed_work`` counts the capacity-seconds that ran late.
+        Backlog still pending when the simulation ends is reported as
+        missed too.
+        """
+        if n_quanta <= 0:
+            raise SchedulerError("n_quanta must be positive")
+        machine = self._machine
+        t_run_start = machine.now
+        delivered = 0.0
+        missed = 0.0
+        backlog: dict[str, float] = {task.name: 0.0 for task in tasks}
+        log: list[dict[str, str]] = []
+        for quantum_index in range(n_quanta):
+            t_start = machine.now
+            placements = scheduler.place(tasks, self._cores, quantum_index)
+            core_load: dict[str, float] = {core.name: 0.0
+                                           for core in self._cores}
+            core_tasks: dict[str, list[tuple[Task, float]]] = {
+                core.name: [] for core in self._cores}
+            for placement in placements:
+                demand = (placement.task.demand(quantum_index)
+                          + backlog[placement.task.name]
+                          / self.quantum_seconds)
+                core_load[placement.core.name] += demand
+                core_tasks[placement.core.name].append(
+                    (placement.task, demand))
+                scheduler.observe(placement.task,
+                                  placement.task.demand(quantum_index))
+            if log_placements:
+                log.append({placement.task.name: placement.core.name
+                            for placement in placements})
+            for core in self._cores:
+                load = core_load[core.name]
+                core.apply_governor(self._governor, load)
+                capacity = core.opp.capacity
+                runnable = min(load, capacity)
+                if runnable > 0:
+                    work = runnable * self.quantum_seconds
+                    core.execute_at(t_start, work, tag="quantum")
+                    delivered += work
+                shortfall = max(load - capacity, 0.0) * self.quantum_seconds
+                missed += shortfall
+                if load > 0:
+                    # Distribute the shortfall over this core's tasks
+                    # proportionally to their share of the load.
+                    for task, demand in core_tasks[core.name]:
+                        backlog[task.name] = shortfall * demand / load
+                else:
+                    for task, _demand in core_tasks[core.name]:
+                        backlog[task.name] = 0.0
+            machine.advance_to(t_start + self.quantum_seconds)
+        energy = machine.ledger.energy_between(t_run_start, machine.now,
+                                               domain="cpu")
+        return SchedulerResult(
+            scheduler=scheduler.name,
+            quanta=n_quanta,
+            quantum_seconds=self.quantum_seconds,
+            energy_joules=energy,
+            delivered_work=delivered,
+            missed_work=missed + sum(backlog.values()),
+            placements_log=log,
+        )

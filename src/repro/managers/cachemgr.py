@@ -1,0 +1,91 @@
+"""An LRU cache manager that exports hit-rate ECV bindings.
+
+Fig. 2's systemd/Redis slot: the cache manager administers the cache
+resource and — because it observes every lookup — *knows* the hit-rate
+distribution that the cache's energy interface declares as the
+``local_cache_hit`` ECV.  Its exported interface binds that ECV, which is
+precisely how "resource managers are the main agent of composition":
+state only the manager can see becomes a bound distribution in the
+interface the layer above receives.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+from repro.core.ecv import BernoulliECV
+from repro.core.errors import SchedulerError
+from repro.core.stack import ResourceManager
+
+__all__ = ["LRUCacheManager"]
+
+
+class LRUCacheManager(ResourceManager):
+    """An LRU cache of fixed capacity with hit-rate accounting.
+
+    ``ecv_name`` is the ECV this manager knows how to bind (defaults to
+    the paper's ``local_cache_hit``).  Until enough lookups have been
+    observed (``min_observations``), the manager exports the declared
+    default instead of a noisy estimate.
+    """
+
+    def __init__(self, name: str, capacity: int,
+                 ecv_name: str = "local_cache_hit",
+                 min_observations: int = 30) -> None:
+        super().__init__(name)
+        if capacity <= 0:
+            raise SchedulerError(f"cache capacity must be positive, got "
+                                 f"{capacity}")
+        self.capacity = capacity
+        self.ecv_name = ecv_name
+        self.min_observations = min_observations
+        self._entries: OrderedDict[Hashable, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- the cache itself ---------------------------------------------------
+    def lookup(self, key: Hashable) -> bool:
+        """Access ``key``; returns hit/miss and updates recency + stats."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[key] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- manager knowledge ------------------------------------------------------
+    @property
+    def observations(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Observed hit rate (0 when nothing observed yet)."""
+        if self.observations == 0:
+            return 0.0
+        return self.hits / self.observations
+
+    def known_bindings(self) -> Mapping[str, Any]:
+        """Bind the hit-rate ECV once the estimate is trustworthy."""
+        if self.observations < self.min_observations:
+            return {}
+        return {self.ecv_name: BernoulliECV(
+            self.ecv_name, p=self.hit_rate,
+            description=f"observed over {self.observations} lookups by "
+                        f"{self.name}")}
+
+    def reset_statistics(self) -> None:
+        """Forget observed hits/misses (cache contents are kept)."""
+        self.hits = 0
+        self.misses = 0

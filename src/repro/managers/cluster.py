@@ -1,0 +1,232 @@
+"""A Kubernetes-like cluster scheduler: request-based vs interface-based.
+
+§1 of the paper: "a memory-intensive application might consume less
+energy on a big-memory node than on a compute node, but Kubernetes
+wouldn't know ahead of time what the application will do."
+
+The model: a cluster of heterogeneous nodes (compute-optimised vs
+big-memory).  A pod's *execution behaviour* depends on whether its
+working set fits the node's memory: if it does not, the pod thrashes —
+its CPU work inflates by a miss penalty and it runs longer, burning more
+energy.  A request-based scheduler sees only declared requests
+(cpu/memory *reservations*) and bin-packs; an interface-based scheduler
+evaluates each pod's energy interface against each candidate node and
+packs by predicted Joules.
+
+Energy model per node: ``idle power x makespan + Σ pod dynamic energy``,
+with pods on a node running concurrently up to the node's core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import SchedulerError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+
+__all__ = ["NodeType", "Node", "PodSpec", "PodEnergyInterface",
+           "ClusterScheduler", "RequestScheduler", "InterfacePackingScheduler",
+           "ClusterOutcome", "run_cluster"]
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A node flavour: capacity and power characteristics."""
+
+    name: str
+    cores: int
+    memory_gb: float
+    core_throughput: float = 1.0        # work units per second per core
+    idle_power_w: float = 60.0
+    core_active_power_w: float = 15.0   # extra Watts per busy core
+    dram_power_per_gb_w: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.memory_gb <= 0:
+            raise SchedulerError(f"node type {self.name!r} has no capacity")
+
+
+@dataclass
+class Node:
+    """One provisioned node and the pods placed on it."""
+
+    name: str
+    node_type: NodeType
+    pods: list["PodSpec"] = field(default_factory=list)
+
+    def memory_used(self) -> float:
+        """GB of working set resident (capped at physical memory)."""
+        return sum(pod.working_set_gb for pod in self.pods)
+
+
+@dataclass(frozen=True)
+class PodSpec:
+    """A pod: declared requests vs actual behaviour.
+
+    ``cpu_request`` / ``memory_request_gb`` are what the manifest says;
+    ``cpu_work`` (work units) and ``working_set_gb`` are what the pod
+    actually does — visible to an energy interface, invisible to a
+    request-based scheduler.  ``miss_penalty`` multiplies CPU work when
+    the working set does not fit the node.
+    """
+
+    name: str
+    cpu_request: float
+    memory_request_gb: float
+    cpu_work: float
+    working_set_gb: float
+    miss_penalty: float = 3.0
+
+    def effective_work(self, fits_in_memory: bool) -> float:
+        """Actual work units, inflated when thrashing."""
+        return self.cpu_work if fits_in_memory else \
+            self.cpu_work * self.miss_penalty
+
+
+class PodEnergyInterface(EnergyInterface):
+    """A pod's energy interface: energy on a candidate node type.
+
+    This is the §1 fix: the interface takes the *node type* (i.e. the
+    configuration) as input and reports energy before any deployment.
+    """
+
+    def __init__(self, pod: PodSpec) -> None:
+        super().__init__(f"E_pod_{pod.name}")
+        self.pod = pod
+
+    def E_run(self, node_type: NodeType, resident_gb: float = 0.0) -> Energy:
+        """Energy to run the pod on ``node_type`` given existing residency."""
+        fits = (resident_gb + self.pod.working_set_gb
+                <= node_type.memory_gb)
+        work = self.pod.effective_work(fits)
+        duration = work / node_type.core_throughput
+        dynamic = node_type.core_active_power_w * duration
+        dram = (node_type.dram_power_per_gb_w
+                * min(self.pod.working_set_gb, node_type.memory_gb) * duration)
+        return Energy(dynamic + dram)
+
+    def E_duration(self, node_type: NodeType, resident_gb: float = 0.0
+                   ) -> float:
+        """Seconds the pod occupies a core on ``node_type``."""
+        fits = (resident_gb + self.pod.working_set_gb
+                <= node_type.memory_gb)
+        return self.pod.effective_work(fits) / node_type.core_throughput
+
+
+class ClusterScheduler:
+    """Strategy: place each pod on one of the available nodes."""
+
+    name = "cluster-scheduler"
+
+    def place(self, pods: list[PodSpec], nodes: list[Node]) -> None:
+        raise NotImplementedError
+
+
+class RequestScheduler(ClusterScheduler):
+    """The Kubernetes default view: bin-pack declared requests, first fit.
+
+    Pods are sorted by declared CPU request (descending) and placed on the
+    first node with spare *requested* CPU and memory — actual behaviour is
+    invisible, exactly as the paper complains.
+    """
+
+    name = "request-based"
+
+    def place(self, pods: list[PodSpec], nodes: list[Node]) -> None:
+        for pod in sorted(pods, key=lambda p: -p.cpu_request):
+            for node in nodes:
+                cpu_used = sum(p.cpu_request for p in node.pods)
+                mem_used = sum(p.memory_request_gb for p in node.pods)
+                if (cpu_used + pod.cpu_request <= node.node_type.cores
+                        and mem_used + pod.memory_request_gb
+                        <= node.node_type.memory_gb):
+                    node.pods.append(pod)
+                    break
+            else:
+                raise SchedulerError(f"no node fits pod {pod.name!r}")
+
+
+class InterfacePackingScheduler(ClusterScheduler):
+    """Energy-interface-driven placement: minimise predicted Joules."""
+
+    name = "interface-based"
+
+    def place(self, pods: list[PodSpec], nodes: list[Node]) -> None:
+        for pod in sorted(pods, key=lambda p: -p.cpu_work):
+            interface = PodEnergyInterface(pod)
+            best: tuple[float, Node] | None = None
+            for node in nodes:
+                cpu_used = sum(p.cpu_request for p in node.pods)
+                if cpu_used + pod.cpu_request > node.node_type.cores:
+                    continue
+                resident = node.memory_used()
+                predicted = interface.E_run(node.node_type,
+                                            resident).as_joules
+                if best is None or predicted < best[0]:
+                    best = (predicted, node)
+            if best is None:
+                raise SchedulerError(f"no node fits pod {pod.name!r}")
+            best[1].pods.append(pod)
+
+
+@dataclass
+class ClusterOutcome:
+    """Measured result of running all placed pods to completion."""
+
+    scheduler: str
+    total_energy_joules: float
+    makespan_seconds: float
+    per_node: dict[str, float]
+
+    def __str__(self) -> str:
+        return (f"{self.scheduler}: {self.total_energy_joules:.0f} J, "
+                f"makespan {self.makespan_seconds:.0f} s")
+
+
+def run_cluster(scheduler: ClusterScheduler, pods: list[PodSpec],
+                nodes: list[Node]) -> ClusterOutcome:
+    """Place pods, simulate execution, return ground-truth energy.
+
+    Pods on a node run on its cores (list-scheduled, longest first);
+    the node draws idle power for the whole makespan plus per-core active
+    power while pods run.
+    """
+    for node in nodes:
+        node.pods.clear()
+    scheduler.place(pods, nodes)
+    per_node: dict[str, float] = {}
+    makespan = 0.0
+    for node in nodes:
+        node_type = node.node_type
+        resident = 0.0
+        durations = []
+        dynamic_energy = 0.0
+        for pod in sorted(node.pods, key=lambda p: -p.cpu_work):
+            interface = PodEnergyInterface(pod)
+            durations.append(interface.E_duration(node_type, resident))
+            dynamic_energy += interface.E_run(node_type, resident).as_joules
+            resident += pod.working_set_gb
+        # List-schedule durations onto the node's cores.
+        core_finish = [0.0] * node_type.cores
+        for duration in sorted(durations, reverse=True):
+            index = min(range(node_type.cores), key=lambda i: core_finish[i])
+            core_finish[index] += duration
+        node_makespan = max(core_finish) if durations else 0.0
+        energy = node_type.idle_power_w * node_makespan + dynamic_energy
+        per_node[node.name] = energy
+        makespan = max(makespan, node_makespan)
+    # Idle nodes still draw power until the cluster finishes.
+    total = 0.0
+    for node in nodes:
+        node_energy = per_node[node.name]
+        if not node.pods:
+            node_energy = node.node_type.idle_power_w * makespan
+            per_node[node.name] = node_energy
+        total += node_energy
+    return ClusterOutcome(
+        scheduler=scheduler.name,
+        total_energy_joules=total,
+        makespan_seconds=makespan,
+        per_node=per_node,
+    )

@@ -1,0 +1,97 @@
+"""Generic measurement harness: bracket a workload, report its energy.
+
+:class:`EnergyMeter` is the "wrap the region of interest" idiom every
+energy experiment uses: snapshot the channel before, run, snapshot after.
+It works with any channel exposing interval measurement (NVML-sim energy
+counter, RAPL counters, or the ground-truth ledger for oracle baselines)
+and records enough context (timestamps, channel) for divergence testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import MeasurementError
+from repro.hardware.machine import Machine
+from repro.measurement.nvml import NVMLSim
+from repro.measurement.rapl import RAPLSim
+
+__all__ = ["Measurement", "EnergyMeter", "ledger_meter", "nvml_meter",
+           "rapl_meter"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """The result of one metered run."""
+
+    joules: float
+    t_start: float
+    t_end: float
+    channel: str
+
+    @property
+    def duration(self) -> float:
+        """Wall (simulated) seconds the run took."""
+        return self.t_end - self.t_start
+
+    @property
+    def average_power(self) -> float:
+        """Mean power over the run in Watts."""
+        if self.duration == 0:
+            return 0.0
+        return self.joules / self.duration
+
+
+class EnergyMeter:
+    """Brackets workloads with before/after channel readings.
+
+    ``reader`` maps a pair of timestamps to measured Joules; factories for
+    the standard channels are provided below.
+    """
+
+    def __init__(self, machine: Machine, channel: str,
+                 reader: Callable[[float, float], float]) -> None:
+        self._machine = machine
+        self.channel = channel
+        self._reader = reader
+
+    def run(self, workload: Callable[[], None]) -> Measurement:
+        """Execute ``workload`` and return its measured energy."""
+        t_start = self._machine.now
+        workload()
+        t_end = self._machine.now
+        if t_end < t_start:
+            raise MeasurementError("workload rewound the machine clock")
+        joules = self._reader(t_start, t_end)
+        return Measurement(joules, t_start, t_end, self.channel)
+
+
+def ledger_meter(machine: Machine, component: str | None = None) -> EnergyMeter:
+    """The oracle channel: exact ground truth from the ledger."""
+
+    def read(t0: float, t1: float) -> float:
+        return machine.ledger.energy_between(t0, t1, component=component)
+
+    label = f"ledger[{component}]" if component else "ledger"
+    return EnergyMeter(machine, label, read)
+
+
+def nvml_meter(machine: Machine, nvml: NVMLSim) -> EnergyMeter:
+    """The NVML energy-counter channel."""
+    return EnergyMeter(machine, f"nvml[{nvml.profile.name}]",
+                       nvml.measure_interval)
+
+
+def rapl_meter(machine: Machine, rapl: RAPLSim, domain: str) -> EnergyMeter:
+    """The RAPL channel for one domain, wrap-safe."""
+
+    def read(t0: float, t1: float) -> float:
+        units0 = rapl.read_energy_units_at(domain, t0)
+        units1 = rapl.read_energy_units_at(domain, t1)
+        delta = units1 - units0
+        if delta < 0:
+            delta += 2 ** 32
+        return delta * rapl.energy_unit_j
+
+    return EnergyMeter(machine, f"rapl[{domain}]", read)

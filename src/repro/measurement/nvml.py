@@ -1,0 +1,154 @@
+"""An NVML-like measurement channel for the simulated GPU.
+
+Real NVML exposes board power (``nvmlDeviceGetPowerUsage``, milli-Watts,
+updated at a device-specific interval and averaged over a device-specific
+window) and, on recent GPUs, a cumulative energy counter
+(``nvmlDeviceGetTotalEnergyConsumption``, milli-Joules).  Both are *views*
+of the true consumption: quantised, periodically updated, and — depending
+on which rails the board instruments — systematically off by a few
+percent.  The 30-series boards instrument fewer rails than the 40-series,
+which is one reason the paper's RTX 3070 predictions compare worse against
+NVML than the RTX 4090 ones.
+
+:class:`NVMLSim` reproduces those imperfections on top of the ground-truth
+:class:`~repro.hardware.ledger.EnergyLedger`.  Because the ledger retains
+history, "polling" becomes post-hoc sampling at any timestamp, which keeps
+simulated workloads single-threaded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import MeasurementError
+from repro.hardware.gpu import GPU
+from repro.sim.rng import derive_seed
+
+__all__ = ["NVMLSensorProfile", "NVMLSim", "SENSOR_PROFILES"]
+
+
+@dataclass(frozen=True)
+class NVMLSensorProfile:
+    """Imperfections of one board's power/energy telemetry."""
+
+    name: str
+    power_update_period: float = 0.020   # s between register updates
+    power_window: float = 0.050          # s of averaging inside the sensor
+    power_quantum_w: float = 0.001       # mW resolution
+    energy_update_period: float = 0.010  # s between energy-counter updates
+    energy_quantum_j: float = 0.001      # mJ resolution
+    gain: float = 1.0                    # systematic rail-coverage error
+    noise_std: float = 0.0               # relative noise per reading
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise MeasurementError(f"sensor gain must be > 0, got {self.gain}")
+        if self.noise_std < 0:
+            raise MeasurementError("sensor noise must be >= 0")
+
+
+#: Telemetry profiles for the simulated boards.  The sim3070's sensor has
+#: a rail-coverage gain error and visibly more noise, as its real
+#: counterpart does.
+SENSOR_PROFILES = {
+    "sim4090": NVMLSensorProfile(
+        name="sim4090", power_update_period=0.010, power_window=0.020,
+        energy_update_period=0.001, gain=1.000, noise_std=0.002),
+    "sim3070": NVMLSensorProfile(
+        name="sim3070", power_update_period=0.050, power_window=0.100,
+        energy_update_period=0.010, gain=0.985, noise_std=0.008),
+}
+
+
+class NVMLSim:
+    """The NVML view of one simulated GPU."""
+
+    def __init__(self, gpu: GPU, profile: NVMLSensorProfile | None = None,
+                 seed: int = 0) -> None:
+        self._gpu = gpu
+        if profile is None:
+            profile = SENSOR_PROFILES.get(gpu.spec.name,
+                                          NVMLSensorProfile(gpu.spec.name))
+        self.profile = profile
+        self._rng = np.random.default_rng(
+            derive_seed(seed, f"nvml:{gpu.name}:{profile.name}"))
+
+    # -- internals -------------------------------------------------------------
+    def _ledger(self):
+        return self._gpu.machine.ledger
+
+    def _true_energy_until(self, t: float) -> float:
+        return self._ledger().energy_between(0.0, t, component=self._gpu.name)
+
+    def _noise(self) -> float:
+        if self.profile.noise_std == 0.0:
+            return 1.0
+        return float(self._rng.normal(1.0, self.profile.noise_std))
+
+    # -- the NVML API --------------------------------------------------------
+    def power_usage_at(self, t: float) -> float:
+        """Board power in **milli-Watts** as NVML would report at time ``t``.
+
+        The register updates every ``power_update_period`` seconds with the
+        average power over the preceding ``power_window``.
+        """
+        if t < 0:
+            raise MeasurementError(f"cannot sample at negative time {t}")
+        period = self.profile.power_update_period
+        update_time = math.floor(t / period) * period
+        window = self.profile.power_window
+        t0 = max(0.0, update_time - window)
+        if update_time <= t0:
+            return 0.0
+        joules = self._ledger().energy_between(t0, update_time,
+                                               component=self._gpu.name)
+        watts = joules / (update_time - t0) * self.profile.gain * self._noise()
+        quantum = self.profile.power_quantum_w
+        return max(0.0, round(watts / quantum) * quantum) * 1000.0
+
+    def power_usage(self) -> float:
+        """Board power in milli-Watts right now."""
+        return self.power_usage_at(self._gpu.now)
+
+    def total_energy_consumption_at(self, t: float) -> float:
+        """Cumulative energy in **milli-Joules** as reported at time ``t``.
+
+        The counter only reflects energy up to its last update tick and is
+        quantised to the sensor's energy quantum; the systematic gain
+        applies.  (The counter itself is repeatable — reading twice gives
+        the same value; integration noise shows up when *differencing*
+        readings, see :meth:`measure_interval`.)
+        """
+        if t < 0:
+            raise MeasurementError(f"cannot sample at negative time {t}")
+        period = self.profile.energy_update_period
+        update_time = math.floor(t / period) * period
+        joules = self._true_energy_until(update_time)
+        observed = joules * self.profile.gain
+        quantum = self.profile.energy_quantum_j
+        return max(0.0, round(observed / quantum) * quantum) * 1000.0
+
+    def total_energy_consumption(self) -> float:
+        """Cumulative energy counter in milli-Joules, right now."""
+        return self.total_energy_consumption_at(self._gpu.now)
+
+    def measure_interval(self, t0: float, t1: float) -> float:
+        """Joules consumed in ``[t0, t1]`` per the energy counter.
+
+        The standard measurement recipe: difference two counter readings.
+        Quantisation and update-period effects fall out exactly as they
+        would for real NVML polling around a workload; the sensor's
+        integration noise scales with the interval energy.
+        """
+        if t1 < t0:
+            raise MeasurementError(f"inverted measurement window [{t0}, {t1}]")
+        before = self.total_energy_consumption_at(t0)
+        after = self.total_energy_consumption_at(t1)
+        return max(0.0, (after - before) / 1000.0 * self._noise())
+
+    def temperature(self) -> float:
+        """Die temperature in Celsius (NVML reports integer degrees)."""
+        return float(int(self._gpu.temperature))

@@ -1,0 +1,109 @@
+"""A RAPL-like measurement channel for the simulated CPU side.
+
+Intel RAPL exposes cumulative energy through model-specific registers:
+a 32-bit counter per domain (package, core/PP0, DRAM, platform/PSYS) in
+units announced by ``MSR_RAPL_POWER_UNIT`` — typically ``2^-16 J ≈
+15.26 µJ``.  The counter wraps silently, updates roughly every
+millisecond, and covers only its domain's rails.
+
+:class:`RAPLSim` reproduces the register semantics on top of the
+ground-truth ledger; :class:`RAPLEnergyCounter` is the userspace helper
+every real RAPL consumer ends up writing — difference readings, handle
+wraparound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import MeasurementError
+from repro.hardware.machine import Machine
+
+__all__ = ["RAPLSim", "RAPLEnergyCounter", "RAPL_DOMAINS"]
+
+#: RAPL domain name -> ledger domain filter (None = every component).
+RAPL_DOMAINS = {
+    "package-0": "cpu",
+    "dram": "dram",
+    "psys": None,
+}
+
+#: The canonical energy status unit: 2^-16 Joules.
+ENERGY_UNIT_J = 2.0 ** -16
+
+#: Counter width: 32 bits of energy units.
+COUNTER_WRAP = 2 ** 32
+
+
+class RAPLSim:
+    """MSR-style cumulative energy counters over a simulated machine."""
+
+    def __init__(self, machine: Machine, update_period: float = 0.001,
+                 energy_unit_j: float = ENERGY_UNIT_J) -> None:
+        if energy_unit_j <= 0:
+            raise MeasurementError("RAPL energy unit must be positive")
+        self._machine = machine
+        self.update_period = float(update_period)
+        self.energy_unit_j = float(energy_unit_j)
+
+    @property
+    def domains(self) -> list[str]:
+        """Readable RAPL domains."""
+        return list(RAPL_DOMAINS)
+
+    def read_energy_units_at(self, domain: str, t: float) -> int:
+        """The raw 32-bit register value for ``domain`` at time ``t``."""
+        if domain not in RAPL_DOMAINS:
+            raise MeasurementError(
+                f"unknown RAPL domain {domain!r}; known: {sorted(RAPL_DOMAINS)}")
+        if t < 0:
+            raise MeasurementError(f"cannot sample at negative time {t}")
+        update_time = math.floor(t / self.update_period) * self.update_period
+        ledger_domain = RAPL_DOMAINS[domain]
+        joules = self._machine.ledger.energy_between(0.0, update_time,
+                                                     domain=ledger_domain)
+        units = int(joules / self.energy_unit_j)
+        return units % COUNTER_WRAP
+
+    def read_energy_units(self, domain: str) -> int:
+        """The raw register value right now."""
+        return self.read_energy_units_at(domain, self._machine.now)
+
+    def read_energy_uj(self, domain: str) -> float:
+        """The powercap-sysfs-style view: micro-Joules (still wrapping)."""
+        return self.read_energy_units(domain) * self.energy_unit_j * 1e6
+
+    @property
+    def wrap_joules(self) -> float:
+        """Energy span after which the counter wraps."""
+        return COUNTER_WRAP * self.energy_unit_j
+
+
+class RAPLEnergyCounter:
+    """Userspace accumulator that survives 32-bit counter wraparound.
+
+    Call :meth:`update` at least once per wrap period (~18 hours at 1 W,
+    ~65 seconds at 1 kW with the default unit); the accumulated total in
+    Joules is then exact up to quantisation.
+    """
+
+    def __init__(self, rapl: RAPLSim, domain: str) -> None:
+        self._rapl = rapl
+        self.domain = domain
+        self._last_units = rapl.read_energy_units(domain)
+        self._accumulated_units = 0
+
+    def update(self) -> float:
+        """Fold in the current register value; returns total Joules."""
+        units = self._rapl.read_energy_units(self.domain)
+        delta = units - self._last_units
+        if delta < 0:
+            delta += COUNTER_WRAP
+        self._accumulated_units += delta
+        self._last_units = units
+        return self.joules
+
+    @property
+    def joules(self) -> float:
+        """Energy accumulated since construction, in Joules."""
+        return self._accumulated_units * self._rapl.energy_unit_j

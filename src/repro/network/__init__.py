@@ -1,0 +1,12 @@
+"""Wide-area network energy: links, hops, paths and their interfaces."""
+
+from repro.network.path import (
+    Hop,
+    LinkSpec,
+    NetworkPath,
+    PathEnergyInterface,
+    RouterSpec,
+)
+
+__all__ = ["LinkSpec", "RouterSpec", "Hop", "NetworkPath",
+           "PathEnergyInterface"]

@@ -1,0 +1,172 @@
+"""Multi-hop network paths and their energy interfaces.
+
+§6's asymmetry argument: "the energy consumption of a web request from
+Switzerland to a server in Taiwan consists of the energy consumption at
+all layers of the software stack and all machines that processed the
+request along the way.  In contrast, the latency of the request can be
+measured directly from the client side, hiding the complexity of the
+network."
+
+This module gives that sentence an executable form.  A
+:class:`NetworkPath` is a sequence of hops (router + outgoing link);
+its :class:`PathEnergyInterface` computes a request's energy as the sum
+over every hop — per-bit link energy, per-packet router processing, and
+each device's amortised static share — while its latency is a single
+client-observable number.  The A11 benchmark then shows the asymmetry
+quantitatively: hiding any one hop barely moves latency accounting but
+silently loses a fixed share of the *energy*, which is why energy needs
+interfaces where latency needs only a stopwatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import WorkloadError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+
+__all__ = ["LinkSpec", "RouterSpec", "Hop", "NetworkPath",
+           "PathEnergyInterface"]
+
+#: Ethernet-ish packetisation.
+MTU_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One transmission segment (fibre span, submarine cable, last mile)."""
+
+    name: str
+    length_km: float
+    joules_per_bit: float = 2.5e-9     # transceivers + amplifiers, per bit
+    propagation_km_per_s: float = 2.0e5   # light in fibre
+
+    def __post_init__(self) -> None:
+        if self.length_km <= 0:
+            raise WorkloadError(f"link {self.name!r} needs positive length")
+        if self.joules_per_bit < 0 or self.propagation_km_per_s <= 0:
+            raise WorkloadError(f"link {self.name!r} has invalid physics")
+
+    def transmission_energy(self, n_bytes: int) -> float:
+        """Joules to push ``n_bytes`` across this link."""
+        return n_bytes * 8 * self.joules_per_bit
+
+    def propagation_seconds(self) -> float:
+        """One-way propagation delay."""
+        return self.length_km / self.propagation_km_per_s
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """One forwarding device (edge router, core router, DC switch)."""
+
+    name: str
+    joules_per_packet: float = 20e-6     # lookup + buffering + switching
+    static_power_w: float = 3000.0       # chassis power
+    utilization: float = 0.3             # long-run traffic share
+    capacity_pps: float = 1e8            # packets per second at 100%
+
+    def __post_init__(self) -> None:
+        if self.joules_per_packet < 0 or self.static_power_w < 0:
+            raise WorkloadError(f"router {self.name!r} has negative energy")
+        if not 0.0 < self.utilization <= 1.0:
+            raise WorkloadError(f"router {self.name!r} utilisation must be "
+                                f"in (0, 1]")
+        if self.capacity_pps <= 0:
+            raise WorkloadError(f"router {self.name!r} needs capacity")
+
+    def dynamic_energy(self, n_packets: int) -> float:
+        """Joules of switching work for ``n_packets``."""
+        return n_packets * self.joules_per_packet
+
+    def static_share(self, n_packets: int) -> float:
+        """This request's amortised share of the chassis power.
+
+        The standard attribution: static power divided by the packets
+        actually flowing (utilisation x capacity).
+        """
+        carried_pps = self.utilization * self.capacity_pps
+        return self.static_power_w * n_packets / carried_pps
+
+
+@dataclass(frozen=True)
+class Hop:
+    """A router plus its outgoing link."""
+
+    router: RouterSpec
+    link: LinkSpec
+
+
+class NetworkPath:
+    """An ordered sequence of hops from client to server."""
+
+    def __init__(self, name: str, hops: Sequence[Hop]) -> None:
+        if not hops:
+            raise WorkloadError(f"path {name!r} needs at least one hop")
+        self.name = name
+        self.hops = list(hops)
+
+    @property
+    def length_km(self) -> float:
+        """Total route length."""
+        return sum(hop.link.length_km for hop in self.hops)
+
+    def one_way_latency(self) -> float:
+        """Client-observable propagation latency, in seconds.
+
+        This is the stopwatch number — it needs no cooperation from the
+        hops at all.
+        """
+        return sum(hop.link.propagation_seconds() for hop in self.hops)
+
+    def packets_for(self, n_bytes: int) -> int:
+        """MTU packetisation."""
+        if n_bytes < 0:
+            raise WorkloadError("payload must be >= 0")
+        return max(-(-n_bytes // MTU_BYTES), 1)
+
+
+class PathEnergyInterface(EnergyInterface):
+    """Energy of a request over a path: the sum over every hop.
+
+    Unlike latency, *every term requires the hop's own interface* —
+    there is no client-side measurement that recovers it.
+    ``E_request`` covers one direction; ``E_round_trip`` adds the
+    response.
+    """
+
+    def __init__(self, path: NetworkPath,
+                 include_static_share: bool = True) -> None:
+        super().__init__(f"E_{path.name}")
+        self.path = path
+        self.include_static_share = include_static_share
+
+    def E_hop(self, hop_index: int, n_bytes: int) -> Energy:
+        """One hop's contribution for a payload."""
+        if not 0 <= hop_index < len(self.path.hops):
+            raise WorkloadError(f"no hop {hop_index} on {self.path.name!r}")
+        hop = self.path.hops[hop_index]
+        packets = self.path.packets_for(n_bytes)
+        joules = (hop.link.transmission_energy(n_bytes)
+                  + hop.router.dynamic_energy(packets))
+        if self.include_static_share:
+            joules += hop.router.static_share(packets)
+        return Energy(joules)
+
+    def E_request(self, n_bytes: int) -> Energy:
+        """One direction, all hops."""
+        total = Energy(0.0)
+        for index in range(len(self.path.hops)):
+            total = total + self.E_hop(index, n_bytes)
+        return total
+
+    def E_round_trip(self, request_bytes: int, response_bytes: int) -> Energy:
+        """Request out, response back."""
+        return (self.E_request(request_bytes)
+                + self.E_request(response_bytes))
+
+    def T_one_way(self) -> float:
+        """The latency the client could have measured by itself."""
+        return self.path.one_way_latency()

@@ -1,0 +1,7 @@
+"""Discrete-event simulation kernel: engine, events, RNG streams."""
+
+from repro.sim.engine import Engine, Process
+from repro.sim.events import Event, Timeout
+from repro.sim.rng import RngFactory, derive_seed
+
+__all__ = ["Engine", "Process", "Event", "Timeout", "RngFactory", "derive_seed"]

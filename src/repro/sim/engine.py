@@ -1,0 +1,139 @@
+"""A compact generator-based discrete-event simulation engine.
+
+The substrate every simulated system in this repository runs on.
+Processes are Python generators that ``yield`` the events they wait on
+(:class:`~repro.sim.events.Timeout` for delays, any
+:class:`~repro.sim.events.Event` for synchronisation); the engine advances
+a simulated clock, resuming processes as their events fire.
+
+Design notes:
+
+* Time is a float in **seconds**.  Ties are broken deterministically by
+  schedule order, so simulations are reproducible.
+* The engine is single-threaded and needs no cooperation beyond
+  ``yield``; no wall-clock time is consumed by simulated delays.
+* Hardware components (in :mod:`repro.hardware`) do not require the
+  engine — they account energy against explicit time intervals — but
+  workload simulations (schedulers, request loops) drive those intervals
+  from engine time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.events import Event, Timeout
+
+__all__ = ["Engine", "Process"]
+
+ProcessGenerator = Generator[Event, Any, None]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process is itself an event that succeeds (with the generator's
+    return value) when the generator finishes — so processes can wait on
+    each other by yielding the :class:`Process` object.
+    """
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator,
+                 name: str = "process") -> None:
+        super().__init__(name)
+        self._engine = engine
+        self._generator = generator
+        engine._schedule(0.0, self._resume, None)
+
+    def _resume(self, triggering: Event | None) -> None:
+        value = triggering.value if triggering is not None else None
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if isinstance(target, Timeout):
+            self._engine._schedule(target.delay, self._advance_timeout, target)
+        elif isinstance(target, Event):
+            target.add_callback(self._resume)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                f"yield Event or Timeout instances")
+
+    def _advance_timeout(self, timeout: Timeout) -> None:
+        timeout.succeed(timeout.value)
+        self._resume(timeout)
+
+
+class Engine:
+    """The discrete-event simulation engine: clock plus event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable, Any]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, delay: float, callback: Callable, argument: Any) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay} s in the past")
+        heapq.heappush(self._queue,
+                       (self._now + delay, next(self._counter), callback,
+                        argument))
+
+    def timeout(self, delay: float, name: str = "timeout") -> Timeout:
+        """An event that fires after ``delay`` simulated seconds."""
+        return Timeout(delay, name)
+
+    def event(self, name: str = "event") -> Event:
+        """A fresh untriggered event."""
+        return Event(name)
+
+    def process(self, generator: ProcessGenerator, name: str = "process"
+                ) -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator, name)
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time} s, already at t={self._now} s")
+        self._schedule(time - self._now, lambda _arg: callback(), None)
+
+    # -- execution --------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run the simulation.
+
+        With ``until`` set, stops once the clock would pass it (and leaves
+        the clock exactly at ``until``); otherwise runs until no events
+        remain.  Returns the final simulated time.
+        """
+        while self._queue:
+            time, _seq, callback, argument = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            callback(argument)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_all(self, processes: Iterable[ProcessGenerator],
+                until: float | None = None) -> float:
+        """Convenience: start all ``processes`` then :meth:`run`."""
+        for generator in processes:
+            self.process(generator)
+        return self.run(until)
+
+    def __repr__(self) -> str:
+        return f"Engine(t={self._now:.6g} s, pending={len(self._queue)})"

@@ -1,0 +1,62 @@
+"""Event primitives for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+__all__ = ["Event", "Timeout"]
+
+_sequence = itertools.count()
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Events succeed at most once, carry an optional value, and notify their
+    waiters through callbacks registered by the engine.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: Any = None
+        self._succeeded = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._sequence = next(_sequence)
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` has been called."""
+        return self._succeeded
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event as happened and notify all waiters."""
+        if self._succeeded:
+            raise RuntimeError(f"event {self.name!r} already succeeded")
+        self._succeeded = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register a callback; fired immediately if already triggered."""
+        if self._succeeded:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._succeeded else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Timeout(Event):
+    """An event that the engine triggers after a simulated delay."""
+
+    def __init__(self, delay: float, name: str = "timeout") -> None:
+        super().__init__(name)
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        self.delay = float(delay)

@@ -1,0 +1,49 @@
+"""Deterministic random-number streams for reproducible simulations.
+
+Every stochastic element of the simulators (arrival processes, sensor
+noise, workload mixes) draws from a named stream derived from a single
+root seed, so experiments are reproducible bit-for-bit while independent
+subsystems stay statistically independent of each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngFactory", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 64-bit seed for a named stream from a root seed."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngFactory:
+    """Hands out independent named generators derived from one root seed.
+
+    >>> factory = RngFactory(42)
+    >>> arrivals = factory.stream("arrivals")
+    >>> noise = factory.stream("sensor-noise")
+
+    The same (seed, name) pair always yields the same stream; different
+    names yield independent streams.  Repeated requests for the same name
+    return fresh generators positioned at the stream's start, so callers
+    should request each stream once and keep it.
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+
+    def stream(self, name: str) -> np.random.Generator:
+        """A generator for the named stream."""
+        return np.random.default_rng(derive_seed(self.root_seed, name))
+
+    def child(self, name: str) -> "RngFactory":
+        """A factory whose streams are independent of this factory's."""
+        return RngFactory(derive_seed(self.root_seed, f"child:{name}"))
+
+    def __repr__(self) -> str:
+        return f"RngFactory(root_seed={self.root_seed})"

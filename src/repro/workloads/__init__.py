@@ -1,0 +1,23 @@
+"""Workload generators: arrivals, popularity, traces."""
+
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    interarrival_iter,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.popularity import UniformPopularity, ZipfPopularity
+from repro.workloads.traces import (
+    GenerationRequest,
+    ImageRequest,
+    generation_trace,
+    image_request_trace,
+)
+
+__all__ = [
+    "poisson_arrivals", "uniform_arrivals", "bursty_arrivals",
+    "interarrival_iter",
+    "ZipfPopularity", "UniformPopularity",
+    "ImageRequest", "GenerationRequest", "image_request_trace",
+    "generation_trace",
+]

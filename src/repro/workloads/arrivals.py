@@ -1,0 +1,84 @@
+"""Request arrival processes for the service simulations."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+
+__all__ = ["poisson_arrivals", "uniform_arrivals", "bursty_arrivals"]
+
+
+def poisson_arrivals(rate_per_second: float, horizon_seconds: float,
+                     rng: np.random.Generator) -> list[float]:
+    """Arrival timestamps of a Poisson process over ``[0, horizon]``."""
+    if rate_per_second <= 0:
+        raise WorkloadError(f"arrival rate must be positive, got "
+                            f"{rate_per_second}")
+    if horizon_seconds <= 0:
+        raise WorkloadError("the horizon must be positive")
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_second))
+        if t >= horizon_seconds:
+            return times
+        times.append(t)
+
+
+def uniform_arrivals(n_requests: int, horizon_seconds: float) -> list[float]:
+    """Evenly spaced arrivals (a deterministic baseline)."""
+    if n_requests < 0:
+        raise WorkloadError("n_requests must be >= 0")
+    if horizon_seconds <= 0:
+        raise WorkloadError("the horizon must be positive")
+    spacing = horizon_seconds / max(n_requests, 1)
+    return [spacing * (index + 0.5) for index in range(n_requests)]
+
+
+def bursty_arrivals(base_rate: float, burst_rate: float,
+                    burst_fraction: float, horizon_seconds: float,
+                    rng: np.random.Generator,
+                    phase_seconds: float = 1.0) -> list[float]:
+    """A two-state modulated Poisson process (quiet/burst phases).
+
+    Phases alternate with exponential durations; ``burst_fraction`` is the
+    long-run fraction of time spent bursting.
+    """
+    if not 0.0 <= burst_fraction < 1.0:
+        raise WorkloadError("burst_fraction must be in [0, 1)")
+    if base_rate <= 0 or burst_rate <= 0:
+        raise WorkloadError("rates must be positive")
+    times: list[float] = []
+    t = 0.0
+    bursting = False
+    while t < horizon_seconds:
+        if bursting:
+            duration = float(rng.exponential(phase_seconds * burst_fraction))
+        else:
+            duration = float(rng.exponential(
+                phase_seconds * (1.0 - burst_fraction)))
+        end = min(t + duration, horizon_seconds)
+        rate = burst_rate if bursting else base_rate
+        clock = t
+        while True:
+            clock += float(rng.exponential(1.0 / rate))
+            if clock >= end:
+                break
+            times.append(clock)
+        t = end
+        bursting = not bursting
+    return times
+
+
+def interarrival_iter(times: list[float]) -> Iterator[float]:
+    """Gaps between consecutive arrivals (first gap from t=0)."""
+    previous = 0.0
+    for t in times:
+        yield t - previous
+        previous = t
+
+
+__all__.append("interarrival_iter")

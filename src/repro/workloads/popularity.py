@@ -1,0 +1,66 @@
+"""Object-popularity distributions (what drives cache hit rates)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+
+__all__ = ["ZipfPopularity", "UniformPopularity"]
+
+
+class ZipfPopularity:
+    """Zipf-distributed popularity over a finite catalogue.
+
+    ``p(rank k) ∝ 1 / k^alpha`` — the canonical web-object popularity
+    model.  Higher ``alpha`` concentrates requests on few hot objects
+    (higher cache hit rates); ``alpha -> 0`` approaches uniform.
+    """
+
+    def __init__(self, n_objects: int, alpha: float = 0.9) -> None:
+        if n_objects <= 0:
+            raise WorkloadError("n_objects must be positive")
+        if alpha < 0:
+            raise WorkloadError("alpha must be >= 0")
+        self.n_objects = n_objects
+        self.alpha = alpha
+        weights = 1.0 / np.arange(1, n_objects + 1, dtype=float) ** alpha
+        self._probabilities = weights / weights.sum()
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw object ids (0-based ranks, 0 = hottest)."""
+        return rng.choice(self.n_objects, size=n, p=self._probabilities)
+
+    def probability(self, rank: int) -> float:
+        """Request probability of the object at ``rank`` (0-based)."""
+        return float(self._probabilities[rank])
+
+    def expected_hit_rate(self, cache_entries: int) -> float:
+        """Hit rate of an ideal cache holding the ``cache_entries`` hottest.
+
+        A useful analytic approximation for LRU under Zipf traffic —
+        tests compare the simulated LRU against it.
+        """
+        entries = min(cache_entries, self.n_objects)
+        return float(self._probabilities[:entries].sum())
+
+
+class UniformPopularity:
+    """Every object equally likely (the cache-hostile baseline)."""
+
+    def __init__(self, n_objects: int) -> None:
+        if n_objects <= 0:
+            raise WorkloadError("n_objects must be positive")
+        self.n_objects = n_objects
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw object ids uniformly."""
+        return rng.integers(0, self.n_objects, size=n)
+
+    def probability(self, rank: int) -> float:
+        """Request probability of any object."""
+        return 1.0 / self.n_objects
+
+    def expected_hit_rate(self, cache_entries: int) -> float:
+        """Ideal-cache hit rate under uniform traffic."""
+        return min(cache_entries, self.n_objects) / self.n_objects

@@ -1,0 +1,86 @@
+"""Workload traces: request mixes for the services and the LLM.
+
+The paper's point (§3) is that an energy interface takes an *abstraction*
+of the input; these trace records carry exactly those abstractions —
+image size and zero count for the CNN service, prompt/output lengths for
+the LLM — never payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.workloads.popularity import ZipfPopularity
+
+__all__ = ["ImageRequest", "GenerationRequest", "image_request_trace",
+           "generation_trace"]
+
+
+@dataclass(frozen=True)
+class ImageRequest:
+    """One request to the ML web service (Fig. 1's workload)."""
+
+    object_id: int      # identity, for cache behaviour
+    image_pixels: int   # size abstraction
+    zero_pixels: int    # sparsity abstraction (§1's zero-skipping models)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.zero_pixels <= self.image_pixels:
+            raise WorkloadError(
+                f"zero_pixels must be in [0, image_pixels], got "
+                f"{self.zero_pixels}/{self.image_pixels}")
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """One LLM generation request (the §5 workload)."""
+
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 0 or self.output_tokens < 0:
+            raise WorkloadError("token counts must be >= 0")
+
+
+def image_request_trace(n_requests: int, rng: np.random.Generator,
+                        n_objects: int = 2000, zipf_alpha: float = 0.9,
+                        mean_pixels: int = 224 * 224,
+                        zero_fraction_range: tuple[float, float] = (0.1, 0.5)
+                        ) -> list[ImageRequest]:
+    """A Zipf-popular image request stream with varying sparsity."""
+    if n_requests < 0:
+        raise WorkloadError("n_requests must be >= 0")
+    popularity = ZipfPopularity(n_objects, zipf_alpha)
+    object_ids = popularity.sample(rng, n_requests)
+    low, high = zero_fraction_range
+    if not 0.0 <= low <= high <= 1.0:
+        raise WorkloadError("zero_fraction_range must be within [0, 1]")
+    requests: list[ImageRequest] = []
+    for object_id in object_ids:
+        pixels = int(rng.normal(mean_pixels, mean_pixels * 0.1))
+        pixels = max(pixels, 1024)
+        zero_fraction = float(rng.uniform(low, high))
+        requests.append(ImageRequest(
+            object_id=int(object_id),
+            image_pixels=pixels,
+            zero_pixels=int(pixels * zero_fraction),
+        ))
+    return requests
+
+
+def generation_trace(n_requests: int, rng: np.random.Generator,
+                     prompt_range: tuple[int, int] = (8, 64),
+                     max_output: int = 200) -> list[GenerationRequest]:
+    """The §5 workload: generations of up to ``max_output`` tokens."""
+    if n_requests < 0:
+        raise WorkloadError("n_requests must be >= 0")
+    requests: list[GenerationRequest] = []
+    for _ in range(n_requests):
+        prompt = int(rng.integers(prompt_range[0], prompt_range[1] + 1))
+        output = int(rng.integers(max_output // 4, max_output + 1))
+        requests.append(GenerationRequest(prompt, output))
+    return requests

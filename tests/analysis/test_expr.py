@@ -1,0 +1,122 @@
+"""Tests for the symbolic expression language."""
+
+import pytest
+
+from repro.analysis.expr import (
+    BinOp,
+    Compare,
+    Const,
+    EnergyTerm,
+    FreshSymbol,
+    UnaryOp,
+    Var,
+    as_expr,
+    evaluate_expr,
+)
+from repro.core.errors import ExtractionError
+
+
+class TestConstruction:
+    def test_operators_build_trees(self):
+        expr = Var("x") + 2 * Var("y") - 1
+        assert isinstance(expr, BinOp)
+        assert expr.free_variables() == {"x", "y"}
+
+    def test_reflected_operators(self):
+        expr = 10 - Var("x")
+        assert evaluate_expr(expr, {"x": 3}) == 7
+
+    def test_comparison_builds_compare(self):
+        expr = Var("x") < 5
+        assert isinstance(expr, Compare)
+
+    def test_sym_eq(self):
+        expr = Var("x").sym_eq(3)
+        assert evaluate_expr(expr, {"x": 3}) is True
+
+    def test_truthiness_is_refused(self):
+        with pytest.raises(ExtractionError):
+            bool(Var("x") < 5)
+
+    def test_as_expr_coercions(self):
+        assert isinstance(as_expr(5), Const)
+        assert isinstance(as_expr(Var("x")), Var)
+        with pytest.raises(ExtractionError):
+            as_expr(object())
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(ExtractionError):
+            BinOp("@", Const(1), Const(2))
+        with pytest.raises(ExtractionError):
+            Compare("in", Const(1), Const(2))
+        with pytest.raises(ExtractionError):
+            UnaryOp("~", Const(1))
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        expr = (Var("a") + Var("b")) * 2 - Var("a") / 2
+        assert evaluate_expr(expr, {"a": 4, "b": 1}) == pytest.approx(8.0)
+
+    def test_floor_div_and_mod(self):
+        assert evaluate_expr(Var("n") // 3, {"n": 10}) == 3
+        assert evaluate_expr(Var("n") % 3, {"n": 10}) == 1
+
+    def test_power(self):
+        assert evaluate_expr(Var("n") ** 2, {"n": 5}) == 25
+
+    def test_negation(self):
+        assert evaluate_expr(-Var("n"), {"n": 5}) == -5
+
+    def test_comparisons(self):
+        env = {"x": 3}
+        assert evaluate_expr(Var("x") < 5, env) is True
+        assert evaluate_expr(Var("x") >= 5, env) is False
+        assert evaluate_expr(Var("x").sym_ne(3), env) is False
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(ExtractionError):
+            evaluate_expr(Var("ghost"), {})
+
+    def test_fresh_symbol_missing_binding_names_origin(self):
+        symbol = FreshSymbol("cache_hit", origin="result of cache.lookup")
+        with pytest.raises(ExtractionError, match="cache.lookup"):
+            evaluate_expr(symbol, {})
+
+
+class TestNegation:
+    def test_compare_negation_table(self):
+        pairs = [("<", ">="), ("<=", ">"), (">", "<="), (">=", "<"),
+                 ("==", "!="), ("!=", "==")]
+        for op, negated in pairs:
+            expr = Compare(op, Var("x"), Const(1))
+            assert expr.negated().op == negated
+
+    def test_not_unwraps(self):
+        inner = Compare("<", Var("x"), Const(1))
+        wrapped = UnaryOp("not", inner)
+        assert wrapped.negated() is inner
+
+
+class TestRendering:
+    def test_render_round_trips_semantics(self):
+        expr = (Var("x") + 1) * 2
+        assert eval(expr.render(), {"x": 3}) == 8
+
+    def test_repr_is_render(self):
+        assert repr(Var("x")) == "x"
+
+
+class TestEnergyTerm:
+    def test_render_plain_call(self):
+        term = EnergyTerm("cache", "lookup", (Var("n"),))
+        assert term.render() == "E_cache.lookup(n)"
+
+    def test_render_with_multiplier(self):
+        term = EnergyTerm("gpu", "mlp", (Const(256),)).scaled(Var("k"))
+        assert "k" in term.render()
+        assert "E_gpu.mlp(256)" in term.render()
+
+    def test_free_variables_include_args_and_multiplier(self):
+        term = EnergyTerm("gpu", "op", (Var("n"),)).scaled(Var("k"))
+        assert term.free_variables() == {"n", "k"}

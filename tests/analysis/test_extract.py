@@ -1,0 +1,188 @@
+"""Tests for interface extraction (implementation -> energy interface)."""
+
+import pytest
+
+from repro.analysis.extract import ExtractedInterface, extract_interface
+from repro.analysis.symbex import ResourceModel
+from repro.core.ecv import BernoulliECV
+from repro.core.errors import ExtractionError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+
+CACHE = ResourceModel("cache", returning={"lookup": "bool"})
+GPU = ResourceModel("gpu")
+
+
+class CacheIface(EnergyInterface):
+    def E_lookup(self, size):
+        return Energy.millijoules(2)
+
+    def E_store(self, size):
+        return Energy.millijoules(3)
+
+
+class GpuIface(EnergyInterface):
+    def E_conv2d(self, n):
+        return Energy.microjoules(3 * n)
+
+    def E_relu(self, n):
+        return Energy.nanojoules(40 * n)
+
+    def E_mlp(self, n):
+        return Energy.microjoules(1 * n)
+
+
+SUBS = {"cache": CacheIface(), "gpu": GpuIface()}
+
+
+def ml_service(res, image_size, n_zeros):
+    hit = res.cache.lookup(image_size)
+    if hit:
+        return 0
+    res.gpu.conv2d(image_size - n_zeros)
+    for _ in range(8):
+        res.gpu.relu(256)
+    res.gpu.mlp(256)
+
+
+def token_decoder(res, n_tokens):
+    res.gpu.conv2d(64)
+    for _ in range(n_tokens):
+        res.gpu.mlp(256)
+
+
+def size_dependent(res, n):
+    if n > 1000:
+        res.gpu.conv2d(n)
+    else:
+        res.gpu.relu(n)
+
+
+class TestExtraction:
+    def test_extracts_paths_and_inputs(self):
+        iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
+        assert isinstance(iface, ExtractedInterface)
+        assert iface.input_names == ["image_size", "n_zeros"]
+        assert len(iface.paths) == 2
+
+    def test_discovered_ecv_declared_as_bernoulli(self):
+        iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
+        ecv = iface.declared_ecv("cache_lookup_0")
+        assert isinstance(ecv, BernoulliECV)
+        assert "cache.lookup" in ecv.description
+
+    def test_missing_subinterface_rejected(self):
+        with pytest.raises(ExtractionError, match="gpu"):
+            extract_interface(ml_service, [CACHE, GPU],
+                              {"cache": CacheIface()})
+
+    def test_custom_name(self):
+        iface = extract_interface(ml_service, [CACHE, GPU], SUBS,
+                                  name="webservice")
+        assert iface.name == "webservice"
+
+
+class TestEvaluation:
+    def test_hit_path_energy(self):
+        iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
+        energy = iface.evaluate("E_call", 1024, 100,
+                                env={"cache_lookup_0": True})
+        assert energy.as_joules == pytest.approx(2e-3)
+
+    def test_miss_path_energy(self):
+        iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
+        energy = iface.evaluate("E_call", 1024, 100,
+                                env={"cache_lookup_0": False})
+        expected = 2e-3 + 3e-6 * 924 + 8 * 40e-9 * 256 + 1e-6 * 256
+        assert energy.as_joules == pytest.approx(expected)
+
+    def test_expected_mixes_paths(self):
+        iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
+        env = {"cache_lookup_0": BernoulliECV("cache_lookup_0", 0.9)}
+        hit = iface.evaluate("E_call", 1024, 100,
+                             env={"cache_lookup_0": True}).as_joules
+        miss = iface.evaluate("E_call", 1024, 100,
+                              env={"cache_lookup_0": False}).as_joules
+        expected = iface.expected("E_call", 1024, 100, env=env).as_joules
+        assert expected == pytest.approx(0.9 * hit + 0.1 * miss)
+
+    def test_worst_case_is_miss_path(self):
+        iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
+        worst = iface.worst_case("E_call", 1024, 100).as_joules
+        miss = iface.evaluate("E_call", 1024, 100,
+                              env={"cache_lookup_0": False}).as_joules
+        assert worst == pytest.approx(miss)
+
+    def test_loop_summarised_interface_scales(self):
+        iface = extract_interface(token_decoder, [GPU], SUBS)
+        e10 = iface.evaluate("E_call", 10).as_joules
+        e20 = iface.evaluate("E_call", 20).as_joules
+        per_token = 1e-6 * 256
+        assert e20 - e10 == pytest.approx(10 * per_token)
+
+    def test_keyword_inputs(self):
+        iface = extract_interface(token_decoder, [GPU], SUBS)
+        assert iface.evaluate("E_call", n_tokens=5).as_joules == \
+            iface.evaluate("E_call", 5).as_joules
+
+    def test_missing_input_rejected(self):
+        iface = extract_interface(token_decoder, [GPU], SUBS)
+        with pytest.raises(ExtractionError, match="missing inputs"):
+            iface.E_call()
+
+    def test_input_conditions_select_path(self):
+        iface = extract_interface(size_dependent, [GPU], SUBS)
+        big = iface.evaluate("E_call", 2000).as_joules
+        small = iface.evaluate("E_call", 10).as_joules
+        assert big == pytest.approx(3e-6 * 2000)
+        assert small == pytest.approx(40e-9 * 10)
+
+    def test_agrees_with_handwritten_interface(self):
+        """Extracted and handwritten interfaces predict identically."""
+
+        class Handwritten(EnergyInterface):
+            def __init__(self):
+                super().__init__("handwritten")
+                self.declare_ecv(BernoulliECV("cache_lookup_0", 0.5))
+                self.cache = CacheIface()
+                self.gpu = GpuIface()
+
+            def E_handle(self, image_size, n_zeros):
+                if self.ecv("cache_lookup_0"):
+                    return self.cache.E_lookup(image_size)
+                return (self.cache.E_lookup(image_size)
+                        + self.gpu.E_conv2d(image_size - n_zeros)
+                        + 8 * self.gpu.E_relu(256)
+                        + self.gpu.E_mlp(256))
+
+        extracted = extract_interface(ml_service, [CACHE, GPU], SUBS)
+        handwritten = Handwritten()
+        for inputs in [(1024, 100), (5000, 2500), (64, 0)]:
+            assert extracted.expected("E_call", *inputs).as_joules == \
+                pytest.approx(handwritten.expected("E_handle",
+                                                   *inputs).as_joules)
+
+
+class TestEmission:
+    def test_emitted_source_shape(self):
+        iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
+        source = iface.emit_python()
+        assert source.startswith("def E_ml_service(image_size, n_zeros):")
+        assert "# ECV: cache_lookup_0" in source
+        assert "E_cache.lookup(image_size)" in source
+        assert "E_gpu.conv2d((image_size - n_zeros))" in source
+
+    def test_emitted_source_has_if_elif_chain(self):
+        iface = extract_interface(size_dependent, [GPU], SUBS)
+        source = iface.emit_python()
+        assert "if (n > 1000):" in source
+        assert "elif (n <= 1000):" in source
+
+    def test_zero_energy_path_rendered(self):
+        def maybe_noop(res, n):
+            if n > 0:
+                res.gpu.relu(n)
+
+        iface = extract_interface(maybe_noop, [GPU], SUBS)
+        assert "0  # this path consumes no modelled energy" in \
+            iface.emit_python()

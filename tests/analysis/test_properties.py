@@ -1,0 +1,138 @@
+"""Property-based tests: extraction agrees with direct interpretation.
+
+The key soundness property of the §4.2 toolchain: for *any* inputs and
+any resolution of the resource-result ECVs, evaluating the extracted
+interface must equal running the implementation against a cost-charging
+interpreter.  Hypothesis drives both through randomized inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.extract import extract_interface
+from repro.analysis.symbex import ResourceModel
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+
+ints = st.integers(min_value=0, max_value=10_000)
+small_ints = st.integers(min_value=0, max_value=40)
+
+
+class ChargingInterface(EnergyInterface):
+    """Charges linear costs per op — easy to mirror by hand."""
+
+    COSTS = {"alpha": 3.0, "beta": 5.0, "gamma": 0.25, "probe": 0.5}
+
+    def E_alpha(self, n):
+        return Energy(self.COSTS["alpha"] * n)
+
+    def E_probe(self, n):
+        return Energy(self.COSTS["probe"])
+
+    def E_beta(self, n):
+        return Energy(self.COSTS["beta"] * n)
+
+    def E_gamma(self, n):
+        return Energy(self.COSTS["gamma"] * n)
+
+
+SUBS = {"dev": ChargingInterface()}
+DEV = ResourceModel("dev", returning={"probe": "bool"})
+
+
+# --- implementations (module level for inspect.getsource) -----------------
+
+def piecewise(res, x, y):
+    if x > y:
+        res.dev.alpha(x - y)
+    else:
+        res.dev.beta(y - x)
+    if x > 1000:
+        res.dev.gamma(x)
+
+
+def with_loop(res, n, k):
+    res.dev.alpha(1)
+    for _ in range(k):
+        res.dev.gamma(n)
+
+
+def with_probe(res, n):
+    warm = res.dev.probe(n)
+    if warm:
+        res.dev.gamma(n)
+    else:
+        res.dev.beta(n)
+
+
+def reference_piecewise(x, y):
+    costs = ChargingInterface.COSTS
+    total = costs["alpha"] * (x - y) if x > y else costs["beta"] * (y - x)
+    if x > 1000:
+        total += costs["gamma"] * x
+    return total
+
+
+def reference_with_loop(n, k):
+    costs = ChargingInterface.COSTS
+    return costs["alpha"] * 1 + k * costs["gamma"] * n
+
+
+def reference_with_probe(n, warm):
+    costs = ChargingInterface.COSTS
+    body = costs["gamma"] * n if warm else costs["beta"] * n
+    return costs["probe"] + body
+
+
+PIECEWISE = extract_interface(piecewise, [DEV], SUBS)
+WITH_LOOP = extract_interface(with_loop, [DEV], SUBS)
+WITH_PROBE = extract_interface(with_probe, [DEV], SUBS)
+
+
+class TestExtractionSoundness:
+    @given(ints, ints)
+    @settings(max_examples=150)
+    def test_piecewise_matches_reference(self, x, y):
+        extracted = PIECEWISE.E_call(x, y).as_joules
+        assert extracted == pytest.approx(reference_piecewise(x, y))
+
+    @given(ints, small_ints)
+    @settings(max_examples=100)
+    def test_loop_summarisation_matches_unrolled(self, n, k):
+        extracted = WITH_LOOP.E_call(n, k).as_joules
+        assert extracted == pytest.approx(reference_with_loop(n, k))
+
+    @given(ints, st.booleans())
+    @settings(max_examples=100)
+    def test_probe_ecv_matches_reference(self, n, warm):
+        extracted = WITH_PROBE.evaluate(
+            "E_call", n, env={"dev_probe_0": warm}).as_joules
+        assert extracted == pytest.approx(reference_with_probe(n, warm))
+
+    @given(ints, st.floats(min_value=0.0, max_value=1.0,
+                           allow_nan=False))
+    @settings(max_examples=60)
+    def test_probe_expectation_is_convex_combination(self, n, p):
+        from repro.core.ecv import BernoulliECV
+        expected = WITH_PROBE.expected(
+            "E_call", n,
+            env={"dev_probe_0": BernoulliECV("dev_probe_0", p)}).as_joules
+        warm = reference_with_probe(n, True)
+        cold = reference_with_probe(n, False)
+        assert expected == pytest.approx(p * warm + (1 - p) * cold,
+                                         abs=1e-9)
+
+    @given(ints, ints)
+    @settings(max_examples=60)
+    def test_worst_case_dominates_every_resolution(self, x, y):
+        worst = PIECEWISE.worst_case("E_call", x, y).as_joules
+        assert worst >= reference_piecewise(x, y) - 1e-9
+
+    @given(ints)
+    @settings(max_examples=60)
+    def test_emitted_source_is_valid_python(self, n):
+        import ast
+        ast.parse(WITH_LOOP.emit_python())
+        ast.parse(PIECEWISE.emit_python())
+        ast.parse(WITH_PROBE.emit_python())

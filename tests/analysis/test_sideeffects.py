@@ -1,0 +1,96 @@
+"""Tests for device-state side-effect analysis (the §4.2 radio example)."""
+
+import pytest
+
+from repro.analysis.sideeffects import (
+    RADIO_MODEL,
+    DeviceStateModel,
+    analyze_module,
+    analyze_sequence,
+)
+from repro.analysis.symbex import ResourceModel
+
+NIC = ResourceModel("nic")
+CACHE = ResourceModel("cache", returning={"lookup": "bool"})
+
+
+def sync_app(res, payload):
+    res.nic.send(payload)
+    res.nic.send(payload)
+
+
+def polite_app(res, payload):
+    res.nic.send(payload)
+    res.nic.sleep()
+
+
+def conditional_sender(res, payload):
+    fresh = res.cache.lookup(payload)
+    if fresh:
+        return
+    res.nic.send(payload)
+
+
+def terms(path):
+    return [t.render() for t in path.energy_terms]
+
+
+class TestSingleModule:
+    def test_first_send_pays_wake(self):
+        analysis = analyze_module(sync_app, [NIC], [RADIO_MODEL])
+        (path,) = analysis.paths
+        assert terms(path) == ["E_nic.wake()", "E_nic.send(payload)",
+                               "E_nic.send(payload)"]
+
+    def test_final_state_recorded(self):
+        analysis = analyze_module(sync_app, [NIC], [RADIO_MODEL])
+        assert analysis.paths[0].final_states["nic"] == "on"
+        assert analysis.possible_final_states("nic") == {"on"}
+
+    def test_warm_start_skips_wake(self):
+        analysis = analyze_module(sync_app, [NIC], [RADIO_MODEL],
+                                  initial_states={"nic": "on"})
+        (path,) = analysis.paths
+        assert terms(path) == ["E_nic.send(payload)", "E_nic.send(payload)"]
+
+    def test_sleep_restores_off(self):
+        analysis = analyze_module(polite_app, [NIC], [RADIO_MODEL])
+        assert analysis.paths[0].final_states["nic"] == "off"
+
+
+class TestSequences:
+    def test_second_module_benefits_from_first(self):
+        """The paper's exact claim: apps after the radio-waker pay less."""
+        analyses = analyze_sequence([sync_app, sync_app], [NIC],
+                                    [RADIO_MODEL])
+        first, second = analyses
+        assert terms(first.paths[0])[0] == "E_nic.wake()"
+        assert "E_nic.wake()" not in terms(second.paths[0])
+
+    def test_polite_predecessor_means_wake_again(self):
+        analyses = analyze_sequence([polite_app, sync_app], [NIC],
+                                    [RADIO_MODEL])
+        _, second = analyses
+        assert terms(second.paths[0])[0] == "E_nic.wake()"
+
+    def test_uncertain_state_charged_conservatively(self):
+        """A conditional sender may or may not leave the radio on; the
+        follower is charged under the worst case (wake included)."""
+        analyses = analyze_sequence([conditional_sender, sync_app],
+                                    [NIC, CACHE], [RADIO_MODEL])
+        follower = analyses[1]
+        assert any("E_nic.wake()" in terms(path)
+                   for path in follower.paths)
+
+
+class TestModelValidation:
+    def test_empty_resource_rejected(self):
+        from repro.core.errors import ExtractionError
+        with pytest.raises(ExtractionError):
+            DeviceStateModel("", "off", {})
+
+    def test_unknown_state_left_unchanged(self):
+        model = DeviceStateModel("nic", "weird", RADIO_MODEL.transitions)
+        analysis = analyze_module(sync_app, [NIC], [model])
+        # "weird" is not in send's table, so state persists and no wake.
+        assert analysis.paths[0].final_states["nic"] == "weird"

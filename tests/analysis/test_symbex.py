@@ -1,0 +1,285 @@
+"""Tests for the restricted symbolic executor."""
+
+import pytest
+
+from repro.analysis.expr import evaluate_expr
+from repro.analysis.symbex import ResourceModel, symbolic_execute
+from repro.core.errors import SymbolicExecutionError
+
+GPU = ResourceModel("gpu")
+CACHE = ResourceModel("cache", returning={"lookup": "bool"})
+QUEUE = ResourceModel("queue", returning={"depth": "int"})
+
+
+# --- implementations under analysis (module level so getsource works) ----
+
+def straight_line(res, n):
+    res.gpu.conv2d(n)
+    res.gpu.mlp(256)
+
+
+def branch_on_input(res, n):
+    if n > 1024:
+        res.gpu.big_op(n)
+    else:
+        res.gpu.small_op(n)
+
+
+def branch_on_resource(res, n):
+    hit = res.cache.lookup(n)
+    if hit:
+        return 0
+    res.gpu.infer(n)
+    return 1
+
+
+def concrete_loop(res, n):
+    for _ in range(4):
+        res.gpu.relu(n)
+
+
+def symbolic_loop(res, n):
+    res.gpu.setup(1)
+    for _ in range(n):
+        res.gpu.step(8)
+
+
+def symbolic_loop_two_bounds(res, a, b):
+    for _ in range(a, b):
+        res.gpu.step(1)
+
+
+def loop_with_branch_inside(res, n):
+    for _ in range(n):
+        hit = res.cache.lookup(1)
+        if hit:
+            res.gpu.small_op(1)
+
+
+def loop_with_accumulator(res, n):
+    total = 0
+    for _ in range(n):
+        total = total + 1
+    res.gpu.op(total)
+
+
+def loop_energy_depends_on_index(res, n):
+    for index in range(n):
+        res.gpu.op(index)
+
+
+def nested_condition(res, n, m):
+    if n > 10:
+        if m > 20:
+            res.gpu.both(n, m)
+        else:
+            res.gpu.only_n(n)
+    else:
+        res.gpu.neither(1)
+
+
+def uses_min_max(res, n):
+    res.gpu.op(min(n, 100))
+    res.gpu.op2(max(n, 10))
+
+
+def uses_abs(res, n):
+    res.gpu.op(abs(n))
+
+
+def uses_bool_ops(res, n, m):
+    if n > 0 and m > 0:
+        res.gpu.both_positive(n + m)
+    else:
+        res.gpu.fallback(1)
+
+
+def uses_ifexp(res, n):
+    res.gpu.op(5 if n > 3 else 7)
+
+
+def uses_while_concrete(res, n):
+    count = 0
+    while count < 3:
+        res.gpu.op(count)
+        count += 1
+
+
+def helper_double(x):
+    return 2 * x
+
+
+def uses_helper(res, n):
+    res.gpu.op(helper_double(n))
+
+
+def uses_tuple_unpack(res, n):
+    a, b = 1, n
+    res.gpu.op(a + b)
+
+
+def uses_queue_int(res, n):
+    depth = res.queue.depth(0)
+    if depth > 5:
+        res.gpu.drain(depth)
+
+
+def while_symbolic(res, n):
+    count = 0
+    while count < n:
+        count += 1
+
+
+def breaks_in_summarised_loop(res, n):
+    for _ in range(n):
+        break
+
+
+def uses_assert(res, n):
+    assert n > 0
+    res.gpu.op(n)
+
+
+# --- tests ---------------------------------------------------------------
+
+class TestStraightLine:
+    def test_single_path(self):
+        paths = symbolic_execute(straight_line, [GPU])
+        assert len(paths) == 1
+        assert [t.render() for t in paths[0].energy_terms] == [
+            "E_gpu.conv2d(n)", "E_gpu.mlp(256)"]
+        assert paths[0].condition == []
+
+
+class TestBranching:
+    def test_input_branch_two_paths(self):
+        paths = symbolic_execute(branch_on_input, [GPU])
+        assert len(paths) == 2
+        conditions = {p.condition_text() for p in paths}
+        assert "(n > 1024)" in conditions
+        assert "(n <= 1024)" in conditions
+
+    def test_resource_branch_creates_ecv(self):
+        paths = symbolic_execute(branch_on_resource, [CACHE, GPU])
+        assert len(paths) == 2
+        all_ecvs = {name for p in paths for name in p.ecvs}
+        assert all_ecvs == {"cache_lookup_0"}
+        kind, origin = paths[0].ecvs["cache_lookup_0"]
+        assert kind == "bool"
+        assert "cache.lookup" in origin
+
+    def test_returns_recorded(self):
+        paths = symbolic_execute(branch_on_resource, [CACHE, GPU])
+        returns = {p.returns for p in paths}
+        assert returns == {0, 1}
+
+    def test_nested_conditions_three_paths(self):
+        paths = symbolic_execute(nested_condition, [GPU])
+        assert len(paths) == 3
+
+    def test_bool_ops_short_circuit(self):
+        paths = symbolic_execute(uses_bool_ops, [GPU])
+        # n>0 and m>0 -> 3 paths: (T,T), (T,F), (F,_)
+        assert len(paths) == 3
+
+    def test_ifexp_branches(self):
+        paths = symbolic_execute(uses_ifexp, [GPU])
+        assert len(paths) == 2
+
+    def test_int_valued_resource_return(self):
+        paths = symbolic_execute(uses_queue_int, [QUEUE, GPU])
+        assert len(paths) == 2
+        kind, _ = paths[0].ecvs["queue_depth_0"]
+        assert kind == "int"
+
+
+class TestLoops:
+    def test_concrete_loop_unrolls(self):
+        paths = symbolic_execute(concrete_loop, [GPU])
+        assert len(paths[0].energy_terms) == 4
+
+    def test_symbolic_loop_summarised(self):
+        paths = symbolic_execute(symbolic_loop, [GPU])
+        (path,) = paths
+        assert len(path.energy_terms) == 2
+        scaled = path.energy_terms[1]
+        value = evaluate_expr(scaled.multiplier, {"n": 7})
+        assert value == 7
+
+    def test_symbolic_loop_with_start(self):
+        (path,) = symbolic_execute(symbolic_loop_two_bounds, [GPU])
+        value = evaluate_expr(path.energy_terms[0].multiplier,
+                              {"a": 3, "b": 10})
+        assert value == 7
+
+    def test_branch_inside_summarised_loop_rejected(self):
+        with pytest.raises(SymbolicExecutionError, match="summarised loop"):
+            symbolic_execute(loop_with_branch_inside, [CACHE, GPU])
+
+    def test_accumulator_in_summarised_loop_rejected(self):
+        with pytest.raises(SymbolicExecutionError, match="mutates"):
+            symbolic_execute(loop_with_accumulator, [GPU])
+
+    def test_index_dependent_energy_rejected(self):
+        with pytest.raises(SymbolicExecutionError, match="loop index"):
+            symbolic_execute(loop_energy_depends_on_index, [GPU])
+
+    def test_concrete_while(self):
+        (path,) = symbolic_execute(uses_while_concrete, [GPU])
+        assert len(path.energy_terms) == 3
+
+    def test_symbolic_while_rejected(self):
+        with pytest.raises(SymbolicExecutionError, match="while"):
+            symbolic_execute(while_symbolic, [GPU])
+
+    def test_break_in_summarised_loop_rejected(self):
+        with pytest.raises(SymbolicExecutionError):
+            symbolic_execute(breaks_in_summarised_loop, [GPU])
+
+
+class TestBuiltinsAndHelpers:
+    def test_min_max_fork(self):
+        paths = symbolic_execute(uses_min_max, [GPU])
+        assert len(paths) == 4  # 2 for min x 2 for max
+
+    def test_abs_forks(self):
+        paths = symbolic_execute(uses_abs, [GPU])
+        assert len(paths) == 2
+
+    def test_helper_inlined(self):
+        (path,) = symbolic_execute(uses_helper, [GPU],
+                                   helpers={"helper_double": helper_double})
+        value = evaluate_expr(path.energy_terms[0].args[0], {"n": 5})
+        assert value == 10
+
+    def test_tuple_unpack(self):
+        (path,) = symbolic_execute(uses_tuple_unpack, [GPU])
+        value = evaluate_expr(path.energy_terms[0].args[0], {"n": 5})
+        assert value == 6
+
+    def test_assert_splits_and_fails(self):
+        with pytest.raises(SymbolicExecutionError, match="assertion"):
+            symbolic_execute(uses_assert, [GPU])
+
+
+class TestGuards:
+    def test_undeclared_resource_rejected(self):
+        with pytest.raises(SymbolicExecutionError, match="undeclared"):
+            symbolic_execute(branch_on_resource, [CACHE])  # no gpu model
+
+    def test_path_explosion_guard(self):
+        def wide(res, a, b, c):
+            if a > 0:
+                res.gpu.op(1)
+            if b > 0:
+                res.gpu.op(2)
+            if c > 0:
+                res.gpu.op(3)
+
+        # 8 paths is fine; force a tiny cap to trigger the guard.
+        with pytest.raises(SymbolicExecutionError, match="explosion"):
+            symbolic_execute(branch_on_input, [GPU], max_paths=1)
+
+    def test_probabilities_irrelevant_here(self):
+        paths = symbolic_execute(branch_on_input, [GPU], max_paths=8)
+        assert len(paths) == 2

@@ -1,0 +1,102 @@
+"""Tests for divergence testing (energy-bug detection, §4.2)."""
+
+import pytest
+
+from repro.analysis.verify import divergence_test
+from repro.core.errors import EnergyError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+from repro.hardware.machine import Machine
+from repro.hardware.memory import DRAM, DRAMSpec
+from repro.measurement.meter import ledger_meter
+
+
+class DramInterface(EnergyInterface):
+    """Interface for a module that reads n kilobytes from DRAM."""
+
+    def __init__(self, spec):
+        super().__init__("reader")
+        self.spec = spec
+
+    def E_read(self, n_kb):
+        lines = n_kb * 1024 // 64
+        return Energy(lines * self.spec.e_read_line)
+
+
+def build():
+    machine = Machine("m")
+    spec = DRAMSpec(e_read_line=10e-9, e_write_line=20e-9,
+                    p_refresh_w=0.0, bandwidth_bytes=1e9)
+    dram = machine.add(DRAM("dram", spec))
+    return machine, dram, DramInterface(spec)
+
+
+class TestDivergenceTest:
+    def test_faithful_implementation_passes(self):
+        machine, dram, iface = build()
+
+        def run(n_kb):
+            dram.access(bytes_read=n_kb * 1024)
+
+        report = divergence_test(iface.E_read, run, ledger_meter(machine),
+                                 inputs=[1, 4, 16], threshold=0.05)
+        assert report.ok
+        assert report.checked == 3
+        assert report.worst_error < 0.01
+        assert "no energy bugs" in str(report)
+
+    def test_energy_bug_detected(self):
+        """Injected bug: the implementation reads everything twice."""
+        machine, dram, iface = build()
+
+        def buggy_run(n_kb):
+            dram.access(bytes_read=n_kb * 1024)
+            dram.access(bytes_read=n_kb * 1024)  # the bug
+
+        report = divergence_test(iface.E_read, buggy_run,
+                                 ledger_meter(machine),
+                                 inputs=[4], threshold=0.10)
+        assert not report.ok
+        bug = report.bugs[0]
+        assert bug.relative_error == pytest.approx(0.5, abs=0.01)
+        assert "MORE energy" in str(bug)
+
+    def test_stale_interface_detected(self):
+        """The opposite divergence: implementation got cheaper."""
+        machine, dram, iface = build()
+
+        def optimised_run(n_kb):
+            dram.access(bytes_read=n_kb * 1024 // 2)
+
+        report = divergence_test(iface.E_read, optimised_run,
+                                 ledger_meter(machine),
+                                 inputs=[4], threshold=0.10)
+        assert not report.ok
+        assert "stale interface" in str(report.bugs[0])
+
+    def test_threshold_controls_sensitivity(self):
+        machine, dram, iface = build()
+
+        def slightly_off(n_kb):
+            dram.access(bytes_read=int(n_kb * 1024 * 1.05))
+
+        meter = ledger_meter(machine)
+        strict = divergence_test(iface.E_read, slightly_off, meter,
+                                 inputs=[64], threshold=0.01)
+        lax = divergence_test(iface.E_read, slightly_off, meter,
+                              inputs=[64], threshold=0.20)
+        assert not strict.ok
+        assert lax.ok
+
+    def test_zero_measurement_with_positive_prediction(self):
+        machine, dram, iface = build()
+        report = divergence_test(iface.E_read, lambda n_kb: None,
+                                 ledger_meter(machine), inputs=[4])
+        assert not report.ok
+        assert report.bugs[0].relative_error == float("inf")
+
+    def test_bad_threshold_rejected(self):
+        machine, _, iface = build()
+        with pytest.raises(EnergyError):
+            divergence_test(iface.E_read, lambda n: None,
+                            ledger_meter(machine), inputs=[1], threshold=0.0)

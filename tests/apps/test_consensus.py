@@ -1,0 +1,72 @@
+"""Tests for the PoW/PoS consensus energy interfaces (§1's M4)."""
+
+import pytest
+
+from repro.apps.consensus import (
+    PoSEnergyInterface,
+    PoSNetworkSpec,
+    PoWEnergyInterface,
+    PoWNetworkSpec,
+    merge_savings,
+)
+from repro.core.errors import WorkloadError
+
+
+class TestPoW:
+    def test_daily_energy_scale(self):
+        """Pre-merge Ethereum burned on the order of tens of GWh/day."""
+        iface = PoWEnergyInterface(PoWNetworkSpec())
+        daily_gwh = iface.E_secure_day().as_kilowatt_hours / 1e6
+        assert 20 < daily_gwh < 200
+
+    def test_energy_scales_with_hash_rate(self):
+        small = PoWEnergyInterface(PoWNetworkSpec(hash_rate_mh_per_s=1e6))
+        large = PoWEnergyInterface(PoWNetworkSpec(hash_rate_mh_per_s=2e6))
+        assert large.E_secure_day().as_joules == pytest.approx(
+            2 * small.E_secure_day().as_joules)
+
+    def test_per_block(self):
+        iface = PoWEnergyInterface(PoWNetworkSpec())
+        per_block = iface.E_per_block(blocks_per_day=6500)
+        assert per_block.as_joules == pytest.approx(
+            iface.E_secure_day().as_joules / 6500)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PoWNetworkSpec(hash_rate_mh_per_s=0.0)
+        with pytest.raises(WorkloadError):
+            PoWNetworkSpec(overhead_fraction=1.0)
+        with pytest.raises(WorkloadError):
+            PoWEnergyInterface(PoWNetworkSpec()).E_per_block(0.0)
+
+
+class TestPoS:
+    def test_daily_energy_scale(self):
+        """Post-merge: a few MWh/day across all validators."""
+        iface = PoSEnergyInterface(PoSNetworkSpec())
+        daily_mwh = iface.E_secure_day().as_kilowatt_hours / 1e3
+        assert 1 < daily_mwh < 50
+
+    def test_idle_dominates_duties(self):
+        spec = PoSNetworkSpec()
+        iface = PoSEnergyInterface(spec)
+        duties = (spec.n_nodes * spec.attestations_per_node_per_day
+                  * spec.joules_per_attestation)
+        assert duties < 0.01 * iface.E_secure_day().as_joules
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PoSNetworkSpec(n_nodes=0)
+
+
+class TestMergeClaim:
+    def test_savings_match_papers_headline(self):
+        """'Reduced its energy consumption by an impressive 99.95%'."""
+        savings = merge_savings()
+        assert savings == pytest.approx(0.9995, abs=0.0008)
+
+    def test_custom_specs(self):
+        savings = merge_savings(
+            PoWNetworkSpec(hash_rate_mh_per_s=1e6, joules_per_mh=1.0),
+            PoSNetworkSpec(n_nodes=10, node_power_w=10.0))
+        assert 0.0 < savings < 1.0

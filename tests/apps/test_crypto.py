@@ -1,0 +1,122 @@
+"""Tests for the constant-energy crypto example (§4.1's side channel)."""
+
+import pytest
+
+from repro.apps.crypto import (
+    WORK_PER_BYTE,
+    ConstantTimeInterface,
+    ConstantTimeVerifier,
+    EarlyExitInterface,
+    EarlyExitVerifier,
+)
+from repro.core.contracts import ConstantEnergyContract
+from repro.core.errors import WorkloadError
+from repro.hardware.cpu import Core, Package
+from repro.hardware.machine import Machine
+from repro.hardware.profiles import BIG_CORE
+
+MAC_BYTES = 16
+SECRET = bytes(range(MAC_BYTES))
+
+
+def build_core():
+    machine = Machine("hsm")
+    package = machine.add(Package("pkg", static_active_w=1.0,
+                                  static_idle_w=0.1))
+    core = machine.add(Core("cpu0", BIG_CORE, package))
+    return machine, core
+
+
+def measure(machine, fn):
+    t0 = machine.now
+    fn()
+    return machine.ledger.energy_between(t0, machine.now)
+
+
+class TestImplementations:
+    def test_both_accept_correct_mac(self):
+        machine, core = build_core()
+        assert ConstantTimeVerifier(core, MAC_BYTES).verify(SECRET, SECRET)
+        assert EarlyExitVerifier(core, MAC_BYTES).verify(SECRET, SECRET)
+
+    def test_both_reject_wrong_mac(self):
+        machine, core = build_core()
+        wrong = bytes([255] * MAC_BYTES)
+        assert not ConstantTimeVerifier(core, MAC_BYTES).verify(wrong,
+                                                                SECRET)
+        assert not EarlyExitVerifier(core, MAC_BYTES).verify(wrong, SECRET)
+
+    def test_length_validation(self):
+        machine, core = build_core()
+        with pytest.raises(WorkloadError):
+            ConstantTimeVerifier(core, MAC_BYTES).verify(b"short", SECRET)
+        with pytest.raises(WorkloadError):
+            EarlyExitVerifier(core, 0)
+
+    def test_constant_time_energy_is_input_independent(self):
+        machine, core = build_core()
+        verifier = ConstantTimeVerifier(core, MAC_BYTES)
+        wrong_early = bytes([255]) + SECRET[1:]
+        wrong_late = SECRET[:-1] + bytes([255])
+        e1 = measure(machine, lambda: verifier.verify(wrong_early, SECRET))
+        e2 = measure(machine, lambda: verifier.verify(wrong_late, SECRET))
+        # rel=1e-6 absorbs the package's (negligible) thermal drift
+        # between the two runs; a real side channel is orders louder.
+        assert e1 == pytest.approx(e2, rel=1e-6)
+
+    def test_early_exit_leaks_matching_prefix(self):
+        """The side channel, measured: more correct prefix -> more energy."""
+        machine, core = build_core()
+        verifier = EarlyExitVerifier(core, MAC_BYTES)
+        energies = []
+        for prefix in (0, 4, 12):
+            guess = SECRET[:prefix] + bytes([255] * (MAC_BYTES - prefix))
+            energies.append(
+                measure(machine, lambda g=guess: verifier.verify(g,
+                                                                 SECRET)))
+        assert energies[0] < energies[1] < energies[2]
+
+
+class TestInterfacesAndContract:
+    def test_constant_time_interface_passes_contract(self):
+        interface = ConstantTimeInterface(joules_per_byte=1e-3,
+                                          mac_bytes=MAC_BYTES)
+        report = ConstantEnergyContract(rel_tol=1e-6).check(
+            interface.E_verify, inputs=[()])
+        assert report.ok
+
+    def test_early_exit_interface_fails_contract(self):
+        """§4.1: 'a mere upper bound is not sufficient' — the constant-
+        energy contract rejects the leaky design before implementation."""
+        interface = EarlyExitInterface(joules_per_byte=1e-3,
+                                       mac_bytes=MAC_BYTES)
+        report = ConstantEnergyContract(rel_tol=1e-6).check(
+            interface.E_verify, inputs=[()])
+        assert not report.ok
+
+    def test_early_exit_interface_worst_case_still_bounded(self):
+        """...even though an upper-bound contract happily accepts it."""
+        from repro.core.contracts import BudgetContract
+        from repro.core.units import Energy
+        interface = EarlyExitInterface(joules_per_byte=1e-3,
+                                       mac_bytes=MAC_BYTES)
+        budget = BudgetContract(Energy(1e-3 * MAC_BYTES))
+        assert budget.check(interface.E_verify, inputs=[()]).ok
+
+    def test_interface_matches_measured_energy(self):
+        machine, core = build_core()
+        verifier = EarlyExitVerifier(core, MAC_BYTES)
+        joules_per_byte = core.energy_of(WORK_PER_BYTE)
+        interface = EarlyExitInterface(joules_per_byte, MAC_BYTES)
+        prefix = 7
+        guess = SECRET[:prefix] + bytes([255] * (MAC_BYTES - prefix))
+        t0 = machine.now
+        verifier.verify(guess, SECRET)
+        measured = machine.ledger.energy_between(t0, machine.now,
+                                                 component="cpu0")
+        predicted = interface.evaluate(
+            "E_verify", env={"matching_prefix": prefix}).as_joules
+        # Activity energy only (static/package accounted separately).
+        activity = sum(r.joules for r in machine.ledger.records("cpu0")
+                       if r.tag == "ee-compare")
+        assert predicted == pytest.approx(activity, rel=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the battery-powered drone mission planner."""
+
+import pytest
+
+from repro.apps.drone import (
+    DroneSpec,
+    MissionEnergyInterface,
+    MissionLeg,
+    MissionPlanner,
+)
+from repro.core.errors import WorkloadError
+from repro.hardware.battery import Battery, BatterySpec
+
+
+def planner(capacity_wh=60.0, max_headwind=8.0):
+    drone = DroneSpec()
+    interface = MissionEnergyInterface(drone, max_headwind_mps=max_headwind)
+    battery = Battery(BatterySpec(capacity_wh=capacity_wh))
+    return MissionPlanner(interface, battery), drone, interface
+
+
+class TestAirframeModel:
+    def test_hover_power_scales_with_payload(self):
+        drone = DroneSpec()
+        assert drone.hover_power(1.0) > drone.hover_power(0.0)
+
+    def test_cruise_has_interior_optimum_speed(self):
+        """Induced power falls, drag rises: J/m has a sweet spot."""
+        drone = DroneSpec()
+        per_meter = {speed: drone.cruise_power(speed, 0.0) / speed
+                     for speed in (4, 10, 16, 24)}
+        best_speed = min(per_meter, key=per_meter.get)
+        assert best_speed not in (4, 24)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DroneSpec(empty_mass_kg=0.0)
+        with pytest.raises(WorkloadError):
+            DroneSpec().hover_power(-1.0)
+        with pytest.raises(WorkloadError):
+            DroneSpec().cruise_power(-1.0, 0.0)
+
+
+class TestMissionInterface:
+    def test_energy_scales_with_distance(self):
+        _, _, interface = planner()
+        short = interface.evaluate("E_leg", 1000.0, 0.0, 0.0, 10.0,
+                                   env={"headwind_mps": 0.0}).as_joules
+        long = interface.evaluate("E_leg", 3000.0, 0.0, 0.0, 10.0,
+                                  env={"headwind_mps": 0.0}).as_joules
+        assert long == pytest.approx(3 * short)
+
+    def test_headwind_costs_energy(self):
+        _, _, interface = planner()
+        calm = interface.evaluate("E_leg", 1000.0, 0.0, 0.0, 12.0,
+                                  env={"headwind_mps": 0.0}).as_joules
+        windy = interface.evaluate("E_leg", 1000.0, 0.0, 0.0, 12.0,
+                                   env={"headwind_mps": 8.0}).as_joules
+        assert windy > calm
+
+    def test_worst_case_uses_wind_envelope(self):
+        _, _, interface = planner()
+        legs = [MissionLeg(2000.0, hover_seconds=30.0)]
+        worst = interface.worst_case("E_mission", legs, 0.5, 12.0)
+        expected = interface.expected("E_mission", legs, 0.5, 12.0)
+        assert worst.as_joules > expected.as_joules
+
+    def test_hover_work_added(self):
+        _, _, interface = planner()
+        without = interface.evaluate("E_mission", [MissionLeg(1000.0)],
+                                     0.0, 10.0,
+                                     env={"headwind_mps": 0.0}).as_joules
+        with_hover = interface.evaluate(
+            "E_mission", [MissionLeg(1000.0, hover_seconds=60.0)],
+            0.0, 10.0, env={"headwind_mps": 0.0}).as_joules
+        assert with_hover > without
+
+    def test_bad_inputs_rejected(self):
+        _, _, interface = planner()
+        with pytest.raises(WorkloadError):
+            MissionLeg(-1.0)
+        with pytest.raises(WorkloadError):
+            interface.evaluate("E_leg", 100.0, 0.0, 0.0, 0.0,
+                               env={"headwind_mps": 0.0})
+
+
+class TestPlanner:
+    def test_feasible_mission_is_go(self):
+        plan, _, _ = planner(capacity_wh=80.0)
+        report = plan.check([MissionLeg(2000.0, 30.0)], payload_kg=0.3,
+                            ground_speed_mps=12.0)
+        assert report.feasible_worst_case
+        assert report.margin > 0
+        assert "GO" in str(report)
+
+    def test_infeasible_mission_is_no_go(self):
+        plan, _, _ = planner(capacity_wh=5.0)
+        report = plan.check([MissionLeg(20000.0, 0.0)], payload_kg=1.0,
+                            ground_speed_mps=12.0)
+        assert not report.feasible_expected
+        assert "NO-GO" in str(report)
+
+    def test_fair_weather_band_exists(self):
+        """A mission can fit the expected wind but not the worst case —
+        the distinction a point estimate cannot make."""
+        plan, _, interface = planner(capacity_wh=60.0, max_headwind=10.0)
+        legs = [MissionLeg(d, 0.0) for d in (1000.0,) * 8]
+        # Find a payload where expected fits but worst case does not.
+        found = False
+        for payload in (0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0):
+            report = plan.check(legs, payload, 12.0)
+            if report.feasible_expected and not report.feasible_worst_case:
+                found = True
+                assert "fair weather" in str(report)
+                break
+        assert found, "no fair-weather band found across payload sweep"
+
+    def test_best_speed_interior(self):
+        plan, _, _ = planner()
+        speed = plan.best_speed(payload_kg=0.5)
+        assert 4.0 < speed < 24.0
+
+    def test_heavier_payload_does_not_increase_range(self):
+        plan, _, _ = planner()
+        light = plan.max_range_m(0.0, 12.0)
+        heavy = plan.max_range_m(2.0, 12.0)
+        assert heavy < light
+
+    def test_worst_case_range_shorter(self):
+        plan, _, _ = planner()
+        assert plan.max_range_m(0.5, 12.0, worst_case=True) < \
+            plan.max_range_m(0.5, 12.0, worst_case=False)
+
+    def test_best_speed_needs_candidates(self):
+        plan, _, _ = planner()
+        with pytest.raises(WorkloadError):
+            plan.best_speed(0.0, candidates=())

@@ -1,0 +1,137 @@
+"""Tests for the ClusterFuzz capacity planner (§1's M2)."""
+
+import pytest
+
+from repro.apps.fuzzing import (
+    CapacityPlanner,
+    FuzzingCampaignModel,
+    FuzzingEnergyInterface,
+)
+from repro.core.errors import WorkloadError
+
+
+def model():
+    return FuzzingCampaignModel()
+
+
+def interface():
+    return FuzzingEnergyInterface(model())
+
+
+class TestCoverageLaw:
+    def test_coverage_monotone_and_saturating(self):
+        campaign = model()
+        values = [campaign.coverage(x) for x in (0, 1e9, 1e10, 1e12)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] < campaign.max_coverage
+
+    def test_inverse_round_trips(self):
+        campaign = model()
+        for coverage in (0.5, 0.9, 0.95, 0.99):
+            executions = campaign.executions_for(coverage)
+            assert campaign.coverage(executions) == pytest.approx(coverage)
+
+    def test_tail_is_heavy(self):
+        """90 -> 95 costs far more than 85 -> 90 (geometric blowup)."""
+        campaign = model()
+        step1 = campaign.executions_for(0.90) - campaign.executions_for(0.85)
+        step2 = campaign.executions_for(0.95) - campaign.executions_for(0.90)
+        assert step2 > 2.0 * step1
+
+    def test_unreachable_coverage_rejected(self):
+        with pytest.raises(WorkloadError):
+            model().executions_for(1.0)
+
+    def test_fleet_rate_diminishing_returns(self):
+        campaign = model()
+        rate1 = campaign.fleet_rate(1)
+        rate50 = campaign.fleet_rate(50)
+        assert rate50 > rate1
+        assert rate50 < 50 * rate1
+
+    def test_time_decreases_with_fleet_size(self):
+        campaign = model()
+        assert campaign.time_to_coverage(0.9, 50) < \
+            campaign.time_to_coverage(0.9, 5)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FuzzingCampaignModel(max_coverage=0.0)
+        with pytest.raises(WorkloadError):
+            FuzzingCampaignModel(coordination_overhead=1.0)
+        with pytest.raises(WorkloadError):
+            model().fleet_rate(0)
+        with pytest.raises(WorkloadError):
+            model().coverage(-1.0)
+
+
+class TestEnergyInterface:
+    def test_campaign_energy_positive_and_monotone_in_coverage(self):
+        iface = interface()
+        e90 = iface.E_campaign(0.90, 20).as_joules
+        e95 = iface.E_campaign(0.95, 20).as_joules
+        assert 0 < e90 < e95
+
+    def test_marginal_energy_definition(self):
+        iface = interface()
+        marginal = iface.E_marginal(0.90, 0.95, 20).as_joules
+        assert marginal == pytest.approx(
+            iface.E_campaign(0.95, 20).as_joules
+            - iface.E_campaign(0.90, 20).as_joules)
+
+    def test_marginal_rejects_backwards_range(self):
+        with pytest.raises(WorkloadError):
+            interface().E_marginal(0.95, 0.90, 20)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FuzzingEnergyInterface(model(), machine_fuzzing_power_w=0.0)
+        with pytest.raises(WorkloadError):
+            FuzzingEnergyInterface(model(), infra_power_w=-1.0)
+
+
+class TestPlanner:
+    def test_question_1_interior_optimum(self):
+        """Shared infra power penalises tiny fleets; coordination
+        overhead penalises huge ones — the optimum is interior."""
+        planner = CapacityPlanner(interface(), max_machines=150)
+        answer = planner.optimal_fleet(0.95)
+        assert 2 < answer.optimal_machines < 150
+        energies = answer.energy_by_fleet_size
+        assert energies[1] > answer.energy.as_joules
+        assert energies[150] > answer.energy.as_joules
+
+    def test_deadline_excludes_slow_fleets(self):
+        no_deadline = CapacityPlanner(interface(), max_machines=150)
+        tight = CapacityPlanner(interface(), max_machines=150,
+                                deadline_seconds=2 * 86_400.0)
+        slow_best = no_deadline.optimal_fleet(0.95)
+        fast_best = tight.optimal_fleet(0.95)
+        assert fast_best.campaign_seconds <= 2 * 86_400.0
+        assert fast_best.optimal_machines >= slow_best.optimal_machines
+
+    def test_impossible_deadline_rejected(self):
+        planner = CapacityPlanner(interface(), max_machines=3,
+                                  deadline_seconds=10.0)
+        with pytest.raises(WorkloadError):
+            planner.optimal_fleet(0.95)
+
+    def test_question_2_marginal_energy_blows_up(self):
+        """The paper's second question has a dramatic answer: the last
+        5 points of coverage cost multiples of the previous 5."""
+        planner = CapacityPlanner(interface(), max_machines=100)
+        n = planner.optimal_fleet(0.95).optimal_machines
+        up_to_90 = planner.marginal_coverage_energy(0.85, 0.90, n).as_joules
+        up_to_95 = planner.marginal_coverage_energy(0.90, 0.95, n).as_joules
+        assert up_to_95 > 2.0 * up_to_90
+
+    def test_cost_curve_monotone(self):
+        planner = CapacityPlanner(interface(), max_machines=50)
+        curve = planner.coverage_cost_curve(20, [0.5, 0.8, 0.9, 0.95])
+        values = list(curve.values())
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            CapacityPlanner(interface(), max_machines=0)

@@ -1,0 +1,107 @@
+"""Tests for the KV store over flash and its lumpy-write interface."""
+
+import pytest
+
+from repro.apps.kvstore import KVStore, KVStoreEnergyInterface, \
+    StorageManager
+from repro.core.errors import WorkloadError
+from repro.core.stack import Resource
+from repro.hardware.machine import Machine
+from repro.hardware.storage import SSD, SSDSpec
+
+
+def build(value_bytes=16 * 1024, capacity_blocks=64):
+    machine = Machine("storage-node")
+    ssd = machine.add(SSD("ssd0", SSDSpec(capacity_blocks=capacity_blocks,
+                                          pages_per_block=64,
+                                          gc_dirty_threshold=0.5,
+                                          p_idle_w=0.0)))
+    store = KVStore(ssd, value_bytes)
+    interface = KVStoreEnergyInterface(ssd, value_bytes)
+    manager = StorageManager("storaged", ssd, value_bytes)
+    return machine, ssd, store, interface, manager
+
+
+class TestStore:
+    def test_put_get_account_energy(self):
+        machine, ssd, store, _, _ = build()
+        store.put(1)
+        store.get(1)
+        assert ssd.pages_written > 0
+        assert ssd.pages_read > 0
+        assert machine.total_joules() > 0
+
+    def test_value_size_validation(self):
+        _, ssd, _, _, _ = build()
+        with pytest.raises(WorkloadError):
+            KVStore(ssd, 0)
+
+
+class TestInterfaceAccuracy:
+    def test_expected_put_cost_matches_long_run_average(self):
+        """The manager-bound interface's expected E_put equals the
+        measured long-run average within a few percent, despite the
+        lumpy GC bursts."""
+        machine, ssd, store, interface, manager = build()
+        manager.register(Resource("kvstore", interface))
+        exported = manager.export_interface("kvstore")
+        predicted = exported.expected("E_put").as_joules
+
+        # Enough puts to amortise several GC cycles (one every ~410 puts
+        # at this geometry), so the long-run average is meaningful.
+        n_puts = 3000
+        t0 = machine.now
+        for key in range(n_puts):
+            store.put(key)
+        assert ssd.gc_runs >= 5
+        measured = machine.ledger.energy_between(t0, machine.now)
+        assert predicted == pytest.approx(measured / n_puts, rel=0.10)
+
+    def test_worst_case_covers_gc_burst(self):
+        machine, ssd, store, interface, manager = build()
+        manager.register(Resource("kvstore", interface))
+        exported = manager.export_interface("kvstore")
+        worst = exported.worst_case("E_put").as_joules
+
+        worst_observed = 0.0
+        for key in range(500):
+            t0 = machine.now
+            store.put(key)
+            worst_observed = max(
+                worst_observed,
+                machine.ledger.energy_between(t0, machine.now))
+        assert worst >= worst_observed * 0.99
+
+    def test_without_binding_expected_is_wrong(self):
+        """The declared default (p=0.1) is far from this device's truth —
+        the manager's knowledge is what makes the interface accurate."""
+        machine, ssd, store, interface, manager = build()
+        unbound = interface.expected("E_put").as_joules
+        manager.register(Resource("kvstore", interface))
+        bound_value = manager.export_interface("kvstore").expected(
+            "E_put").as_joules
+        n_puts = 3000
+        t0 = machine.now
+        for key in range(n_puts):
+            store.put(key)
+        truth = machine.ledger.energy_between(t0, machine.now) / n_puts
+        assert abs(bound_value - truth) < abs(unbound - truth)
+
+    def test_get_energy(self):
+        _, ssd, _, interface, _ = build()
+        pages = -(-(16 * 1024 + 4096) // 4096)
+        assert interface.expected("E_get").as_joules == pytest.approx(
+            pages * ssd.spec.e_read_page)
+
+
+class TestManagerKnowledge:
+    def test_gc_probability_reasonable(self):
+        _, ssd, _, _, manager = build()
+        p = manager.gc_probability()
+        # 5 pages per put / 2048 reclaimed pages
+        assert p == pytest.approx(5 / 2048, rel=1e-6)
+
+    def test_bindings_have_description(self):
+        _, _, _, _, manager = build()
+        ecv = manager.known_bindings()["gc_triggered"]
+        assert "storaged" in ecv.description

@@ -1,0 +1,121 @@
+"""Tests for carbon-aware scheduling over energy interfaces."""
+
+import pytest
+
+from repro.core.carbon import (
+    SECONDS_PER_DAY,
+    CarbonAwareScheduler,
+    CarbonIntensitySignal,
+    carbon_of,
+    diurnal_grid,
+)
+from repro.core.errors import EnergyError
+from repro.core.units import Energy
+
+NOON = SECONDS_PER_DAY / 2
+EVENING = SECONDS_PER_DAY * 0.8
+
+
+class TestSignal:
+    def test_diurnal_shape(self):
+        grid = diurnal_grid(base_g_per_kwh=100.0, peak_g_per_kwh=400.0)
+        assert grid.at(NOON) < grid.at(EVENING)
+        assert grid.at(0.0) == pytest.approx(grid.at(SECONDS_PER_DAY),
+                                             rel=1e-6)
+
+    def test_average_brackets_extremes(self):
+        grid = diurnal_grid()
+        mean = grid.average(0.0, SECONDS_PER_DAY)
+        lows = min(grid.at(t) for t in range(0, 86400, 900))
+        highs = max(grid.at(t) for t in range(0, 86400, 900))
+        assert lows < mean < highs
+
+    def test_negative_intensity_rejected(self):
+        bad = CarbonIntensitySignal(lambda t: -1.0)
+        with pytest.raises(EnergyError):
+            bad.at(0.0)
+
+    def test_validation(self):
+        with pytest.raises(EnergyError):
+            diurnal_grid(base_g_per_kwh=500.0, peak_g_per_kwh=100.0)
+        with pytest.raises(EnergyError):
+            diurnal_grid(solar_dip_fraction=2.0)
+        with pytest.raises(EnergyError):
+            diurnal_grid().average(10.0, 5.0)
+
+
+class TestCarbonOf:
+    def test_unit_conversion(self):
+        # 1 kWh at 300 g/kWh = 300 g
+        assert carbon_of(Energy.kilowatt_hours(1), 300.0) == \
+            pytest.approx(300.0)
+
+    def test_accepts_joules(self):
+        assert carbon_of(3.6e6, 100.0) == pytest.approx(100.0)
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(EnergyError):
+            carbon_of(1.0, -5.0)
+
+
+class TestScheduler:
+    def test_constant_grid_makes_start_irrelevant(self):
+        scheduler = CarbonAwareScheduler(
+            CarbonIntensitySignal(lambda t: 200.0))
+        flat_power = lambda t: 1000.0
+        a = scheduler.emissions(flat_power, 3600.0, start_s=0.0)
+        b = scheduler.emissions(flat_power, 3600.0, start_s=40_000.0)
+        assert a == pytest.approx(b)
+
+    def test_best_start_lands_in_the_clean_window(self):
+        """A 2-hour job with a full-day deadline runs where the grid is
+        cleanest — mid-morning through noon on this shape — and far from
+        the evening peak."""
+        grid = diurnal_grid()
+        scheduler = CarbonAwareScheduler(grid)
+        choice = scheduler.best_start(lambda t: 5000.0,
+                                      duration_s=2 * 3600.0,
+                                      deadline_s=SECONDS_PER_DAY)
+        midpoint = choice.start_seconds + 3600.0
+        assert grid.at(midpoint) < 0.7 * grid.average(0.0, SECONDS_PER_DAY)
+        assert abs(midpoint - EVENING) > 6 * 3600.0
+
+    def test_deadline_limits_the_choice(self):
+        """With only 3 hours of slack from midnight, the job cannot reach
+        the solar window and emits more."""
+        scheduler = CarbonAwareScheduler(diurnal_grid())
+        free = scheduler.best_start(lambda t: 5000.0, 2 * 3600.0,
+                                    deadline_s=SECONDS_PER_DAY)
+        tight = scheduler.best_start(lambda t: 5000.0, 2 * 3600.0,
+                                     deadline_s=5 * 3600.0)
+        assert tight.grams > free.grams
+        assert tight.start_seconds <= 3 * 3600.0
+
+    def test_emissions_match_hand_integral(self):
+        grid = CarbonIntensitySignal(lambda t: 100.0 if t < 1800 else 300.0)
+        scheduler = CarbonAwareScheduler(grid, resolution_s=1800.0)
+        grams = scheduler.emissions(lambda t: 3600.0, 3600.0, start_s=0.0)
+        # 3600 W * 1800 s = 1.8 kWh at 100 then at 300 g/kWh
+        assert grams == pytest.approx(1.8 * 100 + 1.8 * 300)
+
+    def test_infeasible_deadline_rejected(self):
+        scheduler = CarbonAwareScheduler(diurnal_grid())
+        with pytest.raises(EnergyError):
+            scheduler.best_start(lambda t: 1.0, duration_s=7200.0,
+                                 deadline_s=3600.0)
+
+    def test_negative_power_rejected(self):
+        scheduler = CarbonAwareScheduler(diurnal_grid())
+        with pytest.raises(EnergyError):
+            scheduler.emissions(lambda t: -1.0, 3600.0, 0.0)
+
+    def test_savings_versus_naive_start(self):
+        """The whole point: interface + signal saves double-digit carbon
+        against 'just start now' (at the evening peak)."""
+        scheduler = CarbonAwareScheduler(diurnal_grid())
+        power = lambda t: 6510.0    # the M2 fuzzing fleet's draw
+        duration = 6 * 3600.0
+        naive = scheduler.emissions(power, duration, start_s=EVENING)
+        best = scheduler.best_start(power, duration,
+                                    deadline_s=2 * SECONDS_PER_DAY)
+        assert best.grams < 0.75 * naive

@@ -1,0 +1,148 @@
+"""Tests for interface composition combinators."""
+
+import pytest
+
+from repro.core.composition import (
+    BoundInterface,
+    OverheadInterface,
+    SequenceInterface,
+)
+from repro.core.ecv import BernoulliECV
+from repro.core.errors import CompositionError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy, Unit
+
+
+class CacheInterface(EnergyInterface):
+    def __init__(self, p_hit=0.9):
+        super().__init__("cache")
+        self.declare_ecv(BernoulliECV("hit", p=p_hit))
+
+    def E_lookup(self, n):
+        return Energy(5.0 if self.ecv("hit") else 100.0)
+
+    def helper(self):
+        return "not an energy method"
+
+
+class FlatInterface(EnergyInterface):
+    def __init__(self):
+        super().__init__("flat")
+
+    def E_op(self, n):
+        return Energy(float(n))
+
+
+class TestBoundInterface:
+    def test_binding_changes_expected(self):
+        bound = BoundInterface(CacheInterface(0.9),
+                               {"hit": BernoulliECV("hit", 0.5)})
+        assert bound.expected("E_lookup", 1).as_joules == pytest.approx(52.5)
+
+    def test_caller_env_still_overrides(self):
+        bound = BoundInterface(CacheInterface(0.9),
+                               {"hit": BernoulliECV("hit", 0.5)})
+        forced = bound.evaluate("E_lookup", 1, env={"hit": True})
+        assert forced.as_joules == pytest.approx(5.0)
+
+    def test_binding_to_fixed_value(self):
+        bound = BoundInterface(CacheInterface(), {"hit": False})
+        assert bound.expected("E_lookup", 1).as_joules == 100.0
+
+    def test_name_defaults_to_inner(self):
+        assert BoundInterface(CacheInterface(), {}).name == "cache"
+
+    def test_non_energy_attributes_pass_through(self):
+        bound = BoundInterface(CacheInterface(), {})
+        assert bound.helper() == "not an energy method"
+
+    def test_inner_and_bindings_accessible(self):
+        inner = CacheInterface()
+        bound = BoundInterface(inner, {"hit": True})
+        assert bound.inner is inner
+        assert bound.bindings == {"hit": True}
+
+    def test_direct_call_outside_evaluation_works_when_deterministic(self):
+        # A bound E_ method called outside evaluate() delegates directly;
+        # ECV reads then fail as usual, but methods without reads work.
+        bound = BoundInterface(FlatInterface(), {})
+        assert bound.E_op(3).as_joules == 3.0
+
+    def test_double_binding_outer_wins_over_inner(self):
+        inner_bound = BoundInterface(CacheInterface(),
+                                     {"hit": BernoulliECV("hit", 1.0)})
+        outer_bound = BoundInterface(inner_bound,
+                                     {"hit": BernoulliECV("hit", 0.0)})
+        # Precedence is caller env > outer manager > inner manager: a
+        # higher-layer manager re-exporting an interface may specialise it.
+        assert outer_bound.expected("E_lookup", 1).as_joules == 100.0
+
+
+class TestOverheadInterface:
+    def test_fixed_overhead_added(self):
+        iface = OverheadInterface(FlatInterface(), Energy(1.0))
+        assert iface.E_op(2).as_joules == pytest.approx(3.0)
+
+    def test_float_overhead(self):
+        iface = OverheadInterface(FlatInterface(), 0.5)
+        assert iface.E_op(2).as_joules == pytest.approx(2.5)
+
+    def test_callable_overhead_sees_args(self):
+        iface = OverheadInterface(
+            FlatInterface(),
+            lambda method, args, kwargs: Energy(0.1 * args[0]))
+        assert iface.E_op(10).as_joules == pytest.approx(11.0)
+
+    def test_overhead_inside_evaluation(self):
+        iface = OverheadInterface(CacheInterface(0.5), Energy(1.0))
+        assert iface.expected("E_lookup", 1).as_joules == pytest.approx(53.5)
+
+    def test_abstract_overhead_with_abstract_inner(self):
+        class AbstractIface(EnergyInterface):
+            def E_op(self):
+                return 2 * Unit("relu")
+
+        iface = OverheadInterface(AbstractIface(), lambda m, a, k: Unit("relu"))
+        assert iface.E_op().coefficient("relu") == 3.0
+
+    def test_mixed_abstract_concrete_rejected(self):
+        class AbstractIface(EnergyInterface):
+            def E_op(self):
+                return 2 * Unit("relu")
+
+        iface = OverheadInterface(AbstractIface(), Energy(1.0))
+        with pytest.raises(CompositionError):
+            iface.E_op()
+
+    def test_inner_accessible(self):
+        inner = FlatInterface()
+        assert OverheadInterface(inner, 0.0).inner is inner
+
+
+class TestSequenceInterface:
+    def test_sums_steps(self):
+        flat = FlatInterface()
+        seq = SequenceInterface("pipeline", [
+            (flat, "E_op", lambda n: (n,)),
+            (flat, "E_op", lambda n: (2 * n,)),
+        ])
+        assert seq.E_sequence(3).as_joules == pytest.approx(9.0)
+
+    def test_non_tuple_args_fn(self):
+        flat = FlatInterface()
+        seq = SequenceInterface("pipeline", [(flat, "E_op", lambda n: n)])
+        assert seq.E_sequence(4).as_joules == 4.0
+
+    def test_sequence_with_ecvs_enumerates(self):
+        cache = CacheInterface(0.5)
+        flat = FlatInterface()
+        seq = SequenceInterface("pipeline", [
+            (cache, "E_lookup", lambda n: (n,)),
+            (flat, "E_op", lambda n: (n,)),
+        ])
+        expected = seq.expected("E_sequence", 10)
+        assert expected.as_joules == pytest.approx(0.5 * 5 + 0.5 * 100 + 10)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(CompositionError):
+            SequenceInterface("pipeline", [])

@@ -1,0 +1,170 @@
+"""Tests for energy contracts (§4.1)."""
+
+import pytest
+
+from repro.core.contracts import (
+    BudgetContract,
+    ConstantEnergyContract,
+    UpperBoundContract,
+    check_refinement,
+)
+from repro.core.ecv import BernoulliECV
+from repro.core.errors import ContractViolation
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+
+
+class LinearInterface(EnergyInterface):
+    def __init__(self, slope, name="linear"):
+        super().__init__(name)
+        self.slope = slope
+
+    def E_op(self, n):
+        return Energy(self.slope * n)
+
+
+class StochasticInterface(EnergyInterface):
+    def __init__(self, lo=1.0, hi=3.0):
+        super().__init__("stochastic")
+        self.lo, self.hi = lo, hi
+        self.declare_ecv(BernoulliECV("fast_path", 0.5))
+
+    def E_op(self, n):
+        return Energy((self.lo if self.ecv("fast_path") else self.hi) * n)
+
+
+class TestUpperBoundContract:
+    def test_conforming_implementation_passes(self):
+        bound = LinearInterface(2.0, "bound")
+        impl = LinearInterface(1.0, "impl")
+        report = UpperBoundContract(bound.E_op).check(impl.E_op,
+                                                      [1, 10, 100])
+        assert report.ok
+        assert report.checked == 3
+
+    def test_violating_implementation_fails(self):
+        bound = LinearInterface(1.0, "bound")
+        impl = LinearInterface(2.0, "impl")
+        report = UpperBoundContract(bound.E_op).check(impl.E_op, [5])
+        assert not report.ok
+        assert report.violations[0].inputs == (5,)
+
+    def test_worst_case_of_implementation_is_checked(self):
+        bound = LinearInterface(2.0, "bound")
+        impl = StochasticInterface(lo=0.5, hi=3.0)
+        report = UpperBoundContract(bound.E_op).check(impl.E_op, [1])
+        assert not report.ok  # worst case 3.0 > bound 2.0
+
+    def test_slack_allows_small_overshoot(self):
+        bound = LinearInterface(1.0, "bound")
+        impl = LinearInterface(1.04, "impl")
+        assert not UpperBoundContract(bound.E_op).check(impl.E_op, [1]).ok
+        assert UpperBoundContract(bound.E_op,
+                                  slack=0.05).check(impl.E_op, [1]).ok
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ContractViolation):
+            UpperBoundContract(lambda n: Energy(1.0), slack=-0.1)
+
+    def test_raise_on_violation(self):
+        bound = LinearInterface(1.0, "bound")
+        impl = LinearInterface(2.0, "impl")
+        report = UpperBoundContract(bound.E_op).check(impl.E_op, [1])
+        with pytest.raises(ContractViolation):
+            report.raise_on_violation()
+
+    def test_tuple_inputs(self):
+        class TwoArg(EnergyInterface):
+            def E_op(self, a, b):
+                return Energy(float(a + b))
+
+        bound = TwoArg()
+        report = UpperBoundContract(bound.E_op).check(bound.E_op,
+                                                      [(1, 2), (3, 4)])
+        assert report.ok
+
+    def test_report_str(self):
+        bound = LinearInterface(2.0, "bound")
+        report = UpperBoundContract(bound.E_op).check(bound.E_op, [1])
+        assert "OK" in str(report)
+
+
+class TestBudgetContract:
+    def test_within_budget(self):
+        impl = LinearInterface(1.0)
+        assert BudgetContract(Energy(100)).check(impl.E_op, [1, 50, 99]).ok
+
+    def test_over_budget_flagged(self):
+        impl = LinearInterface(1.0)
+        report = BudgetContract(Energy(10)).check(impl.E_op, [5, 20])
+        assert len(report.violations) == 1
+        assert report.violations[0].inputs == (20,)
+
+    def test_budget_accepts_float(self):
+        assert BudgetContract(5.0).budget == Energy(5.0)
+
+    def test_stochastic_worst_case_checked(self):
+        impl = StochasticInterface(lo=1.0, hi=20.0)
+        report = BudgetContract(Energy(10)).check(impl.E_op, [1])
+        assert not report.ok
+
+
+class TestConstantEnergyContract:
+    def test_constant_implementation_passes(self):
+        class Constant(EnergyInterface):
+            def E_op(self, n):
+                return Energy(7.0)
+
+        report = ConstantEnergyContract().check(Constant().E_op, [1, 2, 3])
+        assert report.ok
+
+    def test_input_dependent_energy_fails(self):
+        impl = LinearInterface(1.0)
+        report = ConstantEnergyContract().check(impl.E_op, [1, 2])
+        assert not report.ok
+
+    def test_ecv_dependent_energy_fails(self):
+        """The side-channel case: same input, ECV-visible variation."""
+        impl = StochasticInterface(lo=1.0, hi=2.0)
+        report = ConstantEnergyContract().check(impl.E_op, [5])
+        assert not report.ok
+
+    def test_tolerance_allows_small_jitter(self):
+        class Jittery(EnergyInterface):
+            def __init__(self):
+                super().__init__("jittery")
+                self.declare_ecv(BernoulliECV("x", 0.5))
+
+            def E_op(self, n):
+                return Energy(100.0 + (0.001 if self.ecv("x") else 0.0))
+
+        assert not ConstantEnergyContract(rel_tol=1e-6).check(
+            Jittery().E_op, [1]).ok
+        assert ConstantEnergyContract(rel_tol=1e-3).check(
+            Jittery().E_op, [1]).ok
+
+    def test_empty_inputs_trivially_ok(self):
+        report = ConstantEnergyContract().check(
+            LinearInterface(1.0).E_op, [])
+        assert report.ok
+
+
+class TestRefinement:
+    def test_compatible_composition(self):
+        abstract = LinearInterface(3.0, "abstract")
+        concrete = StochasticInterface(lo=1.0, hi=2.5)
+        report = check_refinement(abstract.E_op, concrete.E_op, [1, 10])
+        assert report.ok
+
+    def test_incompatible_composition_flagged(self):
+        abstract = LinearInterface(2.0, "abstract")
+        concrete = StochasticInterface(lo=1.0, hi=2.5)
+        report = check_refinement(abstract.E_op, concrete.E_op, [1])
+        assert not report.ok
+
+    def test_violation_str_mentions_energies(self):
+        abstract = LinearInterface(1.0, "abstract")
+        concrete = LinearInterface(2.0, "concrete")
+        report = check_refinement(abstract.E_op, concrete.E_op, [3])
+        text = str(report.violations[0])
+        assert "exceeds" in text

@@ -1,0 +1,185 @@
+"""Unit tests for energy-critical variables and environments."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ecv import (
+    BernoulliECV,
+    CategoricalECV,
+    ContinuousECV,
+    ECVEnvironment,
+    FixedECV,
+    UniformIntECV,
+    as_ecv,
+)
+from repro.core.errors import ECVBindingError
+
+RNG = np.random.default_rng(7)
+
+
+class TestBernoulli:
+    def test_support(self):
+        ecv = BernoulliECV("hit", 0.3)
+        assert dict(ecv.support()) == {False: pytest.approx(0.7),
+                                       True: pytest.approx(0.3)}
+
+    def test_degenerate_true(self):
+        assert BernoulliECV("hit", 1.0).support() == [(True, 1.0)]
+
+    def test_degenerate_false(self):
+        assert BernoulliECV("hit", 0.0).support() == [(False, 1.0)]
+
+    def test_sample_frequency(self):
+        ecv = BernoulliECV("hit", 0.8)
+        draws = [ecv.sample(RNG) for _ in range(1000)]
+        assert 0.72 < np.mean(draws) < 0.88
+
+    def test_extreme_values(self):
+        assert set(BernoulliECV("hit", 0.5).extreme_values()) == {True, False}
+
+    def test_is_enumerable(self):
+        assert BernoulliECV("hit", 0.5).is_enumerable()
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ECVBindingError):
+            BernoulliECV("hit", 1.5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ECVBindingError):
+            BernoulliECV("", 0.5)
+
+
+class TestCategorical:
+    def test_support_normalised(self):
+        ecv = CategoricalECV("state", {"a": 1.0, "b": 0.0, "c": 0.0})
+        assert ecv.support() == [("a", 1.0)]
+
+    def test_sampling_covers_support(self):
+        ecv = CategoricalECV("state", {"a": 0.5, "b": 0.5})
+        draws = {ecv.sample(RNG) for _ in range(200)}
+        assert draws == {"a", "b"}
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ECVBindingError):
+            CategoricalECV("state", {"a": 0.5, "b": 0.6})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ECVBindingError):
+            CategoricalECV("state", {})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ECVBindingError):
+            CategoricalECV("state", {"a": -0.5, "b": 1.5})
+
+
+class TestFixed:
+    def test_support_single(self):
+        assert FixedECV("n", 42).support() == [(42, 1.0)]
+
+    def test_sample_constant(self):
+        assert FixedECV("n", 42).sample(RNG) == 42
+
+    def test_extremes(self):
+        assert FixedECV("n", 42).extreme_values() == [42]
+
+
+class TestUniformInt:
+    def test_support(self):
+        ecv = UniformIntECV("k", 1, 3)
+        assert ecv.support() == [(1, pytest.approx(1 / 3)),
+                                 (2, pytest.approx(1 / 3)),
+                                 (3, pytest.approx(1 / 3))]
+
+    def test_extremes(self):
+        assert UniformIntECV("k", 1, 5).extreme_values() == [1, 5]
+
+    def test_degenerate_extremes(self):
+        assert UniformIntECV("k", 2, 2).extreme_values() == [2]
+
+    def test_samples_in_range(self):
+        ecv = UniformIntECV("k", 3, 6)
+        assert all(3 <= ecv.sample(RNG) <= 6 for _ in range(100))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ECVBindingError):
+            UniformIntECV("k", 5, 1)
+
+
+class TestContinuous:
+    def test_not_enumerable(self):
+        ecv = ContinuousECV("load", 0.0, 1.0)
+        assert ecv.support() is None
+        assert not ecv.is_enumerable()
+
+    def test_default_sampler_uniform(self):
+        ecv = ContinuousECV("load", 2.0, 3.0)
+        draws = [ecv.sample(RNG) for _ in range(100)]
+        assert all(2.0 <= value <= 3.0 for value in draws)
+
+    def test_custom_sampler_clamped(self):
+        ecv = ContinuousECV("load", 0.0, 1.0, sampler=lambda rng: 5.0)
+        assert ecv.sample(RNG) == 1.0
+
+    def test_extremes(self):
+        assert ContinuousECV("load", 0.0, 1.0).extreme_values() == [0.0, 1.0]
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ECVBindingError):
+            ContinuousECV("load", 1.0, 0.0)
+
+
+class TestAsEcv:
+    def test_ecv_passthrough(self):
+        ecv = BernoulliECV("hit", 0.5)
+        assert as_ecv("hit", ecv) is ecv
+
+    def test_value_becomes_fixed(self):
+        ecv = as_ecv("n", 7)
+        assert isinstance(ecv, FixedECV)
+        assert ecv.value == 7
+
+
+class TestEnvironment:
+    def test_qualified_lookup_wins(self):
+        env = ECVEnvironment({"cache.hit": True, "hit": False})
+        ecv = env.lookup("cache.hit", "hit")
+        assert ecv.support() == [(True, 1.0)]
+
+    def test_bare_fallback(self):
+        env = ECVEnvironment({"hit": False})
+        ecv = env.lookup("cache.hit", "hit")
+        assert ecv.support() == [(False, 1.0)]
+
+    def test_missing_returns_none(self):
+        assert ECVEnvironment().lookup("a.b", "b") is None
+
+    def test_extended_overrides(self):
+        env = ECVEnvironment({"hit": False}).extended({"hit": True})
+        assert env.lookup("x.hit", "hit").support() == [(True, 1.0)]
+
+    def test_with_defaults_keeps_own_bindings(self):
+        env = ECVEnvironment({"hit": True}).with_defaults({"hit": False,
+                                                           "other": 1})
+        assert env.lookup("x.hit", "hit").support() == [(True, 1.0)]
+        assert env.lookup("x.other", "other").support() == [(1, 1.0)]
+
+    def test_contains_and_len(self):
+        env = ECVEnvironment({"a": 1, "b": 2})
+        assert "a" in env
+        assert len(env) == 2
+
+    def test_empty_is_shared(self):
+        assert len(ECVEnvironment.EMPTY) == 0
+
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                           st.integers(), max_size=3),
+           st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                           st.integers(), max_size=3))
+    def test_extended_equals_dict_update(self, base, extra):
+        env = ECVEnvironment(base).extended(extra)
+        merged = dict(base)
+        merged.update(extra)
+        for key, value in merged.items():
+            assert env.lookup(key, key).support() == [(value, 1.0)]

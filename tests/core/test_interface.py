@@ -1,0 +1,302 @@
+"""Tests for the energy-interface evaluator (trace enumeration & modes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import Discrete, Empirical, EnergyDistribution, Normal
+from repro.core.ecv import (
+    BernoulliECV,
+    CategoricalECV,
+    ContinuousECV,
+    ECVEnvironment,
+    UniformIntECV,
+)
+from repro.core.errors import EvaluationError, UnknownECVError
+from repro.core.interface import (
+    EnergyInterface,
+    enumerate_traces,
+    evaluate,
+)
+from repro.core.units import AbstractEnergy, Energy, Unit
+
+
+class CacheInterface(EnergyInterface):
+    """Fig. 1's cache-lookup interface, used throughout the tests."""
+
+    def __init__(self, p_hit=0.9):
+        super().__init__("cache")
+        self.declare_ecv(BernoulliECV("hit", p=p_hit,
+                                      description="cache hit"))
+
+    def E_lookup(self, n):
+        per_byte = 5 if self.ecv("hit") else 100
+        return Energy.millijoules(per_byte * n)
+
+
+class ServiceInterface(EnergyInterface):
+    """A two-level interface: nests the cache interface."""
+
+    def __init__(self):
+        super().__init__("service")
+        self.declare_ecv(BernoulliECV("request_hit", p=0.5))
+        self.cache = CacheInterface()
+
+    def E_handle(self, n):
+        if self.ecv("request_hit"):
+            return self.cache.E_lookup(n)
+        return Energy.joules(50)
+
+
+class TestDeterministicEvaluation:
+    def test_expected_mode_weights_branches(self):
+        iface = CacheInterface(p_hit=0.9)
+        expected = iface.expected("E_lookup", 1000)
+        assert expected.as_joules == pytest.approx(
+            0.9 * 5.0 + 0.1 * 100.0)
+
+    def test_env_override_forces_branch(self):
+        iface = CacheInterface()
+        assert iface.expected("E_lookup", 1000,
+                              env={"hit": False}).as_joules == 100.0
+
+    def test_qualified_env_override(self):
+        iface = CacheInterface()
+        result = iface.expected("E_lookup", 1000, env={"cache.hit": True})
+        assert result.as_joules == pytest.approx(5.0)
+
+    def test_worst_case(self):
+        iface = CacheInterface()
+        assert iface.worst_case("E_lookup", 1000).as_joules == 100.0
+
+    def test_best_case(self):
+        iface = CacheInterface()
+        best = iface.evaluate("E_lookup", 1000, mode="best")
+        assert best.as_joules == pytest.approx(5.0)
+
+    def test_worst_ignores_probability_zero_support(self):
+        # Even p=0.999 hit keeps the miss as worst case.
+        iface = CacheInterface(p_hit=0.999)
+        assert iface.worst_case("E_lookup", 1000).as_joules == 100.0
+
+    def test_fixed_mode_requires_single_values(self):
+        iface = CacheInterface()
+        with pytest.raises(EvaluationError):
+            iface.evaluate("E_lookup", 1000, mode="fixed")
+        result = iface.evaluate("E_lookup", 1000, mode="fixed",
+                                env={"hit": True})
+        assert result.as_joules == pytest.approx(5.0)
+
+    def test_unknown_mode_rejected(self):
+        iface = CacheInterface()
+        with pytest.raises(EvaluationError):
+            iface.evaluate("E_lookup", 1000, mode="pessimist")
+
+
+class TestDistributionMode:
+    def test_distribution_is_discrete(self):
+        iface = CacheInterface(p_hit=0.75)
+        dist = iface.distribution("E_lookup", 1000)
+        assert isinstance(dist, Discrete)
+        assert dist.mean() == pytest.approx(0.75 * 5 + 0.25 * 100)
+
+    def test_distribution_bounds(self):
+        dist = CacheInterface().distribution("E_lookup", 1000)
+        assert dist.lower_bound() == pytest.approx(5.0)
+        assert dist.upper_bound() == pytest.approx(100.0)
+
+    def test_method_returning_distribution_mixes(self):
+        class Noisy(EnergyInterface):
+            def __init__(self):
+                super().__init__("noisy")
+                self.declare_ecv(BernoulliECV("warm", 0.5))
+
+            def E_op(self):
+                if self.ecv("warm"):
+                    return Normal(1.0, 0.1)
+                return Normal(2.0, 0.1)
+
+        dist = Noisy().distribution("E_op")
+        assert dist.mean() == pytest.approx(1.5)
+
+
+class TestNestedInterfaces:
+    def test_nested_expected(self):
+        iface = ServiceInterface()
+        # 0.5 * (0.9*5 + 0.1*100) + 0.5 * 50, all in Joules
+        expected = iface.expected("E_handle", 1000)
+        assert expected.as_joules == pytest.approx(
+            0.5 * (0.9 * 5 + 0.1 * 100) + 0.5 * 50)
+
+    def test_nested_trace_count(self):
+        iface = ServiceInterface()
+        traces = enumerate_traces(lambda: iface.E_handle(1000))
+        assert len(traces) == 3  # hit+cachehit, hit+miss, miss
+
+    def test_trace_probabilities_sum_to_one(self):
+        iface = ServiceInterface()
+        traces = enumerate_traces(lambda: iface.E_handle(1000))
+        assert sum(t.probability for t in traces) == pytest.approx(1.0)
+
+    def test_trace_assignments_recorded(self):
+        iface = ServiceInterface()
+        traces = enumerate_traces(lambda: iface.E_handle(1000))
+        keys = set()
+        for trace in traces:
+            keys.update(trace.assignments)
+        assert "service.request_hit" in keys
+        assert "cache.hit" in keys
+
+    def test_nested_env_override_by_qualified_name(self):
+        iface = ServiceInterface()
+        result = iface.expected("E_handle", 1000,
+                                env={"service.request_hit": True,
+                                     "cache.hit": False})
+        assert result.as_joules == pytest.approx(100.0)
+
+
+class TestCategoricalAndInt:
+    def test_categorical_enumeration(self):
+        class Dvfs(EnergyInterface):
+            def __init__(self):
+                super().__init__("dvfs")
+                self.declare_ecv(CategoricalECV(
+                    "state", {"low": 0.5, "high": 0.5}))
+
+            def E_op(self):
+                return Energy(1.0 if self.ecv("state") == "low" else 4.0)
+
+        assert Dvfs().expected("E_op").as_joules == pytest.approx(2.5)
+
+    def test_uniform_int_enumeration(self):
+        class Retry(EnergyInterface):
+            def __init__(self):
+                super().__init__("retry")
+                self.declare_ecv(UniformIntECV("attempts", 1, 4))
+
+            def E_op(self):
+                return Energy(float(self.ecv("attempts")))
+
+        assert Retry().expected("E_op").as_joules == pytest.approx(2.5)
+
+
+class TestContinuousFallback:
+    class Leaky(EnergyInterface):
+        def __init__(self):
+            super().__init__("leaky")
+            self.declare_ecv(ContinuousECV("temp", 20.0, 80.0))
+
+        def E_op(self):
+            return Energy(1.0 + 0.01 * self.ecv("temp"))
+
+    def test_expected_falls_back_to_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        result = self.Leaky().expected("E_op", rng=rng, n_samples=4000)
+        assert result.as_joules == pytest.approx(1.5, rel=0.02)
+
+    def test_distribution_mode_returns_empirical(self):
+        rng = np.random.default_rng(0)
+        dist = self.Leaky().distribution("E_op", rng=rng, n_samples=500)
+        assert isinstance(dist, Empirical)
+
+    def test_worst_uses_interval_endpoints(self):
+        assert self.Leaky().worst_case("E_op").as_joules == pytest.approx(1.8)
+
+
+class TestSampleMode:
+    def test_sample_returns_energy(self):
+        iface = CacheInterface()
+        rng = np.random.default_rng(0)
+        sample = iface.evaluate("E_lookup", 1000, mode="sample", rng=rng)
+        assert sample.as_joules in (pytest.approx(5.0), pytest.approx(100.0))
+
+    def test_sample_reproducible_with_seed(self):
+        iface = CacheInterface()
+        a = iface.evaluate("E_lookup", 1000, mode="sample",
+                           rng=np.random.default_rng(3))
+        b = iface.evaluate("E_lookup", 1000, mode="sample",
+                           rng=np.random.default_rng(3))
+        assert a == b
+
+
+class TestAbstractOutcomes:
+    class Abstract(EnergyInterface):
+        def __init__(self):
+            super().__init__("abstract")
+            self.declare_ecv(BernoulliECV("hit", 0.5))
+
+        def E_op(self):
+            if self.ecv("hit"):
+                return 2 * Unit("relu")
+            return 4 * Unit("relu")
+
+    def test_expected_averages_abstract(self):
+        result = self.Abstract().expected("E_op")
+        assert isinstance(result, AbstractEnergy)
+        assert result.coefficient("relu") == pytest.approx(3.0)
+
+    def test_distribution_mode_rejects_abstract(self):
+        with pytest.raises(EvaluationError):
+            self.Abstract().distribution("E_op")
+
+    def test_worst_mode_rejects_abstract(self):
+        with pytest.raises(EvaluationError):
+            self.Abstract().worst_case("E_op")
+
+
+class TestErrors:
+    def test_undeclared_ecv_raises(self):
+        class Bad(EnergyInterface):
+            def E_op(self):
+                return Energy(float(self.ecv("mystery")))
+
+        with pytest.raises(UnknownECVError):
+            Bad().expected("E_op")
+
+    def test_ecv_read_outside_evaluation(self):
+        iface = CacheInterface()
+        with pytest.raises(EvaluationError):
+            iface.ecv("hit")
+
+    def test_max_traces_guard(self):
+        class Wide(EnergyInterface):
+            def __init__(self):
+                super().__init__("wide")
+                for index in range(20):
+                    self.declare_ecv(BernoulliECV(f"b{index}", 0.5))
+
+            def E_op(self):
+                total = sum(1.0 for index in range(20)
+                            if self.ecv(f"b{index}"))
+                return Energy(total)
+
+        with pytest.raises(EvaluationError):
+            Wide().expected("E_op", max_traces=64)
+
+    def test_junk_return_rejected(self):
+        class Junk(EnergyInterface):
+            def E_op(self):
+                return "many joules"
+
+        with pytest.raises(EvaluationError):
+            Junk().expected("E_op")
+
+    def test_free_function_evaluate(self):
+        cache = CacheInterface()
+        result = evaluate(lambda: cache.E_lookup(1000) + Energy(0.5),
+                          mode="expected")
+        assert result.as_joules == pytest.approx(0.9 * 5 + 0.1 * 100 + 0.5)
+
+
+class TestDeclarations:
+    def test_declarations_exposed(self):
+        iface = CacheInterface()
+        assert "hit" in iface.ecv_declarations
+
+    def test_repr_mentions_ecvs(self):
+        assert "hit" in repr(CacheInterface())
+
+    def test_default_name_is_class_name(self):
+        class Unnamed(EnergyInterface):
+            pass
+
+        assert Unnamed().name == "Unnamed"

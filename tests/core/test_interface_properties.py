@@ -1,0 +1,114 @@
+"""Property-based tests for the interface evaluator's invariants.
+
+Hypothesis generates random piecewise-linear interfaces over Bernoulli
+ECVs and checks the ordering and consistency laws every evaluation mode
+must satisfy, regardless of interface shape:
+
+* best <= expected <= worst,
+* distribution mode's mean equals expected mode,
+* distribution bounds equal best/worst,
+* binding an ECV to a constant collapses the corresponding branch,
+* trace probabilities always sum to 1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ecv import BernoulliECV
+from repro.core.interface import EnergyInterface, enumerate_traces
+from repro.core.units import Energy
+
+probabilities = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+coefficients = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=4, max_size=4)
+
+
+def build_interface(p1, p2, coeffs):
+    """A two-ECV interface with four distinct path energies."""
+
+    class Generated(EnergyInterface):
+        def __init__(self):
+            super().__init__("generated")
+            self.declare_ecv(BernoulliECV("a", p1))
+            self.declare_ecv(BernoulliECV("b", p2))
+
+        def E_op(self, scale):
+            a, b = self.ecv("a"), self.ecv("b")
+            index = (2 if a else 0) + (1 if b else 0)
+            return Energy(coeffs[index] * scale)
+
+    return Generated()
+
+
+class TestEvaluatorLaws:
+    @given(probabilities, probabilities, coefficients)
+    @settings(max_examples=80)
+    def test_mode_ordering(self, p1, p2, coeffs):
+        iface = build_interface(p1, p2, coeffs)
+        best = iface.evaluate("E_op", 2.0, mode="best").as_joules
+        expected = iface.expected("E_op", 2.0).as_joules
+        worst = iface.worst_case("E_op", 2.0).as_joules
+        assert best - 1e-9 <= expected <= worst + 1e-9
+
+    @given(probabilities, probabilities, coefficients)
+    @settings(max_examples=80)
+    def test_distribution_mean_equals_expected(self, p1, p2, coeffs):
+        iface = build_interface(p1, p2, coeffs)
+        expected = iface.expected("E_op", 2.0).as_joules
+        dist = iface.distribution("E_op", 2.0)
+        assert dist.mean() == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @given(probabilities, probabilities, coefficients)
+    @settings(max_examples=50)
+    def test_distribution_bounds_equal_best_worst(self, p1, p2, coeffs):
+        iface = build_interface(p1, p2, coeffs)
+        dist = iface.distribution("E_op", 2.0)
+        best = iface.evaluate("E_op", 2.0, mode="best").as_joules
+        worst = iface.worst_case("E_op", 2.0).as_joules
+        assert dist.lower_bound() == pytest.approx(best, abs=1e-12)
+        assert dist.upper_bound() == pytest.approx(worst, abs=1e-12)
+
+    @given(probabilities, probabilities, coefficients)
+    @settings(max_examples=50)
+    def test_trace_probabilities_normalise(self, p1, p2, coeffs):
+        iface = build_interface(p1, p2, coeffs)
+        traces = enumerate_traces(lambda: iface.E_op(1.0))
+        assert sum(t.probability for t in traces) == pytest.approx(1.0)
+        assert len(traces) <= 4
+
+    @given(probabilities, probabilities, coefficients, st.booleans())
+    @settings(max_examples=50)
+    def test_binding_collapses_to_conditional_expectation(self, p1, p2,
+                                                          coeffs, a_value):
+        iface = build_interface(p1, p2, coeffs)
+        bound = iface.expected("E_op", 1.0, env={"a": a_value}).as_joules
+        base = 2 if a_value else 0
+        manual = p2 * coeffs[base + 1] + (1 - p2) * coeffs[base]
+        assert bound == pytest.approx(manual, rel=1e-9, abs=1e-12)
+
+    @given(probabilities, probabilities, coefficients)
+    @settings(max_examples=50)
+    def test_law_of_total_expectation_over_binding(self, p1, p2, coeffs):
+        """E[X] == p*E[X|a] + (1-p)*E[X|not a]."""
+        iface = build_interface(p1, p2, coeffs)
+        total = iface.expected("E_op", 1.0).as_joules
+        given_true = iface.expected("E_op", 1.0, env={"a": True}).as_joules
+        given_false = iface.expected("E_op", 1.0,
+                                     env={"a": False}).as_joules
+        assert total == pytest.approx(
+            p1 * given_true + (1 - p1) * given_false, rel=1e-9, abs=1e-12)
+
+    @given(probabilities, probabilities, coefficients,
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30)
+    def test_samples_lie_within_bounds(self, p1, p2, coeffs, seed):
+        iface = build_interface(p1, p2, coeffs)
+        rng = np.random.default_rng(seed)
+        sample = iface.evaluate("E_op", 1.0, mode="sample",
+                                rng=rng).as_joules
+        best = iface.evaluate("E_op", 1.0, mode="best").as_joules
+        worst = iface.worst_case("E_op", 1.0).as_joules
+        assert best - 1e-12 <= sample <= worst + 1e-12

@@ -1,0 +1,100 @@
+"""Tests for power values and peak-power provisioning."""
+
+import pytest
+
+from repro.core.errors import EnergyError
+from repro.core.power import Power, ProvisioningReport, as_watts, provision
+from repro.core.units import Energy
+
+
+class TestPowerValue:
+    def test_constructors(self):
+        assert Power.watts(2.0).as_watts == 2.0
+        assert Power.milliwatts(1500).as_watts == pytest.approx(1.5)
+        assert Power.kilowatts(2).as_watts == pytest.approx(2000.0)
+        assert Power.kilowatts(2).as_kilowatts == pytest.approx(2.0)
+
+    def test_arithmetic(self):
+        assert (Power(1.0) + Power(2.0)).as_watts == 3.0
+        assert (Power(5.0) - Power(2.0)).as_watts == 3.0
+        assert (2 * Power(1.5)).as_watts == 3.0
+        assert (Power(3.0) / Power(1.5)) == 2.0
+        assert (Power(3.0) / 3).as_watts == 1.0
+
+    def test_sum_builtin(self):
+        assert sum([Power(1.0), Power(2.0)]).as_watts == 3.0
+
+    def test_power_times_time_is_energy(self):
+        energy = Power(10.0).for_duration(3.0)
+        assert isinstance(energy, Energy)
+        assert energy.as_joules == pytest.approx(30.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(EnergyError):
+            Power(1.0).for_duration(-1.0)
+
+    def test_comparisons_and_hash(self):
+        assert Power(1.0) < Power(2.0) <= Power(2.0)
+        assert Power(3.0) > Power(2.0) >= Power(2.0)
+        assert hash(Power(1.0)) == hash(Power(1.0))
+        assert Power(1.0).isclose(Power(1.0 + 1e-12))
+
+    def test_repr_ranges(self):
+        assert "kW" in repr(Power(2500.0))
+        assert "mW" in repr(Power(0.005))
+        assert repr(Power(3.0)).endswith("3 W)")
+
+    def test_as_watts_coercion(self):
+        assert as_watts(Power(2.0)) == 2.0
+        assert as_watts(3) == 3.0
+        with pytest.raises(TypeError):
+            as_watts("a lot")
+
+
+class TestProvisioning:
+    def test_sum_of_peaks(self):
+        report = provision([Power(100.0), Power(200.0), 50.0],
+                           budget=Power(400.0))
+        assert report.sum_of_peaks.as_watts == pytest.approx(350.0)
+        assert report.fits_worst_case
+
+    def test_oversubscription_with_diversity(self):
+        report = provision([Power(300.0)] * 4, budget=Power(1000.0),
+                           diversity_factor=0.8)
+        assert not report.fits_worst_case          # 1200 > 1000
+        assert report.fits_diversified             # 960 <= 1000
+        assert report.oversubscription == pytest.approx(1.2)
+
+    def test_diversity_factor_validation(self):
+        with pytest.raises(EnergyError):
+            provision([Power(1.0)], Power(1.0), diversity_factor=0.0)
+        with pytest.raises(EnergyError):
+            provision([Power(1.0)], Power(1.0), diversity_factor=1.5)
+
+    def test_zero_budget(self):
+        report = ProvisioningReport(100.0, 100.0, 0.0)
+        assert report.oversubscription == float("inf")
+
+    def test_peak_power_from_interface_worst_case(self):
+        """The paper's suggestion: worst-mode evaluation of a power-
+        returning method IS the peak-power interface."""
+        from repro.core.ecv import CategoricalECV
+        from repro.core.interface import EnergyInterface
+
+        class NodePower(EnergyInterface):
+            def __init__(self):
+                super().__init__("node")
+                self.declare_ecv(CategoricalECV(
+                    "dvfs", {"low": 0.6, "high": 0.4}))
+
+            def P_draw(self, utilization):
+                base = 80.0 if self.ecv("dvfs") == "low" else 220.0
+                return base * utilization  # treat Watts as the numeraire
+
+        node = NodePower()
+        peak = node.evaluate("P_draw", 1.0, mode="worst").as_joules
+        expected = node.evaluate("P_draw", 1.0, mode="expected").as_joules
+        assert peak == pytest.approx(220.0)
+        assert expected == pytest.approx(0.6 * 80 + 0.4 * 220)
+        report = provision([peak] * 10, budget=2000.0)
+        assert not report.fits_worst_case

@@ -1,0 +1,111 @@
+"""Tests for human-readable interface rendering and tables."""
+
+from repro.core.ecv import (
+    BernoulliECV,
+    CategoricalECV,
+    ContinuousECV,
+    FixedECV,
+    UniformIntECV,
+)
+from repro.core.interface import EnergyInterface
+from repro.core.report import describe_interface, format_comparison, format_table
+from repro.core.units import Energy
+
+
+class DocumentedInterface(EnergyInterface):
+    """A cache lookup interface used to test rendering."""
+
+    def __init__(self):
+        super().__init__("cache")
+        self.declare_ecv(BernoulliECV("hit", 0.9, description="found locally"))
+        self.declare_ecv(CategoricalECV("tier", {"ssd": 0.5, "hdd": 0.5}))
+        self.declare_ecv(FixedECV("line_size", 64))
+        self.declare_ecv(UniformIntECV("retries", 0, 3))
+        self.declare_ecv(ContinuousECV("temperature", 20.0, 90.0))
+
+    def E_lookup(self, n):
+        """Energy for one lookup."""
+        return Energy(5.0 if self.ecv("hit") else 100.0)
+
+
+class TestDescribeInterface:
+    def test_mentions_name_and_ecvs(self):
+        text = describe_interface(DocumentedInterface())
+        assert "cache" in text
+        assert "hit ~ Bernoulli(p=0.9)" in text
+        assert "found locally" in text
+        assert "tier ~ Categorical" in text
+        assert "line_size ~ Fixed(64)" in text
+        assert "retries ~ UniformInt[0, 3]" in text
+        assert "temperature ~ Continuous[20, 90]" in text
+
+    def test_includes_method_source(self):
+        text = describe_interface(DocumentedInterface())
+        assert "def E_lookup" in text
+        assert "self.ecv(\"hit\")" in text or "self.ecv('hit')" in text
+
+    def test_signature_only_mode(self):
+        text = describe_interface(DocumentedInterface(),
+                                  include_source=False)
+        assert "def E_lookup" not in text
+        assert "E_lookup" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(["GPU", "Error"],
+                             [["sim4090", "0.70%"], ["sim3070", "6.06%"]],
+                             title="Table 1")
+        lines = table.splitlines()
+        assert lines[0] == "Table 1"
+        assert lines[1].startswith("GPU")
+        assert "sim4090" in table
+        assert "6.06%" in table
+
+    def test_handles_non_strings(self):
+        table = format_table(["n", "joules"], [[1, 2.5]])
+        assert "2.5" in table
+
+    def test_column_widths_accommodate_longest(self):
+        table = format_table(["a"], [["averyverylongvalue"]])
+        header, separator, row = table.splitlines()
+        assert len(separator) >= len("averyverylongvalue")
+
+
+class TestFormatComparison:
+    def test_basic(self):
+        line = format_comparison("gpt2", 10.0, 9.5)
+        assert "predicted 10 J" in line
+        assert "measured 9.5 J" in line
+        assert "5.26%" in line
+
+    def test_zero_measurement(self):
+        assert "n/a" in format_comparison("x", 1.0, 0.0)
+
+
+class TestRenderStack:
+    def test_fig2_style_rendering(self):
+        from repro.core.stack import Layer, Resource, ResourceManager, \
+            SystemStack
+
+        class Mgr(ResourceManager):
+            def known_bindings(self):
+                return {"hit": True}
+
+        hardware = Layer("hardware")
+        hardware.add_manager(ResourceManager("driver")).register(
+            Resource("accel", DocumentedInterface(),
+                     description="vendor interface"))
+        runtime = Layer("runtime")
+        runtime.add_manager(Mgr("python")).register(
+            Resource("webapp", DocumentedInterface()))
+        from repro.core.report import render_stack
+        text = render_stack(SystemStack([hardware, runtime]))
+        lines = text.splitlines()
+        # top-down: runtime before hardware
+        assert lines[1] == "[runtime]"
+        assert "[hardware]" in text
+        assert "binds ['hit']" in text
+        assert "resource accel" in text
+        assert "vendor interface" in text
+        assert "ECVs=" in text

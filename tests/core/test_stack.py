@@ -1,0 +1,175 @@
+"""Tests for the layered system stack (resources, managers, layers)."""
+
+import pytest
+
+from repro.core.ecv import BernoulliECV
+from repro.core.errors import CompositionError
+from repro.core.interface import EnergyInterface
+from repro.core.stack import Layer, Resource, ResourceManager, SystemStack
+from repro.core.units import Energy
+
+
+class LeafInterface(EnergyInterface):
+    def __init__(self, joules_per_op, name="leaf"):
+        super().__init__(name)
+        self.joules_per_op = joules_per_op
+        self.declare_ecv(BernoulliECV("warm", 0.5))
+
+    def E_op(self, n):
+        factor = 1.0 if self.ecv("warm") else 2.0
+        return Energy(self.joules_per_op * n * factor)
+
+
+class KnowingManager(ResourceManager):
+    """A manager that knows its resources are always warm."""
+
+    def known_bindings(self):
+        return {"warm": True}
+
+
+def build_stack(joules_per_op=1.0):
+    hardware = Layer("hardware")
+    manager = hardware.add_manager(KnowingManager("driver"))
+    manager.register(Resource("accel", LeafInterface(joules_per_op)))
+    return SystemStack([hardware])
+
+
+class TestResource:
+    def test_requires_name(self):
+        with pytest.raises(CompositionError):
+            Resource("", LeafInterface(1.0))
+
+
+class TestResourceManager:
+    def test_register_and_lookup(self):
+        manager = ResourceManager("m")
+        resource = manager.register(Resource("r", LeafInterface(1.0)))
+        assert manager.resource("r") is resource
+
+    def test_duplicate_rejected(self):
+        manager = ResourceManager("m")
+        manager.register(Resource("r", LeafInterface(1.0)))
+        with pytest.raises(CompositionError):
+            manager.register(Resource("r", LeafInterface(2.0)))
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(CompositionError):
+            ResourceManager("m").resource("ghost")
+
+    def test_base_manager_exports_unwrapped(self):
+        manager = ResourceManager("m")
+        iface = LeafInterface(1.0)
+        manager.register(Resource("r", iface))
+        assert manager.export_interface("r") is iface
+
+    def test_knowing_manager_binds_ecvs(self):
+        manager = KnowingManager("m")
+        manager.register(Resource("r", LeafInterface(1.0)))
+        exported = manager.export_interface("r")
+        assert exported.expected("E_op", 10).as_joules == pytest.approx(10.0)
+
+    def test_export_all(self):
+        manager = KnowingManager("m")
+        manager.register(Resource("a", LeafInterface(1.0, "a")))
+        manager.register(Resource("b", LeafInterface(2.0, "b")))
+        assert set(manager.export_all()) == {"a", "b"}
+
+
+class TestLayer:
+    def test_manager_lookup(self):
+        layer = Layer("os")
+        manager = layer.add_manager(ResourceManager("systemd"))
+        assert layer.manager("systemd") is manager
+
+    def test_unknown_manager(self):
+        with pytest.raises(CompositionError):
+            Layer("os").manager("ghost")
+
+    def test_resources_across_managers(self):
+        layer = Layer("os")
+        m1 = layer.add_manager(ResourceManager("a"))
+        m2 = layer.add_manager(ResourceManager("b"))
+        m1.register(Resource("r1", LeafInterface(1.0)))
+        m2.register(Resource("r2", LeafInterface(1.0)))
+        assert {r.name for r in layer.resources()} == {"r1", "r2"}
+
+    def test_duplicate_export_detected(self):
+        layer = Layer("os")
+        m1 = layer.add_manager(ResourceManager("a"))
+        m2 = layer.add_manager(ResourceManager("b"))
+        m1.register(Resource("same", LeafInterface(1.0)))
+        m2.register(Resource("same", LeafInterface(1.0)))
+        with pytest.raises(CompositionError):
+            layer.exported_interfaces()
+
+
+class TestSystemStack:
+    def test_layer_lookup(self):
+        stack = build_stack()
+        assert stack.layer("hardware").name == "hardware"
+
+    def test_unknown_layer(self):
+        with pytest.raises(CompositionError):
+            build_stack().layer("cloud")
+
+    def test_duplicate_layer_rejected(self):
+        stack = build_stack()
+        with pytest.raises(CompositionError):
+            stack.add_layer(Layer("hardware"))
+
+    def test_resource_path_lookup(self):
+        stack = build_stack()
+        assert stack.resource("hardware/accel").name == "accel"
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(CompositionError):
+            build_stack().resource("accel")
+
+    def test_missing_resource_rejected(self):
+        with pytest.raises(CompositionError):
+            build_stack().resource("hardware/ghost")
+
+    def test_exported_interface_applies_manager_knowledge(self):
+        stack = build_stack(joules_per_op=2.0)
+        iface = stack.exported_interface("hardware/accel")
+        assert iface.expected("E_op", 5).as_joules == pytest.approx(10.0)
+
+    def test_replace_layer_retargets(self):
+        """§3's machine-swap: replace hardware, predictions change."""
+        stack = build_stack(joules_per_op=1.0)
+        before = stack.exported_interface("hardware/accel").expected(
+            "E_op", 10).as_joules
+
+        replacement = Layer("hardware")
+        manager = replacement.add_manager(KnowingManager("driver"))
+        manager.register(Resource("accel", LeafInterface(3.0)))
+        stack.replace_layer("hardware", replacement)
+
+        after = stack.exported_interface("hardware/accel").expected(
+            "E_op", 10).as_joules
+        assert after == pytest.approx(3.0 * before)
+
+    def test_replace_missing_layer_rejected(self):
+        with pytest.raises(CompositionError):
+            build_stack().replace_layer("cloud", Layer("cloud"))
+
+    def test_stack_bindings_merge_upward(self):
+        hardware = Layer("hardware")
+        hw_manager = hardware.add_manager(KnowingManager("driver"))
+        hw_manager.register(Resource("accel", LeafInterface(1.0)))
+
+        class UpperManager(ResourceManager):
+            def known_bindings(self):
+                return {"warm": False, "request_hit": True}
+
+        runtime = Layer("runtime")
+        runtime.add_manager(UpperManager("python"))
+        stack = SystemStack([hardware, runtime])
+        bindings = stack.stack_bindings()
+        assert bindings["warm"] is False  # higher layer wins
+        assert bindings["request_hit"] is True
+
+    def test_repr_shows_order(self):
+        stack = build_stack()
+        stack.add_layer(Layer("os"))
+        assert "hardware -> os" in repr(stack)

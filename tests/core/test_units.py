@@ -1,0 +1,242 @@
+"""Unit tests for energy value types (Joules and abstract units)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.units import ZERO, AbstractEnergy, Energy, Unit, as_joules
+from repro.core.errors import UnitMismatchError
+
+finite = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-9, max_value=1e9,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestEnergyConstructors:
+    def test_joules_roundtrip(self):
+        assert Energy.joules(2.5).as_joules == 2.5
+
+    def test_millijoules(self):
+        assert Energy.millijoules(1500).as_joules == pytest.approx(1.5)
+
+    def test_microjoules(self):
+        assert Energy.microjoules(3).as_joules == pytest.approx(3e-6)
+
+    def test_nanojoules(self):
+        assert Energy.nanojoules(7).as_joules == pytest.approx(7e-9)
+
+    def test_picojoules(self):
+        assert Energy.picojoules(9).as_joules == pytest.approx(9e-12)
+
+    def test_watt_seconds_equal_joules(self):
+        assert Energy.watt_seconds(4).as_joules == 4.0
+
+    def test_watt_hours(self):
+        assert Energy.watt_hours(1).as_joules == pytest.approx(3600.0)
+
+    def test_kilowatt_hours(self):
+        assert Energy.kilowatt_hours(2).as_joules == pytest.approx(7.2e6)
+
+    def test_unit_accessors(self):
+        e = Energy.joules(3600.0)
+        assert e.as_millijoules == pytest.approx(3.6e6)
+        assert e.as_microjoules == pytest.approx(3.6e9)
+        assert e.as_watt_hours == pytest.approx(1.0)
+        assert e.as_kilowatt_hours == pytest.approx(1e-3)
+
+
+class TestEnergyArithmetic:
+    def test_addition(self):
+        assert (Energy(1.0) + Energy(2.0)).as_joules == 3.0
+
+    def test_sum_builtin_works(self):
+        total = sum([Energy(1.0), Energy(2.0), Energy(3.0)])
+        assert total.as_joules == 6.0
+
+    def test_subtraction(self):
+        assert (Energy(5.0) - Energy(2.0)).as_joules == 3.0
+
+    def test_scalar_multiplication_both_sides(self):
+        assert (2 * Energy(1.5)).as_joules == 3.0
+        assert (Energy(1.5) * 2).as_joules == 3.0
+
+    def test_division_by_scalar(self):
+        assert (Energy(3.0) / 2).as_joules == 1.5
+
+    def test_division_by_energy_gives_ratio(self):
+        assert Energy(3.0) / Energy(1.5) == 2.0
+
+    def test_negation_and_abs(self):
+        assert (-Energy(2.0)).as_joules == -2.0
+        assert abs(Energy(-2.0)).as_joules == 2.0
+
+    def test_float_coercion(self):
+        assert float(Energy(1.25)) == 1.25
+
+    def test_adding_non_energy_fails(self):
+        with pytest.raises(TypeError):
+            Energy(1.0) + "nope"
+
+    @given(finite, finite)
+    def test_addition_commutes(self, a, b):
+        assert (Energy(a) + Energy(b)).as_joules == pytest.approx(
+            (Energy(b) + Energy(a)).as_joules)
+
+    @given(finite, finite, finite)
+    def test_addition_associates(self, a, b, c):
+        left = (Energy(a) + Energy(b)) + Energy(c)
+        right = Energy(a) + (Energy(b) + Energy(c))
+        assert left.as_joules == pytest.approx(right.as_joules, abs=1e-6)
+
+
+class TestEnergyComparisons:
+    def test_ordering(self):
+        assert Energy(1.0) < Energy(2.0)
+        assert Energy(2.0) > Energy(1.0)
+        assert Energy(1.0) <= Energy(1.0)
+        assert Energy(1.0) >= Energy(1.0)
+
+    def test_equality_and_hash(self):
+        assert Energy(1.0) == Energy(1.0)
+        assert hash(Energy(1.0)) == hash(Energy(1.0))
+        assert Energy(1.0) != Energy(2.0)
+
+    def test_isclose(self):
+        assert Energy(1.0).isclose(Energy(1.0 + 1e-12))
+        assert not Energy(1.0).isclose(Energy(1.1))
+
+
+class TestEnergyFormatting:
+    def test_zero(self):
+        assert str(ZERO) == "0 J"
+
+    def test_joule_range(self):
+        assert "J" in str(Energy(2.0))
+
+    def test_millijoule_range(self):
+        assert "mJ" in str(Energy(5e-3))
+
+    def test_microjoule_range(self):
+        assert "uJ" in str(Energy(5e-6))
+
+    def test_nanojoule_range(self):
+        assert "nJ" in str(Energy(5e-9))
+
+    def test_picojoule_range(self):
+        assert "pJ" in str(Energy(5e-13))
+
+    def test_kwh_range(self):
+        assert "kWh" in str(Energy.kilowatt_hours(2))
+
+
+class TestAsJoules:
+    def test_energy_passthrough(self):
+        assert as_joules(Energy(2.0)) == 2.0
+
+    def test_number_passthrough(self):
+        assert as_joules(3) == 3.0
+        assert as_joules(2.5) == 2.5
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_joules("watts")
+
+
+class TestAbstractEnergy:
+    def test_unit_constructor(self):
+        relu = Unit("relu")
+        assert relu.coefficient("relu") == 1.0
+        assert relu.units == frozenset({"relu"})
+
+    def test_linear_combination(self):
+        cost = 8 * Unit("conv2d") + 16 * Unit("mlp")
+        assert cost.coefficient("conv2d") == 8.0
+        assert cost.coefficient("mlp") == 16.0
+        assert cost.coefficient("absent") == 0.0
+
+    def test_zero_terms_dropped(self):
+        a = Unit("x")
+        assert (a - a).is_zero()
+
+    def test_subtraction(self):
+        cost = 3 * Unit("x") - 1 * Unit("x")
+        assert cost.coefficient("x") == 2.0
+
+    def test_sum_builtin(self):
+        total = sum([Unit("x"), Unit("x"), 2 * Unit("y")])
+        assert total.coefficient("x") == 2.0
+        assert total.coefficient("y") == 2.0
+
+    def test_equality_and_hash(self):
+        assert Unit("x") + Unit("y") == Unit("y") + Unit("x")
+        assert hash(2 * Unit("x")) == hash(2 * Unit("x"))
+
+    def test_ratio_of_proportional(self):
+        a = 2 * Unit("relu")
+        b = 4 * Unit("relu")
+        assert b.ratio_to(a) == pytest.approx(2.0)
+
+    def test_ratio_multi_unit_proportional(self):
+        a = 2 * Unit("relu") + 4 * Unit("conv")
+        b = 1 * Unit("relu") + 2 * Unit("conv")
+        assert a.ratio_to(b) == pytest.approx(2.0)
+
+    def test_ratio_of_zero_numerator(self):
+        assert AbstractEnergy().ratio_to(Unit("x")) == 0.0
+
+    def test_ratio_to_zero_fails(self):
+        with pytest.raises(UnitMismatchError):
+            Unit("x").ratio_to(AbstractEnergy())
+
+    def test_ratio_different_units_fails(self):
+        with pytest.raises(UnitMismatchError):
+            Unit("relu").ratio_to(Unit("conv"))
+
+    def test_ratio_nonproportional_fails(self):
+        a = 2 * Unit("relu") + 4 * Unit("conv")
+        b = 1 * Unit("relu") + 3 * Unit("conv")
+        with pytest.raises(UnitMismatchError):
+            a.ratio_to(b)
+
+    def test_grounding(self):
+        cost = 8 * Unit("conv2d") + 8 * Unit("relu")
+        grounded = cost.ground({"conv2d": Energy.microjoules(3),
+                                "relu": Energy.nanojoules(40)})
+        assert grounded.as_joules == pytest.approx(8 * 3e-6 + 8 * 40e-9)
+
+    def test_grounding_accepts_floats(self):
+        assert Unit("x").ground({"x": 2.0}).as_joules == 2.0
+
+    def test_grounding_missing_unit_fails(self):
+        with pytest.raises(UnitMismatchError):
+            (Unit("x") + Unit("y")).ground({"x": 1.0})
+
+    def test_items_sorted(self):
+        cost = Unit("b") + Unit("a")
+        assert [unit for unit, _ in cost.items()] == ["a", "b"]
+
+    def test_repr_zero(self):
+        assert "0" in repr(AbstractEnergy())
+
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c"]), positive,
+                           min_size=1),
+           st.dictionaries(st.sampled_from(["a", "b", "c"]), positive,
+                           min_size=1))
+    def test_grounding_is_linear(self, terms1, terms2):
+        costs = {"a": 1.5, "b": 2.5, "c": 0.5}
+        x = AbstractEnergy(terms1)
+        y = AbstractEnergy(terms2)
+        combined = (x + y).ground(costs).as_joules
+        separate = x.ground(costs).as_joules + y.ground(costs).as_joules
+        assert combined == pytest.approx(separate, rel=1e-9)
+
+    @given(st.dictionaries(st.sampled_from(["a", "b"]), positive, min_size=1),
+           st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_scaling_scales_grounding(self, terms, factor):
+        costs = {"a": 1.0, "b": 3.0}
+        base = AbstractEnergy(terms)
+        assert (factor * base).ground(costs).as_joules == pytest.approx(
+            factor * base.ground(costs).as_joules, rel=1e-9)

@@ -1,0 +1,203 @@
+"""Tests for the CPU model: cores, OPPs, packages, sleep states."""
+
+import pytest
+
+from repro.core.errors import HardwareError
+from repro.hardware.cpu import Core, CoreTypeSpec, Package
+from repro.hardware.dvfs import (
+    OPP,
+    OPPTable,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    SchedutilGovernor,
+)
+from repro.hardware.machine import Machine
+from repro.hardware.profiles import BIG_CORE, LITTLE_CORE, build_big_little
+
+
+def tiny_core_spec():
+    return CoreTypeSpec("tiny", OPPTable([
+        OPP(1e9, 100, power_active_w=1.0, power_idle_w=0.1),
+        OPP(2e9, 200, power_active_w=4.0, power_idle_w=0.2),
+    ]), sleep_power_w=0.01)
+
+
+def build_machine():
+    machine = Machine("m")
+    package = machine.add(Package("pkg", static_active_w=1.0,
+                                  static_idle_w=0.1))
+    core = machine.add(Core("core0", tiny_core_spec(), package))
+    return machine, package, core
+
+
+class TestOPP:
+    def test_energy_per_capacity_second(self):
+        opp = OPP(1e9, 100, 1.0, 0.1)
+        assert opp.energy_per_capacity_second == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            OPP(0.0, 100, 1.0, 0.1)
+        with pytest.raises(HardwareError):
+            OPP(1e9, 0, 1.0, 0.1)
+        with pytest.raises(HardwareError):
+            OPP(1e9, 100, 0.1, 1.0)  # active < idle
+
+
+class TestOPPTable:
+    def test_sorted_by_frequency(self):
+        table = OPPTable([OPP(2e9, 200, 4.0, 0.2), OPP(1e9, 100, 1.0, 0.1)])
+        assert table[0].frequency_hz == 1e9
+        assert table.max_opp.frequency_hz == 2e9
+
+    def test_lowest_fitting(self):
+        table = tiny_core_spec().opp_table
+        assert table.lowest_fitting(50).capacity == 100
+        assert table.lowest_fitting(150).capacity == 200
+        assert table.lowest_fitting(500).capacity == 200  # saturates
+
+    def test_capacity_monotonicity_enforced(self):
+        with pytest.raises(HardwareError):
+            OPPTable([OPP(1e9, 200, 1.0, 0.1), OPP(2e9, 100, 4.0, 0.2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(HardwareError):
+            OPPTable([])
+
+    def test_index_of_unknown(self):
+        table = tiny_core_spec().opp_table
+        with pytest.raises(HardwareError):
+            table.index_of(OPP(9e9, 1000, 10.0, 1.0))
+
+
+class TestGovernors:
+    def test_performance_picks_top(self):
+        table = tiny_core_spec().opp_table
+        assert PerformanceGovernor().select(table, 10).capacity == 200
+
+    def test_powersave_picks_bottom(self):
+        table = tiny_core_spec().opp_table
+        assert PowersaveGovernor().select(table, 150).capacity == 100
+
+    def test_schedutil_headroom(self):
+        table = tiny_core_spec().opp_table
+        # 90 * 1.25 = 112.5 > 100 -> needs the 200 OPP
+        assert SchedutilGovernor().select(table, 90).capacity == 200
+        assert SchedutilGovernor().select(table, 70).capacity == 100
+
+    def test_schedutil_rejects_headroom_below_one(self):
+        with pytest.raises(HardwareError):
+            SchedutilGovernor(headroom=0.9)
+
+
+class TestCoreExecution:
+    def test_duration_and_energy(self):
+        _, _, core = build_machine()
+        core.set_opp(core.spec.opp_table[0])  # 100 capacity, 1 W / 0.1 W
+        assert core.duration_of(50.0) == pytest.approx(0.5)
+        assert core.energy_of(50.0) == pytest.approx(0.9 * 0.5)
+
+    def test_execute_at_logs_and_blocks(self):
+        machine, _, core = build_machine()
+        t_end, joules = core.execute_at(0.0, 100.0)
+        assert t_end == pytest.approx(1.0)
+        assert core.busy_until == pytest.approx(1.0)
+        with pytest.raises(HardwareError):
+            core.execute_at(0.5, 10.0)
+
+    def test_run_advances_clock(self):
+        machine, _, core = build_machine()
+        core.run(100.0)
+        assert machine.now == pytest.approx(1.0)
+
+    def test_negative_work_rejected(self):
+        _, _, core = build_machine()
+        with pytest.raises(HardwareError):
+            core.duration_of(-1.0)
+
+    def test_higher_opp_is_faster_but_less_efficient(self):
+        _, _, core = build_machine()
+        low, high = core.spec.opp_table[0], core.spec.opp_table[1]
+        assert core.duration_of(100, high) < core.duration_of(100, low)
+        assert core.energy_of(100, high) > core.energy_of(100, low)
+
+    def test_powered_off_package_blocks_execution(self):
+        machine, package, core = build_machine()
+        package.set_powered(False)
+        with pytest.raises(HardwareError):
+            core.execute_at(0.0, 10.0)
+
+    def test_apply_governor_changes_opp(self):
+        _, _, core = build_machine()
+        core.apply_governor(PerformanceGovernor(), 10.0)
+        assert core.opp.capacity == 200
+
+
+class TestStaticAccounting:
+    def test_sleeping_core_uses_sleep_power(self):
+        machine, _, core = build_machine()
+        machine.advance(10.0)
+        core_static = machine.ledger.total_joules(component="core0")
+        assert core_static == pytest.approx(0.01 * 10.0)
+
+    def test_busy_core_uses_opp_idle_power(self):
+        machine, _, core = build_machine()
+        core.execute_at(0.0, 100.0)  # busy for 1 s at OPP0
+        machine.advance(1.0)
+        static = sum(r.joules for r in machine.ledger.records("core0")
+                     if r.tag == "static")
+        assert static == pytest.approx(0.1 * 1.0)
+
+    def test_package_active_vs_idle(self):
+        machine, package, core = build_machine()
+        core.execute_at(0.0, 100.0)
+        machine.advance(1.0)   # busy interval -> active power
+        machine.advance(1.0)   # idle interval -> idle power
+        records = machine.ledger.records("pkg")
+        assert records[0].joules == pytest.approx(1.0, rel=0.02)
+        assert records[1].joules == pytest.approx(0.1, rel=0.02)
+
+    def test_power_gated_package_draws_nothing(self):
+        machine, package, _ = build_machine()
+        package.set_powered(False)
+        machine.advance(5.0)
+        assert machine.ledger.total_joules(component="pkg") == 0.0
+
+    def test_package_heats_with_load(self):
+        machine, package, core = build_machine()
+        for _ in range(20):
+            core.run(200.0)
+        assert package.temperature > 25.0
+
+    def test_conservation_total_is_sum_of_parts(self):
+        machine, _, core = build_machine()
+        core.run(100.0)
+        machine.advance(2.0)
+        total = machine.total_joules()
+        parts = sum(machine.energy_breakdown().values())
+        assert total == pytest.approx(parts)
+
+    def test_package_validation(self):
+        with pytest.raises(HardwareError):
+            Package("p", static_active_w=0.1, static_idle_w=0.5)
+
+
+class TestProfiles:
+    def test_big_little_machine_shape(self):
+        machine = build_big_little(n_little=2, n_big=3)
+        names = {c.name for c in machine.components}
+        assert {"little0", "little1", "big0", "big1", "big2"} <= names
+
+    def test_little_is_more_efficient_than_big(self):
+        """Joules per capacity-second at every OPP pair."""
+        little_best = min(o.energy_per_capacity_second
+                          for o in LITTLE_CORE.opp_table)
+        big_best = min(o.energy_per_capacity_second
+                       for o in BIG_CORE.opp_table)
+        assert little_best < big_best
+
+    def test_big_has_more_capacity(self):
+        assert BIG_CORE.max_capacity > LITTLE_CORE.max_capacity
+
+    def test_capacity_convention(self):
+        assert BIG_CORE.max_capacity == 1024

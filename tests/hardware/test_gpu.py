@@ -1,0 +1,172 @@
+"""Tests for the counter-level GPU simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import HardwareError
+from repro.hardware.gpu import GPU, GPUCounters, GPUSpec, KernelProfile
+from repro.hardware.machine import Machine
+from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="testgpu", e_instruction=1e-12, e_l1_wavefront=2e-12,
+        e_l2_sector=4e-12, e_vram_sector=1e-9, e_vram_row_activate=4e-9,
+        e_kernel_launch=1e-6, p_static_w=10.0, thermal_r=0.1,
+        thermal_c=100.0, leakage_coeff=0.001, instr_rate=1e12,
+        l1_rate=1e12, l2_rate=1e11, vram_rate=1e10,
+        kernel_launch_latency=1e-6, row_miss_fraction_default=0.05,
+    )
+    base.update(overrides)
+    return GPUSpec(**base)
+
+
+def build(spec=None):
+    machine = Machine("m")
+    gpu = machine.add(GPU("gpu", spec if spec is not None else small_spec()))
+    return machine, gpu
+
+
+KERNEL = KernelProfile("k", instructions=1e6, l1_wavefronts=5e5,
+                       l2_sectors=2e5, vram_sectors=1e5,
+                       row_miss_fraction=0.1)
+
+
+class TestSpecs:
+    def test_negative_values_rejected(self):
+        with pytest.raises(HardwareError):
+            small_spec(e_vram_sector=-1.0)
+
+    def test_kernel_validation(self):
+        with pytest.raises(HardwareError):
+            KernelProfile("bad", instructions=-1)
+        with pytest.raises(HardwareError):
+            KernelProfile("bad", row_miss_fraction=1.5)
+
+    def test_kernel_scaling(self):
+        scaled = KERNEL.scaled(2.0)
+        assert scaled.instructions == 2e6
+        assert scaled.vram_sectors == 2e5
+        assert scaled.row_miss_fraction == KERNEL.row_miss_fraction
+
+
+class TestDuration:
+    def test_roofline_takes_slowest_pipe(self):
+        _, gpu = build()
+        # vram: 1e5 / 1e10 = 10 us dominates; + 1 us launch latency
+        assert gpu.kernel_duration(KERNEL) == pytest.approx(11e-6)
+
+    def test_compute_bound_kernel(self):
+        _, gpu = build()
+        kernel = KernelProfile("c", instructions=1e9)
+        assert gpu.kernel_duration(kernel) == pytest.approx(1e-3 + 1e-6)
+
+
+class TestEnergy:
+    def test_dynamic_energy_formula(self):
+        _, gpu = build()
+        spec = gpu.spec
+        expected = (1e6 * spec.e_instruction + 5e5 * spec.e_l1_wavefront
+                    + 2e5 * spec.e_l2_sector + 1e5 * spec.e_vram_sector
+                    + 1e5 * 0.1 * spec.e_vram_row_activate
+                    + spec.e_kernel_launch)
+        assert gpu.kernel_dynamic_energy(KERNEL) == pytest.approx(expected)
+
+    def test_default_row_miss_used_when_unset(self):
+        _, gpu = build()
+        kernel = KernelProfile("k", vram_sectors=1e5)
+        expected_row = 1e5 * 0.05 * gpu.spec.e_vram_row_activate
+        total = gpu.kernel_dynamic_energy(kernel)
+        no_row = 1e5 * gpu.spec.e_vram_sector + gpu.spec.e_kernel_launch
+        assert total - no_row == pytest.approx(expected_row)
+
+    def test_launch_accounts_dynamic_and_static(self):
+        machine, gpu = build()
+        duration = gpu.launch(KERNEL)
+        total = machine.total_joules()
+        expected = gpu.kernel_dynamic_energy(KERNEL) + 10.0 * duration
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_idle_accrues_static_only(self):
+        machine, gpu = build()
+        gpu.idle(2.0)
+        assert machine.total_joules() == pytest.approx(20.0, rel=0.01)
+
+    def test_idle_rejects_negative(self):
+        _, gpu = build()
+        with pytest.raises(HardwareError):
+            gpu.idle(-1.0)
+
+
+class TestCounters:
+    def test_counters_accumulate(self):
+        _, gpu = build()
+        gpu.launch(KERNEL)
+        gpu.launch(KERNEL)
+        assert gpu.counters.instructions == 2e6
+        assert gpu.counters.kernel_launches == 2
+        assert gpu.counters.busy_seconds == pytest.approx(22e-6)
+
+    def test_snapshot_delta(self):
+        _, gpu = build()
+        gpu.launch(KERNEL)
+        snap = gpu.counters.snapshot()
+        gpu.launch(KERNEL)
+        delta = gpu.counters.delta(snap)
+        assert delta.instructions == 1e6
+        assert delta.kernel_launches == 1
+
+    def test_as_dict_keys(self):
+        counters = GPUCounters()
+        assert set(counters.as_dict()) == {
+            "instructions", "l1_wavefronts", "l2_sectors", "vram_sectors",
+            "kernel_launches", "busy_seconds"}
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_counters_linear_in_launches(self, n):
+        _, gpu = build()
+        for _ in range(n):
+            gpu.launch(KERNEL)
+        assert gpu.counters.vram_sectors == pytest.approx(n * 1e5)
+
+
+class TestThermals:
+    def test_sustained_load_heats_die(self):
+        _, gpu = build()
+        hot_kernel = KernelProfile("h", instructions=1e11)
+        gpu.launch(hot_kernel)
+        assert gpu.temperature > 25.0
+
+    def test_leakage_raises_static_power(self):
+        _, gpu = build(small_spec(leakage_coeff=0.01))
+        cold_power = gpu.static_power()
+        gpu.launch(KernelProfile("h", instructions=1e11))
+        assert gpu.static_power() > cold_power
+
+
+class TestProfiles:
+    def test_profile_relationships(self):
+        """SIM3070 is less efficient per event than SIM4090 across the board."""
+        assert SIM3070.e_instruction > SIM4090.e_instruction
+        assert SIM3070.e_vram_sector > SIM4090.e_vram_sector
+        assert SIM3070.e_vram_row_activate > SIM4090.e_vram_row_activate
+        assert SIM3070.leakage_coeff > SIM4090.leakage_coeff
+        assert SIM3070.vram_rate < SIM4090.vram_rate
+
+    def test_workstation_builder(self):
+        machine = build_gpu_workstation(SIM4090)
+        names = {c.name for c in machine.components}
+        assert "gpu0" in names and "dram0" in names
+
+    def test_realistic_power_envelope(self):
+        """A VRAM-saturating kernel should land in a plausible board power."""
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        stream = KernelProfile("s", vram_sectors=3.15e10 * 0.01,  # 10 ms
+                               row_miss_fraction=0.02)
+        duration = gpu.launch(stream)
+        power = machine.total_joules() / duration
+        assert 100.0 < power < 500.0

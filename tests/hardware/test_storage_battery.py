@@ -1,0 +1,136 @@
+"""Tests for the SSD and battery components."""
+
+import pytest
+
+from repro.core.errors import HardwareError
+from repro.hardware.battery import Battery, BatterySpec
+from repro.hardware.machine import Machine
+from repro.hardware.storage import PAGE_BYTES, SSD, SSDSpec
+
+
+def build_ssd(**overrides):
+    spec_args = dict(capacity_blocks=8, pages_per_block=16,
+                     gc_dirty_threshold=0.5, p_idle_w=0.0)
+    spec_args.update(overrides)
+    machine = Machine("box")
+    ssd = machine.add(SSD("ssd0", SSDSpec(**spec_args)))
+    return machine, ssd
+
+
+class TestSSD:
+    def test_read_energy_per_page(self):
+        machine, ssd = build_ssd()
+        _, joules = ssd.read(PAGE_BYTES * 3)
+        assert joules == pytest.approx(3 * ssd.spec.e_read_page)
+        assert ssd.pages_read == 3
+
+    def test_partial_page_rounds_up(self):
+        machine, ssd = build_ssd()
+        _, joules = ssd.read(1)
+        assert joules == pytest.approx(ssd.spec.e_read_page)
+
+    def test_write_more_expensive_than_read(self):
+        machine, ssd = build_ssd()
+        _, read_j = ssd.read(PAGE_BYTES)
+        _, write_j = ssd.write(PAGE_BYTES)
+        assert write_j > read_j
+
+    def test_gc_triggers_at_threshold(self):
+        machine, ssd = build_ssd()
+        # capacity 128 pages, threshold 0.5 -> GC at 64 dirty pages
+        ssd.write(PAGE_BYTES * 63)
+        assert ssd.gc_runs == 0
+        _, joules = ssd.write(PAGE_BYTES * 2)
+        assert ssd.gc_runs == 1
+        assert joules > 2 * ssd.spec.e_write_page  # erase energy landed here
+
+    def test_gc_clears_whole_blocks_only(self):
+        machine, ssd = build_ssd()
+        ssd.write(PAGE_BYTES * 70)
+        # 70 dirty pages = 4 blocks (64 pages) erased, 6 left dirty
+        assert ssd.dirty_pages == 6
+
+    def test_gc_energy_accounted_with_tag(self):
+        machine, ssd = build_ssd()
+        ssd.write(PAGE_BYTES * 70)
+        gc_energy = sum(r.joules for r in machine.ledger.records("ssd0")
+                        if r.tag == "gc")
+        assert gc_energy == pytest.approx(4 * ssd.spec.e_erase_block)
+
+    def test_writes_until_gc_headroom(self):
+        machine, ssd = build_ssd()
+        assert ssd.writes_until_gc() == 64
+        ssd.write(PAGE_BYTES * 10)
+        assert ssd.writes_until_gc() == 54
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            SSDSpec(e_read_page=-1.0)
+        with pytest.raises(HardwareError):
+            SSDSpec(gc_dirty_threshold=0.0)
+        with pytest.raises(HardwareError):
+            SSDSpec(pages_per_block=0)
+        machine, ssd = build_ssd()
+        with pytest.raises(HardwareError):
+            ssd.read(-1)
+        with pytest.raises(HardwareError):
+            ssd.write(-1)
+
+
+class TestBattery:
+    def test_fresh_battery_full(self):
+        battery = Battery(BatterySpec(capacity_wh=10.0))
+        assert battery.state_of_charge == pytest.approx(1.0)
+        assert battery.charge.as_joules == pytest.approx(36000.0)
+
+    def test_usable_respects_reserve(self):
+        battery = Battery(BatterySpec(capacity_wh=10.0,
+                                      reserve_fraction=0.2))
+        assert battery.usable().as_joules == pytest.approx(0.8 * 36000.0)
+
+    def test_loss_grows_with_draw(self):
+        battery = Battery()
+        assert battery.loss_factor(0.0) == 1.0
+        assert battery.loss_factor(500.0) > battery.loss_factor(50.0) > 1.0
+
+    def test_draw_consumes_more_than_delivered(self):
+        battery = Battery(BatterySpec(capacity_wh=50.0))
+        used = battery.draw(power_w=300.0, seconds=10.0)
+        assert used.as_joules > 3000.0
+
+    def test_exhaustion_raises(self):
+        battery = Battery(BatterySpec(capacity_wh=0.01))
+        with pytest.raises(HardwareError, match="exhausted"):
+            battery.draw(power_w=100.0, seconds=10.0)
+
+    def test_fade_with_cycles(self):
+        spec = BatterySpec(capacity_wh=10.0, fade_per_cycle=0.001)
+        fresh = Battery(spec)
+        aged = Battery(spec, cycles=300)
+        assert aged.effective_capacity().as_joules == pytest.approx(
+            0.7 * fresh.effective_capacity().as_joules)
+
+    def test_recharge_counts_cycle(self):
+        battery = Battery(BatterySpec(capacity_wh=10.0,
+                                      fade_per_cycle=0.001))
+        battery.draw(10.0, 100.0)
+        battery.recharge()
+        assert battery.cycles == 1.0
+        assert battery.state_of_charge == pytest.approx(1.0)
+
+    def test_fade_floor(self):
+        battery = Battery(BatterySpec(fade_per_cycle=0.009), cycles=10000)
+        assert battery.effective_capacity().as_joules == pytest.approx(
+            0.5 * BatterySpec().capacity_wh * 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            BatterySpec(capacity_wh=0.0)
+        with pytest.raises(HardwareError):
+            BatterySpec(reserve_fraction=1.0)
+        with pytest.raises(HardwareError):
+            Battery(cycles=-1)
+        with pytest.raises(HardwareError):
+            Battery().loss_factor(-1.0)
+        with pytest.raises(HardwareError):
+            Battery().draw(10.0, -1.0)

@@ -1,0 +1,86 @@
+"""Tests for the RC thermal model and leakage."""
+
+import pytest
+
+from repro.core.errors import HardwareError
+from repro.hardware.thermal import LeakageModel, ThermalNode
+
+
+class TestThermalNode:
+    def test_starts_at_ambient(self):
+        node = ThermalNode(r_thermal=1.0, c_thermal=10.0, t_ambient=25.0)
+        assert node.temperature == 25.0
+
+    def test_heating_raises_temperature(self):
+        node = ThermalNode(r_thermal=1.0, c_thermal=10.0)
+        node.deposit(100.0)
+        node.step(1.0)
+        assert node.temperature > 25.0
+
+    def test_cooling_returns_to_ambient(self):
+        node = ThermalNode(r_thermal=1.0, c_thermal=1.0, t_ambient=25.0)
+        node.deposit(50.0)
+        node.step(1.0)
+        hot = node.temperature
+        for _ in range(100):
+            node.step(1.0)
+        assert node.temperature < hot
+        assert node.temperature == pytest.approx(25.0, abs=0.1)
+
+    def test_steady_state_rise_matches_r(self):
+        """Constant power P settles at ambient + P * R."""
+        node = ThermalNode(r_thermal=2.0, c_thermal=1.0, t_ambient=25.0)
+        power = 10.0
+        for _ in range(500):
+            node.deposit(power * 0.1)
+            node.step(0.1)
+        assert node.temperature == pytest.approx(25.0 + power * 2.0, rel=0.02)
+
+    def test_stability_with_large_steps(self):
+        """Sub-stepping keeps explicit Euler stable past 2*R*C."""
+        node = ThermalNode(r_thermal=0.1, c_thermal=0.1, t_ambient=25.0)
+        node.deposit(100.0)
+        node.step(10.0)  # dt >> RC
+        assert 0.0 < node.temperature < 200.0
+
+    def test_reset(self):
+        node = ThermalNode(1.0, 1.0, 25.0)
+        node.deposit(10.0)
+        node.step(1.0)
+        node.reset()
+        assert node.temperature == 25.0
+
+    def test_zero_step_is_noop(self):
+        node = ThermalNode(1.0, 1.0)
+        assert node.step(0.0) == 25.0
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(HardwareError):
+            ThermalNode(0.0, 1.0)
+        with pytest.raises(HardwareError):
+            ThermalNode(1.0, -1.0)
+
+    def test_rejects_negative_heat(self):
+        with pytest.raises(HardwareError):
+            ThermalNode(1.0, 1.0).deposit(-1.0)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(HardwareError):
+            ThermalNode(1.0, 1.0).step(-1.0)
+
+
+class TestLeakageModel:
+    def test_reference_point_is_unity(self):
+        assert LeakageModel(0.01, t_ref=25.0).factor(25.0) == 1.0
+
+    def test_grows_with_temperature(self):
+        model = LeakageModel(0.01, t_ref=25.0)
+        assert model.factor(35.0) == pytest.approx(1.1)
+
+    def test_never_negative(self):
+        model = LeakageModel(0.1, t_ref=25.0)
+        assert model.factor(-100.0) == 0.0
+
+    def test_rejects_negative_coefficient(self):
+        with pytest.raises(HardwareError):
+            LeakageModel(-0.01)

@@ -1,0 +1,136 @@
+"""Failure injection: the pipelines must *notice* broken inputs.
+
+Negative controls for the reproduction: each test breaks one link of an
+experiment's chain (wrong calibration, dead sensor, exhausted battery,
+impossible placement) and asserts the system surfaces the failure
+instead of silently producing plausible numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import HardwareError, SchedulerError
+from repro.hardware.battery import Battery, BatterySpec
+from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
+from repro.llm.config import GPT2_SMALL
+from repro.llm.interface import GPT2EnergyInterface
+from repro.llm.runtime import GPT2Runtime
+from repro.measurement.calibration import calibrate_gpu
+from repro.measurement.nvml import NVMLSensorProfile, NVMLSim
+
+
+class TestCrossDeviceCalibration:
+    def test_wrong_devices_calibration_blows_up_the_error(self):
+        """Negative control for T1: unit energies calibrated on the
+        sim3070 must NOT predict the sim4090 — if they did, the T1
+        errors would be meaningless."""
+        machine30 = build_gpu_workstation(SIM3070)
+        gpu30 = machine30.component("gpu0")
+        wrong_model = calibrate_gpu(gpu30, NVMLSim(gpu30, seed=7))
+
+        machine40 = build_gpu_workstation(SIM4090)
+        gpu40 = machine40.component("gpu0")
+        nvml40 = NVMLSim(gpu40, seed=7)
+        right_model = calibrate_gpu(gpu40, nvml40)
+
+        runtime = GPT2Runtime(gpu40, GPT2_SMALL)
+        gpu40.idle(0.05)
+        stats = runtime.generate(16, 80)
+        measured = nvml40.measure_interval(stats.t_start, stats.t_end)
+
+        wrong = GPT2EnergyInterface(GPT2_SMALL, wrong_model, SIM4090)
+        right = GPT2EnergyInterface(GPT2_SMALL, right_model, SIM4090)
+        wrong_error = abs(wrong.E_generate(16, 80).as_joules
+                          - measured) / measured
+        right_error = abs(right.E_generate(16, 80).as_joules
+                          - measured) / measured
+        # The wrong coefficients partially cancel (higher per-event
+        # energies vs lower static power), but the error is still an
+        # order of magnitude worse than the correct calibration's.
+        assert right_error < 0.05
+        assert wrong_error > 0.05
+        assert wrong_error > 5 * right_error
+
+
+class TestDeadSensor:
+    def test_never_updating_counter_reads_zero(self):
+        """A sensor whose energy register never updates measures zero —
+        and the measurement layer reports exactly that, rather than
+        inventing a number."""
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        dead = NVMLSim(gpu, NVMLSensorProfile(
+            "dead", energy_update_period=1e9, noise_std=0.0), seed=0)
+        t0 = machine.now
+        gpu.idle(1.0)
+        assert dead.measure_interval(t0, machine.now) == 0.0
+
+    def test_dead_sensor_fails_calibration_loudly(self):
+        """Calibrating through a dead sensor must raise, not fit noise."""
+        from repro.core.errors import MeasurementError
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        dead = NVMLSim(gpu, NVMLSensorProfile(
+            "dead", energy_update_period=1e9, noise_std=0.0), seed=0)
+        with pytest.raises(MeasurementError):
+            calibrate_gpu(gpu, dead)
+
+
+class TestBatteryExhaustion:
+    def test_overdraw_raises_and_planner_would_have_said_no(self):
+        from repro.apps.drone import (
+            DroneSpec,
+            MissionEnergyInterface,
+            MissionLeg,
+            MissionPlanner,
+        )
+
+        battery = Battery(BatterySpec(capacity_wh=5.0))
+        interface = MissionEnergyInterface(DroneSpec())
+        planner = MissionPlanner(interface, battery)
+        legs = [MissionLeg(30_000.0)]
+        report = planner.check(legs, payload_kg=1.0, ground_speed_mps=12.0)
+        assert not report.feasible_expected  # the interface said NO-GO
+
+        # Fly it anyway: the battery browns out mid-mission.
+        hover_w = DroneSpec().hover_power(1.0)
+        with pytest.raises(HardwareError, match="exhausted"):
+            battery.draw(hover_w, seconds=3600.0)
+
+
+class TestSchedulerMisuse:
+    def test_core_refuses_overlapping_tasks(self):
+        from repro.hardware.profiles import build_big_little
+
+        machine = build_big_little()
+        core = machine.component("big0")
+        core.execute_at(0.0, 512.0)
+        with pytest.raises(HardwareError, match="busy"):
+            core.execute_at(0.1, 10.0)
+
+    def test_gated_package_refuses_work(self):
+        from repro.hardware.profiles import build_big_little
+
+        machine = build_big_little()
+        machine.component("pkg-big").set_powered(False)
+        with pytest.raises(HardwareError, match="power-gated"):
+            machine.component("big0").execute_at(0.0, 1.0)
+
+    def test_empty_core_list_rejected(self):
+        from repro.hardware.profiles import build_big_little
+        from repro.managers.base import SchedulerSim
+
+        with pytest.raises(SchedulerError):
+            SchedulerSim(build_big_little(), [], quantum_seconds=0.05)
+
+
+class TestLedgerDiscipline:
+    def test_out_of_order_logging_rejected(self):
+        """Components must not rewrite history; the ground truth stays
+        append-only or every measurement above it is suspect."""
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        gpu.idle(1.0)
+        gpu.log_activity(1.0, 1.1, 0.5)  # fine: starts move forward
+        with pytest.raises(HardwareError, match="order"):
+            gpu.log_activity(0.5, 0.6, 1.0)  # rewriting history

@@ -1,0 +1,186 @@
+"""Integration tests: the full pipelines the benchmarks rely on.
+
+These are smaller/faster versions of the benchmark experiments, pinned
+with assertions so regressions surface in the unit-test run, not only
+when the benchmark harness is invoked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.extract import extract_interface
+from repro.analysis.symbex import ResourceModel
+from repro.analysis.verify import divergence_test
+from repro.apps.mlservice import (
+    CNNModel,
+    MLWebService,
+    build_service_machine,
+    build_service_stack,
+)
+from repro.apps.transcode import bimodal_transcoder, steady_task
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+from repro.hardware.profiles import SIM3070, SIM4090, build_big_little, \
+    build_gpu_workstation
+from repro.llm.config import GPT2_SMALL
+from repro.llm.interface import GPT2EnergyInterface
+from repro.llm.runtime import GPT2Runtime
+from repro.managers.base import SchedulerSim
+from repro.managers.eas import PeakEASScheduler
+from repro.managers.interface_scheduler import InterfaceScheduler
+from repro.measurement.calibration import calibrate_gpu
+from repro.measurement.meter import ledger_meter
+from repro.measurement.nvml import NVMLSim
+from repro.workloads.traces import image_request_trace
+
+
+class TestTable1Pipeline:
+    """Compact T1: calibrate, generate, predict, compare."""
+
+    def run_one(self, spec, seed=7):
+        machine = build_gpu_workstation(spec)
+        gpu = machine.component("gpu0")
+        nvml = NVMLSim(gpu, seed=seed)
+        model = calibrate_gpu(gpu, nvml)
+        runtime = GPT2Runtime(gpu, GPT2_SMALL)
+        interface = GPT2EnergyInterface(GPT2_SMALL, model, spec)
+        rng = np.random.default_rng(3)
+        errors = []
+        for _ in range(4):
+            n_tokens = int(rng.integers(60, 160))
+            prompt_len = int(rng.integers(8, 48))
+            gpu.idle(0.05)
+            stats = runtime.generate(prompt_len, n_tokens)
+            measured = nvml.measure_interval(stats.t_start, stats.t_end)
+            predicted = interface.E_generate(prompt_len,
+                                             n_tokens).as_joules
+            errors.append(abs(predicted - measured) / measured)
+        return float(np.mean(errors))
+
+    def test_shape_of_table1(self):
+        error_4090 = self.run_one(SIM4090)
+        error_3070 = self.run_one(SIM3070)
+        assert error_4090 < 0.02
+        assert error_3070 < 0.12
+        assert error_3070 > 1.5 * error_4090
+
+
+class TestSchedulerAgainstRAPL:
+    """The scheduler's reported energy agrees with the RAPL channel."""
+
+    def test_energy_cross_check(self):
+        from repro.measurement.rapl import RAPLSim
+
+        machine = build_big_little()
+        cores = [machine.component(n) for n in
+                 ("little0", "big0", "big1")]
+        rapl = RAPLSim(machine, update_period=0.001)
+        before = rapl.read_energy_units("package-0")
+        sim = SchedulerSim(machine, cores, quantum_seconds=0.05)
+        result = sim.run(InterfaceScheduler(),
+                         [bimodal_transcoder("t"), steady_task("s", 100)],
+                         60)
+        after = rapl.read_energy_units("package-0")
+        rapl_joules = (after - before) * rapl.energy_unit_j
+        assert rapl_joules == pytest.approx(result.energy_joules, rel=0.01)
+
+
+class TestExtractionOnRealHardwareModule:
+    """Extract an interface from an implementation, then divergence-test
+    the extracted interface against the same implementation running on
+    the simulated machine — §4.2's full loop, automated."""
+
+    def test_full_loop(self):
+        machine = build_service_machine()
+        service = MLWebService(machine)
+        cnn = service.cnn
+        gpu = machine.component("gpu0")
+
+        # The implementation, written against abstract resources.
+        def forward(res, image_pixels, zero_pixels):
+            for _ in range(8):
+                res.gpu.conv_stage(image_pixels - zero_pixels)
+            for _ in range(8):
+                res.gpu.relu_stage(1)
+            for _ in range(16):
+                res.gpu.mlp_stage(1)
+
+        spec = gpu.spec
+
+        class GpuStageIface(EnergyInterface):
+            """Ground-truth costs of the CNN stages on this GPU."""
+
+            def _cost(self, kernel):
+                return Energy(
+                    gpu.kernel_dynamic_energy(kernel)
+                    + spec.p_static_w * gpu.kernel_duration(kernel))
+
+            def E_conv_stage(self, active):
+                return self._cost(cnn.conv_kernel_profile(int(active)))
+
+            def E_relu_stage(self, _n):
+                return self._cost(cnn.relu_kernel_profile())
+
+            def E_mlp_stage(self, _n):
+                return self._cost(cnn.mlp_kernel_profile())
+
+        extracted = extract_interface(
+            forward, [ResourceModel("gpu")], {"gpu": GpuStageIface()},
+            name="cnn_forward")
+
+        def run_impl(image_pixels, zero_pixels):
+            for kernel in cnn.forward_kernels(image_pixels, zero_pixels):
+                gpu.launch(kernel)
+
+        report = divergence_test(
+            extracted.E_call, run_impl,
+            ledger_meter(machine, component="gpu0"),
+            inputs=[(50176, 5000), (50176, 40000), (2048, 0)],
+            threshold=0.02)
+        assert report.ok, str(report)
+
+
+class TestServiceWorstCaseContract:
+    """The stack-exported interface's worst case really bounds every
+    observed request."""
+
+    def test_worst_case_bounds_measurements(self):
+        machine = build_service_machine()
+        service = MLWebService(machine)
+        gpu = machine.component("gpu0")
+        model = calibrate_gpu(gpu, NVMLSim(gpu, seed=5))
+        rng = np.random.default_rng(11)
+        for request in image_request_trace(300, rng):
+            service.handle(request)
+        stack = build_service_stack(service, model)
+        interface = stack.exported_interface("runtime/ml_webservice")
+
+        for request in image_request_trace(40, rng):
+            bound = interface.worst_case(
+                "E_handle", request.image_pixels,
+                request.zero_pixels).as_joules
+            t0 = machine.now
+            service.handle(request)
+            actual = machine.ledger.energy_between(t0, machine.now)
+            assert actual <= bound * 1.10, \
+                f"worst case {bound} violated by measurement {actual}"
+
+
+class TestSchedulerEnergyClaimSmall:
+    def test_interface_beats_peak_on_small_run(self):
+        def run(scheduler):
+            machine = build_big_little()
+            cores = [machine.component(n) for n in
+                     ("little0", "little1", "big0", "big1")]
+            sim = SchedulerSim(machine, cores, quantum_seconds=0.05)
+            tasks = [bimodal_transcoder("a", burst_util=780, trough_util=40,
+                                        burst_quanta=1, trough_quanta=5),
+                     bimodal_transcoder("b", burst_util=780, trough_util=40,
+                                        burst_quanta=1, trough_quanta=5,
+                                        phase_offset=3)]
+            return sim.run(scheduler, tasks, 60)
+
+        peak = run(PeakEASScheduler())
+        interface = run(InterfaceScheduler())
+        assert interface.energy_joules < peak.energy_joules
+        assert interface.miss_ratio <= peak.miss_ratio + 0.02

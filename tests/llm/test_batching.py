@@ -1,0 +1,108 @@
+"""Tests for batched LLM serving and its configuration interface."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+from repro.llm.batching import (
+    BatchedGPT2Interface,
+    BatchedGPT2Runtime,
+    batched_decode_kernels,
+)
+from repro.llm.config import GPT2_SMALL
+from repro.llm.kernels import decode_step_kernels
+from repro.measurement.calibration import METRICS, CalibratedModel
+
+
+def oracle_model(spec=SIM4090):
+    return CalibratedModel(spec.name, {
+        "instructions": spec.e_instruction,
+        "l1_wavefronts": spec.e_l1_wavefront,
+        "l2_sectors": spec.e_l2_sector,
+        "vram_sectors": spec.e_vram_sector,
+        "kernel_launches": spec.e_kernel_launch,
+        "busy_seconds": spec.p_static_w,
+    }, residual_rms=0.0, n_samples=0)
+
+
+def interface():
+    return BatchedGPT2Interface(GPT2_SMALL, oracle_model(), SIM4090)
+
+
+class TestBatchedKernels:
+    def test_weights_amortised_kv_not(self):
+        b1 = batched_decode_kernels(GPT2_SMALL, 256, 1)
+        b8 = batched_decode_kernels(GPT2_SMALL, 256, 8)
+        vram = lambda ks: sum(k.vram_sectors for k in ks)
+        instr = lambda ks: sum(k.instructions for k in ks)
+        # Weight traffic barely grows; compute grows ~8x.
+        assert vram(b8) < 2.5 * vram(b1)
+        assert instr(b8) > 6 * instr(b1)
+
+    def test_batch_one_close_to_unbatched_decode(self):
+        batched = batched_decode_kernels(GPT2_SMALL, 128, 1)
+        plain = decode_step_kernels(GPT2_SMALL, 128)
+        vram = lambda ks: sum(k.vram_sectors for k in ks)
+        assert vram(batched) == pytest.approx(vram(plain), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            batched_decode_kernels(GPT2_SMALL, 10, 0)
+        with pytest.raises(WorkloadError):
+            batched_decode_kernels(GPT2_SMALL, -1, 1)
+
+
+class TestInterface:
+    def test_per_token_energy_falls_with_batch(self):
+        iface = interface()
+        curve = [iface.E_per_token(b, 256).as_joules
+                 for b in (1, 4, 16, 64)]
+        assert curve == sorted(curve, reverse=True)
+        assert curve[0] > 2 * curve[-1]  # batching is a big lever
+
+    def test_curve_flattens(self):
+        """Diminishing returns: the 16->64 gain is far smaller than 1->4."""
+        iface = interface()
+        e1, e4 = (iface.E_per_token(b, 256).as_joules for b in (1, 4))
+        e16, e64 = (iface.E_per_token(b, 256).as_joules for b in (16, 64))
+        assert (e1 - e4) > 4 * (e16 - e64)
+
+    def test_throughput_grows_with_batch(self):
+        iface = interface()
+        assert iface.tokens_per_second(32, 256) > \
+            5 * iface.tokens_per_second(1, 256)
+
+    def test_crossover_is_interior(self):
+        iface = interface()
+        knee = iface.crossover_batch(256)
+        assert 8 <= knee <= 256
+
+    def test_longer_context_shifts_crossover_down(self):
+        """More KV traffic per sequence -> amortisation saturates sooner
+        (the KV term does not amortise)."""
+        iface = interface()
+        assert iface.crossover_batch(900) <= iface.crossover_batch(16)
+
+
+class TestAgainstSimulation:
+    def test_interface_matches_simulated_batched_serving(self):
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        runtime = BatchedGPT2Runtime(gpu, GPT2_SMALL)
+        iface = interface()
+        for batch in (1, 8, 32):
+            t0, t1, tokens = runtime.decode_steps(batch, kv_len=256,
+                                                  n_steps=4)
+            measured = machine.ledger.energy_between(
+                t0, t1, component="gpu0") / tokens
+            predicted = sum(
+                iface.E_per_token(batch, 256 + step).as_joules
+                for step in range(4)) / 4
+            # Oracle units: only the hidden row cost separates them.
+            assert predicted == pytest.approx(measured, rel=0.05), batch
+
+    def test_runtime_validation(self):
+        machine = build_gpu_workstation(SIM4090)
+        runtime = BatchedGPT2Runtime(machine.component("gpu0"), GPT2_SMALL)
+        with pytest.raises(WorkloadError):
+            runtime.decode_steps(1, 10, 0)

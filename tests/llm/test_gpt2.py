@@ -1,0 +1,168 @@
+"""Tests for the GPT-2 configuration, kernels and runtime."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+from repro.llm.config import (
+    GPT2_LARGE,
+    GPT2_MEDIUM,
+    GPT2_SMALL,
+    GPT2_XL,
+    GPT2Config,
+)
+from repro.llm.kernels import (
+    attention_kernel,
+    decode_step_kernels,
+    embedding_kernel,
+    gemv_kernel,
+    layernorm_kernel,
+    prefill_kernels,
+)
+from repro.llm.runtime import GPT2Runtime
+
+
+class TestConfig:
+    def test_gpt2_small_parameter_count(self):
+        """The public 124M figure, within 2%."""
+        assert GPT2_SMALL.param_count == pytest.approx(124e6, rel=0.02)
+
+    def test_gpt2_medium_parameter_count(self):
+        assert GPT2_MEDIUM.param_count == pytest.approx(355e6, rel=0.03)
+
+    def test_gpt2_large_parameter_count(self):
+        assert GPT2_LARGE.param_count == pytest.approx(774e6, rel=0.03)
+
+    def test_gpt2_xl_parameter_count(self):
+        assert GPT2_XL.param_count == pytest.approx(1.56e9, rel=0.03)
+
+    def test_d_ff_is_4x(self):
+        assert GPT2_SMALL.d_ff == 4 * GPT2_SMALL.d_model
+
+    def test_kv_bytes_per_token(self):
+        expected = 2 * 12 * 768 * 2
+        assert GPT2_SMALL.kv_bytes_per_token() == expected
+
+    def test_weight_bytes_fp16(self):
+        assert GPT2_SMALL.weight_bytes == GPT2_SMALL.param_count * 2
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(WorkloadError):
+            GPT2Config("bad", n_layer=2, n_head=7, d_model=768)
+
+    def test_positive_dims_enforced(self):
+        with pytest.raises(WorkloadError):
+            GPT2Config("bad", n_layer=0, n_head=1, d_model=64)
+
+
+class TestKernels:
+    def test_gemv_counts(self):
+        kernel = gemv_kernel("g", weight_bytes=3200, macs=1600)
+        assert kernel.vram_sectors == pytest.approx(100.0)
+        assert kernel.instructions == pytest.approx(1600 / 32 * 1.3)
+
+    def test_attention_scales_with_kv_len(self):
+        short = attention_kernel(GPT2_SMALL, 10)
+        long = attention_kernel(GPT2_SMALL, 100)
+        assert long.vram_sectors == pytest.approx(10 * short.vram_sectors,
+                                                  rel=0.01)
+
+    def test_attention_zero_context(self):
+        kernel = attention_kernel(GPT2_SMALL, 0)
+        assert kernel.vram_sectors == 0.0
+
+    def test_attention_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            attention_kernel(GPT2_SMALL, -1)
+
+    def test_layernorm_stays_in_cache(self):
+        assert layernorm_kernel(GPT2_SMALL).vram_sectors == 0.0
+
+    def test_embedding_is_tiny(self):
+        kernel = embedding_kernel(GPT2_SMALL)
+        assert kernel.vram_sectors < 1000
+
+    def test_decode_step_kernel_count(self):
+        kernels = decode_step_kernels(GPT2_SMALL, 10)
+        # embedding + 12 layers x 7 + final LN + lm_head
+        assert len(kernels) == 1 + 12 * 7 + 2
+
+    def test_decode_step_dominated_by_weights(self):
+        """Batch-1 decode streams roughly the whole model per token."""
+        kernels = decode_step_kernels(GPT2_SMALL, 0)
+        vram_bytes = sum(k.vram_sectors for k in kernels) * 32
+        assert vram_bytes == pytest.approx(GPT2_SMALL.weight_bytes,
+                                           rel=0.10)
+
+    def test_prefill_streams_weights_once(self):
+        """Prefill cost is sublinear in prompt length (weights amortise)."""
+        short = prefill_kernels(GPT2_SMALL, 8)
+        long = prefill_kernels(GPT2_SMALL, 64)
+        vram = lambda ks: sum(k.vram_sectors for k in ks)
+        assert vram(long) < 8 * vram(short)
+
+    def test_prefill_empty_prompt(self):
+        assert prefill_kernels(GPT2_SMALL, 0) == []
+
+    def test_prefill_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            prefill_kernels(GPT2_SMALL, -1)
+
+    def test_gemv_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            gemv_kernel("g", weight_bytes=-1, macs=0)
+
+
+class TestRuntime:
+    def build(self):
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        return machine, GPT2Runtime(gpu, GPT2_SMALL)
+
+    def test_generate_reports_stats(self):
+        machine, runtime = self.build()
+        stats = runtime.generate(prompt_len=8, n_tokens=5)
+        assert stats.generated_tokens == 5
+        assert stats.duration > 0
+        assert stats.kernel_launches == len(prefill_kernels(GPT2_SMALL, 8)) \
+            + 5 * len(decode_step_kernels(GPT2_SMALL, 0))
+        assert stats.tokens_per_second > 0
+
+    def test_kv_cache_grows(self):
+        _, runtime = self.build()
+        runtime.generate(prompt_len=8, n_tokens=3)
+        assert runtime.kv_len == 11
+
+    def test_reset_cache(self):
+        _, runtime = self.build()
+        runtime.generate(prompt_len=8, n_tokens=2)
+        runtime.reset_cache()
+        assert runtime.kv_len == 0
+
+    def test_decode_cost_grows_with_context(self):
+        """Later tokens read a longer KV cache, so they cost more."""
+        machine, runtime = self.build()
+        runtime.prefill(1)
+        before = machine.total_joules()
+        runtime.decode_token()
+        early = machine.total_joules() - before
+        for _ in range(400):
+            runtime.decode_token()
+        before = machine.total_joules()
+        runtime.decode_token()
+        late = machine.total_joules() - before
+        assert late > early
+
+    def test_context_overflow_rejected(self):
+        _, runtime = self.build()
+        with pytest.raises(WorkloadError):
+            runtime.prefill(GPT2_SMALL.n_ctx + 1)
+        runtime.reset_cache()
+        runtime.kv_len = GPT2_SMALL.n_ctx
+        with pytest.raises(WorkloadError):
+            runtime.decode_token()
+
+    def test_negative_tokens_rejected(self):
+        _, runtime = self.build()
+        with pytest.raises(WorkloadError):
+            runtime.generate(1, -1)

@@ -1,0 +1,117 @@
+"""Tests for the manually-derived GPT-2 energy interface (§5)."""
+
+import pytest
+
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+from repro.llm.config import GPT2_SMALL
+from repro.llm.interface import GPT2EnergyInterface
+from repro.llm.runtime import GPT2Runtime
+from repro.measurement.calibration import METRICS, CalibratedModel, calibrate_gpu
+from repro.measurement.nvml import NVMLSim
+
+
+def oracle_model(spec=SIM4090):
+    """A calibrated model with the simulator's true unit energies."""
+    return CalibratedModel(spec.name, {
+        "instructions": spec.e_instruction,
+        "l1_wavefronts": spec.e_l1_wavefront,
+        "l2_sectors": spec.e_l2_sector,
+        "vram_sectors": spec.e_vram_sector,
+        "kernel_launches": spec.e_kernel_launch,
+        "busy_seconds": spec.p_static_w,
+    }, residual_rms=0.0, n_samples=0)
+
+
+class TestCounterPrediction:
+    def test_predicted_counters_match_execution_exactly(self):
+        """The interface's counts are derived from the same architecture
+        the runtime executes, so they must agree to the last sector."""
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        runtime = GPT2Runtime(gpu, GPT2_SMALL)
+        interface = GPT2EnergyInterface(GPT2_SMALL, oracle_model(), SIM4090)
+
+        stats = runtime.generate(prompt_len=16, n_tokens=10)
+        predicted = interface.predicted_counters(16, 10)
+        actual = stats.counters.as_dict()
+        for metric in METRICS:
+            assert predicted[metric] == pytest.approx(actual[metric],
+                                                      rel=1e-9), metric
+
+    def test_predicted_duration_matches(self):
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        runtime = GPT2Runtime(gpu, GPT2_SMALL)
+        interface = GPT2EnergyInterface(GPT2_SMALL, oracle_model(), SIM4090)
+        stats = runtime.generate(prompt_len=4, n_tokens=6)
+        assert interface.predicted_duration(4, 6) == pytest.approx(
+            stats.duration, rel=1e-9)
+
+    def test_decode_energy_monotone_in_context(self):
+        interface = GPT2EnergyInterface(GPT2_SMALL, oracle_model(), SIM4090)
+        assert interface.E_decode_token(500).as_joules > \
+            interface.E_decode_token(10).as_joules
+
+    def test_generate_decomposes_into_prefill_plus_decode(self):
+        interface = GPT2EnergyInterface(GPT2_SMALL, oracle_model(), SIM4090)
+        full = interface.E_generate(32, 0).as_joules
+        prefill = interface.E_prefill(32).as_joules
+        assert full == pytest.approx(prefill)
+
+    def test_abstract_units_ground_to_same_prediction(self):
+        """§3's abstract-unit path: counts + unit costs == direct Joules."""
+        model = oracle_model()
+        interface = GPT2EnergyInterface(GPT2_SMALL, model, SIM4090)
+        abstract = interface.E_generate_abstract(8, 5)
+        grounded = abstract.ground(model.unit_energies)
+        direct = interface.E_generate(8, 5)
+        assert grounded.as_joules == pytest.approx(direct.as_joules)
+
+
+class TestEndToEndError:
+    def test_oracle_units_give_small_error(self):
+        """With true unit energies, only the hidden row cost and sensor
+        imperfections remain — the error must be well under 10 %."""
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        nvml = NVMLSim(gpu, seed=2)
+        runtime = GPT2Runtime(gpu, GPT2_SMALL)
+        interface = GPT2EnergyInterface(GPT2_SMALL, oracle_model(), SIM4090)
+        gpu.idle(0.05)
+        stats = runtime.generate(prompt_len=16, n_tokens=60)
+        measured = nvml.measure_interval(stats.t_start, stats.t_end)
+        predicted = interface.E_generate(16, 60).as_joules
+        assert abs(predicted - measured) / measured < 0.10
+
+    def test_calibrated_units_give_table1_quality_error(self):
+        """The full §5 pipeline on the 4090 profile: low single digits."""
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        nvml = NVMLSim(gpu, seed=2)
+        model = calibrate_gpu(gpu, nvml)
+        runtime = GPT2Runtime(gpu, GPT2_SMALL)
+        interface = GPT2EnergyInterface(GPT2_SMALL, model, SIM4090)
+        gpu.idle(0.05)
+        stats = runtime.generate(prompt_len=16, n_tokens=80)
+        measured = nvml.measure_interval(stats.t_start, stats.t_end)
+        predicted = interface.E_generate(16, 80).as_joules
+        assert abs(predicted - measured) / measured < 0.05
+
+
+class TestIdleInterface:
+    def test_idle_energy_is_static_power_times_duration(self):
+        """§3's special idle-state input, validated against the device."""
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        interface = GPT2EnergyInterface(GPT2_SMALL, oracle_model(), SIM4090)
+        t0 = machine.now
+        gpu.idle(3.0)
+        measured = machine.ledger.energy_between(t0, machine.now,
+                                                 component="gpu0")
+        predicted = interface.E_idle(3.0).as_joules
+        assert predicted == pytest.approx(measured, rel=0.01)
+
+    def test_idle_scales_linearly(self):
+        interface = GPT2EnergyInterface(GPT2_SMALL, oracle_model(), SIM4090)
+        assert interface.E_idle(10.0).as_joules == pytest.approx(
+            10 * interface.E_idle(1.0).as_joules)

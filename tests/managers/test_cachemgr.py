@@ -1,0 +1,112 @@
+"""Tests for the LRU cache manager and its ECV exports."""
+
+import numpy as np
+import pytest
+
+from repro.core.ecv import BernoulliECV
+from repro.core.errors import SchedulerError
+from repro.managers.cachemgr import LRUCacheManager
+from repro.workloads.popularity import ZipfPopularity
+
+
+class TestLRUSemantics:
+    def test_miss_then_hit(self):
+        cache = LRUCacheManager("c", capacity=2)
+        assert cache.lookup("a") is False
+        assert cache.lookup("a") is True
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCacheManager("c", capacity=2)
+        cache.lookup("a")
+        cache.lookup("b")
+        cache.lookup("a")      # refresh a
+        cache.lookup("c")      # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_capacity_respected(self):
+        cache = LRUCacheManager("c", capacity=3)
+        for key in range(10):
+            cache.lookup(key)
+        assert len(cache) == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(SchedulerError):
+            LRUCacheManager("c", capacity=0)
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        cache = LRUCacheManager("c", capacity=10)
+        cache.lookup("a")          # miss
+        cache.lookup("a")          # hit
+        cache.lookup("a")          # hit
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        assert cache.observations == 3
+
+    def test_empty_hit_rate(self):
+        assert LRUCacheManager("c", 10).hit_rate == 0.0
+
+    def test_reset_statistics_keeps_contents(self):
+        cache = LRUCacheManager("c", capacity=10)
+        cache.lookup("a")
+        cache.reset_statistics()
+        assert cache.observations == 0
+        assert "a" in cache
+
+
+class TestECVBindings:
+    def test_no_binding_before_min_observations(self):
+        cache = LRUCacheManager("c", 10, min_observations=5)
+        cache.lookup("a")
+        assert cache.known_bindings() == {}
+
+    def test_binding_reflects_observed_rate(self):
+        cache = LRUCacheManager("c", 10, ecv_name="local_cache_hit",
+                                min_observations=4)
+        for _ in range(4):
+            cache.lookup("a")
+        bindings = cache.known_bindings()
+        ecv = bindings["local_cache_hit"]
+        assert isinstance(ecv, BernoulliECV)
+        assert ecv.p == pytest.approx(0.75)
+
+    def test_export_interface_applies_binding(self):
+        from repro.core.interface import EnergyInterface
+        from repro.core.stack import Resource
+        from repro.core.units import Energy
+
+        class CacheIface(EnergyInterface):
+            def __init__(self):
+                super().__init__("cache")
+                self.declare_ecv(BernoulliECV("local_cache_hit", 0.5))
+
+            def E_lookup(self):
+                return Energy(1.0 if self.ecv("local_cache_hit") else 10.0)
+
+        manager = LRUCacheManager("systemd", 10, min_observations=2)
+        manager.register(Resource("cache", CacheIface()))
+        for _ in range(10):
+            manager.lookup("hot")  # 9 hits, 1 miss -> p = 0.9
+        exported = manager.export_interface("cache")
+        expected = exported.expected("E_lookup").as_joules
+        assert expected == pytest.approx(0.9 * 1.0 + 0.1 * 10.0)
+
+
+class TestAgainstZipfAnalytics:
+    def test_lru_hit_rate_bounded_by_ideal_cache(self):
+        """The analytic ideal-cache rate upper-bounds simulated LRU, and
+        LRU gets reasonably close (it keeps most of the hot head)."""
+        popularity = ZipfPopularity(n_objects=500, alpha=1.0)
+        cache = LRUCacheManager("c", capacity=50)
+        rng = np.random.default_rng(0)
+        for key in popularity.sample(rng, 3000):
+            cache.lookup(int(key))
+        cache.reset_statistics()
+        for key in popularity.sample(rng, 5000):
+            cache.lookup(int(key))
+        analytic_upper_bound = popularity.expected_hit_rate(50)
+        assert cache.hit_rate <= analytic_upper_bound + 0.02
+        assert cache.hit_rate > 0.7 * analytic_upper_bound

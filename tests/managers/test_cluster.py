@@ -1,0 +1,119 @@
+"""Tests for the Kubernetes-like cluster scheduler (§1's claim M3)."""
+
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.managers.cluster import (
+    InterfacePackingScheduler,
+    Node,
+    NodeType,
+    PodEnergyInterface,
+    PodSpec,
+    RequestScheduler,
+    run_cluster,
+)
+
+COMPUTE = NodeType("compute", cores=16, memory_gb=64,
+                   core_throughput=1.2, idle_power_w=60.0)
+BIGMEM = NodeType("bigmem", cores=8, memory_gb=512,
+                  core_throughput=1.0, idle_power_w=80.0)
+
+
+def fresh_nodes():
+    return [Node("c1", COMPUTE), Node("c2", COMPUTE), Node("m1", BIGMEM)]
+
+
+def workload():
+    web = [PodSpec(f"web{i}", cpu_request=2, memory_request_gb=4,
+                   cpu_work=200, working_set_gb=3) for i in range(10)]
+    db = [PodSpec(f"db{i}", cpu_request=2, memory_request_gb=16,
+                  cpu_work=300, working_set_gb=100) for i in range(4)]
+    return web + db
+
+
+class TestPodEnergyInterface:
+    def test_fitting_pod_cheaper_than_thrashing(self):
+        """The paper's claim: memory-intensive app cheaper on big-memory."""
+        pod = PodSpec("db", 2, 16, cpu_work=300, working_set_gb=100)
+        iface = PodEnergyInterface(pod)
+        on_compute = iface.E_run(COMPUTE).as_joules   # 100 GB > 64 GB
+        on_bigmem = iface.E_run(BIGMEM).as_joules
+        assert on_compute > on_bigmem
+
+    def test_residency_affects_fit(self):
+        pod = PodSpec("db", 2, 16, cpu_work=300, working_set_gb=100)
+        iface = PodEnergyInterface(pod)
+        empty = iface.E_run(BIGMEM, resident_gb=0.0).as_joules
+        crowded = iface.E_run(BIGMEM, resident_gb=450.0).as_joules
+        assert crowded > empty
+
+    def test_duration_scales_with_work(self):
+        small = PodEnergyInterface(PodSpec("a", 1, 1, 100, 1))
+        large = PodEnergyInterface(PodSpec("b", 1, 1, 300, 1))
+        assert large.E_duration(COMPUTE) == pytest.approx(
+            3 * small.E_duration(COMPUTE))
+
+    def test_miss_penalty_inflates_work(self):
+        pod = PodSpec("p", 1, 1, cpu_work=100, working_set_gb=100,
+                      miss_penalty=4.0)
+        assert pod.effective_work(False) == 400.0
+        assert pod.effective_work(True) == 100.0
+
+
+class TestSchedulers:
+    def test_request_scheduler_respects_declared_requests(self):
+        nodes = fresh_nodes()
+        RequestScheduler().place(workload(), nodes)
+        for node in nodes:
+            assert sum(p.cpu_request for p in node.pods) <= \
+                node.node_type.cores
+            assert sum(p.memory_request_gb for p in node.pods) <= \
+                node.node_type.memory_gb
+
+    def test_interface_scheduler_sends_dbs_to_bigmem(self):
+        nodes = fresh_nodes()
+        InterfacePackingScheduler().place(workload(), nodes)
+        bigmem = next(node for node in nodes if node.name == "m1")
+        db_on_bigmem = [p for p in bigmem.pods if p.name.startswith("db")]
+        assert len(db_on_bigmem) >= 3
+
+    def test_interface_placement_beats_request_placement(self):
+        request_outcome = run_cluster(RequestScheduler(), workload(),
+                                      fresh_nodes())
+        interface_outcome = run_cluster(InterfacePackingScheduler(),
+                                        workload(), fresh_nodes())
+        assert interface_outcome.total_energy_joules < \
+            request_outcome.total_energy_joules
+
+    def test_unplaceable_pod_rejected(self):
+        giant = PodSpec("giant", cpu_request=100, memory_request_gb=1,
+                        cpu_work=1, working_set_gb=1)
+        with pytest.raises(SchedulerError):
+            RequestScheduler().place([giant], fresh_nodes())
+        with pytest.raises(SchedulerError):
+            InterfacePackingScheduler().place([giant], fresh_nodes())
+
+
+class TestRunCluster:
+    def test_outcome_accounts_all_nodes(self):
+        outcome = run_cluster(RequestScheduler(), workload(), fresh_nodes())
+        assert set(outcome.per_node) == {"c1", "c2", "m1"}
+        assert outcome.total_energy_joules == pytest.approx(
+            sum(outcome.per_node.values()))
+
+    def test_idle_nodes_still_draw_power(self):
+        nodes = fresh_nodes()
+        tiny = [PodSpec("one", 1, 1, cpu_work=10, working_set_gb=1)]
+        outcome = run_cluster(RequestScheduler(), tiny, nodes)
+        # All three nodes appear, including the two idle ones.
+        assert all(energy > 0 for energy in outcome.per_node.values())
+
+    def test_placement_cleared_between_runs(self):
+        nodes = fresh_nodes()
+        run_cluster(RequestScheduler(), workload(), nodes)
+        run_cluster(RequestScheduler(), workload(), nodes)
+        assert sum(len(node.pods) for node in nodes) == len(workload())
+
+    def test_node_type_validation(self):
+        with pytest.raises(SchedulerError):
+            NodeType("bad", cores=0, memory_gb=1)

@@ -1,0 +1,193 @@
+"""Tests for the scheduling framework, EAS and the interface scheduler."""
+
+import pytest
+
+from repro.apps.transcode import bimodal_transcoder, noisy_task, steady_task
+from repro.core.errors import SchedulerError
+from repro.hardware.profiles import build_big_little
+from repro.managers.base import Scheduler, SchedulerSim, Task
+from repro.managers.eas import EASScheduler, PeakEASScheduler
+from repro.managers.interface_scheduler import (
+    InterfaceScheduler,
+    OracleScheduler,
+    UtilizationInterface,
+)
+
+ALL_CORES = ("little0", "little1", "little2", "little3",
+             "big0", "big1", "big2", "big3")
+
+
+def fresh_sim(quantum=0.05):
+    machine = build_big_little()
+    cores = [machine.component(name) for name in ALL_CORES]
+    return machine, SchedulerSim(machine, cores, quantum_seconds=quantum)
+
+
+def transcoder_mix():
+    return ([bimodal_transcoder(f"tc{i}", burst_util=780, trough_util=40,
+                                burst_quanta=1, trough_quanta=5,
+                                phase_offset=i) for i in range(4)]
+            + [steady_task("bg", 100)])
+
+
+class TestTask:
+    def test_demand_from_profile(self):
+        task = steady_task("s", 200.0)
+        assert task.demand(0) == 200.0
+        assert task.demand(99) == 200.0
+
+    def test_negative_demand_rejected(self):
+        task = Task("bad", lambda q: -1.0)
+        with pytest.raises(SchedulerError):
+            task.demand(0)
+
+    def test_bimodal_profile_shape(self):
+        task = bimodal_transcoder("t", burst_util=800, trough_util=50,
+                                  burst_quanta=2, trough_quanta=3)
+        demands = [task.demand(q) for q in range(5)]
+        assert demands == [800, 800, 50, 50, 50]
+
+    def test_phase_offset_shifts(self):
+        task = bimodal_transcoder("t", burst_quanta=1, trough_quanta=1,
+                                  phase_offset=1)
+        assert task.demand(0) == task.utilization_profile(0)
+        assert task.demand(0) != bimodal_transcoder(
+            "t2", burst_quanta=1, trough_quanta=1).demand(0)
+
+    def test_noisy_task_cached_and_nonnegative(self):
+        task = noisy_task("n", 200.0, 50.0, seed=1)
+        assert task.demand(3) == task.demand(3)
+        assert all(task.demand(q) >= 0 for q in range(50))
+
+
+class TestPredictions:
+    def test_eas_converges_on_steady_load(self):
+        scheduler = EASScheduler(decay=0.5, initial_utilization=0.0)
+        task = steady_task("s", 300.0)
+        for _ in range(20):
+            scheduler.observe(task, task.demand(0))
+        assert scheduler.predict(task, 21) == pytest.approx(300.0, rel=0.01)
+
+    def test_eas_predicts_mean_of_bimodal(self):
+        """The paper's claim: the EWMA smears the modes together."""
+        scheduler = EASScheduler(decay=0.3)
+        task = bimodal_transcoder("t", burst_util=800, trough_util=50,
+                                  burst_quanta=3, trough_quanta=3)
+        for quantum in range(60):
+            scheduler.observe(task, task.demand(quantum))
+        prediction = scheduler.predict(task, 60)
+        assert 100 < prediction < 750  # neither mode, somewhere between
+
+    def test_interface_scheduler_predicts_phases_exactly(self):
+        scheduler = InterfaceScheduler()
+        task = bimodal_transcoder("t", burst_util=800, trough_util=50,
+                                  burst_quanta=1, trough_quanta=1)
+        assert scheduler.predict(task, 0) == 800
+        assert scheduler.predict(task, 1) == 50
+
+    def test_interface_scheduler_falls_back_to_ewma(self):
+        scheduler = InterfaceScheduler()
+        task = Task("opaque", lambda q: 123.0)  # no interface
+        scheduler.observe(task, 123.0)
+        assert scheduler.predict(task, 0) == pytest.approx(123.0)
+
+    def test_peak_scheduler_clamps_to_peak(self):
+        scheduler = PeakEASScheduler()
+        task = bimodal_transcoder("t", burst_util=800, trough_util=50,
+                                  burst_quanta=1, trough_quanta=1)
+        for quantum in range(10):
+            scheduler.observe(task, task.demand(quantum))
+        assert scheduler.predict(task, 10) > 700
+
+    def test_oracle_is_exact(self):
+        scheduler = OracleScheduler()
+        task = bimodal_transcoder("t")
+        assert scheduler.predict(task, 4) == task.demand(4)
+
+    def test_eas_decay_validation(self):
+        with pytest.raises(SchedulerError):
+            EASScheduler(decay=0.0)
+        with pytest.raises(SchedulerError):
+            PeakEASScheduler(peak_decay=1.0)
+
+    def test_utilization_interface_rejects_negative(self):
+        iface = UtilizationInterface(lambda q: -5.0)
+        with pytest.raises(SchedulerError):
+            iface.utilization(0)
+
+
+class TestSimulation:
+    def test_delivered_work_matches_demand_when_feasible(self):
+        machine, sim = fresh_sim()
+        tasks = [steady_task("s", 100.0)]
+        result = sim.run(OracleScheduler(), tasks, 10)
+        assert result.delivered_work == pytest.approx(100.0 * 10 * 0.05)
+        assert result.miss_ratio == 0.0
+
+    def test_energy_is_positive_and_accounted(self):
+        machine, sim = fresh_sim()
+        result = sim.run(OracleScheduler(), [steady_task("s", 100.0)], 10)
+        assert result.energy_joules > 0
+        assert result.energy_joules == pytest.approx(
+            machine.ledger.total_joules(domain="cpu"), rel=1e-6)
+
+    def test_overload_creates_backlog_and_misses(self):
+        machine, sim = fresh_sim()
+        # 9 tasks of 1024 demand >> 4 big cores' capacity
+        tasks = [steady_task(f"s{i}", 1024.0) for i in range(9)]
+        result = sim.run(OracleScheduler(), tasks, 5)
+        assert result.missed_work > 0
+        assert result.miss_ratio > 0
+
+    def test_placement_log(self):
+        machine, sim = fresh_sim()
+        result = sim.run(OracleScheduler(), [steady_task("s", 100.0)], 3,
+                         log_placements=True)
+        assert len(result.placements_log) == 3
+        assert "s" in result.placements_log[0]
+
+    def test_validation(self):
+        machine, sim = fresh_sim()
+        with pytest.raises(SchedulerError):
+            sim.run(OracleScheduler(), [steady_task("s", 1.0)], 0)
+        with pytest.raises(SchedulerError):
+            SchedulerSim(machine, [], quantum_seconds=0.05)
+        with pytest.raises(SchedulerError):
+            SchedulerSim(machine, [machine.component("big0")],
+                         quantum_seconds=0.0)
+
+
+class TestM1Claims:
+    """The paper's EAS motivating claims, as testable invariants."""
+
+    def test_interface_beats_peak_eas_on_bimodal(self):
+        _, sim1 = fresh_sim()
+        peak = sim1.run(PeakEASScheduler(), transcoder_mix(), 120)
+        _, sim2 = fresh_sim()
+        interface = sim2.run(InterfaceScheduler(), transcoder_mix(), 120)
+        assert interface.miss_ratio <= peak.miss_ratio + 0.02
+        assert interface.energy_joules < peak.energy_joules
+
+    def test_plain_eas_misses_deadlines_on_bimodal(self):
+        _, sim = fresh_sim()
+        result = sim.run(EASScheduler(), transcoder_mix(), 120)
+        assert result.miss_ratio > 0.05
+
+    def test_interface_matches_oracle(self):
+        _, sim1 = fresh_sim()
+        interface = sim1.run(InterfaceScheduler(), transcoder_mix(), 120)
+        _, sim2 = fresh_sim()
+        oracle = sim2.run(OracleScheduler(), transcoder_mix(), 120)
+        assert interface.energy_joules == pytest.approx(
+            oracle.energy_joules, rel=0.01)
+        assert interface.miss_ratio == pytest.approx(oracle.miss_ratio,
+                                                     abs=0.01)
+
+    def test_parity_on_steady_workload(self):
+        steady = [steady_task(f"s{i}", 120 + 40 * i) for i in range(4)]
+        _, sim1 = fresh_sim()
+        eas = sim1.run(EASScheduler(), steady, 100)
+        _, sim2 = fresh_sim()
+        interface = sim2.run(InterfaceScheduler(), steady, 100)
+        assert interface.energy_joules == pytest.approx(eas.energy_joules,
+                                                        rel=0.01)

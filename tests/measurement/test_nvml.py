@@ -1,0 +1,149 @@
+"""Tests for the NVML-like measurement channel."""
+
+import pytest
+
+from repro.core.errors import MeasurementError
+from repro.hardware.gpu import GPU, GPUSpec, KernelProfile
+from repro.hardware.machine import Machine
+from repro.measurement.nvml import SENSOR_PROFILES, NVMLSensorProfile, NVMLSim
+
+
+def quiet_spec():
+    return GPUSpec(
+        name="quiet", e_instruction=1e-12, e_l1_wavefront=1e-12,
+        e_l2_sector=1e-12, e_vram_sector=1e-9, e_vram_row_activate=0.0,
+        e_kernel_launch=0.0, p_static_w=100.0, thermal_r=0.1,
+        thermal_c=1e6, leakage_coeff=0.0, instr_rate=1e12, l1_rate=1e12,
+        l2_rate=1e11, vram_rate=1e10, kernel_launch_latency=0.0,
+        row_miss_fraction_default=0.0,
+    )
+
+
+def build(profile=None):
+    machine = Machine("m")
+    gpu = machine.add(GPU("gpu", quiet_spec()))
+    if profile is None:
+        profile = NVMLSensorProfile("ideal", power_update_period=0.001,
+                                    power_window=0.001,
+                                    energy_update_period=0.001,
+                                    gain=1.0, noise_std=0.0)
+    return machine, gpu, NVMLSim(gpu, profile, seed=1)
+
+
+class TestSensorProfile:
+    def test_builtin_profiles_exist(self):
+        assert "sim4090" in SENSOR_PROFILES
+        assert "sim3070" in SENSOR_PROFILES
+
+    def test_3070_sensor_worse_than_4090(self):
+        p40, p30 = SENSOR_PROFILES["sim4090"], SENSOR_PROFILES["sim3070"]
+        assert p30.noise_std > p40.noise_std
+        assert p30.energy_update_period > p40.energy_update_period
+        assert p30.gain != 1.0
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            NVMLSensorProfile("bad", gain=0.0)
+        with pytest.raises(MeasurementError):
+            NVMLSensorProfile("bad", noise_std=-0.1)
+
+
+class TestEnergyCounter:
+    def test_counter_tracks_static_power(self):
+        machine, gpu, nvml = build()
+        gpu.idle(1.0)
+        # 100 W for 1 s = 100 J = 100000 mJ
+        assert nvml.total_energy_consumption() == pytest.approx(100_000,
+                                                                rel=0.01)
+
+    def test_counter_is_quantised_to_millijoules(self):
+        machine, gpu, nvml = build()
+        gpu.idle(1.0)
+        reading = nvml.total_energy_consumption()
+        assert reading == round(reading)
+
+    def test_update_period_lag(self):
+        profile = NVMLSensorProfile("laggy", energy_update_period=1.0,
+                                    gain=1.0, noise_std=0.0)
+        machine, gpu, nvml = build(profile)
+        gpu.idle(0.5)
+        assert nvml.total_energy_consumption() == 0.0  # not updated yet
+        gpu.idle(0.6)
+        assert nvml.total_energy_consumption() == pytest.approx(100_000,
+                                                                rel=0.01)
+
+    def test_gain_scales_reading(self):
+        profile = NVMLSensorProfile("biased", energy_update_period=0.001,
+                                    gain=0.9, noise_std=0.0)
+        machine, gpu, nvml = build(profile)
+        gpu.idle(1.0)
+        assert nvml.total_energy_consumption() == pytest.approx(90_000,
+                                                                rel=0.01)
+
+    def test_measure_interval(self):
+        machine, gpu, nvml = build()
+        gpu.idle(0.5)
+        t0 = machine.now
+        gpu.idle(1.0)
+        measured = nvml.measure_interval(t0, machine.now)
+        assert measured == pytest.approx(100.0, rel=0.01)
+
+    def test_measure_interval_rejects_inverted(self):
+        machine, gpu, nvml = build()
+        with pytest.raises(MeasurementError):
+            nvml.measure_interval(1.0, 0.5)
+
+    def test_negative_time_rejected(self):
+        _, _, nvml = build()
+        with pytest.raises(MeasurementError):
+            nvml.total_energy_consumption_at(-1.0)
+
+    def test_noise_is_reproducible_by_seed(self):
+        profile = NVMLSensorProfile("noisy", energy_update_period=0.001,
+                                    noise_std=0.05)
+        machine1, gpu1, _ = build(profile)
+        nvml_a = NVMLSim(gpu1, profile, seed=9)
+        machine2, gpu2, _ = build(profile)
+        nvml_b = NVMLSim(gpu2, profile, seed=9)
+        gpu1.idle(1.0)
+        gpu2.idle(1.0)
+        assert nvml_a.measure_interval(0.0, 1.0) == \
+            nvml_b.measure_interval(0.0, 1.0)
+
+
+class TestPowerReading:
+    def test_power_reflects_static(self):
+        machine, gpu, nvml = build()
+        gpu.idle(1.0)
+        # mW reading of a 100 W draw
+        assert nvml.power_usage() == pytest.approx(100_000, rel=0.02)
+
+    def test_power_rises_under_load(self):
+        machine, gpu, nvml = build()
+        gpu.idle(0.1)
+        idle_power = nvml.power_usage()
+        # VRAM-heavy kernel: 1e8 sectors -> 10 ms at 1e10/s, 0.1 J dynamic
+        gpu.launch(KernelProfile("k", vram_sectors=1e8))
+        loaded_power = nvml.power_usage()
+        assert loaded_power > idle_power
+
+    def test_power_at_zero_time(self):
+        _, _, nvml = build()
+        assert nvml.power_usage_at(0.0) == 0.0
+
+    def test_temperature_integer_degrees(self):
+        machine, gpu, nvml = build()
+        assert nvml.temperature() == 25.0
+
+
+class TestNvmlMeter:
+    def test_meter_brackets_workload(self):
+        from repro.measurement.meter import nvml_meter
+
+        machine, gpu, nvml = build()
+        meter = nvml_meter(machine, nvml)
+        measurement = meter.run(lambda: gpu.idle(1.0))
+        assert measurement.joules == pytest.approx(100.0, rel=0.02)
+        assert measurement.duration == pytest.approx(1.0)
+        assert measurement.average_power == pytest.approx(100.0, rel=0.02)
+        assert "nvml" in measurement.channel

@@ -1,0 +1,137 @@
+"""Tests for the RAPL-like measurement channel."""
+
+import pytest
+
+from repro.core.errors import MeasurementError
+from repro.hardware.cpu import Core, CoreTypeSpec, Package
+from repro.hardware.dvfs import OPP, OPPTable
+from repro.hardware.machine import Machine
+from repro.hardware.memory import DRAM, DRAMSpec
+from repro.measurement.meter import ledger_meter, rapl_meter
+from repro.measurement.rapl import (
+    COUNTER_WRAP,
+    ENERGY_UNIT_J,
+    RAPLEnergyCounter,
+    RAPLSim,
+)
+
+
+def build_machine():
+    machine = Machine("m")
+    package = machine.add(Package("pkg", static_active_w=10.0,
+                                  static_idle_w=10.0))
+    spec = CoreTypeSpec("c", OPPTable([OPP(1e9, 100, 1.0, 0.1)]),
+                        sleep_power_w=0.1)
+    machine.add(Core("cpu0", spec, package))
+    machine.add(DRAM("dram", DRAMSpec(p_refresh_w=2.0)))
+    return machine
+
+
+class TestRAPLRegisters:
+    def test_domains(self):
+        rapl = RAPLSim(build_machine())
+        assert set(rapl.domains) == {"package-0", "dram", "psys"}
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(MeasurementError):
+            RAPLSim(build_machine()).read_energy_units("tpu")
+
+    def test_package_counts_cpu_domain_only(self):
+        machine = build_machine()
+        rapl = RAPLSim(machine, update_period=0.001)
+        machine.advance(1.0)
+        # package-0: pkg 10 W + core sleep 0.1 W = 10.1 J
+        joules = rapl.read_energy_units("package-0") * ENERGY_UNIT_J
+        assert joules == pytest.approx(10.1, rel=0.01)
+
+    def test_dram_domain(self):
+        machine = build_machine()
+        rapl = RAPLSim(machine, update_period=0.001)
+        machine.advance(1.0)
+        joules = rapl.read_energy_units("dram") * ENERGY_UNIT_J
+        assert joules == pytest.approx(2.0, rel=0.01)
+
+    def test_psys_covers_everything(self):
+        machine = build_machine()
+        rapl = RAPLSim(machine, update_period=0.001)
+        machine.advance(1.0)
+        joules = rapl.read_energy_units("psys") * ENERGY_UNIT_J
+        assert joules == pytest.approx(12.1, rel=0.01)
+
+    def test_update_period_quantises_time(self):
+        machine = build_machine()
+        rapl = RAPLSim(machine, update_period=1.0)
+        machine.advance(0.7)
+        assert rapl.read_energy_units("psys") == 0
+
+    def test_sysfs_microjoules_view(self):
+        machine = build_machine()
+        rapl = RAPLSim(machine, update_period=0.001)
+        machine.advance(1.0)
+        assert rapl.read_energy_uj("dram") == pytest.approx(2e6, rel=0.01)
+
+    def test_counter_wraps_32bit(self):
+        machine = build_machine()
+        rapl = RAPLSim(machine, update_period=0.001)
+        # wrap span = 2^32 * 2^-16 J = 65536 J; ~12 W needs ~90 min.
+        machine.advance(6000.0)  # ~73 kJ > wrap
+        units = rapl.read_energy_units("psys")
+        assert 0 <= units < COUNTER_WRAP
+        true_joules = machine.total_joules()
+        assert true_joules > rapl.wrap_joules  # it really wrapped
+        true_units = int(true_joules / ENERGY_UNIT_J)
+        assert units == pytest.approx(true_units % COUNTER_WRAP, abs=2e4)
+
+    def test_negative_time_rejected(self):
+        rapl = RAPLSim(build_machine())
+        with pytest.raises(MeasurementError):
+            rapl.read_energy_units_at("psys", -1.0)
+
+    def test_bad_energy_unit_rejected(self):
+        with pytest.raises(MeasurementError):
+            RAPLSim(build_machine(), energy_unit_j=0.0)
+
+
+class TestWrapSafeCounter:
+    def test_accumulates_across_wrap(self):
+        machine = build_machine()
+        rapl = RAPLSim(machine, update_period=0.001)
+        counter = RAPLEnergyCounter(rapl, "psys")
+        for _ in range(10):
+            machine.advance(1000.0)  # ~12 kJ per chunk, wraps mid-way
+            counter.update()
+        true_joules = machine.total_joules()
+        assert true_joules > rapl.wrap_joules  # several wraps happened
+        assert counter.joules == pytest.approx(true_joules, rel=0.01)
+
+
+class TestMeters:
+    def test_rapl_meter_handles_wrap(self):
+        machine = build_machine()
+        rapl = RAPLSim(machine, update_period=0.001)
+        meter = rapl_meter(machine, rapl, "psys")
+        machine.advance(5000.0)  # park near the wrap point
+        t0 = machine.now
+        measurement = meter.run(lambda: machine.advance(1000.0))
+        truth = machine.ledger.energy_between(t0, machine.now)
+        assert measurement.joules == pytest.approx(truth, rel=0.01)
+
+    def test_ledger_meter_is_exact(self):
+        machine = build_machine()
+        meter = ledger_meter(machine)
+        measurement = meter.run(lambda: machine.advance(2.0))
+        assert measurement.joules == pytest.approx(24.2, rel=1e-6)
+        assert measurement.duration == pytest.approx(2.0)
+        assert measurement.average_power == pytest.approx(12.1)
+
+    def test_component_filtered_ledger_meter(self):
+        machine = build_machine()
+        meter = ledger_meter(machine, component="dram")
+        measurement = meter.run(lambda: machine.advance(2.0))
+        assert measurement.joules == pytest.approx(4.0, rel=1e-6)
+
+    def test_meter_rejects_clock_rewind(self):
+        machine = build_machine()
+        meter = ledger_meter(machine)
+        measurement = meter.run(lambda: None)
+        assert measurement.joules == 0.0

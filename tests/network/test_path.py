@@ -1,0 +1,106 @@
+"""Tests for the multi-hop network energy model (§6's asymmetry)."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.network.path import (
+    MTU_BYTES,
+    Hop,
+    LinkSpec,
+    NetworkPath,
+    PathEnergyInterface,
+    RouterSpec,
+)
+
+
+def simple_path(n_hops=3):
+    hops = []
+    for index in range(n_hops):
+        hops.append(Hop(
+            router=RouterSpec(f"r{index}", joules_per_packet=20e-6,
+                              static_power_w=3000.0, utilization=0.3,
+                              capacity_pps=1e8),
+            link=LinkSpec(f"l{index}", length_km=1000.0,
+                          joules_per_bit=2.5e-9),
+        ))
+    return NetworkPath("test-path", hops)
+
+
+class TestSpecs:
+    def test_link_transmission_energy(self):
+        link = LinkSpec("l", length_km=100.0, joules_per_bit=1e-9)
+        assert link.transmission_energy(1000) == pytest.approx(8e-6)
+
+    def test_link_propagation(self):
+        link = LinkSpec("l", length_km=200.0,
+                        propagation_km_per_s=2.0e5)
+        assert link.propagation_seconds() == pytest.approx(1e-3)
+
+    def test_router_static_share(self):
+        router = RouterSpec("r", static_power_w=3000.0, utilization=0.3,
+                            capacity_pps=1e8)
+        # 3000 W / 3e7 pps = 100 uJ per packet of share
+        assert router.static_share(1) == pytest.approx(100e-6)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            LinkSpec("l", length_km=0.0)
+        with pytest.raises(WorkloadError):
+            RouterSpec("r", utilization=0.0)
+        with pytest.raises(WorkloadError):
+            NetworkPath("p", [])
+
+
+class TestPath:
+    def test_length_and_latency_sum(self):
+        path = simple_path(3)
+        assert path.length_km == 3000.0
+        assert path.one_way_latency() == pytest.approx(3000.0 / 2.0e5)
+
+    def test_packetisation(self):
+        path = simple_path(1)
+        assert path.packets_for(100) == 1
+        assert path.packets_for(MTU_BYTES) == 1
+        assert path.packets_for(MTU_BYTES + 1) == 2
+        with pytest.raises(WorkloadError):
+            path.packets_for(-1)
+
+
+class TestPathEnergyInterface:
+    def test_request_energy_sums_hops(self):
+        path = simple_path(4)
+        interface = PathEnergyInterface(path)
+        per_hop = interface.E_hop(0, 10_000).as_joules
+        total = interface.E_request(10_000).as_joules
+        assert total == pytest.approx(4 * per_hop)
+
+    def test_round_trip_adds_response(self):
+        interface = PathEnergyInterface(simple_path(2))
+        rt = interface.E_round_trip(1000, 50_000).as_joules
+        assert rt == pytest.approx(
+            interface.E_request(1000).as_joules
+            + interface.E_request(50_000).as_joules)
+
+    def test_static_share_dominates_small_requests(self):
+        """For a single packet the chassis share exceeds the switching
+        energy — why idle networks still burn."""
+        interface_full = PathEnergyInterface(simple_path(1))
+        interface_dynamic = PathEnergyInterface(simple_path(1),
+                                                include_static_share=False)
+        full = interface_full.E_request(200).as_joules
+        dynamic = interface_dynamic.E_request(200).as_joules
+        assert full > 3 * dynamic
+
+    def test_energy_grows_with_hops_latency_separately(self):
+        """The §6 asymmetry in one assertion: both grow with hops, but
+        energy needs every hop's interface while latency is one number."""
+        short = PathEnergyInterface(simple_path(2))
+        long = PathEnergyInterface(simple_path(8))
+        assert long.E_request(10_000).as_joules > \
+            short.E_request(10_000).as_joules
+        assert long.T_one_way() > short.T_one_way()
+
+    def test_unknown_hop_rejected(self):
+        interface = PathEnergyInterface(simple_path(2))
+        with pytest.raises(WorkloadError):
+            interface.E_hop(5, 100)

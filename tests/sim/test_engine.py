@@ -1,0 +1,168 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event, Timeout
+
+
+class TestEvents:
+    def test_succeed_once(self):
+        event = Event("e")
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_callback_after_trigger_fires_immediately(self):
+        event = Event()
+        event.succeed(1)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == [1]
+
+    def test_timeout_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+
+class TestEngine:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_single_timeout(self):
+        engine = Engine()
+        log = []
+
+        def proc():
+            yield engine.timeout(1.5)
+            log.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert log == [1.5]
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log = []
+
+        def proc(delay, label):
+            yield engine.timeout(delay)
+            log.append(label)
+
+        engine.process(proc(3.0, "c"))
+        engine.process(proc(1.0, "a"))
+        engine.process(proc(2.0, "b"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_tie_break_is_schedule_order(self):
+        engine = Engine()
+        log = []
+
+        def proc(label):
+            yield engine.timeout(1.0)
+            log.append(label)
+
+        for label in "xyz":
+            engine.process(proc(label))
+        engine.run()
+        assert log == ["x", "y", "z"]
+
+    def test_run_until_stops_clock(self):
+        engine = Engine()
+
+        def proc():
+            yield engine.timeout(10.0)
+
+        engine.process(proc())
+        assert engine.run(until=4.0) == 4.0
+        assert engine.now == 4.0
+        assert engine.run() == 10.0
+
+    def test_run_until_advances_even_without_events(self):
+        assert Engine().run(until=2.0) == 2.0
+
+    def test_process_return_value(self):
+        engine = Engine()
+
+        def child():
+            yield engine.timeout(1.0)
+            return "done"
+
+        def parent(results):
+            value = yield engine.process(child(), "child")
+            results.append(value)
+
+        results = []
+        engine.process(parent(results))
+        engine.run()
+        assert results == ["done"]
+
+    def test_waiting_on_shared_event(self):
+        engine = Engine()
+        gate = engine.event("gate")
+        log = []
+
+        def waiter(label):
+            value = yield gate
+            log.append((label, value, engine.now))
+
+        def opener():
+            yield engine.timeout(2.0)
+            gate.succeed("open")
+
+        engine.process(waiter("w1"))
+        engine.process(waiter("w2"))
+        engine.process(opener())
+        engine.run()
+        assert log == [("w1", "open", 2.0), ("w2", "open", 2.0)]
+
+    def test_sequential_timeouts_accumulate(self):
+        engine = Engine()
+        times = []
+
+        def proc():
+            for _ in range(3):
+                yield engine.timeout(1.0)
+                times.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_call_at(self):
+        engine = Engine()
+        log = []
+        engine.call_at(5.0, lambda: log.append(engine.now))
+        engine.run()
+        assert log == [5.0]
+
+    def test_call_at_past_rejected(self):
+        engine = Engine()
+        engine.call_at(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.call_at(0.5, lambda: None)
+
+    def test_yielding_junk_rejected(self):
+        engine = Engine()
+
+        def proc():
+            yield "not an event"
+
+        engine.process(proc())
+        with pytest.raises(TypeError):
+            engine.run()
+
+    def test_run_all(self):
+        engine = Engine()
+        log = []
+
+        def proc(d):
+            yield engine.timeout(d)
+            log.append(d)
+
+        engine.run_all([proc(2.0), proc(1.0)])
+        assert log == [1.0, 2.0]

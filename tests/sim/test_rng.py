@@ -1,0 +1,43 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.sim.rng import RngFactory, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_name_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_in_64_bit_range(self):
+        assert 0 <= derive_seed(123, "stream") < 2 ** 64
+
+
+class TestRngFactory:
+    def test_same_stream_reproduces(self):
+        factory = RngFactory(7)
+        a = factory.stream("arrivals").random(5)
+        b = factory.stream("arrivals").random(5)
+        assert (a == b).all()
+
+    def test_different_streams_differ(self):
+        factory = RngFactory(7)
+        a = factory.stream("arrivals").random(5)
+        b = factory.stream("noise").random(5)
+        assert not (a == b).all()
+
+    def test_child_factories_are_independent(self):
+        factory = RngFactory(7)
+        child = factory.child("experiment-1")
+        a = factory.stream("x").random(5)
+        b = child.stream("x").random(5)
+        assert not (a == b).all()
+
+    def test_child_is_deterministic(self):
+        a = RngFactory(7).child("e").stream("x").random(3)
+        b = RngFactory(7).child("e").stream("x").random(3)
+        assert (a == b).all()

@@ -1,0 +1,53 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_consensus_command(self, capsys):
+        assert main(["consensus"]) == 0
+        out = capsys.readouterr().out
+        assert "PoW" in out and "PoS" in out
+        assert "99.95" in out
+
+    def test_fuzzing_command(self, capsys):
+        assert main(["fuzzing", "--coverage", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal fleet" in out
+        assert "marginal energy" in out
+
+    def test_fuzzing_custom_deadline(self, capsys):
+        assert main(["fuzzing", "--coverage", "0.9",
+                     "--deadline-days", "10"]) == 0
+
+    def test_calibrate_command(self, capsys):
+        assert main(["calibrate", "--gpu", "sim3070"]) == 0
+        out = capsys.readouterr().out
+        assert "sim3070" in out
+        assert "vram_sectors" in out
+
+    def test_schedulers_command(self, capsys):
+        assert main(["schedulers", "--quanta", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "eas" in out and "interface" in out
+
+    def test_table1_command_small(self, capsys):
+        assert main(["table1", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sim4090" in out and "sim3070" in out
+        assert "paper" in out
+
+    def test_mlservice_command(self, capsys):
+        assert main(["mlservice", "--requests", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "measured" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["warp-drive"])

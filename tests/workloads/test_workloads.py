@@ -1,0 +1,142 @@
+"""Tests for workload generators: arrivals, popularity, traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import WorkloadError
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    interarrival_iter,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.popularity import UniformPopularity, ZipfPopularity
+from repro.workloads.traces import (
+    GenerationRequest,
+    ImageRequest,
+    generation_trace,
+    image_request_trace,
+)
+
+RNG = np.random.default_rng(5)
+
+
+class TestArrivals:
+    def test_poisson_rate(self):
+        times = poisson_arrivals(100.0, 50.0, np.random.default_rng(1))
+        assert len(times) == pytest.approx(5000, rel=0.1)
+        assert all(0 <= t < 50.0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_validation(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(0.0, 1.0, RNG)
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(1.0, 0.0, RNG)
+
+    def test_uniform_spacing(self):
+        times = uniform_arrivals(4, 8.0)
+        assert times == [1.0, 3.0, 5.0, 7.0]
+
+    def test_uniform_empty(self):
+        assert uniform_arrivals(0, 1.0) == []
+
+    def test_bursty_has_more_variance_than_poisson(self):
+        rng = np.random.default_rng(2)
+        bursty = bursty_arrivals(base_rate=10.0, burst_rate=400.0,
+                                 burst_fraction=0.2, horizon_seconds=100.0,
+                                 rng=rng)
+        poisson = poisson_arrivals(len(bursty) / 100.0, 100.0,
+                                   np.random.default_rng(3))
+        gaps_b = np.diff(bursty)
+        gaps_p = np.diff(poisson)
+        cv = lambda x: np.std(x) / np.mean(x)
+        assert cv(gaps_b) > cv(gaps_p)
+
+    def test_bursty_validation(self):
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(10.0, 20.0, 1.5, 10.0, RNG)
+
+    def test_interarrival_roundtrip(self):
+        times = [1.0, 2.5, 4.0]
+        gaps = list(interarrival_iter(times))
+        assert gaps == [1.0, 1.5, 1.5]
+        assert list(np.cumsum(gaps)) == pytest.approx(times)
+
+
+class TestPopularity:
+    def test_zipf_head_is_hot(self):
+        pop = ZipfPopularity(1000, alpha=1.0)
+        assert pop.probability(0) > pop.probability(10) > pop.probability(500)
+
+    def test_zipf_probabilities_normalised(self):
+        pop = ZipfPopularity(100, alpha=0.8)
+        assert sum(pop.probability(i) for i in range(100)) == \
+            pytest.approx(1.0)
+
+    def test_zipf_alpha_zero_is_uniform(self):
+        pop = ZipfPopularity(10, alpha=0.0)
+        assert pop.probability(0) == pytest.approx(0.1)
+
+    def test_expected_hit_rate_monotone_in_capacity(self):
+        pop = ZipfPopularity(100, alpha=1.0)
+        rates = [pop.expected_hit_rate(c) for c in (1, 10, 50, 100)]
+        assert rates == sorted(rates)
+        assert rates[-1] == pytest.approx(1.0)
+
+    def test_sampling_skews_to_head(self):
+        pop = ZipfPopularity(100, alpha=1.2)
+        draws = pop.sample(np.random.default_rng(0), 2000)
+        assert (draws < 10).mean() > (draws >= 90).mean()
+
+    def test_uniform_popularity(self):
+        pop = UniformPopularity(50)
+        assert pop.probability(0) == pytest.approx(0.02)
+        assert pop.expected_hit_rate(25) == pytest.approx(0.5)
+        draws = pop.sample(np.random.default_rng(0), 100)
+        assert all(0 <= d < 50 for d in draws)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfPopularity(0)
+        with pytest.raises(WorkloadError):
+            ZipfPopularity(10, alpha=-1.0)
+        with pytest.raises(WorkloadError):
+            UniformPopularity(0)
+
+
+class TestTraces:
+    def test_image_request_fields_valid(self):
+        trace = image_request_trace(100, np.random.default_rng(0))
+        assert len(trace) == 100
+        for request in trace:
+            assert request.image_pixels >= 1024
+            assert 0 <= request.zero_pixels <= request.image_pixels
+
+    def test_image_request_validation(self):
+        with pytest.raises(WorkloadError):
+            ImageRequest(0, 100, 200)
+
+    def test_popular_objects_recur(self):
+        trace = image_request_trace(500, np.random.default_rng(0),
+                                    n_objects=100, zipf_alpha=1.2)
+        ids = [r.object_id for r in trace]
+        assert len(set(ids)) < 100  # repeats exist
+
+    def test_generation_trace_within_bounds(self):
+        trace = generation_trace(50, np.random.default_rng(0),
+                                 prompt_range=(8, 64), max_output=200)
+        for request in trace:
+            assert 8 <= request.prompt_tokens <= 64
+            assert 50 <= request.output_tokens <= 200
+
+    def test_generation_request_validation(self):
+        with pytest.raises(WorkloadError):
+            GenerationRequest(-1, 10)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20)
+    def test_trace_lengths(self, n):
+        assert len(generation_trace(n, np.random.default_rng(1))) == n
