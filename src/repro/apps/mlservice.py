@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.composition import BoundInterface
 from repro.core.ecv import BernoulliECV
+from repro.core.errors import WorkloadError
 from repro.core.interface import EnergyInterface
 from repro.core.stack import Layer, Resource, ResourceManager, SystemStack
 from repro.core.units import Energy
@@ -194,6 +195,22 @@ class MLWebService:
         self._dram.access(bytes_written=RESPONSE_BYTES, tag="cache-fill")
         self._nic.send(RESPONSE_BYTES)  # publish to the cluster cache
         return "infer"
+
+    def degraded_variant(self, request: ImageRequest,
+                         factor: int = 4) -> ImageRequest | None:
+        """A cheaper variant of ``request``: the image downsampled by
+        ``factor``, sparsity preserved.  Serving systems fall back to it
+        when the full-resolution pass does not fit the energy budget.
+        Returns None when the image is already too small to shrink.
+        """
+        if factor <= 1:
+            raise WorkloadError(f"degrade factor must be > 1, got {factor}")
+        pixels = request.image_pixels // factor
+        if pixels < 1024:
+            return None
+        zeros = min(request.zero_pixels // factor, pixels)
+        return ImageRequest(object_id=request.object_id,
+                            image_pixels=pixels, zero_pixels=zeros)
 
     # -- manager knowledge ----------------------------------------------------
     def observed_bindings(self) -> dict:

@@ -8,7 +8,9 @@
 * ``schedulers``  — the §1 EAS comparison on bimodal transcoding;
 * ``fuzzing``     — the §1 ClusterFuzz capacity-planning questions;
 * ``consensus``   — the §1 Ethereum PoW/PoS comparison;
-* ``calibrate``   — show a GPU profile's calibrated hardware interface.
+* ``calibrate``   — show a GPU profile's calibrated hardware interface;
+* ``serve``       — the energy-aware gateway: admission control against
+  an energy budget (``--budget "3J+0.25W"``) on a Poisson stream.
 """
 
 from __future__ import annotations
@@ -171,6 +173,81 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.errors import ServingError
+    from repro.serving import (
+        EnergyAwareGateway,
+        EnergyBudget,
+        GatewayConfig,
+        HardBudgetPolicy,
+        ProbabilisticPolicy,
+        SLOAwarePolicy,
+        attribution_report,
+        build_adapter,
+        format_report,
+        parse_budget_spec,
+        zip_arrivals,
+    )
+    from repro.sim.rng import RngFactory
+    from repro.workloads import (
+        generation_trace,
+        kv_request_trace,
+        poisson_arrivals,
+        repeated_image_trace,
+    )
+
+    try:
+        spec = parse_budget_spec(args.budget)
+    except ServingError as exc:
+        print(f"repro-energy serve: {exc}", file=sys.stderr)
+        return 2
+    if args.slo is not None and args.slo <= 0:
+        print("repro-energy serve: --slo must be positive", file=sys.stderr)
+        return 2
+    if args.rate <= 0:
+        print("repro-energy serve: --rate must be positive", file=sys.stderr)
+        return 2
+    if args.horizon <= 0:
+        print("repro-energy serve: --horizon must be positive", file=sys.stderr)
+        return 2
+
+    rng_factory = RngFactory(args.seed)
+    try:
+        adapter = build_adapter(args.app, seed=args.seed)
+    except ServingError as exc:
+        print(f"repro-energy serve: {exc}", file=sys.stderr)
+        return 2
+    budget = EnergyBudget("node", capacity_joules=spec.capacity_joules,
+                          refill_watts=spec.refill_watts)
+    if args.policy == "hard":
+        policy = HardBudgetPolicy()
+    elif args.policy == "prob":
+        policy = ProbabilisticPolicy(rng_factory.stream("admission"))
+    else:
+        policy = SLOAwarePolicy(args.slo if args.slo is not None else 0.5)
+
+    times = poisson_arrivals(args.rate, args.horizon, rng_factory)
+    trace_rng = rng_factory.stream("trace")
+    if args.app == "mlservice":
+        requests = repeated_image_trace(len(times), trace_rng)
+    elif args.app == "kvstore":
+        requests = kv_request_trace(len(times), trace_rng, put_fraction=0.7)
+    else:
+        requests = generation_trace(len(times), trace_rng)
+
+    gateway = EnergyAwareGateway(
+        adapter, budget, policy,
+        config=GatewayConfig(max_queue=args.queue))
+    report = gateway.serve(zip_arrivals(times, requests),
+                           horizon=args.horizon)
+    print(format_report(report, title=f"serving report ({args.app}, "
+                                      f"{policy.name})"))
+    if args.attribution:
+        print()
+        print(attribution_report(adapter.machine.ledger, gateway.metrics))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-energy`` console script."""
     parser = argparse.ArgumentParser(
@@ -208,6 +285,26 @@ def main(argv: list[str] | None = None) -> int:
     calibrate.add_argument("--gpu", choices=("sim4090", "sim3070"),
                            default="sim4090")
     calibrate.set_defaults(handler=_cmd_calibrate)
+
+    serve = commands.add_parser(
+        "serve", help="energy-aware admission control")
+    serve.add_argument("--app", choices=("mlservice", "kvstore", "llm"),
+                       default="kvstore")
+    serve.add_argument("--budget", default="0.5J+0.25W",
+                       help='budget spec, e.g. "3J+0.5W", "100J" or "2W"')
+    serve.add_argument("--rate", type=float, default=300.0,
+                       help="Poisson arrival rate (requests/s)")
+    serve.add_argument("--horizon", type=float, default=10.0,
+                       help="simulated seconds of traffic")
+    serve.add_argument("--policy", choices=("hard", "prob", "slo"),
+                       default="hard")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="queue bound before shedding")
+    serve.add_argument("--slo", type=float, default=None,
+                       help="latency SLO in seconds (slo policy)")
+    serve.add_argument("--attribution", action="store_true",
+                       help="also print the per-tag attribution report")
+    serve.set_defaults(handler=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -57,3 +57,11 @@ class SchedulerError(EnergyError):
 
 class WorkloadError(EnergyError):
     """Raised by workload generators on invalid parameters."""
+
+
+class ServingError(EnergyError):
+    """Raised by the serving gateway on invalid configuration or state."""
+
+
+class BudgetError(ServingError):
+    """Raised on malformed budget specs or invalid budget operations."""

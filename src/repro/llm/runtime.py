@@ -15,6 +15,7 @@ from repro.core.errors import WorkloadError
 from repro.hardware.gpu import GPU, GPUCounters
 from repro.llm.config import GPT2Config
 from repro.llm.kernels import decode_step_kernels, prefill_kernels
+from repro.workloads.traces import GenerationRequest
 
 __all__ = ["GenerationStats", "GPT2Runtime"]
 
@@ -102,3 +103,7 @@ class GPT2Runtime:
             counters=delta,
             kernel_launches=delta.kernel_launches,
         )
+
+    def serve(self, request: GenerationRequest) -> GenerationStats:
+        """Serve one trace request (fresh sequence per request)."""
+        return self.generate(request.prompt_tokens, request.output_tokens)

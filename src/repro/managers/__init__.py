@@ -1,4 +1,9 @@
-"""Resource managers: CPU schedulers, cluster scheduler, cache manager."""
+"""Resource managers: CPU schedulers, cluster scheduler, cache manager.
+
+The energy-budget manager (a resource manager whose "resource" is
+Joule headroom along the Fig. 2 stack) lives in
+:mod:`repro.serving.budget` and is re-exported here alongside its peers.
+"""
 
 from repro.managers.autoscaler import (
     AutoscaleSim,
@@ -34,6 +39,7 @@ from repro.managers.interface_scheduler import (
     OracleScheduler,
     UtilizationInterface,
 )
+from repro.serving.budget import BudgetManager
 
 __all__ = [
     "Task", "Placement", "Scheduler", "SchedulerResult", "SchedulerSim",
@@ -44,4 +50,5 @@ __all__ = [
     "run_cluster",
     "ReplicaSpec", "ScalingResult", "Autoscaler", "ReactiveAutoscaler",
     "InterfaceAutoscaler", "AutoscaleSim", "diurnal_profile",
+    "BudgetManager",
 ]

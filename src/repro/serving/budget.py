@@ -1,0 +1,303 @@
+"""Replenishing, hierarchical energy budgets for online admission control.
+
+A budget is a token bucket denominated in Joules: it holds up to
+``capacity_joules`` of burst headroom and refills continuously at
+``refill_watts``.  The serving gateway *asks before it runs*: before a
+request is dispatched, the admission policy checks whether the request's
+predicted energy (from the app's energy interface, evaluated in
+``"expected"`` or ``"worst"`` mode) fits the tokens currently available.
+Ground-truth ledger energy — including static power the node burns
+whether or not requests arrive — is then settled against the budget with
+:meth:`EnergyBudget.force_draw`, so the bucket tracks physical reality
+even when predictions err.
+
+Budgets are **hierarchical**, composing along the Fig. 2 stack exactly
+like energy interfaces do: a cluster-level budget constrains every node
+budget beneath it, and a node budget constrains every app budget.  A draw
+against a leaf must fit the whole ancestor chain.
+:meth:`BudgetManager.from_stack` attaches one budget per stack layer
+(bottom layer = root) so the gateway can enforce the envelope at whatever
+granularity the operator configured.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.core.errors import BudgetError
+from repro.core.stack import ResourceManager, SystemStack
+
+__all__ = [
+    "BudgetSpec",
+    "parse_budget_spec",
+    "EnergyBudget",
+    "BudgetManager",
+]
+
+#: ``"500J+40W"``, ``"500J"`` or ``"40W"`` (case-insensitive, spaces ok).
+_SPEC_RE = re.compile(
+    r"^\s*(?:(?P<cap>[0-9]*\.?[0-9]+)\s*J)?"
+    r"\s*\+?\s*(?:(?P<rate>[0-9]*\.?[0-9]+)\s*W)?\s*$",
+    re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A parsed budget: burst capacity in Joules plus refill in Watts."""
+
+    capacity_joules: float
+    refill_watts: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_joules < 0 or self.refill_watts < 0:
+            raise BudgetError(
+                f"budget terms must be >= 0, got {self.capacity_joules} J + "
+                f"{self.refill_watts} W")
+        if self.capacity_joules == 0 and self.refill_watts == 0:
+            raise BudgetError("a budget needs a capacity or a refill rate")
+
+    def __str__(self) -> str:
+        return f"{self.capacity_joules:g}J+{self.refill_watts:g}W"
+
+
+def parse_budget_spec(spec: str) -> BudgetSpec:
+    """Parse ``"<capacity>J+<rate>W"`` (either term optional) to a spec.
+
+    >>> parse_budget_spec("500J+40W")
+    BudgetSpec(capacity_joules=500.0, refill_watts=40.0)
+    """
+    if not isinstance(spec, str):
+        raise BudgetError(f"budget spec must be a string, got {spec!r}")
+    match = _SPEC_RE.match(spec)
+    if match is None or (match.group("cap") is None
+                         and match.group("rate") is None):
+        raise BudgetError(
+            f"cannot parse budget spec {spec!r}; expected forms like "
+            f"'500J+40W', '500J' or '40W'")
+    capacity = float(match.group("cap") or 0.0)
+    rate = float(match.group("rate") or 0.0)
+    return BudgetSpec(capacity, rate)
+
+
+class EnergyBudget:
+    """A replenishing energy token bucket, optionally with a parent.
+
+    Tokens refill continuously at ``refill_watts`` up to
+    ``capacity_joules``.  :meth:`force_draw` may push tokens negative —
+    physics does not ask permission — which stalls admission until the
+    deficit refills.  All read/draw operations take the current time so
+    the bucket lazily integrates refill.
+    """
+
+    def __init__(self, name: str, capacity_joules: float,
+                 refill_watts: float = 0.0,
+                 parent: "EnergyBudget | None" = None,
+                 start_time: float = 0.0,
+                 initial_joules: float | None = None) -> None:
+        if capacity_joules < 0 or refill_watts < 0:
+            raise BudgetError(
+                f"budget {name!r} needs non-negative capacity and refill")
+        self.name = name
+        self.capacity_joules = float(capacity_joules)
+        self.refill_watts = float(refill_watts)
+        self.parent = parent
+        self._t0 = float(start_time)
+        self._tokens = (float(initial_joules) if initial_joules is not None
+                        else float(capacity_joules))
+        self._initial = self._tokens
+        self._last_sync = float(start_time)
+        self.drawn_joules = 0.0
+
+    # -- chain ---------------------------------------------------------------
+    def chain(self) -> Iterator["EnergyBudget"]:
+        """This budget and all its ancestors, leaf first."""
+        budget: EnergyBudget | None = self
+        seen = set()
+        while budget is not None:
+            if id(budget) in seen:
+                raise BudgetError(
+                    f"budget {budget.name!r} is its own ancestor")
+            seen.add(id(budget))
+            yield budget
+            budget = budget.parent
+
+    # -- token accounting ------------------------------------------------------
+    def sync(self, now: float) -> None:
+        """Integrate refill up to ``now`` (monotone; rewinds are errors)."""
+        if now < self._last_sync - 1e-12:
+            raise BudgetError(
+                f"budget {self.name!r} cannot rewind to t={now} s "
+                f"(synced at {self._last_sync} s)")
+        dt = max(now - self._last_sync, 0.0)
+        self._tokens = min(self._tokens + self.refill_watts * dt,
+                           self.capacity_joules)
+        self._last_sync = max(now, self._last_sync)
+
+    def available(self, now: float) -> float:
+        """Tokens available at ``now``, bounded by the whole chain."""
+        lowest = math.inf
+        for budget in self.chain():
+            budget.sync(now)
+            lowest = min(lowest, budget._tokens)
+        return lowest
+
+    def fill_fraction(self, now: float) -> float:
+        """Chain-minimum tokens/capacity in [0, 1] (refill-only buckets
+        report 1 when non-negative)."""
+        lowest = 1.0
+        for budget in self.chain():
+            budget.sync(now)
+            if budget.capacity_joules > 0:
+                fraction = budget._tokens / budget.capacity_joules
+            else:
+                fraction = 1.0 if budget._tokens >= 0 else 0.0
+            lowest = min(lowest, fraction)
+        return max(min(lowest, 1.0), 0.0)
+
+    def can_draw(self, joules: float, now: float) -> bool:
+        """Would ``joules`` fit in every budget along the chain?"""
+        if joules < 0:
+            raise BudgetError(f"cannot draw {joules} J")
+        return self.available(now) >= joules
+
+    def try_draw(self, joules: float, now: float) -> bool:
+        """Draw ``joules`` from the whole chain if it fits; else no-op."""
+        if not self.can_draw(joules, now):
+            return False
+        for budget in self.chain():
+            budget._tokens -= joules
+            budget.drawn_joules += joules
+        return True
+
+    def force_draw(self, joules: float, now: float) -> None:
+        """Draw unconditionally (tokens may go negative).
+
+        Used to settle *measured* ledger energy: consumed Joules are a
+        fact, and an over-optimistic prediction becomes a deficit the
+        bucket must refill before the next admission.
+        """
+        if joules < 0:
+            raise BudgetError(f"cannot settle {joules} J")
+        for budget in self.chain():
+            budget.sync(now)
+            budget._tokens -= joules
+            budget.drawn_joules += joules
+
+    def refund(self, joules: float, now: float) -> None:
+        """Return tokens (e.g. a reservation larger than measured cost)."""
+        if joules < 0:
+            raise BudgetError(f"cannot refund {joules} J")
+        for budget in self.chain():
+            budget.sync(now)
+            budget._tokens = min(budget._tokens + joules,
+                                 budget.capacity_joules)
+            budget.drawn_joules -= joules
+
+    def time_until_affordable(self, joules: float, now: float) -> float:
+        """Seconds until the chain could afford ``joules`` (inf if never).
+
+        Assumes no draws in the meantime; this is the defer-horizon
+        estimate admission policies use.
+        """
+        worst = 0.0
+        for budget in self.chain():
+            budget.sync(now)
+            if budget._tokens >= joules:
+                continue
+            ceiling = budget.capacity_joules
+            if joules > ceiling or budget.refill_watts <= 0:
+                return math.inf
+            worst = max(worst,
+                        (joules - budget._tokens) / budget.refill_watts)
+        return worst
+
+    def cumulative_allowance(self, now: float) -> float:
+        """Nominal Joules released to the chain since creation.
+
+        ``initial tokens + refill x elapsed``, minimised over the chain —
+        the configured energy envelope a compliant serving run must not
+        exceed.
+        """
+        lowest = math.inf
+        for budget in self.chain():
+            elapsed = max(now - budget._t0, 0.0)
+            lowest = min(lowest,
+                         budget._initial + budget.refill_watts * elapsed)
+        return lowest
+
+    def __repr__(self) -> str:
+        parent = f", parent={self.parent.name!r}" if self.parent else ""
+        return (f"EnergyBudget({self.name!r}, {self.capacity_joules:g} J @ "
+                f"{self.refill_watts:g} W, tokens={self._tokens:.4g}{parent})")
+
+
+class BudgetManager(ResourceManager):
+    """A resource manager that administers the energy-budget hierarchy.
+
+    §3's resource managers compose energy *interfaces* up the stack; the
+    budget manager composes energy *allowances* down it: every layer may
+    carry a budget, and a request admitted at the top must fit each layer
+    it crosses.  The manager registers no functional resources — its
+    "resource" is headroom.
+    """
+
+    def __init__(self, name: str = "budget-manager") -> None:
+        super().__init__(name)
+        self._budgets: dict[str, EnergyBudget] = {}
+        self._leaf: EnergyBudget | None = None
+
+    def add_budget(self, scope: str, spec: BudgetSpec,
+                   start_time: float = 0.0) -> EnergyBudget:
+        """Attach a budget for ``scope`` beneath the current leaf."""
+        if scope in self._budgets:
+            raise BudgetError(f"scope {scope!r} already has a budget")
+        budget = EnergyBudget(scope, spec.capacity_joules, spec.refill_watts,
+                              parent=self._leaf, start_time=start_time)
+        self._budgets[scope] = budget
+        self._leaf = budget
+        return budget
+
+    def budget_for(self, scope: str) -> EnergyBudget:
+        """The budget attached at ``scope``."""
+        try:
+            return self._budgets[scope]
+        except KeyError:
+            raise BudgetError(
+                f"no budget for scope {scope!r}; known: "
+                f"{sorted(self._budgets)}") from None
+
+    @property
+    def leaf(self) -> EnergyBudget:
+        """The most-constrained (topmost-layer) budget; draws check the
+        whole chain."""
+        if self._leaf is None:
+            raise BudgetError(f"manager {self.name!r} has no budgets")
+        return self._leaf
+
+    @classmethod
+    def from_stack(cls, stack: SystemStack,
+                   specs: Mapping[str, BudgetSpec | str],
+                   start_time: float = 0.0) -> "BudgetManager":
+        """One budget per named stack layer, chained bottom-up.
+
+        ``specs`` maps layer names to :class:`BudgetSpec` (or spec
+        strings); layers are visited in stack order so the bottom layer's
+        budget is the root of the hierarchy.  Layers without a spec carry
+        no budget.
+        """
+        manager = cls(name=f"budgets@{'/'.join(l.name for l in stack.layers)}")
+        for layer in stack.layers:
+            if layer.name not in specs:
+                continue
+            spec = specs[layer.name]
+            if isinstance(spec, str):
+                spec = parse_budget_spec(spec)
+            manager.add_budget(layer.name, spec, start_time=start_time)
+        if manager._leaf is None:
+            raise BudgetError(
+                f"no spec matched any stack layer; layers: "
+                f"{[l.name for l in stack.layers]}, specs: {sorted(specs)}")
+        return manager

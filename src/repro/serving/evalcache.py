@@ -1,0 +1,172 @@
+"""Memoization of energy-interface evaluations for the serving hot path.
+
+Evaluating an interface enumerates every ECV trace (or Monte-Carlo
+samples a continuous one) — affordable offline, but the gateway does it
+*twice per request* ("expected" to estimate, "worst" to guarantee).  The
+cache exploits two facts:
+
+* interfaces take an **abstraction** of the input (§3), so distinct
+  requests collapse onto few keys — every 224x224 image with the same
+  sparsity is one entry;
+* evaluation is deterministic given the abstract input and the **ECV
+  environment**, so a fingerprint of the bound distributions is a sound
+  cache key.  Managers re-bind ECVs as observations accumulate; the
+  fingerprint quantises distribution parameters so a hit rate drifting
+  from 0.912 to 0.913 does not invalidate the cache, while a real regime
+  change (new quantum) does.
+
+Hit/miss statistics are part of the serving report: the paper's "ask
+before you run" is only viable online if asking is nearly free.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+from repro.core.ecv import (
+    ECV,
+    BernoulliECV,
+    CategoricalECV,
+    ContinuousECV,
+    FixedECV,
+    UniformIntECV,
+)
+from repro.core.errors import ServingError
+from repro.core.interface import EnergyInterface
+
+__all__ = ["EvalCache", "ecv_fingerprint", "env_fingerprint",
+           "DEFAULT_P_QUANTUM"]
+
+#: Default quantum for probability/parameter rounding in fingerprints.
+DEFAULT_P_QUANTUM = 1.0 / 64.0
+
+
+def _quantise(value: float, quantum: float) -> float:
+    return round(round(float(value) / quantum) * quantum, 12)
+
+
+def ecv_fingerprint(ecv: ECV, p_quantum: float = DEFAULT_P_QUANTUM
+                    ) -> tuple:
+    """A stable, hashable summary of an ECV's distribution."""
+    if isinstance(ecv, BernoulliECV):
+        return ("bern", _quantise(ecv.p, p_quantum))
+    if isinstance(ecv, FixedECV):
+        return ("fixed", ecv.value)
+    if isinstance(ecv, CategoricalECV):
+        return ("cat", tuple((value, _quantise(p, p_quantum))
+                             for value, p in ecv.support()))
+    if isinstance(ecv, UniformIntECV):
+        return ("unifint", ecv.low, ecv.high)
+    if isinstance(ecv, ContinuousECV):
+        return ("cont", ecv.low, ecv.high)
+    # Unknown ECV kinds fall back to their repr; correct as long as the
+    # repr covers the distribution parameters.
+    return ("repr", repr(ecv))
+
+
+def env_fingerprint(bindings: Mapping[str, Any] | None,
+                    p_quantum: float = DEFAULT_P_QUANTUM) -> tuple:
+    """Fingerprint an ECV-binding mapping (name -> value or ECV)."""
+    if not bindings:
+        return ()
+    items = []
+    for name in sorted(bindings):
+        value = bindings[name]
+        if isinstance(value, ECV):
+            items.append((name,) + ecv_fingerprint(value, p_quantum))
+        else:
+            items.append((name, "val", value))
+    return tuple(items)
+
+
+class EvalCache:
+    """A bounded LRU cache of interface-evaluation results.
+
+    Keys combine the interface name, method, abstract input, evaluation
+    mode and an environment fingerprint.  Values are whatever
+    :meth:`~repro.core.interface.EnergyInterface.evaluate` returned
+    (:class:`~repro.core.units.Energy` values are immutable, so sharing
+    is safe).
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 p_quantum: float = DEFAULT_P_QUANTUM) -> None:
+        if max_entries <= 0:
+            raise ServingError(
+                f"cache needs a positive capacity, got {max_entries}")
+        self.max_entries = max_entries
+        self.p_quantum = p_quantum
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- the cache ------------------------------------------------------------
+    def evaluate(self, interface: EnergyInterface, method: str,
+                 args: tuple, mode: str,
+                 env: Mapping[str, Any] | None = None,
+                 fingerprint: Hashable | None = None,
+                 **eval_kwargs: Any) -> Any:
+        """Evaluate through the cache.
+
+        ``fingerprint`` (when the caller already computed one for ``env``)
+        skips re-fingerprinting; otherwise ``env`` is fingerprinted here.
+        """
+        if fingerprint is None:
+            fingerprint = env_fingerprint(env, self.p_quantum)
+        key = (interface.name, method, tuple(args), mode, fingerprint)
+        try:
+            value = self._entries[key]
+        except TypeError:
+            # Unhashable abstract input: evaluate uncached.
+            self.misses += 1
+            return interface.evaluate(method, *args, mode=mode, env=env,
+                                      **eval_kwargs)
+        except KeyError:
+            self.misses += 1
+            value = interface.evaluate(method, *args, mode=mode, env=env,
+                                       **eval_kwargs)
+            self._entries[key] = value
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def invalidate(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    # -- statistics -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        """Total evaluate() calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def stats(self) -> dict[str, float]:
+        """A summary dict for the serving report."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (f"EvalCache(entries={len(self._entries)}, "
+                f"hit_rate={self.hit_rate:.2%})")

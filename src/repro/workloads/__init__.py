@@ -10,14 +10,18 @@ from repro.workloads.popularity import UniformPopularity, ZipfPopularity
 from repro.workloads.traces import (
     GenerationRequest,
     ImageRequest,
+    KVRequest,
     generation_trace,
     image_request_trace,
+    kv_request_trace,
+    repeated_image_trace,
 )
 
 __all__ = [
     "poisson_arrivals", "uniform_arrivals", "bursty_arrivals",
     "interarrival_iter",
     "ZipfPopularity", "UniformPopularity",
-    "ImageRequest", "GenerationRequest", "image_request_trace",
-    "generation_trace",
+    "ImageRequest", "GenerationRequest", "KVRequest",
+    "image_request_trace", "repeated_image_trace",
+    "generation_trace", "kv_request_trace",
 ]

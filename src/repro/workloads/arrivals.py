@@ -1,28 +1,62 @@
-"""Request arrival processes for the service simulations."""
+"""Request arrival processes for the service simulations.
+
+Every stochastic generator accepts its randomness in three equivalent
+forms, so serving benchmarks are reproducible run-to-run without callers
+having to construct generators themselves:
+
+* a ``numpy.random.Generator`` (used as-is),
+* an ``int`` seed — expanded through :class:`repro.sim.rng.RngFactory`
+  into the named ``"arrivals"`` stream, bit-for-bit stable,
+* an :class:`~repro.sim.rng.RngFactory` — its ``"arrivals"`` stream is
+  drawn, keeping arrival randomness independent of every other stream
+  derived from the same root seed.
+"""
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Union
 
 import numpy as np
 
 from repro.core.errors import WorkloadError
+from repro.sim.rng import RngFactory
 
-__all__ = ["poisson_arrivals", "uniform_arrivals", "bursty_arrivals"]
+__all__ = ["poisson_arrivals", "uniform_arrivals", "bursty_arrivals",
+           "interarrival_iter"]
+
+#: What the stochastic generators accept as their randomness source.
+RngLike = Union[np.random.Generator, RngFactory, int]
+
+#: Stream name used when expanding a seed or factory.
+ARRIVALS_STREAM = "arrivals"
+
+
+def _coerce_rng(rng: RngLike) -> np.random.Generator:
+    """Expand a seed/factory into the named arrivals stream."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, RngFactory):
+        return rng.stream(ARRIVALS_STREAM)
+    if isinstance(rng, (int, np.integer)):
+        return RngFactory(int(rng)).stream(ARRIVALS_STREAM)
+    raise WorkloadError(
+        f"rng must be a numpy Generator, an RngFactory or an int seed; "
+        f"got {type(rng).__name__}")
 
 
 def poisson_arrivals(rate_per_second: float, horizon_seconds: float,
-                     rng: np.random.Generator) -> list[float]:
+                     rng: RngLike) -> list[float]:
     """Arrival timestamps of a Poisson process over ``[0, horizon]``."""
     if rate_per_second <= 0:
         raise WorkloadError(f"arrival rate must be positive, got "
                             f"{rate_per_second}")
     if horizon_seconds <= 0:
         raise WorkloadError("the horizon must be positive")
+    generator = _coerce_rng(rng)
     times: list[float] = []
     t = 0.0
     while True:
-        t += float(rng.exponential(1.0 / rate_per_second))
+        t += float(generator.exponential(1.0 / rate_per_second))
         if t >= horizon_seconds:
             return times
         times.append(t)
@@ -40,7 +74,7 @@ def uniform_arrivals(n_requests: int, horizon_seconds: float) -> list[float]:
 
 def bursty_arrivals(base_rate: float, burst_rate: float,
                     burst_fraction: float, horizon_seconds: float,
-                    rng: np.random.Generator,
+                    rng: RngLike,
                     phase_seconds: float = 1.0) -> list[float]:
     """A two-state modulated Poisson process (quiet/burst phases).
 
@@ -51,20 +85,22 @@ def bursty_arrivals(base_rate: float, burst_rate: float,
         raise WorkloadError("burst_fraction must be in [0, 1)")
     if base_rate <= 0 or burst_rate <= 0:
         raise WorkloadError("rates must be positive")
+    generator = _coerce_rng(rng)
     times: list[float] = []
     t = 0.0
     bursting = False
     while t < horizon_seconds:
         if bursting:
-            duration = float(rng.exponential(phase_seconds * burst_fraction))
+            duration = float(generator.exponential(
+                phase_seconds * burst_fraction))
         else:
-            duration = float(rng.exponential(
+            duration = float(generator.exponential(
                 phase_seconds * (1.0 - burst_fraction)))
         end = min(t + duration, horizon_seconds)
         rate = burst_rate if bursting else base_rate
         clock = t
         while True:
-            clock += float(rng.exponential(1.0 / rate))
+            clock += float(generator.exponential(1.0 / rate))
             if clock >= end:
                 break
             times.append(clock)
@@ -79,6 +115,3 @@ def interarrival_iter(times: list[float]) -> Iterator[float]:
     for t in times:
         yield t - previous
         previous = t
-
-
-__all__.append("interarrival_iter")

@@ -15,8 +15,9 @@ import numpy as np
 from repro.core.errors import WorkloadError
 from repro.workloads.popularity import ZipfPopularity
 
-__all__ = ["ImageRequest", "GenerationRequest", "image_request_trace",
-           "generation_trace"]
+__all__ = ["ImageRequest", "GenerationRequest", "KVRequest",
+           "image_request_trace", "repeated_image_trace",
+           "generation_trace", "kv_request_trace"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,65 @@ def image_request_trace(n_requests: int, rng: np.random.Generator,
             zero_pixels=int(pixels * zero_fraction),
         ))
     return requests
+
+
+def repeated_image_trace(n_requests: int, rng: np.random.Generator,
+                         n_objects: int = 200, zipf_alpha: float = 1.1,
+                         mean_pixels: int = 224 * 224,
+                         zero_fraction_range: tuple[float, float] = (0.1, 0.5)
+                         ) -> list[ImageRequest]:
+    """A Zipf stream where each object keeps a *fixed* abstraction.
+
+    Unlike :func:`image_request_trace`, repeated requests for the same
+    object carry identical ``(image_pixels, zero_pixels)`` — the same
+    image has the same size and sparsity every time it is requested.
+    This is the workload shape that makes serving-time memoization of
+    interface evaluations pay off: popular objects collapse onto few
+    abstract inputs.
+    """
+    if n_requests < 0:
+        raise WorkloadError("n_requests must be >= 0")
+    low, high = zero_fraction_range
+    if not 0.0 <= low <= high <= 1.0:
+        raise WorkloadError("zero_fraction_range must be within [0, 1]")
+    pixels_by_object = np.maximum(
+        rng.normal(mean_pixels, mean_pixels * 0.1, size=n_objects), 1024
+    ).astype(int)
+    zero_by_object = (pixels_by_object
+                      * rng.uniform(low, high, size=n_objects)).astype(int)
+    popularity = ZipfPopularity(n_objects, zipf_alpha)
+    return [ImageRequest(
+        object_id=int(object_id),
+        image_pixels=int(pixels_by_object[object_id]),
+        zero_pixels=int(zero_by_object[object_id]),
+    ) for object_id in popularity.sample(rng, n_requests)]
+
+
+@dataclass(frozen=True)
+class KVRequest:
+    """One operation against the flash key-value store."""
+
+    op: str       # "put" or "get"
+    key: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ("put", "get"):
+            raise WorkloadError(f"KV op must be 'put' or 'get', got "
+                                f"{self.op!r}")
+
+
+def kv_request_trace(n_requests: int, rng: np.random.Generator,
+                     put_fraction: float = 0.5,
+                     n_keys: int = 1000) -> list[KVRequest]:
+    """A put/get mix over a uniform key space."""
+    if n_requests < 0:
+        raise WorkloadError("n_requests must be >= 0")
+    if not 0.0 <= put_fraction <= 1.0:
+        raise WorkloadError("put_fraction must be in [0, 1]")
+    ops = rng.random(n_requests) < put_fraction
+    keys = rng.integers(0, max(n_keys, 1), size=n_requests)
+    return [KVRequest("put" if is_put else "get", int(key))
+            for is_put, key in zip(ops, keys)]
 
 
 def generation_trace(n_requests: int, rng: np.random.Generator,

@@ -1,0 +1,146 @@
+"""Edge cases of interface evaluation with continuous ECVs.
+
+The evaluator cannot enumerate a :class:`ContinuousECV`, so two fallback
+paths exist (module docstring of :mod:`repro.core.interface`):
+
+* expected/distribution mode falls back to **Monte Carlo** — which must
+  be deterministic run-to-run, or serving-time memoization and test
+  reproducibility both break;
+* worst/best mode evaluates the **interval endpoints** — exact for
+  interfaces monotone in the ECV, including nested compositions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import Empirical
+from repro.core.ecv import BernoulliECV, ContinuousECV
+from repro.core.interface import EnergyInterface, evaluate
+from repro.core.units import Energy
+
+
+class LoadInterface(EnergyInterface):
+    """Energy linear in a continuous utilisation ECV on [0.2, 0.8]."""
+
+    def __init__(self):
+        super().__init__("load")
+        self.declare_ecv(ContinuousECV("utilisation", 0.2, 0.8))
+
+    def E_tick(self, watts: float) -> Energy:
+        return Energy(watts * self.ecv("utilisation"))
+
+
+class NodeInterface(EnergyInterface):
+    """Nests LoadInterface under a discrete branch of its own."""
+
+    def __init__(self):
+        super().__init__("node")
+        self.cpu = LoadInterface()
+        self.declare_ecv(BernoulliECV("boost", p=0.25))
+
+    def E_step(self) -> Energy:
+        base = self.cpu.E_tick(10.0)
+        if self.ecv("boost"):
+            return base + self.cpu.E_tick(4.0)
+        return base
+
+
+class TestMonteCarloDeterminism:
+    def test_default_seed_reproducible(self):
+        """Without an explicit rng, repeated evaluations agree exactly."""
+        iface = LoadInterface()
+        first = iface.expected("E_tick", 10.0)
+        second = iface.expected("E_tick", 10.0)
+        assert first.as_joules == second.as_joules
+        # and the value is the uniform mean, up to sampling error
+        assert first.as_joules == pytest.approx(5.0, rel=0.02)
+
+    def test_fresh_interface_same_result(self):
+        """Determinism holds across interface instances, not just calls."""
+        assert (LoadInterface().expected("E_tick", 10.0).as_joules
+                == LoadInterface().expected("E_tick", 10.0).as_joules)
+
+    def test_explicit_seed_reproducible(self):
+        iface = LoadInterface()
+        draws = [iface.evaluate("E_tick", 10.0, mode="expected",
+                                rng=np.random.default_rng(99),
+                                n_samples=500).as_joules
+                 for _ in range(2)]
+        assert draws[0] == draws[1]
+
+    def test_different_seeds_differ(self):
+        iface = LoadInterface()
+        a = iface.evaluate("E_tick", 10.0, mode="expected",
+                           rng=np.random.default_rng(1), n_samples=200)
+        b = iface.evaluate("E_tick", 10.0, mode="expected",
+                           rng=np.random.default_rng(2), n_samples=200)
+        assert a.as_joules != b.as_joules
+
+    def test_distribution_mode_empirical_and_deterministic(self):
+        iface = LoadInterface()
+        first = iface.distribution("E_tick", 10.0)
+        second = iface.distribution("E_tick", 10.0)
+        assert isinstance(first, Empirical)
+        assert first.mean() == second.mean()
+        assert 2.0 <= first.lower_bound() <= first.upper_bound() <= 8.0
+
+    def test_nested_discrete_and_continuous_deterministic(self):
+        """A discrete branch over a continuous read still goes MC, and
+        the default seed still pins the answer."""
+        iface = NodeInterface()
+        first = iface.expected("E_step")
+        second = iface.expected("E_step")
+        assert first.as_joules == second.as_joules
+        # E = 10u + 0.25 * 4u with E[u] = 0.5 -> 5.5 J
+        assert first.as_joules == pytest.approx(5.5, rel=0.05)
+
+
+class TestWorstCaseEndpoints:
+    def test_interval_upper_endpoint(self):
+        iface = LoadInterface()
+        assert iface.worst_case("E_tick", 10.0).as_joules == \
+            pytest.approx(8.0)
+
+    def test_interval_lower_endpoint_in_best_mode(self):
+        iface = LoadInterface()
+        best = iface.evaluate("E_tick", 10.0, mode="best")
+        assert best.as_joules == pytest.approx(2.0)
+
+    def test_nested_interfaces_take_joint_extremes(self):
+        """Worst case of the composition: boost on AND utilisation at the
+        top of its interval, across both interface layers — exact, not
+        sampled."""
+        iface = NodeInterface()
+        worst = iface.worst_case("E_step")
+        assert worst.as_joules == pytest.approx((10.0 + 4.0) * 0.8)
+
+    def test_nested_best_case(self):
+        iface = NodeInterface()
+        best = iface.evaluate("E_step", mode="best")
+        assert best.as_joules == pytest.approx(10.0 * 0.2)
+
+    def test_degenerate_interval(self):
+        class Pinned(EnergyInterface):
+            def __init__(self):
+                super().__init__("pinned")
+                self.declare_ecv(ContinuousECV("x", 0.3, 0.3))
+
+            def E_op(self):
+                return Energy(self.ecv("x"))
+
+        assert Pinned().worst_case("E_op").as_joules == pytest.approx(0.3)
+
+    def test_env_binding_overrides_interval(self):
+        """Binding the continuous ECV to a narrower interval tightens the
+        worst case (the §4 contract-refinement move)."""
+        iface = LoadInterface()
+        worst = iface.evaluate(
+            "E_tick", 10.0, mode="worst",
+            env={"utilisation": ContinuousECV("utilisation", 0.2, 0.5)})
+        assert worst.as_joules == pytest.approx(5.0)
+
+    def test_free_function_worst_over_composition(self):
+        node = NodeInterface()
+        worst = evaluate(lambda: node.E_step() + node.cpu.E_tick(5.0),
+                         mode="worst")
+        assert worst.as_joules == pytest.approx((14.0 + 5.0) * 0.8)

@@ -1,0 +1,168 @@
+"""Tests for admission policies over predicted energy costs."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServingError
+from repro.serving.admission import (
+    ADMIT,
+    DEFER,
+    DEGRADE,
+    REJECT,
+    AdmissionContext,
+    AdmissionDecision,
+    AdmitAllPolicy,
+    HardBudgetPolicy,
+    ProbabilisticPolicy,
+    SLOAwarePolicy,
+)
+from repro.serving.budget import EnergyBudget
+
+
+def ctx(budget, expected=1.0, worst=2.0, now=0.0, **kwargs):
+    return AdmissionContext(now=now, budget=budget,
+                            expected_joules=expected, worst_joules=worst,
+                            **kwargs)
+
+
+class TestDecision:
+    def test_valid_actions(self):
+        for action in (ADMIT, REJECT, DEFER, DEGRADE):
+            assert AdmissionDecision(action).action == action
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ServingError):
+            AdmissionDecision("maybe")
+
+    def test_has_degraded(self):
+        budget = EnergyBudget("b", capacity_joules=1.0)
+        assert not ctx(budget).has_degraded
+        assert ctx(budget, degraded_expected_joules=0.1,
+                   degraded_worst_joules=0.2).has_degraded
+
+
+class TestAdmitAll:
+    def test_admits_even_when_broke(self):
+        budget = EnergyBudget("b", capacity_joules=1.0)
+        budget.force_draw(100.0, 0.0)
+        assert AdmitAllPolicy().decide(ctx(budget)).action == ADMIT
+
+
+class TestHardBudget:
+    def test_admits_when_worst_fits(self):
+        budget = EnergyBudget("b", capacity_joules=10.0)
+        decision = HardBudgetPolicy().decide(ctx(budget, worst=2.0))
+        assert decision.action == ADMIT
+
+    def test_gates_on_worst_not_expected(self):
+        budget = EnergyBudget("b", capacity_joules=1.5)
+        decision = HardBudgetPolicy().decide(
+            ctx(budget, expected=1.0, worst=2.0))
+        assert decision.action != ADMIT
+
+    def test_prefers_degrade(self):
+        budget = EnergyBudget("b", capacity_joules=1.0)
+        decision = HardBudgetPolicy().decide(
+            ctx(budget, worst=2.0, degraded_expected_joules=0.3,
+                degraded_worst_joules=0.5))
+        assert decision.action == DEGRADE
+
+    def test_defers_when_refill_is_near(self):
+        budget = EnergyBudget("b", capacity_joules=10.0, refill_watts=5.0)
+        budget.force_draw(10.0, 0.0)
+        decision = HardBudgetPolicy(defer_horizon_s=1.0).decide(
+            ctx(budget, worst=2.0))
+        assert decision.action == DEFER
+
+    def test_rejects_past_defer_horizon(self):
+        budget = EnergyBudget("b", capacity_joules=10.0, refill_watts=0.1)
+        budget.force_draw(10.0, 0.0)
+        decision = HardBudgetPolicy(defer_horizon_s=1.0).decide(
+            ctx(budget, worst=2.0))
+        assert decision.action == REJECT
+
+    def test_rejects_after_max_deferrals(self):
+        budget = EnergyBudget("b", capacity_joules=10.0, refill_watts=5.0)
+        budget.force_draw(10.0, 0.0)
+        decision = HardBudgetPolicy(max_deferrals=4).decide(
+            ctx(budget, worst=2.0, deferrals=4))
+        assert decision.action == REJECT
+
+
+class TestProbabilistic:
+    def test_admits_when_full(self):
+        budget = EnergyBudget("b", capacity_joules=10.0)
+        policy = ProbabilisticPolicy(rng=np.random.default_rng(0))
+        assert policy.decide(ctx(budget, expected=1.0)).action == ADMIT
+
+    def test_rejects_when_expected_does_not_fit(self):
+        budget = EnergyBudget("b", capacity_joules=1.0)
+        policy = ProbabilisticPolicy(rng=np.random.default_rng(0))
+        assert policy.decide(ctx(budget, expected=2.0)).action == REJECT
+
+    def test_sheds_more_as_bucket_drains(self):
+        rng = np.random.default_rng(7)
+        full = EnergyBudget("full", capacity_joules=10.0)
+        low = EnergyBudget("low", capacity_joules=10.0)
+        low.force_draw(9.0, 0.0)
+        policy = ProbabilisticPolicy(rng=rng, gamma=2.0)
+        admitted_full = sum(
+            policy.decide(ctx(full, expected=0.0)).action == ADMIT
+            for _ in range(200))
+        admitted_low = sum(
+            policy.decide(ctx(low, expected=0.0)).action == ADMIT
+            for _ in range(200))
+        assert admitted_full == 200          # p = 1.0**2
+        assert admitted_low < 10             # p = 0.1**2 = 1%
+
+    def test_seed_reproducible(self):
+        budget = EnergyBudget("b", capacity_joules=10.0)
+        budget.force_draw(5.0, 0.0)
+        outcomes = []
+        for _ in range(2):
+            policy = ProbabilisticPolicy(rng=123)
+            outcomes.append([policy.decide(ctx(budget, expected=0.0)).action
+                             for _ in range(50)])
+        assert outcomes[0] == outcomes[1]
+
+    def test_bad_gamma(self):
+        with pytest.raises(ServingError):
+            ProbabilisticPolicy(gamma=0.0)
+
+
+class TestSLOAware:
+    def test_sheds_when_queue_already_blows_slo(self):
+        budget = EnergyBudget("b", capacity_joules=10.0)
+        decision = SLOAwarePolicy(slo_seconds=0.5).decide(
+            ctx(budget, worst=1.0, wait_estimate_s=0.6))
+        assert decision.action == REJECT
+
+    def test_admits_inside_slo(self):
+        budget = EnergyBudget("b", capacity_joules=10.0)
+        decision = SLOAwarePolicy(slo_seconds=0.5).decide(
+            ctx(budget, worst=1.0, wait_estimate_s=0.1))
+        assert decision.action == ADMIT
+
+    def test_defers_only_when_refill_lands_inside_slo(self):
+        budget = EnergyBudget("b", capacity_joules=10.0, refill_watts=10.0)
+        budget.force_draw(10.0, 0.0)
+        # refill of 2 J takes 0.2 s; 0.2 + 0.1 wait fits a 0.5 s SLO
+        decision = SLOAwarePolicy(slo_seconds=0.5).decide(
+            ctx(budget, worst=2.0, wait_estimate_s=0.1))
+        assert decision.action == DEFER
+        # but not a 0.25 s SLO
+        decision = SLOAwarePolicy(slo_seconds=0.25).decide(
+            ctx(budget, worst=2.0, wait_estimate_s=0.1))
+        assert decision.action == REJECT
+
+    def test_degrades_before_deferring(self):
+        budget = EnergyBudget("b", capacity_joules=1.0, refill_watts=10.0)
+        budget.force_draw(1.0, 0.0)
+        decision = SLOAwarePolicy(slo_seconds=5.0).decide(
+            ctx(budget, worst=2.0, now=0.05,
+                degraded_expected_joules=0.2, degraded_worst_joules=0.4))
+        assert decision.action == DEGRADE
+
+    def test_bad_slo(self):
+        with pytest.raises(ServingError):
+            SLOAwarePolicy(slo_seconds=0.0)

@@ -1,0 +1,206 @@
+"""Tests for energy budgets: specs, token buckets, hierarchies."""
+
+import math
+
+import pytest
+
+from repro.core.errors import BudgetError
+from repro.core.interface import EnergyInterface
+from repro.core.stack import Layer, Resource, ResourceManager, SystemStack
+from repro.serving.budget import (
+    BudgetManager,
+    BudgetSpec,
+    EnergyBudget,
+    parse_budget_spec,
+)
+
+
+class TestSpecParsing:
+    def test_full_spec(self):
+        spec = parse_budget_spec("500J+40W")
+        assert spec.capacity_joules == 500.0
+        assert spec.refill_watts == 40.0
+
+    def test_capacity_only(self):
+        assert parse_budget_spec("500J") == BudgetSpec(500.0, 0.0)
+
+    def test_rate_only(self):
+        assert parse_budget_spec("40W") == BudgetSpec(0.0, 40.0)
+
+    def test_case_and_spaces(self):
+        assert parse_budget_spec(" 2.5 j + 0.5 w ") == BudgetSpec(2.5, 0.5)
+
+    @pytest.mark.parametrize("bad", ["", "banana", "J+W", "40", "-3J",
+                                     "1J+2W+3J"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(BudgetError):
+            parse_budget_spec(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(BudgetError):
+            parse_budget_spec(500)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetSpec(0.0, 0.0)
+
+    def test_str_roundtrip(self):
+        assert parse_budget_spec(str(BudgetSpec(3.0, 0.5))) == \
+            BudgetSpec(3.0, 0.5)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        budget = EnergyBudget("b", capacity_joules=10.0)
+        assert budget.available(0.0) == 10.0
+
+    def test_draw_and_refill(self):
+        budget = EnergyBudget("b", capacity_joules=10.0, refill_watts=2.0)
+        assert budget.try_draw(10.0, 0.0)
+        assert budget.available(0.0) == 0.0
+        assert budget.available(3.0) == pytest.approx(6.0)
+
+    def test_refill_caps_at_capacity(self):
+        budget = EnergyBudget("b", capacity_joules=10.0, refill_watts=2.0)
+        assert budget.available(100.0) == 10.0
+
+    def test_try_draw_refuses_overdraw(self):
+        budget = EnergyBudget("b", capacity_joules=1.0)
+        assert not budget.try_draw(2.0, 0.0)
+        assert budget.available(0.0) == 1.0
+
+    def test_force_draw_goes_negative(self):
+        budget = EnergyBudget("b", capacity_joules=1.0, refill_watts=1.0)
+        budget.force_draw(3.0, 0.0)
+        assert budget.available(0.0) == pytest.approx(-2.0)
+        assert not budget.can_draw(0.1, 0.0)
+        # the deficit refills before admission resumes
+        assert budget.can_draw(0.5, 3.0)
+
+    def test_negative_draw_rejected(self):
+        budget = EnergyBudget("b", capacity_joules=1.0)
+        with pytest.raises(BudgetError):
+            budget.can_draw(-1.0, 0.0)
+        with pytest.raises(BudgetError):
+            budget.force_draw(-1.0, 0.0)
+
+    def test_rewind_rejected(self):
+        budget = EnergyBudget("b", capacity_joules=1.0)
+        budget.sync(5.0)
+        with pytest.raises(BudgetError):
+            budget.sync(1.0)
+
+    def test_refund(self):
+        budget = EnergyBudget("b", capacity_joules=10.0)
+        budget.force_draw(6.0, 0.0)
+        budget.refund(2.0, 0.0)
+        assert budget.available(0.0) == pytest.approx(6.0)
+        assert budget.drawn_joules == pytest.approx(4.0)
+
+    def test_fill_fraction(self):
+        budget = EnergyBudget("b", capacity_joules=10.0)
+        budget.force_draw(7.5, 0.0)
+        assert budget.fill_fraction(0.0) == pytest.approx(0.25)
+
+    def test_time_until_affordable(self):
+        budget = EnergyBudget("b", capacity_joules=10.0, refill_watts=2.0)
+        budget.force_draw(10.0, 0.0)
+        assert budget.time_until_affordable(6.0, 0.0) == pytest.approx(3.0)
+
+    def test_time_until_affordable_never(self):
+        no_refill = EnergyBudget("b", capacity_joules=10.0)
+        no_refill.force_draw(10.0, 0.0)
+        assert no_refill.time_until_affordable(1.0, 0.0) == math.inf
+        # a request larger than the bucket can never fit
+        refilling = EnergyBudget("c", capacity_joules=5.0, refill_watts=1.0)
+        assert refilling.time_until_affordable(6.0, 0.0) == math.inf
+
+    def test_cumulative_allowance(self):
+        budget = EnergyBudget("b", capacity_joules=2.0, refill_watts=0.5)
+        assert budget.cumulative_allowance(10.0) == pytest.approx(7.0)
+
+    def test_initial_joules_override(self):
+        budget = EnergyBudget("b", capacity_joules=10.0, refill_watts=1.0,
+                              initial_joules=0.0)
+        assert budget.available(0.0) == 0.0
+        assert budget.cumulative_allowance(4.0) == pytest.approx(4.0)
+
+
+class TestHierarchy:
+    def test_chain_minimum_gates_draws(self):
+        cluster = EnergyBudget("cluster", capacity_joules=100.0)
+        node = EnergyBudget("node", capacity_joules=5.0, parent=cluster)
+        assert node.available(0.0) == 5.0
+        assert not node.can_draw(6.0, 0.0)
+        assert node.try_draw(5.0, 0.0)
+        # the draw hit both levels
+        assert cluster.available(0.0) == pytest.approx(95.0)
+
+    def test_exhausted_ancestor_blocks_leaf(self):
+        cluster = EnergyBudget("cluster", capacity_joules=3.0)
+        node = EnergyBudget("node", capacity_joules=100.0, parent=cluster)
+        assert node.try_draw(3.0, 0.0)
+        assert not node.can_draw(1.0, 0.0)
+
+    def test_cycle_detected(self):
+        a = EnergyBudget("a", capacity_joules=1.0)
+        b = EnergyBudget("b", capacity_joules=1.0, parent=a)
+        a.parent = b
+        with pytest.raises(BudgetError):
+            list(a.chain())
+
+    def test_allowance_is_chain_minimum(self):
+        cluster = EnergyBudget("cluster", capacity_joules=4.0,
+                               refill_watts=0.1)
+        node = EnergyBudget("node", capacity_joules=1.0, refill_watts=1.0,
+                            parent=cluster)
+        # at t=10 the node has released 11 J but the cluster only 5 J
+        assert node.cumulative_allowance(10.0) == pytest.approx(5.0)
+
+
+class _NullInterface(EnergyInterface):
+    pass
+
+
+def _two_layer_stack() -> SystemStack:
+    hardware = Layer("hardware")
+    hardware.add_manager(ResourceManager("driver")).register(
+        Resource("dev", _NullInterface("dev")))
+    runtime = Layer("runtime")
+    runtime.add_manager(ResourceManager("rt")).register(
+        Resource("app", _NullInterface("app")))
+    return SystemStack([hardware, runtime])
+
+
+class TestBudgetManager:
+    def test_from_stack_chains_bottom_up(self):
+        manager = BudgetManager.from_stack(
+            _two_layer_stack(),
+            {"hardware": "100J", "runtime": BudgetSpec(5.0, 0.0)})
+        leaf = manager.leaf
+        assert leaf.name == "runtime"
+        assert leaf.parent is manager.budget_for("hardware")
+        assert leaf.available(0.0) == 5.0
+
+    def test_from_stack_skips_unspecified_layers(self):
+        manager = BudgetManager.from_stack(_two_layer_stack(),
+                                           {"runtime": "5J"})
+        assert manager.leaf.parent is None
+
+    def test_from_stack_requires_a_match(self):
+        with pytest.raises(BudgetError):
+            BudgetManager.from_stack(_two_layer_stack(), {"nope": "5J"})
+
+    def test_duplicate_scope_rejected(self):
+        manager = BudgetManager()
+        manager.add_budget("node", BudgetSpec(1.0, 0.0))
+        with pytest.raises(BudgetError):
+            manager.add_budget("node", BudgetSpec(1.0, 0.0))
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetManager().budget_for("node")
+
+    def test_empty_manager_has_no_leaf(self):
+        with pytest.raises(BudgetError):
+            BudgetManager().leaf

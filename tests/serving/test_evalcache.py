@@ -1,0 +1,162 @@
+"""Tests for the interface-evaluation cache and ECV fingerprints."""
+
+import pytest
+
+from repro.core.ecv import (
+    BernoulliECV,
+    CategoricalECV,
+    ContinuousECV,
+    FixedECV,
+    UniformIntECV,
+)
+from repro.core.errors import ServingError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+from repro.serving.evalcache import (
+    DEFAULT_P_QUANTUM,
+    EvalCache,
+    ecv_fingerprint,
+    env_fingerprint,
+)
+
+
+class CountingInterface(EnergyInterface):
+    """A branching interface that counts how often it actually runs."""
+
+    def __init__(self):
+        super().__init__("counting")
+        self.declare_ecv(BernoulliECV("hit", p=0.5))
+        self.calls = 0
+
+    def E_op(self, size: int) -> Energy:
+        self.calls += 1
+        if self.ecv("hit"):
+            return Energy(0.1 * size)
+        return Energy(1.0 * size)
+
+
+class TestFingerprints:
+    def test_bernoulli_quantised(self):
+        close = (ecv_fingerprint(BernoulliECV("h", p=0.912)),
+                 ecv_fingerprint(BernoulliECV("h", p=0.913)))
+        assert close[0] == close[1]
+        far = ecv_fingerprint(BernoulliECV("h", p=0.5))
+        assert far != close[0]
+
+    def test_kinds_are_distinguished(self):
+        prints = {
+            ecv_fingerprint(BernoulliECV("x", p=0.5)),
+            ecv_fingerprint(FixedECV("x", 0.5)),
+            ecv_fingerprint(CategoricalECV("x", {0.5: 1.0})),
+            ecv_fingerprint(UniformIntECV("x", 0, 1)),
+            ecv_fingerprint(ContinuousECV("x", 0.0, 1.0)),
+        }
+        assert len(prints) == 5
+
+    def test_env_fingerprint_order_independent(self):
+        a = env_fingerprint({"x": 1, "y": BernoulliECV("y", p=0.25)})
+        b = env_fingerprint({"y": BernoulliECV("y", p=0.25), "x": 1})
+        assert a == b
+
+    def test_empty_env(self):
+        assert env_fingerprint(None) == ()
+        assert env_fingerprint({}) == ()
+
+
+class TestEvalCache:
+    def test_hit_returns_same_value_without_reevaluating(self):
+        iface = CountingInterface()
+        cache = EvalCache()
+        first = cache.evaluate(iface, "E_op", (10,), "expected")
+        runs_after_first = iface.calls
+        second = cache.evaluate(iface, "E_op", (10,), "expected")
+        assert second.as_joules == first.as_joules
+        assert iface.calls == runs_after_first
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_mode_is_part_of_the_key(self):
+        iface = CountingInterface()
+        cache = EvalCache()
+        expected = cache.evaluate(iface, "E_op", (10,), "expected")
+        worst = cache.evaluate(iface, "E_op", (10,), "worst")
+        assert worst.as_joules > expected.as_joules
+        assert cache.misses == 2
+
+    def test_env_change_invalidates(self):
+        iface = CountingInterface()
+        cache = EvalCache()
+        low = cache.evaluate(iface, "E_op", (10,), "expected",
+                             env={"hit": BernoulliECV("hit", p=0.0)})
+        high = cache.evaluate(iface, "E_op", (10,), "expected",
+                              env={"hit": BernoulliECV("hit", p=1.0)})
+        assert low.as_joules == pytest.approx(10.0)
+        assert high.as_joules == pytest.approx(1.0)
+        assert cache.misses == 2
+
+    def test_quantised_drift_stays_cached(self):
+        iface = CountingInterface()
+        cache = EvalCache()
+        cache.evaluate(iface, "E_op", (10,), "expected",
+                       env={"hit": BernoulliECV("hit", p=0.9120)})
+        cache.evaluate(iface, "E_op", (10,), "expected",
+                       env={"hit": BernoulliECV("hit", p=0.9121)})
+        assert cache.hits == 1
+
+    def test_precomputed_fingerprint_wins(self):
+        iface = CountingInterface()
+        cache = EvalCache()
+        cache.evaluate(iface, "E_op", (10,), "expected",
+                       env={"hit": BernoulliECV("hit", p=0.2)},
+                       fingerprint=("shared",))
+        # different env, same fingerprint: the caller vouches for equality
+        cache.evaluate(iface, "E_op", (10,), "expected",
+                       env={"hit": BernoulliECV("hit", p=0.21)},
+                       fingerprint=("shared",))
+        assert cache.hits == 1
+
+    def test_lru_eviction(self):
+        iface = CountingInterface()
+        cache = EvalCache(max_entries=2)
+        for size in (1, 2, 3):
+            cache.evaluate(iface, "E_op", (size,), "expected")
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        # size=1 was evicted; re-asking re-evaluates
+        cache.evaluate(iface, "E_op", (1,), "expected")
+        assert cache.misses == 4
+
+    def test_unhashable_args_evaluate_uncached(self):
+        class SumInterface(EnergyInterface):
+            def E_sum(self, values):
+                return Energy(float(sum(values)))
+
+        iface = SumInterface("sums")
+        cache = EvalCache()
+        value = cache.evaluate(iface, "E_sum", ([1, 2, 3],), "expected")
+        again = cache.evaluate(iface, "E_sum", ([1, 2, 3],), "expected")
+        assert value.as_joules == again.as_joules == 6.0
+        assert cache.hits == 0 and cache.misses == 2
+        assert len(cache) == 0
+
+    def test_invalidate_keeps_stats(self):
+        iface = CountingInterface()
+        cache = EvalCache()
+        cache.evaluate(iface, "E_op", (10,), "expected")
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.misses == 1
+        cache.evaluate(iface, "E_op", (10,), "expected")
+        assert cache.misses == 2
+
+    def test_stats_dict(self):
+        stats = EvalCache().stats()
+        assert stats["lookups"] == 0
+        assert stats["hit_rate"] == 0.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ServingError):
+            EvalCache(max_entries=0)
+
+    def test_default_quantum(self):
+        assert EvalCache().p_quantum == DEFAULT_P_QUANTUM

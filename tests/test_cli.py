@@ -51,3 +51,60 @@ class TestCLI:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["warp-drive"])
+
+
+class TestServeCommand:
+    def test_smoke_run_kvstore(self, capsys):
+        assert main(["serve", "--app", "kvstore", "--rate", "50",
+                     "--horizon", "1", "--budget", "0.2J+0.1W"]) == 0
+        out = capsys.readouterr().out
+        assert "serving report" in out
+        assert "offered requests" in out
+        assert "eval-cache hit rate" in out
+
+    def test_attribution_flag(self, capsys):
+        assert main(["serve", "--app", "kvstore", "--rate", "50",
+                     "--horizon", "1", "--attribution"]) == 0
+        out = capsys.readouterr().out
+        assert "Attribution[proportional]" in out
+
+    def test_policy_choices_parse(self, capsys):
+        assert main(["serve", "--app", "kvstore", "--rate", "30",
+                     "--horizon", "1", "--policy", "prob"]) == 0
+        assert main(["serve", "--app", "kvstore", "--rate", "30",
+                     "--horizon", "1", "--policy", "slo",
+                     "--slo", "0.2"]) == 0
+
+    def test_bad_budget_spec_exits_nonzero(self, capsys):
+        assert main(["serve", "--budget", "banana"]) == 2
+        err = capsys.readouterr().err
+        assert "budget spec" in err
+
+    def test_empty_budget_spec_exits_nonzero(self, capsys):
+        assert main(["serve", "--budget", ""]) == 2
+
+    def test_bad_slo_exits_nonzero(self, capsys):
+        assert main(["serve", "--policy", "slo", "--slo", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "--slo" in err
+
+    def test_bad_rate_exits_nonzero(self, capsys):
+        assert main(["serve", "--rate", "0"]) == 2
+        assert "--rate" in capsys.readouterr().err
+
+    def test_bad_horizon_exits_nonzero(self, capsys):
+        assert main(["serve", "--horizon", "-3"]) == 2
+        assert "--horizon" in capsys.readouterr().err
+
+    def test_unknown_app_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--app", "warp-drive"])
+
+    def test_seed_changes_the_workload(self, capsys):
+        assert main(["--seed", "1", "serve", "--app", "kvstore",
+                     "--rate", "50", "--horizon", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--seed", "2", "serve", "--app", "kvstore",
+                     "--rate", "50", "--horizon", "1"]) == 0
+        second = capsys.readouterr().out
+        assert first != second

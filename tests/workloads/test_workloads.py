@@ -13,11 +13,15 @@ from repro.workloads.arrivals import (
     uniform_arrivals,
 )
 from repro.workloads.popularity import UniformPopularity, ZipfPopularity
+from repro.sim.rng import RngFactory
 from repro.workloads.traces import (
     GenerationRequest,
     ImageRequest,
+    KVRequest,
     generation_trace,
     image_request_trace,
+    kv_request_trace,
+    repeated_image_trace,
 )
 
 RNG = np.random.default_rng(5)
@@ -64,6 +68,42 @@ class TestArrivals:
         gaps = list(interarrival_iter(times))
         assert gaps == [1.0, 1.5, 1.5]
         assert list(np.cumsum(gaps)) == pytest.approx(times)
+
+
+class TestSeededArrivals:
+    """Generators accept an int seed or RngFactory via repro.sim.rng."""
+
+    def test_int_seed_reproducible(self):
+        assert poisson_arrivals(50.0, 10.0, 42) == \
+            poisson_arrivals(50.0, 10.0, 42)
+
+    def test_int_seed_matches_factory_stream(self):
+        from_seed = poisson_arrivals(50.0, 10.0, 42)
+        from_factory = poisson_arrivals(50.0, 10.0, RngFactory(42))
+        explicit = poisson_arrivals(50.0, 10.0,
+                                    RngFactory(42).stream("arrivals"))
+        assert from_seed == from_factory == explicit
+
+    def test_different_seeds_differ(self):
+        assert poisson_arrivals(50.0, 10.0, 1) != \
+            poisson_arrivals(50.0, 10.0, 2)
+
+    def test_bursty_accepts_seed(self):
+        first = bursty_arrivals(10.0, 100.0, 0.2, 20.0, 7)
+        second = bursty_arrivals(10.0, 100.0, 0.2, 20.0, 7)
+        assert first == second and len(first) > 0
+
+    def test_factory_streams_are_independent(self):
+        factory = RngFactory(5)
+        times = poisson_arrivals(50.0, 10.0, factory)
+        # a different named stream from the same root is not consumed
+        other = factory.stream("trace")
+        assert poisson_arrivals(50.0, 10.0, RngFactory(5)) == times
+        assert other.random() != times[0]
+
+    def test_rejects_junk_rng(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(50.0, 10.0, "not-an-rng")
 
 
 class TestPopularity:
@@ -135,6 +175,37 @@ class TestTraces:
     def test_generation_request_validation(self):
         with pytest.raises(WorkloadError):
             GenerationRequest(-1, 10)
+
+    def test_repeated_trace_fixes_abstraction_per_object(self):
+        trace = repeated_image_trace(400, np.random.default_rng(0),
+                                     n_objects=50)
+        by_object = {}
+        for request in trace:
+            key = (request.image_pixels, request.zero_pixels)
+            assert by_object.setdefault(request.object_id, key) == key
+
+    def test_repeated_trace_fields_valid(self):
+        for request in repeated_image_trace(100, np.random.default_rng(1)):
+            assert request.image_pixels >= 1024
+            assert 0 <= request.zero_pixels <= request.image_pixels
+
+    def test_kv_trace_mixes_ops(self):
+        trace = kv_request_trace(200, np.random.default_rng(0),
+                                 put_fraction=0.5, n_keys=20)
+        ops = {r.op for r in trace}
+        assert ops == {"put", "get"}
+        assert all(0 <= r.key < 20 for r in trace)
+
+    def test_kv_put_fraction_extremes(self):
+        rng = np.random.default_rng(0)
+        assert all(r.op == "put"
+                   for r in kv_request_trace(50, rng, put_fraction=1.0))
+        assert all(r.op == "get"
+                   for r in kv_request_trace(50, rng, put_fraction=0.0))
+
+    def test_kv_request_validation(self):
+        with pytest.raises(WorkloadError):
+            KVRequest("delete", 1)
 
     @given(st.integers(min_value=0, max_value=50))
     @settings(max_examples=20)
