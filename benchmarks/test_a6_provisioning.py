@@ -25,7 +25,6 @@ from repro.core.power import provision
 from repro.core.report import format_table
 from repro.hardware.gpu import KernelProfile
 from repro.hardware.profiles import SIM4090, build_gpu_workstation
-from repro.measurement.nvml import NVMLSim
 
 from conftest import print_header
 

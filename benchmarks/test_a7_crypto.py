@@ -18,7 +18,6 @@ We verify both halves of that sentence quantitatively:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.apps.crypto import (
     WORK_PER_BYTE,

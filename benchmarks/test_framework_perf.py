@@ -8,13 +8,20 @@ and the GPU simulator.
 
 from __future__ import annotations
 
+import time
+
+import pytest
+
 from repro.core.ecv import BernoulliECV
 from repro.core.interface import EnergyInterface
+from repro.core.session import EvalSession, MemoHook
 from repro.core.units import Energy
 from repro.hardware.gpu import KernelProfile
 from repro.hardware.profiles import SIM4090, build_gpu_workstation
 from repro.llm.config import GPT2_SMALL
 from repro.llm.runtime import GPT2Runtime
+
+pytestmark = pytest.mark.fast
 
 
 class NestedInterface(EnergyInterface):
@@ -67,6 +74,55 @@ def test_perf_gpt2_decode_step(benchmark):
         runtime.decode_token()
 
     benchmark(step)
+
+
+class WideInterface(EnergyInterface):
+    """Six Bernoulli reads: 64 traces per expected-mode evaluation."""
+
+    def __init__(self):
+        super().__init__("wide")
+        for index in range(6):
+            self.declare_ecv(BernoulliECV(f"bit{index}", 0.5))
+
+    def E_op(self, n):
+        total = 0.0
+        for index in range(6):
+            if self.ecv(f"bit{index}"):
+                total += float(n) / (index + 1)
+        return Energy(total + 0.1)
+
+
+def test_perf_session_memoization_speedup(benchmark):
+    """Session-scoped memoization: repeats collapse to cache lookups.
+
+    The same abstract input evaluated through a memoized session must be
+    at least 3x faster than re-enumerating the 64 traces every time —
+    the speedup the serving gateway's hot path relies on.
+    """
+    interface = WideInterface()
+    repeats = 50
+
+    plain = EvalSession()
+    baseline = plain.evaluate(interface, "E_op", 10).as_joules
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        plain.evaluate(interface, "E_op", 10)
+    uncached = time.perf_counter() - t0
+
+    memoized = EvalSession(hooks=[MemoHook()])
+    assert memoized.evaluate(interface, "E_op", 10).as_joules == baseline
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        value = memoized.evaluate(interface, "E_op", 10)
+    cached = time.perf_counter() - t0
+
+    assert value.as_joules == baseline
+    speedup = uncached / cached if cached else float("inf")
+    benchmark.extra_info["memo_speedup"] = round(speedup, 1)
+    benchmark.pedantic(
+        lambda: memoized.evaluate(interface, "E_op", 10),
+        rounds=1, iterations=repeats)
+    assert speedup >= 3.0, f"memoization speedup only {speedup:.1f}x"
 
 
 def test_perf_ledger_window_query(benchmark):

@@ -12,7 +12,7 @@ import argparse
 
 import numpy as np
 
-from repro.core.report import format_comparison, format_table
+from repro.core.report import format_table
 from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
 from repro.llm.config import GPT2_SMALL
 from repro.llm.interface import GPT2EnergyInterface

@@ -10,7 +10,10 @@
 * ``consensus``   — the §1 Ethereum PoW/PoS comparison;
 * ``calibrate``   — show a GPU profile's calibrated hardware interface;
 * ``serve``       — the energy-aware gateway: admission control against
-  an energy budget (``--budget "3J+0.25W"``) on a Poisson stream.
+  an energy budget (``--budget "3J+0.25W"``) on a Poisson stream;
+* ``trace``       — evaluate Fig. 1's service through an
+  :class:`~repro.core.session.EvalSession`, print the cross-layer span
+  tree and write a Chrome-trace JSON (open in ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -248,6 +251,91 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    if args.requests <= 0:
+        print("repro-energy trace: --requests must be positive",
+              file=sys.stderr)
+        return 2
+
+    from repro.apps.mlservice import MLWebService, build_service_machine, \
+        build_service_stack
+    from repro.core.session import MemoHook, SpanRecorder, chrome_trace, \
+        layer_breakdown, render_span_tree
+    from repro.core.units import as_joules
+    from repro.measurement.calibration import calibrate_gpu
+    from repro.measurement.nvml import NVMLSim
+    from repro.workloads.traces import image_request_trace, \
+        repeated_image_trace
+
+    machine = build_service_machine()
+    service = MLWebService(machine)
+    gpu = machine.component("gpu0")
+    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=args.seed))
+    rng = np.random.default_rng(11)
+    for request in image_request_trace(500, rng):
+        service.handle(request)
+
+    stack = build_service_stack(service, model)
+    interface = stack.exported_interface("runtime/ml_webservice")
+    memo = MemoHook()
+    recorder = SpanRecorder()
+    session = stack.session(mode="expected", hooks=[memo, recorder])
+
+    trace = repeated_image_trace(args.requests, rng)
+    t_start = machine.now
+    for request in trace:
+        service.handle(request)
+    t_end = machine.now
+    predicted = sum(
+        as_joules(session.evaluate(interface, "E_handle", r.image_pixels,
+                                   r.zero_pixels)) for r in trace)
+
+    print("one request through the stack "
+          "(service evaluation, layers in brackets):")
+    full = next((root for root in recorder.roots if root.children),
+                recorder.last_root)
+    print(render_span_tree(full))
+    print()
+
+    # Per-layer divergence: map ledger channels onto the stack's layers.
+    ledger = machine.ledger
+    measured_gpu = ledger.energy_between(t_start, t_end, component="gpu0")
+    measured_os = (ledger.energy_between(t_start, t_end, component="dram0")
+                   + ledger.energy_between(t_start, t_end, component="nic0"))
+    measured_total = ledger.energy_between(t_start, t_end)
+    layers = layer_breakdown(recorder.roots)
+    rows = []
+    for layer, measured in (("hardware", measured_gpu),
+                            ("os", measured_os),
+                            ("runtime", measured_total - measured_gpu
+                             - measured_os)):
+        layer_predicted = layers.get(layer, 0.0)
+        error = (abs(layer_predicted - measured) / measured
+                 if measured else 0.0)
+        rows.append([layer, f"{layer_predicted:.2f} J",
+                     f"{measured:.2f} J", f"{100 * error:.1f}%"])
+    print(format_table(
+        ["layer", "predicted", "measured", "error"], rows,
+        title=f"per-layer energy over {args.requests} requests "
+              f"(predicted {predicted:.2f} J, measured "
+              f"{measured_total:.2f} J)"))
+    print("note: the interface charges all static power at the service "
+          "level (runtime row), while the ledger meters static draw on "
+          "each device — per-layer attribution diverges even where the "
+          "totals agree.")
+    print(f"session memo: {memo.hits}/{memo.lookups} hits "
+          f"({memo.hit_rate:.0%})")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(recorder.roots), fh)
+        print(f"chrome trace written to {args.out} "
+              f"(open in chrome://tracing)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-energy`` console script."""
     parser = argparse.ArgumentParser(
@@ -305,6 +393,13 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--attribution", action="store_true",
                        help="also print the per-tag attribution report")
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = commands.add_parser(
+        "trace", help="cross-layer span trace of Fig. 1's service")
+    trace.add_argument("--requests", type=int, default=40)
+    trace.add_argument("--out", default="mlservice_trace.json",
+                       help="Chrome-trace JSON output path ('' to skip)")
+    trace.set_defaults(handler=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -66,10 +66,22 @@ from repro.core.errors import (
 from repro.core.interface import (
     EnergyInterface,
     TraceOutcome,
+    active_session,
     enumerate_traces,
     evaluate,
 )
 from repro.core.power import Power, ProvisioningReport, as_watts, provision
+from repro.core.session import (
+    AccountingHook,
+    EvalHook,
+    EvalSession,
+    EvalSpan,
+    MemoHook,
+    SpanRecorder,
+    chrome_trace,
+    layer_breakdown,
+    render_span_tree,
+)
 from repro.core.report import (
     describe_interface,
     format_comparison,
@@ -90,6 +102,10 @@ __all__ = [
     "ContinuousECV", "ECVEnvironment",
     # interface
     "EnergyInterface", "TraceOutcome", "evaluate", "enumerate_traces",
+    "active_session",
+    # session / spans
+    "EvalSession", "EvalHook", "MemoHook", "SpanRecorder", "AccountingHook",
+    "EvalSpan", "render_span_tree", "chrome_trace", "layer_breakdown",
     # composition / stack
     "BoundInterface", "OverheadInterface", "SequenceInterface",
     "Resource", "ResourceManager", "Layer", "SystemStack",

@@ -26,7 +26,11 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.distributions import EnergyDistribution
 from repro.core.errors import CompositionError
-from repro.core.interface import _ACTIVE_CONTEXT, EnergyInterface
+from repro.core.interface import (
+    _ACTIVE_CONTEXT,
+    EnergyInterface,
+    active_session,
+)
 from repro.core.units import AbstractEnergy, Energy, as_joules
 
 __all__ = ["BoundInterface", "OverheadInterface", "SequenceInterface"]
@@ -72,6 +76,12 @@ class BoundInterface(EnergyInterface):
         """The manager-supplied ECV bindings."""
         return dict(self._bindings)
 
+    @property
+    def span_labels(self) -> tuple[str, str] | None:
+        # A binding overlay is transparent for attribution: spans carry
+        # the wrapped interface's stack position.
+        return self._inner.span_labels
+
     def __getattr__(self, attribute: str) -> Any:
         # Only reached when normal lookup fails, i.e. for inner attributes.
         inner = object.__getattribute__(self, "_inner")
@@ -115,6 +125,10 @@ class OverheadInterface(EnergyInterface):
         """The wrapped interface."""
         return self._inner
 
+    @property
+    def span_labels(self) -> tuple[str, str] | None:
+        return self._inner.span_labels
+
     def _overhead_for(self, method: str, args: tuple, kwargs: dict) -> Any:
         if callable(self._overhead):
             return self._overhead(method, args, kwargs)
@@ -126,9 +140,25 @@ class OverheadInterface(EnergyInterface):
         if callable(value) and attribute.startswith("E_"):
 
             def wrapper(*args: Any, **kwargs: Any) -> Any:
-                base = value(*args, **kwargs)
-                extra = self._overhead_for(attribute, args, kwargs)
-                return _add_outcomes(base, extra)
+                # Unlike a binding overlay, overhead is real energy spent
+                # by this wrapper, so it owns a span: base + overhead at
+                # this node, with the inner call as its child.
+                session = active_session()
+                recorder = session.recorder if session is not None else None
+                pushed = (recorder.push_span(self, attribute, args)
+                          if recorder is not None else False)
+                try:
+                    base = value(*args, **kwargs)
+                    extra = self._overhead_for(attribute, args, kwargs)
+                    outcome = _add_outcomes(base, extra)
+                except BaseException:
+                    if pushed:
+                        recorder.pop_span()
+                    raise
+                if pushed:
+                    recorder.set_outcome(outcome)
+                    recorder.pop_span()
+                return outcome
 
             wrapper.__name__ = attribute
             return wrapper

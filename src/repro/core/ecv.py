@@ -264,6 +264,11 @@ class ECVEnvironment:
     def keys(self) -> Sequence[str]:
         return list(self._bindings)
 
+    @property
+    def bindings(self) -> dict[str, Any]:
+        """A copy of the raw name -> value/ECV mapping."""
+        return dict(self._bindings)
+
     def __contains__(self, key: str) -> bool:
         return key in self._bindings
 

@@ -40,15 +40,16 @@ monotone in the ECV — true of all models in this repository).
 from __future__ import annotations
 
 import contextvars
+import functools
+import inspect
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 import numpy as np
 
 from repro.core.distributions import (
     Discrete,
-    Empirical,
     EnergyDistribution,
     Mixture,
     PointMass,
@@ -57,6 +58,9 @@ from repro.core.distributions import (
 from repro.core.ecv import ECV, ECVEnvironment
 from repro.core.errors import EvaluationError, UnknownECVError
 from repro.core.units import AbstractEnergy, Energy
+
+if TYPE_CHECKING:
+    from repro.core.session import EvalSession
 
 __all__ = [
     "EnergyInterface",
@@ -73,6 +77,18 @@ DEFAULT_MC_SAMPLES = 4000
 
 _ACTIVE_CONTEXT: contextvars.ContextVar["_BaseContext | None"] = (
     contextvars.ContextVar("repro_energy_eval_context", default=None))
+
+#: The session driving the current evaluation, if any.  Set by
+#: :meth:`repro.core.session.EvalSession._run` for the duration of an
+#: evaluation so nested interface calls join the same pipeline
+#: (memoization, span recording, the session's RNG).
+_ACTIVE_SESSION: contextvars.ContextVar["EvalSession | None"] = (
+    contextvars.ContextVar("repro_energy_eval_session", default=None))
+
+
+def active_session() -> "EvalSession | None":
+    """The :class:`~repro.core.session.EvalSession` currently evaluating."""
+    return _ACTIVE_SESSION.get()
 
 
 @dataclass(frozen=True)
@@ -95,9 +111,16 @@ class _NotEnumerable(Exception):
 class _BaseContext:
     """Shared resolution logic for all evaluation contexts."""
 
-    def __init__(self, env: ECVEnvironment) -> None:
+    def __init__(self, env: ECVEnvironment,
+                 session: "EvalSession | None" = None) -> None:
         self.env = env
+        self.session = session
         self.assignments: dict[str, Any] = {}
+
+    def _record(self, qualified: str, value: Any) -> None:
+        self.assignments[qualified] = value
+        if self.session is not None:
+            self.session._on_ecv_read(qualified, value)
 
     def _resolve(self, owner: "EnergyInterface", name: str) -> ECV:
         qualified = f"{owner.name}.{name}"
@@ -120,8 +143,9 @@ class _TraceContext(_BaseContext):
 
     def __init__(self, env: ECVEnvironment,
                  forced: list[tuple[str, int]],
-                 worst_case: bool) -> None:
-        super().__init__(env)
+                 worst_case: bool,
+                 session: "EvalSession | None" = None) -> None:
+        super().__init__(env, session)
         self._forced = forced
         self._worst_case = worst_case
         self._choices: list[tuple[str, int]] = []
@@ -155,21 +179,22 @@ class _TraceContext(_BaseContext):
         value, probability = support[index]
         self._choices.append((f"{owner.name}.{name}", index))
         self.probability *= probability
-        self.assignments[f"{owner.name}.{name}"] = value
+        self._record(f"{owner.name}.{name}", value)
         return value
 
 
 class _SamplingContext(_BaseContext):
     """Monte-Carlo context: each ECV read draws from its distribution."""
 
-    def __init__(self, env: ECVEnvironment, rng: np.random.Generator) -> None:
-        super().__init__(env)
+    def __init__(self, env: ECVEnvironment, rng: np.random.Generator,
+                 session: "EvalSession | None" = None) -> None:
+        super().__init__(env, session)
         self._rng = rng
 
     def read(self, owner: "EnergyInterface", name: str) -> Any:
         ecv = self._resolve(owner, name)
         value = ecv.sample(self._rng)
-        self.assignments[f"{owner.name}.{name}"] = value
+        self._record(f"{owner.name}.{name}", value)
         return value
 
 
@@ -184,8 +209,35 @@ class _FixedContext(_BaseContext):
                 f"deterministic evaluation requires ECV {name!r} of interface "
                 f"{owner.name!r} to be bound to a single value")
         value = support[0][0]
-        self.assignments[f"{owner.name}.{name}"] = value
+        self._record(f"{owner.name}.{name}", value)
         return value
+
+
+def _instrument_energy_method(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap an ``E_*`` method so nested calls emit spans.
+
+    The wrapper is a no-op unless the active evaluation runs under a
+    session with a :class:`~repro.core.session.SpanRecorder` hook —
+    ordinary evaluations pay one contextvar read.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self: "EnergyInterface", *args: Any, **kwargs: Any) -> Any:
+        session = _ACTIVE_SESSION.get()
+        recorder = session.recorder if session is not None else None
+        if recorder is None or not recorder.push_span(self, fn.__name__, args):
+            return fn(self, *args, **kwargs)
+        try:
+            value = fn(self, *args, **kwargs)
+        except BaseException:
+            recorder.pop_span()
+            raise
+        recorder.set_outcome(value)
+        recorder.pop_span()
+        return value
+
+    wrapper._energy_span_wrapped = True
+    return wrapper
 
 
 class EnergyInterface:
@@ -211,6 +263,21 @@ class EnergyInterface:
                 per_byte = 5 if hit else 100
                 return Energy.millijoules(per_byte * response_len)
     """
+
+    #: ``(layer, resource)`` position in a system stack; set by
+    #: :meth:`repro.core.stack.SystemStack.add_layer` so spans can be
+    #: attributed to layers.  ``None`` for free-standing interfaces.
+    span_labels: tuple[str, str] | None = None
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        # Instrument every energy method defined by the subclass so that
+        # nested interface calls show up as spans when a recording session
+        # is active.  Idempotent via the _energy_span_wrapped marker.
+        super().__init_subclass__(**kwargs)
+        for attr_name, attr in list(cls.__dict__.items()):
+            if (attr_name.startswith("E_") and inspect.isfunction(attr)
+                    and not getattr(attr, "_energy_span_wrapped", False)):
+                setattr(cls, attr_name, _instrument_energy_method(attr))
 
     def __init__(self, name: str | None = None) -> None:
         self.name = name if name is not None else type(self).__name__
@@ -245,11 +312,13 @@ class EnergyInterface:
 
     # -- evaluation ----------------------------------------------------------
     def evaluate(self, method: str | Callable[..., Any], *args: Any,
-                 mode: str = "expected",
+                 mode: str | None = None,
                  env: ECVEnvironment | Mapping[str, Any] | None = None,
                  rng: np.random.Generator | None = None,
-                 n_samples: int = DEFAULT_MC_SAMPLES,
-                 max_traces: int = DEFAULT_MAX_TRACES,
+                 n_samples: int | None = None,
+                 max_traces: int | None = None,
+                 session: "EvalSession | None" = None,
+                 fingerprint: Any = None,
                  **kwargs: Any) -> Any:
         """Evaluate an interface method under ECV randomness.
 
@@ -261,10 +330,24 @@ class EnergyInterface:
         abstract units), and an
         :class:`~repro.core.distributions.EnergyDistribution` for
         ``distribution`` mode.
+
+        The evaluation runs through an
+        :class:`~repro.core.session.EvalSession`: the one passed as
+        ``session=``, else the session already driving an enclosing
+        evaluation, else a transparent default.  Unset parameters
+        (``mode``, ``env``, budgets, RNG) resolve to the session's;
+        explicit arguments always win, so pre-session call sites behave
+        exactly as before.
         """
-        fn = getattr(self, method) if isinstance(method, str) else method
-        return evaluate(lambda: fn(*args, **kwargs), mode=mode, env=env,
-                        rng=rng, n_samples=n_samples, max_traces=max_traces)
+        if session is None:
+            session = _ACTIVE_SESSION.get()
+        if session is None:
+            from repro.core.session import EvalSession
+            session = EvalSession()
+        return session.evaluate(self, method, *args, mode=mode, env=env,
+                                fingerprint=fingerprint, rng=rng,
+                                n_samples=n_samples, max_traces=max_traces,
+                                **kwargs)
 
     def distribution(self, method: str, *args: Any,
                      env: ECVEnvironment | Mapping[str, Any] | None = None,
@@ -308,12 +391,17 @@ def _run_in_context(fn: Callable[[], Any], context: _BaseContext) -> Any:
 def enumerate_traces(fn: Callable[[], Any],
                      env: ECVEnvironment | Mapping[str, Any] | None = None,
                      max_traces: int = DEFAULT_MAX_TRACES,
-                     worst_case: bool = False) -> list[TraceOutcome]:
+                     worst_case: bool = False,
+                     session: "EvalSession | None" = None
+                     ) -> list[TraceOutcome]:
     """Enumerate all ECV-read traces of ``fn`` exactly.
 
     Each enumerated trace yields a :class:`TraceOutcome` with its joint
     probability (probabilities are meaningless in ``worst_case`` mode,
     where extreme values are enumerated instead of the support).
+
+    When a ``session`` is given its hooks observe every trace (span
+    recording, accounting) and ECV reads are reported to it.
 
     Raises :class:`~repro.core.errors.EvaluationError` when the trace tree
     exceeds ``max_traces`` and propagates an internal signal (handled by
@@ -324,8 +412,13 @@ def enumerate_traces(fn: Callable[[], Any],
     outcomes: list[TraceOutcome] = []
     while pending:
         forced = pending.pop()
-        context = _TraceContext(environment, forced, worst_case)
+        context = _TraceContext(environment, forced, worst_case,
+                                session=session)
+        if session is not None:
+            session._on_trace_begin()
         value = _run_in_context(fn, context)
+        if session is not None:
+            session._on_trace_end(context.probability, value)
         outcomes.append(TraceOutcome(context.probability, value,
                                      dict(context.assignments)))
         pending.extend(context.unexplored)
@@ -373,67 +466,26 @@ def _combine_distribution(outcomes: list[TraceOutcome]) -> EnergyDistribution:
     return Mixture.collapse(components, weights)
 
 
-def evaluate(fn: Callable[[], Any], *, mode: str = "expected",
+def evaluate(fn: Callable[[], Any], *, mode: str | None = None,
              env: ECVEnvironment | Mapping[str, Any] | None = None,
              rng: np.random.Generator | None = None,
-             n_samples: int = DEFAULT_MC_SAMPLES,
-             max_traces: int = DEFAULT_MAX_TRACES) -> Any:
+             n_samples: int | None = None,
+             max_traces: int | None = None,
+             session: "EvalSession | None" = None) -> Any:
     """Evaluate a zero-argument callable that reads ECVs.
 
     This is the free-function form of :meth:`EnergyInterface.evaluate`; it
     is what resource managers and tools use to evaluate compositions that
-    span several interfaces.
+    span several interfaces.  Runs through the given ``session`` (else the
+    enclosing evaluation's session, else a transparent default); see
+    :class:`~repro.core.session.EvalSession`.
     """
-    environment = _coerce_env(env)
-    if mode == "fixed":
-        return _run_in_context(fn, _FixedContext(environment))
-    if mode == "sample":
-        generator = rng if rng is not None else np.random.default_rng()
-        value = _run_in_context(fn, _SamplingContext(environment, generator))
-        if isinstance(value, (AbstractEnergy, Energy)):
-            return value
-        if isinstance(value, EnergyDistribution):
-            return Energy(float(value.sample(generator, 1)[0]))
-        return Energy(float(value))
-    if mode in ("worst", "best"):
-        outcomes = enumerate_traces(fn, environment, max_traces, worst_case=True)
-        bounds = []
-        for outcome in outcomes:
-            if isinstance(outcome.value, AbstractEnergy):
-                raise EvaluationError(
-                    "worst/best-case mode needs concrete energies; ground "
-                    "abstract units first")
-            dist = as_distribution(outcome.value)
-            bounds.append(dist.upper_bound() if mode == "worst"
-                          else dist.lower_bound())
-        return Energy(max(bounds) if mode == "worst" else min(bounds))
-    if mode not in ("expected", "distribution"):
-        raise EvaluationError(
-            f"unknown evaluation mode {mode!r}; expected one of "
-            f"expected/distribution/worst/best/sample/fixed")
-    try:
-        outcomes = enumerate_traces(fn, environment, max_traces)
-    except _NotEnumerable:
-        return _monte_carlo(fn, environment, mode, rng, n_samples)
-    if mode == "expected":
-        return _combine_expected(outcomes)
-    return _combine_distribution(outcomes)
-
-
-def _monte_carlo(fn: Callable[[], Any], env: ECVEnvironment, mode: str,
-                 rng: np.random.Generator | None, n_samples: int) -> Any:
-    """Fallback evaluation by sampling when a continuous ECV is present."""
-    generator = rng if rng is not None else np.random.default_rng(0xEC5)
-    draws = np.empty(n_samples)
-    for index in range(n_samples):
-        value = _run_in_context(fn, _SamplingContext(env, generator))
-        if isinstance(value, AbstractEnergy):
-            raise EvaluationError(
-                "Monte-Carlo evaluation needs concrete energies; ground "
-                "abstract units first")
-        dist = as_distribution(value)
-        draws[index] = (dist.mean() if isinstance(dist, PointMass)
-                        else float(dist.sample(generator, 1)[0]))
-    if mode == "expected":
-        return Energy(float(np.mean(draws)))
-    return Empirical(draws)
+    if session is None:
+        session = _ACTIVE_SESSION.get()
+    if session is None:
+        from repro.core.session import EvalSession
+        session = EvalSession()
+        if mode is None:
+            mode = "expected"
+    return session.evaluate_fn(fn, mode=mode, env=env, rng=rng,
+                               n_samples=n_samples, max_traces=max_traces)

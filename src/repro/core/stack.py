@@ -22,13 +22,32 @@ layered view:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.core.composition import BoundInterface
+from repro.core.ecv import ECVEnvironment
 from repro.core.errors import CompositionError
 from repro.core.interface import EnergyInterface
 
+if TYPE_CHECKING:
+    from repro.core.session import EvalSession
+
 __all__ = ["Resource", "ResourceManager", "Layer", "SystemStack"]
+
+
+def _set_span_labels(interface: EnergyInterface,
+                     labels: tuple[str, str]) -> None:
+    """Stamp an interface (unwrapping combinators) with its stack position."""
+    target: Any = interface
+    while target is not None:
+        try:
+            target.span_labels = labels
+            return
+        except AttributeError:
+            # Combinator wrappers expose span_labels as a read-only
+            # forwarding property; label the wrapped interface instead.
+            inner = getattr(target, "inner", None)
+            target = inner if inner is not target else None
 
 
 @dataclass
@@ -113,6 +132,30 @@ class ResourceManager:
         """Exported interfaces for every managed resource."""
         return {name: self.export_interface(name) for name in self._resources}
 
+    def make_session(self, **kwargs: Any) -> "EvalSession":
+        """An :class:`~repro.core.session.EvalSession` seeded with this
+        manager's known bindings (explicit ``env=`` entries win)."""
+        from repro.core.session import EvalSession
+        merged = dict(self.known_bindings())
+        extra = kwargs.pop("env", None)
+        if isinstance(extra, ECVEnvironment):
+            merged.update(extra.bindings)
+        elif extra:
+            merged.update(extra)
+        return EvalSession(env=merged, **kwargs)
+
+    def evaluate(self, resource_name: str, method: str, *args: Any,
+                 session: "EvalSession | None" = None,
+                 **kwargs: Any) -> Any:
+        """Evaluate a managed resource's exported interface.
+
+        Threads ``session`` through so memoization/span hooks observe the
+        manager's predictions; without one the usual transparent default
+        applies.
+        """
+        return self.export_interface(resource_name).evaluate(
+            method, *args, session=session, **kwargs)
+
     def __repr__(self) -> str:
         return (f"{type(self).__name__}(name={self.name!r}, "
                 f"resources={sorted(self._resources)})")
@@ -173,7 +216,14 @@ class SystemStack:
         if any(existing.name == layer.name for existing in self._layers):
             raise CompositionError(f"stack already has a layer named {layer.name!r}")
         self._layers.append(layer)
+        self._label_layer(layer)
         return layer
+
+    @staticmethod
+    def _label_layer(layer: Layer) -> None:
+        for resource in layer.resources():
+            _set_span_labels(resource.energy_interface,
+                             (layer.name, resource.name))
 
     @property
     def layers(self) -> list[Layer]:
@@ -198,6 +248,7 @@ class SystemStack:
         for index, layer in enumerate(self._layers):
             if layer.name == name:
                 self._layers[index] = replacement
+                self._label_layer(replacement)
                 return
         raise CompositionError(f"stack has no layer named {name!r} to replace")
 
@@ -240,6 +291,23 @@ class SystemStack:
             for manager in layer.managers:
                 merged.update(manager.known_bindings())
         return merged
+
+    def session(self, **kwargs: Any) -> "EvalSession":
+        """An :class:`~repro.core.session.EvalSession` for this stack.
+
+        The session's environment overlay starts from
+        :meth:`stack_bindings` (explicit ``env=`` entries win), so
+        evaluations through it see the same manager knowledge as the
+        exported interfaces.
+        """
+        from repro.core.session import EvalSession
+        merged = self.stack_bindings()
+        extra = kwargs.pop("env", None)
+        if isinstance(extra, ECVEnvironment):
+            merged.update(extra.bindings)
+        elif extra:
+            merged.update(extra)
+        return EvalSession(env=merged, **kwargs)
 
     def __repr__(self) -> str:
         names = " -> ".join(layer.name for layer in self._layers)

@@ -58,6 +58,32 @@ class GPT2EnergyInterface(EnergyInterface):
             kernel.vram_sectors / rates.vram_rate,
         ) + rates.kernel_launch_latency
 
+    def _accumulate(self, totals: dict[str, float],
+                    kernel: KernelProfile) -> None:
+        totals["instructions"] += kernel.instructions
+        totals["l1_wavefronts"] += kernel.l1_wavefronts
+        totals["l2_sectors"] += kernel.l2_sectors
+        totals["vram_sectors"] += kernel.vram_sectors
+        totals["kernel_launches"] += 1.0
+        totals["busy_seconds"] += self._kernel_duration(kernel)
+
+    def _counters_prefill(self, prompt_len: int) -> dict[str, float]:
+        """Counter footprint of ingesting a prompt."""
+        totals = {metric: 0.0 for metric in METRICS}
+        for kernel in prefill_kernels(self.config, prompt_len):
+            self._accumulate(totals, kernel)
+        return totals
+
+    def _counters_decode(self, prompt_len: int, n_tokens: int,
+                         kv_start: int = 0) -> dict[str, float]:
+        """Counter footprint of the decode phase (KV grows per step)."""
+        totals = {metric: 0.0 for metric in METRICS}
+        kv_len = kv_start + prompt_len
+        for step in range(n_tokens):
+            for kernel in decode_step_kernels(self.config, kv_len + step):
+                self._accumulate(totals, kernel)
+        return totals
+
     def predicted_counters(self, prompt_len: int, n_tokens: int,
                            kv_start: int = 0) -> dict[str, float]:
         """The profiler-counter footprint of one generation, predicted.
@@ -66,45 +92,40 @@ class GPT2EnergyInterface(EnergyInterface):
         matrix streams once and the KV cache (which grows by one token per
         step) streams once.
         """
-        totals = {metric: 0.0 for metric in METRICS}
-
-        def accumulate(kernel: KernelProfile) -> None:
-            totals["instructions"] += kernel.instructions
-            totals["l1_wavefronts"] += kernel.l1_wavefronts
-            totals["l2_sectors"] += kernel.l2_sectors
-            totals["vram_sectors"] += kernel.vram_sectors
-            totals["kernel_launches"] += 1.0
-            totals["busy_seconds"] += self._kernel_duration(kernel)
-
-        for kernel in prefill_kernels(self.config, prompt_len):
-            accumulate(kernel)
-        kv_len = kv_start + prompt_len
-        for step in range(n_tokens):
-            for kernel in decode_step_kernels(self.config, kv_len + step):
-                accumulate(kernel)
+        totals = self._counters_prefill(prompt_len)
+        decode = self._counters_decode(prompt_len, n_tokens, kv_start)
+        for metric in METRICS:
+            totals[metric] += decode[metric]
         return totals
 
     # -- the energy interface proper --------------------------------------
     def E_generate(self, prompt_len: int, n_tokens: int) -> Energy:
-        """Energy to prefill ``prompt_len`` tokens and generate ``n_tokens``."""
-        counters = self.predicted_counters(prompt_len, n_tokens)
+        """Energy to prefill ``prompt_len`` tokens and generate ``n_tokens``.
+
+        Composed from the phase interfaces, so a span trace shows the
+        prefill/decode split; the sum is exact because the calibrated
+        model is linear in the counters (no intercept).
+        """
+        return self.E_prefill(prompt_len) \
+            + self.E_decode(prompt_len, n_tokens)
+
+    def E_decode(self, prompt_len: int, n_tokens: int,
+                 kv_start: int = 0) -> Energy:
+        """Energy of the decode phase alone (``n_tokens`` steps)."""
+        counters = self._counters_decode(prompt_len, n_tokens, kv_start)
         return Energy(self.calibrated.predict_joules(counters))
 
     def E_decode_token(self, kv_len: int) -> Energy:
         """Energy to generate one token with ``kv_len`` tokens of context."""
         counters = {metric: 0.0 for metric in METRICS}
         for kernel in decode_step_kernels(self.config, kv_len):
-            counters["instructions"] += kernel.instructions
-            counters["l1_wavefronts"] += kernel.l1_wavefronts
-            counters["l2_sectors"] += kernel.l2_sectors
-            counters["vram_sectors"] += kernel.vram_sectors
-            counters["kernel_launches"] += 1.0
-            counters["busy_seconds"] += self._kernel_duration(kernel)
+            self._accumulate(counters, kernel)
         return Energy(self.calibrated.predict_joules(counters))
 
     def E_prefill(self, prompt_len: int) -> Energy:
         """Energy to ingest a prompt."""
-        return self.E_generate(prompt_len, 0)
+        counters = self._counters_prefill(prompt_len)
+        return Energy(self.calibrated.predict_joules(counters))
 
     def E_idle(self, seconds: float) -> Energy:
         """§3's special idle-state input: energy of doing nothing.

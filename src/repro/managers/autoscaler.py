@@ -18,12 +18,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import SchedulerError
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy, as_joules
+
+if TYPE_CHECKING:
+    from repro.core.session import EvalSession
 
 __all__ = ["ReplicaSpec", "ScalingResult", "Autoscaler",
-           "ReactiveAutoscaler", "InterfaceAutoscaler", "AutoscaleSim",
+           "ReactiveAutoscaler", "InterfaceAutoscaler",
+           "ReplicaConfigInterface", "AutoscaleSim",
            "diurnal_profile"]
 
 
@@ -112,6 +118,39 @@ class ReactiveAutoscaler(Autoscaler):
         return max(self.min_replicas, min(wanted, self.max_replicas))
 
 
+class ReplicaConfigInterface(EnergyInterface):
+    """The energy interface of a replica *configuration* (§1's fix).
+
+    Input is the candidate configuration — replica count, predicted
+    arrival rate, current count — and the return value is the interval's
+    predicted cost in Joules (idle + dynamic + startup amortisation +
+    drop penalty priced as energy).  Making this a first-class interface
+    lets autoscaling predictions flow through an
+    :class:`~repro.core.session.EvalSession` like every other layer:
+    memoized across the periodic diurnal profile, visible in span traces.
+    """
+
+    def __init__(self, spec: ReplicaSpec, interval_seconds: float,
+                 drop_penalty_j: float) -> None:
+        super().__init__("replica_config")
+        self.spec = spec
+        self.interval_seconds = interval_seconds
+        self.drop_penalty_j = drop_penalty_j
+
+    def E_interval(self, replicas: int, rps: float,
+                   current_replicas: int) -> Energy:
+        """Predicted Joules of one interval under this configuration."""
+        spec = self.spec
+        capacity = replicas * spec.capacity_rps
+        served = min(rps, capacity) * self.interval_seconds
+        dropped = max(rps - capacity, 0.0) * self.interval_seconds
+        idle = replicas * spec.power_idle_w * self.interval_seconds
+        startups = max(replicas - current_replicas, 0)
+        return Energy(idle + served * spec.joules_per_request
+                      + startups * spec.startup_energy_j
+                      + dropped * self.drop_penalty_j)
+
+
 class InterfaceAutoscaler(Autoscaler):
     """Interface-driven: size for the *predicted* load, by energy.
 
@@ -129,7 +168,8 @@ class InterfaceAutoscaler(Autoscaler):
                  interval_seconds: float,
                  drop_penalty_j: float = 50.0,
                  headroom: float = 1.1,
-                 min_replicas: int = 1, max_replicas: int = 64) -> None:
+                 min_replicas: int = 1, max_replicas: int = 64,
+                 session: "EvalSession | None" = None) -> None:
         if headroom < 1.0:
             raise SchedulerError("headroom must be >= 1")
         self.spec = spec
@@ -139,19 +179,24 @@ class InterfaceAutoscaler(Autoscaler):
         self.headroom = headroom
         self.min_replicas = min_replicas
         self.max_replicas = max_replicas
+        self.session = session
+        self.interface = ReplicaConfigInterface(spec, interval_seconds,
+                                                drop_penalty_j)
 
     def predicted_cost(self, replicas: int, rps: float,
                        current_replicas: int) -> float:
-        """The energy interface of the *configuration*, in Joules."""
-        spec = self.spec
-        capacity = replicas * spec.capacity_rps
-        served = min(rps, capacity) * self.interval_seconds
-        dropped = max(rps - capacity, 0.0) * self.interval_seconds
-        idle = replicas * spec.power_idle_w * self.interval_seconds
-        startups = max(replicas - current_replicas, 0)
-        return (idle + served * spec.joules_per_request
-                + startups * spec.startup_energy_j
-                + dropped * self.drop_penalty_j)
+        """The energy interface of the *configuration*, in Joules.
+
+        With a session attached, the evaluation runs through its hooks —
+        on a periodic forecast the candidate sweep repeats exactly, so a
+        memo hook turns the daily scan into lookups.
+        """
+        if self.session is not None:
+            return as_joules(self.session.evaluate(
+                self.interface, "E_interval", replicas, rps,
+                current_replicas))
+        return self.interface.E_interval(replicas, rps,
+                                         current_replicas).as_joules
 
     def decide(self, interval_index: int, observed_rps: float,
                current_replicas: int) -> int:

@@ -19,12 +19,15 @@ differences are attributable to prediction quality alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.errors import SchedulerError
 from repro.hardware.cpu import Core
 from repro.hardware.dvfs import Governor, SchedutilGovernor
 from repro.hardware.machine import Machine
+
+if TYPE_CHECKING:
+    from repro.core.session import EvalSession
 
 __all__ = ["Task", "Placement", "Scheduler", "SchedulerResult",
            "SchedulerSim"]
@@ -66,6 +69,18 @@ class Scheduler:
 
     name = "scheduler"
 
+    #: Optional :class:`~repro.core.session.EvalSession` whose hooks
+    #: observe this scheduler's prediction work.  With a
+    #: :class:`~repro.core.session.MemoHook` installed, per-core energy
+    #: rates are memoized across quanta (placement repeatedly prices the
+    #: same (core, load) points); ``None`` keeps the raw path.
+    session: "EvalSession | None" = None
+
+    def use_session(self, session: "EvalSession") -> "Scheduler":
+        """Attach an evaluation session; returns ``self`` for chaining."""
+        self.session = session
+        return self
+
     def predict(self, task: Task, quantum_index: int) -> float:
         """Predicted utilisation of ``task`` for the coming quantum."""
         raise NotImplementedError
@@ -101,7 +116,18 @@ class Scheduler:
         return placements
 
     def _core_energy_rate(self, core: Core, utilization: float) -> float:
-        """Predicted Watts for a core at the given load (EAS energy model)."""
+        """Predicted Watts for a core at the given load (EAS energy model).
+
+        Routed through the attached session's memoization when one is set
+        (the key is exact, so results are identical either way).
+        """
+        if self.session is not None:
+            return self.session.memoized(
+                ("core-rate", core.name, utilization),
+                lambda: self._core_energy_rate_raw(core, utilization))
+        return self._core_energy_rate_raw(core, utilization)
+
+    def _core_energy_rate_raw(self, core: Core, utilization: float) -> float:
         if utilization <= 0:
             return core.spec.opp_table.min_opp.power_idle_w
         opp = core.spec.opp_table.lowest_fitting(

@@ -32,14 +32,19 @@ class LRUCacheManager(ResourceManager):
 
     def __init__(self, name: str, capacity: int,
                  ecv_name: str = "local_cache_hit",
-                 min_observations: int = 30) -> None:
+                 min_observations: int = 30,
+                 p_quantum: float | None = None) -> None:
         super().__init__(name)
         if capacity <= 0:
             raise SchedulerError(f"cache capacity must be positive, got "
                                  f"{capacity}")
+        if p_quantum is not None and not 0.0 < p_quantum <= 1.0:
+            raise SchedulerError(f"p_quantum must be in (0, 1], got "
+                                 f"{p_quantum}")
         self.capacity = capacity
         self.ecv_name = ecv_name
         self.min_observations = min_observations
+        self.p_quantum = p_quantum
         self._entries: OrderedDict[Hashable, None] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -77,11 +82,21 @@ class LRUCacheManager(ResourceManager):
         return self.hits / self.observations
 
     def known_bindings(self) -> Mapping[str, Any]:
-        """Bind the hit-rate ECV once the estimate is trustworthy."""
+        """Bind the hit-rate ECV once the estimate is trustworthy.
+
+        With ``p_quantum`` set, the exported probability is rounded to
+        that grid, so environment fingerprints (and therefore
+        session-level memoization) stay stable while the observed rate
+        drifts within one quantum.
+        """
         if self.observations < self.min_observations:
             return {}
+        p = self.hit_rate
+        if self.p_quantum is not None:
+            p = min(1.0, max(0.0, round(
+                round(p / self.p_quantum) * self.p_quantum, 12)))
         return {self.ecv_name: BernoulliECV(
-            self.ecv_name, p=self.hit_rate,
+            self.ecv_name, p=p,
             description=f"observed over {self.observations} lookups by "
                         f"{self.name}")}
 

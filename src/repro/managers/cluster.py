@@ -20,10 +20,14 @@ with pods on a node running concurrently up to the node's core count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.errors import SchedulerError
 from repro.core.interface import EnergyInterface
-from repro.core.units import Energy
+from repro.core.units import Energy, as_joules
+
+if TYPE_CHECKING:
+    from repro.core.session import EvalSession
 
 __all__ = ["NodeType", "Node", "PodSpec", "PodEnergyInterface",
            "ClusterScheduler", "RequestScheduler", "InterfacePackingScheduler",
@@ -148,9 +152,25 @@ class RequestScheduler(ClusterScheduler):
 
 
 class InterfacePackingScheduler(ClusterScheduler):
-    """Energy-interface-driven placement: minimise predicted Joules."""
+    """Energy-interface-driven placement: minimise predicted Joules.
+
+    With a ``session``, every candidate evaluation flows through its
+    hook chain — placement decisions get memoized per
+    ``(pod, node type, residency)`` and show up in span traces.
+    ``NodeType`` is a frozen dataclass, so it is a sound memo key.
+    """
 
     name = "interface-based"
+
+    def __init__(self, session: "EvalSession | None" = None) -> None:
+        self.session = session
+
+    def _predict(self, interface: PodEnergyInterface, node: Node) -> float:
+        resident = node.memory_used()
+        if self.session is not None:
+            return as_joules(self.session.evaluate(
+                interface, "E_run", node.node_type, resident))
+        return interface.E_run(node.node_type, resident).as_joules
 
     def place(self, pods: list[PodSpec], nodes: list[Node]) -> None:
         for pod in sorted(pods, key=lambda p: -p.cpu_work):
@@ -160,9 +180,7 @@ class InterfacePackingScheduler(ClusterScheduler):
                 cpu_used = sum(p.cpu_request for p in node.pods)
                 if cpu_used + pod.cpu_request > node.node_type.cores:
                     continue
-                resident = node.memory_used()
-                predicted = interface.E_run(node.node_type,
-                                            resident).as_joules
+                predicted = self._predict(interface, node)
                 if best is None or predicted < best[0]:
                     best = (predicted, node)
             if best is None:
@@ -185,12 +203,15 @@ class ClusterOutcome:
 
 
 def run_cluster(scheduler: ClusterScheduler, pods: list[PodSpec],
-                nodes: list[Node]) -> ClusterOutcome:
+                nodes: list[Node],
+                session: "EvalSession | None" = None) -> ClusterOutcome:
     """Place pods, simulate execution, return ground-truth energy.
 
     Pods on a node run on its cores (list-scheduled, longest first);
     the node draws idle power for the whole makespan plus per-core active
-    power while pods run.
+    power while pods run.  A ``session`` threads the ground-truth
+    evaluations through its hooks (sharing the placement memo, since
+    interfaces are keyed by pod name and the inputs repeat).
     """
     for node in nodes:
         node.pods.clear()
@@ -205,7 +226,12 @@ def run_cluster(scheduler: ClusterScheduler, pods: list[PodSpec],
         for pod in sorted(node.pods, key=lambda p: -p.cpu_work):
             interface = PodEnergyInterface(pod)
             durations.append(interface.E_duration(node_type, resident))
-            dynamic_energy += interface.E_run(node_type, resident).as_joules
+            if session is not None:
+                dynamic_energy += as_joules(session.evaluate(
+                    interface, "E_run", node_type, resident))
+            else:
+                dynamic_energy += interface.E_run(node_type,
+                                                  resident).as_joules
             resident += pod.working_set_gb
         # List-schedule durations onto the node's cores.
         core_finish = [0.0] * node_type.cores

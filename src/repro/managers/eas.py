@@ -17,8 +17,13 @@ for it on both sides.  Benchmark M1 measures the cost.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.errors import SchedulerError
 from repro.managers.base import Scheduler, Task
+
+if TYPE_CHECKING:
+    from repro.core.session import EvalSession
 
 __all__ = ["EASScheduler"]
 
@@ -33,11 +38,13 @@ class EASScheduler(Scheduler):
     name = "eas"
 
     def __init__(self, decay: float = DEFAULT_DECAY,
-                 initial_utilization: float = 100.0) -> None:
+                 initial_utilization: float = 100.0,
+                 session: "EvalSession | None" = None) -> None:
         if not 0.0 < decay <= 1.0:
             raise SchedulerError(f"decay must be in (0, 1], got {decay}")
         self.decay = decay
         self.initial_utilization = initial_utilization
+        self.session = session
         self._ewma: dict[str, float] = {}
 
     def predict(self, task: Task, quantum_index: int) -> float:
@@ -68,8 +75,9 @@ class PeakEASScheduler(EASScheduler):
 
     def __init__(self, decay: float = DEFAULT_DECAY,
                  peak_decay: float = 0.02,
-                 initial_utilization: float = 100.0) -> None:
-        super().__init__(decay, initial_utilization)
+                 initial_utilization: float = 100.0,
+                 session: "EvalSession | None" = None) -> None:
+        super().__init__(decay, initial_utilization, session)
         if not 0.0 <= peak_decay < 1.0:
             raise SchedulerError(f"peak_decay must be in [0, 1), got "
                                  f"{peak_decay}")

@@ -16,8 +16,13 @@ the interface.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.errors import SchedulerError
 from repro.managers.base import Scheduler, Task
+
+if TYPE_CHECKING:
+    from repro.core.session import EvalSession
 
 __all__ = ["InterfaceScheduler", "UtilizationInterface"]
 
@@ -55,9 +60,11 @@ class InterfaceScheduler(Scheduler):
     name = "interface"
 
     def __init__(self, fallback_decay: float = 0.66,
-                 initial_utilization: float = 100.0) -> None:
+                 initial_utilization: float = 100.0,
+                 session: "EvalSession | None" = None) -> None:
         self.fallback_decay = fallback_decay
         self.initial_utilization = initial_utilization
+        self.session = session
         self._ewma: dict[str, float] = {}
 
     def predict(self, task: Task, quantum_index: int) -> float:

@@ -11,6 +11,8 @@ from repro.measurement.calibration import (
 from repro.measurement.meter import (
     EnergyMeter,
     Measurement,
+    attach_measurement,
+    divergence_by_layer,
     ledger_meter,
     nvml_meter,
     rapl_meter,
@@ -31,6 +33,7 @@ __all__ = [
     "NVMLSim", "NVMLSensorProfile", "SENSOR_PROFILES",
     "RAPLSim", "RAPLEnergyCounter", "RAPL_DOMAINS",
     "EnergyMeter", "Measurement", "ledger_meter", "nvml_meter", "rapl_meter",
+    "attach_measurement", "divergence_by_layer",
     "MicrobenchSample", "pointer_chase", "stream", "compute", "scatter",
     "default_suite", "run_suite",
     "CalibratedModel", "fit_unit_energies", "measure_static_power",

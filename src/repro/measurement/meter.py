@@ -10,14 +10,18 @@ and records enough context (timestamps, channel) for divergence testing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.errors import MeasurementError
 from repro.hardware.machine import Machine
 from repro.measurement.nvml import NVMLSim
 from repro.measurement.rapl import RAPLSim
 
-__all__ = ["Measurement", "EnergyMeter", "ledger_meter", "nvml_meter",
+if TYPE_CHECKING:
+    from repro.core.session import EvalSpan
+
+__all__ = ["Measurement", "EnergyMeter", "attach_measurement",
+           "divergence_by_layer", "ledger_meter", "nvml_meter",
            "rapl_meter"]
 
 
@@ -56,15 +60,57 @@ class EnergyMeter:
         self.channel = channel
         self._reader = reader
 
-    def run(self, workload: Callable[[], None]) -> Measurement:
-        """Execute ``workload`` and return its measured energy."""
+    def run(self, workload: Callable[[], None],
+            span: "EvalSpan | None" = None) -> Measurement:
+        """Execute ``workload`` and return its measured energy.
+
+        With ``span``, the measurement is attached to that evaluation
+        span, so the trace carries predicted *and* measured Joules side
+        by side (benchmark T1's divergence, per span).
+        """
         t_start = self._machine.now
         workload()
         t_end = self._machine.now
         if t_end < t_start:
             raise MeasurementError("workload rewound the machine clock")
         joules = self._reader(t_start, t_end)
-        return Measurement(joules, t_start, t_end, self.channel)
+        measurement = Measurement(joules, t_start, t_end, self.channel)
+        if span is not None:
+            attach_measurement(span, joules, self.channel)
+        return measurement
+
+
+def attach_measurement(span: "EvalSpan", joules: float,
+                       channel: str) -> None:
+    """Record a measured-energy reading against an evaluation span.
+
+    The span keeps its predicted value; ``span.divergence`` then reports
+    the relative error of the prediction against this channel.
+    """
+    if joules < 0:
+        raise MeasurementError(f"measured energy must be >= 0, got {joules}")
+    span.measured_j = joules
+    span.measured_channel = channel
+
+
+def divergence_by_layer(roots: "Iterable[EvalSpan]"
+                        ) -> dict[str, tuple[float, float]]:
+    """Per-layer (predicted, measured) Joules over all measured spans.
+
+    Only spans that carry a measurement contribute; a span's prediction
+    is its inclusive value, so attach measurements at the granularity you
+    want compared (typically one span per layer).
+    """
+    totals: dict[str, tuple[float, float]] = {}
+    for root in roots:
+        for span in root.walk():
+            if span.measured_j is None:
+                continue
+            layer = span.layer or "?"
+            predicted, measured = totals.get(layer, (0.0, 0.0))
+            totals[layer] = (predicted + span.value_j,
+                             measured + span.measured_j)
+    return totals
 
 
 def ledger_meter(machine: Machine, component: str | None = None) -> EnergyMeter:

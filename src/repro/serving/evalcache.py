@@ -17,67 +17,31 @@ cache exploits two facts:
 
 Hit/miss statistics are part of the serving report: the paper's "ask
 before you run" is only viable online if asking is nearly free.
+
+The memoization store itself now lives in :mod:`repro.core.session` as
+:class:`~repro.core.session.MemoHook`, so *any* layer that threads an
+:class:`~repro.core.session.EvalSession` gets the same cache — the
+gateway is just one client.  :class:`EvalCache` remains as a thin shim
+over a hook, keeping the original serving-facing API (and its
+statistics surface) intact; :attr:`EvalCache.hook` is what gateways
+install into their session's hook chain.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Any, Hashable, Mapping
 
-from repro.core.ecv import (
-    ECV,
-    BernoulliECV,
-    CategoricalECV,
-    ContinuousECV,
-    FixedECV,
-    UniformIntECV,
-)
 from repro.core.errors import ServingError
 from repro.core.interface import EnergyInterface
+from repro.core.session import (
+    DEFAULT_P_QUANTUM,
+    MemoHook,
+    ecv_fingerprint,
+    env_fingerprint,
+)
 
 __all__ = ["EvalCache", "ecv_fingerprint", "env_fingerprint",
            "DEFAULT_P_QUANTUM"]
-
-#: Default quantum for probability/parameter rounding in fingerprints.
-DEFAULT_P_QUANTUM = 1.0 / 64.0
-
-
-def _quantise(value: float, quantum: float) -> float:
-    return round(round(float(value) / quantum) * quantum, 12)
-
-
-def ecv_fingerprint(ecv: ECV, p_quantum: float = DEFAULT_P_QUANTUM
-                    ) -> tuple:
-    """A stable, hashable summary of an ECV's distribution."""
-    if isinstance(ecv, BernoulliECV):
-        return ("bern", _quantise(ecv.p, p_quantum))
-    if isinstance(ecv, FixedECV):
-        return ("fixed", ecv.value)
-    if isinstance(ecv, CategoricalECV):
-        return ("cat", tuple((value, _quantise(p, p_quantum))
-                             for value, p in ecv.support()))
-    if isinstance(ecv, UniformIntECV):
-        return ("unifint", ecv.low, ecv.high)
-    if isinstance(ecv, ContinuousECV):
-        return ("cont", ecv.low, ecv.high)
-    # Unknown ECV kinds fall back to their repr; correct as long as the
-    # repr covers the distribution parameters.
-    return ("repr", repr(ecv))
-
-
-def env_fingerprint(bindings: Mapping[str, Any] | None,
-                    p_quantum: float = DEFAULT_P_QUANTUM) -> tuple:
-    """Fingerprint an ECV-binding mapping (name -> value or ECV)."""
-    if not bindings:
-        return ()
-    items = []
-    for name in sorted(bindings):
-        value = bindings[name]
-        if isinstance(value, ECV):
-            items.append((name,) + ecv_fingerprint(value, p_quantum))
-        else:
-            items.append((name, "val", value))
-    return tuple(items)
 
 
 class EvalCache:
@@ -88,6 +52,10 @@ class EvalCache:
     :meth:`~repro.core.interface.EnergyInterface.evaluate` returned
     (:class:`~repro.core.units.Energy` values are immutable, so sharing
     is safe).
+
+    Internally a shim over :class:`~repro.core.session.MemoHook`: install
+    :attr:`hook` into an :class:`~repro.core.session.EvalSession` to share
+    this cache with every evaluation that session drives.
     """
 
     def __init__(self, max_entries: int = 4096,
@@ -95,12 +63,20 @@ class EvalCache:
         if max_entries <= 0:
             raise ServingError(
                 f"cache needs a positive capacity, got {max_entries}")
-        self.max_entries = max_entries
-        self.p_quantum = p_quantum
-        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hook = MemoHook(max_entries, p_quantum)
+
+    @property
+    def hook(self) -> MemoHook:
+        """The underlying session hook backing this cache."""
+        return self._hook
+
+    @property
+    def max_entries(self) -> int:
+        return self._hook.max_entries
+
+    @property
+    def p_quantum(self) -> float:
+        return self._hook.p_quantum
 
     # -- the cache ------------------------------------------------------------
     def evaluate(self, interface: EnergyInterface, method: str,
@@ -116,57 +92,48 @@ class EvalCache:
         if fingerprint is None:
             fingerprint = env_fingerprint(env, self.p_quantum)
         key = (interface.name, method, tuple(args), mode, fingerprint)
-        try:
-            value = self._entries[key]
-        except TypeError:
-            # Unhashable abstract input: evaluate uncached.
-            self.misses += 1
-            return interface.evaluate(method, *args, mode=mode, env=env,
-                                      **eval_kwargs)
-        except KeyError:
-            self.misses += 1
-            value = interface.evaluate(method, *args, mode=mode, env=env,
-                                       **eval_kwargs)
-            self._entries[key] = value
-            if len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+        hit, value = self._hook.lookup(key)
+        if hit:
             return value
-        self.hits += 1
-        self._entries.move_to_end(key)
+        value = interface.evaluate(method, *args, mode=mode, env=env,
+                                   **eval_kwargs)
+        self._hook.store(key, value)
         return value
 
     def invalidate(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._entries.clear()
+        self._hook.clear()
 
     # -- statistics -------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self._hook.hits
+
+    @property
+    def misses(self) -> int:
+        return self._hook.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._hook.evictions
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._hook)
 
     @property
     def lookups(self) -> int:
         """Total evaluate() calls."""
-        return self.hits + self.misses
+        return self._hook.lookups
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0 when unused)."""
-        if self.lookups == 0:
-            return 0.0
-        return self.hits / self.lookups
+        return self._hook.hit_rate
 
     def stats(self) -> dict[str, float]:
         """A summary dict for the serving report."""
-        return {
-            "lookups": self.lookups,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-            "hit_rate": self.hit_rate,
-        }
+        return self._hook.stats()
 
     def __repr__(self) -> str:
-        return (f"EvalCache(entries={len(self._entries)}, "
+        return (f"EvalCache(entries={len(self._hook)}, "
                 f"hit_rate={self.hit_rate:.2%})")

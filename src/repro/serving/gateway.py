@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.core.errors import ServingError
+from repro.core.session import EvalSession
 from repro.core.units import as_joules
 from repro.serving.admission import (
     ADMIT,
@@ -85,6 +86,11 @@ class EnergyAwareGateway:
         self.budget = budget
         self.policy = policy
         self.cache = cache if cache is not None else EvalCache()
+        # All gateway predictions run through one session whose hook chain
+        # holds the eval cache; extra hooks (a SpanRecorder for
+        # per-request call trees, an AccountingHook for budget
+        # accounting) can be added via ``gateway.session.add_hook``.
+        self.session = EvalSession(hooks=[self.cache.hook])
         self.config = config if config is not None else GatewayConfig()
         self.metrics = ServingMetrics()
         self._ewma_service_s = 0.0
@@ -92,15 +98,15 @@ class EnergyAwareGateway:
 
     # -- cost evaluation ---------------------------------------------------------
     def _predict(self, request: Any) -> tuple[float, float]:
-        """(expected, worst) Joules for ``request`` via the eval cache."""
+        """(expected, worst) Joules for ``request`` via the session."""
         method, args = self.adapter.cost_call(request)
         env = self.adapter.current_bindings()
         fingerprint = self.adapter.binding_fingerprint()
-        expected = as_joules(self.cache.evaluate(
-            self.adapter.interface, method, args, "expected",
+        expected = as_joules(self.session.evaluate(
+            self.adapter.interface, method, *args, mode="expected",
             env=env, fingerprint=fingerprint))
-        worst = as_joules(self.cache.evaluate(
-            self.adapter.interface, method, args, "worst",
+        worst = as_joules(self.session.evaluate(
+            self.adapter.interface, method, *args, mode="worst",
             env=env, fingerprint=fingerprint))
         return expected, worst
 

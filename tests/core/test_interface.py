@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.distributions import Discrete, Empirical, EnergyDistribution, Normal
+from repro.core.distributions import Discrete, Empirical, Normal
 from repro.core.ecv import (
     BernoulliECV,
     CategoricalECV,

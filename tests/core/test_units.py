@@ -1,6 +1,5 @@
 """Unit tests for energy value types (Joules and abstract units)."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -6,7 +6,6 @@ impossible placement) and asserts the system surfaces the failure
 instead of silently producing plausible numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.errors import HardwareError, SchedulerError

@@ -11,7 +11,7 @@ from repro.llm.batching import (
 )
 from repro.llm.config import GPT2_SMALL
 from repro.llm.kernels import decode_step_kernels
-from repro.measurement.calibration import METRICS, CalibratedModel
+from repro.measurement.calibration import CalibratedModel
 
 
 def oracle_model(spec=SIM4090):

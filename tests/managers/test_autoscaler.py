@@ -1,6 +1,5 @@
 """Tests for the reactive vs interface-driven autoscaler."""
 
-import math
 
 import pytest
 

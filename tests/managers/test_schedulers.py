@@ -5,7 +5,7 @@ import pytest
 from repro.apps.transcode import bimodal_transcoder, noisy_task, steady_task
 from repro.core.errors import SchedulerError
 from repro.hardware.profiles import build_big_little
-from repro.managers.base import Scheduler, SchedulerSim, Task
+from repro.managers.base import SchedulerSim, Task
 from repro.managers.eas import EASScheduler, PeakEASScheduler
 from repro.managers.interface_scheduler import (
     InterfaceScheduler,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.errors import MeasurementError
-from repro.hardware.gpu import KernelProfile
 from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
 from repro.measurement.calibration import (
     DYNAMIC_METRICS,

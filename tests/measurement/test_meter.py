@@ -1,0 +1,82 @@
+"""Tests for the metering harness and its span integration."""
+
+import pytest
+
+from repro.core.ecv import BernoulliECV
+from repro.core.errors import MeasurementError
+from repro.core.interface import EnergyInterface
+from repro.core.session import EvalSession, SpanRecorder
+from repro.core.units import Energy
+from repro.hardware.machine import Machine
+from repro.hardware.memory import DRAM, DRAMSpec
+from repro.measurement.meter import (
+    attach_measurement,
+    divergence_by_layer,
+    ledger_meter,
+)
+
+
+class LeafInterface(EnergyInterface):
+    def __init__(self):
+        super().__init__("leaf")
+        self.declare_ecv(BernoulliECV("warm", 0.5))
+
+    def E_op(self, n):
+        return Energy(float(n) * (1.0 if self.ecv("warm") else 2.0))
+
+
+def recorded_span(joules_arg=2):
+    recorder = SpanRecorder()
+    session = EvalSession(hooks=[recorder])
+    iface = LeafInterface()
+    iface.span_labels = ("hardware", "leaf")
+    session.evaluate(iface, "E_op", joules_arg)
+    return recorder.last_root
+
+
+class TestAttachMeasurement:
+    def test_sets_measurement_and_divergence(self):
+        span = recorded_span(2)  # expected value: 3 J
+        attach_measurement(span, 3.3, "rapl[package]")
+        assert span.measured_j == 3.3
+        assert span.measured_channel == "rapl[package]"
+        assert span.divergence == pytest.approx(abs(3.0 - 3.3) / 3.3)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(MeasurementError):
+            attach_measurement(recorded_span(), -1.0, "bogus")
+
+
+class TestMeterSpanIntegration:
+    def test_run_attaches_to_span(self):
+        machine = Machine("node")
+        dram = machine.add(DRAM("dram0", DRAMSpec()))
+        meter = ledger_meter(machine, component="dram0")
+        span = recorded_span()
+        measurement = meter.run(lambda: dram.access(bytes_read=4096),
+                                span=span)
+        assert measurement.joules > 0
+        assert span.measured_j == measurement.joules
+        assert span.measured_channel == meter.channel
+
+    def test_run_without_span_unchanged(self):
+        machine = Machine("node")
+        dram = machine.add(DRAM("dram0", DRAMSpec()))
+        meter = ledger_meter(machine, component="dram0")
+        measurement = meter.run(lambda: dram.access(bytes_read=4096))
+        assert measurement.joules > 0
+
+
+class TestDivergenceByLayer:
+    def test_groups_measured_spans_by_layer(self):
+        first = recorded_span(2)
+        second = recorded_span(4)
+        attach_measurement(first, 3.1, "ledger")
+        attach_measurement(second, 6.2, "ledger")
+        totals = divergence_by_layer([first, second])
+        predicted, measured = totals["hardware"]
+        assert predicted == pytest.approx(3.0 + 6.0)
+        assert measured == pytest.approx(9.3)
+
+    def test_unmeasured_spans_ignored(self):
+        assert divergence_by_layer([recorded_span()]) == {}

@@ -53,6 +53,34 @@ class TestCLI:
             main(["warp-drive"])
 
 
+class TestTraceCommand:
+    def test_prints_tree_and_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--requests", "6",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        # The span tree spans the stack's layers.
+        assert "[runtime]" in out
+        assert "[hardware]" in out
+        assert "[os]" in out
+        assert "session memo" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]
+        for event in payload["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+
+    def test_out_can_be_skipped(self, capsys):
+        assert main(["trace", "--requests", "4", "--out", ""]) == 0
+        assert "chrome trace written" not in capsys.readouterr().out
+
+    def test_rejects_nonpositive_requests(self, capsys):
+        assert main(["trace", "--requests", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+
 class TestServeCommand:
     def test_smoke_run_kvstore(self, capsys):
         assert main(["serve", "--app", "kvstore", "--rate", "50",
