@@ -1,5 +1,7 @@
 """The implementation→interface toolchain: symbolic execution, extraction,
-side-effect analysis and energy-bug detection (§4.2)."""
+side-effect analysis and energy-bug detection (§4.2) — dynamic
+(divergence testing) and static (the ``repro-energy lint`` rule
+engine over interval, taint and side-effect analyses)."""
 
 from repro.analysis.expr import (
     BinOp,
@@ -14,6 +16,21 @@ from repro.analysis.expr import (
     evaluate_expr,
 )
 from repro.analysis.extract import ExtractedInterface, extract_interface
+from repro.analysis.intervals import (
+    AffineForm,
+    Interval,
+    bound_expr,
+    condition_status,
+    linearize,
+)
+from repro.analysis.lint import (
+    RULES,
+    Finding,
+    Rule,
+    lint_function,
+    lint_module,
+    lint_paths,
+)
 from repro.analysis.sideeffects import (
     RADIO_MODEL,
     DeviceStateModel,
@@ -22,6 +39,7 @@ from repro.analysis.sideeffects import (
     analyze_sequence,
 )
 from repro.analysis.symbex import PathSummary, ResourceModel, symbolic_execute
+from repro.analysis.taint import TaintedUse, analyze_taint, tainted_symbols
 from repro.analysis.verify import DivergenceReport, EnergyBug, divergence_test
 
 __all__ = [
@@ -32,4 +50,7 @@ __all__ = [
     "DeviceStateModel", "ModuleAnalysis", "analyze_module",
     "analyze_sequence", "RADIO_MODEL",
     "EnergyBug", "DivergenceReport", "divergence_test",
+    "Interval", "AffineForm", "bound_expr", "condition_status", "linearize",
+    "TaintedUse", "analyze_taint", "tainted_symbols",
+    "Rule", "RULES", "Finding", "lint_function", "lint_module", "lint_paths",
 ]

@@ -1,0 +1,498 @@
+"""``repro-energy lint``: a static energy-bug checker (§4 workflows).
+
+The paper treats energy interfaces as *checkable contracts* — worst-case
+bounds, constant-energy requirements for crypto, compatibility checks
+"before implementation".  Divergence testing
+(:mod:`repro.analysis.verify`) closes that loop dynamically, with a
+meter and chosen inputs; this module closes it statically, over **all**
+paths, with no meter at all.
+
+Three analyses feed a rule engine:
+
+1. a worst-case abstract evaluator over the symbolic-execution IR
+   (:mod:`repro.analysis.intervals` — interval + affine domains);
+2. a taint analysis tracking secret parameters into branch conditions
+   and loop bounds (:mod:`repro.analysis.taint`);
+3. a path-exhaustive side-effect checker diffing device state
+   (:class:`~repro.analysis.sideeffects.DeviceStateModel` final states)
+   across all return paths.
+
+The rules, with stable IDs:
+
+========  ========================================================
+``EB101``  unbounded/unsummarisable path energy with no covering
+           bound contract
+``EB102``  secret-dependent branching or trip counts in a module
+           declaring constant-energy intent (static side-channel)
+``EB103``  device state leaked on some-but-not-all paths (the
+           paper's "radio left on" bug, caught without running)
+``EB104``  implementation's worst case exceeds the handwritten
+           interface's bound (static refinement, EB-level
+           ``check_refinement``)
+``EB105``  branch on a resource result not exposed as an ECV
+``EB106``  energy-dead path: guard statically unsatisfiable under
+           the declared input bounds
+========  ========================================================
+
+Targets are implementation functions carrying an
+:class:`~repro.core.contracts.EnergySpec` (attached with
+:func:`~repro.core.contracts.energy_spec`).  ``lint_module`` checks one
+imported module; ``lint_paths`` resolves files, directories and dotted
+module names — the ``repro-energy lint`` CLI front end.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import inspect
+import json
+import sys
+from dataclasses import dataclass
+from functools import reduce
+from pathlib import Path
+from types import ModuleType
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.expr import BinOp, Const, Expr, as_expr
+from repro.analysis.intervals import (
+    Interval,
+    NONNEGATIVE,
+    bound_expr,
+    condition_status,
+)
+from repro.analysis.symbex import (
+    PathSummary,
+    ResourceModel,
+    symbolic_execute,
+)
+from repro.analysis.taint import analyze_taint
+from repro.core.contracts import EnergySpec
+from repro.core.errors import EnergyError, LintError, SymbolicExecutionError
+
+__all__ = ["Rule", "RULES", "Finding", "lint_function", "lint_module",
+           "lint_paths", "load_baseline", "format_baseline", "render_text",
+           "to_json", "to_sarif", "LINT_SCHEMA_VERSION"]
+
+#: Version tag shared by the lint JSON schema and
+#: :meth:`repro.analysis.verify.DivergenceReport.to_dict`.
+LINT_SCHEMA_VERSION = "1"
+
+_ORIGIN_PREFIX = "result of "
+_SLACK_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One energy-bug rule: stable ID, summary, default severity."""
+
+    id: str
+    summary: str
+    severity: str
+
+
+RULES: dict[str, Rule] = {rule.id: rule for rule in (
+    Rule("EB101", "unbounded or unsummarisable path energy with no "
+                  "covering bound contract", "error"),
+    Rule("EB102", "secret-dependent branching or trip count under a "
+                  "constant-energy requirement", "error"),
+    Rule("EB103", "device state leaked on some but not all paths", "error"),
+    Rule("EB104", "worst-case path energy exceeds the handwritten "
+                  "interface's bound", "error"),
+    Rule("EB105", "branch on a resource result not exposed as an ECV",
+         "warning"),
+    Rule("EB106", "energy-dead path: guard unsatisfiable under the "
+                  "declared input bounds", "warning"),
+)}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static energy-bug finding."""
+
+    rule: str
+    severity: str
+    message: str
+    module: str
+    function: str
+    file: str
+    line: int
+
+    def fingerprint(self) -> str:
+        """Stable suppression key: rule, module tail, function.
+
+        The module tail is normalised so a target linted as a file
+        (loaded under a synthetic ``_energy_lint_*`` name) and as a
+        dotted module fingerprint identically.
+        """
+        tail = self.module.rpartition(".")[2]
+        tail = tail.removeprefix("_energy_lint_")
+        return f"{self.rule}:{tail}:{self.function}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "module": self.module,
+            "function": self.function,
+            "file": self.file,
+            "line": self.line,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.file}:{self.line}: {self.rule} [{self.severity}] "
+                f"{self.function}: {self.message}")
+
+
+def _finding(rule: str, message: str, *, module: str, function: str,
+             file: str, line: int) -> Finding:
+    return Finding(rule=rule, severity=RULES[rule].severity, message=message,
+                   module=module, function=function, file=file, line=line)
+
+
+# -- the three analyses feeding the rules ---------------------------------
+
+def _interval_env(spec: EnergySpec) -> dict[str, Interval]:
+    return {name: Interval(float(low), float(high))
+            for name, (low, high) in spec.input_bounds.items()}
+
+
+def _term_cost(term, spec: EnergySpec) -> Expr:
+    """Worst-case Joules of one energy term, as an expression."""
+    key = f"{term.resource}.{term.method}"
+    cost = spec.costs.get(key, 1.0)
+    if isinstance(cost, (int, float)):
+        per_call: Expr = Const(float(cost))
+    elif isinstance(cost, tuple) and len(cost) == 2 and cost[0] == "per_unit":
+        if not term.args:
+            raise LintError(
+                f"cost of {key!r} is per_unit but the call has no argument")
+        per_call = BinOp("*", Const(float(cost[1])), term.args[0])
+    else:
+        raise LintError(
+            f"unsupported cost declaration for {key!r}: {cost!r} (use a "
+            f"float or ('per_unit', joules))")
+    return BinOp("*", term.multiplier, per_call)
+
+
+def _path_energy(path: PathSummary, spec: EnergySpec) -> Expr:
+    terms = [_term_cost(term, spec) for term in path.energy_terms]
+    if not terms:
+        return Const(0.0)
+    return reduce(lambda a, b: BinOp("+", a, b), terms)
+
+
+def _bound_expression(spec: EnergySpec, input_names: Sequence[str]) -> Expr:
+    """Evaluate the handwritten bound symbolically (branch-free subset)."""
+    from repro.analysis.expr import Var
+
+    try:
+        result = spec.bound(*[Var(name) for name in input_names])
+    except TypeError as exc:
+        raise LintError(
+            f"bound contract does not accept the implementation's inputs "
+            f"{list(input_names)}: {exc}") from exc
+    except EnergyError as exc:
+        raise LintError(
+            f"bound contract is not statically evaluable (it must be "
+            f"branch-free arithmetic over the inputs): {exc}") from exc
+    return as_expr(result)
+
+
+def _check_energy_bounds(paths: Sequence[PathSummary], spec: EnergySpec,
+                         input_names: Sequence[str],
+                         emit: Callable[..., None]) -> None:
+    """EB101 (unbounded, uncovered) and EB104 (bound exceeded)."""
+    env = _interval_env(spec)
+    bound = (None if spec.bound is None
+             else _bound_expression(spec, input_names))
+    for path in paths:
+        energy = _path_energy(path, spec)
+        if bound is None:
+            interval = bound_expr(energy, env)
+            if interval.hi == float("inf"):
+                emit("EB101",
+                     f"worst-case energy {energy.render()} on path "
+                     f"[{path.condition_text()}] is unbounded over the "
+                     f"declared input bounds and no bound contract covers "
+                     f"it; declare input_bounds or a bound= contract")
+            continue
+        allowance = BinOp("*", bound, Const(1.0 + spec.slack))
+        margin = bound_expr(BinOp("-", energy, allowance), env)
+        if margin.hi > _SLACK_TOLERANCE:
+            emit("EB104",
+                 f"worst-case energy {energy.render()} on path "
+                 f"[{path.condition_text()}] exceeds the interface bound "
+                 f"{bound.render()} by up to {margin.hi:g} J")
+
+
+def _check_constant_energy(paths: Sequence[PathSummary], spec: EnergySpec,
+                           emit: Callable[..., None]) -> None:
+    """EB102: the static side-channel check."""
+    if not spec.constant_energy:
+        return
+    for use in analyze_taint(paths, spec.secret_params):
+        emit("EB102",
+             f"{use.describe()} — constant-energy modules must not let "
+             f"secrets steer control flow")
+
+
+def _check_state_leaks(paths: Sequence[PathSummary], spec: EnergySpec,
+                       emit: Callable[..., None]) -> None:
+    """EB103: the path-exhaustive side-effect diff."""
+    if not spec.state_models:
+        return
+    resources = {model.resource for model in spec.state_models}
+    for resource in sorted(resources):
+        by_state: dict[str, PathSummary] = {}
+        for path in paths:
+            by_state.setdefault(path.final_states.get(resource, "?"), path)
+        if len(by_state) > 1:
+            detail = "; ".join(
+                f"{state!r} on path [{path.condition_text()}]"
+                for state, path in sorted(by_state.items()))
+            emit("EB103",
+                 f"device {resource!r} ends in different states depending "
+                 f"on the path taken: {detail} — a caller cannot be "
+                 f"charged consistently for the transition")
+
+
+def _check_undeclared_ecvs(paths: Sequence[PathSummary], spec: EnergySpec,
+                           emit: Callable[..., None]) -> None:
+    """EB105: branches on resource results the interface does not expose."""
+    seen: set[str] = set()
+    for path in paths:
+        for clause in path.condition:
+            for name in clause.free_variables() & set(path.ecvs):
+                _, origin = path.ecvs[name]
+                if not origin.startswith(_ORIGIN_PREFIX):
+                    continue
+                call = origin[len(_ORIGIN_PREFIX):]
+                if call in spec.exposed_ecvs or call in seen:
+                    continue
+                seen.add(call)
+                emit("EB105",
+                     f"the implementation branches on the result of "
+                     f"{call} but the interface does not expose it as an "
+                     f"ECV; the extracted and handwritten interfaces "
+                     f"cannot agree")
+
+
+def _check_dead_paths(paths: Sequence[PathSummary], spec: EnergySpec,
+                      emit: Callable[..., None]) -> None:
+    """EB106: guards unsatisfiable under the input box."""
+    if not spec.input_bounds:
+        return
+    env = _interval_env(spec)
+    seen: set[str] = set()
+    for path in paths:
+        for clause in path.condition:
+            rendered = clause.render()
+            if rendered in seen:
+                continue
+            if condition_status(clause, env) == "never":
+                seen.add(rendered)
+                emit("EB106",
+                     f"guard {rendered} can never hold for inputs within "
+                     f"{dict(spec.input_bounds)}; the path it protects is "
+                     f"energy-dead")
+
+
+# -- target discovery and the engine --------------------------------------
+
+def lint_function(fn: Callable, spec: EnergySpec | None = None,
+                  module: str | None = None) -> list[Finding]:
+    """Run every rule against one implementation function."""
+    if spec is None:
+        spec = getattr(fn, "__energy_spec__", None)
+    if spec is None:
+        raise LintError(
+            f"{fn.__qualname__} carries no EnergySpec; decorate it with "
+            f"@energy_spec(...)")
+    module_name = module or fn.__module__
+    try:
+        file = inspect.getsourcefile(fn) or "<unknown>"
+        line = inspect.getsourcelines(fn)[1]
+    except (OSError, TypeError):
+        file, line = "<unknown>", 0
+    findings: list[Finding] = []
+
+    def emit(rule: str, message: str) -> None:
+        findings.append(_finding(rule, message, module=module_name,
+                                 function=fn.__name__, file=file, line=line))
+
+    resources = [ResourceModel(name, dict(returning))
+                 for name, returning in spec.resources.items()]
+    state_models = {model.resource: model for model in spec.state_models}
+    try:
+        paths = symbolic_execute(fn, resources, helpers=dict(spec.helpers),
+                                 state_models=state_models or None)
+    except SymbolicExecutionError as exc:
+        emit("EB101",
+             f"energy cannot be summarised statically ({exc}); no "
+             f"contract can cover what the analysis cannot bound")
+        return findings
+
+    input_names = [p for p in inspect.signature(fn).parameters][1:]
+    _check_energy_bounds(paths, spec, input_names, emit)
+    _check_constant_energy(paths, spec, emit)
+    _check_state_leaks(paths, spec, emit)
+    _check_undeclared_ecvs(paths, spec, emit)
+    _check_dead_paths(paths, spec, emit)
+    return findings
+
+
+def lint_module(module: ModuleType) -> list[Finding]:
+    """Lint every spec-carrying function defined in ``module``."""
+    findings: list[Finding] = []
+    for name in sorted(vars(module)):
+        member = vars(module)[name]
+        if (callable(member)
+                and getattr(member, "__energy_spec__", None) is not None
+                and getattr(member, "__module__", None) == module.__name__):
+            findings.extend(lint_function(member, module=module.__name__))
+    return findings
+
+
+def _load_file(path: Path) -> ModuleType:
+    name = f"_energy_lint_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise LintError(f"cannot load {path} as a Python module")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        del sys.modules[name]
+        raise LintError(f"importing {path} failed: {exc}") from exc
+    return module
+
+
+def _resolve_target(target: str) -> list[ModuleType]:
+    path = Path(target)
+    if path.is_dir():
+        files = sorted(p for p in path.glob("*.py") if p.name != "__init__.py")
+        if not files:
+            raise LintError(f"no Python modules under {path}")
+        return [_load_file(p) for p in files]
+    if path.suffix == ".py" and path.is_file():
+        return [_load_file(path)]
+    if path.suffix == ".py":
+        raise LintError(f"no such file: {target}")
+    try:
+        return [importlib.import_module(target)]
+    except ImportError as exc:
+        raise LintError(
+            f"cannot resolve target {target!r} (not a file, directory or "
+            f"importable module): {exc}") from exc
+
+
+def lint_paths(targets: Iterable[str]) -> tuple[list[Finding], int]:
+    """Lint files / directories / dotted modules.
+
+    Returns the findings plus the number of functions checked.
+    """
+    findings: list[Finding] = []
+    checked = 0
+    for target in targets:
+        for module in _resolve_target(target):
+            for name in sorted(vars(module)):
+                member = vars(module)[name]
+                if (callable(member)
+                        and getattr(member, "__energy_spec__", None)
+                        is not None
+                        and getattr(member, "__module__", None)
+                        == module.__name__):
+                    checked += 1
+                    findings.extend(lint_function(member,
+                                                  module=module.__name__))
+    return findings, checked
+
+
+# -- baselines -------------------------------------------------------------
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file: one fingerprint per line, ``#`` comments."""
+    suppressions: set[str] = set()
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            suppressions.add(line)
+    return suppressions
+
+
+def format_baseline(findings: Sequence[Finding]) -> str:
+    """Render current findings as a baseline file body."""
+    lines = ["# repro-energy lint baseline — one accepted finding per line.",
+             "# Regenerate with: repro-energy lint <targets> --write-baseline"]
+    for fingerprint in sorted({f.fingerprint() for f in findings}):
+        lines.append(fingerprint)
+    return "\n".join(lines) + "\n"
+
+
+# -- output formats --------------------------------------------------------
+
+def render_text(findings: Sequence[Finding], checked: int,
+                suppressed: int = 0) -> str:
+    lines = [str(finding) for finding in findings]
+    tail = f", {suppressed} suppressed by baseline" if suppressed else ""
+    status = (f"{len(findings)} finding(s)" if findings else "clean")
+    lines.append(f"repro-energy lint: {checked} function(s) checked, "
+                 f"{status}{tail}")
+    return "\n".join(lines)
+
+
+def to_json(findings: Sequence[Finding], checked: int,
+            suppressed: int = 0) -> str:
+    payload = {
+        "tool": "repro-energy lint",
+        "schema_version": LINT_SCHEMA_VERSION,
+        "summary": {
+            "checked": checked,
+            "findings": len(findings),
+            "suppressed": suppressed,
+            "ok": not findings,
+        },
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def to_sarif(findings: Sequence[Finding]) -> str:
+    """Render findings as SARIF 2.1.0 (one run, one result per finding)."""
+    results = [{
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVELS.get(finding.severity, "note"),
+        "message": {"text": f"{finding.function}: {finding.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.file},
+                "region": {"startLine": max(finding.line, 1)},
+            },
+        }],
+    } for finding in findings]
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-energy lint",
+                "informationUri":
+                    "https://github.com/energy-clarity/repro",
+                "rules": [{
+                    "id": rule.id,
+                    "shortDescription": {"text": rule.summary},
+                    "defaultConfiguration": {
+                        "level": _SARIF_LEVELS.get(rule.severity, "note")},
+                } for rule in RULES.values()],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(sarif, indent=2)

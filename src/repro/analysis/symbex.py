@@ -218,6 +218,22 @@ class _Namespace:
         return proxies[name]
 
 
+def _loop_control_statements(statements: Sequence[ast.stmt]) -> list[ast.stmt]:
+    """``break``/``continue`` nodes bound to the *enclosing* loop.
+
+    Nested ``for``/``while`` bodies are skipped: their loop-control
+    statements bind to the inner loop and are harmless to summarisation.
+    """
+    found: list[ast.stmt] = []
+    for statement in statements:
+        if isinstance(statement, (ast.Break, ast.Continue)):
+            found.append(statement)
+        elif isinstance(statement, ast.If):
+            found.extend(_loop_control_statements(statement.body))
+            found.extend(_loop_control_statements(statement.orelse))
+    return found
+
+
 def _function_ast(fn: Callable) -> ast.FunctionDef:
     source = textwrap.dedent(inspect.getsource(fn))
     module = ast.parse(source)
@@ -353,6 +369,19 @@ class _Interpreter:
     def _summarise_loop(self, node: ast.For, bounds: list[Any],
                         env: dict[str, Any]) -> None:
         """Symbolic trip count: run the body once, scale its energy."""
+        # Refuse loop-control statements up front: a break/continue that
+        # happens to be skipped during the single summarisation run (e.g.
+        # guarded by a concrete condition) would otherwise silently
+        # mis-summarise the trip count.
+        controls = _loop_control_statements(node.body)
+        if controls:
+            kind = ("break" if isinstance(controls[0], ast.Break)
+                    else "continue")
+            raise SymbolicExecutionError(
+                f"unsupported construct: {kind!r} at line "
+                f"{controls[0].lineno} inside a for over a symbolic "
+                f"range(); the trip count cannot be summarised — rewrite "
+                f"with concrete bounds")
         if len(bounds) == 1:
             start, stop = Const(0), as_expr(bounds[0])
         elif len(bounds) == 2:

@@ -1,0 +1,115 @@
+"""Secret-taint analysis over symbolic execution paths.
+
+§4.1's constant-energy requirement ("explicitly disallow energy
+side-channels") has a *static* half: if no branch condition and no loop
+trip count depends on a secret, the implementation's energy is
+control-flow-independent of the secret by construction.  This module
+checks exactly that over the path summaries produced by
+:mod:`repro.analysis.symbex`:
+
+* secret-marked parameters are taint sources;
+* taint propagates through expressions (an
+  :class:`~repro.analysis.expr.Expr` is tainted iff a tainted name is
+  among its free variables) and through *resource results*: a fresh
+  symbol produced by ``res.cpu.compare(secret_chunk)`` is itself
+  tainted, since the device observed the secret;
+* sinks are path-condition clauses (secret-dependent branching) and
+  energy-term multipliers (secret-dependent trip counts).
+
+The result feeds rule EB102 of the linter — the static counterpart of
+:class:`~repro.core.contracts.ConstantEnergyContract`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.expr import Compare, Const, Expr, UnaryOp
+from repro.analysis.symbex import PathSummary
+
+__all__ = ["TaintedUse", "tainted_symbols", "analyze_taint"]
+
+_ORIGIN_PREFIX = "result of "
+
+
+@dataclass(frozen=True)
+class TaintedUse:
+    """One secret-dependent control decision found on some path."""
+
+    kind: str        # "branch" or "trip-count"
+    expr: Expr       # the tainted clause / multiplier
+    secrets: tuple[str, ...]  # tainted names it mentions
+
+    def describe(self) -> str:
+        what = ("branch condition" if self.kind == "branch"
+                else "loop trip count")
+        return (f"{what} {self.expr.render()} depends on secret "
+                f"{', '.join(self.secrets)}")
+
+
+def tainted_symbols(paths: Sequence[PathSummary],
+                    secrets: Iterable[str]) -> set[str]:
+    """All tainted names: the secrets plus transitively-tainted ECVs.
+
+    A fresh symbol is tainted when *any* call to its originating
+    ``resource.method`` (on any path) takes a tainted argument —
+    conservative, since the executor does not pair individual calls with
+    the symbols they produced.
+    """
+    tainted = set(secrets)
+    while True:
+        # Which resource calls were fed tainted data anywhere?
+        dirty_calls = {
+            f"{term.resource}.{term.method}"
+            for path in paths for term in path.energy_terms
+            if any(arg.free_variables() & tainted for arg in term.args)
+        }
+        grown = set(tainted)
+        for path in paths:
+            for symbol, (_, origin) in path.ecvs.items():
+                if origin.startswith(_ORIGIN_PREFIX) \
+                        and origin[len(_ORIGIN_PREFIX):] in dirty_calls:
+                    grown.add(symbol)
+        if grown == tainted:
+            return tainted
+        tainted = grown
+
+
+def _branch_key(clause: Expr) -> str:
+    """One key per *decision*: a clause and its negation coincide."""
+    renderings = {clause.render()}
+    if isinstance(clause, (Compare, UnaryOp)):
+        try:
+            renderings.add(clause.negated().render())
+        except Exception:
+            pass
+    return min(renderings)
+
+
+def analyze_taint(paths: Sequence[PathSummary],
+                  secret_params: Iterable[str]) -> list[TaintedUse]:
+    """Find secret-dependent branches and trip counts, deduplicated.
+
+    The two arms of one ``if`` contribute a clause and its negation;
+    they count as a single tainted decision.
+    """
+    tainted = tainted_symbols(paths, secret_params)
+    if not tainted:
+        return []
+    uses: dict[str, TaintedUse] = {}
+    for path in paths:
+        for clause in path.condition:
+            hit = clause.free_variables() & tainted
+            if hit:
+                use = TaintedUse("branch", clause, tuple(sorted(hit)))
+                uses.setdefault(f"branch:{_branch_key(clause)}", use)
+        for term in path.energy_terms:
+            if isinstance(term.multiplier, Const):
+                continue
+            hit = term.multiplier.free_variables() & tainted
+            if hit:
+                use = TaintedUse("trip-count", term.multiplier,
+                                 tuple(sorted(hit)))
+                uses.setdefault(f"trip-count:{term.multiplier.render()}", use)
+    return list(uses.values())

@@ -30,6 +30,11 @@ from repro.measurement.meter import EnergyMeter
 __all__ = ["EnergyBug", "DivergenceReport", "divergence_test"]
 
 
+#: Rule ID for dynamic divergences, alongside the static linter's
+#: EB101–EB106 (see :mod:`repro.analysis.lint`).
+DIVERGENCE_RULE = "EB001"
+
+
 @dataclass(frozen=True)
 class EnergyBug:
     """One flagged divergence between prediction and measurement."""
@@ -38,8 +43,11 @@ class EnergyBug:
     predicted: Energy
     measured: Energy
     relative_error: float
+    severity: str = "error"
 
-    def __str__(self) -> str:
+    @property
+    def message(self) -> str:
+        """The human-readable description (without the rule prefix)."""
         direction = ("implementation uses MORE energy than its interface "
                      "promises" if self.measured > self.predicted else
                      "implementation uses LESS energy than its interface "
@@ -47,6 +55,21 @@ class EnergyBug:
         return (f"inputs={self.inputs!r}: predicted {self.predicted}, "
                 f"measured {self.measured} "
                 f"({100 * self.relative_error:.1f}% off) — {direction}")
+
+    def to_dict(self) -> dict:
+        """The lint JSON finding shape, plus the measured quantities."""
+        return {
+            "rule": DIVERGENCE_RULE,
+            "severity": self.severity,
+            "message": self.message,
+            "inputs": list(self.inputs),
+            "predicted_joules": self.predicted.as_joules,
+            "measured_joules": self.measured.as_joules,
+            "relative_error": self.relative_error,
+        }
+
+    def __str__(self) -> str:
+        return f"{DIVERGENCE_RULE} [{self.severity}] {self.message}"
 
 
 @dataclass
@@ -62,6 +85,27 @@ class DivergenceReport:
     def ok(self) -> bool:
         """True when no input diverged beyond the threshold."""
         return not self.bugs
+
+    def to_dict(self) -> dict:
+        """Same shape as the static linter's JSON output.
+
+        ``{"tool", "schema_version", "summary", "findings"}`` — dynamic
+        (divergence) and static (lint) findings render uniformly.
+        """
+        from repro.analysis.lint import LINT_SCHEMA_VERSION
+
+        return {
+            "tool": "repro-energy divergence-test",
+            "schema_version": LINT_SCHEMA_VERSION,
+            "summary": {
+                "checked": self.checked,
+                "findings": len(self.bugs),
+                "threshold": self.threshold,
+                "worst_error": self.worst_error,
+                "ok": self.ok,
+            },
+            "findings": [bug.to_dict() for bug in self.bugs],
+        }
 
     def __str__(self) -> str:
         status = ("no energy bugs" if self.ok

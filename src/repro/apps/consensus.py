@@ -16,12 +16,42 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.contracts import energy_spec
 from repro.core.errors import WorkloadError
 from repro.core.interface import EnergyInterface
 from repro.core.units import Energy
 
 __all__ = ["PoWNetworkSpec", "PoSNetworkSpec", "PoWEnergyInterface",
-           "PoSEnergyInterface", "merge_savings"]
+           "PoSEnergyInterface", "merge_savings",
+           "BROADCAST_JOULES", "ATTEST_JOULES", "pos_slot_impl"]
+
+#: Static cost model for the lintable PoS slot (Joules).
+BROADCAST_JOULES = 0.02
+ATTEST_JOULES = 0.9
+
+
+def _slot_bound(validators):
+    """Worst case of a slot: one broadcast plus every attestation."""
+    return BROADCAST_JOULES + ATTEST_JOULES * validators
+
+
+@energy_spec(
+    resources={"net": {}, "cpu": {}},
+    costs={"net.broadcast": BROADCAST_JOULES, "cpu.attest": ATTEST_JOULES},
+    input_bounds={"validators": (0, 2_000_000)},
+    bound=_slot_bound,
+)
+def pos_slot_impl(res, validators):
+    """One PoS slot, abstracted for ``repro-energy lint``.
+
+    The 99.95 % claim rests on PoS energy scaling with *duties*, not
+    hash rate; the linter verifies the slot's energy is the declared
+    per-duty costs and nothing else.
+    """
+    res.net.broadcast(1)
+    for _ in range(validators):
+        res.cpu.attest(1)
+    return 0
 
 
 @dataclass(frozen=True)

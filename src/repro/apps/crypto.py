@@ -22,6 +22,7 @@ design time, before any silicon leaks anything.
 
 from __future__ import annotations
 
+from repro.core.contracts import energy_spec
 from repro.core.ecv import UniformIntECV
 from repro.core.errors import WorkloadError
 from repro.core.interface import EnergyInterface
@@ -30,10 +31,14 @@ from repro.hardware.cpu import Core
 
 __all__ = ["ConstantTimeVerifier", "EarlyExitVerifier",
            "ConstantTimeInterface", "EarlyExitInterface",
-           "WORK_PER_BYTE"]
+           "WORK_PER_BYTE", "COMPARE_JOULES", "ct_verify_impl"]
 
 #: CPU work (capacity-seconds) to compare one byte of MAC.
 WORK_PER_BYTE = 0.002
+
+#: Worst-case Joules per byte comparison — the static cost model the
+#: linter resolves ``res.cpu.compare`` against (rule EB101/EB104).
+COMPARE_JOULES = 0.0066
 
 
 class ConstantTimeVerifier:
@@ -107,3 +112,33 @@ class EarlyExitInterface(EnergyInterface):
     def E_verify(self) -> Energy:
         compared = min(self.ecv("matching_prefix") + 1, self.mac_bytes)
         return Energy(self.joules_per_byte * compared)
+
+
+# --------------------------------------------------------------------------
+# Statically-checkable implementation (``repro-energy lint``)
+# --------------------------------------------------------------------------
+
+def _ct_verify_bound(mac_bytes, matching_prefix):
+    """Worst case promised by the handwritten interface (branch-free)."""
+    return COMPARE_JOULES * mac_bytes
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.compare": COMPARE_JOULES},
+    input_bounds={"mac_bytes": (0, 64), "matching_prefix": (0, 64)},
+    secret_params=("matching_prefix",),
+    constant_energy=True,
+    bound=_ct_verify_bound,
+)
+def ct_verify_impl(res, mac_bytes, matching_prefix):
+    """Constant-time verify, abstracted for the symbolic executor.
+
+    ``matching_prefix`` — how much of the guess matches the SECRET — is
+    a parameter of the abstraction precisely so the linter can *prove*
+    the energy never depends on it (rule EB102): every byte is compared
+    no matter what, so neither branching nor trip counts mention it.
+    """
+    for _ in range(mac_bytes):
+        res.cpu.compare(1)
+    return 0

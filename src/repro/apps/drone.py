@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.contracts import energy_spec
 from repro.core.ecv import ContinuousECV
 from repro.core.errors import WorkloadError
 from repro.core.interface import EnergyInterface
@@ -28,9 +29,41 @@ from repro.core.units import Energy
 from repro.hardware.battery import Battery
 
 __all__ = ["DroneSpec", "MissionLeg", "MissionEnergyInterface",
-           "MissionPlanner", "FeasibilityReport"]
+           "MissionPlanner", "FeasibilityReport",
+           "CRUISE_JOULES_PER_SECOND", "HOVER_JOULES_PER_SECOND",
+           "mission_leg_impl"]
 
 GRAVITY = 9.81
+
+#: Static cost model for the lintable mission leg (Joules per second of
+#: flight, matching the default airframe near its best cruise speed).
+CRUISE_JOULES_PER_SECOND = 260.0
+HOVER_JOULES_PER_SECOND = 248.0
+
+
+def _leg_bound(cruise_seconds, hover_seconds):
+    """Worst case of a leg: every second billed at its phase's power."""
+    return (CRUISE_JOULES_PER_SECOND * cruise_seconds
+            + HOVER_JOULES_PER_SECOND * hover_seconds)
+
+
+@energy_spec(
+    resources={"motors": {}},
+    costs={"motors.cruise": ("per_unit", CRUISE_JOULES_PER_SECOND),
+           "motors.hover": ("per_unit", HOVER_JOULES_PER_SECOND)},
+    input_bounds={"cruise_seconds": (0, 3600), "hover_seconds": (0, 3600)},
+    bound=_leg_bound,
+)
+def mission_leg_impl(res, cruise_seconds, hover_seconds):
+    """One mission leg, abstracted for ``repro-energy lint``.
+
+    Feasibility-before-takeoff needs a *static* worst case: the linter
+    proves the leg's energy is exactly the declared per-second costs
+    times the commanded durations — no hidden state, no unbounded loop.
+    """
+    res.motors.cruise(cruise_seconds)
+    res.motors.hover(hover_seconds)
+    return 0
 
 
 @dataclass(frozen=True)

@@ -29,12 +29,42 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.contracts import energy_spec
 from repro.core.errors import WorkloadError
 from repro.core.interface import EnergyInterface
 from repro.core.units import Energy
 
 __all__ = ["FuzzingCampaignModel", "FuzzingEnergyInterface",
-           "CapacityPlanner", "PlanningAnswer"]
+           "CapacityPlanner", "PlanningAnswer",
+           "SETUP_JOULES", "EXECUTION_JOULES", "campaign_impl"]
+
+#: Static cost model for the lintable campaign path (Joules).
+SETUP_JOULES = 0.5
+EXECUTION_JOULES = 85e-6
+
+
+def _campaign_bound(executions):
+    """Worst case of a campaign: setup plus every execution."""
+    return SETUP_JOULES + EXECUTION_JOULES * executions
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.setup": SETUP_JOULES, "cpu.execute": EXECUTION_JOULES},
+    input_bounds={"executions": (0, 1e10)},
+    bound=_campaign_bound,
+)
+def campaign_impl(res, executions):
+    """One fuzzing campaign, abstracted for ``repro-energy lint``.
+
+    The §1 capacity-planning questions need the campaign's energy as a
+    checked linear law in the execution count; the linter verifies the
+    loop summarises to exactly that against the declared bound.
+    """
+    res.cpu.setup(1)
+    for _ in range(executions):
+        res.cpu.execute(1)
+    return 0
 
 
 @dataclass(frozen=True)

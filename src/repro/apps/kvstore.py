@@ -15,6 +15,7 @@ time-series input.
 
 from __future__ import annotations
 
+from repro.core.contracts import energy_spec
 from repro.core.ecv import BernoulliECV
 from repro.core.errors import WorkloadError
 from repro.core.interface import EnergyInterface
@@ -22,7 +23,12 @@ from repro.core.stack import ResourceManager
 from repro.core.units import Energy
 from repro.hardware.storage import PAGE_BYTES, SSD
 
-__all__ = ["KVStore", "KVStoreEnergyInterface", "StorageManager"]
+__all__ = ["KVStore", "KVStoreEnergyInterface", "StorageManager",
+           "WRITE_PAGE_JOULES", "ERASE_BLOCK_JOULES", "kv_put_impl"]
+
+#: Static cost model for the lintable put path (Joules).
+WRITE_PAGE_JOULES = 60e-6
+ERASE_BLOCK_JOULES = 2e-3
 
 
 class KVStore:
@@ -105,3 +111,39 @@ class StorageManager(ResourceManager):
         return {"gc_triggered": BernoulliECV(
             "gc_triggered", p=self.gc_probability(),
             description=f"bound by {self.name} from device headroom")}
+
+
+# --------------------------------------------------------------------------
+# Statically-checkable implementation (``repro-energy lint``)
+# --------------------------------------------------------------------------
+
+def _kv_put_bound(value_pages):
+    """Worst case of a put: every page written plus one GC erase."""
+    return WRITE_PAGE_JOULES * value_pages + ERASE_BLOCK_JOULES
+
+
+@energy_spec(
+    resources={"ssd": {"gc_due": "bool"}},
+    costs={"ssd.gc_due": 0.0,
+           "ssd.write_page": WRITE_PAGE_JOULES,
+           "ssd.erase_block": ERASE_BLOCK_JOULES},
+    input_bounds={"value_pages": (0, 1024)},
+    exposed_ecvs=("ssd.gc_due",),
+    bound=_kv_put_bound,
+)
+def kv_put_impl(res, value_pages):
+    """A put, abstracted for the symbolic executor.
+
+    Whether the dirty threshold tips is device state the input
+    abstraction cannot contain, so the branch runs on a *resource
+    result* — the linter demands it be declared as an ECV (rule EB105),
+    and ``exposed_ecvs`` above does exactly that, mirroring
+    ``gc_triggered`` in :class:`KVStoreEnergyInterface`.
+    """
+    gc = res.ssd.gc_due(value_pages)
+    for _ in range(value_pages):
+        res.ssd.write_page(1)
+    if gc:
+        res.ssd.erase_block(1)
+        return 1
+    return 0

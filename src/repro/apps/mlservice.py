@@ -24,7 +24,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.sideeffects import RADIO_MODEL
 from repro.core.composition import BoundInterface
+from repro.core.contracts import energy_spec
 from repro.core.ecv import BernoulliECV
 from repro.core.errors import WorkloadError
 from repro.core.interface import EnergyInterface
@@ -50,6 +52,7 @@ __all__ = [
     "build_service_stack",
     "RESPONSE_BYTES",
     "REQUEST_BYTES",
+    "handle_impl",
 ]
 
 #: Fig. 1's max_response_len, in bytes.
@@ -58,6 +61,14 @@ REQUEST_BYTES = 256
 
 #: CPU work (capacity-seconds) for request parsing/serialisation.
 CPU_WORK_PER_REQUEST = 0.08
+
+#: Static cost model for the lintable request path (Joules).
+LOOKUP_JOULES = 12e-6
+STORE_JOULES = 18e-6
+FORWARD_JOULES_PER_PIXEL = 3e-9
+SEND_JOULES = 150e-6
+WAKE_JOULES = 8e-3
+SLEEP_JOULES = 1e-6
 
 
 @dataclass(frozen=True)
@@ -381,6 +392,50 @@ class MLServiceInterface(EnergyInterface):
         return (self.cpu_seconds_per_request
                 + self.cnn.T_forward(image_pixels, zero_pixels)
                 + self.cache.T_store(max_response_len))
+
+
+# --------------------------------------------------------------------------
+# Statically-checkable implementation (``repro-energy lint``)
+# --------------------------------------------------------------------------
+
+def _handle_bound(image_pixels, zero_pixels):
+    """Worst case of a request: the cache-miss path, radio wake included."""
+    return (LOOKUP_JOULES + FORWARD_JOULES_PER_PIXEL * image_pixels
+            + STORE_JOULES + WAKE_JOULES + SEND_JOULES + SLEEP_JOULES)
+
+
+@energy_spec(
+    resources={"cache": {"lookup": "bool"}, "gpu": {}, "nic": {}},
+    costs={"cache.lookup": LOOKUP_JOULES,
+           "cache.store": STORE_JOULES,
+           "gpu.forward": ("per_unit", FORWARD_JOULES_PER_PIXEL),
+           "nic.send": SEND_JOULES,
+           "nic.wake": WAKE_JOULES,
+           "nic.sleep": SLEEP_JOULES},
+    input_bounds={"image_pixels": (0.0, 1_000_000.0),
+                  "zero_pixels": (0.0, 1_000_000.0)},
+    exposed_ecvs=("cache.lookup",),
+    state_models=(RADIO_MODEL,),
+    bound=_handle_bound,
+)
+def handle_impl(res, image_pixels, zero_pixels):
+    """Fig. 1's request path, abstracted for the symbolic executor.
+
+    The cache-hit outcome is a resource result exposed as an ECV (it is
+    Fig. 1's ``request_hit``); the NIC is put back to sleep on *every*
+    return path, which is exactly what rule EB103 checks — drop either
+    ``res.nic.sleep(0)`` and the radio is left on for some callers only.
+    """
+    hit = res.cache.lookup(image_pixels)
+    if hit:
+        res.nic.send(4096)
+        res.nic.sleep(0)
+        return 0
+    res.gpu.forward(image_pixels)
+    res.cache.store(image_pixels)
+    res.nic.send(4096)
+    res.nic.sleep(0)
+    return 1
 
 
 def build_service_stack(service: MLWebService,

@@ -18,11 +18,46 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import energy_spec
 from repro.core.errors import WorkloadError
 from repro.managers.base import Task
 from repro.managers.interface_scheduler import UtilizationInterface
 
-__all__ = ["bimodal_transcoder", "steady_task", "noisy_task"]
+__all__ = ["bimodal_transcoder", "steady_task", "noisy_task",
+           "INGEST_JOULES", "ENCODE_FRAME_JOULES", "FLUSH_JOULES",
+           "transcode_gop_impl"]
+
+#: Static cost model for the lintable GOP path (Joules).
+INGEST_JOULES = 0.004
+ENCODE_FRAME_JOULES = 0.035
+FLUSH_JOULES = 0.002
+
+
+def _gop_bound(frames):
+    """Worst case of one group of pictures, branch-free."""
+    return INGEST_JOULES + ENCODE_FRAME_JOULES * frames + FLUSH_JOULES
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.ingest": INGEST_JOULES,
+           "cpu.encode": ENCODE_FRAME_JOULES,
+           "cpu.flush": FLUSH_JOULES},
+    input_bounds={"frames": (0, 600)},
+    bound=_gop_bound,
+)
+def transcode_gop_impl(res, frames):
+    """One group of pictures, abstracted for ``repro-energy lint``.
+
+    The bi-modal structure (I/O trough, compute burst, I/O trough) is a
+    property of the program, so the whole GOP summarises statically:
+    ingest + ``frames`` encodes + flush, nothing history-dependent.
+    """
+    res.cpu.ingest(1)
+    for _ in range(frames):
+        res.cpu.encode(1)
+    res.cpu.flush(1)
+    return 0
 
 
 def bimodal_transcoder(name: str, burst_util: float = 820.0,

@@ -13,7 +13,15 @@
   an energy budget (``--budget "3J+0.25W"``) on a Poisson stream;
 * ``trace``       — evaluate Fig. 1's service through an
   :class:`~repro.core.session.EvalSession`, print the cross-layer span
-  tree and write a Chrome-trace JSON (open in ``chrome://tracing``).
+  tree and write a Chrome-trace JSON (open in ``chrome://tracing``);
+* ``lint``        — the static energy-bug checker: run rules
+  EB101–EB106 over implementation functions carrying an
+  :class:`~repro.core.contracts.EnergySpec`, with text/JSON/SARIF
+  output and a baseline file for accepted findings.
+
+``lint`` and ``trace`` share an exit-code convention: **0** clean,
+**1** findings (energy bugs, or divergence beyond ``--max-error``),
+**2** usage or configuration error.
 """
 
 from __future__ import annotations
@@ -251,11 +259,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        RULES,
+        format_baseline,
+        lint_paths,
+        load_baseline,
+        render_text,
+        to_json,
+        to_sarif,
+    )
+    from repro.core.errors import LintError
+
+    select = _rule_ids(args.select)
+    ignore = _rule_ids(args.ignore)
+    for option, rule_ids in (("--select", select), ("--ignore", ignore)):
+        for rule_id in rule_ids:
+            if rule_id not in RULES:
+                print(f"repro-energy lint: unknown rule {rule_id!r} for "
+                      f"{option} (known: {', '.join(sorted(RULES))})",
+                      file=sys.stderr)
+                return 2
+
+    try:
+        findings, checked = lint_paths(args.targets)
+    except LintError as exc:
+        print(f"repro-energy lint: {exc}", file=sys.stderr)
+        return 2
+
+    if select:
+        findings = [f for f in findings if f.rule in set(select)]
+    if ignore:
+        findings = [f for f in findings if f.rule not in set(ignore)]
+
+    if args.write_baseline:
+        Path(args.baseline).write_text(format_baseline(findings),
+                                       encoding="utf-8")
+        print(f"baseline with {len(findings)} finding(s) written to "
+              f"{args.baseline}")
+        return 0
+
+    suppressed = 0
+    baseline_path = Path(args.baseline)
+    if baseline_path.is_file():
+        suppressions = load_baseline(baseline_path)
+        kept = [f for f in findings if f.fingerprint() not in suppressions]
+        suppressed = len(findings) - len(kept)
+        findings = kept
+
+    if args.format == "json":
+        document = to_json(findings, checked, suppressed)
+    elif args.format == "sarif":
+        document = to_sarif(findings)
+    else:
+        document = render_text(findings, checked, suppressed)
+    if args.output:
+        Path(args.output).write_text(document + "\n", encoding="utf-8")
+        summary = render_text(findings, checked, suppressed).splitlines()[-1]
+        print(summary)
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(document)
+    return 1 if findings else 0
+
+
+def _rule_ids(values: list[str] | None) -> list[str]:
+    """Flatten repeated/comma-separated rule-ID options."""
+    ids: list[str] = []
+    for value in values or []:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
     if args.requests <= 0:
         print("repro-energy trace: --requests must be positive",
+              file=sys.stderr)
+        return 2
+    if args.max_error is not None and args.max_error <= 0:
+        print("repro-energy trace: --max-error must be positive",
               file=sys.stderr)
         return 2
 
@@ -307,6 +393,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     measured_total = ledger.energy_between(t_start, t_end)
     layers = layer_breakdown(recorder.roots)
     rows = []
+    worst_error = 0.0
     for layer, measured in (("hardware", measured_gpu),
                             ("os", measured_os),
                             ("runtime", measured_total - measured_gpu
@@ -314,6 +401,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         layer_predicted = layers.get(layer, 0.0)
         error = (abs(layer_predicted - measured) / measured
                  if measured else 0.0)
+        worst_error = max(worst_error, error)
         rows.append([layer, f"{layer_predicted:.2f} J",
                      f"{measured:.2f} J", f"{100 * error:.1f}%"])
     print(format_table(
@@ -333,6 +421,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             json.dump(chrome_trace(recorder.roots), fh)
         print(f"chrome trace written to {args.out} "
               f"(open in chrome://tracing)")
+    if args.max_error is not None and 100 * worst_error > args.max_error:
+        print(f"repro-energy trace: worst per-layer error "
+              f"{100 * worst_error:.1f}% exceeds --max-error "
+              f"{args.max_error:g}%", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -341,7 +434,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-energy",
         description="Experiments from 'The Case for Energy Clarity' "
-                    "(HotOS 2025), reproduced on simulated hardware.")
+                    "(HotOS 2025), reproduced on simulated hardware.",
+        epilog="exit codes (lint, trace): 0 = clean, 1 = findings "
+               "(energy bugs, or divergence beyond --max-error), "
+               "2 = usage or configuration error.")
     parser.add_argument("--seed", type=int, default=7)
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -395,11 +491,41 @@ def main(argv: list[str] | None = None) -> int:
     serve.set_defaults(handler=_cmd_serve)
 
     trace = commands.add_parser(
-        "trace", help="cross-layer span trace of Fig. 1's service")
+        "trace", help="cross-layer span trace of Fig. 1's service",
+        epilog="exit codes: 0 = clean, 1 = per-layer divergence beyond "
+               "--max-error, 2 = usage error.")
     trace.add_argument("--requests", type=int, default=40)
     trace.add_argument("--out", default="mlservice_trace.json",
                        help="Chrome-trace JSON output path ('' to skip)")
+    trace.add_argument("--max-error", type=float, default=None,
+                       help="fail (exit 1) when any layer's prediction "
+                            "error exceeds this percentage")
     trace.set_defaults(handler=_cmd_trace)
+
+    lint = commands.add_parser(
+        "lint", help="static energy-bug checker (rules EB101-EB106)",
+        epilog="exit codes: 0 = clean, 1 = findings, 2 = usage or "
+               "configuration error.")
+    lint.add_argument("targets", nargs="+",
+                      help="files, directories or dotted module names of "
+                           "implementations carrying @energy_spec")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
+    lint.add_argument("--output", default=None,
+                      help="write the report here instead of stdout")
+    lint.add_argument("--select", action="append", metavar="RULES",
+                      help="only these rule IDs (repeatable, "
+                           "comma-separable)")
+    lint.add_argument("--ignore", action="append", metavar="RULES",
+                      help="drop these rule IDs (repeatable, "
+                           "comma-separable)")
+    lint.add_argument("--baseline", default=".energy-lint.baseline",
+                      help="baseline file of accepted findings "
+                           "(default: %(default)s)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write the current findings to --baseline and "
+                           "exit 0")
+    lint.set_defaults(handler=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -23,12 +23,20 @@ Contract types:
 :func:`check_refinement`
     The §4.1 compatibility check: does a composed lower-level interface
     satisfy the envelope promised by a higher-level interface?
+
+:class:`EnergySpec` / :func:`energy_spec`
+    Declarative contract *metadata* attached to an implementation
+    function, read by the static linter
+    (:mod:`repro.analysis.lint`): which resources it may call and at
+    what cost, input ranges, secret parameters, constant-energy intent,
+    a handwritten worst-case bound, and which resource results the
+    handwritten interface exposes as ECVs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.ecv import ECVEnvironment
 from repro.core.errors import ContractViolation
@@ -42,6 +50,8 @@ __all__ = [
     "BudgetContract",
     "ConstantEnergyContract",
     "check_refinement",
+    "EnergySpec",
+    "energy_spec",
 ]
 
 EnergyFn = Callable[..., Any]
@@ -211,3 +221,105 @@ def check_refinement(abstract: EnergyFn, concrete: EnergyFn,
     """
     contract = UpperBoundContract(abstract, name=name, slack=slack)
     return contract.check(concrete, inputs, env=env)
+
+
+@dataclass(frozen=True)
+class EnergySpec:
+    """Checkable contract metadata for one implementation function.
+
+    This is the static half of §4's workflows: everything the
+    :mod:`repro.analysis.lint` checker needs to verify an implementation
+    against its interface *without running it*.  The fields are plain
+    data so that :mod:`repro.core` stays independent of the analysis
+    toolchain; the linter interprets them.
+
+    ``resources``
+        Resource namespace the implementation may call:
+        ``{"cache": {"lookup": "bool"}}`` declares ``res.cache.lookup``
+        returning a boolean (an ECV); methods not listed return nothing.
+    ``costs``
+        Worst-case per-call energy of each ``"resource.method"``, either
+        a plain float (Joules per call) or ``("per_unit", j)`` meaning
+        ``j`` Joules times the call's first argument.
+    ``input_bounds``
+        Interval domain for the inputs, ``{"n": (0, 4096)}``.  Inputs
+        (and resource-call results) not listed default to ``[0, +inf)``.
+    ``secret_params``
+        Parameters carrying secrets; with ``constant_energy`` set, the
+        taint analysis must prove no branch or trip count depends on
+        them (the static :class:`ConstantEnergyContract`).
+    ``bound``
+        A handwritten worst-case interface over the same inputs,
+        returning Joules as a *branch-free* arithmetic expression — the
+        interface-first contract of §4.1, checked symbolically (EB104).
+        ``slack`` is the usual multiplicative allowance.
+    ``exposed_ecvs``
+        ``"resource.method"`` results the module's handwritten interface
+        exposes as ECVs; branching on any other resource result is an
+        undeclared-ECV bug (EB105).
+    ``state_models``
+        :class:`~repro.analysis.sideeffects.DeviceStateModel` instances
+        (stored opaquely) for path-exhaustive side-effect checking
+        (EB103).
+    ``helpers``
+        Name bindings visible to the symbolic executor (helper functions
+        are inlined, other values substituted).
+    """
+
+    resources: Mapping[str, Mapping[str, str]] = field(default_factory=dict)
+    costs: Mapping[str, Any] = field(default_factory=dict)
+    input_bounds: Mapping[str, tuple[float, float]] = field(
+        default_factory=dict)
+    secret_params: tuple[str, ...] = ()
+    constant_energy: bool = False
+    bound: Callable[..., Any] | None = None
+    slack: float = 0.0
+    exposed_ecvs: tuple[str, ...] = ()
+    state_models: tuple[Any, ...] = ()
+    helpers: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.slack < 0:
+            raise ContractViolation(f"slack must be >= 0, got {self.slack}")
+        for name, (low, high) in self.input_bounds.items():
+            if low > high:
+                raise ContractViolation(
+                    f"input bound for {name!r} is empty: ({low}, {high})")
+
+
+def energy_spec(*, resources: Mapping[str, Mapping[str, str]] | None = None,
+                costs: Mapping[str, Any] | None = None,
+                input_bounds: Mapping[str, tuple[float, float]] | None = None,
+                secret_params: Sequence[str] = (),
+                constant_energy: bool = False,
+                bound: Callable[..., Any] | None = None,
+                slack: float = 0.0,
+                exposed_ecvs: Sequence[str] = (),
+                state_models: Sequence[Any] = (),
+                helpers: Mapping[str, Any] | None = None
+                ) -> Callable[[Callable], Callable]:
+    """Attach an :class:`EnergySpec` to an implementation function.
+
+    The decorated function is returned unchanged (so it stays directly
+    runnable and symbolically executable); the spec lands on
+    ``fn.__energy_spec__``, where :func:`repro.analysis.lint.lint_module`
+    discovers it.
+    """
+    spec = EnergySpec(
+        resources=dict(resources or {}),
+        costs=dict(costs or {}),
+        input_bounds=dict(input_bounds or {}),
+        secret_params=tuple(secret_params),
+        constant_energy=constant_energy,
+        bound=bound,
+        slack=slack,
+        exposed_ecvs=tuple(exposed_ecvs),
+        state_models=tuple(state_models),
+        helpers=dict(helpers or {}),
+    )
+
+    def attach(fn: Callable) -> Callable:
+        fn.__energy_spec__ = spec
+        return fn
+
+    return attach

@@ -43,6 +43,10 @@ class SymbolicExecutionError(ExtractionError):
     """Raised when the symbolic executor meets an unsupported construct."""
 
 
+class LintError(EnergyError):
+    """Raised by the static energy linter on unusable targets or specs."""
+
+
 class MeasurementError(EnergyError):
     """Raised by simulated measurement channels (NVML/RAPL) on misuse."""
 

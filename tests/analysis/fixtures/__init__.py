@@ -1,0 +1,1 @@
+"""Seeded energy-bug fixtures: each module triggers exactly one rule."""

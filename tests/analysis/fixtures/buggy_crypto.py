@@ -1,0 +1,25 @@
+"""EB102 fixture: the early-exit MAC compare, declared constant-energy.
+
+Both the trip count (bytes compared so far) and the final branch depend
+on ``matching_prefix`` — the secret — so the linter must flag the module
+as a static energy side-channel.  Inputs are bounded and no bound
+contract is declared, so no other rule fires.
+"""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.compare": 0.002},
+    input_bounds={"mac_bytes": (0, 32), "matching_prefix": (0, 32)},
+    secret_params=("matching_prefix",),
+    constant_energy=True,
+)
+def early_exit_verify(res, mac_bytes, matching_prefix):
+    for _ in range(matching_prefix):
+        res.cpu.compare(1)
+    if matching_prefix < mac_bytes:
+        res.cpu.compare(1)
+        return 0
+    return 1

@@ -1,0 +1,23 @@
+"""EB106 fixture: the panic guard can never hold under the declared
+input bounds, so the path it protects is energy-dead."""
+
+from repro.core.contracts import energy_spec
+
+
+def _encode_bound(frames):
+    return 0.002 * frames + 1.0
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.encode": 0.002, "cpu.panic": 1.0},
+    input_bounds={"frames": (0, 240)},
+    bound=_encode_bound,
+)
+def encode(res, frames):
+    if frames > 1000:
+        res.cpu.panic(1)
+        return 1
+    for _ in range(frames):
+        res.cpu.encode(1)
+    return 0

@@ -1,0 +1,23 @@
+"""EB105 fixture: branches on a cache-lookup result the interface never
+exposes as an ECV, so extraction and the handwritten interface cannot
+agree on the energy."""
+
+from repro.core.contracts import energy_spec
+
+
+def _get_bound(key):
+    return 1.0
+
+
+@energy_spec(
+    resources={"cache": {"lookup": "bool"}, "cpu": {}},
+    costs={"cache.lookup": 1e-5, "cpu.recompute": 0.01},
+    input_bounds={"key": (0, 100)},
+    bound=_get_bound,
+)
+def get(res, key):
+    hit = res.cache.lookup(key)
+    if hit:
+        return 0
+    res.cpu.recompute(key)
+    return 1

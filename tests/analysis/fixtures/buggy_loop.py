@@ -1,0 +1,15 @@
+"""EB101 fixture: a loop whose trip count has no finite input bound and
+no bound contract — its worst-case energy is unbounded."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.step": 0.001},
+    input_bounds={"backlog": (0, float("inf"))},
+)
+def drain_queue(res, backlog):
+    for _ in range(backlog):
+        res.cpu.step(1)
+    return 0

@@ -1,0 +1,24 @@
+"""EB103 fixture: the paper's radio bug — the urgent path returns with
+the NIC still on, so callers after it are charged inconsistently."""
+
+from repro.analysis.sideeffects import RADIO_MODEL
+from repro.core.contracts import energy_spec
+
+
+def _notify_bound(urgent):
+    return 1.0
+
+
+@energy_spec(
+    resources={"nic": {}},
+    costs={"nic.send": 1.5e-4, "nic.wake": 8e-3, "nic.sleep": 1e-6},
+    input_bounds={"urgent": (0, 1)},
+    state_models=(RADIO_MODEL,),
+    bound=_notify_bound,
+)
+def notify(res, urgent):
+    res.nic.send(1)
+    if urgent > 0:
+        return 1
+    res.nic.sleep(0)
+    return 0

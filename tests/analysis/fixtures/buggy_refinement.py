@@ -1,0 +1,22 @@
+"""EB104 fixture: the implementation encodes every frame twice but the
+handwritten interface bound only charges one pass."""
+
+from repro.core.contracts import energy_spec
+
+
+def _encode_bound(frames):
+    return 0.002 * frames
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.encode": 0.002},
+    input_bounds={"frames": (0, 100)},
+    bound=_encode_bound,
+)
+def encode_twice(res, frames):
+    for _ in range(frames):
+        res.cpu.encode(1)
+    for _ in range(frames):
+        res.cpu.encode(1)
+    return 0

@@ -1,0 +1,19 @@
+"""Clean fixture: bounded loop, exact bound contract — zero findings."""
+
+from repro.core.contracts import energy_spec
+
+
+def _gop_bound(frames):
+    return 0.002 * frames
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.encode": 0.002},
+    input_bounds={"frames": (0, 240)},
+    bound=_gop_bound,
+)
+def encode_gop(res, frames):
+    for _ in range(frames):
+        res.cpu.encode(1)
+    return 0

@@ -1,0 +1,165 @@
+"""Golden tests for the static energy-bug checker (EB101–EB106)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    format_baseline,
+    lint_function,
+    lint_paths,
+    load_baseline,
+    render_text,
+    to_json,
+    to_sarif,
+)
+from repro.core.contracts import energy_spec
+from repro.core.errors import LintError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def lint_fixture(name):
+    return lint_paths([str(FIXTURES / f"{name}.py")])
+
+
+class TestGoldenPerRule:
+    """Each seeded fixture triggers exactly its rule, nothing else."""
+
+    @pytest.mark.parametrize("fixture, rule", [
+        ("buggy_loop", "EB101"),
+        ("buggy_crypto", "EB102"),
+        ("buggy_radio", "EB103"),
+        ("buggy_refinement", "EB104"),
+        ("buggy_ecv", "EB105"),
+        ("buggy_dead", "EB106"),
+    ])
+    def test_fixture_triggers_only_its_rule(self, fixture, rule):
+        findings, checked = lint_fixture(fixture)
+        assert checked == 1
+        assert findings, f"{fixture} produced no findings"
+        assert {f.rule for f in findings} == {rule}
+        assert all(f.severity == RULES[rule].severity for f in findings)
+
+    def test_clean_module_is_clean(self):
+        findings, checked = lint_fixture("clean_module")
+        assert checked == 1
+        assert findings == []
+
+    def test_early_exit_crypto_flags_branch_and_trip_count(self):
+        findings, _ = lint_fixture("buggy_crypto")
+        messages = " | ".join(f.message for f in findings)
+        assert "branch condition" in messages
+        assert "loop trip count" in messages
+
+    def test_radio_leak_names_the_states(self):
+        findings, _ = lint_fixture("buggy_radio")
+        (finding,) = findings
+        assert "'on'" in finding.message and "'off'" in finding.message
+
+    def test_refinement_reports_the_margin(self):
+        findings, _ = lint_fixture("buggy_refinement")
+        (finding,) = findings
+        assert "exceeds the interface bound" in finding.message
+        assert "0.2" in finding.message  # 100 frames x 0.002 J extra pass
+
+
+class TestAppsAreClean:
+    def test_repro_apps_lint_clean_at_head(self):
+        findings, checked = lint_paths([str(REPO_ROOT / "src/repro/apps")])
+        assert findings == []
+        assert checked >= 7  # one lintable impl per app module
+
+
+class TestEngine:
+    def test_undecorated_function_rejected(self):
+        def bare(res, n):
+            return 0
+
+        with pytest.raises(LintError, match="EnergySpec"):
+            lint_function(bare)
+
+    def test_unsummarisable_function_becomes_eb101(self):
+        @energy_spec(resources={"cpu": {}}, input_bounds={"n": (0, 10)})
+        def spins(res, n):
+            count = 0
+            while count < n:
+                count += 1
+            return 0
+
+        findings = lint_function(spins)
+        assert [f.rule for f in findings] == ["EB101"]
+        assert "cannot be summarised" in findings[0].message
+
+    def test_bad_cost_declaration_raises(self):
+        @energy_spec(resources={"cpu": {}}, input_bounds={"n": (0, 10)},
+                     costs={"cpu.op": ("per_byte", 1.0)})
+        def calls(res, n):
+            res.cpu.op(n)
+            return 0
+
+        with pytest.raises(LintError, match="cost declaration"):
+            lint_function(calls)
+
+    def test_fingerprint_is_stable(self):
+        findings, _ = lint_fixture("buggy_loop")
+        assert findings[0].fingerprint() == "EB101:buggy_loop:drain_queue"
+
+    def test_missing_target_raises(self):
+        with pytest.raises(LintError, match="no such file"):
+            lint_paths(["definitely/not/here.py"])
+
+
+class TestOutputFormats:
+    def test_text_output_lists_findings_and_summary(self):
+        findings, checked = lint_fixture("buggy_loop")
+        text = render_text(findings, checked)
+        assert "EB101" in text
+        assert "1 function(s) checked, 1 finding(s)" in text
+
+    def test_json_shape_matches_divergence_report(self):
+        findings, checked = lint_fixture("buggy_loop")
+        payload = json.loads(to_json(findings, checked, suppressed=0))
+        assert payload["tool"] == "repro-energy lint"
+        assert payload["schema_version"] == "1"
+        assert payload["summary"] == {"checked": 1, "findings": 1,
+                                      "suppressed": 0, "ok": False}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "EB101"
+        assert finding["severity"] == "error"
+        assert finding["function"] == "drain_queue"
+        assert finding["line"] > 0
+
+    def test_sarif_is_valid_2_1_0(self):
+        findings, _ = lint_fixture("buggy_radio")
+        sarif = json.loads(to_sarif(findings))
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert rule_ids == set(RULES)
+        (result,) = run["results"]
+        assert result["ruleId"] == "EB103"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] > 0
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_known_findings(self, tmp_path):
+        findings, _ = lint_fixture("buggy_loop")
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(format_baseline(findings), encoding="utf-8")
+        suppressions = load_baseline(baseline)
+        assert all(f.fingerprint() in suppressions for f in findings)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("# header\n\nEB101:buggy_loop:drain_queue  # ok\n",
+                            encoding="utf-8")
+        assert load_baseline(baseline) == {"EB101:buggy_loop:drain_queue"}
+
+    def test_committed_baseline_is_empty(self):
+        assert load_baseline(REPO_ROOT / ".energy-lint.baseline") == set()

@@ -140,6 +140,26 @@ def uses_assert(res, n):
     res.gpu.op(n)
 
 
+def break_late_in_summarised_loop(res, n):
+    for _ in range(n):
+        res.gpu.op(1)
+        break
+
+
+def continue_under_dead_guard(res, n):
+    for _ in range(n):
+        res.gpu.op(1)
+        if 1 > 2:
+            continue
+
+
+def break_in_concrete_loop_ok(res, n):
+    for index in range(5):
+        if index >= 3:
+            break
+        res.gpu.op(1)
+
+
 # --- tests ---------------------------------------------------------------
 
 class TestStraightLine:
@@ -235,6 +255,23 @@ class TestLoops:
     def test_break_in_summarised_loop_rejected(self):
         with pytest.raises(SymbolicExecutionError):
             symbolic_execute(breaks_in_summarised_loop, [GPU])
+
+    def test_break_error_names_construct_and_line(self):
+        with pytest.raises(SymbolicExecutionError,
+                           match="'break' at line 4"):
+            symbolic_execute(break_late_in_summarised_loop, [GPU])
+
+    def test_continue_under_dead_guard_refused(self):
+        # A continue guarded by a concrete-False condition used to slip
+        # through summarisation silently (the guard never fired during
+        # the single summarisation run); it must be refused up front.
+        with pytest.raises(SymbolicExecutionError,
+                           match="'continue' at line 5"):
+            symbolic_execute(continue_under_dead_guard, [GPU])
+
+    def test_break_in_concrete_loop_still_fine(self):
+        (path,) = symbolic_execute(break_in_concrete_loop_ok, [GPU])
+        assert len(path.energy_terms) == 3
 
 
 class TestBuiltinsAndHelpers:

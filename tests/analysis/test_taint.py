@@ -1,0 +1,82 @@
+"""Tests for the secret-taint analysis feeding rule EB102."""
+
+from repro.analysis.symbex import ResourceModel, symbolic_execute
+from repro.analysis.taint import analyze_taint, tainted_symbols
+
+CPU = ResourceModel("cpu")
+CACHE = ResourceModel("cache", returning={"lookup": "bool"})
+
+
+def secret_branch(res, n, secret):
+    if secret > n:
+        res.cpu.heavy(n)
+        return 1
+    res.cpu.light(n)
+    return 0
+
+
+def secret_trip_count(res, secret):
+    for _ in range(secret):
+        res.cpu.compare(1)
+    return 0
+
+
+def secret_through_resource(res, secret):
+    hit = res.cache.lookup(secret)
+    if hit:
+        return 0
+    res.cpu.recompute(1)
+    return 1
+
+
+def public_only(res, n):
+    if n > 10:
+        res.cpu.heavy(n)
+    else:
+        res.cpu.light(n)
+    return 0
+
+
+class TestTaintedSymbols:
+    def test_secrets_are_sources(self):
+        paths = symbolic_execute(secret_branch, [CPU])
+        assert "secret" in tainted_symbols(paths, ["secret"])
+
+    def test_resource_result_of_secret_call_is_tainted(self):
+        paths = symbolic_execute(secret_through_resource, [CACHE, CPU])
+        tainted = tainted_symbols(paths, ["secret"])
+        assert any(name.startswith("cache_lookup") for name in tainted)
+
+    def test_untainted_result_stays_clean(self):
+        paths = symbolic_execute(secret_through_resource, [CACHE, CPU])
+        tainted = tainted_symbols(paths, [])
+        assert tainted == set()
+
+
+class TestAnalyzeTaint:
+    def test_secret_branch_flagged_once(self):
+        paths = symbolic_execute(secret_branch, [CPU])
+        uses = analyze_taint(paths, ["secret"])
+        # The two arms contribute a clause and its negation: one decision.
+        assert len(uses) == 1
+        assert uses[0].kind == "branch"
+        assert "secret" in uses[0].secrets
+
+    def test_secret_trip_count_flagged(self):
+        paths = symbolic_execute(secret_trip_count, [CPU])
+        uses = analyze_taint(paths, ["secret"])
+        assert [use.kind for use in uses] == ["trip-count"]
+        assert "secret" in uses[0].describe()
+
+    def test_branch_on_tainted_resource_result_flagged(self):
+        paths = symbolic_execute(secret_through_resource, [CACHE, CPU])
+        uses = analyze_taint(paths, ["secret"])
+        assert any(use.kind == "branch" for use in uses)
+
+    def test_public_branching_is_clean(self):
+        paths = symbolic_execute(public_only, [CPU])
+        assert analyze_taint(paths, ["secret"]) == []
+
+    def test_no_secrets_no_uses(self):
+        paths = symbolic_execute(secret_branch, [CPU])
+        assert analyze_taint(paths, []) == []

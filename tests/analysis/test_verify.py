@@ -100,3 +100,47 @@ class TestDivergenceTest:
         with pytest.raises(EnergyError):
             divergence_test(iface.E_read, lambda n: None,
                             ledger_meter(machine), inputs=[1], threshold=0.0)
+
+
+class TestReportSchema:
+    """The dynamic findings render like the static linter's (PR goal:
+    one JSON shape for ``lint`` and ``divergence-test`` output)."""
+
+    def build_buggy_report(self):
+        machine, dram, iface = build()
+
+        def buggy_run(n_kb):
+            dram.access(bytes_read=n_kb * 1024)
+            dram.access(bytes_read=n_kb * 1024)
+
+        return divergence_test(iface.E_read, buggy_run,
+                               ledger_meter(machine),
+                               inputs=[4], threshold=0.10)
+
+    def test_bug_has_severity_and_rule(self):
+        report = self.build_buggy_report()
+        bug = report.bugs[0]
+        assert bug.severity == "error"
+        assert str(bug).startswith("EB001 [error] ")
+
+    def test_bug_to_dict(self):
+        bug = self.build_buggy_report().bugs[0]
+        payload = bug.to_dict()
+        assert payload["rule"] == "EB001"
+        assert payload["severity"] == "error"
+        assert payload["inputs"] == [4]
+        assert payload["measured_joules"] == pytest.approx(
+            2 * payload["predicted_joules"], rel=0.01)
+        assert "MORE energy" in payload["message"]
+
+    def test_report_to_dict_matches_lint_shape(self):
+        from repro.analysis.lint import LINT_SCHEMA_VERSION
+
+        payload = self.build_buggy_report().to_dict()
+        assert payload["tool"] == "repro-energy divergence-test"
+        assert payload["schema_version"] == LINT_SCHEMA_VERSION
+        summary = payload["summary"]
+        assert summary["checked"] == 1
+        assert summary["findings"] == 1
+        assert summary["ok"] is False
+        assert payload["findings"][0]["rule"] == "EB001"

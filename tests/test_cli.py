@@ -1,8 +1,14 @@
 """Tests for the command-line front end."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "analysis" / "fixtures"
+APPS = Path(__file__).parents[1] / "src" / "repro" / "apps"
 
 
 class TestCLI:
@@ -79,6 +85,94 @@ class TestTraceCommand:
     def test_rejects_nonpositive_requests(self, capsys):
         assert main(["trace", "--requests", "0"]) == 2
         assert "must be positive" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_max_error(self, capsys):
+        assert main(["trace", "--max-error", "-1"]) == 2
+        assert "--max-error" in capsys.readouterr().err
+
+    def test_max_error_turns_divergence_into_exit_one(self, capsys):
+        # An absurdly strict threshold: any nonzero per-layer error fails.
+        assert main(["trace", "--requests", "4", "--out", "",
+                     "--max-error", "1e-9"]) == 1
+        assert "exceeds --max-error" in capsys.readouterr().err
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "--help"])
+        out = capsys.readouterr().out
+        assert "0 = clean" in out and "2 = usage" in out
+
+
+class TestLintCommand:
+    def test_clean_apps_exit_zero(self, capsys):
+        assert main(["lint", str(APPS)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "buggy_radio.py"),
+                     "--baseline", "/nonexistent"]) == 1
+        assert "EB103" in capsys.readouterr().out
+
+    def test_dotted_module_target(self, capsys):
+        assert main(["lint", "repro.apps.crypto"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", str(APPS), "--select", "EB999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_target_exits_two(self, capsys):
+        assert main(["lint", "definitely/not/here.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_select_and_ignore_filter_rules(self, capsys):
+        target = str(FIXTURES / "buggy_crypto.py")
+        assert main(["lint", target, "--baseline", "/nonexistent",
+                     "--select", "EB101"]) == 0
+        assert main(["lint", target, "--baseline", "/nonexistent",
+                     "--ignore", "EB102,EB106"]) == 0
+        assert main(["lint", target, "--baseline", "/nonexistent",
+                     "--select", "EB102"]) == 1
+
+    def test_json_output(self, capsys):
+        assert main(["lint", str(FIXTURES / "buggy_loop.py"),
+                     "--baseline", "/nonexistent",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-energy lint"
+        assert payload["findings"][0]["rule"] == "EB101"
+
+    def test_sarif_output_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "report.sarif"
+        assert main(["lint", str(FIXTURES / "buggy_dead.py"),
+                     "--baseline", "/nonexistent",
+                     "--format", "sarif", "--output", str(out_path)]) == 1
+        out = capsys.readouterr().out
+        assert "written to" in out
+        sarif = json.loads(out_path.read_text())
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["results"][0]["ruleId"] == "EB106"
+
+    def test_baseline_roundtrip_suppresses(self, capsys, tmp_path):
+        target = str(FIXTURES / "buggy_refinement.py")
+        baseline = tmp_path / "baseline.txt"
+        assert main(["lint", target, "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert main(["lint", target, "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed by baseline" in out
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "0 = clean" in out and "1 = findings" in out
+
+    def test_main_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "exit codes" in capsys.readouterr().out
 
 
 class TestServeCommand:
