@@ -18,6 +18,7 @@ from repro.apps.mlservice import (
     build_service_stack,
 )
 from repro.core.ecv import BernoulliECV
+from repro.core.interface import evaluate
 from repro.core.report import describe_interface, format_comparison, \
     render_stack
 from repro.measurement.calibration import calibrate_gpu
@@ -57,17 +58,17 @@ def main():
         service.handle(request)
     measured = machine.ledger.energy_between(t_start, machine.now)
     predicted = sum(
-        interface.evaluate("E_handle", r.image_pixels,
-                           r.zero_pixels).as_joules
+        evaluate(interface("E_handle", r.image_pixels,
+                           r.zero_pixels)).as_joules
         for r in trace)
     print(format_comparison("300 requests", predicted, measured))
 
     print("\n=== the Fig. 1 punchline, from the interface alone ===")
     probe = (49000, 12000)
     p_hit = bindings["request_hit"].p
-    baseline = interface.evaluate("E_handle", *probe).as_joules
-    better_cache = interface.evaluate(
-        "E_handle", *probe,
+    baseline = evaluate(interface("E_handle", *probe)).as_joules
+    better_cache = evaluate(
+        interface("E_handle", *probe),
         env={"request_hit": BernoulliECV("request_hit",
                                          min(p_hit + 0.2, 1.0))}).as_joules
     print(f"expected energy/request today:        {baseline * 1e3:.2f} mJ")

@@ -16,6 +16,7 @@ from repro.core import (
     EnergyInterface,
     Unit,
     describe_interface,
+    evaluate,
 )
 
 
@@ -45,7 +46,7 @@ def main():
     print("expected (p=0.5):", interface.expected("E_lookup", 1024))
     print("worst case:      ", interface.worst_case("E_lookup", 1024))
     print("best case:       ",
-          interface.evaluate("E_lookup", 1024, mode="best"))
+          evaluate(interface("E_lookup", 1024), mode="best"))
     distribution = interface.distribution("E_lookup", 1024)
     print(f"distribution:     mean={distribution.mean():.4g} J, "
           f"std={distribution.std():.4g} J")
@@ -58,8 +59,8 @@ def main():
           exported.expected("E_lookup", 1024))
     # A caller can still explore what-ifs: explicit bindings win.
     print("what-if every lookup missed:    ",
-          exported.evaluate("E_lookup", 1024,
-                            env={"local_cache_hit": False}))
+          evaluate(exported("E_lookup", 1024),
+                   env={"local_cache_hit": False}))
 
     print("\n=== interfaces as contracts (Section 4.1) ===")
     contract = BudgetContract(Energy.millijoules(120),

@@ -24,7 +24,7 @@ from typing import Sequence
 from repro.core.contracts import energy_spec
 from repro.core.ecv import ContinuousECV
 from repro.core.errors import WorkloadError
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.units import Energy
 from repro.hardware.battery import Battery
 
@@ -212,8 +212,9 @@ class MissionPlanner:
         """The minimum-energy-per-meter cruise speed for this payload."""
         best = None
         for speed in candidates:
-            energy = self.interface.evaluate(
-                "E_leg", 1000.0, 0.0, payload_kg, float(speed),
+            energy = evaluate(
+                self.interface("E_leg", 1000.0, 0.0, payload_kg,
+                               float(speed)),
                 env={"headwind_mps": headwind_mps}).as_joules
             if best is None or energy < best[0]:
                 best = (energy, float(speed))
@@ -225,8 +226,9 @@ class MissionPlanner:
                     worst_case: bool = True) -> float:
         """How far can we fly on the usable charge (one-way)?"""
         mode = "worst" if worst_case else "expected"
-        per_km = self.interface.evaluate(
-            "E_leg", 1000.0, 0.0, payload_kg, ground_speed_mps,
+        per_km = evaluate(
+            self.interface("E_leg", 1000.0, 0.0, payload_kg,
+                           ground_speed_mps),
             mode=mode).as_joules
         if per_km <= 0:
             return float("inf")

@@ -11,6 +11,9 @@
 * ``calibrate``   — show a GPU profile's calibrated hardware interface;
 * ``serve``       — the energy-aware gateway: admission control against
   an energy budget (``--budget "3J+0.25W"``) on a Poisson stream;
+* ``bench``       — time the Monte Carlo evaluation engines (serial,
+  vectorized, multi-process) on a composed stack and check that they
+  produce bitwise-identical draws at a fixed seed;
 * ``trace``       — evaluate Fig. 1's service through an
   :class:`~repro.core.session.EvalSession`, print the cross-layer span
   tree and write a Chrome-trace JSON (open in ``chrome://tracing``);
@@ -75,6 +78,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_mlservice(args: argparse.Namespace) -> int:
     from repro.apps.mlservice import MLWebService, build_service_machine, \
         build_service_stack
+    from repro.core.interface import evaluate
     from repro.measurement.calibration import calibrate_gpu
     from repro.measurement.nvml import NVMLSim
     from repro.workloads.traces import image_request_trace
@@ -94,8 +98,8 @@ def _cmd_mlservice(args: argparse.Namespace) -> int:
         service.handle(request)
     measured = machine.ledger.energy_between(t_start, machine.now)
     predicted = sum(
-        interface.evaluate("E_handle", r.image_pixels,
-                           r.zero_pixels).as_joules for r in trace)
+        evaluate(interface("E_handle", r.image_pixels,
+                           r.zero_pixels)).as_joules for r in trace)
     error = abs(predicted - measured) / measured
     print(f"{args.requests} requests: predicted {predicted:.2f} J, "
           f"measured {measured:.2f} J, error {100 * error:.1f}%")
@@ -192,6 +196,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         GatewayConfig,
         HardBudgetPolicy,
         ProbabilisticPolicy,
+        QuantileBudgetPolicy,
         SLOAwarePolicy,
         attribution_report,
         build_adapter,
@@ -234,6 +239,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy = HardBudgetPolicy()
     elif args.policy == "prob":
         policy = ProbabilisticPolicy(rng_factory.stream("admission"))
+    elif args.policy == "quantile":
+        policy = QuantileBudgetPolicy()
     else:
         policy = SLOAwarePolicy(args.slo if args.slo is not None else 0.5)
 
@@ -246,9 +253,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         requests = generation_trace(len(times), trace_rng)
 
+    quantile = args.quantile if args.policy == "quantile" else None
     gateway = EnergyAwareGateway(
         adapter, budget, policy,
-        config=GatewayConfig(max_queue=args.queue))
+        config=GatewayConfig(max_queue=args.queue, mc_engine=args.engine,
+                             admission_quantile=quantile))
     report = gateway.serve(zip_arrivals(times, requests),
                            horizon=args.horizon)
     print(format_report(report, title=f"serving report ({args.app}, "
@@ -256,6 +265,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.attribution:
         print()
         print(attribution_report(adapter.machine.ledger, gateway.metrics))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import numpy as _np
+
+    from repro.workloads.mcbench import run_engine_bench
+
+    if args.samples <= 0:
+        print("repro-energy bench: --samples must be positive",
+              file=sys.stderr)
+        return 2
+
+    engines = ([args.engine] if args.engine != "all"
+               else ["serial", "vector", "parallel"])
+    results = [run_engine_bench(name, n_samples=args.samples,
+                                seed=args.seed) for name in engines]
+
+    rows = []
+    baseline = results[0]
+    for result in results:
+        speedup = baseline["seconds"] / result["seconds"] \
+            if result["seconds"] else float("inf")
+        identical = _np.array_equal(baseline["draws"], result["draws"])
+        rows.append([
+            result["engine"],
+            f"{result['seconds'] * 1e3:.1f} ms",
+            f"{result['n_samples'] / result['seconds']:,.0f}/s",
+            f"{result['mean_joules']:.6g} J",
+            f"{result['p99_joules']:.6g} J",
+            (f"{speedup:.1f}x" if result is not baseline else "-"),
+            "yes" if identical else "NO",
+        ])
+    print(format_table(
+        ["engine", "wall time", "samples/s", "mean", "p99",
+         f"vs {baseline['engine']}", "bitwise=="],
+        rows,
+        title=f"Monte Carlo engines, n_samples={args.samples}, "
+              f"seed={args.seed}"))
+    if any(row[-1] == "NO" for row in rows):
+        print("repro-energy bench: engines disagree at a fixed seed — "
+              "the replay contract is broken", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -347,6 +399,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.apps.mlservice import MLWebService, build_service_machine, \
         build_service_stack
+    from repro.core.interface import evaluate
     from repro.core.session import MemoHook, SpanRecorder, chrome_trace, \
         layer_breakdown, render_span_tree
     from repro.core.units import as_joules
@@ -375,8 +428,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         service.handle(request)
     t_end = machine.now
     predicted = sum(
-        as_joules(session.evaluate(interface, "E_handle", r.image_pixels,
-                                   r.zero_pixels)) for r in trace)
+        as_joules(evaluate(interface("E_handle", r.image_pixels,
+                                     r.zero_pixels), session=session))
+        for r in trace)
 
     print("one request through the stack "
           "(service evaluation, layers in brackets):")
@@ -480,12 +534,19 @@ def main(argv: list[str] | None = None) -> int:
                        help="Poisson arrival rate (requests/s)")
     serve.add_argument("--horizon", type=float, default=10.0,
                        help="simulated seconds of traffic")
-    serve.add_argument("--policy", choices=("hard", "prob", "slo"),
+    serve.add_argument("--policy",
+                       choices=("hard", "prob", "slo", "quantile"),
                        default="hard")
     serve.add_argument("--queue", type=int, default=64,
                        help="queue bound before shedding")
     serve.add_argument("--slo", type=float, default=None,
                        help="latency SLO in seconds (slo policy)")
+    serve.add_argument("--engine",
+                       choices=("serial", "vector", "parallel"),
+                       default="vector",
+                       help="Monte Carlo engine for admission predictions")
+    serve.add_argument("--quantile", type=float, default=0.95,
+                       help="tail level for the quantile policy")
     serve.add_argument("--attribution", action="store_true",
                        help="also print the per-tag attribution report")
     serve.set_defaults(handler=_cmd_serve)
@@ -501,6 +562,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="fail (exit 1) when any layer's prediction "
                             "error exceeds this percentage")
     trace.set_defaults(handler=_cmd_trace)
+
+    bench = commands.add_parser(
+        "bench", help="compare the Monte Carlo evaluation engines",
+        epilog="exit codes: 0 = clean, 1 = engines disagree at a fixed "
+               "seed, 2 = usage error.")
+    bench.add_argument("--engine",
+                       choices=("serial", "vector", "parallel", "all"),
+                       default="all",
+                       help="which engine to time (default: all three)")
+    bench.add_argument("--samples", type=int, default=20000,
+                       help="Monte Carlo samples per evaluation")
+    bench.set_defaults(handler=_cmd_bench)
 
     lint = commands.add_parser(
         "lint", help="static energy-bug checker (rules EB101-EB106)",

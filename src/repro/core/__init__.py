@@ -64,6 +64,7 @@ from repro.core.errors import (
     UnknownECVError,
 )
 from repro.core.interface import (
+    EnergyCall,
     EnergyInterface,
     TraceOutcome,
     active_session,
@@ -101,8 +102,8 @@ __all__ = [
     "ECV", "BernoulliECV", "CategoricalECV", "FixedECV", "UniformIntECV",
     "ContinuousECV", "ECVEnvironment",
     # interface
-    "EnergyInterface", "TraceOutcome", "evaluate", "enumerate_traces",
-    "active_session",
+    "EnergyInterface", "EnergyCall", "TraceOutcome", "evaluate",
+    "enumerate_traces", "active_session",
     # session / spans
     "EvalSession", "EvalHook", "MemoHook", "SpanRecorder", "AccountingHook",
     "EvalSpan", "render_span_tree", "chrome_trace", "layer_breakdown",

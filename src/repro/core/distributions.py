@@ -45,6 +45,23 @@ __all__ = [
 EnergyLike = Union["EnergyDistribution", Energy, float, int]
 
 
+def _resolve_quantile_samples(n_samples: int | None) -> int:
+    """Resolve a quantile sampling budget.
+
+    ``None`` defers to the active session's ``n_samples`` budget so one
+    knob governs every Monte Carlo approximation in an evaluation, with
+    ``EvalSession.DEFAULT_QUANTILE_SAMPLES`` as the session-less default.
+    """
+    if n_samples is not None:
+        return int(n_samples)
+    from repro.core.interface import active_session
+    from repro.core.session import EvalSession
+    session = active_session()
+    if session is not None:
+        return int(session.n_samples)
+    return int(EvalSession.DEFAULT_QUANTILE_SAMPLES)
+
+
 class EnergyDistribution:
     """Abstract base class for distributions over energy (Joules).
 
@@ -79,16 +96,33 @@ class EnergyDistribution:
         """Draw ``n`` independent samples as a numpy array."""
         raise NotImplementedError
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Bulk-sampling alias used by the Monte Carlo engine.
+
+        Energy distributions have always drawn in bulk via
+        :meth:`sample`; this alias gives them the same ``sample_n``
+        protocol as :class:`~repro.core.ecv.ECV` so the engine treats
+        ECV columns and outcome distributions uniformly.
+        """
+        return self.sample(rng, int(n))
+
     def quantile(self, q: float, rng: np.random.Generator | None = None,
-                 n_samples: int = 20000) -> float:
+                 n_samples: int | None = None) -> float:
         """Approximate the ``q``-quantile by Monte Carlo.
 
-        Subclasses with closed forms override this.  A deterministic seeded
-        generator is used when ``rng`` is not supplied so results are
-        reproducible.
+        The sampling-based-quantile contract: ``n_samples`` is a *budget*
+        for the Monte Carlo approximation.  When ``None`` (the default)
+        it resolves, in order, to the active
+        :class:`~repro.core.session.EvalSession`'s ``n_samples`` budget,
+        else to ``EvalSession.DEFAULT_QUANTILE_SAMPLES``.  Subclasses
+        with closed-form quantiles override this method and *ignore* the
+        budget — it only governs the approximation, never the answer of
+        an exact formula.  A deterministic seeded generator is used when
+        ``rng`` is not supplied so results are reproducible.
         """
         if not 0.0 <= q <= 1.0:
             raise EvaluationError(f"quantile level must be in [0, 1], got {q}")
+        n_samples = _resolve_quantile_samples(n_samples)
         if rng is None:
             rng = np.random.default_rng(0xECF)
         draws = np.sort(self.sample(rng, n_samples))
@@ -148,7 +182,7 @@ class PointMass(EnergyDistribution):
     def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
         return np.full(n, self._value)
 
-    def quantile(self, q: float, rng=None, n_samples: int = 0) -> float:
+    def quantile(self, q: float, rng=None, n_samples: int | None = None) -> float:
         if not 0.0 <= q <= 1.0:
             raise EvaluationError(f"quantile level must be in [0, 1], got {q}")
         return self._value
@@ -191,7 +225,7 @@ class Discrete(EnergyDistribution):
     def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
         return rng.choice(self._values, size=n, p=self._probs)
 
-    def quantile(self, q: float, rng=None, n_samples: int = 0) -> float:
+    def quantile(self, q: float, rng=None, n_samples: int | None = None) -> float:
         if not 0.0 <= q <= 1.0:
             raise EvaluationError(f"quantile level must be in [0, 1], got {q}")
         index = bisect.bisect_left(self._cum.tolist(), q - 1e-12)
@@ -228,7 +262,7 @@ class Uniform(EnergyDistribution):
     def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
         return rng.uniform(self._low, self._high, size=n)
 
-    def quantile(self, q: float, rng=None, n_samples: int = 0) -> float:
+    def quantile(self, q: float, rng=None, n_samples: int | None = None) -> float:
         if not 0.0 <= q <= 1.0:
             raise EvaluationError(f"quantile level must be in [0, 1], got {q}")
         return self._low + q * (self._high - self._low)
@@ -295,7 +329,7 @@ class Empirical(EnergyDistribution):
     def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
         return rng.choice(self._samples, size=n, replace=True)
 
-    def quantile(self, q: float, rng=None, n_samples: int = 0) -> float:
+    def quantile(self, q: float, rng=None, n_samples: int | None = None) -> float:
         if not 0.0 <= q <= 1.0:
             raise EvaluationError(f"quantile level must be in [0, 1], got {q}")
         return float(np.quantile(self._samples, q))
@@ -437,7 +471,7 @@ class Scaled(EnergyDistribution):
     def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
         return self._factor * self._base.sample(rng, n)
 
-    def quantile(self, q: float, rng=None, n_samples: int = 20000) -> float:
+    def quantile(self, q: float, rng=None, n_samples: int | None = None) -> float:
         return self._factor * self._base.quantile(q, rng, n_samples)
 
 

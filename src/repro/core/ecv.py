@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.errors import ECVBindingError
 
 __all__ = [
+    "as_column",
     "ECV",
     "BernoulliECV",
     "CategoricalECV",
@@ -46,11 +47,35 @@ __all__ = [
 ]
 
 
+def as_column(values: Sequence[Any]) -> np.ndarray:
+    """Coerce a list of sampled values to a 1-D numpy column.
+
+    Numeric and boolean values become a typed array (so the vectorized
+    Monte Carlo engine can do arithmetic on the whole column); anything
+    else falls back to a 1-D ``object`` array, which preserves per-sample
+    indexing without inventing a numeric dtype.
+    """
+    try:
+        column = np.asarray(values)
+    except (ValueError, TypeError):
+        column = None
+    if column is None or column.ndim != 1 or column.dtype.kind not in "bifu":
+        column = np.empty(len(values), dtype=object)
+        for i, value in enumerate(values):
+            column[i] = value
+    return column
+
+
 class ECV:
     """Base class for energy-critical variable declarations.
 
     Subclasses implement :meth:`support` (for discrete enumeration),
     :meth:`sample` and :meth:`extreme_values` (for worst-case analysis).
+    :meth:`sample_n` is the bulk-sampling path used by the Monte Carlo
+    engine; the base implementation loops over :meth:`sample`, and the
+    concrete subclasses override it with a vectorized draw that consumes
+    the generator identically to ``n`` sequential :meth:`sample` calls
+    (bitwise-identical values, so serial and vectorized evaluation agree).
     """
 
     def __init__(self, name: str, description: str = "") -> None:
@@ -66,6 +91,18 @@ class ECV:
     def sample(self, rng: np.random.Generator) -> Any:
         """Draw one value."""
         raise NotImplementedError
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` values as a 1-D column.
+
+        Contract: ``sample_n(rng, n)`` must return exactly the values that
+        ``n`` sequential :meth:`sample` calls on an identically-seeded
+        generator would return, in order.  The base implementation
+        guarantees that by looping; vectorized overrides rely on numpy's
+        bulk draws consuming the bit stream identically to repeated
+        scalar draws.
+        """
+        return as_column([self.sample(rng) for _ in range(int(n))])
 
     def extreme_values(self) -> list[Any]:
         """Candidate values for worst-case analysis.
@@ -103,6 +140,9 @@ class BernoulliECV(ECV):
     def sample(self, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self.p)
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.random(int(n)) < self.p
+
     def extreme_values(self) -> list[Any]:
         return [value for value, _ in self.support()]
 
@@ -136,6 +176,18 @@ class CategoricalECV(ECV):
                 return value
         return self._outcomes[-1][0]
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        thresholds = rng.random(int(n))
+        # cumsum performs the same left-to-right float additions as the
+        # scalar loop, and searchsorted(side="right") finds the first
+        # index with cumulative > threshold — so the chosen outcomes are
+        # bitwise-identical to n sequential sample() calls.
+        cumulative = np.cumsum([p for _, p in self._outcomes])
+        indices = np.minimum(
+            np.searchsorted(cumulative, thresholds, side="right"),
+            len(self._outcomes) - 1)
+        return as_column([self._outcomes[i][0] for i in indices])
+
     def extreme_values(self) -> list[Any]:
         return [value for value, _ in self.support()]
 
@@ -152,6 +204,9 @@ class FixedECV(ECV):
 
     def sample(self, rng: np.random.Generator) -> Any:
         return self.value
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return as_column([self.value] * int(n))
 
     def extreme_values(self) -> list[Any]:
         return [self.value]
@@ -173,6 +228,9 @@ class UniformIntECV(ECV):
 
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.integers(self.low, self.high + 1))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.integers(self.low, self.high + 1, size=int(n))
 
     def extreme_values(self) -> list[Any]:
         if self.low == self.high:
@@ -206,6 +264,12 @@ class ContinuousECV(ECV):
             value = float(self._sampler(rng))
             return min(max(value, self.low), self.high)
         return float(rng.uniform(self.low, self.high))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self._sampler is not None:
+            # Custom samplers only promise a scalar protocol; loop them.
+            return as_column([self.sample(rng) for _ in range(int(n))])
+        return rng.uniform(self.low, self.high, size=int(n))
 
     def extreme_values(self) -> list[Any]:
         if self.low == self.high:

@@ -43,7 +43,8 @@ import contextvars
 import functools
 import inspect
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 import numpy as np
@@ -64,16 +65,32 @@ if TYPE_CHECKING:
 
 __all__ = [
     "EnergyInterface",
+    "EnergyCall",
     "TraceOutcome",
     "evaluate",
     "DEFAULT_MAX_TRACES",
 ]
 
-#: Safety cap on the number of enumerated ECV traces per evaluation.
-DEFAULT_MAX_TRACES = 4096
+#: The budget defaults moved to :class:`repro.core.session.EvalSession`
+#: (the single source); these module attributes remain as deprecated
+#: aliases served by the module-level ``__getattr__`` below.
+_MOVED_DEFAULTS = {
+    "DEFAULT_MAX_TRACES": "DEFAULT_MAX_TRACES",
+    "DEFAULT_MC_SAMPLES": "DEFAULT_N_SAMPLES",
+}
 
-#: Default Monte-Carlo sample count when enumeration is impossible.
-DEFAULT_MC_SAMPLES = 4000
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_DEFAULTS:
+        replacement = _MOVED_DEFAULTS[name]
+        warnings.warn(
+            f"repro.core.interface.{name} is deprecated; use "
+            f"repro.core.session.EvalSession.{replacement} instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.core.session import EvalSession
+        return getattr(EvalSession, replacement)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 _ACTIVE_CONTEXT: contextvars.ContextVar["_BaseContext | None"] = (
     contextvars.ContextVar("repro_energy_eval_context", default=None))
@@ -240,6 +257,41 @@ def _instrument_energy_method(fn: Callable[..., Any]) -> Callable[..., Any]:
     return wrapper
 
 
+@dataclass(frozen=True)
+class EnergyCall:
+    """A deferred ``interface.method(*args, **kwargs)`` energy query.
+
+    The value object the canonical :func:`evaluate` consumes: calling an
+    interface builds one (``interface("E_handle", pixels)``), and the
+    session uses its identity (interface name, method, arguments) for
+    memoization keys and span labels.  When the interface and arguments
+    are picklable the call can be shipped to worker processes, which is
+    what lets the parallel Monte Carlo engine shard an evaluation.
+    """
+
+    interface: "EnergyInterface"
+    method: str | Callable[..., Any]
+    args: tuple = ()
+    #: Keyword arguments as sorted ``(name, value)`` pairs, so the call
+    #: is hashable/picklable whenever its values are.
+    kwargs: tuple = field(default_factory=tuple)
+
+    @property
+    def method_name(self) -> str:
+        if isinstance(self.method, str):
+            return self.method
+        return getattr(self.method, "__name__", repr(self.method))
+
+    def __call__(self) -> Any:
+        fn = (getattr(self.interface, self.method)
+              if isinstance(self.method, str) else self.method)
+        return fn(*self.args, **dict(self.kwargs))
+
+    def __repr__(self) -> str:
+        name = getattr(self.interface, "name", type(self.interface).__name__)
+        return f"EnergyCall({name}.{self.method_name}, args={self.args!r})"
+
+
 class EnergyInterface:
     """Base class for energy interfaces.
 
@@ -311,61 +363,64 @@ class EnergyInterface:
         return context.read(self, name)
 
     # -- evaluation ----------------------------------------------------------
-    def evaluate(self, method: str | Callable[..., Any], *args: Any,
-                 mode: str | None = None,
-                 env: ECVEnvironment | Mapping[str, Any] | None = None,
-                 rng: np.random.Generator | None = None,
-                 n_samples: int | None = None,
-                 max_traces: int | None = None,
-                 session: "EvalSession | None" = None,
-                 fingerprint: Any = None,
-                 **kwargs: Any) -> Any:
-        """Evaluate an interface method under ECV randomness.
+    def __call__(self, method: str | Callable[..., Any], *args: Any,
+                 **kwargs: Any) -> EnergyCall:
+        """Build an :class:`EnergyCall` for the canonical :func:`evaluate`.
 
-        ``method`` is a method name (e.g. ``"E_handle"``) or a bound
-        callable.  See the module docstring for the evaluation modes.
-        Returns :class:`~repro.core.units.Energy` for ``expected`` /
-        ``worst`` / ``best`` / ``sample`` modes (or
-        :class:`~repro.core.units.AbstractEnergy` when the method returns
-        abstract units), and an
-        :class:`~repro.core.distributions.EnergyDistribution` for
-        ``distribution`` mode.
-
-        The evaluation runs through an
-        :class:`~repro.core.session.EvalSession`: the one passed as
-        ``session=``, else the session already driving an enclosing
-        evaluation, else a transparent default.  Unset parameters
-        (``mode``, ``env``, budgets, RNG) resolve to the session's;
-        explicit arguments always win, so pre-session call sites behave
-        exactly as before.
+        ``interface("E_handle", pixels)`` is the question "how much energy
+        does ``E_handle(pixels)`` use?" as a value; hand it to
+        :func:`evaluate` to answer it under a session.
         """
-        if session is None:
-            session = _ACTIVE_SESSION.get()
-        if session is None:
-            from repro.core.session import EvalSession
-            session = EvalSession()
-        return session.evaluate(self, method, *args, mode=mode, env=env,
-                                fingerprint=fingerprint, rng=rng,
-                                n_samples=n_samples, max_traces=max_traces,
-                                **kwargs)
+        return EnergyCall(self, method, args, tuple(sorted(kwargs.items())))
+
+    def _evaluate(self, method: str | Callable[..., Any], *args: Any,
+                  mode: str | None = None,
+                  env: ECVEnvironment | Mapping[str, Any] | None = None,
+                  rng: np.random.Generator | None = None,
+                  n_samples: int | None = None,
+                  max_traces: int | None = None,
+                  session: "EvalSession | None" = None,
+                  fingerprint: Any = None,
+                  engine: Any = None,
+                  **kwargs: Any) -> Any:
+        return evaluate(self(method, *args, **kwargs), session=session,
+                        mode=mode, env=env, engine=engine, n_samples=n_samples,
+                        max_traces=max_traces, rng=rng, fingerprint=fingerprint)
+
+    def evaluate(self, method: str | Callable[..., Any], *args: Any,
+                 **kwargs: Any) -> Any:
+        """Deprecated: use ``evaluate(interface(method, *args), ...)``.
+
+        The method form predates the unified entry point.  It keeps
+        returning exactly what it used to; new code should build an
+        :class:`EnergyCall` and go through the one canonical
+        :func:`repro.core.interface.evaluate`.
+        """
+        warnings.warn(
+            "EnergyInterface.evaluate(method, ...) is deprecated; use "
+            "repro.core.interface.evaluate(interface(method, *args), ...) "
+            "instead",
+            DeprecationWarning, stacklevel=2)
+        return self._evaluate(method, *args, **kwargs)
 
     def distribution(self, method: str, *args: Any,
                      env: ECVEnvironment | Mapping[str, Any] | None = None,
                      **kwargs: Any) -> EnergyDistribution:
-        """Shorthand for ``evaluate(..., mode="distribution")``."""
-        return self.evaluate(method, *args, mode="distribution", env=env, **kwargs)
+        """Shorthand for ``evaluate(self(method, ...), mode="distribution")``."""
+        return self._evaluate(method, *args, mode="distribution", env=env,
+                              **kwargs)
 
     def expected(self, method: str, *args: Any,
                  env: ECVEnvironment | Mapping[str, Any] | None = None,
                  **kwargs: Any) -> Any:
-        """Shorthand for ``evaluate(..., mode="expected")``."""
-        return self.evaluate(method, *args, mode="expected", env=env, **kwargs)
+        """Shorthand for ``evaluate(self(method, ...), mode="expected")``."""
+        return self._evaluate(method, *args, mode="expected", env=env, **kwargs)
 
     def worst_case(self, method: str, *args: Any,
                    env: ECVEnvironment | Mapping[str, Any] | None = None,
                    **kwargs: Any) -> Energy:
-        """Shorthand for ``evaluate(..., mode="worst")``."""
-        return self.evaluate(method, *args, mode="worst", env=env, **kwargs)
+        """Shorthand for ``evaluate(self(method, ...), mode="worst")``."""
+        return self._evaluate(method, *args, mode="worst", env=env, **kwargs)
 
     def __repr__(self) -> str:
         ecvs = sorted(self._declared_ecvs)
@@ -390,7 +445,7 @@ def _run_in_context(fn: Callable[[], Any], context: _BaseContext) -> Any:
 
 def enumerate_traces(fn: Callable[[], Any],
                      env: ECVEnvironment | Mapping[str, Any] | None = None,
-                     max_traces: int = DEFAULT_MAX_TRACES,
+                     max_traces: int | None = None,
                      worst_case: bool = False,
                      session: "EvalSession | None" = None
                      ) -> list[TraceOutcome]:
@@ -400,6 +455,10 @@ def enumerate_traces(fn: Callable[[], Any],
     probability (probabilities are meaningless in ``worst_case`` mode,
     where extreme values are enumerated instead of the support).
 
+    ``max_traces`` defaults to
+    :attr:`~repro.core.session.EvalSession.DEFAULT_MAX_TRACES` (the single
+    home of budget defaults).
+
     When a ``session`` is given its hooks observe every trace (span
     recording, accounting) and ECV reads are reported to it.
 
@@ -407,6 +466,9 @@ def enumerate_traces(fn: Callable[[], Any],
     exceeds ``max_traces`` and propagates an internal signal (handled by
     :func:`evaluate`) when a continuous ECV blocks exact enumeration.
     """
+    if max_traces is None:
+        from repro.core.session import EvalSession
+        max_traces = EvalSession.DEFAULT_MAX_TRACES
     environment = _coerce_env(env)
     pending: list[list[tuple[str, int]]] = [[]]
     outcomes: list[TraceOutcome] = []
@@ -466,18 +528,32 @@ def _combine_distribution(outcomes: list[TraceOutcome]) -> EnergyDistribution:
     return Mixture.collapse(components, weights)
 
 
-def evaluate(fn: Callable[[], Any], *, mode: str | None = None,
+def evaluate(fn: "EnergyCall | Callable[[], Any]", *,
+             session: "EvalSession | None" = None,
+             mode: str | None = None,
              env: ECVEnvironment | Mapping[str, Any] | None = None,
-             rng: np.random.Generator | None = None,
+             engine: Any = None,
              n_samples: int | None = None,
              max_traces: int | None = None,
-             session: "EvalSession | None" = None) -> Any:
-    """Evaluate a zero-argument callable that reads ECVs.
+             rng: np.random.Generator | None = None,
+             fingerprint: Any = None) -> Any:
+    """THE evaluation entry point: answer an energy query under a session.
 
-    This is the free-function form of :meth:`EnergyInterface.evaluate`; it
-    is what resource managers and tools use to evaluate compositions that
-    span several interfaces.  Runs through the given ``session`` (else the
-    enclosing evaluation's session, else a transparent default); see
+    ``fn`` is either an :class:`EnergyCall` built by calling an interface
+    (``evaluate(iface("E_handle", pixels))``) or any zero-argument callable
+    that reads ECVs (compositions spanning several interfaces).  Calls are
+    *keyed* — the session can memoize them and label their spans — while
+    plain callables are evaluated anonymously.
+
+    Everything else is keyword-only and defaults to the session's
+    configuration: ``mode`` (expected/distribution/worst/best/sample/
+    fixed), ``env`` (extra ECV bindings layered over the session's),
+    ``engine`` (the Monte Carlo engine — ``"serial"``, ``"vector"``,
+    ``"parallel"`` or an :class:`~repro.core.mcengine.MCEngine`),
+    ``n_samples`` / ``max_traces`` budgets, ``rng`` (replay-stable
+    randomness override) and ``fingerprint`` (memo-key override for the
+    environment).  The ``session`` resolves to the one passed in, else the
+    session driving an enclosing evaluation, else a transparent default
     :class:`~repro.core.session.EvalSession`.
     """
     if session is None:
@@ -487,5 +563,11 @@ def evaluate(fn: Callable[[], Any], *, mode: str | None = None,
         session = EvalSession()
         if mode is None:
             mode = "expected"
-    return session.evaluate_fn(fn, mode=mode, env=env, rng=rng,
-                               n_samples=n_samples, max_traces=max_traces)
+    if isinstance(fn, EnergyCall):
+        return session._evaluate_call(fn, mode=mode, env=env,
+                                      fingerprint=fingerprint, rng=rng,
+                                      n_samples=n_samples,
+                                      max_traces=max_traces, engine=engine)
+    return session._evaluate_fn(fn, mode=mode, env=env, rng=rng,
+                                n_samples=n_samples, max_traces=max_traces,
+                                engine=engine)

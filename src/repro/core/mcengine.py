@@ -1,0 +1,470 @@
+"""Monte Carlo evaluation engines: vectorized and multi-process sampling.
+
+§3 of the paper makes an interface's return value a *distribution* once
+ECVs are bound; whenever a continuous ECV blocks exact enumeration the
+evaluator falls back to Monte Carlo.  Before this module the fallback was
+a per-sample Python loop — every layer above hardware paid that sampling
+tax on every probabilistic answer.  This module removes it:
+
+:class:`SerialEngine`
+    The reference engine: one Python pass per sample, full per-sample
+    hook events (spans, accounting) exactly like the historical loop.
+
+:class:`VectorEngine`
+    Runs the interface *once* over whole sample columns
+    (:meth:`~repro.core.ecv.ECV.sample_n` bulk draws, numpy broadcasting
+    for the arithmetic).  Interfaces that branch on an ECV value raise on
+    the array (ambiguous truth value) and the engine transparently falls
+    back to the per-sample loop **over the same columns** — results are
+    bitwise-identical either way.
+
+:class:`ParallelEngine`
+    Shards the sample index range across a ``ProcessPoolExecutor``.
+    Each worker rebuilds the same deterministic column store, so the
+    concatenated output is bitwise-identical to a serial run regardless
+    of the shard count.
+
+Replay discipline
+-----------------
+All engines draw from a :class:`ColumnStore`: for every ``(qualified ECV
+name, occurrence index)`` pair one full length-``n`` column is drawn from
+a generator derived via ``numpy.random.SeedSequence`` spawn keys (the
+keyed form of ``SeedSequence.spawn``) from a single *entropy* integer.
+The entropy comes from the session (its seed, else the pinned historical
+constant ``0xEC5``, else one draw from an explicit ``rng=`` override), so
+
+* serial == vectorized == any-shard-count parallel, bitwise, and
+* repeated evaluations in equal-seed sessions replay exactly.
+
+Sharing columns across evaluations of one session also gives *common
+random numbers*: comparing two candidate configurations under the same
+session samples both at the same ECV draws, which reduces comparison
+variance — exactly what resource managers want from "asking is free".
+
+Per-sample draws from a non-degenerate *outcome* distribution (an
+interface returning, say, :class:`~repro.core.distributions.Normal`) use
+a second spawn-key family keyed by the sample index, again identical
+across engines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.core.distributions import (
+    Empirical,
+    EnergyDistribution,
+    PointMass,
+)
+from repro.core.ecv import ECV, ECVEnvironment
+from repro.core.errors import EvaluationError
+from repro.core.interface import _BaseContext, _run_in_context
+from repro.core.units import AbstractEnergy, Energy
+
+if TYPE_CHECKING:
+    from repro.core.session import EvalSession
+
+__all__ = [
+    "ColumnStore",
+    "MCTask",
+    "MCEngine",
+    "SerialEngine",
+    "VectorEngine",
+    "ParallelEngine",
+    "ENGINES",
+    "resolve_engine",
+]
+
+#: Spawn-key tags separating the two derived-generator families.
+_COLUMN_TAG = 0xC0
+_OUTCOME_TAG = 0x0D
+
+#: The pinned entropy of unseeded sessions (the historical Monte Carlo
+#: seed, so unseeded evaluation stays deterministic call to call).
+DEFAULT_ENTROPY = 0xEC5
+
+
+def _name_key(qualified: str) -> int:
+    """A stable 32-bit key for an ECV name.
+
+    ``zlib.crc32`` rather than ``hash()`` because builtin string hashing
+    is salted per process — worker processes must derive the same column
+    generators as the parent.
+    """
+    return zlib.crc32(qualified.encode("utf-8"))
+
+
+class ColumnStore:
+    """Deterministic per-ECV sample columns, lazily drawn.
+
+    One store covers one Monte Carlo evaluation of ``n`` samples: the
+    column for ``(qualified, occurrence)`` holds the value the
+    ``occurrence``-th read of that ECV takes in each of the ``n`` sample
+    runs.  Columns are a pure function of ``(entropy, qualified,
+    occurrence)``, so any process — and any engine — reconstructs
+    identical draws.
+    """
+
+    def __init__(self, entropy: int, n: int) -> None:
+        self.entropy = int(entropy)
+        self.n = int(n)
+        self._columns: dict[tuple[str, int], np.ndarray] = {}
+
+    def column_rng(self, qualified: str, occurrence: int) -> np.random.Generator:
+        seq = np.random.SeedSequence(
+            self.entropy,
+            spawn_key=(_COLUMN_TAG, _name_key(qualified), int(occurrence)))
+        return np.random.default_rng(seq)
+
+    def column(self, qualified: str, occurrence: int, ecv: ECV) -> np.ndarray:
+        key = (qualified, int(occurrence))
+        column = self._columns.get(key)
+        if column is None:
+            column = ecv.sample_n(self.column_rng(qualified, occurrence),
+                                  self.n)
+            self._columns[key] = column
+        return column
+
+    def outcome_rng(self, index: int) -> np.random.Generator:
+        """Generator for sample ``index``'s outcome-distribution draw."""
+        seq = np.random.SeedSequence(self.entropy,
+                                     spawn_key=(_OUTCOME_TAG, int(index)))
+        return np.random.default_rng(seq)
+
+
+def _column_summary(column: np.ndarray) -> str:
+    """A compact, hashable stand-in recorded for a whole-column ECV read."""
+    if column.dtype.kind in "bifu" and column.size:
+        return f"batch[{column.size}] mean={float(np.mean(column)):.6g}"
+    return f"batch[{column.size}]"
+
+
+class _ColumnContext(_BaseContext):
+    """Per-sample Monte Carlo context reading from shared columns.
+
+    The replacement for drawing ``ecv.sample(rng)`` per read: sample
+    ``index`` reads position ``index`` of the deterministic column for
+    each ``(ECV, occurrence)`` it touches, so the values do not depend on
+    which engine (or process) runs the sample.
+    """
+
+    def __init__(self, env: ECVEnvironment, store: ColumnStore, index: int,
+                 session: "EvalSession | None" = None) -> None:
+        super().__init__(env, session)
+        self._store = store
+        self._index = index
+        self._occurrence: dict[str, int] = {}
+
+    def read(self, owner: Any, name: str) -> Any:
+        ecv = self._resolve(owner, name)
+        qualified = f"{owner.name}.{name}"
+        occurrence = self._occurrence.get(qualified, 0)
+        self._occurrence[qualified] = occurrence + 1
+        value = self._store.column(qualified, occurrence, ecv)[self._index]
+        if isinstance(value, np.generic):
+            value = value.item()
+        self._record(qualified, value)
+        return value
+
+
+class _BatchContext(_BaseContext):
+    """Batched Monte Carlo context: ECV reads return whole columns.
+
+    The batched replacement for ``_SamplingContext``: interface code runs
+    *once* with each ECV read yielding the full length-``n`` column, and
+    numpy broadcasting evaluates all samples simultaneously.  Interfaces
+    that need a scalar (branching, ``int()``, dict lookup) raise on the
+    array, which the :class:`VectorEngine` turns into a per-sample
+    fallback over the same columns.
+    """
+
+    def __init__(self, env: ECVEnvironment, store: ColumnStore,
+                 session: "EvalSession | None" = None) -> None:
+        super().__init__(env, session)
+        self._store = store
+        self._occurrence: dict[str, int] = {}
+
+    def read(self, owner: Any, name: str) -> np.ndarray:
+        ecv = self._resolve(owner, name)
+        qualified = f"{owner.name}.{name}"
+        occurrence = self._occurrence.get(qualified, 0)
+        self._occurrence[qualified] = occurrence + 1
+        column = self._store.column(qualified, occurrence, ecv)
+        self._record(qualified, _column_summary(column))
+        return column
+
+
+@dataclass
+class MCTask:
+    """One Monte Carlo evaluation request, as the engines see it."""
+
+    fn: Callable[[], Any]
+    env: ECVEnvironment
+    n: int
+    entropy: int
+    session: "EvalSession | None" = None
+    #: A picklable zero-argument callable equivalent to ``fn`` (an
+    #: :class:`~repro.core.interface.EnergyCall`), when the evaluation
+    #: came through the keyed path.  Required for process fan-out.
+    call: Callable[[], Any] | None = None
+
+
+class _NotVectorizable(Exception):
+    """Internal: the batched pass produced output of the wrong shape."""
+
+
+def _outcome_scalar(value: Any, store: ColumnStore, index: int) -> float:
+    """One sample's outcome in Joules (drawing from outcome distributions)."""
+    if isinstance(value, AbstractEnergy):
+        raise EvaluationError(
+            "Monte-Carlo evaluation needs concrete energies; ground "
+            "abstract units first")
+    if isinstance(value, Energy):
+        return float(value.as_joules)
+    if isinstance(value, EnergyDistribution):
+        if isinstance(value, PointMass):
+            return float(value.mean())
+        return float(value.sample(store.outcome_rng(index), 1)[0])
+    return float(value)
+
+
+def _outcome_vector(value: Any, store: ColumnStore, n: int) -> np.ndarray:
+    """All samples' outcomes from one batched pass, as a float column."""
+    if isinstance(value, AbstractEnergy):
+        raise EvaluationError(
+            "Monte-Carlo evaluation needs concrete energies; ground "
+            "abstract units first")
+    if isinstance(value, Energy):
+        value = value.as_joules
+    if isinstance(value, EnergyDistribution):
+        if isinstance(value, PointMass):
+            return np.full(n, value.mean())
+        # A distribution with scalar parameters (otherwise constructing
+        # it from columns would have raised): draw per sample with the
+        # same per-index generators the serial path uses.
+        return np.array([
+            float(value.sample(store.outcome_rng(index), 1)[0])
+            for index in range(n)])
+    array = np.asarray(value, dtype=float)
+    if array.ndim == 0:
+        return np.full(n, float(array))
+    if array.shape != (n,):
+        raise _NotVectorizable(
+            f"batched evaluation produced shape {array.shape}, "
+            f"expected ({n},)")
+    return array
+
+
+def _per_sample(task: MCTask, store: ColumnStore,
+                lo: int = 0, hi: int | None = None,
+                session: "EvalSession | None" = None) -> np.ndarray:
+    """Evaluate samples ``lo:hi`` one at a time over shared columns."""
+    hi = task.n if hi is None else hi
+    weight = 1.0 / task.n
+    out = np.empty(hi - lo)
+    for index in range(lo, hi):
+        context = _ColumnContext(task.env, store, index, session=session)
+        if session is not None:
+            session._on_trace_begin()
+        value = _run_in_context(task.fn, context)
+        if session is not None:
+            session._on_trace_end(weight, value)
+        out[index - lo] = _outcome_scalar(value, store, index)
+    return out
+
+
+class MCEngine:
+    """Strategy interface: produce the ``n`` Monte Carlo draws of a task."""
+
+    name = "abstract"
+
+    def draws(self, task: MCTask) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialEngine(MCEngine):
+    """The reference per-sample loop with full per-sample hook events."""
+
+    name = "serial"
+
+    def draws(self, task: MCTask) -> np.ndarray:
+        store = ColumnStore(task.entropy, task.n)
+        return _per_sample(task, store, session=task.session)
+
+
+class VectorEngine(MCEngine):
+    """One batched pass over whole columns, per-sample fallback on error.
+
+    The batch shows up in the session's hook chain as a first-class
+    event: the recorder sees one trace whose value is the empirical
+    distribution of all draws, and accounting hooks receive
+    :meth:`~repro.core.session.EvalHook.on_batch` with the sample count
+    (so trace budgets count the same work as a serial run).
+    """
+
+    name = "vector"
+
+    def draws(self, task: MCTask) -> np.ndarray:
+        store = ColumnStore(task.entropy, task.n)
+        session = task.session
+        if session is not None:
+            session._on_trace_begin()
+        try:
+            context = _BatchContext(task.env, store, session=session)
+            value = _run_in_context(task.fn, context)
+            draws = _outcome_vector(value, store, task.n)
+        except EvaluationError:
+            # A genuine semantic error (abstract energies, unknown ECV):
+            # the per-sample path would raise it identically.
+            if session is not None:
+                session._abort_trace()
+            raise
+        except Exception:
+            # The interface needed scalars (branched on an ECV, called
+            # math.*, indexed a dict...).  Re-run per sample over the
+            # same columns: bitwise-identical draws, historical hook
+            # semantics.
+            if session is not None:
+                session._abort_trace()
+            return _per_sample(task, store, session=session)
+        if session is not None:
+            session._on_batch(task.n, Empirical(draws))
+        return draws
+
+
+def _worker_evaluate(call: Callable[[], Any], env: ECVEnvironment,
+                     entropy: int, n: int, lo: int, hi: int) -> np.ndarray:
+    """Executed in a worker process: one shard of the sample range.
+
+    Rebuilds the column store from ``entropy`` (columns are pure
+    functions of it) and evaluates its contiguous index slice.  A
+    seed-pinned session is activated so nested ``evaluate()`` calls
+    inside the interface stay deterministic and match the parent.
+    """
+    from repro.core.interface import _ACTIVE_SESSION
+    from repro.core.session import EvalSession
+
+    store = ColumnStore(entropy, n)
+    task = MCTask(fn=call, env=env, n=n, entropy=entropy, call=call)
+    token = _ACTIVE_SESSION.set(EvalSession(seed=entropy, engine="serial"))
+    try:
+        return _per_sample(task, store, lo=lo, hi=hi)
+    finally:
+        _ACTIVE_SESSION.reset(token)
+
+
+def _shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal index ranges covering ``range(n)``."""
+    base, extra = divmod(n, shards)
+    bounds = []
+    lo = 0
+    for shard in range(shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class ParallelEngine(MCEngine):
+    """Multi-process sharding of the sample range.
+
+    Workers receive the picklable :class:`~repro.core.interface.EnergyCall`
+    plus the entropy and rebuild identical columns, so the concatenated
+    shards are bitwise-equal to a serial run for *any* shard count.
+    Hook-wise the parent emits one batch event (per-sample span detail
+    stays in the workers and is not shipped back).  Tasks with no
+    picklable call (closures, ``evaluate_fn``) fall back to the
+    in-process :class:`VectorEngine`.
+    """
+
+    name = "parallel"
+
+    def __init__(self, shards: int | None = None) -> None:
+        self.shards = shards
+
+    def _resolve_shards(self, n: int) -> int:
+        shards = self.shards if self.shards is not None else os.cpu_count() or 1
+        return max(1, min(int(shards), int(n)))
+
+    def draws(self, task: MCTask) -> np.ndarray:
+        shards = self._resolve_shards(task.n)
+        payload = self._picklable_payload(task)
+        if payload is None or shards == 1:
+            return _VECTOR.draws(task)
+        call, env = payload
+        session = task.session
+        if session is not None:
+            session._on_trace_begin()
+        try:
+            start_methods = multiprocessing.get_all_start_methods()
+            context = (multiprocessing.get_context("fork")
+                       if "fork" in start_methods else None)
+            with ProcessPoolExecutor(max_workers=shards,
+                                     mp_context=context) as pool:
+                futures = [
+                    pool.submit(_worker_evaluate, call, env, task.entropy,
+                                task.n, lo, hi)
+                    for lo, hi in _shard_bounds(task.n, shards)]
+                parts = [future.result() for future in futures]
+        except BaseException:
+            if session is not None:
+                session._abort_trace()
+            raise
+        draws = np.concatenate(parts)
+        if session is not None:
+            session._on_batch(task.n, Empirical(draws))
+        return draws
+
+    @staticmethod
+    def _picklable_payload(task: MCTask) -> tuple | None:
+        if task.call is None:
+            return None
+        payload = (task.call, task.env)
+        try:
+            pickle.dumps(payload)
+        except Exception:
+            return None
+        return payload
+
+    def __repr__(self) -> str:
+        return f"ParallelEngine(shards={self.shards})"
+
+
+_SERIAL = SerialEngine()
+_VECTOR = VectorEngine()
+_PARALLEL = ParallelEngine()
+
+#: Named engine registry (``EvalSession(engine="parallel")``, CLI flags).
+ENGINES: dict[str, MCEngine] = {
+    "serial": _SERIAL,
+    "vector": _VECTOR,
+    "parallel": _PARALLEL,
+}
+
+
+def resolve_engine(engine: "str | MCEngine | None") -> MCEngine:
+    """Resolve an engine name (or instance) to an engine.
+
+    ``None`` means the default: the adaptive :class:`VectorEngine`.
+    """
+    if engine is None:
+        return _VECTOR
+    if isinstance(engine, MCEngine):
+        return engine
+    try:
+        return ENGINES[engine]
+    except (KeyError, TypeError):
+        raise EvaluationError(
+            f"unknown Monte Carlo engine {engine!r}; expected one of "
+            f"{sorted(ENGINES)} or an MCEngine instance") from None

@@ -31,6 +31,7 @@ tree; :func:`chrome_trace` exports it as Chrome-trace JSON (open in
 from __future__ import annotations
 
 import json
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Mapping
@@ -49,8 +50,6 @@ from repro.core.ecv import (
 )
 from repro.core.errors import EvaluationError
 from repro.core.interface import (
-    DEFAULT_MAX_TRACES,
-    DEFAULT_MC_SAMPLES,
     _ACTIVE_SESSION,
     _coerce_env,
     _combine_distribution,
@@ -59,8 +58,10 @@ from repro.core.interface import (
     _NotEnumerable,
     _run_in_context,
     _SamplingContext,
+    EnergyCall,
     enumerate_traces,
 )
+from repro.core.mcengine import DEFAULT_ENTROPY, MCEngine, MCTask, resolve_engine
 from repro.core.units import AbstractEnergy, Energy
 
 __all__ = [
@@ -144,7 +145,11 @@ def _mean_joules(value: Any) -> float | None:
     if isinstance(value, AbstractEnergy):
         return None
     if isinstance(value, Energy):
-        return value.as_joules
+        value = value.as_joules
+    if isinstance(value, np.ndarray):
+        # A vector-valued outcome from a batched Monte Carlo pass: its
+        # expected Joules is the mean over the sample column.
+        return float(np.mean(value)) if value.size else None
     if isinstance(value, EnergyDistribution):
         return float(value.mean())
     try:
@@ -158,7 +163,9 @@ def _upper_joules(value: Any) -> float | None:
     if isinstance(value, AbstractEnergy):
         return None
     if isinstance(value, Energy):
-        return value.as_joules
+        value = value.as_joules
+    if isinstance(value, np.ndarray):
+        return float(np.max(value)) if value.size else None
     if isinstance(value, EnergyDistribution):
         return float(value.upper_bound())
     try:
@@ -411,6 +418,17 @@ class EvalHook:
     def on_trace(self, weight: float, value: Any) -> None:
         """Called once per enumerated trace / Monte-Carlo sample."""
 
+    def on_batch(self, n: int, value: Any) -> None:
+        """Called once per *batched* Monte-Carlo evaluation.
+
+        ``n`` is the number of samples the batch stands for and ``value``
+        their empirical distribution.  The default treats the batch as a
+        single full-weight trace so hooks written before batching keep
+        observing every evaluation; hooks that count work (budgets)
+        override this to account for all ``n`` samples.
+        """
+        self.on_trace(1.0, value)
+
 
 class MemoHook(EvalHook):
     """Session-scoped LRU memoization of interface evaluations.
@@ -531,6 +549,11 @@ class AccountingHook(EvalHook):
 
     def on_trace(self, weight: float, value: Any) -> None:
         self.traces += 1
+
+    def on_batch(self, n: int, value: Any) -> None:
+        # A batch is n samples' worth of work: budgets must not get
+        # cheaper just because the engine vectorized the loop.
+        self.traces += int(n)
 
     def stats(self) -> dict[str, float]:
         return {
@@ -732,6 +755,14 @@ class SpanRecorder(EvalHook):
         frame.trace_root = _ObsNode("<trace>", "", ())
         frame.stack = [frame.trace_root]
 
+    def abort_trace(self) -> None:
+        """Discard a begun trace (a batched pass that fell back)."""
+        if not self._frames:
+            return
+        frame = self._frames[-1]
+        frame.trace_root = None
+        frame.stack = None
+
     def end_trace(self, weight: float, value: Any) -> None:
         if not self._frames:
             return
@@ -819,34 +850,55 @@ class EvalSession:
     """Everything an evaluation needs, threaded through every layer.
 
     A session fixes the evaluation *mode*, an ECV environment overlay,
-    trace/Monte-Carlo budgets, a seeded RNG and a hook chain.  Layers
-    thread one session through nested evaluations so that memoization,
-    span recording and accounting see the whole call tree — per-call-site
-    kwargs (`mode=`, `env=`, …) still work and override the session
-    defaults, and code that never mentions sessions keeps working: the
-    framework creates a transparent default session per evaluation.
+    trace/Monte-Carlo budgets, a seeded RNG, the Monte Carlo *engine*
+    and a hook chain.  Layers thread one session through nested
+    evaluations so that memoization, span recording and accounting see
+    the whole call tree — per-call-site kwargs (`mode=`, `env=`, …)
+    still work and override the session defaults, and code that never
+    mentions sessions keeps working: the framework creates a transparent
+    default session per evaluation.
+
+    The evaluation-budget defaults live here, and only here: every other
+    entry point (the canonical :func:`repro.core.interface.evaluate`,
+    trace enumeration, sampling-based quantiles) resolves an unset
+    budget to these class attributes.
     """
+
+    #: Safety cap on the number of enumerated ECV traces per evaluation.
+    DEFAULT_MAX_TRACES = 4096
+
+    #: Default Monte-Carlo sample count when enumeration is impossible.
+    DEFAULT_N_SAMPLES = 4000
+
+    #: Default budget for sampling-based quantile approximation outside
+    #: any session (:meth:`repro.core.distributions.EnergyDistribution.quantile`).
+    DEFAULT_QUANTILE_SAMPLES = 20000
 
     def __init__(self, *,
                  mode: str = "expected",
                  env: ECVEnvironment | Mapping[str, Any] | None = None,
                  seed: int | None = None,
                  rng: np.random.Generator | None = None,
-                 n_samples: int = DEFAULT_MC_SAMPLES,
-                 max_traces: int = DEFAULT_MAX_TRACES,
+                 n_samples: int | None = None,
+                 max_traces: int | None = None,
+                 engine: str | MCEngine | None = None,
                  hooks: list[EvalHook] | None = None,
                  p_quantum: float = DEFAULT_P_QUANTUM) -> None:
         self.mode = mode
         self.env = _coerce_env(env)
         self.seed = seed
+        self._rng_external = rng is not None
         if rng is not None:
             self._rng: np.random.Generator | None = rng
         elif seed is not None:
             self._rng = np.random.default_rng(seed)
         else:
             self._rng = None
-        self.n_samples = n_samples
-        self.max_traces = max_traces
+        self.n_samples = (self.DEFAULT_N_SAMPLES if n_samples is None
+                          else int(n_samples))
+        self.max_traces = (self.DEFAULT_MAX_TRACES if max_traces is None
+                           else int(max_traces))
+        self.engine = resolve_engine(engine)
         self.p_quantum = p_quantum
         self.hooks: list[EvalHook] = list(hooks or [])
         self._index_hooks()
@@ -895,6 +947,27 @@ class EvalSession:
             else:
                 hook.on_trace(weight, value)
 
+    def _on_batch(self, n: int, value: Any) -> None:
+        """A batched Monte-Carlo pass finished: ``n`` samples in one event.
+
+        The recorder closes the (single) trace it opened for the batch
+        with the full empirical distribution; every other hook gets the
+        first-class ``on_batch`` event.  Trace statistics count all
+        ``n`` samples, matching a serial run.
+        """
+        self.stats["traces"] += int(n)
+        for hook in self.hooks:
+            if isinstance(hook, SpanRecorder):
+                hook.end_trace(1.0, value)
+            else:
+                hook.on_batch(n, value)
+
+    def _abort_trace(self) -> None:
+        """Discard a begun trace (a batched pass is falling back)."""
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.abort_trace()
+
     # -- RNG ------------------------------------------------------------------
     def _sampling_rng(self, override: np.random.Generator | None
                       ) -> np.random.Generator:
@@ -904,15 +977,28 @@ class EvalSession:
             return self._rng
         return np.random.default_rng()
 
-    def _mc_rng(self, override: np.random.Generator | None
-                ) -> np.random.Generator:
+    def _mc_entropy(self, override: np.random.Generator | None) -> int:
+        """The root entropy for one Monte Carlo evaluation's columns.
+
+        Every engine derives all of an evaluation's randomness from this
+        one integer (see :mod:`repro.core.mcengine`), which is what makes
+        serial, vectorized and sharded runs replay-identical:
+
+        * an explicit ``rng=`` override contributes one draw (so equal-
+          state generators give equal results, and a stateful generator
+          varies call to call exactly as it used to),
+        * a seeded session uses its seed,
+        * a session built around an external generator draws from it,
+        * an unseeded session uses the pinned historical constant, so it
+          stays deterministic call to call.
+        """
         if override is not None:
-            return override
-        if self._rng is not None:
-            return self._rng
-        # Historical default: a fresh, fixed-seed generator per fallback,
-        # so unseeded sessions stay deterministic call to call.
-        return np.random.default_rng(0xEC5)
+            return int(override.integers(0, 2 ** 63))
+        if self.seed is not None:
+            return int(self.seed)
+        if self._rng_external and self._rng is not None:
+            return int(self._rng.integers(0, 2 ** 63))
+        return DEFAULT_ENTROPY
 
     # -- the pipeline ---------------------------------------------------------
     def evaluate(self, interface: Any, method: str | Callable[..., Any],
@@ -923,17 +1009,47 @@ class EvalSession:
                  rng: np.random.Generator | None = None,
                  n_samples: int | None = None,
                  max_traces: int | None = None,
+                 engine: str | MCEngine | None = None,
                  **kwargs: Any) -> Any:
-        """Evaluate ``interface.method(*args)`` through the session.
+        """Deprecated: use :func:`repro.core.interface.evaluate`.
+
+        ``session.evaluate(interface, method, *args, ...)`` is one of the
+        three pre-unification entry points.  It keeps returning exactly
+        what it used to, but new code should build an
+        :class:`~repro.core.interface.EnergyCall` and go through the one
+        canonical function::
+
+            evaluate(interface(method, *args), session=session, ...)
+        """
+        warnings.warn(
+            "EvalSession.evaluate(interface, method, ...) is deprecated; "
+            "use repro.core.interface.evaluate(interface(method, *args), "
+            "session=session, ...) instead",
+            DeprecationWarning, stacklevel=2)
+        call = EnergyCall(interface, method, args,
+                          tuple(sorted(kwargs.items())))
+        return self._evaluate_call(call, mode=mode, env=env,
+                                   fingerprint=fingerprint, rng=rng,
+                                   n_samples=n_samples,
+                                   max_traces=max_traces, engine=engine)
+
+    def _evaluate_call(self, call: EnergyCall, *,
+                       mode: str | None = None,
+                       env: ECVEnvironment | Mapping[str, Any] | None = None,
+                       fingerprint: Hashable | None = None,
+                       rng: np.random.Generator | None = None,
+                       n_samples: int | None = None,
+                       max_traces: int | None = None,
+                       engine: str | MCEngine | None = None) -> Any:
+        """Evaluate an :class:`EnergyCall` through the session.
 
         This is the keyed entry point: the hook chain can memoize the
         result (the key covers interface name, method, abstract input,
         mode and the merged environment's fingerprint) and the recorder
         labels the root span with the interface's stack position.
         """
-        fn = getattr(interface, method) if isinstance(method, str) else method
-        method_name = method if isinstance(method, str) else \
-            getattr(method, "__name__", repr(method))
+        interface = call.interface
+        method_name = call.method_name
         resolved_mode = mode if mode is not None else self.mode
         merged_env = self.env if env is None else \
             self.env.extended(_coerce_env(env).bindings)
@@ -941,14 +1057,15 @@ class EvalSession:
         labels = getattr(interface, "span_labels", None) or (None, None)
         if not self.hooks:
             # No hooks -> nothing keys on the request; skip fingerprinting.
-            return self._run(lambda: fn(*args, **kwargs), resolved_mode,
-                             merged_env, rng, n_samples, max_traces,
-                             label=(interface_name, method_name, args,
-                                    labels[0], labels[1]))
+            return self._run(call, resolved_mode, merged_env, rng,
+                             n_samples, max_traces,
+                             label=(interface_name, method_name, call.args,
+                                    labels[0], labels[1]),
+                             engine=engine, call=call)
         if fingerprint is None:
             fingerprint = env_fingerprint(merged_env, self.p_quantum)
-        key_args = args if not kwargs else \
-            args + tuple(sorted(kwargs.items()))
+        key_args = call.args if not call.kwargs else \
+            call.args + call.kwargs
         request = EvalRequest(
             interface_name=interface_name,
             method=method_name,
@@ -963,15 +1080,17 @@ class EvalSession:
                 recorder = self.recorder
                 if recorder is not None:
                     recorder.record_cached(request.interface_name,
-                                           method_name, args, resolved_mode,
-                                           value, labels[0], labels[1])
+                                           method_name, call.args,
+                                           resolved_mode, value,
+                                           labels[0], labels[1])
                 for other in self.hooks:
                     other.after_evaluate(request, value, True)
                 return value
-        value = self._run(lambda: fn(*args, **kwargs), resolved_mode,
-                          merged_env, rng, n_samples, max_traces,
-                          label=(request.interface_name, method_name, args,
-                                 labels[0], labels[1]))
+        value = self._run(call, resolved_mode, merged_env, rng, n_samples,
+                          max_traces,
+                          label=(request.interface_name, method_name,
+                                 call.args, labels[0], labels[1]),
+                          engine=engine, call=call)
         for hook in self.hooks:
             hook.after_evaluate(request, value, False)
         return value
@@ -981,20 +1100,44 @@ class EvalSession:
                     env: ECVEnvironment | Mapping[str, Any] | None = None,
                     rng: np.random.Generator | None = None,
                     n_samples: int | None = None,
-                    max_traces: int | None = None) -> Any:
+                    max_traces: int | None = None,
+                    engine: str | MCEngine | None = None) -> Any:
+        """Deprecated: use :func:`repro.core.interface.evaluate`.
+
+        ``session.evaluate_fn(fn, ...)`` predates the unified signature;
+        the canonical spelling is ``evaluate(fn, session=session, ...)``.
+        """
+        warnings.warn(
+            "EvalSession.evaluate_fn(fn, ...) is deprecated; use "
+            "repro.core.interface.evaluate(fn, session=session, ...) "
+            "instead",
+            DeprecationWarning, stacklevel=2)
+        return self._evaluate_fn(fn, mode=mode, env=env, rng=rng,
+                                 n_samples=n_samples, max_traces=max_traces,
+                                 engine=engine)
+
+    def _evaluate_fn(self, fn: Callable[[], Any], *,
+                     mode: str | None = None,
+                     env: ECVEnvironment | Mapping[str, Any] | None = None,
+                     rng: np.random.Generator | None = None,
+                     n_samples: int | None = None,
+                     max_traces: int | None = None,
+                     engine: str | MCEngine | None = None) -> Any:
         """Evaluate a zero-argument callable that reads ECVs.
 
         The free-function form — what resource managers and tools use for
         compositions spanning several interfaces.  Not keyed, so it is
-        never memoized itself (nested ``session.evaluate`` calls inside
-        ``fn`` still are).
+        never memoized itself (nested keyed evaluations inside ``fn``
+        still are).
         """
         resolved_mode = mode if mode is not None else self.mode
         merged_env = self.env if env is None else \
             self.env.extended(_coerce_env(env).bindings)
+        call = fn if isinstance(fn, EnergyCall) else None
         return self._run(fn, resolved_mode, merged_env, rng, n_samples,
                          max_traces, label=("<fn>", getattr(
-                             fn, "__name__", "<lambda>"), (), None, None))
+                             fn, "__name__", "<lambda>"), (), None, None),
+                         engine=engine, call=call)
 
     def memoized(self, key: tuple, fn: Callable[[], Any]) -> Any:
         """Session-scoped memoization for arbitrary manager computations.
@@ -1018,7 +1161,9 @@ class EvalSession:
     # -- mode dispatch --------------------------------------------------------
     def _run(self, fn: Callable[[], Any], mode: str, env: ECVEnvironment,
              rng: np.random.Generator | None, n_samples: int | None,
-             max_traces: int | None, label: tuple) -> Any:
+             max_traces: int | None, label: tuple,
+             engine: str | MCEngine | None = None,
+             call: Callable[[], Any] | None = None) -> Any:
         self.stats["evaluations"] += 1
         samples = n_samples if n_samples is not None else self.n_samples
         traces_cap = max_traces if max_traces is not None else self.max_traces
@@ -1028,7 +1173,8 @@ class EvalSession:
                                       label[3], label[4])
         token = _ACTIVE_SESSION.set(self)
         try:
-            value = self._dispatch(fn, mode, env, rng, samples, traces_cap)
+            value = self._dispatch(fn, mode, env, rng, samples, traces_cap,
+                                   engine, call)
         except BaseException:
             if recorder is not None:
                 recorder.end_evaluation(None)
@@ -1041,7 +1187,9 @@ class EvalSession:
 
     def _dispatch(self, fn: Callable[[], Any], mode: str,
                   env: ECVEnvironment, rng: np.random.Generator | None,
-                  n_samples: int, max_traces: int) -> Any:
+                  n_samples: int, max_traces: int,
+                  engine: str | MCEngine | None = None,
+                  call: Callable[[], Any] | None = None) -> Any:
         if mode == "fixed":
             self._on_trace_begin()
             value = _run_in_context(fn, _FixedContext(env, session=self))
@@ -1078,31 +1226,24 @@ class EvalSession:
         try:
             outcomes = enumerate_traces(fn, env, max_traces, session=self)
         except _NotEnumerable:
-            return self._monte_carlo(fn, env, mode, rng, n_samples)
+            return self._monte_carlo(fn, env, mode, rng, n_samples,
+                                     engine, call)
         if mode == "expected":
             return _combine_expected(outcomes)
         return _combine_distribution(outcomes)
 
     def _monte_carlo(self, fn: Callable[[], Any], env: ECVEnvironment,
                      mode: str, rng: np.random.Generator | None,
-                     n_samples: int) -> Any:
-        from repro.core.distributions import Empirical, PointMass
+                     n_samples: int,
+                     engine: str | MCEngine | None = None,
+                     call: Callable[[], Any] | None = None) -> Any:
+        from repro.core.distributions import Empirical
 
-        generator = self._mc_rng(rng)
-        weight = 1.0 / n_samples
-        draws = np.empty(n_samples)
-        for index in range(n_samples):
-            self._on_trace_begin()
-            value = _run_in_context(
-                fn, _SamplingContext(env, generator, session=self))
-            self._on_trace_end(weight, value)
-            if isinstance(value, AbstractEnergy):
-                raise EvaluationError(
-                    "Monte-Carlo evaluation needs concrete energies; ground "
-                    "abstract units first")
-            dist = as_distribution(value)
-            draws[index] = (dist.mean() if isinstance(dist, PointMass)
-                            else float(dist.sample(generator, 1)[0]))
+        resolved = (self.engine if engine is None
+                    else resolve_engine(engine))
+        task = MCTask(fn=fn, env=env, n=int(n_samples),
+                      entropy=self._mc_entropy(rng), session=self, call=call)
+        draws = resolved.draws(task)
         if mode == "expected":
             return Energy(float(np.mean(draws)))
         return Empirical(draws)

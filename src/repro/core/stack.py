@@ -153,7 +153,7 @@ class ResourceManager:
         manager's predictions; without one the usual transparent default
         applies.
         """
-        return self.export_interface(resource_name).evaluate(
+        return self.export_interface(resource_name)._evaluate(
             method, *args, session=session, **kwargs)
 
     def __repr__(self) -> str:

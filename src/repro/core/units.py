@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from typing import Iterator, Mapping, Union
 
+import numpy as np
+
 from repro.core.errors import UnitMismatchError
 
 __all__ = [
@@ -57,7 +59,14 @@ class Energy:
     __slots__ = ("_joules",)
 
     def __init__(self, joules: float) -> None:
-        self._joules = float(joules)
+        if isinstance(joules, np.ndarray):
+            # Vector-valued energy: one Joule figure per Monte Carlo
+            # sample.  Produced only inside the batched evaluation engine
+            # (repro.core.mcengine), which unwraps it before results
+            # reach callers; arithmetic and comparisons broadcast.
+            self._joules = joules
+        else:
+            self._joules = float(joules)
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -142,7 +151,7 @@ class Energy:
         return NotImplemented
 
     def __mul__(self, factor: float) -> "Energy":
-        if isinstance(factor, (int, float)):
+        if isinstance(factor, (int, float, np.ndarray)):
             return Energy(self._joules * factor)
         return NotImplemented
 
@@ -151,7 +160,7 @@ class Energy:
     def __truediv__(self, other: Union["Energy", float]) -> Union["Energy", float]:
         if isinstance(other, Energy):
             return self._joules / other._joules
-        if isinstance(other, (int, float)):
+        if isinstance(other, (int, float, np.ndarray)):
             return Energy(self._joules / other)
         return NotImplemented
 

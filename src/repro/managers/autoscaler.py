@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import SchedulerError
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.units import Energy, as_joules
 
 if TYPE_CHECKING:
@@ -192,9 +192,10 @@ class InterfaceAutoscaler(Autoscaler):
         memo hook turns the daily scan into lookups.
         """
         if self.session is not None:
-            return as_joules(self.session.evaluate(
-                self.interface, "E_interval", replicas, rps,
-                current_replicas))
+            return as_joules(evaluate(
+                self.interface("E_interval", replicas, rps,
+                               current_replicas),
+                session=self.session))
         return self.interface.E_interval(replicas, rps,
                                          current_replicas).as_joules
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.errors import SchedulerError
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.units import Energy, as_joules
 
 if TYPE_CHECKING:
@@ -168,8 +168,9 @@ class InterfacePackingScheduler(ClusterScheduler):
     def _predict(self, interface: PodEnergyInterface, node: Node) -> float:
         resident = node.memory_used()
         if self.session is not None:
-            return as_joules(self.session.evaluate(
-                interface, "E_run", node.node_type, resident))
+            return as_joules(evaluate(
+                interface("E_run", node.node_type, resident),
+                session=self.session))
         return interface.E_run(node.node_type, resident).as_joules
 
     def place(self, pods: list[PodSpec], nodes: list[Node]) -> None:
@@ -227,8 +228,9 @@ def run_cluster(scheduler: ClusterScheduler, pods: list[PodSpec],
             interface = PodEnergyInterface(pod)
             durations.append(interface.E_duration(node_type, resident))
             if session is not None:
-                dynamic_energy += as_joules(session.evaluate(
-                    interface, "E_run", node_type, resident))
+                dynamic_energy += as_joules(evaluate(
+                    interface("E_run", node_type, resident),
+                    session=session))
             else:
                 dynamic_energy += interface.E_run(node_type,
                                                   resident).as_joules

@@ -36,6 +36,7 @@ from repro.serving.admission import (
     AdmitAllPolicy,
     HardBudgetPolicy,
     ProbabilisticPolicy,
+    QuantileBudgetPolicy,
     SLOAwarePolicy,
 )
 from repro.serving.budget import (
@@ -60,7 +61,7 @@ __all__ = [
     "ADMIT", "REJECT", "DEFER", "DEGRADE",
     "AdmissionContext", "AdmissionDecision", "AdmissionPolicy",
     "AdmitAllPolicy", "HardBudgetPolicy", "ProbabilisticPolicy",
-    "SLOAwarePolicy",
+    "QuantileBudgetPolicy", "SLOAwarePolicy",
     "BudgetSpec", "parse_budget_spec", "EnergyBudget", "BudgetManager",
     "EvalCache", "ecv_fingerprint", "env_fingerprint",
     "EnergyAwareGateway", "GatewayConfig", "zip_arrivals",

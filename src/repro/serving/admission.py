@@ -30,7 +30,7 @@ __all__ = [
     "ADMIT", "REJECT", "DEFER", "DEGRADE",
     "AdmissionContext", "AdmissionDecision",
     "AdmissionPolicy", "AdmitAllPolicy", "HardBudgetPolicy",
-    "ProbabilisticPolicy", "SLOAwarePolicy",
+    "ProbabilisticPolicy", "QuantileBudgetPolicy", "SLOAwarePolicy",
 ]
 
 ADMIT = "admit"
@@ -47,6 +47,10 @@ class AdmissionContext:
     budget: EnergyBudget
     expected_joules: float
     worst_joules: float
+    #: q-quantile of the predicted cost distribution, when the gateway is
+    #: configured with ``admission_quantile`` (a tail bound between the
+    #: mean and the worst case, estimated by the batched MC engine).
+    quantile_joules: float | None = None
     queue_depth: int = 0
     wait_estimate_s: float = 0.0
     deferrals: int = 0
@@ -151,6 +155,39 @@ class ProbabilisticPolicy(AdmissionPolicy):
         if self._rng.random() < p_admit:
             return AdmissionDecision(ADMIT, f"p={p_admit:.2f}")
         return AdmissionDecision(REJECT, f"early shed, p={p_admit:.2f}")
+
+
+class QuantileBudgetPolicy(AdmissionPolicy):
+    """Admit when the tail-quantile cost fits the budget chain.
+
+    Sits between :class:`HardBudgetPolicy` (guarantee, often loose) and
+    :class:`ProbabilisticPolicy`'s expectation guard: the gateway's
+    batched Monte Carlo engine estimates the q-quantile of the cost
+    distribution online, and admission requires that tail bound to fit —
+    at most a ``1-q`` chance the request overdraws.  Falls back to the
+    worst case when the gateway was not configured with
+    ``admission_quantile``.
+    """
+
+    name = "quantile"
+
+    def __init__(self, max_deferrals: int = 4,
+                 defer_horizon_s: float = 1.0) -> None:
+        self.max_deferrals = max_deferrals
+        self.defer_horizon_s = defer_horizon_s
+
+    def decide(self, ctx: AdmissionContext) -> AdmissionDecision:
+        bound = (ctx.quantile_joules if ctx.quantile_joules is not None
+                 else ctx.worst_joules)
+        if ctx.budget.can_draw(bound, ctx.now):
+            return AdmissionDecision(ADMIT, "quantile cost fits budget")
+        if (ctx.has_degraded
+                and ctx.budget.can_draw(ctx.degraded_worst_joules, ctx.now)):
+            return AdmissionDecision(DEGRADE, "degraded worst-case fits")
+        wait = ctx.budget.time_until_affordable(bound, ctx.now)
+        if ctx.deferrals < self.max_deferrals and wait <= self.defer_horizon_s:
+            return AdmissionDecision(DEFER, f"affordable in {wait:.3g} s")
+        return AdmissionDecision(REJECT, "budget exhausted")
 
 
 class SLOAwarePolicy(AdmissionPolicy):

@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Any, Hashable, Mapping
 
 from repro.core.errors import ServingError
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.session import (
     DEFAULT_P_QUANTUM,
     MemoHook,
@@ -95,8 +95,8 @@ class EvalCache:
         hit, value = self._hook.lookup(key)
         if hit:
             return value
-        value = interface.evaluate(method, *args, mode=mode, env=env,
-                                   **eval_kwargs)
+        value = evaluate(interface(method, *args), mode=mode, env=env,
+                         **eval_kwargs)
         self._hook.store(key, value)
         return value
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.core.errors import ServingError
+from repro.core.interface import evaluate
 from repro.core.session import EvalSession
 from repro.core.units import as_joules
 from repro.serving.admission import (
@@ -64,6 +65,14 @@ class GatewayConfig:
     max_queue: int = 64            # backpressure bound; overflow is shed
     defer_delay_s: float = 0.05    # hold time before a deferred retry
     ewma_alpha: float = 0.2        # service-time estimator smoothing
+    #: Monte Carlo engine for admission-time predictions ("serial",
+    #: "vector" or "parallel"); the vectorized engine makes per-request
+    #: quantile estimates affordable online.
+    mc_engine: str = "vector"
+    #: When set (e.g. 0.95), each admission decision also gets a
+    #: q-quantile cost estimate from a distribution-mode evaluation —
+    #: a tail bound tighter than worst case but stronger than the mean.
+    admission_quantile: float | None = None
 
 
 @dataclass
@@ -86,12 +95,13 @@ class EnergyAwareGateway:
         self.budget = budget
         self.policy = policy
         self.cache = cache if cache is not None else EvalCache()
+        self.config = config if config is not None else GatewayConfig()
         # All gateway predictions run through one session whose hook chain
         # holds the eval cache; extra hooks (a SpanRecorder for
         # per-request call trees, an AccountingHook for budget
         # accounting) can be added via ``gateway.session.add_hook``.
-        self.session = EvalSession(hooks=[self.cache.hook])
-        self.config = config if config is not None else GatewayConfig()
+        self.session = EvalSession(hooks=[self.cache.hook],
+                                   engine=self.config.mc_engine)
         self.metrics = ServingMetrics()
         self._ewma_service_s = 0.0
         self._ledger_mark = 0.0
@@ -99,16 +109,35 @@ class EnergyAwareGateway:
     # -- cost evaluation ---------------------------------------------------------
     def _predict(self, request: Any) -> tuple[float, float]:
         """(expected, worst) Joules for ``request`` via the session."""
+        call, env, fingerprint = self._cost_query(request)
+        expected = as_joules(evaluate(call, session=self.session,
+                                      mode="expected", env=env,
+                                      fingerprint=fingerprint))
+        worst = as_joules(evaluate(call, session=self.session, mode="worst",
+                                   env=env, fingerprint=fingerprint))
+        return expected, worst
+
+    def _predict_quantile(self, request: Any) -> float | None:
+        """q-quantile Joules for ``request`` (None unless configured).
+
+        Runs a distribution-mode evaluation through the session's batched
+        Monte Carlo engine; the resulting :class:`EnergyCall` is keyed, so
+        repeat requests with the same abstract input hit the eval cache
+        and the sampling cost is paid once per distinct input.
+        """
+        q = self.config.admission_quantile
+        if q is None:
+            return None
+        call, env, fingerprint = self._cost_query(request)
+        dist = evaluate(call, session=self.session, mode="distribution",
+                        env=env, fingerprint=fingerprint)
+        return float(dist.quantile(q))
+
+    def _cost_query(self, request: Any):
         method, args = self.adapter.cost_call(request)
         env = self.adapter.current_bindings()
         fingerprint = self.adapter.binding_fingerprint()
-        expected = as_joules(self.session.evaluate(
-            self.adapter.interface, method, *args, mode="expected",
-            env=env, fingerprint=fingerprint))
-        worst = as_joules(self.session.evaluate(
-            self.adapter.interface, method, *args, mode="worst",
-            env=env, fingerprint=fingerprint))
-        return expected, worst
+        return self.adapter.interface(method, *args), env, fingerprint
 
     # -- clock/energy bookkeeping ------------------------------------------------
     def _settle(self, engine_now: float) -> None:
@@ -211,6 +240,7 @@ class EnergyAwareGateway:
             ledger_joules=ledger_joules,
             allowance_joules=allowance,
             cache_stats=self.cache.stats(),
+            mc_engine=self.session.engine.name,
         )
 
     # -- one decision --------------------------------------------------------------
@@ -218,6 +248,7 @@ class EnergyAwareGateway:
         """Decide one queued request; returns server-hold seconds or None
         (None when the request did not occupy the server)."""
         expected, worst = self._predict(item.request)
+        quantile = self._predict_quantile(item.request)
         item.costs = (expected, worst)
         degraded_request = self.adapter.degrade(item.request)
         degraded_costs: tuple[float, float] | None = None
@@ -229,6 +260,7 @@ class EnergyAwareGateway:
             budget=self.budget,
             expected_joules=expected,
             worst_joules=worst,
+            quantile_joules=quantile,
             queue_depth=len(self._queue_view()),
             wait_estimate_s=self._wait_estimate(),
             deferrals=item.deferrals,
@@ -279,6 +311,7 @@ class EnergyAwareGateway:
                 machine_finish_s=machine.now,
                 predicted_expected_j=predicted[0],
                 predicted_worst_j=predicted[1],
+                predicted_quantile_j=quantile,
                 measured_j=measured,
                 deferrals=item.deferrals,
                 degraded=degraded,

@@ -45,6 +45,7 @@ class RequestRecord:
     machine_finish_s: float | None = None
     predicted_expected_j: float | None = None
     predicted_worst_j: float | None = None
+    predicted_quantile_j: float | None = None
     measured_j: float | None = None
     deferrals: int = 0
     degraded: bool = False
@@ -89,6 +90,9 @@ class ServingReport:
     p50_latency_s: float | None
     p99_latency_s: float | None
     cache_stats: dict[str, float] = field(default_factory=dict)
+    #: Name of the Monte Carlo engine that produced the predictions
+    #: ("serial", "vector", "parallel"); None for legacy runs.
+    mc_engine: str | None = None
 
     @property
     def budget_utilisation(self) -> float:
@@ -119,7 +123,8 @@ class ServingMetrics:
     # -- roll-up ---------------------------------------------------------------
     def summary(self, horizon_s: float, ledger_joules: float,
                 allowance_joules: float,
-                cache_stats: dict[str, float] | None = None) -> ServingReport:
+                cache_stats: dict[str, float] | None = None,
+                mc_engine: str | None = None) -> ServingReport:
         """Build the :class:`ServingReport` for a finished run."""
         admitted = [r for r in self.records if r.admitted]
         latencies = sorted(r.latency_s for r in admitted)
@@ -144,6 +149,7 @@ class ServingMetrics:
             p99_latency_s=(float(np.percentile(latencies, 99))
                            if latencies else None),
             cache_stats=dict(cache_stats or {}),
+            mc_engine=mc_engine,
         )
 
 
@@ -193,4 +199,6 @@ def format_report(report: ServingReport, title: str = "serving report"
                      f"{report.cache_stats.get('hit_rate', 0.0):.1%}"])
         rows.append(["eval-cache lookups",
                      str(int(report.cache_stats.get('lookups', 0)))])
+    if report.mc_engine is not None:
+        rows.append(["mc engine", report.mc_engine])
     return format_table(["metric", "value"], rows, title=title)
