@@ -35,6 +35,7 @@ from repro.analysis.expr import (
     UnaryOp,
     Var,
 )
+from repro.core.errors import IntervalError
 
 __all__ = ["Interval", "TOP", "NONNEGATIVE", "interval_of", "linearize",
            "AffineForm", "bound_expr", "condition_status"]
@@ -58,7 +59,7 @@ class Interval:
 
     def __post_init__(self) -> None:
         if self.lo > self.hi:
-            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+            raise IntervalError(f"empty interval [{self.lo}, {self.hi}]")
 
     @staticmethod
     def point(value: float) -> "Interval":

@@ -20,11 +20,16 @@
 * ``lint``        — the static energy-bug checker: run rules
   EB101–EB106 over implementation functions carrying an
   :class:`~repro.core.contracts.EnergySpec`, with text/JSON/SARIF
-  output and a baseline file for accepted findings.
+  output and a baseline file for accepted findings;
+* ``chaos``       — the fault-injection drill: serve a workload while a
+  seeded :class:`~repro.faults.FaultPlan` breaks evaluations underneath
+  the gateway, and check that graceful degradation keeps goodput above
+  ``--min-goodput``.
 
-``lint`` and ``trace`` share an exit-code convention: **0** clean,
-**1** findings (energy bugs, or divergence beyond ``--max-error``),
-**2** usage or configuration error.
+``lint``, ``trace`` and ``chaos`` share an exit-code convention:
+**0** clean, **1** findings (energy bugs, divergence beyond
+``--max-error``, or goodput below ``--min-goodput``), **2** usage or
+configuration error.
 """
 
 from __future__ import annotations
@@ -254,10 +259,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         requests = generation_trace(len(times), trace_rng)
 
     quantile = args.quantile if args.policy == "quantile" else None
+    from repro.core.policy import Policy
     gateway = EnergyAwareGateway(
         adapter, budget, policy,
-        config=GatewayConfig(max_queue=args.queue, mc_engine=args.engine,
-                             admission_quantile=quantile))
+        config=GatewayConfig(max_queue=args.queue,
+                             policy=Policy(mc_engine=args.engine,
+                                           admission_quantile=quantile)))
     report = gateway.serve(zip_arrivals(times, requests),
                            horizon=args.horizon)
     print(format_report(report, title=f"serving report ({args.app}, "
@@ -265,6 +272,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.attribution:
         print()
         print(attribution_report(adapter.machine.ledger, gateway.metrics))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.errors import ServingError
+    from repro.core.policy import (
+        DeadlinePolicy,
+        DegradePolicy,
+        Policy,
+        RetryPolicy,
+    )
+    from repro.faults import FaultHook, FaultPlan
+    from repro.serving import (
+        EnergyAwareGateway,
+        EnergyBudget,
+        GatewayConfig,
+        QuantileBudgetPolicy,
+        build_adapter,
+        format_report,
+        parse_budget_spec,
+        zip_arrivals,
+    )
+    from repro.sim.rng import RngFactory
+    from repro.workloads import (
+        generation_trace,
+        kv_request_trace,
+        poisson_arrivals,
+        repeated_image_trace,
+    )
+
+    if not 0.0 <= args.fault_rate < 1.0:
+        print("repro-energy chaos: --fault-rate must be in [0, 1)",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.min_goodput <= 1.0:
+        print("repro-energy chaos: --min-goodput must be in [0, 1]",
+              file=sys.stderr)
+        return 2
+    if args.rate <= 0 or args.horizon <= 0:
+        print("repro-energy chaos: --rate and --horizon must be positive",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = parse_budget_spec(args.budget)
+        adapter = build_adapter(args.app, seed=args.seed)
+    except ServingError as exc:
+        print(f"repro-energy chaos: {exc}", file=sys.stderr)
+        return 2
+
+    rng_factory = RngFactory(args.seed)
+    budget = EnergyBudget("node", capacity_joules=spec.capacity_joules,
+                          refill_watts=spec.refill_watts)
+    policy = Policy(
+        mc_engine=args.engine,
+        retry=RetryPolicy(max_attempts=args.retries),
+        deadline=DeadlinePolicy(timeout_s=args.deadline),
+        degrade=DegradePolicy(),
+    )
+    gateway = EnergyAwareGateway(
+        adapter, budget, QuantileBudgetPolicy(),
+        config=GatewayConfig(max_queue=args.queue, policy=policy))
+    plan = FaultPlan.uniform(args.fault_rate, entropy=args.seed)
+    gateway.inject_faults(plan)
+
+    times = poisson_arrivals(args.rate, args.horizon, rng_factory)
+    trace_rng = rng_factory.stream("trace")
+    if args.app == "mlservice":
+        requests = repeated_image_trace(len(times), trace_rng)
+    elif args.app == "kvstore":
+        requests = kv_request_trace(len(times), trace_rng, put_fraction=0.7)
+    else:
+        requests = generation_trace(len(times), trace_rng)
+
+    report = gateway.serve(zip_arrivals(times, requests),
+                           horizon=args.horizon)
+    print(format_report(
+        report, title=f"chaos report ({args.app}, "
+                      f"{100 * args.fault_rate:.0f}% fault plan, "
+                      f"seed {args.seed})"))
+    if report.goodput < args.min_goodput:
+        print(f"repro-energy chaos: goodput {report.goodput:.1%} below "
+              f"--min-goodput {args.min_goodput:.1%} — degradation did "
+              f"not hold the line", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -562,6 +653,34 @@ def main(argv: list[str] | None = None) -> int:
                        help="fail (exit 1) when any layer's prediction "
                             "error exceeds this percentage")
     trace.set_defaults(handler=_cmd_trace)
+
+    chaos = commands.add_parser(
+        "chaos", help="fault-injection drill on the serving gateway",
+        epilog="exit codes: 0 = clean, 1 = goodput below --min-goodput, "
+               "2 = usage or configuration error.")
+    chaos.add_argument("--app", choices=("mlservice", "kvstore", "llm"),
+                       default="kvstore")
+    chaos.add_argument("--budget", default="0.5J+0.25W",
+                       help='budget spec, e.g. "3J+0.5W", "100J" or "2W"')
+    chaos.add_argument("--rate", type=float, default=300.0,
+                       help="Poisson arrival rate (requests/s)")
+    chaos.add_argument("--horizon", type=float, default=10.0,
+                       help="simulated seconds of traffic")
+    chaos.add_argument("--queue", type=int, default=64,
+                       help="queue bound before shedding")
+    chaos.add_argument("--engine",
+                       choices=("serial", "vector", "parallel"),
+                       default="vector",
+                       help="Monte Carlo engine for admission predictions")
+    chaos.add_argument("--fault-rate", type=float, default=0.05,
+                       help="per-site injection probability (default 5%%)")
+    chaos.add_argument("--retries", type=int, default=3,
+                       help="retry budget per evaluation")
+    chaos.add_argument("--deadline", type=float, default=0.5,
+                       help="simulated per-evaluation deadline in seconds")
+    chaos.add_argument("--min-goodput", type=float, default=0.9,
+                       help="fail (exit 1) below this served fraction")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     bench = commands.add_parser(
         "bench", help="compare the Monte Carlo evaluation engines",

@@ -51,15 +51,22 @@ from repro.core.ecv import (
     UniformIntECV,
 )
 from repro.core.errors import (
+    ERROR_CODES,
+    BudgetExceeded,
     CompositionError,
     ContractViolation,
+    DeadlineExceeded,
+    DegradedResult,
     ECVBindingError,
     EnergyError,
     EvaluationError,
     ExtractionError,
+    FaultInjected,
     HardwareError,
     MeasurementError,
+    ReproError,
     SchedulerError,
+    ServingError,
     UnitMismatchError,
     UnknownECVError,
 )
@@ -70,6 +77,13 @@ from repro.core.interface import (
     active_session,
     enumerate_traces,
     evaluate,
+)
+from repro.core.policy import (
+    DeadlinePolicy,
+    DegradePolicy,
+    Policy,
+    RetryPolicy,
+    resolve_policy,
 )
 from repro.core.power import Power, ProvisioningReport, as_watts, provision
 from repro.core.session import (
@@ -122,8 +136,13 @@ __all__ = [
     # report
     "describe_interface", "format_table", "format_comparison",
     "render_stack",
+    # policy
+    "Policy", "RetryPolicy", "DeadlinePolicy", "DegradePolicy",
+    "resolve_policy",
     # errors
-    "EnergyError", "UnitMismatchError", "UnknownECVError", "ECVBindingError",
-    "EvaluationError", "ContractViolation", "CompositionError",
-    "ExtractionError", "HardwareError", "MeasurementError", "SchedulerError",
+    "ReproError", "EnergyError", "UnitMismatchError", "UnknownECVError",
+    "ECVBindingError", "EvaluationError", "ContractViolation",
+    "CompositionError", "ExtractionError", "HardwareError",
+    "MeasurementError", "SchedulerError", "ServingError", "BudgetExceeded",
+    "FaultInjected", "DeadlineExceeded", "DegradedResult", "ERROR_CODES",
 ]

@@ -399,43 +399,98 @@ class ParallelEngine(MCEngine):
 
     def draws(self, task: MCTask) -> np.ndarray:
         shards = self._resolve_shards(task.n)
-        payload = self._picklable_payload(task)
-        if payload is None or shards == 1:
-            return _VECTOR.draws(task)
-        call, env = payload
+        payload, pickle_error = self._picklable_payload(task)
         session = task.session
+        if payload is None or shards == 1:
+            if pickle_error is not None and session is not None:
+                # Surface *why* the parallel engine fell back in-process:
+                # the original pickling error used to be swallowed here.
+                session._annotate(
+                    f"parallel fallback: call not picklable "
+                    f"({type(pickle_error).__name__}: {pickle_error})")
+            try:
+                return _VECTOR.draws(task)
+            except Exception as exc:
+                if pickle_error is not None and exc.__cause__ is None:
+                    # The fallback failed too; chain the pickling error
+                    # so the report shows both causes.
+                    raise exc from pickle_error
+                raise
+        call, env = payload
+        fault_hook = session.fault_hook if session is not None else None
         if session is not None:
             session._on_trace_begin()
         try:
-            start_methods = multiprocessing.get_all_start_methods()
-            context = (multiprocessing.get_context("fork")
-                       if "fork" in start_methods else None)
-            with ProcessPoolExecutor(max_workers=shards,
-                                     mp_context=context) as pool:
-                futures = [
-                    pool.submit(_worker_evaluate, call, env, task.entropy,
-                                task.n, lo, hi)
-                    for lo, hi in _shard_bounds(task.n, shards)]
-                parts = [future.result() for future in futures]
+            bounds = _shard_bounds(task.n, shards)
+            live, dead = self._split_dead_shards(bounds, fault_hook)
+            parts: list[np.ndarray | None] = [None] * shards
+            if live:
+                start_methods = multiprocessing.get_all_start_methods()
+                context = (multiprocessing.get_context("fork")
+                           if "fork" in start_methods else None)
+                with ProcessPoolExecutor(max_workers=len(live),
+                                         mp_context=context) as pool:
+                    futures = {
+                        shard: pool.submit(_worker_evaluate, call, env,
+                                           task.entropy, task.n, lo, hi)
+                        for shard, (lo, hi) in live}
+                    for shard, future in futures.items():
+                        try:
+                            parts[shard] = future.result()
+                        except Exception as exc:
+                            # A genuinely dead worker: re-shard its range
+                            # in-process (columns are pure functions of
+                            # the entropy, so the recovery is bitwise-
+                            # identical to what the worker would return).
+                            dead.append((shard, bounds[shard]))
+                            if session is not None:
+                                session._annotate(
+                                    f"shard {shard} died "
+                                    f"({type(exc).__name__}); recomputed "
+                                    f"in-process")
+            for shard, (lo, hi) in dead:
+                parts[shard] = _worker_evaluate(call, env, task.entropy,
+                                                task.n, lo, hi)
         except BaseException:
             if session is not None:
                 session._abort_trace()
             raise
-        draws = np.concatenate(parts)
+        draws = np.concatenate([part for part in parts if part is not None])
         if session is not None:
             session._on_batch(task.n, Empirical(draws))
         return draws
 
     @staticmethod
-    def _picklable_payload(task: MCTask) -> tuple | None:
+    def _split_dead_shards(bounds: list[tuple[int, int]], fault_hook: Any
+                           ) -> tuple[list, list]:
+        """Partition shards into live ones and injected-dead ones.
+
+        Each shard consults the session's fault plan (site
+        ``"mcengine.shard"``) once, in shard order, so replays kill the
+        same shards.  Dead shards are recomputed in the parent over the
+        same deterministic columns — the result stays bitwise-identical,
+        the fault only costs the lost parallelism.
+        """
+        live: list[tuple[int, tuple[int, int]]] = []
+        dead: list[tuple[int, tuple[int, int]]] = []
+        for shard, span in enumerate(bounds):
+            dies = (fault_hook is not None
+                    and fault_hook.shard_dies(shard))
+            (dead if dies else live).append((shard, span))
+        return live, dead
+
+    @staticmethod
+    def _picklable_payload(task: MCTask
+                           ) -> tuple[tuple | None, Exception | None]:
+        """``(payload, error)``: the picklable payload, or why there is none."""
         if task.call is None:
-            return None
+            return None, None
         payload = (task.call, task.env)
         try:
             pickle.dumps(payload)
-        except Exception:
-            return None
-        return payload
+        except Exception as exc:
+            return None, exc
+        return payload, None
 
     def __repr__(self) -> str:
         return f"ParallelEngine(shards={self.shards})"

@@ -1,0 +1,164 @@
+"""Declarative evaluation/serving policy: one object, every knob.
+
+PR 4 collapsed the evaluation *entry points* into one canonical
+``evaluate()``; this module collapses the evaluation *knobs*.  Before,
+three families of settings lived in three places — the Monte Carlo knobs
+on :class:`~repro.core.session.EvalSession` (``engine``, ``n_samples``,
+``max_traces``), the admission knobs on
+:class:`~repro.serving.gateway.GatewayConfig` (``mc_engine``,
+``admission_quantile``) and the new resilience knobs (retry, deadline,
+degradation) had nowhere to live at all.  A :class:`Policy` holds all of
+them declaratively and is accepted by both ``EvalSession(policy=...)``
+and ``GatewayConfig(policy=...)``; the old keyword shapes keep working
+through ``DeprecationWarning`` shims, the same migration pattern as
+PR 4's ``evaluate()`` collapse.
+
+The resilience sub-policies are consumed by
+:class:`repro.faults.ResilientEvaluator`:
+
+* :class:`RetryPolicy` — capped exponential backoff with deterministic
+  jitter.  Backoff time is *simulated* (charged against the deadline and
+  reported, never slept), so retried evaluations stay bit-reproducible.
+* :class:`DeadlinePolicy` — a per-request evaluation timeout over the
+  simulated latency account (injected latency + backoff).
+* :class:`DegradePolicy` — the fallback ladder: cached estimate →
+  closed-form/worst-mode bound → reject with a typed error.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ServingError
+
+__all__ = [
+    "RetryPolicy",
+    "DeadlinePolicy",
+    "DegradePolicy",
+    "Policy",
+    "resolve_policy",
+]
+
+#: Valid rungs of the degradation ladder, in their canonical order.
+DEGRADE_TIERS = ("cache", "bound", "reject")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``backoff_s(attempt, unit)`` returns the simulated wait before retry
+    ``attempt`` (1-based); ``unit`` is a caller-supplied uniform draw in
+    ``[0, 1)`` — the resilient evaluator derives it from the fault
+    plan's seed so replays back off identically.
+    """
+
+    max_attempts: int = 3          # total tries, including the first
+    base_delay_s: float = 0.01     # backoff after the first failure
+    max_delay_s: float = 1.0       # cap on any single backoff
+    jitter: float = 0.5            # +/- fraction of the backoff randomised
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServingError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServingError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, attempt: int, unit: float = 0.5) -> float:
+        """Simulated backoff before retry ``attempt`` (1-based)."""
+        base = min(self.base_delay_s * (2.0 ** (attempt - 1)),
+                   self.max_delay_s)
+        # unit=0.5 is jitter-neutral: the spread is [-j, +j) * base.
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """Per-request evaluation timeout over the simulated latency account."""
+
+    timeout_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ServingError(
+                f"deadline timeout must be > 0, got {self.timeout_s}")
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """The fallback ladder tried, in order, once retries are exhausted.
+
+    Tiers: ``"cache"`` (last known-good / memoized estimate for the same
+    query), ``"bound"`` (closed-form worst-mode bound evaluated without
+    fault injection), ``"reject"`` (raise the typed error).  A ladder
+    without ``"reject"`` implicitly ends with it — the ladder must
+    terminate somehow.
+    """
+
+    ladder: tuple[str, ...] = DEGRADE_TIERS
+
+    def __post_init__(self) -> None:
+        unknown = [tier for tier in self.ladder if tier not in DEGRADE_TIERS]
+        if unknown:
+            raise ServingError(
+                f"unknown degradation tier(s) {unknown}; "
+                f"valid tiers are {list(DEGRADE_TIERS)}")
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Every evaluation/serving knob, in one declarative object.
+
+    ``None`` means "use the layer's default" — an unset field never
+    overrides :class:`~repro.core.session.EvalSession` class defaults,
+    so ``Policy()`` is a no-op policy.
+    """
+
+    #: Monte Carlo engine for evaluations ("serial"/"vector"/"parallel").
+    mc_engine: str | None = None
+    #: Admission-time tail quantile (e.g. 0.95); None disables it.
+    admission_quantile: float | None = None
+    #: Monte Carlo sample budget; None keeps the session default.
+    n_samples: int | None = None
+    #: Trace-enumeration budget; None keeps the session default.
+    max_traces: int | None = None
+    #: Resilience: None disables retries (single attempt).
+    retry: RetryPolicy | None = None
+    #: Resilience: None disables the deadline check.
+    deadline: DeadlinePolicy | None = None
+    #: Resilience: which fallbacks to try once attempts are exhausted.
+    degrade: DegradePolicy = field(default_factory=DegradePolicy)
+
+    @property
+    def resilient(self) -> bool:
+        """True when any resilience knob is set (retry or deadline)."""
+        return self.retry is not None or self.deadline is not None
+
+
+def resolve_policy(policy: Policy | None, *,
+                   mc_engine: str | None = None,
+                   admission_quantile: float | None = None,
+                   stacklevel: int = 3) -> Policy:
+    """Merge legacy per-knob keywords into a :class:`Policy`.
+
+    The shim behind ``GatewayConfig(mc_engine=..., admission_quantile=...)``:
+    explicit legacy keywords win over the policy's fields (matching the
+    old behaviour where they were the only knobs) but emit a
+    ``DeprecationWarning`` steering callers to ``Policy``.
+    """
+    resolved = policy if policy is not None else Policy()
+    legacy = {key: value for key, value in
+              (("mc_engine", mc_engine),
+               ("admission_quantile", admission_quantile))
+              if value is not None}
+    if legacy:
+        names = ", ".join(sorted(legacy))
+        warnings.warn(
+            f"passing {names} directly is deprecated; set them on a "
+            f"Policy (e.g. Policy({names.replace(', ', '=..., ')}=...)) "
+            f"instead",
+            DeprecationWarning, stacklevel=stacklevel)
+        resolved = replace(resolved, **legacy)
+    return resolved

@@ -48,7 +48,7 @@ from repro.core.ecv import (
     FixedECV,
     UniformIntECV,
 )
-from repro.core.errors import EvaluationError
+from repro.core.errors import BudgetExceeded, EvaluationError
 from repro.core.interface import (
     _ACTIVE_SESSION,
     _coerce_env,
@@ -62,6 +62,7 @@ from repro.core.interface import (
     enumerate_traces,
 )
 from repro.core.mcengine import DEFAULT_ENTROPY, MCEngine, MCTask, resolve_engine
+from repro.core.policy import Policy
 from repro.core.units import AbstractEnergy, Energy
 
 __all__ = [
@@ -201,6 +202,9 @@ class EvalSpan:
     measured_channel: str | None = None
     ecv_reads: dict[str, list] = field(default_factory=dict)
     children: list["EvalSpan"] = field(default_factory=list)
+    #: Free-form diagnostics surfaced by the evaluation machinery (e.g.
+    #: why a parallel run fell back in-process, which faults fired).
+    notes: list[str] = field(default_factory=list)
 
     @property
     def label(self) -> str:
@@ -258,6 +262,7 @@ class EvalSpan:
             "measured_j": self.measured_j,
             "ecv_reads": {name: list(values)
                           for name, values in self.ecv_reads.items()},
+            "notes": list(self.notes),
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -289,6 +294,8 @@ def render_span_tree(root: EvalSpan, max_depth: int | None = None) -> str:
             parts.append(f"measured={span.measured_j:.6g} J")
             if span.divergence is not None:
                 parts.append(f"div={span.divergence:.1%}")
+        for note in span.notes:
+            parts.append(f"!{note}")
         lines.append(prefix + connector + " ".join(parts))
         child_prefix = prefix + ("" if depth == 0 and not prefix else
                                  ("   " if tail else "│  "))
@@ -430,6 +437,20 @@ class EvalHook:
         self.on_trace(1.0, value)
 
 
+def _poisoned_value(value: Any) -> bool:
+    """True when an evaluation result carries NaN Joules."""
+    if isinstance(value, EnergyDistribution):
+        mean = float(value.mean())
+        return mean != mean
+    joules = getattr(value, "as_joules", None)
+    if joules is not None:
+        joules = float(joules)
+        return joules != joules
+    if isinstance(value, (int, float)):
+        return float(value) != float(value)
+    return False
+
+
 class MemoHook(EvalHook):
     """Session-scoped LRU memoization of interface evaluations.
 
@@ -465,7 +486,15 @@ class MemoHook(EvalHook):
         return (True, value)
 
     def store(self, key: Hashable, value: Any) -> None:
-        """Insert, evicting LRU entries; unhashable keys are dropped."""
+        """Insert, evicting LRU entries; unhashable keys are dropped.
+
+        Poisoned results (NaN Joules — a garbage hardware reading, or an
+        injected one) are never memoized: a cache that remembers garbage
+        serves it long after the fault has passed, and the degradation
+        ladder treats cached values as known-good.
+        """
+        if _poisoned_value(value):
+            return
         try:
             self._entries[key] = value
         except TypeError:
@@ -534,7 +563,7 @@ class AccountingHook(EvalHook):
     def before_evaluate(self, request: EvalRequest) -> tuple[bool, Any]:
         if (self.max_evaluations is not None
                 and self.evaluations >= self.max_evaluations):
-            raise EvaluationError(
+            raise BudgetExceeded(
                 f"evaluation budget exhausted: {self.evaluations} "
                 f"evaluations (limit {self.max_evaluations})")
         return (False, None)
@@ -610,6 +639,7 @@ class _AggNode:
         self.concrete = True
         self.cache_hit = False
         self.ecv_reads: dict[str, list] = {}
+        self.notes: list[str] = []
         self.children: OrderedDict[Hashable, _AggNode] = OrderedDict()
 
     def observe(self, node: _ObsNode, weight: float) -> None:
@@ -660,6 +690,7 @@ class _AggNode:
             ecv_reads={k: list(v) for k, v in self.ecv_reads.items()},
             children=[child.to_span(mode) for child in
                       self.children.values()],
+            notes=list(self.notes),
         )
         return span
 
@@ -825,6 +856,20 @@ class SpanRecorder(EvalHook):
         if value not in reads and len(reads) < _MAX_ECV_VALUES:
             reads.append(value)
 
+    def annotate(self, note: str) -> None:
+        """Attach a diagnostic note to the innermost open evaluation span.
+
+        Used by the evaluation machinery to surface events that would
+        otherwise be invisible in the tree — a parallel engine falling
+        back in-process because the call would not pickle, a shard being
+        recomputed after a worker died, an injected fault.
+        """
+        if not self._frames:
+            return
+        notes = self._frames[-1].agg.notes
+        if note not in notes:
+            notes.append(note)
+
     # -- results -------------------------------------------------------------
     @property
     def last_root(self) -> EvalSpan | None:
@@ -883,7 +928,17 @@ class EvalSession:
                  max_traces: int | None = None,
                  engine: str | MCEngine | None = None,
                  hooks: list[EvalHook] | None = None,
-                 p_quantum: float = DEFAULT_P_QUANTUM) -> None:
+                 p_quantum: float = DEFAULT_P_QUANTUM,
+                 policy: Policy | None = None) -> None:
+        # A declarative Policy seeds the per-knob parameters; explicit
+        # keywords win over it (they are the more specific spelling).
+        self.policy = policy
+        if policy is not None:
+            engine = engine if engine is not None else policy.mc_engine
+            n_samples = (n_samples if n_samples is not None
+                         else policy.n_samples)
+            max_traces = (max_traces if max_traces is not None
+                          else policy.max_traces)
         self.mode = mode
         self.env = _coerce_env(env)
         self.seed = seed
@@ -917,11 +972,24 @@ class EvalSession:
         """The first memoization hook in the hook chain, if any."""
         return self._memo
 
+    @property
+    def fault_hook(self) -> "EvalHook | None":
+        """The first fault-injection hook in the chain, if any.
+
+        Duck-typed on the ``is_fault_hook`` marker so the core does not
+        import :mod:`repro.faults`; the engines consult it for
+        engine-level fault sites (shard death).
+        """
+        return self._fault_hook
+
     def _index_hooks(self) -> None:
         self._recorder = next((hook for hook in self.hooks
                                if isinstance(hook, SpanRecorder)), None)
         self._memo = next((hook for hook in self.hooks
                            if isinstance(hook, MemoHook)), None)
+        self._fault_hook = next(
+            (hook for hook in self.hooks
+             if getattr(hook, "is_fault_hook", False)), None)
 
     def add_hook(self, hook: EvalHook) -> EvalHook:
         self.hooks.append(hook)
@@ -967,6 +1035,12 @@ class EvalSession:
         recorder = self.recorder
         if recorder is not None:
             recorder.abort_trace()
+
+    def _annotate(self, note: str) -> None:
+        """Surface a machinery diagnostic on the open span, if recording."""
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.annotate(note)
 
     # -- RNG ------------------------------------------------------------------
     def _sampling_rng(self, override: np.random.Generator | None

@@ -1,0 +1,290 @@
+"""Retry / deadline / degrade: the consumption side of fault tolerance.
+
+:class:`ResilientEvaluator` wraps the canonical
+:func:`repro.core.interface.evaluate` with the resilience sub-policies of
+a :class:`~repro.core.policy.Policy` and always returns an
+:class:`EvalOutcome` instead of raising — the caller (serving gateway,
+resource manager, chaos CLI) decides what a rejection means.
+
+Time is *simulated* throughout, matching the rest of the repository:
+injected latency comes from the fault hook's account, retry backoff is
+charged against the same account, and the deadline compares against it.
+Nothing sleeps, so a million-request chaos run finishes in seconds and
+replays bit-for-bit.
+
+The degradation ladder (:class:`~repro.core.policy.DegradePolicy`):
+
+``cache``
+    The last known-good value this evaluator produced for the same
+    query (and, failing that, the session's memo hook) — the §3 story
+    that an ECV regime rarely shifts between adjacent requests.
+``bound``
+    A worst-mode evaluation with injection suspended — the closed-form
+    §4 contract bound.  Pessimistic but *sound*: admission control that
+    degrades to it sheds load it might have served, never the reverse.
+``reject``
+    A typed :class:`~repro.core.errors.FaultInjected` /
+    :class:`~repro.core.errors.DeadlineExceeded` rejection carrying the
+    original fault chain.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.core.distributions import EnergyDistribution
+from repro.core.errors import (
+    DeadlineExceeded,
+    EvaluationError,
+    FaultInjected,
+    ReproError,
+)
+from repro.core.interface import EnergyCall, evaluate
+from repro.core.policy import Policy
+from repro.core.session import EvalSession
+from repro.core.units import AbstractEnergy, Energy
+
+__all__ = ["EvalOutcome", "ResilientEvaluator"]
+
+#: Statuses an outcome can carry (``accepted`` = not rejected).
+STATUSES = ("ok", "degraded-cache", "degraded-bound", "rejected")
+
+
+def _joules_or_none(value: Any) -> float | None:
+    if isinstance(value, AbstractEnergy):
+        return None
+    if isinstance(value, Energy):
+        return float(value.as_joules)
+    if isinstance(value, EnergyDistribution):
+        return float(value.mean())
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _poisoned(value: Any) -> bool:
+    """True when a result carries NaN — a garbage hardware reading."""
+    joules = _joules_or_none(value)
+    return joules is not None and math.isnan(joules)
+
+
+@dataclass
+class EvalOutcome:
+    """What one resilient evaluation produced, and how.
+
+    ``status`` is one of ``"ok"`` (clean), ``"degraded-cache"`` /
+    ``"degraded-bound"`` (a fallback answered), ``"rejected"`` (the
+    ladder ran out).  ``faults`` holds the error codes met along the
+    way; ``latency_s`` the simulated injected latency plus backoff.
+    """
+
+    value: Any
+    status: str
+    attempts: int = 1
+    faults: tuple[str, ...] = ()
+    latency_s: float = 0.0
+    error: ReproError | None = None
+    #: The degradation tier that answered, when status is degraded.
+    tier: str | None = field(default=None)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def degraded(self) -> bool:
+        return self.status in ("degraded-cache", "degraded-bound")
+
+    @property
+    def accepted(self) -> bool:
+        """A usable value came back (clean or degraded)."""
+        return self.status != "rejected"
+
+    def raise_for_status(self) -> Any:
+        """Return the value, raising the typed error on rejection."""
+        if self.status == "rejected":
+            raise (self.error if self.error is not None
+                   else FaultInjected("evaluation rejected"))
+        return self.value
+
+
+class ResilientEvaluator:
+    """Evaluate through a session under retry/deadline/degrade policies.
+
+    One evaluator serves many queries; it remembers the last known-good
+    value per query key for the ``cache`` degradation tier.  Retry
+    jitter draws come from the session's fault plan (site
+    ``"retry.jitter"``), so a replayed plan backs off identically.
+    """
+
+    def __init__(self, session: EvalSession,
+                 policy: Policy | None = None) -> None:
+        self.session = session
+        self.policy = (policy if policy is not None
+                       else session.policy if session.policy is not None
+                       else Policy())
+        self._last_good: dict[Hashable, Any] = {}
+
+    # -- plumbing -------------------------------------------------------------
+    @property
+    def _hook(self):
+        return self.session.fault_hook
+
+    def _jitter_unit(self) -> float:
+        hook = self._hook
+        if hook is None:
+            return 0.5  # neutral: no plan, no jitter
+        return hook.plan.peek_uniform("retry.jitter")
+
+    @staticmethod
+    def _key(call: Any, mode: str | None,
+             fingerprint: Hashable | None) -> Hashable:
+        if isinstance(call, EnergyCall):
+            name = getattr(call.interface, "name",
+                           type(call.interface).__name__)
+            args = call.args if not call.kwargs else call.args + call.kwargs
+            return (name, call.method_name, args, mode, fingerprint)
+        return (getattr(call, "__name__", repr(call)), mode, fingerprint)
+
+    # -- the resilient pipeline ----------------------------------------------
+    def evaluate_call(self, call: Callable[[], Any], *,
+                      mode: str | None = None,
+                      env: Mapping[str, Any] | None = None,
+                      fingerprint: Hashable | None = None,
+                      bound: Callable[[], Any] | None = None) -> EvalOutcome:
+        """Evaluate ``call``; never raises for injected/typed failures.
+
+        ``bound`` optionally supplies a caller-known closed-form bound
+        (e.g. a manager's raw ``E_run``) used by the ``bound`` tier
+        instead of a worst-mode re-evaluation.
+        """
+        retry = self.policy.retry
+        deadline = self.policy.deadline
+        allowed = retry.max_attempts if retry is not None else 1
+        hook = self._hook
+        key = self._key(call, mode, fingerprint)
+        faults: list[str] = []
+        latency = 0.0
+        error: ReproError | None = None
+        attempt = 0
+        while attempt < allowed:
+            attempt += 1
+            try:
+                value = evaluate(call, session=self.session, mode=mode,
+                                 env=env, fingerprint=fingerprint)
+                if hook is not None:
+                    latency += hook.drain_latency()
+                if _poisoned(value):
+                    raise FaultInjected(
+                        "hardware layer returned NaN", site="hardware")
+                if (deadline is not None
+                        and latency > deadline.timeout_s):
+                    raise DeadlineExceeded(
+                        f"evaluation took {latency:.3g} s simulated "
+                        f"(deadline {deadline.timeout_s:.3g} s)",
+                        deadline_s=deadline.timeout_s, elapsed_s=latency)
+                self._last_good[key] = value
+                return EvalOutcome(value, "ok", attempts=attempt,
+                                   faults=tuple(faults), latency_s=latency)
+            except ReproError as exc:
+                if hook is not None:
+                    latency += hook.drain_latency()
+                faults.append(exc.code)
+                error = exc
+                if isinstance(exc, DeadlineExceeded):
+                    break  # retrying cannot un-spend the deadline
+                if retry is not None and attempt < allowed:
+                    latency += retry.backoff_s(attempt, self._jitter_unit())
+                    if (deadline is not None
+                            and latency > deadline.timeout_s):
+                        error = DeadlineExceeded(
+                            f"retry backoff exhausted the deadline "
+                            f"({latency:.3g} s > {deadline.timeout_s:.3g} s)",
+                            deadline_s=deadline.timeout_s, elapsed_s=latency)
+                        error.__cause__ = exc
+                        faults.append(error.code)
+                        break
+        return self._degrade(call, key, mode=mode, env=env,
+                             fingerprint=fingerprint, bound=bound,
+                             attempts=attempt, faults=faults,
+                             latency=latency, error=error)
+
+    def _degrade(self, call: Callable[[], Any], key: Hashable, *,
+                 mode: str | None, env: Mapping[str, Any] | None,
+                 fingerprint: Hashable | None,
+                 bound: Callable[[], Any] | None,
+                 attempts: int, faults: list[str], latency: float,
+                 error: ReproError | None) -> EvalOutcome:
+        """Walk the degradation ladder once attempts are exhausted."""
+        for tier in self.policy.degrade.ladder:
+            if tier == "cache":
+                hit, value = self._cached(key)
+                if hit:
+                    return EvalOutcome(value, "degraded-cache",
+                                       attempts=attempts,
+                                       faults=tuple(faults),
+                                       latency_s=latency, error=error,
+                                       tier="cache")
+            elif tier == "bound":
+                try:
+                    value = self._bound_value(call, env=env,
+                                              fingerprint=fingerprint,
+                                              bound=bound)
+                except ReproError:
+                    continue
+                if not _poisoned(value):
+                    return EvalOutcome(value, "degraded-bound",
+                                       attempts=attempts,
+                                       faults=tuple(faults),
+                                       latency_s=latency, error=error,
+                                       tier="bound")
+            elif tier == "reject":
+                break
+        if error is None:
+            error = FaultInjected("evaluation failed and every "
+                                  "degradation tier declined")
+        return EvalOutcome(None, "rejected", attempts=attempts,
+                           faults=tuple(faults), latency_s=latency,
+                           error=error)
+
+    # -- ladder tiers ---------------------------------------------------------
+    def _cached(self, key: Hashable) -> tuple[bool, Any]:
+        if key in self._last_good:
+            return True, self._last_good[key]
+        memo = self.session.memo
+        if memo is not None:
+            # The memo keys on the same (name, method, args, mode,
+            # fingerprint) shape; a hit there is as good as ours.
+            hit, value = memo.lookup(key)
+            if hit and not _poisoned(value):
+                return True, value
+        return False, None
+
+    def _bound_value(self, call: Callable[[], Any], *,
+                     env: Mapping[str, Any] | None,
+                     fingerprint: Hashable | None,
+                     bound: Callable[[], Any] | None) -> Any:
+        if bound is not None:
+            return bound()
+        hook = self._hook
+        guard = hook.suspended() if hook is not None else nullcontext()
+        with guard:
+            value = evaluate(call, session=self.session, mode="worst",
+                             env=env, fingerprint=fingerprint)
+        if isinstance(value, AbstractEnergy):
+            raise _AbstractBound()
+        return value
+
+    def __repr__(self) -> str:
+        return (f"ResilientEvaluator(policy={self.policy!r}, "
+                f"known_good={len(self._last_good)})")
+
+
+class _AbstractBound(EvaluationError):
+    """Internal: the bound tier produced an unusable abstract energy."""
+
+    code = "abstract-bound"

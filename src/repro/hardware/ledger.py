@@ -19,6 +19,7 @@ queries (``power_at``) by pro-rating.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -43,6 +44,10 @@ class EnergyRecord:
             raise HardwareError(
                 f"energy record for {self.component!r} has inverted interval "
                 f"[{self.t_start}, {self.t_end}]")
+        if math.isnan(self.joules) or math.isinf(self.joules):
+            raise HardwareError(
+                f"energy record for {self.component!r} has non-finite energy "
+                f"{self.joules} J")
         if self.joules < 0:
             raise HardwareError(
                 f"energy record for {self.component!r} has negative energy "
@@ -79,6 +84,8 @@ class EnergyLedger:
         self._starts: list[float] = []
         self._max_end = 0.0
         self._max_duration = 0.0
+        #: Readings rejected by :meth:`log_reading`, per component.
+        self.dropped: dict[str, int] = {}
 
     def log(self, record: EnergyRecord) -> None:
         """Append one record. Records must arrive in start-time order."""
@@ -90,6 +97,28 @@ class EnergyLedger:
         self._starts.append(record.t_start)
         self._max_end = max(self._max_end, record.t_end)
         self._max_duration = max(self._max_duration, record.duration)
+
+    def log_reading(self, component: str, domain: str, t_start: float,
+                    t_end: float, joules: float, tag: str = ""
+                    ) -> EnergyRecord | None:
+        """Log a raw meter reading, quarantining garbage instead of raising.
+
+        Real meters occasionally return NaN, negative deltas (counter
+        wrap) or inverted timestamps.  :meth:`log` treats those as
+        programming errors; this entry point treats them as *data* —
+        a bad reading is dropped, counted in :attr:`dropped`, and
+        ``None`` is returned so callers can degrade (interpolate, skip)
+        rather than crash mid-run.
+        """
+        try:
+            record = EnergyRecord(component=component, domain=domain,
+                                  t_start=t_start, t_end=t_end,
+                                  joules=joules, tag=tag)
+            self.log(record)
+        except HardwareError:
+            self.dropped[component] = self.dropped.get(component, 0) + 1
+            return None
+        return record
 
     # -- queries ---------------------------------------------------------------
     def __len__(self) -> int:

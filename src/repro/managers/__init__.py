@@ -15,6 +15,7 @@ from repro.managers.autoscaler import (
     diurnal_profile,
 )
 from repro.managers.base import (
+    ComponentHealth,
     Placement,
     Scheduler,
     SchedulerResult,
@@ -42,7 +43,8 @@ from repro.managers.interface_scheduler import (
 from repro.serving.budget import BudgetManager
 
 __all__ = [
-    "Task", "Placement", "Scheduler", "SchedulerResult", "SchedulerSim",
+    "Task", "Placement", "ComponentHealth", "Scheduler", "SchedulerResult",
+    "SchedulerSim",
     "EASScheduler", "PeakEASScheduler", "InterfaceScheduler", "OracleScheduler",
     "UtilizationInterface", "LRUCacheManager",
     "NodeType", "Node", "PodSpec", "PodEnergyInterface", "ClusterScheduler",

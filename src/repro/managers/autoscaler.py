@@ -20,9 +20,10 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.errors import SchedulerError
+from repro.core.errors import ReproError, SchedulerError
 from repro.core.interface import EnergyInterface, evaluate
 from repro.core.units import Energy, as_joules
+from repro.managers.base import ComponentHealth
 
 if TYPE_CHECKING:
     from repro.core.session import EvalSession
@@ -182,6 +183,7 @@ class InterfaceAutoscaler(Autoscaler):
         self.session = session
         self.interface = ReplicaConfigInterface(spec, interval_seconds,
                                                 drop_penalty_j)
+        self.health = ComponentHealth()
 
     def predicted_cost(self, replicas: int, rps: float,
                        current_replicas: int) -> float:
@@ -189,13 +191,26 @@ class InterfaceAutoscaler(Autoscaler):
 
         With a session attached, the evaluation runs through its hooks —
         on a periodic forecast the candidate sweep repeats exactly, so a
-        memo hook turns the daily scan into lookups.
+        memo hook turns the daily scan into lookups.  A faulting session
+        evaluation degrades to the closed-form ``E_interval`` (identical
+        model, no substrate), so a chaos run still scales sensibly; the
+        failure is marked in :attr:`health` per candidate count.
         """
         if self.session is not None:
-            return as_joules(evaluate(
-                self.interface("E_interval", replicas, rps,
-                               current_replicas),
-                session=self.session))
+            try:
+                joules = as_joules(evaluate(
+                    self.interface("E_interval", replicas, rps,
+                                   current_replicas),
+                    session=self.session))
+                if math.isnan(joules):
+                    # A poisoned hardware reading, not an exception.
+                    raise ReproError("NaN prediction")
+            except ReproError:
+                self.health.mark_failure(f"replicas:{replicas}")
+                return self.interface.E_interval(
+                    replicas, rps, current_replicas).as_joules
+            self.health.mark_success(f"replicas:{replicas}")
+            return joules
         return self.interface.E_interval(replicas, rps,
                                          current_replicas).as_joules
 

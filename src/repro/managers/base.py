@@ -18,10 +18,11 @@ differences are attributable to prediction quality alone.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.core.errors import SchedulerError
+from repro.core.errors import ReproError, SchedulerError
 from repro.hardware.cpu import Core
 from repro.hardware.dvfs import Governor, SchedutilGovernor
 from repro.hardware.machine import Machine
@@ -29,8 +30,75 @@ from repro.hardware.machine import Machine
 if TYPE_CHECKING:
     from repro.core.session import EvalSession
 
-__all__ = ["Task", "Placement", "Scheduler", "SchedulerResult",
-           "SchedulerSim"]
+__all__ = ["Task", "Placement", "ComponentHealth", "Scheduler",
+           "SchedulerResult", "SchedulerSim"]
+
+
+class ComponentHealth:
+    """Tracks which components' interfaces repeatedly fault.
+
+    The shared circuit-breaker for resource managers: a component
+    (a core, a cluster node, a replica tier) whose evaluations fail
+    ``threshold`` times in a row is *quarantined* — managers route
+    around it — until ``probation`` quarantine checks have passed, at
+    which point one half-open trial is allowed: a success clears the
+    breaker, a failure re-arms it.
+    """
+
+    def __init__(self, threshold: int = 3, probation: int = 8) -> None:
+        if threshold < 1:
+            raise SchedulerError(
+                f"quarantine threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.probation = probation
+        self.failures: dict[str, int] = {}
+        self.successes: dict[str, int] = {}
+        self._consecutive: dict[str, int] = {}
+        self._skips: dict[str, int] = {}
+
+    def mark_failure(self, name: str) -> None:
+        self.failures[name] = self.failures.get(name, 0) + 1
+        self._consecutive[name] = self._consecutive.get(name, 0) + 1
+
+    def mark_success(self, name: str) -> None:
+        self.successes[name] = self.successes.get(name, 0) + 1
+        self._consecutive[name] = 0
+        self._skips.pop(name, None)
+
+    def quarantined(self, name: str) -> bool:
+        """Should the component be routed around right now?
+
+        Stateful: while quarantined each check counts toward probation,
+        and the check after probation expires is the half-open trial.
+        """
+        if self._consecutive.get(name, 0) < self.threshold:
+            return False
+        skips = self._skips.get(name, 0)
+        if skips >= self.probation:
+            self._skips[name] = 0
+            return False  # half-open: let one attempt through
+        self._skips[name] = skips + 1
+        return True
+
+    def healthy(self, names: "Sequence[str]") -> list[str]:
+        """The subset not currently quarantined (all, if none are left —
+        routing around *everything* is worse than trying)."""
+        alive = [name for name in names if not self.quarantined(name)]
+        return alive if alive else list(names)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {
+            "failures": dict(self.failures),
+            "successes": dict(self.successes),
+            "quarantined": {
+                name: count for name, count in self._consecutive.items()
+                if count >= self.threshold},
+        }
+
+    def __repr__(self) -> str:
+        bad = sum(1 for count in self._consecutive.values()
+                  if count >= self.threshold)
+        return f"ComponentHealth(tracked={len(self.failures)}, open={bad})"
 
 
 @dataclass
@@ -76,14 +144,47 @@ class Scheduler:
     #: same (core, load) points); ``None`` keeps the raw path.
     session: "EvalSession | None" = None
 
+    #: Lazily created fault tracker (see :class:`ComponentHealth`);
+    #: class-level None so plain subclasses need no __init__ changes.
+    _health: ComponentHealth | None = None
+    _demand_cache: dict | None = None
+
     def use_session(self, session: "EvalSession") -> "Scheduler":
         """Attach an evaluation session; returns ``self`` for chaining."""
         self.session = session
         return self
 
+    @property
+    def health(self) -> ComponentHealth:
+        """Fault tracker for cores and task interfaces (lazily created)."""
+        if self._health is None:
+            self._health = ComponentHealth()
+        return self._health
+
     def predict(self, task: Task, quantum_index: int) -> float:
         """Predicted utilisation of ``task`` for the coming quantum."""
         raise NotImplementedError
+
+    def _predict_safe(self, task: Task, quantum_index: int) -> float:
+        """``predict`` with graceful degradation on typed failures.
+
+        A faulting task interface falls back to the last demand it did
+        predict (then zero), and the failure is marked so repeatedly
+        faulting interfaces show up in :attr:`health`.
+        """
+        if self._demand_cache is None:
+            self._demand_cache = {}
+        try:
+            value = self.predict(task, quantum_index)
+            if math.isnan(value):
+                # A poisoned hardware reading, not an exception.
+                raise ReproError("NaN prediction")
+        except ReproError:
+            self.health.mark_failure(f"task:{task.name}")
+            return self._demand_cache.get(task.name, 0.0)
+        self.health.mark_success(f"task:{task.name}")
+        self._demand_cache[task.name] = value
+        return value
 
     def place(self, tasks: Sequence[Task], cores: Sequence[Core],
               quantum_index: int) -> list[Placement]:
@@ -96,11 +197,14 @@ class Scheduler:
         """
         loads: dict[str, float] = {core.name: 0.0 for core in cores}
         placements: list[Placement] = []
-        ordered = sorted(tasks, key=lambda t: -self.predict(t, quantum_index))
+        alive = set(self.health.healthy([core.name for core in cores]))
+        candidates = [core for core in cores if core.name in alive]
+        ordered = sorted(
+            tasks, key=lambda t: -self._predict_safe(t, quantum_index))
         for task in ordered:
-            demand = self.predict(task, quantum_index)
+            demand = self._predict_safe(task, quantum_index)
             best: tuple[tuple[bool, float], Core] | None = None
-            for core in cores:
+            for core in candidates:
                 current = loads[core.name]
                 delta = (self._core_energy_rate(core, current + demand)
                          - self._core_energy_rate(core, current))

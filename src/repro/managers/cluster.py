@@ -19,12 +19,14 @@ with pods on a node running concurrently up to the node's core count.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.errors import SchedulerError
+from repro.core.errors import ReproError, SchedulerError
 from repro.core.interface import EnergyInterface, evaluate
 from repro.core.units import Energy, as_joules
+from repro.managers.base import ComponentHealth
 
 if TYPE_CHECKING:
     from repro.core.session import EvalSession
@@ -162,22 +164,43 @@ class InterfacePackingScheduler(ClusterScheduler):
 
     name = "interface-based"
 
-    def __init__(self, session: "EvalSession | None" = None) -> None:
+    def __init__(self, session: "EvalSession | None" = None,
+                 health: ComponentHealth | None = None) -> None:
         self.session = session
+        self.health = health if health is not None else ComponentHealth()
 
     def _predict(self, interface: PodEnergyInterface, node: Node) -> float:
+        """Predicted Joules for a pod on a node, degrading on faults.
+
+        A session evaluation that raises a typed error falls back to the
+        closed-form ``E_run`` — the pessimism-free §4 bound the interface
+        itself defines — and the node is marked so repeatedly faulting
+        evaluations quarantine it out of candidate sets.
+        """
         resident = node.memory_used()
         if self.session is not None:
-            return as_joules(evaluate(
-                interface("E_run", node.node_type, resident),
-                session=self.session))
+            try:
+                joules = as_joules(evaluate(
+                    interface("E_run", node.node_type, resident),
+                    session=self.session))
+                if math.isnan(joules):
+                    # A poisoned hardware reading, not an exception.
+                    raise ReproError("NaN prediction")
+            except ReproError:
+                self.health.mark_failure(node.name)
+                return interface.E_run(node.node_type, resident).as_joules
+            self.health.mark_success(node.name)
+            return joules
         return interface.E_run(node.node_type, resident).as_joules
 
     def place(self, pods: list[PodSpec], nodes: list[Node]) -> None:
         for pod in sorted(pods, key=lambda p: -p.cpu_work):
             interface = PodEnergyInterface(pod)
+            alive = set(self.health.healthy([node.name for node in nodes]))
             best: tuple[float, Node] | None = None
             for node in nodes:
+                if node.name not in alive:
+                    continue
                 cpu_used = sum(p.cpu_request for p in node.pods)
                 if cpu_used + pod.cpu_request > node.node_type.cores:
                     continue
@@ -228,9 +251,18 @@ def run_cluster(scheduler: ClusterScheduler, pods: list[PodSpec],
             interface = PodEnergyInterface(pod)
             durations.append(interface.E_duration(node_type, resident))
             if session is not None:
-                dynamic_energy += as_joules(evaluate(
-                    interface("E_run", node_type, resident),
-                    session=session))
+                try:
+                    joules = as_joules(evaluate(
+                        interface("E_run", node_type, resident),
+                        session=session))
+                    if math.isnan(joules):
+                        raise ReproError("NaN prediction")
+                    dynamic_energy += joules
+                except ReproError:
+                    # Ground truth must not depend on the evaluation
+                    # substrate surviving: fall back to the closed form.
+                    dynamic_energy += interface.E_run(node_type,
+                                                      resident).as_joules
             else:
                 dynamic_energy += interface.E_run(node_type,
                                                   resident).as_joules

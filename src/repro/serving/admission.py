@@ -57,6 +57,17 @@ class AdmissionContext:
     degraded_expected_joules: float | None = None
     degraded_worst_joules: float | None = None
 
+    def __post_init__(self) -> None:
+        # A poisoned prediction must never reach a policy: the gateway's
+        # resilient evaluator filters NaN (garbage hardware readings)
+        # into typed rejections before building a context.
+        for name in ("expected_joules", "worst_joules", "quantile_joules"):
+            value = getattr(self, name)
+            if value is not None and value != value:
+                raise ServingError(
+                    f"admission context has NaN {name} — a poisoned "
+                    f"prediction leaked past the degradation ladder")
+
     @property
     def has_degraded(self) -> bool:
         """True when the app offered a cheaper variant."""

@@ -31,8 +31,10 @@ from typing import Any, Iterable, Iterator
 
 from repro.core.errors import ServingError
 from repro.core.interface import evaluate
+from repro.core.policy import Policy, resolve_policy
 from repro.core.session import EvalSession
 from repro.core.units import as_joules
+from repro.faults.resilient import ResilientEvaluator
 from repro.serving.admission import (
     ADMIT,
     DEFER,
@@ -60,19 +62,45 @@ def zip_arrivals(times: list[float], requests: Iterable[Any]
 
 @dataclass(frozen=True)
 class GatewayConfig:
-    """Tunables for the request lifecycle."""
+    """Tunables for the request lifecycle.
+
+    Evaluation knobs live on one declarative
+    :class:`~repro.core.policy.Policy` (``policy=``): the Monte Carlo
+    engine, the admission quantile and the resilience settings (retry /
+    deadline / degradation ladder).  The historical per-knob keywords
+    ``mc_engine=`` and ``admission_quantile=`` still work — they are
+    merged into the policy with a ``DeprecationWarning`` — and after
+    construction ``config.mc_engine`` / ``config.admission_quantile``
+    always read as the *resolved* values, so existing call sites keep
+    working unchanged.
+    """
 
     max_queue: int = 64            # backpressure bound; overflow is shed
     defer_delay_s: float = 0.05    # hold time before a deferred retry
     ewma_alpha: float = 0.2        # service-time estimator smoothing
-    #: Monte Carlo engine for admission-time predictions ("serial",
-    #: "vector" or "parallel"); the vectorized engine makes per-request
-    #: quantile estimates affordable online.
-    mc_engine: str = "vector"
-    #: When set (e.g. 0.95), each admission decision also gets a
-    #: q-quantile cost estimate from a distribution-mode evaluation —
-    #: a tail bound tighter than worst case but stronger than the mean.
+    #: Deprecated spelling of ``policy.mc_engine``; ``None`` defers to
+    #: the policy (whose unset default resolves to "vector").
+    mc_engine: str | None = None
+    #: Deprecated spelling of ``policy.admission_quantile``.
     admission_quantile: float | None = None
+    #: Every evaluation/serving knob, declaratively (see
+    #: :class:`repro.core.policy.Policy`).
+    policy: Policy | None = None
+
+    def __post_init__(self) -> None:
+        resolved = resolve_policy(self.policy,
+                                  mc_engine=self.mc_engine,
+                                  admission_quantile=self.admission_quantile,
+                                  stacklevel=4)
+        # Frozen dataclass: fields are finalised through the back door so
+        # readers always see the resolved, never-None policy and the
+        # effective engine/quantile regardless of which spelling was used.
+        object.__setattr__(self, "policy", resolved)
+        object.__setattr__(self, "mc_engine",
+                           resolved.mc_engine
+                           if resolved.mc_engine is not None else "vector")
+        object.__setattr__(self, "admission_quantile",
+                           resolved.admission_quantile)
 
 
 @dataclass
@@ -101,21 +129,70 @@ class EnergyAwareGateway:
         # per-request call trees, an AccountingHook for budget
         # accounting) can be added via ``gateway.session.add_hook``.
         self.session = EvalSession(hooks=[self.cache.hook],
-                                   engine=self.config.mc_engine)
+                                   engine=self.config.mc_engine,
+                                   policy=self.config.policy)
+        self.resilient = ResilientEvaluator(self.session, self.config.policy)
         self.metrics = ServingMetrics()
         self._ewma_service_s = 0.0
         self._ledger_mark = 0.0
+        self._eval_status: str | None = None
+        self._eval_faults: list[str] = []
+
+    def inject_faults(self, plan) -> Any:
+        """Install a :class:`repro.faults.FaultPlan` on the session.
+
+        Returns the installed :class:`repro.faults.FaultHook` so callers
+        can read injection statistics after the run; predictions
+        automatically switch to the resilient retry/degrade path.
+        """
+        from repro.faults import FaultHook
+
+        return FaultHook(plan).install(self.session)
 
     # -- cost evaluation ---------------------------------------------------------
-    def _predict(self, request: Any) -> tuple[float, float]:
-        """(expected, worst) Joules for ``request`` via the session."""
+    _STATUS_RANK = {"ok": 0, "degraded-cache": 1, "degraded-bound": 2,
+                    "rejected": 3}
+
+    def _resilient_active(self) -> bool:
+        """Predictions go through retry/deadline/degrade when either a
+        fault plan is installed or the policy asks for resilience; the
+        plain path stays byte-for-byte the historical one otherwise."""
+        return (self.session.fault_hook is not None
+                or self.config.policy.resilient)
+
+    def _note_outcome(self, *outcomes) -> None:
+        for outcome in outcomes:
+            self._eval_faults.extend(outcome.faults)
+            if (self._eval_status is None
+                    or self._STATUS_RANK[outcome.status]
+                    > self._STATUS_RANK[self._eval_status]):
+                self._eval_status = outcome.status
+
+    def _predict(self, request: Any) -> tuple[float, float] | None:
+        """(expected, worst) Joules for ``request`` via the session.
+
+        ``None`` means prediction was impossible: every retry failed and
+        the degradation ladder declined — the caller sheds the request
+        instead of admitting blind.
+        """
         call, env, fingerprint = self._cost_query(request)
-        expected = as_joules(evaluate(call, session=self.session,
-                                      mode="expected", env=env,
-                                      fingerprint=fingerprint))
-        worst = as_joules(evaluate(call, session=self.session, mode="worst",
-                                   env=env, fingerprint=fingerprint))
-        return expected, worst
+        if not self._resilient_active():
+            expected = as_joules(evaluate(call, session=self.session,
+                                          mode="expected", env=env,
+                                          fingerprint=fingerprint))
+            worst = as_joules(evaluate(call, session=self.session,
+                                       mode="worst",
+                                       env=env, fingerprint=fingerprint))
+            return expected, worst
+        expected_out = self.resilient.evaluate_call(
+            call, mode="expected", env=env, fingerprint=fingerprint)
+        worst_out = self.resilient.evaluate_call(
+            call, mode="worst", env=env, fingerprint=fingerprint)
+        self._note_outcome(expected_out, worst_out)
+        if not (expected_out.accepted and worst_out.accepted):
+            return None
+        return (as_joules(expected_out.value),
+                as_joules(worst_out.value))
 
     def _predict_quantile(self, request: Any) -> float | None:
         """q-quantile Joules for ``request`` (None unless configured).
@@ -129,8 +206,20 @@ class EnergyAwareGateway:
         if q is None:
             return None
         call, env, fingerprint = self._cost_query(request)
-        dist = evaluate(call, session=self.session, mode="distribution",
-                        env=env, fingerprint=fingerprint)
+        if self._resilient_active():
+            outcome = self.resilient.evaluate_call(
+                call, mode="distribution", env=env, fingerprint=fingerprint)
+            self._note_outcome(outcome)
+            if not outcome.accepted:
+                return None  # the quantile refinement is optional
+            dist = outcome.value
+            if not hasattr(dist, "quantile"):
+                # A degraded tier answered with a point bound, not a
+                # distribution; use it directly as the tail estimate.
+                return float(as_joules(dist))
+        else:
+            dist = evaluate(call, session=self.session, mode="distribution",
+                            env=env, fingerprint=fingerprint)
         return float(dist.quantile(q))
 
     def _cost_query(self, request: Any):
@@ -235,19 +324,39 @@ class EnergyAwareGateway:
 
         ledger_joules = machine.ledger.total_joules() - ledger_start
         allowance = self.budget.cumulative_allowance(end)
+        fault_hook = self.session.fault_hook
         return self.metrics.summary(
             horizon_s=end,
             ledger_joules=ledger_joules,
             allowance_joules=allowance,
             cache_stats=self.cache.stats(),
             mc_engine=self.session.engine.name,
+            fault_stats=(fault_hook.stats()
+                         if fault_hook is not None else None),
         )
 
     # -- one decision --------------------------------------------------------------
     def _decide_and_run(self, item: _QueueItem, now: float, spawn_defer):
         """Decide one queued request; returns server-hold seconds or None
         (None when the request did not occupy the server)."""
-        expected, worst = self._predict(item.request)
+        self._eval_status = None
+        self._eval_faults = []
+        predicted = self._predict(item.request)
+        if predicted is None:
+            # Prediction failed past the whole degradation ladder:
+            # admitting blind would void the budget contract, so shed.
+            self.metrics.add(RequestRecord(
+                request_id=item.request_id,
+                arrival_s=item.arrival_s,
+                decision="reject",
+                reason="evaluation rejected: "
+                       + ",".join(sorted(set(self._eval_faults))),
+                deferrals=item.deferrals,
+                eval_status="rejected",
+                eval_faults=tuple(self._eval_faults),
+            ))
+            return None
+        expected, worst = predicted
         quantile = self._predict_quantile(item.request)
         item.costs = (expected, worst)
         degraded_request = self.adapter.degrade(item.request)
@@ -286,6 +395,20 @@ class EnergyAwareGateway:
                     raise ServingError(
                         f"policy {self.policy.name!r} degraded a request "
                         f"with no degraded variant")
+                if degraded_costs is None:
+                    # The degraded variant's own prediction was rejected
+                    # by the fault ladder: admitting it blind is worse
+                    # than shedding.
+                    self.metrics.add(RequestRecord(
+                        request_id=item.request_id,
+                        arrival_s=item.arrival_s,
+                        decision="reject",
+                        reason="degraded variant unpredictable",
+                        deferrals=item.deferrals,
+                        eval_status="rejected",
+                        eval_faults=tuple(self._eval_faults),
+                    ))
+                    return None
                 request = degraded_request
                 predicted = degraded_costs
                 degraded = True
@@ -315,6 +438,8 @@ class EnergyAwareGateway:
                 measured_j=measured,
                 deferrals=item.deferrals,
                 degraded=degraded,
+                eval_status=self._eval_status,
+                eval_faults=tuple(self._eval_faults),
             ))
             return busy
 
@@ -327,6 +452,8 @@ class EnergyAwareGateway:
             predicted_expected_j=expected,
             predicted_worst_j=worst,
             deferrals=item.deferrals,
+            eval_status=self._eval_status,
+            eval_faults=tuple(self._eval_faults),
         ))
         return None
 

@@ -49,6 +49,12 @@ class RequestRecord:
     measured_j: float | None = None
     deferrals: int = 0
     degraded: bool = False
+    #: How the resilient evaluation of this request's cost went: None
+    #: (no fault layer), "ok", "degraded-cache", "degraded-bound" or
+    #: "rejected" (prediction impossible, request shed).
+    eval_status: str | None = None
+    #: Error codes met while predicting (retries and degradations).
+    eval_faults: tuple = ()
 
     @property
     def admitted(self) -> bool:
@@ -93,6 +99,25 @@ class ServingReport:
     #: Name of the Monte Carlo engine that produced the predictions
     #: ("serial", "vector", "parallel"); None for legacy runs.
     mc_engine: str | None = None
+    #: Requests served off a degraded prediction (cache/bound tier).
+    eval_degraded: int = 0
+    #: Requests shed because prediction failed past the whole ladder.
+    eval_rejected: int = 0
+    #: Fault-injection statistics from the session's fault hook, when a
+    #: chaos run installed one (injected counts per site).
+    fault_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of offered requests that received useful service.
+
+        The chaos benchmark's acceptance metric: a request counts as
+        goodput when it actually ran — possibly on a degraded variant or
+        off a degraded prediction, but *served*.
+        """
+        if self.offered == 0:
+            return 1.0
+        return self.admitted / self.offered
 
     @property
     def budget_utilisation(self) -> float:
@@ -124,7 +149,9 @@ class ServingMetrics:
     def summary(self, horizon_s: float, ledger_joules: float,
                 allowance_joules: float,
                 cache_stats: dict[str, float] | None = None,
-                mc_engine: str | None = None) -> ServingReport:
+                mc_engine: str | None = None,
+                fault_stats: dict[str, float] | None = None
+                ) -> ServingReport:
         """Build the :class:`ServingReport` for a finished run."""
         admitted = [r for r in self.records if r.admitted]
         latencies = sorted(r.latency_s for r in admitted)
@@ -150,6 +177,12 @@ class ServingMetrics:
                            if latencies else None),
             cache_stats=dict(cache_stats or {}),
             mc_engine=mc_engine,
+            eval_degraded=sum(1 for r in self.records
+                              if r.eval_status in ("degraded-cache",
+                                                   "degraded-bound")),
+            eval_rejected=sum(1 for r in self.records
+                              if r.eval_status == "rejected"),
+            fault_stats=dict(fault_stats or {}),
         )
 
 
@@ -201,4 +234,10 @@ def format_report(report: ServingReport, title: str = "serving report"
                      str(int(report.cache_stats.get('lookups', 0)))])
     if report.mc_engine is not None:
         rows.append(["mc engine", report.mc_engine])
+    if report.fault_stats:
+        rows.append(["goodput", f"{report.goodput:.1%}"])
+        rows.append(["degraded predictions", str(report.eval_degraded)])
+        rows.append(["rejected predictions", str(report.eval_rejected)])
+        rows.append(["faults injected",
+                     str(int(report.fault_stats.get("total_injected", 0)))])
     return format_table(["metric", "value"], rows, title=title)

@@ -24,6 +24,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable
 
+from repro.core.errors import SimTimeError
 from repro.sim.events import Event, Timeout
 
 __all__ = ["Engine", "Process"]
@@ -83,7 +84,7 @@ class Engine:
     # -- scheduling -----------------------------------------------------------
     def _schedule(self, delay: float, callback: Callable, argument: Any) -> None:
         if delay < 0:
-            raise ValueError(f"cannot schedule {delay} s in the past")
+            raise SimTimeError(f"cannot schedule {delay} s in the past")
         heapq.heappush(self._queue,
                        (self._now + delay, next(self._counter), callback,
                         argument))
@@ -104,7 +105,7 @@ class Engine:
     def call_at(self, time: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute simulated ``time``."""
         if time < self._now:
-            raise ValueError(
+            raise SimTimeError(
                 f"cannot schedule at t={time} s, already at t={self._now} s")
         self._schedule(time - self._now, lambda _arg: callback(), None)
 

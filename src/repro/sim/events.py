@@ -5,6 +5,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable
 
+from repro.core.errors import EventStateError, SimTimeError
+
 __all__ = ["Event", "Timeout"]
 
 _sequence = itertools.count()
@@ -32,7 +34,7 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         """Mark the event as happened and notify all waiters."""
         if self._succeeded:
-            raise RuntimeError(f"event {self.name!r} already succeeded")
+            raise EventStateError(f"event {self.name!r} already succeeded")
         self._succeeded = True
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
@@ -58,5 +60,5 @@ class Timeout(Event):
     def __init__(self, delay: float, name: str = "timeout") -> None:
         super().__init__(name)
         if delay < 0:
-            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+            raise SimTimeError(f"timeout delay must be >= 0, got {delay}")
         self.delay = float(delay)
