@@ -1,0 +1,174 @@
+"""S4 — a million requests through a replicated fleet, replayed bitwise.
+
+S1–S3 established the single-node serving story: prediction-gated
+admission, engine-independent evaluation, graceful degradation.  S4
+scales it out: ≥ 1M simulated requests stream through ≥ 4 gateway
+replicas behind an energy-aware balancer, with per-tenant budgets
+enforced *fleet-wide* by sharded leases.  Three claims:
+
+* **the invariant holds at scale**: across a million Zipf-skewed,
+  diurnally-modulated requests, no tenant ever draws beyond its global
+  ``capacity + refill x t`` allowance — zero fleet-wide budget
+  violations, by construction (coordinator grants are bounded, shard
+  admissions are lease-bounded, draws never exceed the reserved worst
+  case);
+* **efficiency is observable**: the run reports goodput per Joule — the
+  paper's clarity argument made operational as a fleet metric;
+* **replay is bitwise**: the full run — every balancer decision, lease
+  round and latency bin — is a pure function of the seed.  Two
+  back-to-back runs produce sha256-identical reports.
+
+The default is the full million (a couple of minutes); CI's ``s4-fleet``
+job scales down via ``S4_REQUESTS`` and uploads the report JSON as an
+artifact.  Headline numbers are pinned by
+``benchmarks/baselines/s4_fleet.json`` (checked only when the request
+count matches the baseline's), so silent changes to the dispatch or
+lease arithmetic fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.policy import Policy
+from repro.fleet import EnergyGatewayFleet
+from repro.sim.rng import RngFactory
+from repro.workloads import (
+    diurnal_arrivals,
+    fleet_request_trace,
+    zipf_tenant_trace,
+)
+
+from conftest import print_header
+
+SEED = 42
+N_REQUESTS = int(os.environ.get("S4_REQUESTS", "1000000"))
+N_REPLICAS = 4
+N_TENANTS = 8
+HORIZON_S = 3600.0        # one simulated hour with one diurnal period
+BALANCER = "power-of-two"
+#: Generous per-tenant budgets: S4 measures the invariant and replay at
+#: scale, not starvation behaviour (tests/fleet covers starvation).
+TENANT_BUDGET = "50J+5W"
+
+_BASELINE = Path(__file__).parent / "baselines" / "s4_fleet.json"
+
+
+def _trace():
+    """~N_REQUESTS diurnal arrivals with Zipf tenant skew, streamed."""
+    factory = RngFactory(SEED)
+    mean_rate = N_REQUESTS / HORIZON_S
+    times = diurnal_arrivals(mean_rate, HORIZON_S,
+                             factory.stream("arrivals"),
+                             period_seconds=HORIZON_S)
+    tenants = zipf_tenant_trace(len(times), N_TENANTS, factory)
+    return fleet_request_trace(times, tenants, factory)
+
+
+def _run():
+    budgets = {f"tenant{i}": TENANT_BUDGET for i in range(N_TENANTS)}
+    fleet = EnergyGatewayFleet(
+        budgets,
+        policy=Policy(replicas=N_REPLICAS, balancer=BALANCER,
+                      lease_ttl_s=30.0),
+        entropy=SEED)
+    return fleet.serve(_trace(), horizon_s=HORIZON_S)
+
+
+def _experiment():
+    first = _run()
+    second = _run()
+    return {
+        "requests": first.offered,
+        "admitted": first.admitted,
+        "goodput": first.goodput,
+        "goodput_per_j": first.goodput_per_j,
+        "measured_joules": first.measured_joules,
+        "violations": len(first.violations),
+        "p99_latency_s": first.p99_latency_s,
+        "digest": first.digest(),
+        "replay_digest": second.digest(),
+        "_report": first,
+    }
+
+
+def test_s4_fleet_scale_replay(run_once):
+    result = run_once(
+        _experiment,
+        seed=SEED, replicas=N_REPLICAS, tenants=N_TENANTS,
+        balancer=BALANCER, horizon_s=HORIZON_S)
+    report = result["_report"]
+
+    print_header(f"S4: {result['requests']:,} requests through "
+                 f"{N_REPLICAS} replicas ({BALANCER})")
+    print(f"admitted {report.admitted:,} ({report.goodput:.2%} goodput), "
+          f"{report.measured_joules:,.1f} J measured")
+    print(f"goodput/J: {report.goodput_per_j:,.1f} requests per Joule")
+    print(f"p50 {report.p50_latency_s * 1e3:.3g} ms, "
+          f"p99 {report.p99_latency_s * 1e3:.3g} ms; "
+          f"lease grants {int(report.lease_stats['grants'])}, "
+          f"denials {int(report.lease_stats['denials'])}")
+    print(f"dispatches/replica: {list(report.dispatch_counts)}")
+    print(f"digest {result['digest'][:16]}…")
+
+    # The workload actually exercised the fleet.
+    assert report.offered >= 0.9 * N_REQUESTS, (
+        f"only {report.offered} requests generated for "
+        f"S4_REQUESTS={N_REQUESTS}")
+    assert all(count > 0 for count in report.dispatch_counts), (
+        "a replica never received traffic — the balancer is broken")
+
+    # Claim 1: zero fleet-wide budget-invariant violations.
+    assert result["violations"] == 0, (
+        f"budget invariant broke fleet-wide: {report.violations}")
+    assert report.measured_joules <= report.allowance_joules, (
+        "total measured energy exceeds the summed tenant allowances")
+
+    # Claim 2: efficiency is reported and sane.
+    assert result["goodput_per_j"] > 0
+
+    # Claim 3: bitwise replay at the fixed seed.
+    assert result["digest"] == result["replay_digest"], (
+        "two runs at the same seed produced different fleet reports — "
+        "the replay contract is broken")
+
+    # Write the report next to pytest-benchmark's JSON so CI can upload
+    # it as an artifact (and operators can diff runs).
+    out = os.environ.get("S4_REPORT_JSON")
+    if out:
+        Path(out).write_text(report.to_json(indent=2) + "\n",
+                             encoding="utf-8")
+
+    # Pin the headline numbers when the run matches the recorded shape.
+    if _BASELINE.is_file():
+        baseline = json.loads(_BASELINE.read_text())
+        if baseline["requests"] == result["requests"]:
+            np.testing.assert_allclose(result["measured_joules"],
+                                       baseline["measured_joules"],
+                                       rtol=1e-9)
+            assert result["admitted"] == baseline["admitted"]
+            assert result["digest"] == baseline["digest"], (
+                "fleet digest diverged from the recorded baseline at the "
+                "pinned seed — dispatch or lease arithmetic changed")
+
+
+@pytest.mark.fast
+def test_s4_shape_smoke(run_once):
+    """A tiny fast-mode S4 so the regular benchmark job covers the path."""
+    budgets = {f"tenant{i}": TENANT_BUDGET for i in range(2)}
+    fleet = EnergyGatewayFleet(budgets,
+                               policy=Policy(replicas=4, balancer=BALANCER),
+                               entropy=SEED)
+    factory = RngFactory(SEED)
+    times = diurnal_arrivals(200.0, 30.0, factory.stream("arrivals"),
+                             period_seconds=30.0)
+    tenants = zipf_tenant_trace(len(times), 2, factory)
+    report = run_once(lambda: fleet.serve(
+        fleet_request_trace(times, tenants, factory), horizon_s=30.0))
+    assert report.offered > 1000
+    assert report.violations == {}

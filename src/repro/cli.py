@@ -24,12 +24,16 @@
 * ``chaos``       — the fault-injection drill: serve a workload while a
   seeded :class:`~repro.faults.FaultPlan` breaks evaluations underneath
   the gateway, and check that graceful degradation keeps goodput above
-  ``--min-goodput``.
+  ``--min-goodput``;
+* ``fleet``       — the multi-replica serving fleet: a trace-driven
+  multi-tenant workload through N gateway replicas behind an
+  energy-aware balancer, with per-tenant budgets enforced fleet-wide by
+  sharded leases (optionally under replica-crash and lease faults).
 
-``lint``, ``trace`` and ``chaos`` share an exit-code convention:
-**0** clean, **1** findings (energy bugs, divergence beyond
-``--max-error``, or goodput below ``--min-goodput``), **2** usage or
-configuration error.
+``lint``, ``trace``, ``chaos`` and ``fleet`` share an exit-code
+convention: **0** clean, **1** findings (energy bugs, divergence beyond
+``--max-error``, goodput below ``--min-goodput``, or a fleet budget
+violation), **2** usage or configuration error.
 """
 
 from __future__ import annotations
@@ -283,7 +287,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         Policy,
         RetryPolicy,
     )
-    from repro.faults import FaultHook, FaultPlan
+    from repro.faults import FaultPlan
     from repro.serving import (
         EnergyAwareGateway,
         EnergyBudget,
@@ -357,6 +361,94 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"not hold the line", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.errors import BudgetError, ServingError
+    from repro.core.policy import Policy
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.fleet import EnergyGatewayFleet, format_fleet_report
+    from repro.serving import parse_budget_spec
+    from repro.sim.rng import RngFactory
+    from repro.workloads import (
+        diurnal_arrivals,
+        flash_crowd_arrivals,
+        fleet_request_trace,
+        poisson_arrivals,
+        zipf_tenant_trace,
+    )
+
+    if args.replicas < 1:
+        print("repro-energy fleet: --replicas must be >= 1", file=sys.stderr)
+        return 2
+    if args.tenants < 1:
+        print("repro-energy fleet: --tenants must be >= 1", file=sys.stderr)
+        return 2
+    if args.rate <= 0 or args.horizon <= 0:
+        print("repro-energy fleet: --rate and --horizon must be positive",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.fault_rate < 1.0:
+        print("repro-energy fleet: --fault-rate must be in [0, 1)",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.min_goodput <= 1.0:
+        print("repro-energy fleet: --min-goodput must be in [0, 1]",
+              file=sys.stderr)
+        return 2
+
+    rng = RngFactory(args.seed)
+    if args.workload == "poisson":
+        times = poisson_arrivals(args.rate, args.horizon,
+                                 rng.stream("arrivals"))
+    elif args.workload == "flash":
+        crowd = (0.4 * args.horizon, 0.2 * args.horizon)
+        times = flash_crowd_arrivals(args.rate, 4.0 * args.rate, [crowd],
+                                     args.horizon, rng.stream("arrivals"))
+    else:
+        times = diurnal_arrivals(args.rate, args.horizon,
+                                 rng.stream("arrivals"),
+                                 period_seconds=args.horizon)
+    tenants = zipf_tenant_trace(len(times), args.tenants, rng)
+    requests = fleet_request_trace(times, tenants, rng)
+
+    try:
+        budgets = {f"tenant{i}": parse_budget_spec(args.budget)
+                   for i in range(args.tenants)}
+        policy = Policy(replicas=args.replicas, balancer=args.balancer,
+                        lease_ttl_s=args.lease_ttl)
+        fleet = EnergyGatewayFleet(budgets, policy=policy,
+                                   entropy=args.seed)
+    except (BudgetError, ServingError) as exc:
+        print(f"repro-energy fleet: {exc}", file=sys.stderr)
+        return 2
+    if args.fault_rate > 0:
+        fleet.inject_faults(FaultPlan(
+            (FaultSpec("fleet.replica", args.fault_rate),
+             FaultSpec("fleet.lease", args.fault_rate)),
+            entropy=args.seed))
+
+    report = fleet.serve(requests, horizon_s=args.horizon)
+    print(format_fleet_report(
+        report, title=f"fleet report ({args.workload} workload, "
+                      f"{args.tenants} tenants, seed {args.seed})"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json(indent=2) + "\n")
+        print(f"fleet report JSON written to {args.json}")
+    failed = False
+    if report.violations:
+        print(f"repro-energy fleet: {len(report.violations)} tenant(s) "
+              f"overdrew their fleet-wide allowance — the budget "
+              f"invariant broke", file=sys.stderr)
+        failed = True
+    if report.goodput < args.min_goodput:
+        print(f"repro-energy fleet: goodput {report.goodput:.1%} below "
+              f"--min-goodput {args.min_goodput:.1%}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -681,6 +773,40 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--min-goodput", type=float, default=0.9,
                        help="fail (exit 1) below this served fraction")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    fleet = commands.add_parser(
+        "fleet", help="multi-replica serving fleet under trace-driven load",
+        epilog="exit codes: 0 = clean, 1 = budget-invariant violation or "
+               "goodput below --min-goodput, 2 = usage or configuration "
+               "error.")
+    fleet.add_argument("--replicas", type=int, default=4,
+                       help="gateway replica count (default: %(default)s)")
+    fleet.add_argument("--balancer",
+                       choices=("round-robin", "least-energy",
+                                "power-of-two"),
+                       default="least-energy",
+                       help="load-balancing strategy")
+    fleet.add_argument("--tenants", type=int, default=3,
+                       help="tenant count (Zipf-skewed traffic)")
+    fleet.add_argument("--budget", default="5J+2W",
+                       help='per-tenant budget spec, e.g. "5J+2W"')
+    fleet.add_argument("--rate", type=float, default=500.0,
+                       help="mean arrival rate (requests/s)")
+    fleet.add_argument("--horizon", type=float, default=60.0,
+                       help="simulated seconds of traffic")
+    fleet.add_argument("--workload",
+                       choices=("diurnal", "poisson", "flash"),
+                       default="diurnal",
+                       help="arrival shape (default: %(default)s)")
+    fleet.add_argument("--lease-ttl", type=float, default=None,
+                       help="budget-shard lease TTL in simulated seconds")
+    fleet.add_argument("--fault-rate", type=float, default=0.0,
+                       help="replica-crash / lease-fault probability")
+    fleet.add_argument("--min-goodput", type=float, default=0.0,
+                       help="fail (exit 1) below this served fraction")
+    fleet.add_argument("--json", default=None,
+                       help="also write the report JSON here")
+    fleet.set_defaults(handler=_cmd_fleet)
 
     bench = commands.add_parser(
         "bench", help="compare the Monte Carlo evaluation engines",

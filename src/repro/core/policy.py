@@ -130,6 +130,22 @@ class Policy:
     deadline: DeadlinePolicy | None = None
     #: Resilience: which fallbacks to try once attempts are exhausted.
     degrade: DegradePolicy = field(default_factory=DegradePolicy)
+    #: Fleet: gateway replica count; None keeps the fleet's default.
+    replicas: int | None = None
+    #: Fleet: balancer name ("round-robin" / "least-energy" /
+    #: "power-of-two"); None keeps the fleet's default.
+    balancer: str | None = None
+    #: Fleet: budget-shard lease time-to-live in simulated seconds;
+    #: None keeps the fleet's default.
+    lease_ttl_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.replicas is not None and self.replicas < 1:
+            raise ServingError(
+                f"replicas must be >= 1, got {self.replicas}")
+        if self.lease_ttl_s is not None and self.lease_ttl_s <= 0:
+            raise ServingError(
+                f"lease_ttl_s must be positive, got {self.lease_ttl_s}")
 
     @property
     def resilient(self) -> bool:

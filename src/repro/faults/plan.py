@@ -34,7 +34,14 @@ FAULT_SITES = {
     "hardware": "hardware layer reports a NaN/garbage reading",
     "latency": "evaluation overruns: simulated latency is added",
     "mcengine.shard": "a ParallelEngine worker shard dies",
+    "fleet.replica": "a gateway replica crashes (queue lost, drained)",
+    "fleet.lease": "a budget-shard lease renewal fails at the coordinator",
 }
+
+#: Sites consulted outside the per-evaluation path (engine internals and
+#: fleet control plane); :meth:`FaultPlan.uniform` leaves them out so the
+#: chaos-benchmark shape keeps meaning "evaluations fail".
+NON_EVAL_SITES = ("mcengine.shard", "fleet.replica", "fleet.lease")
 
 #: How a firing spec manifests at its site.
 FAULT_KINDS = ("error", "nan", "latency")
@@ -46,6 +53,8 @@ _DEFAULT_KIND = {
     "hardware": "nan",
     "latency": "latency",
     "mcengine.shard": "error",
+    "fleet.replica": "error",
+    "fleet.lease": "error",
 }
 
 
@@ -102,7 +111,7 @@ class FaultPlan:
                 entropy: int | None = None) -> "FaultPlan":
         """The chaos-benchmark shape: one probability across sites."""
         chosen = tuple(sites) if sites is not None else tuple(
-            site for site in FAULT_SITES if site != "mcengine.shard")
+            site for site in FAULT_SITES if site not in NON_EVAL_SITES)
         return cls(tuple(FaultSpec(site, probability) for site in chosen),
                    entropy=entropy)
 

@@ -1,0 +1,158 @@
+"""Pluggable load balancers over the gateway replicas.
+
+A balancer answers one question — *which live replica should this
+request try first?* — and returns a preference order so the dispatcher
+can fall back when the first choice's queue is full (bounded-queue
+backpressure).  Balancers see the same replica view the fleet does:
+queue depth, predicted energy in-flight, and up/down state; degraded or
+crashed replicas are drained simply by never being offered.
+
+The in-flight energy signal is deliberately the *predicted* (worst-mode)
+cost of enqueued-but-unfinished requests: that is the quantity an energy
+interface makes observable before a Joule is spent, which is exactly the
+paper's pitch — balancing on energy clarity instead of on connection
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.errors import ServingError
+
+__all__ = [
+    "ReplicaView",
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "PowerOfTwoBalancer",
+    "LeastEnergyBalancer",
+    "BALANCERS",
+    "build_balancer",
+]
+
+
+class ReplicaView(Protocol):
+    """What a balancer may observe about a replica."""
+
+    index: int
+
+    def accepting(self, now: float) -> bool: ...
+
+    @property
+    def queue_depth(self) -> int: ...
+
+    @property
+    def inflight_j(self) -> float: ...
+
+
+class LoadBalancer:
+    """Base class; subclasses implement :meth:`prefer`."""
+
+    name = "balancer"
+
+    def prefer(self, replicas: Sequence[ReplicaView],
+               now: float) -> list[ReplicaView]:
+        """Live replicas in the order this request should try them."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _live(replicas: Sequence[ReplicaView],
+              now: float) -> list[ReplicaView]:
+        return [r for r in replicas if r.accepting(now)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """The classic baseline: rotate through the live replicas."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def prefer(self, replicas: Sequence[ReplicaView],
+               now: float) -> list[ReplicaView]:
+        live = self._live(replicas, now)
+        if not live:
+            return []
+        start = self._next % len(live)
+        self._next += 1
+        return live[start:] + live[:start]
+
+
+class LeastEnergyBalancer(LoadBalancer):
+    """Send each request to the replica with the least energy in-flight.
+
+    The energy analogue of least-connections: the backlog that matters
+    for an energy budget is Joules queued, not connections open.  Ties
+    break on queue depth, then on replica index, so decisions replay
+    deterministically.
+    """
+
+    name = "least-energy"
+
+    def prefer(self, replicas: Sequence[ReplicaView],
+               now: float) -> list[ReplicaView]:
+        live = self._live(replicas, now)
+        return sorted(live, key=lambda r: (r.inflight_j, r.queue_depth,
+                                           r.index))
+
+
+class PowerOfTwoBalancer(LoadBalancer):
+    """Energy-weighted power-of-two-choices.
+
+    Samples two distinct live replicas from a seeded stream and sends
+    the request to the one with less predicted energy in-flight — the
+    classic two-choices result (exponential improvement over random for
+    the price of two probes) with Joules as the load measure.  The
+    remaining replicas follow in least-energy order for backpressure
+    fallback.
+    """
+
+    name = "power-of-two"
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(0 if rng is None else int(rng))
+        self._rng = rng
+
+    def prefer(self, replicas: Sequence[ReplicaView],
+               now: float) -> list[ReplicaView]:
+        live = self._live(replicas, now)
+        if len(live) <= 2:
+            return sorted(live, key=lambda r: (r.inflight_j, r.index))
+        first, second = (int(i) for i in
+                         self._rng.choice(len(live), size=2, replace=False))
+        pair = sorted((live[first], live[second]),
+                      key=lambda r: (r.inflight_j, r.queue_depth, r.index))
+        rest = [r for i, r in enumerate(live) if i not in (first, second)]
+        rest.sort(key=lambda r: (r.inflight_j, r.queue_depth, r.index))
+        return pair + rest
+
+
+#: Balancer names accepted by :class:`~repro.core.policy.Policy` and the
+#: ``repro-energy fleet`` CLI, mapped to their constructors.
+BALANCERS = {
+    RoundRobinBalancer.name: RoundRobinBalancer,
+    LeastEnergyBalancer.name: LeastEnergyBalancer,
+    PowerOfTwoBalancer.name: PowerOfTwoBalancer,
+}
+
+
+def build_balancer(name: str,
+                   rng: np.random.Generator | int | None = None
+                   ) -> LoadBalancer:
+    """Construct a balancer by policy name (seeding the ones that draw)."""
+    try:
+        cls = BALANCERS[name]
+    except KeyError:
+        raise ServingError(
+            f"unknown balancer {name!r}; expected one of "
+            f"{sorted(BALANCERS)}") from None
+    if cls is PowerOfTwoBalancer:
+        return PowerOfTwoBalancer(rng)
+    return cls()

@@ -1,0 +1,148 @@
+"""Cost models: how a replica prices and settles a request's energy.
+
+The serving gateway evaluates a full energy interface per request; at
+fleet scale (a million requests through several replicas) the pricing
+path must stay O(1) while keeping the paper's structure — a *predicted*
+(expected, worst) pair gates admission, a *measured* value settles the
+budget.  Two models:
+
+* :class:`WorkCostModel` — closed-form pricing linear in the request's
+  abstract ``work`` units, with a deterministic per-request measured
+  value derived from the request identity
+  (:func:`~repro.workloads.fleettrace.request_unit`), always inside the
+  predicted worst bound.  This is the S4 benchmark's model: the hot path
+  is pure float arithmetic, the replay is bitwise.
+* :class:`InterfaceCostModel` — prices through a real
+  :class:`~repro.core.interface.EnergyInterface` via an
+  :class:`~repro.core.session.EvalSession`, memoised on the quantised
+  work abstraction so repeated inputs hit the session cache.  This is
+  what the CLI uses for small, high-fidelity fleet runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import ServingError
+from repro.core.units import as_joules
+from repro.workloads.fleettrace import TenantRequest, request_unit
+
+__all__ = ["CostModel", "WorkCostModel", "InterfaceCostModel"]
+
+
+class CostModel:
+    """Base: predict (expected, worst) joules, then measure the truth."""
+
+    name = "cost-model"
+
+    def predict(self, request: TenantRequest) -> tuple[float, float]:
+        """(expected, worst) joules for ``request``."""
+        raise NotImplementedError
+
+    def measure(self, request: TenantRequest) -> float:
+        """Ground-truth joules the request actually cost."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class WorkCostModel(CostModel):
+    """Closed-form pricing linear in abstract work units.
+
+    ``expected = base_j * work``; ``worst = expected * worst_factor``;
+    the measured value is ``expected`` scaled by a deterministic
+    per-request factor in ``[1 - spread, 1 + spread]`` — inside the
+    worst bound as long as ``spread <= worst_factor - 1``, which the
+    constructor enforces so hard admission keeps the budget invariant
+    airtight.
+    """
+
+    name = "work"
+
+    def __init__(self, base_j: float = 0.001, worst_factor: float = 1.5,
+                 spread: float = 0.25) -> None:
+        if base_j <= 0:
+            raise ServingError(f"base_j must be positive, got {base_j}")
+        if worst_factor < 1.0:
+            raise ServingError(
+                f"worst_factor must be >= 1, got {worst_factor}")
+        if not 0.0 <= spread <= worst_factor - 1.0:
+            raise ServingError(
+                f"spread must be in [0, worst_factor - 1] so measurements "
+                f"stay inside the worst bound; got {spread}")
+        self.base_j = float(base_j)
+        self.worst_factor = float(worst_factor)
+        self.spread = float(spread)
+
+    def predict(self, request: TenantRequest) -> tuple[float, float]:
+        expected = self.base_j * request.work
+        return expected, expected * self.worst_factor
+
+    def measure(self, request: TenantRequest) -> float:
+        expected = self.base_j * request.work
+        unit = request_unit(request.request_id, request.tenant)
+        return expected * (1.0 + self.spread * (2.0 * unit - 1.0))
+
+
+class InterfaceCostModel(CostModel):
+    """Price requests through a real energy interface.
+
+    ``method(*args(work))`` is evaluated in ``"expected"`` and
+    ``"worst"`` mode through the supplied session; results are memoised
+    on the work abstraction quantised to ``work_quantum``, so a Zipf
+    workload's hot inputs pay the evaluation once.  Measurement reuses
+    the expected evaluation scaled by the same deterministic per-request
+    spread as :class:`WorkCostModel` (the simulated fleet has no
+    physical ledger per replica to meter).
+    """
+
+    name = "interface"
+
+    def __init__(self, interface: Any, method: str, session: Any,
+                 work_quantum: float = 0.05, spread: float = 0.2,
+                 worst_floor_factor: float = 1.0 + 0.25) -> None:
+        if work_quantum <= 0:
+            raise ServingError(
+                f"work_quantum must be positive, got {work_quantum}")
+        if spread < 0:
+            raise ServingError(f"spread must be >= 0, got {spread}")
+        self.interface = interface
+        self.method = method
+        self.session = session
+        self.work_quantum = float(work_quantum)
+        self.spread = float(spread)
+        self.worst_floor_factor = float(worst_floor_factor)
+        self._cache: dict[float, tuple[float, float]] = {}
+
+    def args_for(self, work: float) -> tuple:
+        """The interface arguments pricing ``work`` units (overridable)."""
+        return (work,)
+
+    def _quantised(self, work: float) -> float:
+        return round(work / self.work_quantum) * self.work_quantum
+
+    def predict(self, request: TenantRequest) -> tuple[float, float]:
+        from repro.core.interface import evaluate
+
+        key = self._quantised(request.work)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        call = self.interface(self.method, *self.args_for(key))
+        expected = as_joules(evaluate(call, session=self.session,
+                                      mode="expected"))
+        worst = as_joules(evaluate(call, session=self.session,
+                                   mode="worst"))
+        # A leaf with no stochastic ECVs prices worst == expected; keep a
+        # floor over the measurement spread so hard admission still
+        # covers every settled draw.
+        worst = max(worst, expected * max(self.worst_floor_factor,
+                                          1.0 + self.spread))
+        self._cache[key] = (expected, worst)
+        return expected, worst
+
+    def measure(self, request: TenantRequest) -> float:
+        expected, _ = self.predict(request)
+        unit = request_unit(request.request_id, request.tenant)
+        return expected * (1.0 + self.spread * (2.0 * unit - 1.0))

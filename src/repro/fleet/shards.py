@@ -1,0 +1,312 @@
+"""Sharded token-bucket budgets with lease-based global enforcement.
+
+The paper's system-wide clarity argument (and EACOF's fleet-wide energy
+accounting, PAPERS.md) demands that a per-tenant energy budget hold
+across *all* replicas even though each replica only ever sees its own
+traffic.  Centralising every draw would put a coordinator round-trip on
+the admission hot path; instead the fleet shards each tenant's bucket:
+
+* one :class:`LeaseCoordinator` per fleet owns the *global* token
+  arithmetic — per tenant, ``allowance(t) = capacity + refill * t`` and
+  the running total of joules ever granted out;
+* each replica holds one :class:`BudgetShard` per tenant, which admits
+  requests locally against a :class:`Lease` — a grant of joules valid
+  until a TTL expires.  Admission is a local comparison; the
+  coordinator is consulted only when the lease runs dry or times out
+  (the "gossip" traffic).
+
+The global invariant is then enforced by construction: the coordinator
+never grants beyond the allowance, a shard never admits beyond its
+grants, so the fleet-wide sum of drawn joules can never exceed the
+tenant's allowance — whichever replica the balancer chose, whatever
+order the requests arrived in.  Expired leases return their unused
+joules at the next renewal, so a drained replica's tokens flow back to
+the rest of the fleet instead of leaking.
+
+Renewals can *fail* (fault site ``"fleet.lease"`` in
+:mod:`repro.faults`): a shard whose renewal was denied holds no lease
+and must reject admissions — conservative by design, mirroring the
+degradation ladder's "shed load you might have served, never the
+reverse".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import BudgetError
+from repro.serving.budget import BudgetSpec
+
+__all__ = ["Lease", "LeaseCoordinator", "BudgetShard"]
+
+#: Float-comparison slack for token arithmetic (joule sums over millions
+#: of requests accumulate rounding in the last few ulps).
+_EPS = 1e-9
+
+
+@dataclass
+class Lease:
+    """One grant of joules to one shard, valid until ``expires_s``."""
+
+    granted_j: float
+    expires_s: float
+    remaining_j: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.remaining_j = self.granted_j
+
+    def live(self, now: float) -> bool:
+        return now < self.expires_s
+
+
+class LeaseCoordinator:
+    """The global accountant: grants leases, never beyond the allowance.
+
+    Tracks, per tenant, the configured :class:`BudgetSpec`, the joules
+    granted out (net of returns) and the joules reported drawn.  All
+    times are simulated seconds; clocks from different replicas are
+    clamped monotone so out-of-order gossip cannot rewind the refill
+    integral.
+    """
+
+    def __init__(self, specs: dict[str, BudgetSpec] | None = None) -> None:
+        self._specs: dict[str, BudgetSpec] = {}
+        self._granted: dict[str, float] = {}
+        self._drawn: dict[str, float] = {}
+        self._now = 0.0
+        self.grants = 0
+        self.denials = 0
+        self.returns_j = 0.0
+        for tenant, spec in (specs or {}).items():
+            self.add_tenant(tenant, spec)
+
+    def add_tenant(self, tenant: str, spec: BudgetSpec) -> None:
+        if tenant in self._specs:
+            raise BudgetError(f"tenant {tenant!r} already has a budget")
+        self._specs[tenant] = spec
+        self._granted[tenant] = 0.0
+        self._drawn[tenant] = 0.0
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def spec_for(self, tenant: str) -> BudgetSpec:
+        try:
+            return self._specs[tenant]
+        except KeyError:
+            raise BudgetError(
+                f"no budget for tenant {tenant!r}; known: "
+                f"{sorted(self._specs)}") from None
+
+    def _sync(self, now: float) -> float:
+        # Monotone clamp: gossip from replica B may carry a timestamp a
+        # hair behind replica A's last renewal; the allowance integral
+        # only ever moves forward.
+        self._now = max(self._now, now)
+        return self._now
+
+    def allowance(self, tenant: str, now: float) -> float:
+        """Nominal joules released to ``tenant`` by simulated ``now``."""
+        spec = self.spec_for(tenant)
+        return spec.capacity_joules + spec.refill_watts * max(now, 0.0)
+
+    def granted(self, tenant: str) -> float:
+        """Joules currently granted out (net of returns)."""
+        return self._granted[tenant]
+
+    def drawn(self, tenant: str) -> float:
+        """Joules the shards reported actually drawn."""
+        return self._drawn[tenant]
+
+    def request_lease(self, tenant: str, chunk_j: float, ttl_s: float,
+                      now: float, returned_j: float = 0.0,
+                      drawn_j: float = 0.0) -> Lease | None:
+        """One gossip round: settle the old lease, grant a new one.
+
+        ``returned_j`` is the unused remainder of the shard's previous
+        lease (reclaimed before the new grant is sized) and ``drawn_j``
+        the joules it drew since its last report.  Returns ``None`` when
+        the tenant's allowance is exhausted at ``now`` — the shard then
+        holds no lease and must reject admissions until a later renewal
+        succeeds.
+        """
+        if chunk_j <= 0:
+            raise BudgetError(f"lease chunk must be positive, got {chunk_j}")
+        if returned_j < -_EPS or drawn_j < -_EPS:
+            raise BudgetError("cannot return or report negative joules")
+        now = self._sync(now)
+        self._drawn[tenant] = self._drawn.get(tenant, 0.0) + drawn_j
+        if returned_j > 0:
+            self._granted[tenant] = max(
+                self._granted[tenant] - returned_j, 0.0)
+            self.returns_j += returned_j
+        headroom = self.allowance(tenant, now) - self._granted[tenant]
+        grant = min(chunk_j, headroom)
+        if grant <= _EPS:
+            self.denials += 1
+            return None
+        self._granted[tenant] += grant
+        self.grants += 1
+        return Lease(granted_j=grant, expires_s=now + ttl_s)
+
+    def settle(self, tenant: str, returned_j: float, drawn_j: float,
+               now: float) -> None:
+        """Final gossip without a new grant (shard drain / end of run)."""
+        if returned_j < -_EPS or drawn_j < -_EPS:
+            raise BudgetError("cannot return or report negative joules")
+        self._sync(now)
+        self._drawn[tenant] = self._drawn.get(tenant, 0.0) + drawn_j
+        if returned_j > 0:
+            self._granted[tenant] = max(
+                self._granted[tenant] - returned_j, 0.0)
+            self.returns_j += returned_j
+
+    def violations(self, now: float) -> dict[str, float]:
+        """Per-tenant overdraw beyond the allowance at ``now`` (Joules).
+
+        Empty when the invariant held — which it must, by construction,
+        as long as every draw went through a shard's lease.  The check is
+        still computed from the reported draws, not assumed, so a bug in
+        the lease arithmetic shows up as a violation rather than
+        silently passing.
+        """
+        now = self._sync(now)
+        out: dict[str, float] = {}
+        for tenant in self._specs:
+            over = self._drawn[tenant] - self.allowance(tenant, now)
+            if over > _EPS:
+                out[tenant] = over
+        return out
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "tenants": len(self._specs),
+            "grants": self.grants,
+            "denials": self.denials,
+            "returned_j": self.returns_j,
+            "granted_j": sum(self._granted.values()),
+            "drawn_j": sum(self._drawn.values()),
+        }
+
+    def __repr__(self) -> str:
+        return (f"LeaseCoordinator(tenants={len(self._specs)}, "
+                f"grants={self.grants}, denials={self.denials})")
+
+
+class BudgetShard:
+    """One replica's local view of one tenant's budget.
+
+    Admission (:meth:`can_admit` then :meth:`draw`) touches only local
+    state; :meth:`ensure_lease` renews through the coordinator when the
+    current lease is expired or too small, charging one gossip round.
+    """
+
+    def __init__(self, tenant: str, coordinator: LeaseCoordinator,
+                 chunk_j: float, ttl_s: float) -> None:
+        if chunk_j <= 0:
+            raise BudgetError(f"lease chunk must be positive, got {chunk_j}")
+        if ttl_s <= 0:
+            raise BudgetError(f"lease TTL must be positive, got {ttl_s}")
+        self.tenant = tenant
+        self.coordinator = coordinator
+        self.chunk_j = float(chunk_j)
+        self.ttl_s = float(ttl_s)
+        self._lease: Lease | None = None
+        self._undrained = 0.0      # drawn joules not yet gossiped upstream
+        self.drawn_j = 0.0         # lifetime draws through this shard
+        self.granted_j = 0.0       # lifetime joules granted to this shard
+        self.renewals = 0
+        self.expiries = 0
+        self.renewal_failures = 0
+
+    # -- lease upkeep ---------------------------------------------------------
+    def needs_renewal(self, worst_j: float, now: float) -> bool:
+        """Would admitting ``worst_j`` at ``now`` require a gossip round?
+
+        A pure read (no counters advance): callers use it to decide
+        whether to charge a coordinator round — and whether to consult
+        the ``"fleet.lease"`` fault site — before :meth:`ensure_lease`.
+        """
+        lease = self._lease
+        return (lease is None or not lease.live(now)
+                or lease.remaining_j + _EPS < worst_j)
+
+    def _stale(self, worst_j: float, now: float) -> bool:
+        lease = self._lease
+        if lease is None:
+            return True
+        if not lease.live(now):
+            self.expiries += 1
+            return True
+        return lease.remaining_j + _EPS < worst_j
+
+    def ensure_lease(self, worst_j: float, now: float,
+                     renewal_allowed: bool = True) -> bool:
+        """Hold a live lease covering ``worst_j``; renew if needed.
+
+        ``renewal_allowed`` is the fault-injection hook: when the
+        ``"fleet.lease"`` site fired for this renewal, the coordinator
+        round is treated as lost — any existing lease is kept as-is, so
+        the shard can still admit from its remainder, but nothing is
+        returned or granted.
+        """
+        if not self._stale(worst_j, now):
+            return True
+        if not renewal_allowed:
+            self.renewal_failures += 1
+            # A dead coordinator round: an *expired* lease is no longer
+            # spendable (its unused joules will be returned on the next
+            # successful renewal), so drop it now.
+            if self._lease is not None and not self._lease.live(now):
+                return False
+            return self._lease is not None \
+                and self._lease.remaining_j + _EPS >= worst_j
+        returned = 0.0
+        if self._lease is not None:
+            returned = max(self._lease.remaining_j, 0.0)
+        chunk = max(self.chunk_j, worst_j)
+        lease = self.coordinator.request_lease(
+            self.tenant, chunk, self.ttl_s, now,
+            returned_j=returned, drawn_j=self._undrained)
+        self._undrained = 0.0
+        self._lease = lease
+        if lease is None:
+            return False
+        self.renewals += 1
+        self.granted_j += lease.granted_j
+        return lease.remaining_j + _EPS >= worst_j
+
+    # -- admission-path accounting ---------------------------------------------
+    def can_admit(self, worst_j: float, now: float) -> bool:
+        """Does the live lease cover a worst-case draw of ``worst_j``?"""
+        lease = self._lease
+        return (lease is not None and lease.live(now)
+                and lease.remaining_j + _EPS >= worst_j)
+
+    def draw(self, joules: float, now: float) -> None:
+        """Consume ``joules`` from the lease (admitted work settling)."""
+        if joules < 0:
+            raise BudgetError(f"cannot draw {joules} J")
+        lease = self._lease
+        if lease is None:
+            raise BudgetError(
+                f"shard for tenant {self.tenant!r} drew without a lease")
+        lease.remaining_j -= joules
+        self._undrained += joules
+        self.drawn_j += joules
+
+    def flush(self, now: float) -> None:
+        """Return the unused lease and report draws (drain / end of run)."""
+        returned = 0.0
+        if self._lease is not None:
+            returned = max(self._lease.remaining_j, 0.0)
+            self._lease = None
+        if returned > 0 or self._undrained > 0:
+            self.coordinator.settle(self.tenant, returned,
+                                    self._undrained, now)
+            self._undrained = 0.0
+
+    def __repr__(self) -> str:
+        return (f"BudgetShard(tenant={self.tenant!r}, "
+                f"drawn={self.drawn_j:.4g} J, renewals={self.renewals})")

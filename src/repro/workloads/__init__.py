@@ -6,6 +6,14 @@ from repro.workloads.arrivals import (
     poisson_arrivals,
     uniform_arrivals,
 )
+from repro.workloads.fleettrace import (
+    TenantRequest,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    fleet_request_trace,
+    request_unit,
+    zipf_tenant_trace,
+)
 from repro.workloads.popularity import UniformPopularity, ZipfPopularity
 from repro.workloads.traces import (
     GenerationRequest,
@@ -20,6 +28,8 @@ from repro.workloads.traces import (
 __all__ = [
     "poisson_arrivals", "uniform_arrivals", "bursty_arrivals",
     "interarrival_iter",
+    "diurnal_arrivals", "flash_crowd_arrivals", "zipf_tenant_trace",
+    "TenantRequest", "fleet_request_trace", "request_unit",
     "ZipfPopularity", "UniformPopularity",
     "ImageRequest", "GenerationRequest", "KVRequest",
     "image_request_trace", "repeated_image_trace",

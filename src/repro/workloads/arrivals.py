@@ -46,12 +46,20 @@ def _coerce_rng(rng: RngLike) -> np.random.Generator:
 
 def poisson_arrivals(rate_per_second: float, horizon_seconds: float,
                      rng: RngLike) -> list[float]:
-    """Arrival timestamps of a Poisson process over ``[0, horizon]``."""
-    if rate_per_second <= 0:
-        raise WorkloadError(f"arrival rate must be positive, got "
+    """Arrival timestamps of a Poisson process over ``[0, horizon)``.
+
+    A zero rate or a zero horizon is a valid degenerate workload (no
+    requests arrive) and returns the empty list; only *negative* values
+    are configuration errors.  Every timestamp is strictly below the
+    horizon, so ``horizon`` composes exactly with phase/window bounds.
+    """
+    if rate_per_second < 0:
+        raise WorkloadError(f"arrival rate must be >= 0, got "
                             f"{rate_per_second}")
-    if horizon_seconds <= 0:
-        raise WorkloadError("the horizon must be positive")
+    if horizon_seconds < 0:
+        raise WorkloadError("the horizon must be >= 0")
+    if rate_per_second == 0 or horizon_seconds == 0:
+        return []
     generator = _coerce_rng(rng)
     times: list[float] = []
     t = 0.0
@@ -80,11 +88,24 @@ def bursty_arrivals(base_rate: float, burst_rate: float,
 
     Phases alternate with exponential durations; ``burst_fraction`` is the
     long-run fraction of time spent bursting.
+
+    Zero rates are valid (a phase with rate 0 simply produces no
+    arrivals) and a zero horizon returns the empty list.  All timestamps
+    are strictly inside ``[0, horizon)``: an arrival landing exactly on a
+    phase boundary belongs to the *next* phase's process, and one landing
+    exactly on the horizon is outside the window.  Zero-length phases
+    (possible when ``burst_fraction`` is 0) consume no arrival draws, so
+    the trace at a fixed seed does not shift when a degenerate phase is
+    inserted.
     """
     if not 0.0 <= burst_fraction < 1.0:
         raise WorkloadError("burst_fraction must be in [0, 1)")
-    if base_rate <= 0 or burst_rate <= 0:
-        raise WorkloadError("rates must be positive")
+    if base_rate < 0 or burst_rate < 0:
+        raise WorkloadError("rates must be >= 0")
+    if horizon_seconds < 0:
+        raise WorkloadError("the horizon must be >= 0")
+    if phase_seconds <= 0:
+        raise WorkloadError("phase_seconds must be positive")
     generator = _coerce_rng(rng)
     times: list[float] = []
     t = 0.0
@@ -98,12 +119,13 @@ def bursty_arrivals(base_rate: float, burst_rate: float,
                 phase_seconds * (1.0 - burst_fraction)))
         end = min(t + duration, horizon_seconds)
         rate = burst_rate if bursting else base_rate
-        clock = t
-        while True:
-            clock += float(generator.exponential(1.0 / rate))
-            if clock >= end:
-                break
-            times.append(clock)
+        if rate > 0 and end > t:
+            clock = t
+            while True:
+                clock += float(generator.exponential(1.0 / rate))
+                if clock >= end:
+                    break
+                times.append(clock)
         t = end
         bursting = not bursting
     return times

@@ -1,0 +1,230 @@
+"""Trace-driven fleet workloads: realistic load for million-user serving.
+
+"Measuring the impact of input data on energy consumption of software"
+(PAPERS.md) makes the case that energy behaviour is a function of *what*
+arrives, not just *how much*; these generators produce the arrival
+shapes a production fleet actually sees:
+
+* :func:`diurnal_arrivals` — an inhomogeneous Poisson process whose rate
+  follows a day/night cycle (the baseline load of a user-facing
+  service);
+* :func:`flash_crowd_arrivals` — piecewise rate steps layered on a base
+  rate (a product launch, a breaking-news spike);
+* :func:`zipf_tenant_trace` — Zipf-skewed tenant identities, so a few
+  hot tenants dominate exactly the way real multi-tenant traffic does.
+
+Everything follows the repository's seed discipline: randomness arrives
+as a generator, an :class:`~repro.sim.rng.RngFactory` or an int seed
+(expanded through the named ``"arrivals"`` stream), and the same seed
+reproduces the same trace bit-for-bit.  The non-homogeneous processes
+use Lewis–Shedler thinning against the peak rate, which keeps the draw
+sequence a pure function of the seed regardless of the rate profile.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.sim.rng import RngFactory
+from repro.workloads.arrivals import RngLike, _coerce_rng
+from repro.workloads.popularity import ZipfPopularity
+
+__all__ = [
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
+    "zipf_tenant_trace",
+    "TenantRequest",
+    "fleet_request_trace",
+    "request_unit",
+]
+
+
+def _thinned_poisson(rate_fn: Callable[[float], float], rate_max: float,
+                     horizon_seconds: float,
+                     generator: np.random.Generator) -> list[float]:
+    """Lewis–Shedler thinning: arrivals of a rate-``rate_fn(t)`` process.
+
+    Candidate arrivals come from a homogeneous process at ``rate_max``;
+    each is kept with probability ``rate_fn(t) / rate_max``.  Exactly two
+    draws per candidate, so the trace is a pure function of the seed.
+    """
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += float(generator.exponential(1.0 / rate_max))
+        if t >= horizon_seconds:
+            return times
+        if generator.random() * rate_max < rate_fn(t):
+            times.append(t)
+
+
+def diurnal_arrivals(mean_rate: float, horizon_seconds: float,
+                     rng: RngLike,
+                     period_seconds: float = 86400.0,
+                     amplitude: float = 0.8,
+                     phase_seconds: float = 0.0) -> list[float]:
+    """A day/night cycle: Poisson arrivals with a sinusoidal rate.
+
+    The instantaneous rate is ``mean_rate * (1 + amplitude *
+    sin(2*pi*(t - phase)/period))`` — peak traffic ``(1+amplitude)`` times
+    the mean, trough ``(1-amplitude)`` times.  ``amplitude`` must stay in
+    ``[0, 1]`` so the rate never goes negative.  Zero mean rate or zero
+    horizon returns the empty list; timestamps are strictly inside
+    ``[0, horizon)``.
+    """
+    if mean_rate < 0:
+        raise WorkloadError(f"mean_rate must be >= 0, got {mean_rate}")
+    if horizon_seconds < 0:
+        raise WorkloadError("the horizon must be >= 0")
+    if not 0.0 <= amplitude <= 1.0:
+        raise WorkloadError(f"amplitude must be in [0, 1], got {amplitude}")
+    if period_seconds <= 0:
+        raise WorkloadError("period_seconds must be positive")
+    if mean_rate == 0 or horizon_seconds == 0:
+        return []
+    omega = 2.0 * math.pi / period_seconds
+
+    def rate(t: float) -> float:
+        return mean_rate * (1.0 + amplitude
+                            * math.sin(omega * (t - phase_seconds)))
+
+    return _thinned_poisson(rate, mean_rate * (1.0 + amplitude),
+                            horizon_seconds, _coerce_rng(rng))
+
+
+def flash_crowd_arrivals(base_rate: float, peak_rate: float,
+                         crowds: Sequence[tuple[float, float]],
+                         horizon_seconds: float,
+                         rng: RngLike) -> list[float]:
+    """Flash crowds: rate steps from ``base_rate`` to ``peak_rate``.
+
+    ``crowds`` is a sequence of ``(start_s, duration_s)`` windows during
+    which the arrival rate jumps to ``peak_rate``; outside them it is
+    ``base_rate``.  Windows may overlap (the rate is simply
+    ``peak_rate`` wherever at least one is active).  Timestamps are
+    strictly inside ``[0, horizon)``.
+    """
+    if base_rate < 0 or peak_rate < 0:
+        raise WorkloadError("rates must be >= 0")
+    if peak_rate < base_rate:
+        raise WorkloadError(
+            f"peak_rate ({peak_rate}) must be >= base_rate ({base_rate})")
+    if horizon_seconds < 0:
+        raise WorkloadError("the horizon must be >= 0")
+    windows = []
+    for start, duration in crowds:
+        if duration < 0:
+            raise WorkloadError(f"crowd duration must be >= 0, "
+                                f"got {duration}")
+        windows.append((float(start), float(start) + float(duration)))
+    rate_max = max(base_rate, peak_rate if windows else base_rate)
+    if rate_max == 0 or horizon_seconds == 0:
+        return []
+
+    def rate(t: float) -> float:
+        for start, end in windows:
+            if start <= t < end:
+                return peak_rate
+        return base_rate
+
+    return _thinned_poisson(rate, rate_max, horizon_seconds,
+                            _coerce_rng(rng))
+
+
+#: Stream name for tenant-identity draws when a seed/factory is given.
+TENANTS_STREAM = "tenants"
+
+
+def zipf_tenant_trace(n_requests: int, n_tenants: int,
+                      rng: RngLike, alpha: float = 1.1) -> np.ndarray:
+    """Zipf-skewed tenant ids for a multi-tenant request stream.
+
+    Returns an ``int64`` array of length ``n_requests`` with values in
+    ``[0, n_tenants)``; tenant 0 is the hottest.  Skewed tenant traffic
+    is what makes *sharded* budget enforcement interesting: the hot
+    tenant's draws land on every replica while its budget is global.
+    """
+    if n_requests < 0:
+        raise WorkloadError("n_requests must be >= 0")
+    if isinstance(rng, RngFactory):
+        generator = rng.stream(TENANTS_STREAM)
+    elif isinstance(rng, (int, np.integer)) \
+            and not isinstance(rng, np.random.Generator):
+        generator = RngFactory(int(rng)).stream(TENANTS_STREAM)
+    else:
+        generator = _coerce_rng(rng)
+    popularity = ZipfPopularity(n_tenants, alpha)
+    return popularity.sample(generator, n_requests).astype(np.int64)
+
+
+@dataclass(frozen=True, slots=True)
+class TenantRequest:
+    """One fleet request: who is asking, when, and how much work.
+
+    Carries only the *abstraction* of the input (§3): ``work`` is the
+    request's size in abstract work units — the argument the cost model
+    prices — never a payload.
+    """
+
+    request_id: int
+    tenant: int
+    arrival_s: float
+    work: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tenant < 0:
+            raise WorkloadError(f"tenant must be >= 0, got {self.tenant}")
+        if self.work <= 0:
+            raise WorkloadError(f"work must be positive, got {self.work}")
+
+
+def request_unit(request_id: int, tenant: int, salt: int = 0) -> float:
+    """A deterministic uniform in ``[0, 1)`` tied to a request identity.
+
+    Derived from a CRC over ``(request_id, tenant, salt)`` — no RNG
+    state, so cost models can vary per-request behaviour while staying a
+    pure function of the trace (replays are bitwise).
+    """
+    crc = zlib.crc32(f"{request_id}:{tenant}:{salt}".encode("ascii"))
+    return crc / 4294967296.0
+
+
+def fleet_request_trace(times: Sequence[float], tenants: Sequence[int],
+                        rng: RngLike,
+                        work_range: tuple[float, float] = (0.5, 2.0)
+                        ) -> Iterator[TenantRequest]:
+    """Zip arrivals and tenant ids into a lazy :class:`TenantRequest` stream.
+
+    Lazy on purpose: a million-request trace should stream through the
+    fleet, not sit in memory.  Work sizes are uniform over
+    ``work_range``, drawn from the ``"work"`` stream when a seed or
+    factory is supplied.
+    """
+    if len(times) != len(tenants):
+        raise WorkloadError(
+            f"{len(times)} arrival times for {len(tenants)} tenant ids")
+    low, high = work_range
+    if not 0 < low <= high:
+        raise WorkloadError(
+            f"work_range must satisfy 0 < low <= high, got {work_range}")
+    if isinstance(rng, RngFactory):
+        generator = rng.stream("work")
+    elif isinstance(rng, (int, np.integer)) \
+            and not isinstance(rng, np.random.Generator):
+        generator = RngFactory(int(rng)).stream("work")
+    else:
+        generator = _coerce_rng(rng)
+
+    def iterate() -> Iterator[TenantRequest]:
+        for index, (t, tenant) in enumerate(zip(times, tenants)):
+            work = float(generator.uniform(low, high))
+            yield TenantRequest(request_id=index, tenant=int(tenant),
+                                arrival_s=float(t), work=work)
+
+    return iterate()

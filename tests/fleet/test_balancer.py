@@ -1,0 +1,113 @@
+"""Tests for the fleet load balancers."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServingError
+from repro.fleet.balancer import (
+    BALANCERS,
+    LeastEnergyBalancer,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    build_balancer,
+)
+
+
+@dataclass
+class FakeReplica:
+    index: int
+    inflight: float = 0.0
+    depth: int = 0
+    up: bool = True
+
+    def accepting(self, now: float) -> bool:
+        return self.up
+
+    @property
+    def queue_depth(self) -> int:
+        return self.depth
+
+    @property
+    def inflight_j(self) -> float:
+        return self.inflight
+
+
+def make_replicas(*inflight):
+    return [FakeReplica(i, j) for i, j in enumerate(inflight)]
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        replicas = make_replicas(0, 0, 0)
+        balancer = RoundRobinBalancer()
+        firsts = [balancer.prefer(replicas, 0.0)[0].index for _ in range(6)]
+        assert firsts == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_down_replicas(self):
+        replicas = make_replicas(0, 0, 0)
+        replicas[1].up = False
+        balancer = RoundRobinBalancer()
+        firsts = {balancer.prefer(replicas, 0.0)[0].index for _ in range(4)}
+        assert 1 not in firsts
+
+    def test_returns_full_preference_order(self):
+        replicas = make_replicas(0, 0, 0)
+        order = RoundRobinBalancer().prefer(replicas, 0.0)
+        assert [r.index for r in order] == [0, 1, 2]
+
+
+class TestLeastEnergy:
+    def test_prefers_least_inflight(self):
+        replicas = make_replicas(5.0, 1.0, 3.0)
+        order = LeastEnergyBalancer().prefer(replicas, 0.0)
+        assert [r.index for r in order] == [1, 2, 0]
+
+    def test_ties_break_on_depth_then_index(self):
+        replicas = make_replicas(1.0, 1.0, 1.0)
+        replicas[0].depth = 7
+        order = LeastEnergyBalancer().prefer(replicas, 0.0)
+        assert [r.index for r in order] == [1, 2, 0]
+
+    def test_empty_when_all_down(self):
+        replicas = make_replicas(0, 0)
+        for r in replicas:
+            r.up = False
+        assert LeastEnergyBalancer().prefer(replicas, 0.0) == []
+
+
+class TestPowerOfTwo:
+    def test_picks_lighter_of_two_probes(self):
+        replicas = make_replicas(0.0, 10.0, 20.0, 30.0)
+        balancer = PowerOfTwoBalancer(np.random.default_rng(0))
+        for _ in range(50):
+            order = balancer.prefer(replicas, 0.0)
+            assert order[0].inflight_j <= order[1].inflight_j
+            assert len(order) == 4
+
+    def test_seeded_stream_replays(self):
+        replicas = make_replicas(1.0, 2.0, 3.0, 4.0, 5.0)
+        a = PowerOfTwoBalancer(np.random.default_rng(3))
+        b = PowerOfTwoBalancer(np.random.default_rng(3))
+        for _ in range(20):
+            assert [r.index for r in a.prefer(replicas, 0.0)] \
+                == [r.index for r in b.prefer(replicas, 0.0)]
+
+    def test_two_or_fewer_replicas_skip_sampling(self):
+        replicas = make_replicas(4.0, 2.0)
+        order = PowerOfTwoBalancer(np.random.default_rng(1)) \
+            .prefer(replicas, 0.0)
+        assert [r.index for r in order] == [1, 0]
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(BALANCERS) == {"round-robin", "least-energy",
+                                  "power-of-two"}
+        for name in BALANCERS:
+            assert build_balancer(name, 0).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ServingError):
+            build_balancer("random", 0)

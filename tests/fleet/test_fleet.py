@@ -1,0 +1,229 @@
+"""End-to-end tests for the multi-replica gateway fleet."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import BudgetError, ServingError
+from repro.core.policy import Policy
+from repro.faults import FaultPlan, FaultSpec
+from repro.fleet import (
+    EnergyGatewayFleet,
+    FleetReport,
+    LatencyHistogram,
+    WorkCostModel,
+    format_fleet_report,
+)
+from repro.sim.rng import RngFactory
+from repro.workloads import (
+    fleet_request_trace,
+    poisson_arrivals,
+    zipf_tenant_trace,
+)
+
+BUDGETS = {"t0": "5J+2W", "t1": "3J+1W", "t2": "2J+0.5W"}
+
+
+def make_trace(seed=42, rate=200.0, horizon=20.0, tenants=3):
+    rng = RngFactory(seed)
+    times = poisson_arrivals(rate, horizon, rng.stream("arrivals"))
+    ids = zipf_tenant_trace(len(times), tenants, rng)
+    return list(fleet_request_trace(times, ids, rng))
+
+
+def run_fleet(requests, policy=None, plan=None, budgets=BUDGETS, **kwargs):
+    fleet = EnergyGatewayFleet(budgets, policy=policy, **kwargs)
+    if plan is not None:
+        fleet.inject_faults(plan)
+    return fleet.serve(iter(requests))
+
+
+class TestServe:
+    def test_every_request_lands_somewhere(self):
+        requests = make_trace()
+        report = run_fleet(requests, Policy(replicas=4))
+        assert report.offered == len(requests)
+        assert (report.admitted + report.rejected + report.shed_crash
+                + report.shed_no_replica == report.offered)
+        assert report.violations == {}
+        assert report.goodput_per_j > 0
+        assert sum(report.dispatch_counts) \
+            == report.offered - report.shed_no_replica
+
+    def test_policy_knobs_are_honoured(self):
+        report = run_fleet(make_trace(),
+                           Policy(replicas=6, balancer="round-robin",
+                                  lease_ttl_s=2.5))
+        assert report.n_replicas == 6
+        assert report.balancer == "round-robin"
+        assert len(report.replica_reports) == 6
+        # Round-robin spreads the load almost perfectly evenly.
+        counts = report.dispatch_counts
+        assert max(counts) - min(counts) <= 1
+
+    def test_per_replica_reports_sum_to_fleet(self):
+        report = run_fleet(make_trace(), Policy(replicas=4))
+        assert sum(r.admitted for r in report.replica_reports) \
+            == report.admitted
+        assert sum(r.ledger_joules for r in report.replica_reports) \
+            == pytest.approx(report.measured_joules)
+
+    def test_starved_budget_rejects_but_never_violates(self):
+        tight = {"t0": "0.1J+0.02W", "t1": "0.1J+0.02W",
+                 "t2": "0.1J+0.02W"}
+        report = run_fleet(make_trace(), Policy(replicas=4), budgets=tight)
+        assert report.rejected > 0
+        assert report.violations == {}
+        assert report.measured_joules <= report.allowance_joules + 1e-9
+
+    def test_backpressure_engages_on_tiny_queues(self):
+        report = run_fleet(make_trace(rate=500.0, horizon=5.0),
+                           Policy(replicas=2), queue_limit=4)
+        assert report.backpressure_waits > 0
+        assert report.offered == report.admitted + report.rejected
+
+    def test_unknown_tenant_index_raises(self):
+        requests = make_trace(tenants=3)
+        with pytest.raises(BudgetError):
+            run_fleet(requests, budgets={"only": "5J+2W"})
+
+    def test_invalid_policy_knobs(self):
+        with pytest.raises(ServingError):
+            Policy(replicas=0)
+        with pytest.raises(ServingError):
+            Policy(lease_ttl_s=0.0)
+        with pytest.raises(ServingError):
+            EnergyGatewayFleet(BUDGETS, policy=Policy(balancer="nope"))
+        with pytest.raises(BudgetError):
+            EnergyGatewayFleet({})
+
+    def test_report_renders_and_serialises(self):
+        report = run_fleet(make_trace(rate=50.0, horizon=5.0))
+        text = format_fleet_report(report)
+        assert "goodput / J" in text
+        rebuilt = report.to_dict()
+        assert rebuilt["offered"] == report.offered
+        assert isinstance(report.to_json(), str)
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        requests = make_trace(seed=11)
+        policy = Policy(replicas=4, balancer="power-of-two")
+        first = run_fleet(requests, policy, entropy=11)
+        second = run_fleet(requests, policy, entropy=11)
+        assert first == second
+        assert first.digest() == second.digest()
+
+    def test_different_entropy_differs(self):
+        requests = make_trace(seed=11)
+        policy = Policy(replicas=4, balancer="power-of-two")
+        first = run_fleet(requests, policy, entropy=11)
+        second = run_fleet(requests, policy, entropy=12)
+        # Different balancer sampling must show up somewhere.
+        assert first.dispatch_counts != second.dispatch_counts
+
+    def test_identical_under_fault_plan(self):
+        requests = make_trace(seed=5, rate=400.0, horizon=15.0)
+        policy = Policy(replicas=4, lease_ttl_s=1.0)
+
+        def run():
+            plan = FaultPlan((FaultSpec("fleet.replica", 0.3),
+                              FaultSpec("fleet.lease", 0.2)), entropy=5)
+            return run_fleet(requests, policy, plan=plan,
+                             crash_check_every=256)
+
+        first, second = run(), run()
+        assert first.replica_crashes > 0
+        assert first.lease_renewal_faults > 0
+        assert first.shed_crash > 0
+        assert first.digest() == second.digest()
+        # The invariant holds even while replicas crash and leases fail.
+        assert first.violations == {}
+
+    def test_all_balancers_replay(self):
+        requests = make_trace(seed=3, rate=100.0, horizon=10.0)
+        for name in ("round-robin", "least-energy", "power-of-two"):
+            policy = Policy(replicas=3, balancer=name)
+            assert run_fleet(requests, policy).digest() \
+                == run_fleet(requests, policy).digest()
+
+
+class TestFaults:
+    def test_crashes_drain_to_other_replicas(self):
+        requests = make_trace(seed=8, rate=300.0, horizon=10.0)
+        plan = FaultPlan((FaultSpec("fleet.replica", 0.2),), entropy=8)
+        report = run_fleet(requests, Policy(replicas=4), plan=plan,
+                           crash_check_every=128, crash_downtime_s=0.5)
+        assert report.replica_crashes > 0
+        assert report.shed_crash > 0
+        # The fleet keeps serving: crashes shed queues, not the run.
+        assert report.admitted > 0.5 * report.offered
+        assert (report.admitted + report.rejected + report.shed_crash
+                + report.shed_no_replica == report.offered)
+        assert report.violations == {}
+
+    def test_lease_faults_only_reject(self):
+        requests = make_trace(seed=9, rate=300.0, horizon=10.0)
+        plan = FaultPlan((FaultSpec("fleet.lease", 0.5),), entropy=9)
+        report = run_fleet(requests, Policy(replicas=4, lease_ttl_s=0.5),
+                           plan=plan)
+        assert report.lease_renewal_faults > 0
+        assert report.replica_crashes == 0
+        assert report.violations == {}
+
+    def test_uniform_plan_excludes_fleet_sites(self):
+        # FaultPlan.uniform keeps its historical meaning ("evaluations
+        # fail"): the fleet control-plane sites must be opted into.
+        plan = FaultPlan.uniform(0.5)
+        sites = {spec.site for spec in plan.specs}
+        assert "fleet.replica" not in sites
+        assert "fleet.lease" not in sites
+
+
+class TestCostModel:
+    def test_measured_never_exceeds_worst(self):
+        model = WorkCostModel(base_j=0.01, worst_factor=1.5, spread=0.25)
+        for request in make_trace(rate=50.0, horizon=5.0):
+            expected, worst = model.predict(request)
+            measured = model.measure(request)
+            assert 0.0 < measured <= worst
+            assert expected <= worst
+
+    def test_spread_must_fit_inside_worst(self):
+        with pytest.raises(ServingError):
+            WorkCostModel(worst_factor=1.2, spread=0.5)
+        with pytest.raises(ServingError):
+            WorkCostModel(base_j=0.0)
+
+
+class TestLatencyHistogram:
+    def test_percentiles_track_samples(self):
+        hist = LatencyHistogram()
+        for ms in range(1, 101):
+            hist.add(ms / 1000.0)
+        p50 = hist.percentile(50.0)
+        p99 = hist.percentile(99.0)
+        assert 0.03 <= p50 <= 0.07
+        assert p99 >= 0.08
+        assert hist.percentile(50.0) == p50  # read-out is pure
+
+    def test_empty_is_none_and_merge_adds(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        assert a.percentile(50.0) is None
+        b.add(0.01)
+        a.merge(b)
+        assert a.n == 1
+        assert a.percentile(50.0) == pytest.approx(0.01, rel=0.2)
+
+
+def test_fleet_report_is_frozen():
+    report = FleetReport(
+        horizon_s=1.0, n_replicas=1, balancer="round-robin", offered=0,
+        admitted=0, rejected=0, shed_crash=0, shed_no_replica=0,
+        backpressure_waits=0, measured_joules=0.0, predicted_joules=0.0,
+        allowance_joules=1.0, p50_latency_s=None, p99_latency_s=None)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        report.offered = 1
+    assert report.goodput == 1.0
+    assert report.within_budget

@@ -1,0 +1,149 @@
+"""Tests for the lease coordinator and budget shards."""
+
+import pytest
+
+from repro.core.errors import BudgetError
+from repro.fleet.shards import BudgetShard, Lease, LeaseCoordinator
+from repro.serving.budget import BudgetSpec
+
+
+def make_coordinator(capacity=10.0, refill=1.0, tenant="t"):
+    return LeaseCoordinator({tenant: BudgetSpec(capacity, refill)})
+
+
+class TestLeaseCoordinator:
+    def test_allowance_integrates_refill(self):
+        coord = make_coordinator(10.0, 2.0)
+        assert coord.allowance("t", 0.0) == 10.0
+        assert coord.allowance("t", 5.0) == 20.0
+
+    def test_grants_never_exceed_allowance(self):
+        coord = make_coordinator(10.0, 0.0)
+        first = coord.request_lease("t", 8.0, ttl_s=5.0, now=0.0)
+        assert first is not None and first.granted_j == 8.0
+        second = coord.request_lease("t", 8.0, ttl_s=5.0, now=0.0)
+        assert second is not None and second.granted_j == pytest.approx(2.0)
+        third = coord.request_lease("t", 8.0, ttl_s=5.0, now=0.0)
+        assert third is None
+        assert coord.denials == 1
+
+    def test_refill_reopens_headroom(self):
+        coord = make_coordinator(10.0, 1.0)
+        assert coord.request_lease("t", 10.0, 5.0, now=0.0) is not None
+        assert coord.request_lease("t", 10.0, 5.0, now=0.0) is None
+        later = coord.request_lease("t", 10.0, 5.0, now=4.0)
+        assert later is not None
+        assert later.granted_j == pytest.approx(4.0)
+
+    def test_returns_reclaim_grants(self):
+        coord = make_coordinator(10.0, 0.0)
+        lease = coord.request_lease("t", 10.0, 5.0, now=0.0)
+        assert lease is not None
+        assert coord.request_lease("t", 1.0, 5.0, now=0.0) is None
+        renewed = coord.request_lease("t", 6.0, 5.0, now=0.0,
+                                      returned_j=10.0, drawn_j=0.0)
+        assert renewed is not None and renewed.granted_j == 6.0
+
+    def test_clock_is_monotone(self):
+        coord = make_coordinator(5.0, 1.0)
+        coord.request_lease("t", 1.0, 5.0, now=10.0)
+        # Gossip arriving "from the past" cannot rewind the integral.
+        assert coord.allowance("t", 0.0) == 5.0
+        coord._sync(0.0)
+        assert coord._now == 10.0
+
+    def test_violations_detect_overdraw(self):
+        coord = make_coordinator(5.0, 0.0)
+        coord.settle("t", returned_j=0.0, drawn_j=7.0, now=0.0)
+        violations = coord.violations(0.0)
+        assert violations == {"t": pytest.approx(2.0)}
+
+    def test_unknown_tenant_and_bad_args(self):
+        coord = make_coordinator()
+        with pytest.raises(BudgetError):
+            coord.spec_for("nobody")
+        with pytest.raises(BudgetError):
+            coord.request_lease("t", 0.0, 5.0, now=0.0)
+        with pytest.raises(BudgetError):
+            coord.settle("t", returned_j=-1.0, drawn_j=0.0, now=0.0)
+        with pytest.raises(BudgetError):
+            coord.add_tenant("t", BudgetSpec(1.0, 0.0))
+
+
+class TestBudgetShard:
+    def test_local_admission_within_lease(self):
+        coord = make_coordinator(10.0, 0.0)
+        shard = BudgetShard("t", coord, chunk_j=4.0, ttl_s=100.0)
+        assert shard.ensure_lease(1.0, now=0.0)
+        grants_after_first = coord.grants
+        # Admissions inside the lease touch no coordinator state.
+        assert shard.can_admit(1.0, now=0.0)
+        shard.draw(0.5, now=0.0)
+        assert shard.can_admit(1.0, now=1.0)
+        shard.draw(0.5, now=1.0)
+        assert coord.grants == grants_after_first
+
+    def test_expired_lease_triggers_renewal(self):
+        coord = make_coordinator(10.0, 0.0)
+        shard = BudgetShard("t", coord, chunk_j=4.0, ttl_s=2.0)
+        assert shard.ensure_lease(1.0, now=0.0)
+        assert not shard.can_admit(1.0, now=3.0)   # lease died at t=2
+        assert shard.needs_renewal(1.0, now=3.0)
+        assert shard.ensure_lease(1.0, now=3.0)
+        assert shard.expiries == 1
+        assert shard.can_admit(1.0, now=3.0)
+
+    def test_renewal_fault_is_conservative(self):
+        coord = make_coordinator(10.0, 0.0)
+        shard = BudgetShard("t", coord, chunk_j=2.0, ttl_s=100.0)
+        assert shard.ensure_lease(1.0, now=0.0)
+        shard.draw(1.5, now=0.0)
+        # The lease (0.5 J left) cannot cover 1 J and the renewal round
+        # is lost: the shard must reject, not overdraw.
+        assert not shard.ensure_lease(1.0, now=1.0, renewal_allowed=False)
+        assert shard.renewal_failures == 1
+        # But the live remainder is still spendable for smaller work.
+        assert shard.can_admit(0.4, now=1.0)
+
+    def test_draw_without_lease_raises(self):
+        coord = make_coordinator()
+        shard = BudgetShard("t", coord, chunk_j=1.0, ttl_s=1.0)
+        with pytest.raises(BudgetError):
+            shard.draw(0.1, now=0.0)
+
+    def test_flush_returns_unused_and_reports_draws(self):
+        coord = make_coordinator(10.0, 0.0)
+        shard = BudgetShard("t", coord, chunk_j=6.0, ttl_s=100.0)
+        assert shard.ensure_lease(1.0, now=0.0)
+        shard.draw(2.0, now=0.0)
+        shard.flush(now=1.0)
+        assert coord.drawn("t") == pytest.approx(2.0)
+        assert coord.granted("t") == pytest.approx(2.0)
+        assert coord.returns_j == pytest.approx(4.0)
+        assert coord.violations(1.0) == {}
+
+    def test_invariant_under_many_shards(self):
+        # Several shards hammering one tenant can never overdraw it.
+        coord = make_coordinator(capacity=5.0, refill=0.5)
+        shards = [BudgetShard("t", coord, chunk_j=1.0, ttl_s=2.0)
+                  for _ in range(4)]
+        drawn = 0.0
+        for step in range(200):
+            now = step * 0.1
+            shard = shards[step % 4]
+            worst = 0.3
+            if shard.needs_renewal(worst, now):
+                shard.ensure_lease(worst, now)
+            if shard.can_admit(worst, now):
+                shard.draw(worst, now)
+                drawn += worst
+        for shard in shards:
+            shard.flush(now=20.0)
+        assert coord.violations(20.0) == {}
+        assert drawn <= coord.allowance("t", 20.0) + 1e-9
+        assert coord.drawn("t") == pytest.approx(drawn)
+
+    def test_lease_dataclass(self):
+        lease = Lease(granted_j=2.0, expires_s=5.0)
+        assert lease.remaining_j == 2.0
+        assert lease.live(4.9) and not lease.live(5.0)

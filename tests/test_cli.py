@@ -230,3 +230,60 @@ class TestServeCommand:
                      "--rate", "50", "--horizon", "1"]) == 0
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestFleetCommand:
+    def test_smoke_run(self, capsys):
+        assert main(["fleet", "--rate", "100", "--horizon", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet report" in out
+        assert "goodput / J" in out
+        assert "budget violations" in out
+
+    def test_balancer_and_replica_knobs(self, capsys):
+        assert main(["fleet", "--rate", "100", "--horizon", "5",
+                     "--replicas", "6", "--balancer", "power-of-two",
+                     "--workload", "flash"]) == 0
+        out = capsys.readouterr().out
+        assert "power-of-two" in out
+        assert out.count(",") >= 5  # six per-replica dispatch counts
+
+    def test_json_output(self, capsys, tmp_path):
+        target = tmp_path / "fleet.json"
+        assert main(["fleet", "--rate", "50", "--horizon", "2",
+                     "--json", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["n_replicas"] == 4
+        assert document["violations"] == {}
+
+    def test_fault_rate_run_is_clean_on_budget(self, capsys):
+        assert main(["fleet", "--rate", "100", "--horizon", "5",
+                     "--fault-rate", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet report" in out
+
+    def test_min_goodput_gate(self, capsys):
+        # Starve the budget so requests are rejected, then demand 100%.
+        assert main(["fleet", "--rate", "200", "--horizon", "5",
+                     "--budget", "0.05J+0.01W",
+                     "--min-goodput", "1.0"]) == 1
+        err = capsys.readouterr().err
+        assert "--min-goodput" in err
+
+    def test_usage_errors_exit_2(self, capsys):
+        assert main(["fleet", "--replicas", "0"]) == 2
+        assert main(["fleet", "--tenants", "0"]) == 2
+        assert main(["fleet", "--rate", "0"]) == 2
+        assert main(["fleet", "--fault-rate", "1.5"]) == 2
+        assert main(["fleet", "--min-goodput", "2"]) == 2
+        assert main(["fleet", "--budget", "banana"]) == 2
+        capsys.readouterr()
+
+    def test_seed_replays_bitwise(self, capsys):
+        args = ["--seed", "3", "fleet", "--rate", "100", "--horizon", "5",
+                "--balancer", "power-of-two"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second

@@ -36,9 +36,23 @@ class TestArrivals:
 
     def test_poisson_validation(self):
         with pytest.raises(WorkloadError):
-            poisson_arrivals(0.0, 1.0, RNG)
+            poisson_arrivals(-1.0, 1.0, RNG)
         with pytest.raises(WorkloadError):
-            poisson_arrivals(1.0, 0.0, RNG)
+            poisson_arrivals(1.0, -1.0, RNG)
+
+    def test_poisson_degenerate_workloads_are_empty(self):
+        assert poisson_arrivals(0.0, 10.0, RNG) == []
+        assert poisson_arrivals(100.0, 0.0, RNG) == []
+        assert poisson_arrivals(0.0, 0.0, RNG) == []
+
+    def test_poisson_strictly_inside_horizon(self):
+        # Dense traffic over a short horizon: every timestamp must land
+        # strictly below the horizon (the boundary belongs outside).
+        for seed in range(5):
+            times = poisson_arrivals(5000.0, 1.0,
+                                     np.random.default_rng(seed))
+            assert times
+            assert all(0.0 <= t < 1.0 for t in times)
 
     def test_uniform_spacing(self):
         times = uniform_arrivals(4, 8.0)
@@ -62,6 +76,37 @@ class TestArrivals:
     def test_bursty_validation(self):
         with pytest.raises(WorkloadError):
             bursty_arrivals(10.0, 20.0, 1.5, 10.0, RNG)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(-1.0, 20.0, 0.2, 10.0, RNG)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(10.0, 20.0, 0.2, -1.0, RNG)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(10.0, 20.0, 0.2, 10.0, RNG, phase_seconds=0.0)
+
+    def test_bursty_zero_rates_and_horizon(self):
+        # Zero rates are valid degenerate phases, not errors.
+        assert bursty_arrivals(0.0, 0.0, 0.2, 10.0, RNG) == []
+        assert bursty_arrivals(10.0, 20.0, 0.2, 0.0, RNG) == []
+        quiet_only = bursty_arrivals(0.0, 50.0, 0.5, 20.0,
+                                     np.random.default_rng(9))
+        assert all(0.0 <= t < 20.0 for t in quiet_only)
+
+    def test_bursty_strictly_inside_horizon(self):
+        for seed in range(5):
+            times = bursty_arrivals(200.0, 2000.0, 0.3, 2.0,
+                                    np.random.default_rng(seed))
+            assert times == sorted(times)
+            assert all(0.0 <= t < 2.0 for t in times)
+
+    def test_bursty_horizon_extension_only_appends(self):
+        # With burst_fraction=0, burst phases have zero length and must
+        # consume no draws: extending the horizon at the same seed only
+        # appends arrivals, it never shifts the earlier ones.
+        short = bursty_arrivals(50.0, 500.0, 0.0, 5.0,
+                                np.random.default_rng(4))
+        long = bursty_arrivals(50.0, 500.0, 0.0, 10.0,
+                               np.random.default_rng(4))
+        assert short == [t for t in long if t < 5.0]
 
     def test_interarrival_roundtrip(self):
         times = [1.0, 2.5, 4.0]
