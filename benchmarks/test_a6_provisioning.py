@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ecv import CategoricalECV
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.power import provision
 from repro.core.report import format_table
 from repro.hardware.gpu import KernelProfile
@@ -95,7 +95,7 @@ def measured_rack_peak(n_nodes: int, seed: int = 0) -> float:
 def test_a6_provisioning(run_once):
     def experiment():
         interface = NodePowerInterface()
-        peak_w = interface.evaluate("P_draw", mode="worst").as_joules
+        peak_w = evaluate(interface("P_draw"), mode="worst").as_joules
         expected_w = interface.expected("P_draw").as_joules
 
         def max_nodes(per_node_w, diversity=1.0):

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.interface import evaluate
 from repro.apps.mlservice import MLWebService, build_service_machine, \
     build_service_stack
 from repro.core.attribution import attribute
@@ -97,8 +98,7 @@ def test_a8_attribution_vs_interface(run_once):
         }
         whatif_trace = trace(N_WHATIF, rng)
         interface_whatif = sum(
-            interface.evaluate("E_handle", r.image_pixels, r.zero_pixels,
-                               env=new_bindings).as_joules
+            evaluate(interface("E_handle", r.image_pixels, r.zero_pixels), env=new_bindings).as_joules
             for r in whatif_trace)
 
         # --- ground truth: actually deploy the big cache ------------------

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.interface import evaluate
 from repro.apps.mlservice import MLWebService, build_service_machine, \
     build_service_stack
 from repro.core.report import format_table
@@ -50,8 +51,7 @@ def run_service(zipf_alpha: float = 0.9, seed: int = 11) -> dict:
         paths[service.handle(request)] += 1
     measured = machine.ledger.energy_between(t_start, machine.now)
     predicted = sum(
-        interface.evaluate("E_handle", r.image_pixels, r.zero_pixels
-                           ).as_joules
+        evaluate(interface("E_handle", r.image_pixels, r.zero_pixels)).as_joules
         for r in trace)
     hit_rate = (paths["local"] + paths["remote"]) / MEASURED_REQUESTS
     return {
@@ -109,20 +109,14 @@ def test_fig1_cache_beats_model_shrinking(run_once):
         bindings = service.observed_bindings()
         p_hit = bindings["request_hit"].p
 
-        baseline = interface.evaluate("E_handle", *probe).as_joules
+        baseline = evaluate(interface("E_handle", *probe)).as_joules
         # Evaluate both what-ifs by explicit ECV overrides:
         from repro.core.ecv import BernoulliECV
-        improved_hit = interface.evaluate(
-            "E_handle", *probe,
-            env={"request_hit": BernoulliECV("request_hit",
-                                             min(p_hit + 0.2, 1.0))}
-        ).as_joules
+        improved_hit = evaluate(interface("E_handle", *probe), env={"request_hit": BernoulliECV("request_hit",
+                                             min(p_hit + 0.2, 1.0))}).as_joules
         # A 25% cheaper model: scale the inference-path prediction.
-        infer_energy = interface.evaluate("E_handle", *probe,
-                                          env={"request_hit": False}
-                                          ).as_joules
-        hit_energy = interface.evaluate(
-            "E_handle", *probe, env={"request_hit": True}).as_joules
+        infer_energy = evaluate(interface("E_handle", *probe), env={"request_hit": False}).as_joules
+        hit_energy = evaluate(interface("E_handle", *probe), env={"request_hit": True}).as_joules
         cheaper_model = ((1 - p_hit) * (hit_energy + 0.75
                                         * (infer_energy - hit_energy))
                          + p_hit * hit_energy)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.interface import evaluate
 from repro.apps.mlservice import MLWebService, build_service_machine, \
     build_service_stack
 from repro.core.report import format_table
@@ -65,8 +66,7 @@ def deploy_and_measure(gpu_spec, bindings_from=None, seed=11) -> dict:
         service.handle(request)
     measured = machine.ledger.energy_between(t_start, machine.now)
     predicted = sum(
-        interface.evaluate("E_handle", r.image_pixels, r.zero_pixels,
-                           env=bindings).as_joules
+        evaluate(interface("E_handle", r.image_pixels, r.zero_pixels), env=bindings).as_joules
         for r in trace)
     return {
         "gpu": gpu_spec.name,
@@ -123,8 +123,7 @@ def test_fig2_granularity_consistency(run_once):
 
         probe = (49000, 12000)
         # Service-level, forced to the infer path.
-        top = service_iface.evaluate("E_handle", *probe,
-                                     env={"request_hit": False}).as_joules
+        top = evaluate(service_iface("E_handle", *probe), env={"request_hit": False}).as_joules
         # Recomposed by hand from the lower layers.
         from repro.apps.mlservice import RESPONSE_BYTES
         resolved = service_iface

@@ -13,7 +13,7 @@ import time
 import pytest
 
 from repro.core.ecv import BernoulliECV
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.session import EvalSession, MemoHook
 from repro.core.units import Energy
 from repro.hardware.gpu import KernelProfile
@@ -103,24 +103,24 @@ def test_perf_session_memoization_speedup(benchmark):
     repeats = 50
 
     plain = EvalSession()
-    baseline = plain.evaluate(interface, "E_op", 10).as_joules
+    baseline = evaluate(interface("E_op", 10), session=plain).as_joules
     t0 = time.perf_counter()
     for _ in range(repeats):
-        plain.evaluate(interface, "E_op", 10)
+        evaluate(interface("E_op", 10), session=plain)
     uncached = time.perf_counter() - t0
 
     memoized = EvalSession(hooks=[MemoHook()])
-    assert memoized.evaluate(interface, "E_op", 10).as_joules == baseline
+    assert evaluate(interface("E_op", 10), session=memoized).as_joules == baseline
     t0 = time.perf_counter()
     for _ in range(repeats):
-        value = memoized.evaluate(interface, "E_op", 10)
+        value = evaluate(interface("E_op", 10), session=memoized)
     cached = time.perf_counter() - t0
 
     assert value.as_joules == baseline
     speedup = uncached / cached if cached else float("inf")
     benchmark.extra_info["memo_speedup"] = round(speedup, 1)
     benchmark.pedantic(
-        lambda: memoized.evaluate(interface, "E_op", 10),
+        lambda: evaluate(interface("E_op", 10), session=memoized),
         rounds=1, iterations=repeats)
     assert speedup >= 3.0, f"memoization speedup only {speedup:.1f}x"
 

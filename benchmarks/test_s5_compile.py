@@ -1,0 +1,137 @@
+"""S5: compiled prediction against the live Monte Carlo pipeline.
+
+The compile layer's pitch (ROADMAP §5) is that admission control and
+fleet planning re-ask the *same* interface query thousands of times, so
+partial evaluation should amortise: compile once, then answer each
+repeat from the cached analytic form or straight-line kernel instead of
+re-running trace enumeration plus the vector sampler.  This bench times
+repeated distribution-mode predictions of the S2 stack's ``E_handle``
+under the plain sampled backend and under a warm ``CompiledBackend``,
+and asserts the three S5 claims:
+
+* a warm compiled prediction is at least **10x** faster than a sampled
+  one on the same call (in practice ~100x; 10x is the floor CI pins);
+* the compiled kernel's draws are **bitwise identical** to the vector
+  engine's at the pinned seed, so the speedup never changes an answer —
+  which also means the compiled mean/p99 must match the *S2* baseline;
+* the analytic tier's closed-form mean and quantiles for the affine
+  ``E_wait`` sit inside the interval the compiler proves for the body.
+
+Headline numbers are checked against
+``benchmarks/baselines/s5_compile.json`` so CI catches silent changes
+to either the kernel codegen or the closed-form algebra.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.compile import CompiledBackend, compile_call
+from repro.core.ecv import ECVEnvironment
+from repro.core.interface import evaluate
+from repro.core.session import EvalSession
+from repro.workloads.mcbench import BENCH_OPS, BENCH_SAMPLES, BENCH_SEED, \
+    build_bench_interface
+
+pytestmark = pytest.mark.fast
+
+_BASELINE = Path(__file__).parent / "baselines" / "s5_compile.json"
+
+#: Repeated predictions of one call — the gateway/fleet access pattern.
+REPEATS = 20
+
+
+def _timed_predictions(session, interface):
+    """Per-call seconds and final draws for ``REPEATS`` predictions."""
+    dist = None
+    t0 = time.perf_counter()
+    for _ in range(REPEATS):
+        dist = evaluate(interface("E_handle", BENCH_OPS), session=session,
+                        mode="distribution", n_samples=BENCH_SAMPLES)
+    elapsed = (time.perf_counter() - t0) / REPEATS
+    return elapsed, np.asarray(dist._samples)
+
+
+def test_s5_compiled_speedup_and_equality(run_once):
+    def experiment():
+        interface = build_bench_interface()
+        sampled_s, sampled_draws = _timed_predictions(
+            EvalSession(seed=BENCH_SEED, engine="vector"), interface)
+
+        backend = CompiledBackend()
+        compiled_session = EvalSession(seed=BENCH_SEED, engine="vector",
+                                       backend=backend)
+        # One cold call pays for compilation; the repeats are warm.
+        evaluate(interface("E_handle", BENCH_OPS), session=compiled_session,
+                 mode="distribution", n_samples=BENCH_SAMPLES)
+        compiled_s, compiled_draws = _timed_predictions(
+            compiled_session, interface)
+        return {
+            "sampled_seconds": sampled_s,
+            "compiled_seconds": compiled_s,
+            "sampled_draws": sampled_draws,
+            "compiled_draws": compiled_draws,
+            "backend": backend,
+        }
+
+    result = run_once(experiment)
+    speedup = result["sampled_seconds"] / result["compiled_seconds"]
+    print(f"sampled {result['sampled_seconds'] * 1e3:.2f} ms/call, "
+          f"compiled {result['compiled_seconds'] * 1e3:.4f} ms/call "
+          f"-> {speedup:.0f}x")
+
+    assert speedup >= 10.0, (
+        f"warm compiled prediction only {speedup:.1f}x faster than the "
+        f"sampled backend at n_samples={BENCH_SAMPLES}")
+    assert np.array_equal(result["sampled_draws"],
+                          result["compiled_draws"]), (
+        f"compiled kernel draws diverge from the vector engine at "
+        f"seed {BENCH_SEED}")
+
+    # Every repeat after the cold call must be a cache hit on one entry.
+    backend = result["backend"]
+    assert backend.cache.stats["misses"] == 1
+    assert backend.cache.stats["hits"] == REPEATS
+    assert backend.stats["sampled"] == 0
+
+    baseline = json.loads(_BASELINE.read_text())
+    assert baseline["n_samples"] == BENCH_SAMPLES
+    draws = result["compiled_draws"]
+    # Tight numeric comparison (not bitwise) so the baseline survives
+    # BLAS/platform differences while still pinning the codegen: these
+    # are the same values the S2 baseline records, because the kernel is
+    # bitwise-equal to the vector engine.
+    np.testing.assert_allclose(float(np.mean(draws)),
+                               baseline["mean_joules"], rtol=1e-9)
+    np.testing.assert_allclose(float(np.quantile(draws, 0.99)),
+                               baseline["p99_joules"], rtol=1e-9)
+
+
+def test_s5_analytic_tier_within_proven_interval():
+    """The affine ``E_wait`` compiles closed-form, inside proven bounds."""
+    interface = build_bench_interface()
+    entry = compile_call(interface("E_wait", 1.0), ECVEnvironment.EMPTY)
+    assert entry.tier == "analytic"
+
+    interval = entry.proven_interval()
+    assert interval is not None and interval.bounded
+    assert interval.lo <= entry.dist.mean() <= interval.hi
+    quantiles = {q: float(entry.dist.quantile(q))
+                 for q in (0.05, 0.5, 0.95)}
+    for q, value in quantiles.items():
+        assert interval.lo <= value <= interval.hi, q
+
+    baseline = json.loads(_BASELINE.read_text())["e_wait"]
+    np.testing.assert_allclose(entry.dist.mean(),
+                               baseline["mean_joules"], rtol=1e-9)
+    for q, value in quantiles.items():
+        np.testing.assert_allclose(value, baseline["quantiles"][str(q)],
+                                   rtol=1e-9)
+    np.testing.assert_allclose([interval.lo, interval.hi],
+                               [baseline["proven_lo_j"],
+                                baseline["proven_hi_j"]], rtol=1e-9)

@@ -21,8 +21,8 @@ from typing import Any, Callable, Mapping
 
 from repro.core.errors import ExtractionError
 
-__all__ = ["Expr", "Const", "Var", "FreshSymbol", "BinOp", "Compare",
-           "UnaryOp", "EnergyTerm", "as_expr", "evaluate_expr"]
+__all__ = ["Expr", "Const", "Var", "FreshSymbol", "ECVLeaf", "BinOp",
+           "Compare", "UnaryOp", "EnergyTerm", "as_expr", "evaluate_expr"]
 
 _BINOPS: dict[str, Callable[[Any, Any], Any]] = {
     "+": lambda a, b: a + b,
@@ -189,6 +189,46 @@ class FreshSymbol(Expr):
 
     def render(self) -> str:
         return self.name
+
+
+class ECVLeaf(Var):
+    """A symbolic ECV read: one ``(qualified name, occurrence)`` draw.
+
+    The leaf the interface compiler (:mod:`repro.compile`) substitutes
+    for ``self.ecv(name)`` reads while partially evaluating an energy
+    method.  It subclasses :class:`Var` so the whole abstract toolchain
+    — :func:`evaluate_expr`, :func:`repro.analysis.intervals.linearize`,
+    :func:`repro.analysis.intervals.interval_of` — treats it as an
+    ordinary named variable, while keeping hold of the resolved
+    :class:`~repro.core.ecv.ECV` (its distribution) and the owning
+    interface (for cache revalidation).
+
+    The name encodes the occurrence index (``"cpu.f_ghz@0"``) because
+    the Monte Carlo column store draws one independent column per
+    ``(qualified, occurrence)`` pair — a method reading the same ECV
+    twice reads two independent draws, and the compiled form must too.
+    """
+
+    def __init__(self, qualified: str, occurrence: int, ecv: Any,
+                 owner: Any = None) -> None:
+        super().__init__(f"{qualified}@{int(occurrence)}")
+        self.qualified = qualified
+        self.occurrence = int(occurrence)
+        self.ecv = ecv
+        self.owner = owner
+
+    def __eq__(self, other):
+        # Plain ``==`` on a symbolic draw would silently answer False
+        # (``Expr.__eq__`` is structural equality) and miscompile bodies
+        # that compare an ECV value — e.g. ``state == "boost"``.  Raising
+        # here sends the tracer to its concrete-enumeration pass, which
+        # handles the comparison exactly.
+        raise ExtractionError(
+            f"symbolic ECV draw {self.name!r} compared with ==; the "
+            f"compile tracer must enumerate this read concretely")
+
+    def __hash__(self):
+        return hash(repr(self))
 
 
 class BinOp(Expr):

@@ -494,6 +494,136 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compile_targets() -> dict:
+    """Representative energy queries per compile target.
+
+    Maps target name → zero-arg builder returning
+    ``(interface_or_list, [(method, args), ...])``; builders are lazy so
+    ``repro-energy compile bench`` does not pay for the ML stack.
+    """
+    def bench():
+        from repro.workloads.mcbench import BENCH_OPS, build_bench_interface
+        iface = build_bench_interface()
+        return [(iface, [("E_handle", (BENCH_OPS,)), ("E_wait", (1.0,))])]
+
+    def consensus():
+        from repro.apps.consensus import (PoSEnergyInterface, PoSNetworkSpec,
+                                          PoWEnergyInterface, PoWNetworkSpec)
+        return [(PoWEnergyInterface(PoWNetworkSpec()),
+                 [("E_secure_day", ()), ("E_per_block", ())]),
+                (PoSEnergyInterface(PoSNetworkSpec()),
+                 [("E_secure_day", ()), ("E_per_block", ())])]
+
+    def crypto():
+        from repro.apps.crypto import ConstantTimeInterface, EarlyExitInterface
+        return [(ConstantTimeInterface(2e-9), [("E_verify", ())]),
+                (EarlyExitInterface(2e-9), [("E_verify", ())])]
+
+    def drone():
+        from repro.apps.drone import DroneSpec, MissionEnergyInterface
+        return [(MissionEnergyInterface(DroneSpec()),
+                 [("E_leg", (3000.0, 60.0, 0.5, 12.0))])]
+
+    def fuzzing():
+        from repro.apps.fuzzing import (FuzzingCampaignModel,
+                                        FuzzingEnergyInterface)
+        return [(FuzzingEnergyInterface(FuzzingCampaignModel()),
+                 [("E_campaign", (0.8, 32))])]
+
+    def kvstore():
+        from repro.apps.kvstore import KVStoreEnergyInterface
+        from repro.hardware.storage import SSD
+        iface = KVStoreEnergyInterface(SSD("ssd0"))
+        return [(iface, [("E_put", ()), ("E_get", ())])]
+
+    def mlservice():
+        from repro.apps.mlservice import (MLWebService, build_service_machine,
+                                          build_service_stack)
+        from repro.measurement.calibration import calibrate_gpu
+        from repro.measurement.nvml import NVMLSim
+        machine = build_service_machine()
+        service = MLWebService(machine)
+        gpu = machine.component("gpu0")
+        stack = build_service_stack(
+            service, calibrate_gpu(gpu, NVMLSim(gpu, seed=5)))
+        targets = []
+        for layer in stack.layers:
+            for resource in layer.resources():
+                iface = resource.energy_interface
+                if iface.name == "redis_cache":
+                    targets.append((iface, [("E_lookup", (16384,))]))
+                elif iface.name == "ml_webservice":
+                    targets.append((iface, [("E_handle", (240000, 60000))]))
+        return targets
+
+    return {"bench": bench, "consensus": consensus, "crypto": crypto,
+            "drone": drone, "fuzzing": fuzzing, "kvstore": kvstore,
+            "mlservice": mlservice}
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.compile import CompileCache, CompiledInterface
+
+    builders = _compile_targets()
+    names = args.targets or sorted(builders)
+    unknown = [name for name in names if name not in builders]
+    if unknown:
+        print(f"repro-energy compile: unknown target(s) "
+              f"{', '.join(sorted(unknown))} "
+              f"(known: {', '.join(sorted(builders))})", file=sys.stderr)
+        return 2
+
+    cache = CompileCache()
+    rows: list[dict] = []
+    for name in names:
+        for interface, queries in builders[name]():
+            compiled = CompiledInterface(interface, cache=cache)
+            for method, call_args in queries:
+                compiled.compiled(method, *call_args)
+            for row in compiled.report():
+                row["target"] = name
+                rows.append(row)
+
+    fallbacks = [row for row in rows if row["tier"] == "sampled"]
+    if args.format == "json":
+        document = json.dumps({
+            "targets": names,
+            "queries": rows,
+            "tiers": {tier: sum(1 for r in rows if r["tier"] == tier)
+                      for tier in ("analytic", "kernel", "sampled")},
+        }, indent=2)
+    else:
+        table = []
+        for row in rows:
+            if row["tier"] == "sampled":
+                detail = row["reason"]
+            elif row["tier"] == "analytic":
+                detail = f"mean {row['mean_j']:.6g} J"
+            else:
+                detail = row.get("kernel", "")
+            if len(detail) > 60:
+                detail = detail[:57] + "..."
+            table.append([row["target"], row["interface"], row["method"],
+                          row["tier"], detail])
+        document = format_table(
+            ["target", "interface", "method", "tier", "detail"], table,
+            title=f"compiled {len(rows)} quer"
+                  f"{'y' if len(rows) == 1 else 'ies'}: "
+                  f"{sum(1 for r in rows if r['tier'] == 'analytic')} "
+                  f"analytic, "
+                  f"{sum(1 for r in rows if r['tier'] == 'kernel')} kernel, "
+                  f"{len(fallbacks)} sampled fallback(s)")
+    if args.output:
+        Path(args.output).write_text(document + "\n", encoding="utf-8")
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(document)
+    return 1 if fallbacks else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -819,6 +949,21 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--samples", type=int, default=20000,
                        help="Monte Carlo samples per evaluation")
     bench.set_defaults(handler=_cmd_bench)
+
+    compile_cmd = commands.add_parser(
+        "compile", help="compile energy interfaces to analytic/kernel form",
+        epilog="exit codes: 0 = every query compiled (analytic or "
+               "kernel), 1 = at least one query fell back to Monte Carlo "
+               "sampling, 2 = usage error.")
+    compile_cmd.add_argument("targets", nargs="*",
+                             help="interface sets to compile (default: "
+                                  "all of bench, consensus, crypto, "
+                                  "drone, fuzzing, kvstore, mlservice)")
+    compile_cmd.add_argument("--format", choices=("text", "json"),
+                             default="text")
+    compile_cmd.add_argument("--output", default=None,
+                             help="write the report here instead of stdout")
+    compile_cmd.set_defaults(handler=_cmd_compile)
 
     lint = commands.add_parser(
         "lint", help="static energy-bug checker (rules EB101-EB106)",

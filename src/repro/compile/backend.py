@@ -1,0 +1,84 @@
+"""The compiled prediction backend.
+
+Plugs :mod:`repro.compile` into the
+:class:`~repro.core.predict.PredictionBackend` seam: when a session's
+evaluation reaches the Monte Carlo stage (exact enumeration blocked by a
+continuous ECV), the compiled backend looks the query up in its
+:class:`~repro.compile.compiler.CompileCache` and answers
+
+* from the exact analytic distribution (``analytic`` tier),
+* from the straight-line numpy kernel's cached draws (``kernel`` tier —
+  bitwise identical to a :class:`~repro.core.mcengine.VectorEngine` run
+  at the same entropy), or
+* by falling back to the plain :class:`~repro.core.predict.SampledBackend`
+  (``sampled`` tier, anonymous callables, unsupported modes).
+
+Hook fidelity: a compiled answer surfaces to the session's hook chain as
+one batched trace — ``_on_trace_begin`` followed by ``_on_batch(n, ...)``
+— exactly the event shape the vector engine emits, so span recorders and
+accounting hooks keep seeing the work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.compile.compiler import CompileCache
+from repro.core.ecv import ECVEnvironment
+from repro.core.interface import EnergyCall
+from repro.core.predict import PredictionBackend, SampledBackend
+
+__all__ = ["CompiledBackend"]
+
+
+class CompiledBackend(PredictionBackend):
+    """Answer Monte Carlo stages from compiled forms where possible."""
+
+    name = "compiled"
+
+    def __init__(self, cache: CompileCache | None = None,
+                 fallback: PredictionBackend | None = None) -> None:
+        self.cache = cache if cache is not None else CompileCache()
+        self.fallback = fallback if fallback is not None else SampledBackend()
+        self.stats = {"analytic": 0, "kernel": 0, "sampled": 0}
+
+    def monte_carlo(self, session: Any, *,
+                    fn: Callable[[], Any],
+                    env: ECVEnvironment,
+                    mode: str,
+                    rng: np.random.Generator | None,
+                    n_samples: int,
+                    engine: Any = None,
+                    call: Callable[[], Any] | None = None) -> Any:
+        if not isinstance(call, EnergyCall) or mode not in (
+                "expected", "distribution"):
+            # Anonymous callables have no compile key; other modes never
+            # reach the Monte Carlo stage in the first place.
+            self.stats["sampled"] += 1
+            return self.fallback.monte_carlo(
+                session, fn=fn, env=env, mode=mode, rng=rng,
+                n_samples=n_samples, engine=engine, call=call)
+        entry = self.cache.get(call, env, max_traces=session.max_traces)
+        if entry.tier == "sampled":
+            self.stats["sampled"] += 1
+            session._annotate(f"compile fallback: {entry.reason}")
+            return self.fallback.monte_carlo(
+                session, fn=fn, env=env, mode=mode, rng=rng,
+                n_samples=n_samples, engine=engine, call=call)
+        self.stats[entry.tier] += 1
+        entropy = session._mc_entropy(rng)
+        value = entry.predict(mode, entropy, int(n_samples))
+        # Mirror the vector engine's hook shape: one batched trace whose
+        # recorded value is the full output distribution.
+        batch_value = (entry.dist if entry.tier == "analytic"
+                       else entry.predict("distribution", entropy,
+                                          int(n_samples)))
+        session._on_trace_begin()
+        session._on_batch(int(n_samples), batch_value)
+        return value
+
+    def __repr__(self) -> str:
+        return (f"CompiledBackend(cache={len(self.cache)} entries, "
+                f"stats={self.stats})")

@@ -1,0 +1,540 @@
+"""Compile traced energy programs to analytic distributions or kernels.
+
+The back end of :mod:`repro.compile`: take a
+:class:`~repro.compile.tracer.TracedProgram` and classify it into one of
+the three prediction tiers —
+
+``analytic``
+    Every path is a constant or an affine form over leaves with
+    closed-form marginals.  The output law is exact:
+    :class:`~repro.compile.analytic.AnalyticDistribution` per path,
+    combined across paths exactly as the interpreter's
+    ``_combine_distribution`` does (``Discrete`` when all paths are
+    constant, law-of-total-variance ``Mixture`` otherwise).
+
+``kernel``
+    A single branch-free path whose expression is not affine (products
+    of ECVs, powers, floor division).  The expression is emitted back to
+    Python source as a straight-line numpy kernel over the Monte Carlo
+    engine's deterministic sample columns — *the same columns, the same
+    operation sequence* the batched :class:`~repro.core.mcengine.VectorEngine`
+    pass applies, so kernel draws are bitwise identical to engine draws
+    at equal entropy.
+
+``sampled``
+    Genuinely branchy (branches on a continuous ECV, coerces symbolic
+    values, returns per-sample outcome distributions).  The compiled
+    entry records *why* and the prediction backend falls back to the
+    Monte Carlo engines unchanged.
+
+:class:`CompileCache` memoizes compiled entries with a MemoHook-shaped
+key — interface identity, method, arguments and the environment
+fingerprint (quantised like every other memo key in this repository, so
+parameter drift below the quantum keeps a hit, exactly as
+:class:`~repro.core.session.MemoHook` behaves) — and revalidates every
+hit against the *current* ECV resolution, so rebinding an ECV in the
+environment or mutating a declared ECV recompiles instead of serving a
+stale form.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.analysis.expr import (
+    BinOp,
+    Compare,
+    Const,
+    ECVLeaf,
+    Expr,
+    FreshSymbol,
+    UnaryOp,
+    Var,
+)
+from repro.analysis.intervals import Interval, bound_expr, linearize
+from repro.compile.analytic import (
+    AnalyticDistribution,
+    leaf_distribution,
+    leaf_interval,
+)
+from repro.compile.tracer import (
+    TracedProgram,
+    UntraceableBody,
+    trace_call,
+)
+from repro.core.distributions import (
+    Discrete,
+    Empirical,
+    EnergyDistribution,
+    Mixture,
+    PointMass,
+)
+from repro.core.ecv import ContinuousECV, ECVEnvironment
+from repro.core.interface import EnergyCall
+from repro.core.mcengine import ColumnStore
+from repro.core.session import (
+    DEFAULT_P_QUANTUM,
+    ecv_fingerprint,
+    env_fingerprint,
+)
+from repro.core.units import Energy
+
+__all__ = [
+    "CompiledCall",
+    "CompiledInterface",
+    "CompileCache",
+    "compile_call",
+]
+
+#: Result-cache bound per compiled call (distinct ``(mode, entropy, n)``
+#: combinations; sessions reuse one entropy, so this is generous).
+_MAX_RESULTS = 128
+#: Draw-column cache bound per compiled call (arrays are n floats each).
+_MAX_DRAWS = 8
+
+
+class _KernelUnsupported(Exception):
+    """Internal: the expression uses a node codegen cannot emit."""
+
+
+def _emit(expr: Expr, names: Mapping[str, str]) -> str:
+    """Render an expression to Python source over kernel arguments.
+
+    Constants are emitted with ``repr`` (exact float round-trip); leaves
+    become the sanitised argument names.  The emitted source performs the
+    recorded operations in recorded order, which is what makes the kernel
+    replay the batched engine pass bitwise.
+    """
+    if isinstance(expr, Const):
+        value = expr.value
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            return repr(value)
+        raise _KernelUnsupported(
+            f"constant of type {type(value).__name__} has no exact "
+            f"source form")
+    if isinstance(expr, (Var, FreshSymbol)):
+        name = names.get(expr.render())
+        if name is None:
+            raise _KernelUnsupported(
+                f"free symbol {expr.render()!r} is not a traced ECV leaf")
+        return name
+    if isinstance(expr, (BinOp, Compare)):
+        return (f"({_emit(expr.left, names)} {expr.op} "
+                f"{_emit(expr.right, names)})")
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        return f"(-{_emit(expr.operand, names)})"
+    raise _KernelUnsupported(
+        f"no kernel form for expression node {type(expr).__name__}")
+
+
+def _has_custom_sampler(ecv: Any) -> bool:
+    """Whether an ECV draws through an opaque custom sampler.
+
+    :func:`~repro.core.session.ecv_fingerprint` summarises a continuous
+    ECV by its bounds only; two ECVs equal under the fingerprint can
+    still draw differently when one carries a custom sampler, so cache
+    revalidation tracks this bit separately.
+    """
+    return (isinstance(ecv, ContinuousECV)
+            and getattr(ecv, "_sampler", None) is not None)
+
+
+def _leaf_print(ecv: Any, p_quantum: float) -> tuple:
+    return (ecv_fingerprint(ecv, p_quantum), _has_custom_sampler(ecv))
+
+
+def _declaration_print(interface: Any, p_quantum: float) -> tuple:
+    """Fingerprint of an interface's declared ECVs (mutation detection)."""
+    declarations = getattr(interface, "ecv_declarations", None) or {}
+    return tuple(sorted(
+        (name, _leaf_print(ecv, p_quantum))
+        for name, ecv in declarations.items()))
+
+
+def _bare_name(leaf: ECVLeaf) -> str:
+    """The unqualified ECV name of a leaf (strip the owner prefix)."""
+    owner_name = getattr(leaf.owner, "name", None)
+    if owner_name and leaf.qualified.startswith(owner_name + "."):
+        return leaf.qualified[len(owner_name) + 1:]
+    return leaf.qualified.rsplit(".", 1)[-1]
+
+
+@dataclass
+class CompiledCall:
+    """One compiled energy query: its tier plus the compiled artefacts.
+
+    ``analytic`` entries carry the exact output ``dist``; ``kernel``
+    entries carry the generated source, the evaluable kernel and the
+    ordered column leaves it consumes; ``sampled`` entries carry only
+    the fallback ``reason``.  Per-``(mode, entropy, n)`` prediction
+    results (and the kernel's raw draw columns) are cached on the entry,
+    which is what turns repeated seeded predictions into dictionary
+    hits — the compiled replacement for re-running symbolic evaluation
+    on every hot-path query.
+    """
+
+    call: EnergyCall
+    tier: str
+    dist: EnergyDistribution | None = None
+    kernel_source: str | None = None
+    kernel: Any = None
+    leaves: list[ECVLeaf] = field(default_factory=list)
+    leaf_prints: dict[str, tuple] = field(default_factory=dict)
+    declared_print: tuple = ()
+    reason: str | None = None
+    program: TracedProgram | None = None
+    _draws: "OrderedDict[tuple, np.ndarray]" = field(
+        default_factory=OrderedDict, repr=False)
+    _results: "OrderedDict[tuple, Any]" = field(
+        default_factory=OrderedDict, repr=False)
+
+    # -- cache hygiene -----------------------------------------------------
+    def revalidate(self, env: ECVEnvironment,
+                   p_quantum: float = DEFAULT_P_QUANTUM) -> bool:
+        """Is this entry still valid under the current ECV resolution?
+
+        Re-resolves every traced leaf exactly as evaluation would
+        (environment first, declaration second) and compares distribution
+        fingerprints plus the custom-sampler bit; also re-fingerprints
+        the interface's declarations so mutating a declared ECV in place
+        invalidates entries whose memo key never sees it.
+        """
+        if (_declaration_print(self.call.interface, p_quantum)
+                != self.declared_print):
+            return False
+        for leaf in self.leaves:
+            bare = _bare_name(leaf)
+            current = env.lookup(leaf.qualified, bare)
+            if current is None and leaf.owner is not None:
+                current = leaf.owner.declared_ecv(bare)
+            if current is None:
+                return False
+            if self.leaf_prints.get(leaf.name) != _leaf_print(
+                    current, p_quantum):
+                return False
+        return True
+
+    # -- execution ---------------------------------------------------------
+    def draws(self, entropy: int, n: int) -> np.ndarray:
+        """The kernel's ``n`` Monte Carlo draws at ``entropy``.
+
+        Reads the same deterministic :class:`~repro.core.mcengine.ColumnStore`
+        columns the engines read and applies the recorded operations, so
+        the result is bitwise identical to a :class:`VectorEngine` run of
+        the original method at equal ``(entropy, n)``.
+        """
+        if self.tier != "kernel":
+            raise UntraceableBody(
+                f"tier {self.tier!r} entry has no kernel draws")
+        key = (int(entropy), int(n))
+        cached = self._draws.get(key)
+        if cached is not None:
+            self._draws.move_to_end(key)
+            return cached
+        store = ColumnStore(entropy, n)
+        columns = [store.column(leaf.qualified, leaf.occurrence, leaf.ecv)
+                   for leaf in self.leaves]
+        value = self.kernel(*columns)
+        array = np.asarray(value, dtype=float)
+        if array.ndim == 0:
+            array = np.full(int(n), float(array))
+        self._draws[key] = array
+        if len(self._draws) > _MAX_DRAWS:
+            self._draws.popitem(last=False)
+        return array
+
+    def predict(self, mode: str, entropy: int, n: int) -> Any:
+        """Answer an ``expected``/``distribution`` query from this entry.
+
+        Analytic entries answer exactly (``Energy(mean)`` / the analytic
+        distribution); kernel entries answer from their bitwise draws
+        (``Energy(mean of draws)`` / ``Empirical(draws)``, exactly the
+        shapes :meth:`EvalSession._monte_carlo` produces).  Results are
+        cached per ``(mode, entropy, n)``.
+        """
+        if self.tier == "analytic":
+            key = (mode,)
+        elif self.tier == "kernel":
+            key = (mode, int(entropy), int(n))
+        else:
+            raise UntraceableBody(
+                f"tier {self.tier!r} entry cannot answer predictions "
+                f"({self.reason})")
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            return cached
+        if self.tier == "analytic":
+            value = (Energy(self.dist.mean()) if mode == "expected"
+                     else self.dist)
+        else:
+            draws = self.draws(entropy, n)
+            value = (Energy(float(np.mean(draws))) if mode == "expected"
+                     else Empirical(draws))
+        self._results[key] = value
+        if len(self._results) > _MAX_RESULTS:
+            self._results.popitem(last=False)
+        return value
+
+    # -- introspection -----------------------------------------------------
+    def proven_interval(self) -> Interval | None:
+        """Sound bounds on the output from the lint layer's domains.
+
+        Each traced path's expression is bounded by
+        :func:`~repro.analysis.intervals.bound_expr` (affine-exact where
+        possible) over the leaves' proven value boxes; the result is the
+        hull across paths.  Analytic means and quantiles must land in
+        this interval — the containment the S5 checks assert.
+        """
+        if self.program is None:
+            return None
+        lows: list[float] = []
+        highs: list[float] = []
+        for path in self.program.paths:
+            if path.expr is None:
+                lows.append(path.value)
+                highs.append(path.value)
+                continue
+            box = {}
+            for name, leaf in path.leaves.items():
+                interval = leaf_interval(leaf.ecv)
+                if interval is not None:
+                    box[name] = interval
+            bounds = bound_expr(path.expr, box)
+            lows.append(bounds.lo)
+            highs.append(bounds.hi)
+        if not lows:
+            return None
+        return Interval(min(lows), max(highs))
+
+
+def _path_analytic(path: Any) -> EnergyDistribution | None:
+    """The exact output law of one traced path, or ``None``."""
+    if path.expr is None:
+        return PointMass(path.value)
+    form = linearize(path.expr)
+    if form is None:
+        return None
+    terms: list[tuple[float, ECVLeaf, EnergyDistribution]] = []
+    for name, coef in form.coeffs.items():
+        leaf = path.leaves.get(name)
+        if leaf is None:
+            return None
+        marginal = leaf_distribution(leaf.ecv)
+        if marginal is None:
+            return None
+        terms.append((coef, leaf, marginal))
+    if not terms:
+        return PointMass(form.const)
+    return AnalyticDistribution(form.const, terms)
+
+
+def _combine_analytic(components: list[EnergyDistribution],
+                      weights: list[float]) -> EnergyDistribution:
+    """Combine per-path laws exactly as the interpreter combines traces."""
+    if all(isinstance(c, PointMass) for c in components):
+        return Discrete([c.mean() for c in components], weights)
+    return Mixture.collapse(components, weights)
+
+
+def _sampled(call: EnergyCall, reason: str,
+             declared_print: tuple = ()) -> CompiledCall:
+    return CompiledCall(call=call, tier="sampled", reason=reason,
+                        declared_print=declared_print)
+
+
+def compile_call(call: EnergyCall, env: ECVEnvironment, *,
+                 p_quantum: float = DEFAULT_P_QUANTUM,
+                 max_traces: int | None = None) -> CompiledCall:
+    """Partially evaluate and classify one energy query.
+
+    Never raises on compilation failure: untraceable or unsupported
+    bodies come back as a ``sampled``-tier entry whose ``reason`` says
+    why, so callers can report and fall back uniformly.  Genuine
+    evaluation errors (unknown ECVs, abstract energies) do propagate —
+    they would equally fail at prediction time.
+    """
+    declared = _declaration_print(call.interface, p_quantum)
+    try:
+        program = trace_call(call, env, max_traces)
+    except UntraceableBody as exc:
+        return _sampled(call, str(exc), declared)
+    leaves = list(program.leaves.values())
+    leaf_prints = {leaf.name: _leaf_print(leaf.ecv, p_quantum)
+                   for leaf in leaves}
+    # Tier 1: exact analytic law over all paths.
+    components: list[EnergyDistribution] = []
+    weights: list[float] = []
+    analytic = True
+    for path in program.paths:
+        component = _path_analytic(path)
+        if component is None:
+            analytic = False
+            break
+        components.append(component)
+        weights.append(path.probability)
+    if analytic and math.isclose(sum(weights), 1.0, rel_tol=1e-6):
+        dist = _combine_analytic(components, weights)
+        return CompiledCall(call=call, tier="analytic", dist=dist,
+                            leaves=leaves, leaf_prints=leaf_prints,
+                            declared_print=declared, program=program)
+    # Tier 2: straight-line numpy kernel, bitwise equal to VectorEngine.
+    if program.straight_line and program.paths[0].expr is not None:
+        path = program.paths[0]
+        names = {leaf.name: f"c{index}"
+                 for index, leaf in enumerate(leaves)}
+        try:
+            body = _emit(path.expr, names)
+        except _KernelUnsupported as exc:
+            return _sampled(call, str(exc), declared)
+        source = f"lambda {', '.join(names[l.name] for l in leaves)}: {body}"
+        kernel = eval(source, {"__builtins__": {}})  # noqa: S307 - source
+        # is generated exclusively from the traced expression tree above.
+        return CompiledCall(call=call, tier="kernel", kernel=kernel,
+                            kernel_source=source, leaves=leaves,
+                            leaf_prints=leaf_prints,
+                            declared_print=declared, program=program)
+    if not program.straight_line:
+        return _sampled(
+            call, "enumerated paths are not all affine-analytic; "
+            "per-path kernels would not be branch-free", declared)
+    return _sampled(call, "straight-line path has no symbolic expression "
+                    "and no analytic form", declared)
+
+
+class CompileCache:
+    """Memoized compiled entries with MemoHook-shaped keys.
+
+    The key is ``(interface name, method, args, kwargs, environment
+    fingerprint)`` — the same identity :class:`~repro.core.session.MemoHook`
+    keys evaluations by, minus the mode (one compiled entry serves every
+    mode; per-mode results are cached on the entry itself).  Entries are
+    revalidated on every hit (see :meth:`CompiledCall.revalidate`), so an
+    environment rebinding or declared-ECV mutation triggers recompilation
+    rather than a stale answer.  Unhashable queries compile nothing and
+    fall back to sampling.
+    """
+
+    def __init__(self, maxsize: int = 256,
+                 p_quantum: float = DEFAULT_P_QUANTUM) -> None:
+        self.maxsize = int(maxsize)
+        self.p_quantum = float(p_quantum)
+        self._entries: "OrderedDict[tuple, CompiledCall]" = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "invalidations": 0,
+                      "uncacheable": 0}
+
+    def _key(self, call: EnergyCall, env: ECVEnvironment) -> tuple | None:
+        interface_name = getattr(call.interface, "name",
+                                 type(call.interface).__name__)
+        try:
+            key = (interface_name, call.method_name, call.args, call.kwargs,
+                   env_fingerprint(env, self.p_quantum))
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def get(self, call: EnergyCall, env: ECVEnvironment,
+            max_traces: int | None = None) -> CompiledCall:
+        """The compiled entry for a query, compiling on miss."""
+        key = self._key(call, env)
+        if key is None:
+            self.stats["uncacheable"] += 1
+            return _sampled(call, "query key is not hashable; compiled "
+                            "entries cannot be cached")
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.revalidate(env, self.p_quantum):
+                self._entries.move_to_end(key)
+                self.stats["hits"] += 1
+                return entry
+            del self._entries[key]
+            self.stats["invalidations"] += 1
+        self.stats["misses"] += 1
+        entry = compile_call(call, env, p_quantum=self.p_quantum,
+                             max_traces=max_traces)
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CompiledInterface:
+    """All compiled queries of one interface under one environment.
+
+    The user-facing artefact of :mod:`repro.compile`: wraps an interface
+    plus bound ECV distributions and compiles each queried method on
+    first use (through a shared :class:`CompileCache`).  ``report()``
+    summarises which queries landed in which tier — the payload of the
+    ``repro-energy compile`` subcommand.
+    """
+
+    def __init__(self, interface: Any,
+                 env: ECVEnvironment | Mapping[str, Any] | None = None,
+                 cache: CompileCache | None = None,
+                 p_quantum: float = DEFAULT_P_QUANTUM) -> None:
+        from repro.core.interface import _coerce_env
+        self.interface = interface
+        self.env = _coerce_env(env)
+        self.cache = cache if cache is not None else CompileCache(
+            p_quantum=p_quantum)
+        self._queried: "OrderedDict[tuple, CompiledCall]" = OrderedDict()
+
+    @property
+    def name(self) -> str:
+        return getattr(self.interface, "name",
+                       type(self.interface).__name__)
+
+    def compiled(self, method: str, *args: Any, **kwargs: Any) -> CompiledCall:
+        """Compile (or fetch) the entry for ``method(*args, **kwargs)``."""
+        call = self.interface(method, *args, **kwargs)
+        entry = self.cache.get(call, self.env)
+        try:
+            key = (call.method_name, call.args, call.kwargs)
+            hash(key)
+        except TypeError:
+            key = (call.method_name, repr(call.args), repr(call.kwargs))
+        self._queried[key] = entry
+        return entry
+
+    def predict(self, method: str, *args: Any, mode: str = "distribution",
+                entropy: int = 0xEC5, n_samples: int = 4000,
+                **kwargs: Any) -> Any:
+        """Convenience: compile and predict in one step (no fallback)."""
+        return self.compiled(method, *args, **kwargs).predict(
+            mode, entropy, n_samples)
+
+    def report(self) -> list[dict]:
+        """Per-query tier summary for everything compiled so far."""
+        rows = []
+        for (method, args, _kwargs), entry in self._queried.items():
+            row = {
+                "interface": self.name,
+                "method": method,
+                "args": list(args) if isinstance(args, tuple) else args,
+                "tier": entry.tier,
+            }
+            if entry.tier == "sampled":
+                row["reason"] = entry.reason
+            else:
+                interval = entry.proven_interval()
+                if interval is not None and interval.bounded:
+                    row["proven_lo_j"] = interval.lo
+                    row["proven_hi_j"] = interval.hi
+                if entry.tier == "analytic":
+                    row["mean_j"] = float(entry.dist.mean())
+                if entry.kernel_source is not None:
+                    row["kernel"] = entry.kernel_source
+            rows.append(row)
+        return rows

@@ -1,0 +1,238 @@
+"""Partial evaluation of energy methods over symbolic ECV reads.
+
+The compiler's front end: run an ``E_*`` body once (or once per
+enumerated discrete trace) with :class:`~repro.analysis.expr.ECVLeaf`
+expressions substituted for ``self.ecv(name)`` reads, and record the
+closed-form expression the method computes.  Two passes:
+
+1. **Straight-line pass** — *every* ECV read returns a symbolic leaf
+   keyed ``(qualified name, occurrence)``, exactly the column keying of
+   the batched Monte Carlo engine
+   (:class:`~repro.core.mcengine._BatchContext`).  A body that completes
+   is branch-free over its ECVs: one expression covers all sample paths,
+   and evaluating it over the engine's deterministic columns reproduces
+   the vectorized draws bitwise.
+2. **Enumerated pass** — bodies that branch on an ECV raise on the
+   symbolic value (``Expr.__bool__``); the fallback enumerates the
+   *discrete* ECVs by forced-choice replay — the same worklist
+   discipline as :func:`repro.core.interface.enumerate_traces`, so path
+   order and probability products match the exact evaluator bitwise —
+   while continuous ECVs stay symbolic.  A path that then branches on a
+   continuous read is genuinely branchy: the whole program is marked
+   untraceable and the backend falls back to sampling.
+
+Both passes bypass session hooks entirely: tracing is compilation, not
+evaluation — no spans, no accounting, no memo writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.expr import ECVLeaf, Expr
+from repro.core.ecv import ECVEnvironment
+from repro.core.errors import EvaluationError, ReproError
+from repro.core.interface import (
+    EnergyCall,
+    _BaseContext,
+    _run_in_context,
+)
+from repro.core.units import AbstractEnergy, Energy
+
+__all__ = ["TracedPath", "TracedProgram", "UntraceableBody", "trace_call"]
+
+#: Cap on enumerated compile-time traces; mirrors the evaluator's
+#: default budget (the compiled form must not enumerate more than the
+#: interpreter would).
+MAX_COMPILE_TRACES = 4096
+
+
+class UntraceableBody(ReproError):
+    """The method body cannot be partially evaluated (branches on a
+    continuous ECV, coerces symbolic values, returns an unsupported
+    type, ...).  Carries the reason for the compile report."""
+
+    code = "E_COMPILE_TRACE"
+
+
+@dataclass
+class TracedPath:
+    """One traced control-flow path through an energy method.
+
+    ``expr`` is the symbolic Joules expression when the path read any
+    symbolic (continuous or straight-line) ECVs; ``value`` is the
+    concrete Joules figure when it did not.  ``probability`` multiplies
+    the discrete forced choices in read order, exactly as the exact
+    enumerator does.
+    """
+
+    probability: float
+    expr: Expr | None
+    value: float | None
+    leaves: dict[str, ECVLeaf] = field(default_factory=dict)
+    choices: tuple = ()
+
+
+@dataclass
+class TracedProgram:
+    """All traced paths of one energy call plus their symbolic leaves."""
+
+    call: EnergyCall
+    paths: list[TracedPath]
+    #: Union of every path's leaves, in first-read order.
+    leaves: dict[str, ECVLeaf]
+    #: True when the straight-line pass succeeded (single branch-free
+    #: path — the precondition for the bitwise kernel tier).
+    straight_line: bool
+
+    @property
+    def total_probability(self) -> float:
+        return sum(path.probability for path in self.paths)
+
+
+class _CompileContext(_BaseContext):
+    """Evaluation context used during partial evaluation.
+
+    ``symbolic_discrete=True`` is the straight-line pass: all reads
+    yield leaves.  Otherwise discrete reads are enumerated by forced
+    choice (``forced`` replays a prefix; alternatives are queued on
+    ``unexplored`` in the exact evaluator's order) and only continuous
+    reads stay symbolic.
+    """
+
+    def __init__(self, env: ECVEnvironment, forced: list[tuple[str, int]],
+                 symbolic_discrete: bool) -> None:
+        super().__init__(env, session=None)
+        self._forced = forced
+        self._symbolic_discrete = symbolic_discrete
+        self._choices: list[tuple[str, int]] = []
+        self._occurrence: dict[str, int] = {}
+        self.probability = 1.0
+        self.unexplored: list[list[tuple[str, int]]] = []
+        self.leaves: dict[str, ECVLeaf] = {}
+
+    def _leaf(self, owner: Any, qualified: str, ecv: Any) -> ECVLeaf:
+        occurrence = self._occurrence.get(qualified, 0)
+        self._occurrence[qualified] = occurrence + 1
+        leaf = ECVLeaf(qualified, occurrence, ecv, owner)
+        self.leaves[leaf.name] = leaf
+        return leaf
+
+    def read(self, owner: Any, name: str) -> Any:
+        ecv = self._resolve(owner, name)
+        qualified = f"{owner.name}.{name}"
+        if self._symbolic_discrete:
+            return self._leaf(owner, qualified, ecv)
+        support = ecv.support()
+        if support is None:
+            # Continuous: stays symbolic in the enumerated pass too.
+            return self._leaf(owner, qualified, ecv)
+        position = len(self._choices)
+        if position < len(self._forced):
+            _, index = self._forced[position]
+            if index >= len(support):
+                raise EvaluationError(
+                    f"non-deterministic interface: ECV {name!r} support "
+                    f"changed between compile-trace replays")
+        else:
+            index = 0
+            prefix = list(self._choices)
+            for alternative in range(1, len(support)):
+                self.unexplored.append(
+                    prefix + [(qualified, alternative)])
+        value, probability = support[index]
+        self._choices.append((qualified, index))
+        self.probability *= probability
+        self._record(qualified, value)
+        return value
+
+
+def _as_path(context: _CompileContext, value: Any) -> TracedPath:
+    """Normalise one pass's return value to Joules (symbolic or float)."""
+    if isinstance(value, AbstractEnergy):
+        raise UntraceableBody(
+            "method returned abstract energy units; ground them before "
+            "compiling")
+    if isinstance(value, Energy):
+        value = value.as_joules
+    if isinstance(value, Expr):
+        return TracedPath(probability=context.probability, expr=value,
+                          value=None, leaves=dict(context.leaves),
+                          choices=tuple(context._choices))
+    if isinstance(value, (bool, int, float)):
+        if context.leaves:
+            # Symbolic reads happened but the result is concrete — the
+            # body discarded them (e.g. min() over a leaf picked the
+            # constant arm concretely is impossible; realistically a
+            # read whose value never reaches the return).  The constant
+            # is exact for every draw, so compile it as such.
+            pass
+        return TracedPath(probability=context.probability, expr=None,
+                          value=float(value), leaves=dict(context.leaves),
+                          choices=tuple(context._choices))
+    from repro.core.distributions import EnergyDistribution, PointMass
+    if isinstance(value, PointMass):
+        return TracedPath(probability=context.probability, expr=None,
+                          value=float(value.mean()),
+                          leaves=dict(context.leaves),
+                          choices=tuple(context._choices))
+    if isinstance(value, EnergyDistribution):
+        raise UntraceableBody(
+            "method returned a non-degenerate outcome distribution; "
+            "per-sample outcome draws are not compilable")
+    raise UntraceableBody(
+        f"method returned uncompilable type {type(value).__name__}")
+
+
+def trace_call(call: EnergyCall, env: ECVEnvironment,
+               max_traces: int | None = None) -> TracedProgram:
+    """Partially evaluate ``call`` under ``env``.
+
+    Returns the traced program; raises :class:`UntraceableBody` when the
+    body defeats both passes (the caller then classifies the whole call
+    as the sampled tier).
+    """
+    cap = MAX_COMPILE_TRACES if max_traces is None else int(max_traces)
+    fn: Callable[[], Any] = call
+    # Pass 1: fully symbolic, straight-line.
+    context = _CompileContext(env, forced=[], symbolic_discrete=True)
+    try:
+        value = _run_in_context(fn, context)
+        path = _as_path(context, value)
+        return TracedProgram(call=call, paths=[path],
+                             leaves=dict(context.leaves), straight_line=True)
+    except UntraceableBody:
+        raise
+    except EvaluationError:
+        # Semantic errors (unknown ECV, abstract energies) must surface
+        # to the caller exactly as evaluation would raise them.
+        raise
+    except Exception:
+        pass  # the body needed concrete values; enumerate below
+    # Pass 2: enumerate discrete ECVs, keep continuous ones symbolic.
+    pending: list[list[tuple[str, int]]] = [[]]
+    paths: list[TracedPath] = []
+    leaves: dict[str, ECVLeaf] = {}
+    while pending:
+        forced = pending.pop()
+        context = _CompileContext(env, forced=forced,
+                                  symbolic_discrete=False)
+        try:
+            value = _run_in_context(fn, context)
+        except UntraceableBody:
+            raise
+        except EvaluationError:
+            raise
+        except Exception as exc:
+            raise UntraceableBody(
+                f"body is genuinely branchy (branches on a continuous or "
+                f"symbolic value): {type(exc).__name__}: {exc}") from exc
+        paths.append(_as_path(context, value))
+        leaves.update(context.leaves)
+        pending.extend(context.unexplored)
+        if len(paths) + len(pending) > cap:
+            raise UntraceableBody(
+                f"compile-time trace enumeration exceeded {cap} traces")
+    return TracedProgram(call=call, paths=paths, leaves=leaves,
+                         straight_line=False)

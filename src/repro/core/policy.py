@@ -118,6 +118,9 @@ class Policy:
 
     #: Monte Carlo engine for evaluations ("serial"/"vector"/"parallel").
     mc_engine: str | None = None
+    #: Prediction backend ("sampled"/"compiled"); None keeps the session
+    #: default (sampled — the historical Monte Carlo behavior).
+    backend: str | None = None
     #: Admission-time tail quantile (e.g. 0.95); None disables it.
     admission_quantile: float | None = None
     #: Monte Carlo sample budget; None keeps the session default.

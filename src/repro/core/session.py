@@ -61,8 +61,9 @@ from repro.core.interface import (
     EnergyCall,
     enumerate_traces,
 )
-from repro.core.mcengine import DEFAULT_ENTROPY, MCEngine, MCTask, resolve_engine
+from repro.core.mcengine import DEFAULT_ENTROPY, MCEngine, resolve_engine
 from repro.core.policy import Policy
+from repro.core.predict import resolve_backend
 from repro.core.units import AbstractEnergy, Energy
 
 __all__ = [
@@ -927,6 +928,7 @@ class EvalSession:
                  n_samples: int | None = None,
                  max_traces: int | None = None,
                  engine: str | MCEngine | None = None,
+                 backend: "str | Any | None" = None,
                  hooks: list[EvalHook] | None = None,
                  p_quantum: float = DEFAULT_P_QUANTUM,
                  policy: Policy | None = None) -> None:
@@ -935,6 +937,7 @@ class EvalSession:
         self.policy = policy
         if policy is not None:
             engine = engine if engine is not None else policy.mc_engine
+            backend = backend if backend is not None else policy.backend
             n_samples = (n_samples if n_samples is not None
                          else policy.n_samples)
             max_traces = (max_traces if max_traces is not None
@@ -954,6 +957,7 @@ class EvalSession:
         self.max_traces = (self.DEFAULT_MAX_TRACES if max_traces is None
                            else int(max_traces))
         self.engine = resolve_engine(engine)
+        self.backend = resolve_backend(backend)
         self.p_quantum = p_quantum
         self.hooks: list[EvalHook] = list(hooks or [])
         self._index_hooks()
@@ -1311,16 +1315,16 @@ class EvalSession:
                      n_samples: int,
                      engine: str | MCEngine | None = None,
                      call: Callable[[], Any] | None = None) -> Any:
-        from repro.core.distributions import Empirical
+        """Delegate the Monte Carlo stage to the session's backend.
 
-        resolved = (self.engine if engine is None
-                    else resolve_engine(engine))
-        task = MCTask(fn=fn, env=env, n=int(n_samples),
-                      entropy=self._mc_entropy(rng), session=self, call=call)
-        draws = resolved.draws(task)
-        if mode == "expected":
-            return Energy(float(np.mean(draws)))
-        return Empirical(draws)
+        The default :class:`~repro.core.predict.SampledBackend` runs the
+        Monte Carlo engines exactly as this method historically did; the
+        compiled backend answers from analytic forms or numpy kernels
+        and falls back to sampling where it cannot.
+        """
+        return self.backend.monte_carlo(
+            self, fn=fn, env=env, mode=mode, rng=rng,
+            n_samples=int(n_samples), engine=engine, call=call)
 
     def __repr__(self) -> str:
         hooks = [type(hook).__name__ for hook in self.hooks]

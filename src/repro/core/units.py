@@ -36,10 +36,31 @@ __all__ = [
     "Unit",
     "ZERO",
     "as_joules",
+    "register_symbolic_carrier",
 ]
 
 #: Tolerance used by :meth:`Energy.isclose` and equality of grounded values.
 _REL_TOL = 1e-9
+
+#: Types allowed to flow through :class:`Energy` arithmetic symbolically
+#: (stored as-is, like the ndarray payload of the batched Monte Carlo
+#: engine).  Registered by :mod:`repro.compile` for the symbolic
+#: :class:`~repro.analysis.expr.Expr` IR, so the core carries no import
+#: on the analysis layer.
+_SYMBOLIC_CARRIERS: tuple[type, ...] = ()
+
+
+def register_symbolic_carrier(carrier: type) -> None:
+    """Allow ``carrier`` instances as :class:`Energy` payloads.
+
+    The partial evaluator runs energy methods with symbolic values in
+    place of ECV reads; every unit constructor and scaling operation on
+    :class:`Energy` then performs its arithmetic *on the payload* (a
+    symbolic expression records it) instead of coercing to float.
+    """
+    global _SYMBOLIC_CARRIERS
+    if carrier not in _SYMBOLIC_CARRIERS:
+        _SYMBOLIC_CARRIERS = _SYMBOLIC_CARRIERS + (carrier,)
 
 
 class Energy:
@@ -59,11 +80,13 @@ class Energy:
     __slots__ = ("_joules",)
 
     def __init__(self, joules: float) -> None:
-        if isinstance(joules, np.ndarray):
-            # Vector-valued energy: one Joule figure per Monte Carlo
-            # sample.  Produced only inside the batched evaluation engine
-            # (repro.core.mcengine), which unwraps it before results
-            # reach callers; arithmetic and comparisons broadcast.
+        if isinstance(joules, np.ndarray) or isinstance(
+                joules, _SYMBOLIC_CARRIERS):
+            # Vector-valued energy (one Joule figure per Monte Carlo
+            # sample, produced inside the batched evaluation engine) or
+            # a symbolic expression (produced inside the interface
+            # compiler's partial evaluation).  Both are unwrapped before
+            # results reach callers; arithmetic broadcasts/records.
             self._joules = joules
         else:
             self._joules = float(joules)
@@ -151,7 +174,8 @@ class Energy:
         return NotImplemented
 
     def __mul__(self, factor: float) -> "Energy":
-        if isinstance(factor, (int, float, np.ndarray)):
+        if isinstance(factor, (int, float, np.ndarray)) or isinstance(
+                factor, _SYMBOLIC_CARRIERS):
             return Energy(self._joules * factor)
         return NotImplemented
 
@@ -160,7 +184,8 @@ class Energy:
     def __truediv__(self, other: Union["Energy", float]) -> Union["Energy", float]:
         if isinstance(other, Energy):
             return self._joules / other._joules
-        if isinstance(other, (int, float, np.ndarray)):
+        if isinstance(other, (int, float, np.ndarray)) or isinstance(
+                other, _SYMBOLIC_CARRIERS):
             return Energy(self._joules / other)
         return NotImplemented
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.errors import ServingError
-from repro.core.units import as_joules
 from repro.workloads.fleettrace import TenantRequest, request_unit
 
 __all__ = ["CostModel", "WorkCostModel", "InterfaceCostModel"]
@@ -101,7 +100,10 @@ class InterfaceCostModel(CostModel):
 
     def __init__(self, interface: Any, method: str, session: Any,
                  work_quantum: float = 0.05, spread: float = 0.2,
-                 worst_floor_factor: float = 1.0 + 0.25) -> None:
+                 worst_floor_factor: float = 1.0 + 0.25,
+                 backend: Any = "compiled") -> None:
+        from repro.core.predict import resolve_backend
+
         if work_quantum <= 0:
             raise ServingError(
                 f"work_quantum must be positive, got {work_quantum}")
@@ -113,6 +115,13 @@ class InterfaceCostModel(CostModel):
         self.work_quantum = float(work_quantum)
         self.spread = float(spread)
         self.worst_floor_factor = float(worst_floor_factor)
+        # Fleet pricing is the highest-leverage consumer of compiled
+        # prediction: the same few quantised work keys are priced over
+        # and over, so the compiled backend's analytic/kernel answers
+        # (with the sampled backend behind them as fallback) are the
+        # default here.  Pass ``backend="sampled"`` for the historical
+        # pure-Monte-Carlo pricing.
+        self.backend = resolve_backend(backend)
         self._cache: dict[float, tuple[float, float]] = {}
 
     def args_for(self, work: float) -> tuple:
@@ -123,17 +132,13 @@ class InterfaceCostModel(CostModel):
         return round(work / self.work_quantum) * self.work_quantum
 
     def predict(self, request: TenantRequest) -> tuple[float, float]:
-        from repro.core.interface import evaluate
-
         key = self._quantised(request.work)
         hit = self._cache.get(key)
         if hit is not None:
             return hit
         call = self.interface(self.method, *self.args_for(key))
-        expected = as_joules(evaluate(call, session=self.session,
-                                      mode="expected"))
-        worst = as_joules(evaluate(call, session=self.session,
-                                   mode="worst"))
+        expected = self.backend.mean(call, session=self.session)
+        worst = self.backend.worst(call, session=self.session)
         # A leaf with no stochastic ECVs prices worst == expected; keep a
         # floor over the measurement spread so hard admission still
         # covers every settled draw.

@@ -21,8 +21,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import ReproError, SchedulerError
-from repro.core.interface import EnergyInterface, evaluate
-from repro.core.units import Energy, as_joules
+from repro.core.interface import EnergyInterface
+from repro.core.predict import resolve_backend
+from repro.core.units import Energy
 from repro.managers.base import ComponentHealth
 
 if TYPE_CHECKING:
@@ -196,23 +197,20 @@ class InterfaceAutoscaler(Autoscaler):
         model, no substrate), so a chaos run still scales sensibly; the
         failure is marked in :attr:`health` per candidate count.
         """
+        call = self.interface("E_interval", replicas, rps, current_replicas)
         if self.session is not None:
+            backend = self.session.backend
             try:
-                joules = as_joules(evaluate(
-                    self.interface("E_interval", replicas, rps,
-                                   current_replicas),
-                    session=self.session))
+                joules = backend.mean(call, session=self.session)
                 if math.isnan(joules):
                     # A poisoned hardware reading, not an exception.
                     raise ReproError("NaN prediction")
             except ReproError:
                 self.health.mark_failure(f"replicas:{replicas}")
-                return self.interface.E_interval(
-                    replicas, rps, current_replicas).as_joules
+                return backend.closed_form(call)
             self.health.mark_success(f"replicas:{replicas}")
             return joules
-        return self.interface.E_interval(replicas, rps,
-                                         current_replicas).as_joules
+        return resolve_backend(None).closed_form(call)
 
     def decide(self, interval_index: int, observed_rps: float,
                current_replicas: int) -> int:

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.errors import ReproError, SchedulerError
-from repro.core.interface import EnergyInterface, evaluate
-from repro.core.units import Energy, as_joules
+from repro.core.interface import EnergyInterface
+from repro.core.predict import resolve_backend
+from repro.core.units import Energy
 from repro.managers.base import ComponentHealth
 
 if TYPE_CHECKING:
@@ -178,20 +179,20 @@ class InterfacePackingScheduler(ClusterScheduler):
         evaluations quarantine it out of candidate sets.
         """
         resident = node.memory_used()
+        call = interface("E_run", node.node_type, resident)
         if self.session is not None:
+            backend = self.session.backend
             try:
-                joules = as_joules(evaluate(
-                    interface("E_run", node.node_type, resident),
-                    session=self.session))
+                joules = backend.mean(call, session=self.session)
                 if math.isnan(joules):
                     # A poisoned hardware reading, not an exception.
                     raise ReproError("NaN prediction")
             except ReproError:
                 self.health.mark_failure(node.name)
-                return interface.E_run(node.node_type, resident).as_joules
+                return backend.closed_form(call)
             self.health.mark_success(node.name)
             return joules
-        return interface.E_run(node.node_type, resident).as_joules
+        return resolve_backend(None).closed_form(call)
 
     def place(self, pods: list[PodSpec], nodes: list[Node]) -> None:
         for pod in sorted(pods, key=lambda p: -p.cpu_work):
@@ -250,22 +251,19 @@ def run_cluster(scheduler: ClusterScheduler, pods: list[PodSpec],
         for pod in sorted(node.pods, key=lambda p: -p.cpu_work):
             interface = PodEnergyInterface(pod)
             durations.append(interface.E_duration(node_type, resident))
+            call = interface("E_run", node_type, resident)
             if session is not None:
                 try:
-                    joules = as_joules(evaluate(
-                        interface("E_run", node_type, resident),
-                        session=session))
+                    joules = session.backend.mean(call, session=session)
                     if math.isnan(joules):
                         raise ReproError("NaN prediction")
                     dynamic_energy += joules
                 except ReproError:
                     # Ground truth must not depend on the evaluation
                     # substrate surviving: fall back to the closed form.
-                    dynamic_energy += interface.E_run(node_type,
-                                                      resident).as_joules
+                    dynamic_energy += session.backend.closed_form(call)
             else:
-                dynamic_energy += interface.E_run(node_type,
-                                                  resident).as_joules
+                dynamic_energy += resolve_backend(None).closed_form(call)
             resident += pod.working_set_gb
         # List-schedule durations onto the node's cores.
         core_finish = [0.0] * node_type.cores

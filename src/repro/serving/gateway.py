@@ -30,7 +30,6 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.core.errors import ServingError
-from repro.core.interface import evaluate
 from repro.core.policy import Policy, resolve_policy
 from repro.core.session import EvalSession
 from repro.core.units import as_joules
@@ -177,12 +176,11 @@ class EnergyAwareGateway:
         """
         call, env, fingerprint = self._cost_query(request)
         if not self._resilient_active():
-            expected = as_joules(evaluate(call, session=self.session,
-                                          mode="expected", env=env,
-                                          fingerprint=fingerprint))
-            worst = as_joules(evaluate(call, session=self.session,
-                                       mode="worst",
-                                       env=env, fingerprint=fingerprint))
+            backend = self.session.backend
+            expected = backend.mean(call, session=self.session, env=env,
+                                    fingerprint=fingerprint)
+            worst = backend.worst(call, session=self.session, env=env,
+                                  fingerprint=fingerprint)
             return expected, worst
         expected_out = self.resilient.evaluate_call(
             call, mode="expected", env=env, fingerprint=fingerprint)
@@ -217,10 +215,9 @@ class EnergyAwareGateway:
                 # A degraded tier answered with a point bound, not a
                 # distribution; use it directly as the tail estimate.
                 return float(as_joules(dist))
-        else:
-            dist = evaluate(call, session=self.session, mode="distribution",
-                            env=env, fingerprint=fingerprint)
-        return float(dist.quantile(q))
+            return float(dist.quantile(q))
+        return self.session.backend.quantile(
+            call, q, session=self.session, env=env, fingerprint=fingerprint)
 
     def _cost_query(self, request: Any):
         method, args = self.adapter.cost_call(request)

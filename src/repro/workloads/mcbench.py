@@ -83,6 +83,16 @@ class BenchServiceInterface(EnergyInterface):
         load = self.ecv("load")
         return self.cpu.E_compute(req_ops) * (0.5 + 0.5 * load)
 
+    def E_wait(self, seconds):
+        """Queueing energy while a request waits: affine in the load ECV.
+
+        Deliberately affine so the compile layer (S5) has a closed-form
+        target on the same stack: 0.05 J/s of base power plus 0.8 J/s
+        scaled by the background load.
+        """
+        load = self.ecv("load")
+        return Energy.joules(0.05 * seconds + 0.8 * seconds * load)
+
 
 def build_bench_interface() -> BenchServiceInterface:
     """The composed service → CPU → DRAM benchmark stack."""

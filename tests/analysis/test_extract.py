@@ -6,7 +6,7 @@ from repro.analysis.extract import ExtractedInterface, extract_interface
 from repro.analysis.symbex import ResourceModel
 from repro.core.ecv import BernoulliECV
 from repro.core.errors import ExtractionError
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.units import Energy
 
 CACHE = ResourceModel("cache", returning={"lookup": "bool"})
@@ -85,45 +85,40 @@ class TestExtraction:
 class TestEvaluation:
     def test_hit_path_energy(self):
         iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
-        energy = iface.evaluate("E_call", 1024, 100,
-                                env={"cache_lookup_0": True})
+        energy = evaluate(iface("E_call", 1024, 100), env={"cache_lookup_0": True})
         assert energy.as_joules == pytest.approx(2e-3)
 
     def test_miss_path_energy(self):
         iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
-        energy = iface.evaluate("E_call", 1024, 100,
-                                env={"cache_lookup_0": False})
+        energy = evaluate(iface("E_call", 1024, 100), env={"cache_lookup_0": False})
         expected = 2e-3 + 3e-6 * 924 + 8 * 40e-9 * 256 + 1e-6 * 256
         assert energy.as_joules == pytest.approx(expected)
 
     def test_expected_mixes_paths(self):
         iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
         env = {"cache_lookup_0": BernoulliECV("cache_lookup_0", 0.9)}
-        hit = iface.evaluate("E_call", 1024, 100,
-                             env={"cache_lookup_0": True}).as_joules
-        miss = iface.evaluate("E_call", 1024, 100,
-                              env={"cache_lookup_0": False}).as_joules
+        hit = evaluate(iface("E_call", 1024, 100), env={"cache_lookup_0": True}).as_joules
+        miss = evaluate(iface("E_call", 1024, 100), env={"cache_lookup_0": False}).as_joules
         expected = iface.expected("E_call", 1024, 100, env=env).as_joules
         assert expected == pytest.approx(0.9 * hit + 0.1 * miss)
 
     def test_worst_case_is_miss_path(self):
         iface = extract_interface(ml_service, [CACHE, GPU], SUBS)
         worst = iface.worst_case("E_call", 1024, 100).as_joules
-        miss = iface.evaluate("E_call", 1024, 100,
-                              env={"cache_lookup_0": False}).as_joules
+        miss = evaluate(iface("E_call", 1024, 100), env={"cache_lookup_0": False}).as_joules
         assert worst == pytest.approx(miss)
 
     def test_loop_summarised_interface_scales(self):
         iface = extract_interface(token_decoder, [GPU], SUBS)
-        e10 = iface.evaluate("E_call", 10).as_joules
-        e20 = iface.evaluate("E_call", 20).as_joules
+        e10 = evaluate(iface("E_call", 10)).as_joules
+        e20 = evaluate(iface("E_call", 20)).as_joules
         per_token = 1e-6 * 256
         assert e20 - e10 == pytest.approx(10 * per_token)
 
     def test_keyword_inputs(self):
         iface = extract_interface(token_decoder, [GPU], SUBS)
-        assert iface.evaluate("E_call", n_tokens=5).as_joules == \
-            iface.evaluate("E_call", 5).as_joules
+        assert evaluate(iface("E_call", n_tokens=5)).as_joules == \
+            evaluate(iface("E_call", 5)).as_joules
 
     def test_missing_input_rejected(self):
         iface = extract_interface(token_decoder, [GPU], SUBS)
@@ -132,8 +127,8 @@ class TestEvaluation:
 
     def test_input_conditions_select_path(self):
         iface = extract_interface(size_dependent, [GPU], SUBS)
-        big = iface.evaluate("E_call", 2000).as_joules
-        small = iface.evaluate("E_call", 10).as_joules
+        big = evaluate(iface("E_call", 2000)).as_joules
+        small = evaluate(iface("E_call", 10)).as_joules
         assert big == pytest.approx(3e-6 * 2000)
         assert small == pytest.approx(40e-9 * 10)
 

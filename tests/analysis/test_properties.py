@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.analysis.extract import extract_interface
 from repro.analysis.symbex import ResourceModel
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.units import Energy
 
 ints = st.integers(min_value=0, max_value=10_000)
@@ -106,8 +106,7 @@ class TestExtractionSoundness:
     @given(ints, st.booleans())
     @settings(max_examples=100)
     def test_probe_ecv_matches_reference(self, n, warm):
-        extracted = WITH_PROBE.evaluate(
-            "E_call", n, env={"dev_probe_0": warm}).as_joules
+        extracted = evaluate(WITH_PROBE("E_call", n), env={"dev_probe_0": warm}).as_joules
         assert extracted == pytest.approx(reference_with_probe(n, warm))
 
     @given(ints, st.floats(min_value=0.0, max_value=1.0,

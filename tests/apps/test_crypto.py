@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.interface import evaluate
 from repro.apps.crypto import (
     WORK_PER_BYTE,
     ConstantTimeInterface,
@@ -114,8 +115,7 @@ class TestInterfacesAndContract:
         verifier.verify(guess, SECRET)
         measured = machine.ledger.energy_between(t0, machine.now,
                                                  component="cpu0")
-        predicted = interface.evaluate(
-            "E_verify", env={"matching_prefix": prefix}).as_joules
+        predicted = evaluate(interface("E_verify"), env={"matching_prefix": prefix}).as_joules
         # Activity energy only (static/package accounted separately).
         activity = sum(r.joules for r in machine.ledger.records("cpu0")
                        if r.tag == "ee-compare")

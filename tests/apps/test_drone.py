@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.interface import evaluate
 from repro.apps.drone import (
     DroneSpec,
     MissionEnergyInterface,
@@ -44,18 +45,14 @@ class TestAirframeModel:
 class TestMissionInterface:
     def test_energy_scales_with_distance(self):
         _, _, interface = planner()
-        short = interface.evaluate("E_leg", 1000.0, 0.0, 0.0, 10.0,
-                                   env={"headwind_mps": 0.0}).as_joules
-        long = interface.evaluate("E_leg", 3000.0, 0.0, 0.0, 10.0,
-                                  env={"headwind_mps": 0.0}).as_joules
+        short = evaluate(interface("E_leg", 1000.0, 0.0, 0.0, 10.0), env={"headwind_mps": 0.0}).as_joules
+        long = evaluate(interface("E_leg", 3000.0, 0.0, 0.0, 10.0), env={"headwind_mps": 0.0}).as_joules
         assert long == pytest.approx(3 * short)
 
     def test_headwind_costs_energy(self):
         _, _, interface = planner()
-        calm = interface.evaluate("E_leg", 1000.0, 0.0, 0.0, 12.0,
-                                  env={"headwind_mps": 0.0}).as_joules
-        windy = interface.evaluate("E_leg", 1000.0, 0.0, 0.0, 12.0,
-                                   env={"headwind_mps": 8.0}).as_joules
+        calm = evaluate(interface("E_leg", 1000.0, 0.0, 0.0, 12.0), env={"headwind_mps": 0.0}).as_joules
+        windy = evaluate(interface("E_leg", 1000.0, 0.0, 0.0, 12.0), env={"headwind_mps": 8.0}).as_joules
         assert windy > calm
 
     def test_worst_case_uses_wind_envelope(self):
@@ -67,12 +64,8 @@ class TestMissionInterface:
 
     def test_hover_work_added(self):
         _, _, interface = planner()
-        without = interface.evaluate("E_mission", [MissionLeg(1000.0)],
-                                     0.0, 10.0,
-                                     env={"headwind_mps": 0.0}).as_joules
-        with_hover = interface.evaluate(
-            "E_mission", [MissionLeg(1000.0, hover_seconds=60.0)],
-            0.0, 10.0, env={"headwind_mps": 0.0}).as_joules
+        without = evaluate(interface("E_mission", [MissionLeg(1000.0)], 0.0, 10.0), env={"headwind_mps": 0.0}).as_joules
+        with_hover = evaluate(interface("E_mission", [MissionLeg(1000.0, hover_seconds=60.0)], 0.0, 10.0), env={"headwind_mps": 0.0}).as_joules
         assert with_hover > without
 
     def test_bad_inputs_rejected(self):
@@ -80,8 +73,7 @@ class TestMissionInterface:
         with pytest.raises(WorkloadError):
             MissionLeg(-1.0)
         with pytest.raises(WorkloadError):
-            interface.evaluate("E_leg", 100.0, 0.0, 0.0, 0.0,
-                               env={"headwind_mps": 0.0})
+            evaluate(interface("E_leg", 100.0, 0.0, 0.0, 0.0), env={"headwind_mps": 0.0})
 
 
 class TestPlanner:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.interface import evaluate
 from repro.apps.mlservice import (
     RESPONSE_BYTES,
     CNNModel,
@@ -129,8 +130,7 @@ class TestStack:
             service.handle(request)
         measured = machine.ledger.energy_between(t0, machine.now)
         predicted = sum(
-            iface.evaluate("E_handle", r.image_pixels, r.zero_pixels
-                           ).as_joules
+            evaluate(iface("E_handle", r.image_pixels, r.zero_pixels)).as_joules
             for r in trace)
         assert predicted == pytest.approx(measured, rel=0.10)
 
@@ -155,15 +155,11 @@ class TestStack:
         t0 = machine.now
         service.handle(request)
         infer_actual = machine.ledger.energy_between(t0, machine.now)
-        infer_predicted = iface.evaluate(
-            "E_handle", request.image_pixels, request.zero_pixels,
-            env={"request_hit": False}).as_joules
+        infer_predicted = evaluate(iface("E_handle", request.image_pixels, request.zero_pixels), env={"request_hit": False}).as_joules
         assert infer_predicted == pytest.approx(infer_actual, rel=0.08)
 
         t0 = machine.now
         service.handle(request)  # now cached locally
         local_actual = machine.ledger.energy_between(t0, machine.now)
-        local_predicted = iface.evaluate(
-            "E_handle", request.image_pixels, request.zero_pixels,
-            env={"request_hit": True, "local_cache_hit": True}).as_joules
+        local_predicted = evaluate(iface("E_handle", request.image_pixels, request.zero_pixels), env={"request_hit": True, "local_cache_hit": True}).as_joules
         assert local_predicted == pytest.approx(local_actual, rel=0.08)

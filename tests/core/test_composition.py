@@ -9,7 +9,7 @@ from repro.core.composition import (
 )
 from repro.core.ecv import BernoulliECV
 from repro.core.errors import CompositionError
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.units import Energy, Unit
 
 
@@ -42,7 +42,7 @@ class TestBoundInterface:
     def test_caller_env_still_overrides(self):
         bound = BoundInterface(CacheInterface(0.9),
                                {"hit": BernoulliECV("hit", 0.5)})
-        forced = bound.evaluate("E_lookup", 1, env={"hit": True})
+        forced = evaluate(bound("E_lookup", 1), env={"hit": True})
         assert forced.as_joules == pytest.approx(5.0)
 
     def test_binding_to_fixed_value(self):

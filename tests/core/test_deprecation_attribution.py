@@ -1,0 +1,92 @@
+"""DeprecationWarnings from the PR-4 shims must point at the *caller*.
+
+A shim warning attributed to ``repro/core/session.py`` is useless — the
+whole point of ``stacklevel`` is that ``python -W error::DeprecationWarning``
+and CI logs name the file that needs migrating.  These tests freeze that
+contract for every deprecated entry point: the recorded warning's
+``filename``/``lineno`` must be *this* file, at the call line.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.ecv import BernoulliECV
+from repro.core.interface import EnergyInterface
+from repro.core.session import EvalSession
+from repro.core.units import Energy
+
+
+class LeafIface(EnergyInterface):
+    def __init__(self) -> None:
+        super().__init__("leaf")
+        self.declare_ecv(BernoulliECV("warm", p=0.5, description="warm"))
+
+    def E_op(self, n: int) -> Energy:
+        return Energy(float(n) * (1.0 if self.ecv("warm") else 2.0))
+
+
+def caught(fn):
+    """Run ``fn``, returning the single DeprecationWarning it raises."""
+    with warnings.catch_warnings(record=True) as records:
+        warnings.simplefilter("always")
+        fn()
+    deprecations = [r for r in records
+                    if issubclass(r.category, DeprecationWarning)]
+    assert len(deprecations) == 1, deprecations
+    return deprecations[0]
+
+
+class TestWarningAttribution:
+    def test_interface_evaluate_points_at_caller(self):
+        iface = LeafIface()
+        record = caught(lambda: iface.evaluate("E_op", 2))
+        assert record.filename == __file__
+
+    def test_session_evaluate_points_at_caller(self):
+        iface = LeafIface()
+        record = caught(
+            lambda: EvalSession(seed=1).evaluate(iface, "E_op", 2))
+        assert record.filename == __file__
+
+    def test_session_evaluate_fn_points_at_caller(self):
+        iface = LeafIface()
+        record = caught(
+            lambda: EvalSession(seed=1).evaluate_fn(lambda: iface.E_op(2)))
+        assert record.filename == __file__
+
+    def test_moved_module_default_points_at_caller(self):
+        import repro.core.interface as interface_module
+
+        record = caught(lambda: interface_module.DEFAULT_MAX_TRACES)
+        assert record.filename == __file__
+
+    def test_legacy_gateway_knobs_point_at_caller(self):
+        from repro.serving.gateway import GatewayConfig
+
+        record = caught(lambda: GatewayConfig(mc_engine="vector"))
+        assert record.filename == __file__
+
+    def test_lineno_is_the_call_line(self):
+        import inspect
+
+        iface = LeafIface()
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")
+            expected_line = inspect.currentframe().f_lineno + 1
+            iface.evaluate("E_op", 2)
+        record = next(r for r in records
+                      if issubclass(r.category, DeprecationWarning))
+        assert record.lineno == expected_line
+
+
+def test_migrated_suite_is_warning_clean():
+    """The canonical spelling raises no DeprecationWarning at all."""
+    from repro.core.interface import evaluate
+
+    iface = LeafIface()
+    with warnings.catch_warnings(record=True) as records:
+        warnings.simplefilter("error", DeprecationWarning)
+        value = evaluate(iface("E_op", 2), session=EvalSession(seed=1))
+    assert value.as_joules == pytest.approx(3.0)
+    assert not records

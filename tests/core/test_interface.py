@@ -70,7 +70,7 @@ class TestDeterministicEvaluation:
 
     def test_best_case(self):
         iface = CacheInterface()
-        best = iface.evaluate("E_lookup", 1000, mode="best")
+        best = evaluate(iface("E_lookup", 1000), mode="best")
         assert best.as_joules == pytest.approx(5.0)
 
     def test_worst_ignores_probability_zero_support(self):
@@ -81,15 +81,14 @@ class TestDeterministicEvaluation:
     def test_fixed_mode_requires_single_values(self):
         iface = CacheInterface()
         with pytest.raises(EvaluationError):
-            iface.evaluate("E_lookup", 1000, mode="fixed")
-        result = iface.evaluate("E_lookup", 1000, mode="fixed",
-                                env={"hit": True})
+            evaluate(iface("E_lookup", 1000), mode="fixed")
+        result = evaluate(iface("E_lookup", 1000), mode="fixed", env={"hit": True})
         assert result.as_joules == pytest.approx(5.0)
 
     def test_unknown_mode_rejected(self):
         iface = CacheInterface()
         with pytest.raises(EvaluationError):
-            iface.evaluate("E_lookup", 1000, mode="pessimist")
+            evaluate(iface("E_lookup", 1000), mode="pessimist")
 
 
 class TestDistributionMode:
@@ -206,15 +205,13 @@ class TestSampleMode:
     def test_sample_returns_energy(self):
         iface = CacheInterface()
         rng = np.random.default_rng(0)
-        sample = iface.evaluate("E_lookup", 1000, mode="sample", rng=rng)
+        sample = evaluate(iface("E_lookup", 1000), mode="sample", rng=rng)
         assert sample.as_joules in (pytest.approx(5.0), pytest.approx(100.0))
 
     def test_sample_reproducible_with_seed(self):
         iface = CacheInterface()
-        a = iface.evaluate("E_lookup", 1000, mode="sample",
-                           rng=np.random.default_rng(3))
-        b = iface.evaluate("E_lookup", 1000, mode="sample",
-                           rng=np.random.default_rng(3))
+        a = evaluate(iface("E_lookup", 1000), mode="sample", rng=np.random.default_rng(3))
+        b = evaluate(iface("E_lookup", 1000), mode="sample", rng=np.random.default_rng(3))
         assert a == b
 
 

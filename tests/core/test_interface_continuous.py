@@ -62,18 +62,14 @@ class TestMonteCarloDeterminism:
 
     def test_explicit_seed_reproducible(self):
         iface = LoadInterface()
-        draws = [iface.evaluate("E_tick", 10.0, mode="expected",
-                                rng=np.random.default_rng(99),
-                                n_samples=500).as_joules
+        draws = [evaluate(iface("E_tick", 10.0), mode="expected", rng=np.random.default_rng(99), n_samples=500).as_joules
                  for _ in range(2)]
         assert draws[0] == draws[1]
 
     def test_different_seeds_differ(self):
         iface = LoadInterface()
-        a = iface.evaluate("E_tick", 10.0, mode="expected",
-                           rng=np.random.default_rng(1), n_samples=200)
-        b = iface.evaluate("E_tick", 10.0, mode="expected",
-                           rng=np.random.default_rng(2), n_samples=200)
+        a = evaluate(iface("E_tick", 10.0), mode="expected", rng=np.random.default_rng(1), n_samples=200)
+        b = evaluate(iface("E_tick", 10.0), mode="expected", rng=np.random.default_rng(2), n_samples=200)
         assert a.as_joules != b.as_joules
 
     def test_distribution_mode_empirical_and_deterministic(self):
@@ -103,7 +99,7 @@ class TestWorstCaseEndpoints:
 
     def test_interval_lower_endpoint_in_best_mode(self):
         iface = LoadInterface()
-        best = iface.evaluate("E_tick", 10.0, mode="best")
+        best = evaluate(iface("E_tick", 10.0), mode="best")
         assert best.as_joules == pytest.approx(2.0)
 
     def test_nested_interfaces_take_joint_extremes(self):
@@ -116,7 +112,7 @@ class TestWorstCaseEndpoints:
 
     def test_nested_best_case(self):
         iface = NodeInterface()
-        best = iface.evaluate("E_step", mode="best")
+        best = evaluate(iface("E_step"), mode="best")
         assert best.as_joules == pytest.approx(10.0 * 0.2)
 
     def test_degenerate_interval(self):
@@ -134,9 +130,7 @@ class TestWorstCaseEndpoints:
         """Binding the continuous ECV to a narrower interval tightens the
         worst case (the §4 contract-refinement move)."""
         iface = LoadInterface()
-        worst = iface.evaluate(
-            "E_tick", 10.0, mode="worst",
-            env={"utilisation": ContinuousECV("utilisation", 0.2, 0.5)})
+        worst = evaluate(iface("E_tick", 10.0), mode="worst", env={"utilisation": ContinuousECV("utilisation", 0.2, 0.5)})
         assert worst.as_joules == pytest.approx(5.0)
 
     def test_free_function_worst_over_composition(self):

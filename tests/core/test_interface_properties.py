@@ -17,7 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.ecv import BernoulliECV
-from repro.core.interface import EnergyInterface, enumerate_traces
+from repro.core.interface import EnergyInterface, enumerate_traces, evaluate
 from repro.core.units import Energy
 
 probabilities = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
@@ -48,7 +48,7 @@ class TestEvaluatorLaws:
     @settings(max_examples=80)
     def test_mode_ordering(self, p1, p2, coeffs):
         iface = build_interface(p1, p2, coeffs)
-        best = iface.evaluate("E_op", 2.0, mode="best").as_joules
+        best = evaluate(iface("E_op", 2.0), mode="best").as_joules
         expected = iface.expected("E_op", 2.0).as_joules
         worst = iface.worst_case("E_op", 2.0).as_joules
         assert best - 1e-9 <= expected <= worst + 1e-9
@@ -66,7 +66,7 @@ class TestEvaluatorLaws:
     def test_distribution_bounds_equal_best_worst(self, p1, p2, coeffs):
         iface = build_interface(p1, p2, coeffs)
         dist = iface.distribution("E_op", 2.0)
-        best = iface.evaluate("E_op", 2.0, mode="best").as_joules
+        best = evaluate(iface("E_op", 2.0), mode="best").as_joules
         worst = iface.worst_case("E_op", 2.0).as_joules
         assert dist.lower_bound() == pytest.approx(best, abs=1e-12)
         assert dist.upper_bound() == pytest.approx(worst, abs=1e-12)
@@ -107,8 +107,7 @@ class TestEvaluatorLaws:
     def test_samples_lie_within_bounds(self, p1, p2, coeffs, seed):
         iface = build_interface(p1, p2, coeffs)
         rng = np.random.default_rng(seed)
-        sample = iface.evaluate("E_op", 1.0, mode="sample",
-                                rng=rng).as_joules
-        best = iface.evaluate("E_op", 1.0, mode="best").as_joules
+        sample = evaluate(iface("E_op", 1.0), mode="sample", rng=rng).as_joules
+        best = evaluate(iface("E_op", 1.0), mode="best").as_joules
         worst = iface.worst_case("E_op", 1.0).as_joules
         assert best - 1e-12 <= sample <= worst + 1e-12

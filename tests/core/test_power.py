@@ -79,7 +79,7 @@ class TestProvisioning:
         """The paper's suggestion: worst-mode evaluation of a power-
         returning method IS the peak-power interface."""
         from repro.core.ecv import CategoricalECV
-        from repro.core.interface import EnergyInterface
+        from repro.core.interface import EnergyInterface, evaluate
 
         class NodePower(EnergyInterface):
             def __init__(self):
@@ -92,8 +92,8 @@ class TestProvisioning:
                 return base * utilization  # treat Watts as the numeraire
 
         node = NodePower()
-        peak = node.evaluate("P_draw", 1.0, mode="worst").as_joules
-        expected = node.evaluate("P_draw", 1.0, mode="expected").as_joules
+        peak = evaluate(node("P_draw", 1.0), mode="worst").as_joules
+        expected = evaluate(node("P_draw", 1.0), mode="expected").as_joules
         assert peak == pytest.approx(220.0)
         assert expected == pytest.approx(0.6 * 80 + 0.4 * 220)
         report = provision([peak] * 10, budget=2000.0)

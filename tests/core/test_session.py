@@ -164,14 +164,14 @@ class TestBackwardsCompatibility:
 class TestDeterministicReplay:
     def test_equal_seed_sessions_agree_on_monte_carlo(self):
         iface = LoadInterface()
-        a = EvalSession(seed=42).evaluate(iface, "E_tick", 10.0)
-        b = EvalSession(seed=42).evaluate(iface, "E_tick", 10.0)
+        a = evaluate(iface("E_tick", 10.0), session=EvalSession(seed=42))
+        b = evaluate(iface("E_tick", 10.0), session=EvalSession(seed=42))
         assert a.as_joules == b.as_joules
 
     def test_different_seeds_differ(self):
         iface = LoadInterface()
-        a = EvalSession(seed=1).evaluate(iface, "E_tick", 10.0)
-        b = EvalSession(seed=2).evaluate(iface, "E_tick", 10.0)
+        a = evaluate(iface("E_tick", 10.0), session=EvalSession(seed=1))
+        b = evaluate(iface("E_tick", 10.0), session=EvalSession(seed=2))
         assert a.as_joules != b.as_joules
 
     def test_seeded_sample_sequences_replay(self):
@@ -179,7 +179,7 @@ class TestDeterministicReplay:
 
         def draw_sequence(seed):
             session = EvalSession(mode="sample", seed=seed)
-            return [session.evaluate(iface, "E_op", 1).as_joules
+            return [evaluate(iface("E_op", 1), session=session).as_joules
                     for _ in range(20)]
 
         first = draw_sequence(7)
@@ -190,10 +190,10 @@ class TestDeterministicReplay:
     def test_equal_seed_sessions_agree_across_stack(self):
         """Fig. 2 shape: runtime -> os -> hardware, MC at the bottom."""
         stack, top = build_three_layer_stack()
-        a = stack.session(seed=1234).evaluate(top, "E_handle", 8.0)
-        b = stack.session(seed=1234).evaluate(top, "E_handle", 8.0)
+        a = evaluate(top("E_handle", 8.0), session=stack.session(seed=1234))
+        b = evaluate(top("E_handle", 8.0), session=stack.session(seed=1234))
         assert a.as_joules == b.as_joules
-        c = stack.session(seed=99).evaluate(top, "E_handle", 8.0)
+        c = evaluate(top("E_handle", 8.0), session=stack.session(seed=99))
         assert c.as_joules != a.as_joules
 
 
@@ -201,7 +201,7 @@ class TestSpanTree:
     def evaluate_with_spans(self, interface, method, *args, **kwargs):
         recorder = SpanRecorder()
         session = EvalSession(hooks=[recorder], **kwargs)
-        value = session.evaluate(interface, method, *args)
+        value = evaluate(interface(method, *args), session=session)
         return value, recorder.last_root
 
     def test_nested_interface_parenting(self):
@@ -260,7 +260,7 @@ class TestSpanTree:
         stack, top = build_three_layer_stack()
         recorder = SpanRecorder()
         session = stack.session(hooks=[recorder])
-        session.evaluate(top, "E_handle", 8.0)
+        evaluate(top("E_handle", 8.0), session=session)
         root = recorder.last_root
         layers = {span.layer for span in root.walk()}
         assert layers == {"runtime", "os", "hardware"}
@@ -272,7 +272,8 @@ class TestSpanTree:
     def test_render_and_chrome_trace(self):
         stack, top = build_three_layer_stack()
         recorder = SpanRecorder()
-        stack.session(hooks=[recorder]).evaluate(top, "E_handle", 8.0)
+        evaluate(top("E_handle", 8.0),
+                 session=stack.session(hooks=[recorder]))
         text = render_span_tree(recorder.last_root)
         assert "app.E_handle" in text and "[hardware]" in text
         payload = chrome_trace(recorder.roots)
@@ -287,8 +288,8 @@ class TestHooks:
         memo = MemoHook()
         session = EvalSession(hooks=[memo])
         iface = LeafInterface()
-        first = session.evaluate(iface, "E_op", 3)
-        second = session.evaluate(iface, "E_op", 3)
+        first = evaluate(iface("E_op", 3), session=session)
+        second = evaluate(iface("E_op", 3), session=session)
         assert first.as_joules == second.as_joules
         assert memo.hits == 1 and memo.misses == 1
         assert session.stats["memo_hits"] == 1
@@ -297,17 +298,17 @@ class TestHooks:
         memo = MemoHook()
         session = EvalSession(hooks=[memo])
         iface = LeafInterface()
-        session.evaluate(iface, "E_op", 3)
-        session.evaluate(iface, "E_op", 4)
-        session.evaluate(iface, "E_op", 3, mode="worst")
+        evaluate(iface("E_op", 3), session=session)
+        evaluate(iface("E_op", 4), session=session)
+        evaluate(iface("E_op", 3), session=session, mode="worst")
         assert memo.hits == 0
 
     def test_cached_evaluation_recorded_as_cache_hit_span(self):
         recorder = SpanRecorder()
         session = EvalSession(hooks=[MemoHook(), recorder])
         iface = OuterInterface()
-        session.evaluate(iface, "E_req", 2)
-        session.evaluate(iface, "E_req", 2)
+        evaluate(iface("E_req", 2), session=session)
+        evaluate(iface("E_req", 2), session=session)
         assert not recorder.roots[0].cache_hit
         assert recorder.roots[1].cache_hit
         assert recorder.roots[1].value_j \
@@ -328,19 +329,19 @@ class TestHooks:
     def test_accounting_budget_enforced(self):
         session = EvalSession(hooks=[AccountingHook(max_evaluations=2)])
         iface = LeafInterface()
-        session.evaluate(iface, "E_op", 1)
-        session.evaluate(iface, "E_op", 2)
+        evaluate(iface("E_op", 1), session=session)
+        evaluate(iface("E_op", 2), session=session)
         with pytest.raises(EvaluationError):
-            session.evaluate(iface, "E_op", 3)
+            evaluate(iface("E_op", 3), session=session)
 
     def test_memo_shared_across_layers(self):
         """One memo serves every layer's evaluations in the session."""
         stack, top = build_three_layer_stack()
         memo = MemoHook()
         session = stack.session(hooks=[memo])
-        session.evaluate(top, "E_handle", 8.0)
+        evaluate(top("E_handle", 8.0), session=session)
         manager = stack.layer("os").manager("systemd")
         os_iface = manager.resource("os_svc").energy_interface
-        session.evaluate(os_iface, "E_syscall", 8.0)
-        session.evaluate(os_iface, "E_syscall", 8.0)
+        evaluate(os_iface("E_syscall", 8.0), session=session)
+        evaluate(os_iface("E_syscall", 8.0), session=session)
         assert memo.hits >= 1

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.ecv import BernoulliECV
 from repro.core.errors import MeasurementError
-from repro.core.interface import EnergyInterface
+from repro.core.interface import EnergyInterface, evaluate
 from repro.core.session import EvalSession, SpanRecorder
 from repro.core.units import Energy
 from repro.hardware.machine import Machine
@@ -30,7 +30,7 @@ def recorded_span(joules_arg=2):
     session = EvalSession(hooks=[recorder])
     iface = LeafInterface()
     iface.span_labels = ("hardware", "leaf")
-    session.evaluate(iface, "E_op", joules_arg)
+    evaluate(iface("E_op", joules_arg), session=session)
     return recorder.last_root
 
 
