@@ -1,7 +1,9 @@
 """The implementation→interface toolchain: symbolic execution, extraction,
 side-effect analysis and energy-bug detection (§4.2) — dynamic
-(divergence testing) and static (the ``repro-energy lint`` rule
-engine over interval, taint and side-effect analyses)."""
+(divergence testing), static (the ``repro-energy lint`` rule engine
+over interval, taint and side-effect analyses), and differential (the
+``repro-energy regress`` fingerprint baseline, diff rules EB201–EB206
+and commit bisection)."""
 
 from repro.analysis.expr import (
     BinOp,
@@ -16,6 +18,15 @@ from repro.analysis.expr import (
     evaluate_expr,
 )
 from repro.analysis.extract import ExtractedInterface, extract_interface
+from repro.analysis.fingerprint import (
+    DEVICE_PROFILES,
+    FingerprintSet,
+    InterfaceFingerprint,
+    PathFingerprint,
+    fingerprint_function,
+    fingerprint_paths,
+    load_fingerprints,
+)
 from repro.analysis.intervals import (
     AffineForm,
     Interval,
@@ -24,12 +35,21 @@ from repro.analysis.intervals import (
     linearize,
 )
 from repro.analysis.lint import (
+    LINT_RULE_IDS,
+    REGRESS_RULE_IDS,
     RULES,
     Finding,
     Rule,
     lint_function,
     lint_module,
     lint_paths,
+)
+from repro.analysis.regress import (
+    BisectResult,
+    BisectStep,
+    bisect_range,
+    diff_fingerprints,
+    fingerprint_at_commit,
 )
 from repro.analysis.sideeffects import (
     RADIO_MODEL,
@@ -52,5 +72,11 @@ __all__ = [
     "EnergyBug", "DivergenceReport", "divergence_test",
     "Interval", "AffineForm", "bound_expr", "condition_status", "linearize",
     "TaintedUse", "analyze_taint", "tainted_symbols",
-    "Rule", "RULES", "Finding", "lint_function", "lint_module", "lint_paths",
+    "Rule", "RULES", "LINT_RULE_IDS", "REGRESS_RULE_IDS", "Finding",
+    "lint_function", "lint_module", "lint_paths",
+    "DEVICE_PROFILES", "PathFingerprint", "InterfaceFingerprint",
+    "FingerprintSet", "fingerprint_function", "fingerprint_paths",
+    "load_fingerprints",
+    "BisectStep", "BisectResult", "diff_fingerprints",
+    "fingerprint_at_commit", "bisect_range",
 ]

@@ -1,0 +1,437 @@
+"""Per-interface energy fingerprints — the regression checker's baseline.
+
+``repro-energy lint`` (:mod:`repro.analysis.lint`) answers "is this
+snapshot of the code buggy?"; the §4 divergence-as-energy-bug workflow
+also needs the *differential* question: "did this change make an
+interface more expensive than the one we shipped?"  Most energy
+regressions trip no point-in-time rule — a put that got 3x costlier in
+its worst case is still bounded, still leak-free, still covered by a
+(loosened) contract.  Catching them requires remembering what the code
+used to cost.
+
+A **fingerprint** is that memory: for one ``@energy_spec``-annotated
+implementation function, the canonical summary of everything the static
+toolchain can prove about its energy —
+
+* per-path worst-case energy, as both the symbolic expression and its
+  interval bound under the declared input box, evaluated per **device
+  profile** (hardware-relative energy scales derived from
+  :mod:`repro.hardware.profiles`);
+* the ECV dependencies each path's control flow reads, split into
+  declared (``exposed_ecvs``) and undeclared;
+* declared side effects and which resources leak state across paths;
+* the count of secret-tainted control decisions;
+* the proven margin between the worst case and the handwritten bound
+  contract (negative margin = statically proven within bound).
+
+Fingerprints serialise to a canonical JSON document
+(``.energy-fingerprints.json``): keys sorted, paths sorted by their
+rendered condition/energy, byte-identical across runs and machines —
+so the baseline can be committed next to ``.energy-lint.baseline`` and
+diffed by :mod:`repro.analysis.regress` on every PR.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.analysis.lint import (
+    _bound_expression,
+    _interval_env,
+    _path_energy,
+    _resolve_target,
+    undeclared_ecv_calls,
+)
+from repro.analysis.symbex import ResourceModel, symbolic_execute
+from repro.analysis.taint import analyze_taint
+from repro.core.contracts import EnergySpec
+from repro.analysis.expr import BinOp, Const
+from repro.analysis.intervals import bound_expr
+from repro.core.errors import LintError, RegressError, SymbolicExecutionError
+
+__all__ = ["FINGERPRINT_SCHEMA_VERSION", "DEVICE_PROFILES",
+           "PathFingerprint", "InterfaceFingerprint", "FingerprintSet",
+           "fingerprint_function", "fingerprint_paths",
+           "load_fingerprints"]
+
+#: Version tag of the ``.energy-fingerprints.json`` schema.
+FINGERPRINT_SCHEMA_VERSION = "1"
+
+_INF = float("inf")
+
+
+def _device_profiles() -> dict[str, float]:
+    """Energy scale per device profile, relative to the calibration GPU.
+
+    The per-call costs an :class:`~repro.core.contracts.EnergySpec`
+    declares are calibrated against the SIM4090 workstation (Table 1's
+    reference device); older silicon pays more Joules per event.  The
+    scale is the per-instruction energy ratio from the committed
+    hardware profiles, so the fingerprint shows each interface's worst
+    case on every device class CI cares about.
+    """
+    from repro.hardware.profiles import SIM3070, SIM4090
+
+    return {
+        "sim4090": 1.0,
+        "sim3070": SIM3070.e_instruction / SIM4090.e_instruction,
+    }
+
+
+#: Profile name -> energy scale applied to worst-case intervals.
+DEVICE_PROFILES: dict[str, float] = _device_profiles()
+
+
+def _scale(value: float, factor: float) -> float:
+    if math.isinf(value):
+        return value
+    return value * factor
+
+
+@dataclass(frozen=True)
+class PathFingerprint:
+    """Canonical summary of one symbolic path."""
+
+    condition: str
+    energy: str
+    worst_case: Mapping[str, tuple[float, float]]  # profile -> (lo, hi) J
+    ecv_deps: tuple[str, ...]
+    final_states: Mapping[str, str]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "condition": self.condition,
+            "energy": self.energy,
+            "worst_case": {profile: list(bounds)
+                           for profile, bounds in self.worst_case.items()},
+            "ecv_deps": list(self.ecv_deps),
+            "final_states": dict(self.final_states),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PathFingerprint":
+        return cls(
+            condition=data["condition"],
+            energy=data["energy"],
+            worst_case={profile: (float(lo), float(hi))
+                        for profile, (lo, hi)
+                        in data["worst_case"].items()},
+            ecv_deps=tuple(data["ecv_deps"]),
+            final_states=dict(data["final_states"]),
+        )
+
+
+@dataclass(frozen=True)
+class InterfaceFingerprint:
+    """Everything the regression checker needs to know about one
+    interface method at one commit."""
+
+    key: str
+    module: str
+    function: str
+    file: str
+    line: int
+    paths: tuple[PathFingerprint, ...] = ()
+    tainted_branches: int = 0
+    constant_energy: bool = False
+    secret_params: tuple[str, ...] = ()
+    exposed_ecvs: tuple[str, ...] = ()
+    undeclared_ecvs: tuple[str, ...] = ()
+    declared_states: tuple[str, ...] = ()
+    leaky_states: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    input_bounds: Mapping[str, tuple[float, float]] = field(
+        default_factory=dict)
+    bound: str | None = None
+    slack: float = 0.0
+    bound_margin: Mapping[str, float] | None = None
+    unbounded_paths: int = 0
+    error: str | None = None
+
+    def worst_case(self, profile: str) -> float:
+        """The interface's worst-case Joules on ``profile`` (may be inf)."""
+        if not self.paths:
+            return 0.0
+        return max(path.worst_case[profile][1] for path in self.paths)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "function": self.function,
+            "file": self.file,
+            "line": self.line,
+            "paths": [path.to_dict() for path in self.paths],
+            "tainted_branches": self.tainted_branches,
+            "constant_energy": self.constant_energy,
+            "secret_params": list(self.secret_params),
+            "exposed_ecvs": list(self.exposed_ecvs),
+            "undeclared_ecvs": list(self.undeclared_ecvs),
+            "declared_states": list(self.declared_states),
+            "leaky_states": {resource: list(states)
+                             for resource, states
+                             in self.leaky_states.items()},
+            "input_bounds": {name: list(bounds)
+                             for name, bounds in self.input_bounds.items()},
+            "bound": self.bound,
+            "slack": self.slack,
+            "bound_margin": (None if self.bound_margin is None
+                             else dict(self.bound_margin)),
+            "unbounded_paths": self.unbounded_paths,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, key: str,
+                  data: Mapping[str, Any]) -> "InterfaceFingerprint":
+        return cls(
+            key=key,
+            module=data["module"],
+            function=data["function"],
+            file=data["file"],
+            line=int(data["line"]),
+            paths=tuple(PathFingerprint.from_dict(path)
+                        for path in data["paths"]),
+            tainted_branches=int(data["tainted_branches"]),
+            constant_energy=bool(data["constant_energy"]),
+            secret_params=tuple(data["secret_params"]),
+            exposed_ecvs=tuple(data["exposed_ecvs"]),
+            undeclared_ecvs=tuple(data["undeclared_ecvs"]),
+            declared_states=tuple(data["declared_states"]),
+            leaky_states={resource: tuple(states)
+                          for resource, states
+                          in data["leaky_states"].items()},
+            input_bounds={name: (float(lo), float(hi))
+                          for name, (lo, hi)
+                          in data["input_bounds"].items()},
+            bound=data["bound"],
+            slack=float(data["slack"]),
+            bound_margin=(None if data["bound_margin"] is None
+                          else {profile: float(margin)
+                                for profile, margin
+                                in data["bound_margin"].items()}),
+            unbounded_paths=int(data["unbounded_paths"]),
+            error=data["error"],
+        )
+
+
+@dataclass
+class FingerprintSet:
+    """All fingerprints of one lint-target set at one commit."""
+
+    interfaces: dict[str, InterfaceFingerprint] = field(default_factory=dict)
+    profiles: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEVICE_PROFILES))
+
+    def to_json(self) -> str:
+        """Canonical serialisation: sorted keys, byte-stable."""
+        payload = {
+            "tool": "repro-energy regress",
+            "schema_version": FINGERPRINT_SCHEMA_VERSION,
+            "profiles": dict(self.profiles),
+            "interfaces": {key: self.interfaces[key].to_dict()
+                           for key in sorted(self.interfaces)},
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, document: str) -> "FingerprintSet":
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise RegressError(f"fingerprint baseline is not valid JSON: "
+                               f"{exc}") from exc
+        version = payload.get("schema_version")
+        if version != FINGERPRINT_SCHEMA_VERSION:
+            raise RegressError(
+                f"fingerprint baseline has schema version {version!r}, "
+                f"this tool reads {FINGERPRINT_SCHEMA_VERSION!r}; "
+                f"regenerate with repro-energy regress --write-baseline")
+        try:
+            interfaces = {
+                key: InterfaceFingerprint.from_dict(key, data)
+                for key, data in payload["interfaces"].items()}
+            profiles = {name: float(scale)
+                        for name, scale in payload["profiles"].items()}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegressError(f"malformed fingerprint baseline: "
+                               f"{exc!r}") from exc
+        return cls(interfaces=interfaces, profiles=profiles)
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+
+def load_fingerprints(path: str | Path) -> FingerprintSet:
+    """Read a committed ``.energy-fingerprints.json`` baseline."""
+    target = Path(path)
+    if not target.is_file():
+        raise RegressError(
+            f"no fingerprint baseline at {target}; create one with "
+            f"repro-energy regress <targets> --write-baseline")
+    return FingerprintSet.from_json(target.read_text(encoding="utf-8"))
+
+
+def _normalised_key(module: str, function: str) -> str:
+    """``module_tail:function`` — stable across file/dotted targets.
+
+    Mirrors :meth:`repro.analysis.lint.Finding.fingerprint` so the same
+    implementation fingerprints identically whether linted as a file
+    (loaded under a synthetic ``_energy_lint_*`` name) or as a dotted
+    module.
+    """
+    tail = module.rpartition(".")[2]
+    return f"{tail.removeprefix('_energy_lint_')}:{function}"
+
+
+def _stable_file(fn: Callable) -> tuple[str, int]:
+    """Source location with a checkout-independent path when possible."""
+    try:
+        file = inspect.getsourcefile(fn) or "<unknown>"
+        line = inspect.getsourcelines(fn)[1]
+    except (OSError, TypeError):
+        return "<unknown>", 0
+    path = Path(file)
+    if path.is_absolute():
+        try:
+            file = path.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            file = path.name
+    else:
+        file = path.as_posix()
+    return file, line
+
+
+def _path_ecv_deps(path) -> tuple[str, ...]:
+    """Sorted origins of the resource results this path branches on."""
+    deps: set[str] = set()
+    for clause in path.condition:
+        for name in clause.free_variables() & set(path.ecvs):
+            deps.add(path.ecvs[name][1])
+    return tuple(sorted(deps))
+
+
+def fingerprint_function(fn: Callable, spec: EnergySpec | None = None,
+                         module: str | None = None,
+                         profiles: Mapping[str, float] | None = None
+                         ) -> InterfaceFingerprint:
+    """Derive the canonical fingerprint of one annotated implementation."""
+    if spec is None:
+        spec = getattr(fn, "__energy_spec__", None)
+    if spec is None:
+        raise LintError(
+            f"{fn.__qualname__} carries no EnergySpec; decorate it with "
+            f"@energy_spec(...)")
+    profiles = dict(profiles or DEVICE_PROFILES)
+    module_name = module or fn.__module__
+    key = _normalised_key(module_name, fn.__name__)
+    file, line = _stable_file(fn)
+    declared = {
+        "constant_energy": spec.constant_energy,
+        "secret_params": tuple(sorted(spec.secret_params)),
+        "exposed_ecvs": tuple(sorted(spec.exposed_ecvs)),
+        "declared_states": tuple(sorted(
+            model.resource for model in spec.state_models)),
+        "input_bounds": {name: (float(low), float(high))
+                         for name, (low, high)
+                         in sorted(spec.input_bounds.items())},
+        "slack": float(spec.slack),
+    }
+
+    resources = [ResourceModel(name, dict(returning))
+                 for name, returning in spec.resources.items()]
+    state_models = {model.resource: model for model in spec.state_models}
+    try:
+        paths = symbolic_execute(fn, resources, helpers=dict(spec.helpers),
+                                 state_models=state_models or None)
+    except SymbolicExecutionError as exc:
+        return InterfaceFingerprint(
+            key=key, module=module_name, function=fn.__name__,
+            file=file, line=line, error=str(exc), **declared)
+
+    env = _interval_env(spec)
+    input_names = [p for p in inspect.signature(fn).parameters][1:]
+    bound = None
+    bound_render = None
+    if spec.bound is not None:
+        try:
+            bound = _bound_expression(spec, input_names)
+            bound_render = bound.render()
+        except LintError as exc:
+            bound_render = f"<not statically evaluable: {exc}>"
+
+    path_prints: list[PathFingerprint] = []
+    unbounded = 0
+    margin_hi: float | None = None
+    for path in paths:
+        energy = _path_energy(path, spec)
+        interval = bound_expr(energy, env)
+        if interval.hi == _INF and bound is None:
+            unbounded += 1
+        if bound is not None:
+            allowance = BinOp("*", bound, Const(1.0 + spec.slack))
+            path_margin = bound_expr(BinOp("-", energy, allowance), env).hi
+            margin_hi = (path_margin if margin_hi is None
+                         else max(margin_hi, path_margin))
+        path_prints.append(PathFingerprint(
+            condition=path.condition_text(),
+            energy=energy.render(),
+            worst_case={profile: (_scale(interval.lo, factor),
+                                  _scale(interval.hi, factor))
+                        for profile, factor in profiles.items()},
+            ecv_deps=_path_ecv_deps(path),
+            final_states=dict(sorted(path.final_states.items())),
+        ))
+    path_prints.sort(key=lambda p: (p.condition, p.energy))
+
+    tainted = (len(analyze_taint(paths, spec.secret_params))
+               if spec.secret_params else 0)
+
+    leaky: dict[str, tuple[str, ...]] = {}
+    for resource in declared["declared_states"]:
+        states = {path.final_states.get(resource, "?") for path in paths}
+        if len(states) > 1:
+            leaky[resource] = tuple(sorted(states))
+
+    return InterfaceFingerprint(
+        key=key, module=module_name, function=fn.__name__,
+        file=file, line=line,
+        paths=tuple(path_prints),
+        tainted_branches=tainted,
+        undeclared_ecvs=tuple(undeclared_ecv_calls(paths, spec)),
+        leaky_states=leaky,
+        bound=bound_render,
+        bound_margin=(None if margin_hi is None
+                      else {profile: _scale(margin_hi, factor)
+                            for profile, factor in profiles.items()}),
+        unbounded_paths=unbounded,
+        **declared,
+    )
+
+
+def fingerprint_paths(targets: Iterable[str],
+                      profiles: Mapping[str, float] | None = None
+                      ) -> FingerprintSet:
+    """Fingerprint every annotated function under the given targets.
+
+    Targets resolve exactly like ``repro-energy lint``'s: files,
+    directories of modules, or dotted module names.
+    """
+    result = FingerprintSet(profiles=dict(profiles or DEVICE_PROFILES))
+    for target in targets:
+        for module in _resolve_target(str(target)):
+            for name in sorted(vars(module)):
+                member = vars(module)[name]
+                if (callable(member)
+                        and getattr(member, "__energy_spec__", None)
+                        is not None
+                        and getattr(member, "__module__", None)
+                        == module.__name__):
+                    print_ = fingerprint_function(
+                        member, module=module.__name__,
+                        profiles=result.profiles)
+                    result.interfaces[print_.key] = print_
+    return result

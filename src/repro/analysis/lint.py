@@ -39,6 +39,14 @@ Targets are implementation functions carrying an
 :func:`~repro.core.contracts.energy_spec`).  ``lint_module`` checks one
 imported module; ``lint_paths`` resolves files, directories and dotted
 module names — the ``repro-energy lint`` CLI front end.
+
+:data:`RULES` is the shared vocabulary for *both* static checkers: the
+point-in-time rules above (EB1xx, fired by this module) and the
+differential regression rules EB201–EB206 fired by
+:mod:`repro.analysis.regress` over fingerprint baselines
+(:mod:`repro.analysis.fingerprint`).  Keeping one registry means one
+``Finding`` type, one SARIF driver and one ``--select``/``--ignore``
+namespace across ``repro-energy lint`` and ``repro-energy regress``.
 """
 
 from __future__ import annotations
@@ -70,9 +78,10 @@ from repro.analysis.taint import analyze_taint
 from repro.core.contracts import EnergySpec
 from repro.core.errors import EnergyError, LintError, SymbolicExecutionError
 
-__all__ = ["Rule", "RULES", "Finding", "lint_function", "lint_module",
-           "lint_paths", "load_baseline", "format_baseline", "render_text",
-           "to_json", "to_sarif", "LINT_SCHEMA_VERSION"]
+__all__ = ["Rule", "RULES", "LINT_RULE_IDS", "REGRESS_RULE_IDS", "Finding",
+           "lint_function", "lint_module", "lint_paths",
+           "undeclared_ecv_calls", "load_baseline", "format_baseline",
+           "render_text", "to_json", "to_sarif", "LINT_SCHEMA_VERSION"]
 
 #: Version tag shared by the lint JSON schema and
 #: :meth:`repro.analysis.verify.DivergenceReport.to_dict`.
@@ -92,6 +101,7 @@ class Rule:
 
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in (
+    # Point-in-time rules (repro-energy lint).
     Rule("EB101", "unbounded or unsummarisable path energy with no "
                   "covering bound contract", "error"),
     Rule("EB102", "secret-dependent branching or trip count under a "
@@ -103,7 +113,28 @@ RULES: dict[str, Rule] = {rule.id: rule for rule in (
          "warning"),
     Rule("EB106", "energy-dead path: guard unsatisfiable under the "
                   "declared input bounds", "warning"),
+    # Differential regression rules (repro-energy regress), fired by
+    # repro.analysis.regress over two fingerprint sets.
+    Rule("EB201", "worst-case energy grew beyond the regression "
+                  "tolerance", "error"),
+    Rule("EB202", "new path with unbounded or unsummarisable energy",
+         "error"),
+    Rule("EB203", "newly secret-tainted branch or trip count", "error"),
+    Rule("EB204", "device state newly leaked on some but not all paths",
+         "error"),
+    Rule("EB205", "new branch on a resource result not exposed as an ECV",
+         "error"),
+    Rule("EB206", "spec loosened in the same change that grew worst-case "
+                  "energy", "warning"),
 )}
+
+#: Rules the point-in-time linter can fire.
+LINT_RULE_IDS = frozenset(rule_id for rule_id in RULES
+                          if rule_id.startswith("EB1"))
+
+#: Rules the differential regression checker can fire.
+REGRESS_RULE_IDS = frozenset(rule_id for rule_id in RULES
+                             if rule_id.startswith("EB2"))
 
 
 @dataclass(frozen=True)
@@ -258,9 +289,13 @@ def _check_state_leaks(paths: Sequence[PathSummary], spec: EnergySpec,
                  f"charged consistently for the transition")
 
 
-def _check_undeclared_ecvs(paths: Sequence[PathSummary], spec: EnergySpec,
-                           emit: Callable[..., None]) -> None:
-    """EB105: branches on resource results the interface does not expose."""
+def undeclared_ecv_calls(paths: Sequence[PathSummary],
+                         spec: EnergySpec) -> list[str]:
+    """``resource.method`` calls branched on but not in ``exposed_ecvs``.
+
+    Sorted and de-duplicated; shared by rule EB105 here and the
+    differential rule EB205 in :mod:`repro.analysis.regress`.
+    """
     seen: set[str] = set()
     for path in paths:
         for clause in path.condition:
@@ -269,14 +304,20 @@ def _check_undeclared_ecvs(paths: Sequence[PathSummary], spec: EnergySpec,
                 if not origin.startswith(_ORIGIN_PREFIX):
                     continue
                 call = origin[len(_ORIGIN_PREFIX):]
-                if call in spec.exposed_ecvs or call in seen:
-                    continue
-                seen.add(call)
-                emit("EB105",
-                     f"the implementation branches on the result of "
-                     f"{call} but the interface does not expose it as an "
-                     f"ECV; the extracted and handwritten interfaces "
-                     f"cannot agree")
+                if call not in spec.exposed_ecvs:
+                    seen.add(call)
+    return sorted(seen)
+
+
+def _check_undeclared_ecvs(paths: Sequence[PathSummary], spec: EnergySpec,
+                           emit: Callable[..., None]) -> None:
+    """EB105: branches on resource results the interface does not expose."""
+    for call in undeclared_ecv_calls(paths, spec):
+        emit("EB105",
+             f"the implementation branches on the result of "
+             f"{call} but the interface does not expose it as an "
+             f"ECV; the extracted and handwritten interfaces "
+             f"cannot agree")
 
 
 def _check_dead_paths(paths: Sequence[PathSummary], spec: EnergySpec,
@@ -435,19 +476,19 @@ def format_baseline(findings: Sequence[Finding]) -> str:
 # -- output formats --------------------------------------------------------
 
 def render_text(findings: Sequence[Finding], checked: int,
-                suppressed: int = 0) -> str:
+                suppressed: int = 0, *, tool: str = "repro-energy lint",
+                noun: str = "function(s) checked") -> str:
     lines = [str(finding) for finding in findings]
     tail = f", {suppressed} suppressed by baseline" if suppressed else ""
     status = (f"{len(findings)} finding(s)" if findings else "clean")
-    lines.append(f"repro-energy lint: {checked} function(s) checked, "
-                 f"{status}{tail}")
+    lines.append(f"{tool}: {checked} {noun}, {status}{tail}")
     return "\n".join(lines)
 
 
 def to_json(findings: Sequence[Finding], checked: int,
-            suppressed: int = 0) -> str:
+            suppressed: int = 0, *, tool: str = "repro-energy lint") -> str:
     payload = {
-        "tool": "repro-energy lint",
+        "tool": tool,
         "schema_version": LINT_SCHEMA_VERSION,
         "summary": {
             "checked": checked,
@@ -457,14 +498,20 @@ def to_json(findings: Sequence[Finding], checked: int,
         },
         "findings": [finding.to_dict() for finding in findings],
     }
-    return json.dumps(payload, indent=2)
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 _SARIF_LEVELS = {"error": "error", "warning": "warning"}
 
 
-def to_sarif(findings: Sequence[Finding]) -> str:
-    """Render findings as SARIF 2.1.0 (one run, one result per finding)."""
+def to_sarif(findings: Sequence[Finding], *,
+             tool: str = "repro-energy lint") -> str:
+    """Render findings as SARIF 2.1.0 (one run, one result per finding).
+
+    Byte-stable: the driver's rule table is sorted by rule ID, all keys
+    are emitted sorted, and results appear in the order given (callers
+    sort findings before rendering).
+    """
     results = [{
         "ruleId": finding.rule,
         "level": _SARIF_LEVELS.get(finding.severity, "note"),
@@ -482,17 +529,18 @@ def to_sarif(findings: Sequence[Finding]) -> str:
         "version": "2.1.0",
         "runs": [{
             "tool": {"driver": {
-                "name": "repro-energy lint",
+                "name": tool,
                 "informationUri":
                     "https://github.com/energy-clarity/repro",
                 "rules": [{
-                    "id": rule.id,
-                    "shortDescription": {"text": rule.summary},
+                    "id": RULES[rule_id].id,
+                    "shortDescription": {"text": RULES[rule_id].summary},
                     "defaultConfiguration": {
-                        "level": _SARIF_LEVELS.get(rule.severity, "note")},
-                } for rule in RULES.values()],
+                        "level": _SARIF_LEVELS.get(RULES[rule_id].severity,
+                                                   "note")},
+                } for rule_id in sorted(RULES)],
             }},
             "results": results,
         }],
     }
-    return json.dumps(sarif, indent=2)
+    return json.dumps(sarif, indent=2, sort_keys=True)

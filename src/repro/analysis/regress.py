@@ -1,0 +1,429 @@
+"""``repro-energy regress``: differential energy lint over fingerprints.
+
+"Systematic Detection of Energy Regression and Corresponding Code
+Patterns in Java Projects" shows that most energy regressions are
+*differential* phenomena — a change makes an interface more expensive
+without tripping any point-in-time rule — and that they map to a small
+catalog of code patterns.  This module is that catalog, statically, at
+design time (EnCoDe's argument): it diffs two
+:class:`~repro.analysis.fingerprint.FingerprintSet` snapshots and
+classifies every semantic change against six regression-pattern rules:
+
+========  ========================================================
+``EB201``  worst-case energy grew beyond a configurable tolerance
+           (function-level, or on a condition-matched path)
+``EB202``  new path with unbounded energy, or the energy is no
+           longer statically summarisable at all
+``EB203``  a branch or trip count newly depends on a secret
+``EB204``  a device newly ends in different states on different
+           paths (the radio-left-on bug, introduced by the diff)
+``EB205``  a new branch on a resource result the interface does
+           not expose as an ECV
+``EB206``  the spec was loosened (slack raised, bound rewritten,
+           input box changed) in the same change that grew the
+           worst case — a contract weakened to mask a regression
+========  ========================================================
+
+Findings are ordinary :class:`~repro.analysis.lint.Finding` values, so
+the text/JSON/SARIF renderers and the 0/1/2 exit convention are shared
+with ``repro-energy lint``.
+
+:func:`bisect_range` closes the loop with history: given ``GOOD..BAD``,
+it re-derives fingerprints per commit in a detached git worktree (a
+subprocess per checkout, so the analysed code is exactly that commit's)
+and binary-searches for the first commit whose fingerprints regress
+against ``GOOD``'s.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.fingerprint import (
+    FingerprintSet,
+    InterfaceFingerprint,
+)
+from repro.analysis.lint import RULES, Finding, render_text
+from repro.core.errors import RegressError
+
+__all__ = ["DEFAULT_TOLERANCE", "diff_fingerprints", "render_regress_text",
+           "BisectStep", "BisectResult", "fingerprint_at_commit",
+           "bisect_range"]
+
+#: Fractional worst-case growth tolerated before EB201 fires.
+DEFAULT_TOLERANCE = 0.05
+
+_INF = float("inf")
+
+#: Relative growth below which two worst cases count as equal (guards
+#: float noise in re-derived fingerprints, not a policy knob).
+_GROWTH_EPSILON = 1e-9
+
+
+def _finding(rule: str, message: str,
+             fingerprint: InterfaceFingerprint) -> Finding:
+    return Finding(rule=rule, severity=RULES[rule].severity, message=message,
+                   module=fingerprint.module, function=fingerprint.function,
+                   file=fingerprint.file, line=fingerprint.line)
+
+
+def _grew(old: float, new: float, tolerance: float) -> bool:
+    """Did ``new`` exceed ``old`` by more than the tolerance?"""
+    if not (old < _INF and new < _INF):
+        return False
+    return new > old * (1.0 + tolerance) + _GROWTH_EPSILON * max(old, 1.0)
+
+
+def _growth_pct(old: float, new: float) -> str:
+    if old <= 0.0:
+        return "from zero"
+    return f"+{100.0 * (new / old - 1.0):.1f}%"
+
+
+def _worst_growth(old: InterfaceFingerprint, new: InterfaceFingerprint,
+                  profiles: Iterable[str],
+                  tolerance: float) -> tuple[str, float, float] | None:
+    """The profile with the largest over-tolerance worst-case growth."""
+    worst: tuple[str, float, float] | None = None
+    for profile in profiles:
+        old_wc, new_wc = old.worst_case(profile), new.worst_case(profile)
+        if not _grew(old_wc, new_wc, tolerance):
+            continue
+        if worst is None or new_wc - old_wc > worst[2] - worst[1]:
+            worst = (profile, old_wc, new_wc)
+    return worst
+
+
+def _check_worst_case(old: InterfaceFingerprint, new: InterfaceFingerprint,
+                      profiles: Sequence[str], tolerance: float,
+                      emit) -> None:
+    """EB201: function-level first, condition-matched paths otherwise."""
+    growth = _worst_growth(old, new, profiles, tolerance)
+    if growth is not None:
+        profile, old_wc, new_wc = growth
+        emit("EB201", new,
+             f"worst-case energy grew {old_wc:.6g} J -> {new_wc:.6g} J "
+             f"({_growth_pct(old_wc, new_wc)}) on device profile "
+             f"{profile!r}, beyond the {100.0 * tolerance:g}% tolerance")
+        return
+    # A path can regress while a costlier sibling still dominates the
+    # function-level worst case; match paths by their condition text.
+    old_by_condition: dict[str, float] = {}
+    for path in old.paths:
+        hi = path.worst_case[profiles[0]][1]
+        old_by_condition[path.condition] = max(
+            old_by_condition.get(path.condition, 0.0), hi)
+    for path in new.paths:
+        old_hi = old_by_condition.get(path.condition)
+        new_hi = path.worst_case[profiles[0]][1]
+        if old_hi is not None and _grew(old_hi, new_hi, tolerance):
+            emit("EB201", new,
+                 f"energy of path [{path.condition}] grew {old_hi:.6g} J "
+                 f"-> {new_hi:.6g} J ({_growth_pct(old_hi, new_hi)}) on "
+                 f"device profile {profiles[0]!r}, beyond the "
+                 f"{100.0 * tolerance:g}% tolerance")
+            return
+
+
+def _check_unbounded(old: InterfaceFingerprint | None,
+                     new: InterfaceFingerprint, emit) -> None:
+    """EB202: unbounded paths or summarisation failures the diff added."""
+    if new.error is not None:
+        if old is None or old.error is None:
+            emit("EB202", new,
+                 f"energy is no longer statically summarisable "
+                 f"({new.error}); the regression gate cannot bound what "
+                 f"the analysis cannot summarise")
+        return
+    old_unbounded = 0 if old is None or old.error is not None \
+        else old.unbounded_paths
+    if new.unbounded_paths > old_unbounded:
+        emit("EB202", new,
+             f"{new.unbounded_paths - old_unbounded} new path(s) with "
+             f"unbounded worst-case energy and no covering bound "
+             f"contract (was {old_unbounded}, now {new.unbounded_paths})")
+
+
+def _check_taint(old: InterfaceFingerprint, new: InterfaceFingerprint,
+                 emit) -> None:
+    """EB203: control flow newly steered by secrets."""
+    if new.tainted_branches > old.tainted_branches:
+        emit("EB203", new,
+             f"{new.tainted_branches - old.tainted_branches} branch(es) or "
+             f"trip count(s) newly depend on secret parameter(s) "
+             f"{', '.join(new.secret_params)} (was "
+             f"{old.tainted_branches}, now {new.tainted_branches})")
+
+
+def _check_state_leaks(old: InterfaceFingerprint, new: InterfaceFingerprint,
+                       emit) -> None:
+    """EB204: devices that started leaking state across paths."""
+    newly = sorted(set(new.leaky_states) - set(old.leaky_states))
+    if newly:
+        detail = "; ".join(
+            f"{resource!r} now ends in "
+            f"{', '.join(repr(s) for s in new.leaky_states[resource])}"
+            for resource in newly)
+        emit("EB204", new,
+             f"device state newly leaked on some but not all paths: "
+             f"{detail} — callers after this change are charged "
+             f"inconsistently")
+
+
+def _check_undeclared_ecvs(old: InterfaceFingerprint,
+                           new: InterfaceFingerprint, emit) -> None:
+    """EB205: fresh dependence on resource results not exposed as ECVs."""
+    newly = sorted(set(new.undeclared_ecvs) - set(old.undeclared_ecvs))
+    if newly:
+        emit("EB205", new,
+             f"the implementation newly branches on {', '.join(newly)} "
+             f"without exposing the result as an ECV; the extracted and "
+             f"handwritten interfaces can no longer agree")
+
+
+def _spec_loosened(old: InterfaceFingerprint,
+                   new: InterfaceFingerprint) -> list[str]:
+    """Human-readable list of contract-weakening spec edits."""
+    loosened: list[str] = []
+    if new.slack > old.slack:
+        loosened.append(f"slack raised {old.slack:g} -> {new.slack:g}")
+    if old.bound is not None and new.bound != old.bound:
+        loosened.append(f"bound contract rewritten from {old.bound} to "
+                        f"{new.bound if new.bound is not None else 'none'}")
+    for name, bounds in new.input_bounds.items():
+        old_bounds = old.input_bounds.get(name)
+        if old_bounds is not None and bounds != old_bounds:
+            loosened.append(
+                f"input bounds of {name!r} changed "
+                f"{list(old_bounds)} -> {list(bounds)}")
+    return loosened
+
+
+def _check_masking(old: InterfaceFingerprint, new: InterfaceFingerprint,
+                   profiles: Sequence[str], emit) -> None:
+    """EB206: the spec moved and the worst case grew in the same diff."""
+    loosened = _spec_loosened(old, new)
+    if not loosened:
+        return
+    for profile in profiles:
+        old_wc, new_wc = old.worst_case(profile), new.worst_case(profile)
+        if _grew(old_wc, new_wc, 0.0):
+            emit("EB206", new,
+                 f"spec loosened ({'; '.join(loosened)}) in the same "
+                 f"change that grew worst-case energy {old_wc:.6g} J -> "
+                 f"{new_wc:.6g} J on device profile {profile!r} — review "
+                 f"whether the contract was weakened to mask a regression")
+            return
+
+
+def diff_fingerprints(old: FingerprintSet, new: FingerprintSet, *,
+                      tolerance: float = DEFAULT_TOLERANCE) -> list[Finding]:
+    """Classify every semantic change from ``old`` to ``new``.
+
+    Returns findings sorted by (module tail, function, rule) so two runs
+    over the same sets render byte-identically.  Interfaces present only
+    in ``old`` (deleted code) are not regressions; interfaces present
+    only in ``new`` are checked for unbounded energy (EB202) but are
+    otherwise the point-in-time linter's job.
+    """
+    if tolerance < 0:
+        raise RegressError(f"tolerance must be >= 0, got {tolerance}")
+    profiles = sorted(set(old.profiles) & set(new.profiles))
+    if not profiles:
+        raise RegressError(
+            "the two fingerprint sets share no device profile; regenerate "
+            "the baseline with repro-energy regress --write-baseline")
+    findings: list[Finding] = []
+
+    def emit(rule: str, fingerprint: InterfaceFingerprint,
+             message: str) -> None:
+        findings.append(_finding(rule, message, fingerprint))
+
+    for key in sorted(new.interfaces):
+        new_fp = new.interfaces[key]
+        old_fp = old.interfaces.get(key)
+        if old_fp is None:
+            _check_unbounded(None, new_fp, emit)
+            continue
+        _check_unbounded(old_fp, new_fp, emit)
+        if old_fp.error is None and new_fp.error is None:
+            _check_worst_case(old_fp, new_fp, profiles, tolerance, emit)
+            _check_masking(old_fp, new_fp, profiles, emit)
+        _check_taint(old_fp, new_fp, emit)
+        _check_state_leaks(old_fp, new_fp, emit)
+        _check_undeclared_ecvs(old_fp, new_fp, emit)
+
+    findings.sort(key=lambda f: (f.fingerprint(), f.message))
+    return findings
+
+
+def render_regress_text(findings: Sequence[Finding], compared: int,
+                        suppressed: int = 0) -> str:
+    """Text report on the shared lint format, regress-labelled."""
+    return render_text(findings, compared, suppressed,
+                       tool="repro-energy regress",
+                       noun="interface(s) compared")
+
+
+# -- commit bisection -------------------------------------------------------
+
+@dataclass(frozen=True)
+class BisectStep:
+    """One probe of the binary search."""
+
+    commit: str
+    bad: bool
+    findings: int
+
+
+@dataclass
+class BisectResult:
+    """Outcome of :func:`bisect_range`."""
+
+    first_bad: str | None
+    steps: list[BisectStep] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.first_bad is None
+
+
+def _git(repo: Path, *args: str) -> str:
+    result = subprocess.run(["git", "-C", str(repo), *args],
+                            capture_output=True, text=True)
+    if result.returncode != 0:
+        raise RegressError(
+            f"git {' '.join(args)} failed: {result.stderr.strip()}")
+    return result.stdout
+
+
+def _child_env() -> dict[str, str]:
+    """Subprocess env with the *running* repro package importable.
+
+    The analysed worktree contains only the target modules of that
+    commit; the toolchain itself always comes from the current checkout,
+    so every commit in the range is judged by the same rules.
+    """
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src_dir if not existing
+                         else os.pathsep.join([src_dir, existing]))
+    return env
+
+
+def fingerprint_at_commit(repo: Path, commit: str, targets: Sequence[str],
+                          python: str = sys.executable) -> FingerprintSet:
+    """Re-derive fingerprints for ``targets`` as of ``commit``.
+
+    Checks the commit out into a temporary detached git worktree and
+    runs ``repro-energy regress --write-baseline`` there in a
+    subprocess, so the analysed source is exactly that commit's.
+    ``targets`` are repo-relative lint targets (files or directories).
+    """
+    repo = Path(repo)
+    with tempfile.TemporaryDirectory(prefix="repro-regress-") as scratch:
+        worktree = Path(scratch) / "worktree"
+        _git(repo, "worktree", "add", "--detach", "--force",
+             str(worktree), commit)
+        try:
+            resolved = []
+            for target in targets:
+                candidate = worktree / target
+                if not candidate.exists():
+                    raise RegressError(
+                        f"target {target!r} does not exist at commit "
+                        f"{commit[:12]}")
+                resolved.append(str(candidate))
+            out = Path(scratch) / "fingerprints.json"
+            command = [python, "-m", "repro.cli", "regress", *resolved,
+                       "--write-baseline", "--baseline", str(out)]
+            result = subprocess.run(command, capture_output=True, text=True,
+                                    env=_child_env(), cwd=str(worktree))
+            if result.returncode != 0:
+                raise RegressError(
+                    f"fingerprinting commit {commit[:12]} failed "
+                    f"(exit {result.returncode}): "
+                    f"{result.stderr.strip() or result.stdout.strip()}")
+            return FingerprintSet.from_json(out.read_text(encoding="utf-8"))
+        finally:
+            subprocess.run(["git", "-C", str(repo), "worktree", "remove",
+                            "--force", str(worktree)],
+                           capture_output=True, text=True)
+
+
+def bisect_range(repo: Path, range_spec: str, targets: Sequence[str], *,
+                 tolerance: float = DEFAULT_TOLERANCE,
+                 select: Iterable[str] | None = None,
+                 ignore: Iterable[str] | None = None,
+                 python: str = sys.executable,
+                 log=None) -> BisectResult:
+    """Binary-search ``GOOD..BAD`` for the first regressing commit.
+
+    A commit is *bad* when diffing its fingerprints against ``GOOD``'s
+    yields any finding (after ``select``/``ignore`` filtering).  Assumes
+    the usual bisection monotonicity: once the regression is in, it
+    stays in.  Returns the first bad commit hash, the probes taken, and
+    the findings at that commit.
+    """
+    repo = Path(repo)
+    if ".." not in range_spec:
+        raise RegressError(
+            f"--bisect expects a GOOD..BAD commit range, got {range_spec!r}")
+    good, bad = range_spec.split("..", 1)
+    good, bad = good.strip(), bad.strip()
+    if not good or not bad:
+        raise RegressError(
+            f"--bisect expects a GOOD..BAD commit range, got {range_spec!r}")
+    commits = _git(repo, "rev-list", "--reverse", "--first-parent",
+                   f"{good}..{bad}").split()
+    if not commits:
+        raise RegressError(
+            f"no commits in range {range_spec!r}; is GOOD an ancestor "
+            f"of BAD?")
+
+    select_set = set(select or [])
+    ignore_set = set(ignore or [])
+    baseline = fingerprint_at_commit(repo, good, targets, python=python)
+    result = BisectResult(first_bad=None)
+    cache: dict[str, list[Finding]] = {}
+
+    def findings_at(commit: str) -> list[Finding]:
+        if commit not in cache:
+            current = fingerprint_at_commit(repo, commit, targets,
+                                            python=python)
+            found = diff_fingerprints(baseline, current,
+                                      tolerance=tolerance)
+            if select_set:
+                found = [f for f in found if f.rule in select_set]
+            if ignore_set:
+                found = [f for f in found if f.rule not in ignore_set]
+            cache[commit] = found
+            result.steps.append(BisectStep(commit, bool(found), len(found)))
+            if log is not None:
+                status = (f"bad ({len(found)} finding(s))" if found
+                          else "good")
+                log(f"  {commit[:12]} {status}")
+        return cache[commit]
+
+    if not findings_at(commits[-1]):
+        return result  # the whole range is clean
+    low, high = 0, len(commits) - 1
+    while low < high:
+        mid = (low + high) // 2
+        if findings_at(commits[mid]):
+            high = mid
+        else:
+            low = mid + 1
+    result.first_bad = commits[low]
+    result.findings = findings_at(commits[low])
+    return result

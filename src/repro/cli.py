@@ -21,6 +21,11 @@
   EB101–EB106 over implementation functions carrying an
   :class:`~repro.core.contracts.EnergySpec`, with text/JSON/SARIF
   output and a baseline file for accepted findings;
+* ``regress``     — the differential energy checker: fingerprint the
+  same annotated implementations, diff against the committed
+  ``.energy-fingerprints.json`` baseline under regression rules
+  EB201–EB206, and (``--bisect GOOD..BAD``) binary-search git history
+  for the first regressing commit;
 * ``chaos``       — the fault-injection drill: serve a workload while a
   seeded :class:`~repro.faults.FaultPlan` breaks evaluations underneath
   the gateway, and check that graceful degradation keeps goodput above
@@ -30,10 +35,11 @@
   energy-aware balancer, with per-tenant budgets enforced fleet-wide by
   sharded leases (optionally under replica-crash and lease faults).
 
-``lint``, ``trace``, ``chaos`` and ``fleet`` share an exit-code
-convention: **0** clean, **1** findings (energy bugs, divergence beyond
-``--max-error``, goodput below ``--min-goodput``, or a fleet budget
-violation), **2** usage or configuration error.
+``lint``, ``regress``, ``trace``, ``chaos`` and ``fleet`` share an
+exit-code convention: **0** clean, **1** findings (energy bugs or
+regressions, divergence beyond ``--max-error``, goodput below
+``--min-goodput``, or a fleet budget violation), **2** usage or
+configuration error.
 """
 
 from __future__ import annotations
@@ -628,7 +634,6 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis.lint import (
-        RULES,
         format_baseline,
         lint_paths,
         load_baseline,
@@ -640,13 +645,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     select = _rule_ids(args.select)
     ignore = _rule_ids(args.ignore)
-    for option, rule_ids in (("--select", select), ("--ignore", ignore)):
-        for rule_id in rule_ids:
-            if rule_id not in RULES:
-                print(f"repro-energy lint: unknown rule {rule_id!r} for "
-                      f"{option} (known: {', '.join(sorted(RULES))})",
-                      file=sys.stderr)
-                return 2
+    if _reject_unknown_rules("repro-energy lint", select, ignore):
+        return 2
 
     try:
         findings, checked = lint_paths(args.targets)
@@ -696,6 +696,111 @@ def _rule_ids(values: list[str] | None) -> list[str]:
     for value in values or []:
         ids.extend(part.strip() for part in value.split(",") if part.strip())
     return ids
+
+
+def _reject_unknown_rules(tool: str, select: list[str],
+                          ignore: list[str]) -> bool:
+    """Usage-error (True) on rule IDs outside the shared EB registry.
+
+    Both ``lint`` (EB1xx) and ``regress`` (EB2xx) draw from the same
+    :data:`repro.analysis.lint.RULES` vocabulary, so the error lists
+    every valid code.
+    """
+    from repro.analysis.lint import RULES
+
+    for option, rule_ids in (("--select", select), ("--ignore", ignore)):
+        for rule_id in rule_ids:
+            if rule_id not in RULES:
+                print(f"{tool}: unknown rule {rule_id!r} for {option} "
+                      f"(known: {', '.join(sorted(RULES))})",
+                      file=sys.stderr)
+                return True
+    return False
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.fingerprint import (
+        fingerprint_paths,
+        load_fingerprints,
+    )
+    from repro.analysis.lint import to_json, to_sarif
+    from repro.analysis.regress import (
+        bisect_range,
+        diff_fingerprints,
+        render_regress_text,
+    )
+    from repro.core.errors import LintError, RegressError
+
+    select = _rule_ids(args.select)
+    ignore = _rule_ids(args.ignore)
+    if _reject_unknown_rules("repro-energy regress", select, ignore):
+        return 2
+    if args.tolerance < 0:
+        print("repro-energy regress: --tolerance must be >= 0",
+              file=sys.stderr)
+        return 2
+
+    if args.bisect:
+        try:
+            result = bisect_range(Path.cwd(), args.bisect, args.targets,
+                                  tolerance=args.tolerance,
+                                  select=select, ignore=ignore, log=print)
+        except RegressError as exc:
+            print(f"repro-energy regress: {exc}", file=sys.stderr)
+            return 2
+        if result.ok:
+            print(f"range {args.bisect} is clean "
+                  f"({len(result.steps)} probe(s))")
+            return 0
+        print(f"first regressing commit: {result.first_bad} "
+              f"({len(result.steps)} probe(s))")
+        print(render_regress_text(result.findings,
+                                  len({f.fingerprint()
+                                       for f in result.findings})))
+        return 1
+
+    try:
+        current = fingerprint_paths(args.targets)
+    except LintError as exc:
+        print(f"repro-energy regress: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        current.write(args.baseline)
+        print(f"fingerprint baseline with {len(current.interfaces)} "
+              f"interface(s) written to {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_fingerprints(args.baseline)
+        findings = diff_fingerprints(baseline, current,
+                                     tolerance=args.tolerance)
+    except RegressError as exc:
+        print(f"repro-energy regress: {exc}", file=sys.stderr)
+        return 2
+
+    if select:
+        findings = [f for f in findings if f.rule in set(select)]
+    if ignore:
+        findings = [f for f in findings if f.rule not in set(ignore)]
+
+    compared = len(current.interfaces)
+    if args.format == "json":
+        document = to_json(findings, compared,
+                           tool="repro-energy regress")
+    elif args.format == "sarif":
+        document = to_sarif(findings, tool="repro-energy regress")
+    else:
+        document = render_regress_text(findings, compared)
+    if args.output:
+        Path(args.output).write_text(document + "\n", encoding="utf-8")
+        print(render_regress_text(findings, compared).splitlines()[-1])
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(document)
+    return 1 if findings else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -802,9 +907,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-energy",
         description="Experiments from 'The Case for Energy Clarity' "
                     "(HotOS 2025), reproduced on simulated hardware.",
-        epilog="exit codes (lint, trace): 0 = clean, 1 = findings "
-               "(energy bugs, or divergence beyond --max-error), "
-               "2 = usage or configuration error.")
+        epilog="exit codes (lint, regress, trace): 0 = clean, "
+               "1 = findings (energy bugs, regressions, or divergence "
+               "beyond --max-error), 2 = usage or configuration error.")
     parser.add_argument("--seed", type=int, default=7)
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -989,6 +1094,40 @@ def main(argv: list[str] | None = None) -> int:
                       help="write the current findings to --baseline and "
                            "exit 0")
     lint.set_defaults(handler=_cmd_lint)
+
+    regress = commands.add_parser(
+        "regress",
+        help="differential energy checker (rules EB201-EB206)",
+        epilog="exit codes: 0 = no regression, 1 = regressions found, "
+               "2 = usage or configuration error.")
+    regress.add_argument("targets", nargs="*", default=["src/repro/apps"],
+                         help="files, directories or dotted module names "
+                              "of implementations carrying @energy_spec "
+                              "(default: src/repro/apps)")
+    regress.add_argument("--format", choices=("text", "json", "sarif"),
+                         default="text")
+    regress.add_argument("--output", default=None,
+                         help="write the report here instead of stdout")
+    regress.add_argument("--select", action="append", metavar="RULES",
+                         help="only these rule IDs (repeatable, "
+                              "comma-separable)")
+    regress.add_argument("--ignore", action="append", metavar="RULES",
+                         help="drop these rule IDs (repeatable, "
+                              "comma-separable)")
+    regress.add_argument("--baseline",
+                         default=".energy-fingerprints.json",
+                         help="committed fingerprint baseline "
+                              "(default: %(default)s)")
+    regress.add_argument("--write-baseline", action="store_true",
+                         help="fingerprint the targets, write the "
+                              "baseline and exit 0")
+    regress.add_argument("--tolerance", type=float, default=0.05,
+                         help="fractional worst-case growth tolerated "
+                              "before EB201 fires (default: %(default)s)")
+    regress.add_argument("--bisect", metavar="GOOD..BAD", default=None,
+                         help="binary-search this commit range for the "
+                              "first regression against GOOD")
+    regress.set_defaults(handler=_cmd_regress)
 
     args = parser.parse_args(argv)
     return args.handler(args)

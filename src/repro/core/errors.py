@@ -37,6 +37,7 @@ __all__ = [
     "ExtractionError",
     "SymbolicExecutionError",
     "LintError",
+    "RegressError",
     "MeasurementError",
     "HardwareError",
     "SchedulerError",
@@ -175,6 +176,14 @@ class LintError(EnergyError):
     """Raised by the static energy linter on unusable targets or specs."""
 
     code = "lint"
+
+
+class RegressError(LintError):
+    """Raised by the differential regression checker: unreadable
+    fingerprint baselines, bad commit ranges, or git failures during
+    bisection."""
+
+    code = "regress"
 
 
 class MeasurementError(EnergyError):

@@ -1,0 +1,14 @@
+"""EB201 regression: the write path doubled in cost — no point-in-time
+rule trips (still bounded, still leak-free), only the diff sees it."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"ssd": {}},
+    costs={"ssd.write": 0.004},
+    input_bounds={"nbytes": (0, 4096)},
+)
+def kv_put(res, nbytes):
+    res.ssd.write(nbytes)
+    return 0

@@ -1,0 +1,17 @@
+"""EB202 regression: a new branch drains an unbounded backlog, adding a
+path whose worst-case energy no contract covers."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.step": 0.001},
+    input_bounds={"n": (0, 8), "burst": (0, float("inf"))},
+)
+def process(res, n, burst):
+    res.cpu.step(n)
+    if n > 4:
+        for _ in range(burst):
+            res.cpu.step(1)
+    return 0

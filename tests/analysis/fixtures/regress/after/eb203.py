@@ -1,0 +1,20 @@
+"""EB203 regression: control flow now forks on the secret.  Both arms
+cost the same, so the worst case is unchanged and EB201 stays quiet —
+but the branch itself is a new side channel."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.compare": 0.001},
+    input_bounds={"secret": (0, 32)},
+    secret_params=("secret",),
+    constant_energy=True,
+)
+def compare(res, secret):
+    if secret > 0:
+        res.cpu.compare(1)
+    else:
+        res.cpu.compare(1)
+    return 0

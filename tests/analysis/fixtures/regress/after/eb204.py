@@ -1,0 +1,20 @@
+"""EB204 regression: the paper's radio bug, introduced by the diff — a
+new urgent path returns with the NIC still awake, so the device's final
+state now depends on which path ran."""
+
+from repro.analysis.sideeffects import RADIO_MODEL
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"nic": {}},
+    costs={"nic.send": 1.5e-4, "nic.wake": 8e-3, "nic.sleep": 1e-6},
+    input_bounds={"urgent": (0, 1)},
+    state_models=(RADIO_MODEL,),
+)
+def notify(res, urgent):
+    res.nic.send(1)
+    if urgent > 0:
+        return 1
+    res.nic.sleep(0)
+    return 0

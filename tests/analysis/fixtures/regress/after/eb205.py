@@ -1,0 +1,18 @@
+"""EB205 regression: the hit path now skips the recompute — energy
+depends on a cache-lookup result the spec still does not expose as an
+ECV, so the extracted and handwritten interfaces can no longer agree."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"cache": {"lookup": "bool"}, "cpu": {}},
+    costs={"cache.lookup": 1e-5, "cpu.recompute": 0.01},
+    input_bounds={"key": (0, 100)},
+)
+def get(res, key):
+    hit = res.cache.lookup(key)
+    if hit:
+        return 0
+    res.cpu.recompute(key)
+    return 1

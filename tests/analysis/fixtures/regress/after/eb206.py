@@ -1,0 +1,21 @@
+"""EB206 regression: the write got 4% costlier — inside the EB201
+tolerance — and the same change raised the contract's slack.  The diff
+flags the loosened spec as a possible mask for the regression."""
+
+from repro.core.contracts import energy_spec
+
+
+def _put_bound(nbytes):
+    return 0.003
+
+
+@energy_spec(
+    resources={"ssd": {}},
+    costs={"ssd.write": 0.00208},
+    input_bounds={"nbytes": (0, 4096)},
+    bound=_put_bound,
+    slack=0.5,
+)
+def kv_put(res, nbytes):
+    res.ssd.write(nbytes)
+    return 0

@@ -1,0 +1,13 @@
+"""EB201 baseline: a put whose worst case is 0.002 J."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"ssd": {}},
+    costs={"ssd.write": 0.002},
+    input_bounds={"nbytes": (0, 4096)},
+)
+def kv_put(res, nbytes):
+    res.ssd.write(nbytes)
+    return 0

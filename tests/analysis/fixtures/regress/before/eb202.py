@@ -1,0 +1,13 @@
+"""EB202 baseline: every path's energy is a bounded constant."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.step": 0.001},
+    input_bounds={"n": (0, 8), "burst": (0, float("inf"))},
+)
+def process(res, n, burst):
+    res.cpu.step(n)
+    return 0

@@ -1,0 +1,16 @@
+"""EB203 baseline: the declared-constant-energy compare takes no
+secret-dependent branch."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"cpu": {}},
+    costs={"cpu.compare": 0.001},
+    input_bounds={"secret": (0, 32)},
+    secret_params=("secret",),
+    constant_energy=True,
+)
+def compare(res, secret):
+    res.cpu.compare(1)
+    return 0

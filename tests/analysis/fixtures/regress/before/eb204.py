@@ -1,0 +1,16 @@
+"""EB204 baseline: the radio goes back to sleep on the only path."""
+
+from repro.analysis.sideeffects import RADIO_MODEL
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"nic": {}},
+    costs={"nic.send": 1.5e-4, "nic.wake": 8e-3, "nic.sleep": 1e-6},
+    input_bounds={"urgent": (0, 1)},
+    state_models=(RADIO_MODEL,),
+)
+def notify(res, urgent):
+    res.nic.send(1)
+    res.nic.sleep(0)
+    return 0

@@ -1,0 +1,15 @@
+"""EB205 baseline: the cache is consulted but control flow ignores the
+answer, so no ECV needs exposing."""
+
+from repro.core.contracts import energy_spec
+
+
+@energy_spec(
+    resources={"cache": {"lookup": "bool"}, "cpu": {}},
+    costs={"cache.lookup": 1e-5, "cpu.recompute": 0.01},
+    input_bounds={"key": (0, 100)},
+)
+def get(res, key):
+    res.cache.lookup(key)
+    res.cpu.recompute(key)
+    return 0

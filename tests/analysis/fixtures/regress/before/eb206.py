@@ -1,0 +1,19 @@
+"""EB206 baseline: a tight contract (zero slack) over a 0.002 J put."""
+
+from repro.core.contracts import energy_spec
+
+
+def _put_bound(nbytes):
+    return 0.003
+
+
+@energy_spec(
+    resources={"ssd": {}},
+    costs={"ssd.write": 0.002},
+    input_bounds={"nbytes": (0, 4096)},
+    bound=_put_bound,
+    slack=0.0,
+)
+def kv_put(res, nbytes):
+    res.ssd.write(nbytes)
+    return 0

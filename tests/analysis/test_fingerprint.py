@@ -1,0 +1,122 @@
+"""Determinism and round-trip tests for the fingerprint baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.fingerprint import (
+    DEVICE_PROFILES,
+    FingerprintSet,
+    fingerprint_paths,
+    load_fingerprints,
+)
+from repro.analysis.lint import format_baseline, lint_paths, load_baseline, \
+    to_sarif
+from repro.core.errors import RegressError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+APPS = str(REPO_ROOT / "src" / "repro" / "apps")
+
+
+class TestDeviceProfiles:
+    def test_reference_profile_is_unit_scale(self):
+        assert DEVICE_PROFILES["sim4090"] == 1.0
+
+    def test_older_silicon_pays_more(self):
+        assert DEVICE_PROFILES["sim3070"] > 1.0
+
+
+class TestFingerprinting:
+    def test_covers_all_seven_apps(self):
+        prints = fingerprint_paths([APPS])
+        assert len(prints.interfaces) == 7
+        modules = {fp.key.split(":")[0]
+                   for fp in prints.interfaces.values()}
+        assert modules == {"consensus", "crypto", "drone", "fuzzing",
+                           "kvstore", "mlservice", "transcode"}
+
+    def test_every_interface_has_both_profiles(self):
+        prints = fingerprint_paths([APPS])
+        for fp in prints.interfaces.values():
+            for path in fp.paths:
+                assert set(path.worst_case) == set(DEVICE_PROFILES)
+
+    def test_worst_case_scales_with_profile(self):
+        prints = fingerprint_paths([APPS])
+        fp = prints.interfaces["kvstore:kv_put_impl"]
+        slow = fp.worst_case("sim3070")
+        fast = fp.worst_case("sim4090")
+        assert slow == pytest.approx(
+            fast * DEVICE_PROFILES["sim3070"])
+
+    def test_file_and_key_are_checkout_relative(self):
+        prints = fingerprint_paths([APPS])
+        fp = prints.interfaces["kvstore:kv_put_impl"]
+        assert not Path(fp.file).is_absolute()
+        assert "_energy_lint_" not in fp.key
+
+
+class TestDeterminism:
+    """Satellite: baselines and SARIF must be byte-stable across runs."""
+
+    def test_fingerprint_json_is_byte_stable(self):
+        first = fingerprint_paths([APPS]).to_json()
+        second = fingerprint_paths([APPS]).to_json()
+        assert first == second
+
+    def test_fingerprint_round_trip_is_identity(self):
+        document = fingerprint_paths([APPS]).to_json()
+        assert FingerprintSet.from_json(document).to_json() == document
+
+    def test_fingerprint_json_keys_are_sorted(self):
+        payload = json.loads(fingerprint_paths([APPS]).to_json())
+        keys = list(payload["interfaces"])
+        assert keys == sorted(keys)
+
+    def test_sarif_is_byte_stable(self):
+        target = str(FIXTURES / "buggy_radio.py")
+        first, _ = lint_paths([target])
+        second, _ = lint_paths([target])
+        assert to_sarif(first) == to_sarif(second)
+
+    def test_lint_baseline_round_trip(self, tmp_path):
+        findings, _ = lint_paths([str(FIXTURES / "buggy_radio.py")])
+        assert findings
+        baseline = tmp_path / ".energy-lint.baseline"
+        baseline.write_text(format_baseline(findings), encoding="utf-8")
+        assert load_baseline(baseline) == {f.fingerprint()
+                                           for f in findings}
+
+    def test_finding_fingerprint_is_stem_stable(self, tmp_path):
+        """The same module fingerprints identically wherever it lives."""
+        source = (FIXTURES / "buggy_radio.py").read_text(encoding="utf-8")
+        copy = tmp_path / "buggy_radio.py"
+        copy.write_text(source, encoding="utf-8")
+        original, _ = lint_paths([str(FIXTURES / "buggy_radio.py")])
+        relocated, _ = lint_paths([str(copy)])
+        assert ({f.fingerprint() for f in original}
+                == {f.fingerprint() for f in relocated})
+
+
+class TestSerialisationErrors:
+    def test_missing_baseline_names_the_fix(self, tmp_path):
+        with pytest.raises(RegressError, match="--write-baseline"):
+            load_fingerprints(tmp_path / "absent.json")
+
+    def test_invalid_json_is_a_regress_error(self):
+        with pytest.raises(RegressError, match="not valid JSON"):
+            FingerprintSet.from_json("{nope")
+
+    def test_wrong_schema_version_is_rejected(self):
+        document = json.dumps({"schema_version": "99", "profiles": {},
+                               "interfaces": {}})
+        with pytest.raises(RegressError, match="schema version"):
+            FingerprintSet.from_json(document)
+
+    def test_malformed_interfaces_are_rejected(self):
+        document = json.dumps({"schema_version": "1", "profiles": {},
+                               "interfaces": {"x:y": {"module": "x"}}})
+        with pytest.raises(RegressError, match="malformed"):
+            FingerprintSet.from_json(document)

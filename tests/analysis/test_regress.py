@@ -1,0 +1,175 @@
+"""Golden tests for the differential energy checker (EB201–EB206)."""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.fingerprint import fingerprint_paths, load_fingerprints
+from repro.analysis.lint import REGRESS_RULE_IDS, RULES, to_sarif
+from repro.analysis.regress import bisect_range, diff_fingerprints
+from repro.core.errors import RegressError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "regress"
+REPO_ROOT = Path(__file__).parents[2]
+APPS = str(REPO_ROOT / "src" / "repro" / "apps")
+
+EB2XX = ["EB201", "EB202", "EB203", "EB204", "EB205", "EB206"]
+
+
+def diff_pair(code, **kwargs):
+    before = fingerprint_paths([str(FIXTURES / "before" / f"{code}.py")])
+    after = fingerprint_paths([str(FIXTURES / "after" / f"{code}.py")])
+    return diff_fingerprints(before, after, **kwargs)
+
+
+class TestRuleRegistry:
+    def test_all_regress_rules_are_registered(self):
+        assert REGRESS_RULE_IDS == set(EB2XX)
+        for rule in EB2XX:
+            assert rule in RULES
+
+    def test_masking_is_a_warning_the_rest_are_errors(self):
+        assert RULES["EB206"].severity == "warning"
+        for rule in EB2XX[:-1]:
+            assert RULES[rule].severity == "error"
+
+
+class TestGoldenPerRule:
+    """Each before/after pair triggers exactly its rule, nothing else."""
+
+    @pytest.mark.parametrize("rule", EB2XX)
+    def test_pair_triggers_only_its_rule(self, rule):
+        findings = diff_pair(rule.lower())
+        assert [f.rule for f in findings] == [rule]
+        assert findings[0].severity == RULES[rule].severity
+
+    @pytest.mark.parametrize("rule", EB2XX)
+    def test_pair_renders_to_sarif(self, rule):
+        findings = diff_pair(rule.lower())
+        sarif = json.loads(to_sarif(findings, tool="repro-energy regress"))
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-energy regress"
+        assert [r["ruleId"] for r in run["results"]] == [rule]
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} \
+            >= set(EB2XX)
+
+    @pytest.mark.parametrize("rule", EB2XX)
+    def test_identical_pair_member_is_clean(self, rule):
+        """Diffing a fixture against itself finds nothing."""
+        target = str(FIXTURES / "after" / f"{rule.lower()}.py")
+        assert diff_fingerprints(fingerprint_paths([target]),
+                                 fingerprint_paths([target])) == []
+
+
+class TestDiffSemantics:
+    def test_tolerance_silences_eb201(self):
+        assert diff_pair("eb201", tolerance=2.0) == []
+
+    def test_zero_tolerance_catches_eb206_growth_as_eb201(self):
+        rules = {f.rule for f in diff_pair("eb206", tolerance=0.0)}
+        assert "EB201" in rules
+
+    def test_negative_tolerance_is_rejected(self):
+        before = fingerprint_paths([str(FIXTURES / "before" / "eb201.py")])
+        with pytest.raises(RegressError, match="tolerance"):
+            diff_fingerprints(before, before, tolerance=-0.1)
+
+    def test_disjoint_profiles_are_rejected(self):
+        before = fingerprint_paths([str(FIXTURES / "before" / "eb201.py")])
+        after = fingerprint_paths([str(FIXTURES / "before" / "eb201.py")],
+                                  profiles={"exotic": 2.0})
+        with pytest.raises(RegressError, match="no device profile"):
+            diff_fingerprints(before, after)
+
+    def test_removed_interface_is_not_a_regression(self):
+        before = fingerprint_paths([str(FIXTURES / "before" / "eb201.py")])
+        empty = fingerprint_paths([str(FIXTURES / "before" / "eb203.py")])
+        rules = {f.rule for f in diff_fingerprints(before, empty)}
+        assert "EB201" not in rules and "EB202" not in rules
+
+    def test_new_unbounded_interface_is_flagged(self):
+        baseline = fingerprint_paths(
+            [str(FIXTURES / "before" / "eb201.py")])
+        grown = fingerprint_paths(
+            [str(FIXTURES / "before" / "eb201.py"),
+             str(REPO_ROOT / "tests" / "analysis" / "fixtures"
+                 / "buggy_loop.py")])
+        rules = [f.rule for f in diff_fingerprints(baseline, grown)]
+        assert rules == ["EB202"]
+
+
+class TestNoChangeAtHead:
+    """The committed baseline matches HEAD: the gate is green."""
+
+    def test_head_diff_against_committed_baseline_is_empty(self):
+        baseline = load_fingerprints(
+            REPO_ROOT / ".energy-fingerprints.json")
+        current = fingerprint_paths([APPS])
+        assert diff_fingerprints(baseline, current) == []
+
+    def test_committed_baseline_is_canonical_bytes(self):
+        committed = (REPO_ROOT / ".energy-fingerprints.json").read_text(
+            encoding="utf-8")
+        parsed = load_fingerprints(REPO_ROOT / ".energy-fingerprints.json")
+        assert parsed.to_json() == committed
+
+
+@pytest.fixture(scope="module")
+def synthetic_history(tmp_path_factory):
+    """A 4-commit repo where commit 3 doubles the write cost."""
+    repo = tmp_path_factory.mktemp("history")
+    module = repo / "mod.py"
+    subprocess.run(["git", "init", "-q"], cwd=repo, check=True)
+
+    def commit(source, message):
+        module.write_text(source, encoding="utf-8")
+        subprocess.run(["git", "add", "mod.py"], cwd=repo, check=True)
+        subprocess.run(["git", "-c", "user.name=t",
+                        "-c", "user.email=t@example.invalid",
+                        "commit", "-q", "-m", message], cwd=repo,
+                       check=True)
+        return subprocess.run(["git", "rev-parse", "HEAD"], cwd=repo,
+                              check=True, capture_output=True,
+                              text=True).stdout.strip()
+
+    good = (FIXTURES / "before" / "eb201.py").read_text(encoding="utf-8")
+    bad = (FIXTURES / "after" / "eb201.py").read_text(encoding="utf-8")
+    commits = [
+        commit(good, "seed the put"),
+        commit(good + "\n# benign comment\n", "benign edit"),
+        commit(bad, "double the write cost"),
+        commit(bad + "\n# another benign edit\n", "benign edit 2"),
+    ]
+    return repo, commits
+
+
+class TestBisection:
+    def test_pinpoints_the_regressing_commit(self, synthetic_history):
+        repo, commits = synthetic_history
+        result = bisect_range(repo, f"{commits[0]}..{commits[3]}",
+                              ["mod.py"])
+        assert result.first_bad == commits[2]
+        assert not result.ok
+        assert [f.rule for f in result.findings] == ["EB201"]
+        probed = {step.commit: step.bad for step in result.steps}
+        assert probed[commits[2]] is True
+        assert all(probed[c] is False for c in probed
+                   if c in (commits[0], commits[1]))
+
+    def test_clean_range_reports_ok(self, synthetic_history):
+        repo, commits = synthetic_history
+        result = bisect_range(repo, f"{commits[0]}..{commits[1]}",
+                              ["mod.py"])
+        assert result.ok and result.first_bad is None
+
+    def test_malformed_range_is_rejected(self, synthetic_history):
+        repo, _ = synthetic_history
+        with pytest.raises(RegressError, match="GOOD\\.\\.BAD"):
+            bisect_range(repo, "deadbeef", ["mod.py"])
+
+    def test_empty_range_is_rejected(self, synthetic_history):
+        repo, commits = synthetic_history
+        with pytest.raises(RegressError, match="no commits"):
+            bisect_range(repo, f"{commits[3]}..{commits[0]}", ["mod.py"])

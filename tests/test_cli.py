@@ -120,7 +120,10 @@ class TestLintCommand:
 
     def test_unknown_rule_exits_two(self, capsys):
         assert main(["lint", str(APPS), "--select", "EB999"]) == 2
-        assert "unknown rule" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        # the error lists the full shared vocabulary: EB1xx and EB2xx
+        assert "EB101" in err and "EB201" in err and "EB206" in err
 
     def test_missing_target_exits_two(self, capsys):
         assert main(["lint", "definitely/not/here.py"]) == 2
@@ -173,6 +176,121 @@ class TestLintCommand:
         with pytest.raises(SystemExit):
             main(["--help"])
         assert "exit codes" in capsys.readouterr().out
+
+
+class TestRegressCommand:
+    REGRESS = FIXTURES / "regress"
+
+    def test_head_matches_committed_baseline(self, capsys, monkeypatch):
+        monkeypatch.chdir(Path(__file__).parents[1])
+        assert main(["regress", "src/repro/apps"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_write_then_diff_is_clean(self, capsys, tmp_path):
+        target = str(self.REGRESS / "before" / "eb201.py")
+        baseline = tmp_path / "fp.json"
+        assert main(["regress", target, "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+        assert "written to" in capsys.readouterr().out
+        assert main(["regress", target, "--baseline", str(baseline)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, capsys, tmp_path):
+        baseline = tmp_path / "fp.json"
+        assert main(["regress", str(self.REGRESS / "before" / "eb201.py"),
+                     "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert main(["regress", str(self.REGRESS / "after" / "eb201.py"),
+                     "--baseline", str(baseline)]) == 1
+        assert "EB201" in capsys.readouterr().out
+
+    def test_sarif_output_to_file(self, capsys, tmp_path):
+        baseline = tmp_path / "fp.json"
+        out_path = tmp_path / "report.sarif"
+        assert main(["regress", str(self.REGRESS / "before" / "eb204.py"),
+                     "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert main(["regress", str(self.REGRESS / "after" / "eb204.py"),
+                     "--baseline", str(baseline),
+                     "--format", "sarif", "--output", str(out_path)]) == 1
+        assert "written to" in capsys.readouterr().out
+        sarif = json.loads(out_path.read_text())
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-energy regress"
+        assert run["results"][0]["ruleId"] == "EB204"
+
+    def test_json_output_names_the_tool(self, capsys, tmp_path):
+        baseline = tmp_path / "fp.json"
+        assert main(["regress", str(self.REGRESS / "before" / "eb203.py"),
+                     "--write-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["regress", str(self.REGRESS / "after" / "eb203.py"),
+                     "--baseline", str(baseline), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-energy regress"
+        assert payload["findings"][0]["rule"] == "EB203"
+
+    def test_select_and_ignore_filter_rules(self, capsys, tmp_path):
+        baseline = tmp_path / "fp.json"
+        before = str(self.REGRESS / "before" / "eb201.py")
+        after = str(self.REGRESS / "after" / "eb201.py")
+        assert main(["regress", before, "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+        assert main(["regress", after, "--baseline", str(baseline),
+                     "--select", "EB203"]) == 0
+        assert main(["regress", after, "--baseline", str(baseline),
+                     "--ignore", "EB201"]) == 0
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["regress", str(APPS), "--select", "EB999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        assert "EB101" in err and "EB201" in err
+
+    def test_negative_tolerance_exits_two(self, capsys):
+        assert main(["regress", str(APPS), "--tolerance", "-1"]) == 2
+        assert "--tolerance" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, capsys, tmp_path):
+        assert main(["regress", str(self.REGRESS / "before" / "eb201.py"),
+                     "--baseline", str(tmp_path / "absent.json")]) == 2
+        assert "--write-baseline" in capsys.readouterr().err
+
+    def test_malformed_bisect_range_exits_two(self, capsys):
+        assert main(["regress", "src/repro/apps",
+                     "--bisect", "deadbeef"]) == 2
+        assert "GOOD..BAD" in capsys.readouterr().err
+
+    def test_bisect_pinpoints_commit(self, capsys, tmp_path, monkeypatch):
+        import subprocess
+
+        repo = tmp_path / "history"
+        repo.mkdir()
+        module = repo / "mod.py"
+        subprocess.run(["git", "init", "-q"], cwd=repo, check=True)
+
+        def commit(source, message):
+            module.write_text(source, encoding="utf-8")
+            subprocess.run(["git", "add", "mod.py"], cwd=repo, check=True)
+            subprocess.run(["git", "-c", "user.name=t",
+                            "-c", "user.email=t@example.invalid",
+                            "commit", "-q", "-m", message], cwd=repo,
+                           check=True)
+            return subprocess.run(["git", "rev-parse", "HEAD"], cwd=repo,
+                                  check=True, capture_output=True,
+                                  text=True).stdout.strip()
+
+        good_src = (self.REGRESS / "before" / "eb201.py").read_text()
+        bad_src = (self.REGRESS / "after" / "eb201.py").read_text()
+        commits = [commit(good_src, "seed"),
+                   commit(good_src + "\n# tweak\n", "benign"),
+                   commit(bad_src, "double the cost"),
+                   commit(bad_src + "\n# tweak\n", "benign 2")]
+        monkeypatch.chdir(repo)
+        assert main(["regress", "mod.py",
+                     "--bisect", f"{commits[0]}..{commits[3]}"]) == 1
+        out = capsys.readouterr().out
+        assert f"first regressing commit: {commits[2]}" in out
+        assert "EB201" in out
 
 
 class TestServeCommand:
