@@ -26,8 +26,7 @@ from repro.apps.mlservice import MLWebService, build_service_machine, \
 from repro.core.attribution import attribute
 from repro.core.ecv import BernoulliECV
 from repro.core.report import format_table
-from repro.measurement.calibration import calibrate_gpu
-from repro.measurement.nvml import NVMLSim
+from repro.calibration import calibrate
 from repro.workloads.traces import image_request_trace
 
 from conftest import print_header
@@ -47,8 +46,7 @@ def deploy(cache_entries: int, seed: int = 11):
     machine = build_service_machine()
     service = MLWebService(machine, local_cache_entries=cache_entries,
                            cluster_cache_entries=cache_entries * 3)
-    gpu = machine.component("gpu0")
-    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=5))
+    model = calibrate(machine, source="gpu0", seed=5).model
     rng = np.random.default_rng(seed)
     for request in trace(900, rng):
         service.handle(request)

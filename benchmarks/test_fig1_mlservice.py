@@ -18,7 +18,7 @@ from repro.core.interface import evaluate
 from repro.apps.mlservice import MLWebService, build_service_machine, \
     build_service_stack
 from repro.core.report import format_table
-from repro.measurement.calibration import calibrate_gpu
+from repro.calibration import calibrate
 from repro.measurement.nvml import NVMLSim
 from repro.workloads.traces import image_request_trace
 
@@ -31,9 +31,8 @@ MEASURED_REQUESTS = 400
 def run_service(zipf_alpha: float = 0.9, seed: int = 11) -> dict:
     machine = build_service_machine()
     service = MLWebService(machine)
-    gpu = machine.component("gpu0")
-    nvml = NVMLSim(gpu, seed=5)
-    model = calibrate_gpu(gpu, nvml)
+    nvml = NVMLSim(machine.component("gpu0"), seed=5)
+    model = calibrate(machine, source="gpu0", nvml=nvml, seed=5).model
 
     rng = np.random.default_rng(seed)
     for request in image_request_trace(WARMUP_REQUESTS, rng,
@@ -98,8 +97,7 @@ def test_fig1_cache_beats_model_shrinking(run_once):
     def experiment():
         machine = build_service_machine()
         service = MLWebService(machine)
-        gpu = machine.component("gpu0")
-        model = calibrate_gpu(gpu, NVMLSim(gpu, seed=5))
+        model = calibrate(machine, source="gpu0", seed=5).model
         rng = np.random.default_rng(11)
         for request in image_request_trace(WARMUP_REQUESTS, rng):
             service.handle(request)

@@ -26,8 +26,7 @@ from repro.apps.mlservice import MLWebService, build_service_machine, \
     build_service_stack
 from repro.core.report import format_table
 from repro.hardware.profiles import SIM3070, SIM4090
-from repro.measurement.calibration import calibrate_gpu
-from repro.measurement.nvml import NVMLSim
+from repro.calibration import calibrate
 from repro.workloads.traces import image_request_trace
 
 from conftest import print_header
@@ -42,8 +41,7 @@ def deploy_and_measure(gpu_spec, bindings_from=None, seed=11) -> dict:
     """
     machine = build_service_machine(gpu_spec)
     service = MLWebService(machine)
-    gpu = machine.component("gpu0")
-    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=5))
+    model = calibrate(machine, source="gpu0", seed=5).model
     rng = np.random.default_rng(seed)
 
     if bindings_from is None:
@@ -111,8 +109,7 @@ def test_fig2_granularity_consistency(run_once):
     def experiment():
         machine = build_service_machine(SIM4090)
         service = MLWebService(machine)
-        gpu = machine.component("gpu0")
-        model = calibrate_gpu(gpu, NVMLSim(gpu, seed=5))
+        model = calibrate(machine, source="gpu0", seed=5).model
         rng = np.random.default_rng(11)
         for request in image_request_trace(500, rng):
             service.handle(request)

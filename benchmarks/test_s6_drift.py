@@ -1,0 +1,160 @@
+"""S6 — calibration drift: frozen rot vs. streaming recalibration.
+
+The Table-1 pipeline assumes the one-shot microbenchmark calibration
+stays valid.  S6 breaks that assumption on purpose: after calibrating,
+a seeded drift plan ages the simulated GPU (unit energies and static
+power walk away under an OU wander plus a deterministic ramp) while
+windows of GPT-2 generations keep serving.  Both legs see the *same*
+workload, drift and sensor noise:
+
+* **frozen** — the batch calibration used as-is must breach the T1
+  accuracy envelope and trip the typed ``CalibrationStale`` alarm; rot
+  is detected, never silent;
+* **recalibrated** — a :class:`~repro.calibration.StreamingRecalibrator`
+  folding each served observation into its running fit must stay
+  *within* the T1 envelope (avg < 2 %, max < 3 % on the 4090-class
+  board), minting versioned epochs as the fit crosses fingerprint
+  quanta (the compile-cache invalidation seam).
+
+Replay is bitwise: drift draws, NVML noise and workload shapes all live
+under the SeedSequence spawn discipline, so two runs at the same seed
+produce sha256-identical reports.  Headline numbers are pinned by
+``benchmarks/baselines/s6_drift.json`` (checked when the run shape
+matches); CI's ``s6-drift`` job uploads the report JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.calibration import (
+    DriftProcess,
+    DriftingCostModel,
+    format_drift_report,
+    run_drift_scenario,
+)
+from repro.core.policy import Policy
+from repro.fleet import EnergyGatewayFleet, WorkCostModel
+from repro.sim.rng import RngFactory
+from repro.workloads import (
+    fleet_request_trace,
+    poisson_arrivals,
+    zipf_tenant_trace,
+)
+
+from conftest import print_header
+
+SEED = 7
+WINDOWS = 8
+TOLERANCE = 0.05
+#: The T1 envelope for the 4090-class board (see test_table1_gpt2).
+T1_AVG, T1_MAX = 0.02, 0.03
+
+_BASELINE = Path(__file__).parent / "baselines" / "s6_drift.json"
+
+
+def _experiment():
+    first = run_drift_scenario(windows=WINDOWS, seed=SEED,
+                               tolerance=TOLERANCE)
+    second = run_drift_scenario(windows=WINDOWS, seed=SEED,
+                                tolerance=TOLERANCE)
+    return {
+        "frozen_avg_error": first.frozen_avg_error,
+        "frozen_max_error": first.frozen_max_error,
+        "recal_avg_error": first.recal_avg_error,
+        "recal_max_error": first.recal_max_error,
+        "epochs_minted": first.epochs_minted,
+        "digest": first.digest(),
+        "replay_digest": second.digest(),
+        "_report": first,
+    }
+
+
+def test_s6_drift_recalibration(run_once):
+    result = run_once(_experiment, seed=SEED, windows=WINDOWS,
+                      tolerance=TOLERANCE)
+    report = result["_report"]
+
+    print_header(f"S6: {report.generations} generations over "
+                 f"{report.windows} drift windows "
+                 f"({report.horizon_s:.0f} s simulated, "
+                 f"preset={report.preset})")
+    print(format_drift_report(report))
+
+    # Claim 1: the frozen calibration rots out of the T1 envelope, and
+    # the rot is *detected* — the staleness alarm trips.
+    assert report.frozen_avg_error > T1_AVG, (
+        "the drift preset no longer breaks a frozen calibration — "
+        "S6 proves nothing at this shape")
+    assert report.frozen_max_error > T1_MAX
+    assert report.frozen_stale, (
+        "frozen calibration breached the envelope without tripping "
+        "CalibrationStale — rot went silent")
+
+    # Claim 2: streaming recalibration holds the T1 envelope under the
+    # exact same drift, workload and sensor noise.
+    assert report.recal_avg_error < T1_AVG, (
+        f"recalibrated avg error {report.recal_avg_error:.2%} breached "
+        f"the T1 envelope")
+    assert report.recal_max_error < T1_MAX
+    assert not report.recal_stale
+    assert report.recal_avg_error < report.frozen_avg_error / 2
+
+    # Claim 3: recalibration is *versioned* — drift crossing fingerprint
+    # quanta mints fresh epochs (the compile-cache invalidation signal).
+    assert report.epochs_minted > 0
+
+    # Claim 4: bitwise replay at the fixed seed.
+    assert result["digest"] == result["replay_digest"], (
+        "two drift runs at the same seed produced different reports — "
+        "a draw escaped the SeedSequence spawn discipline")
+
+    out = os.environ.get("S6_REPORT_JSON")
+    if out:
+        Path(out).write_text(report.to_json() + "\n", encoding="utf-8")
+
+    if _BASELINE.is_file():
+        baseline = json.loads(_BASELINE.read_text())
+        if (baseline["windows"] == report.windows
+                and baseline["seed"] == report.seed):
+            np.testing.assert_allclose(result["recal_avg_error"],
+                                       baseline["recal_avg_error"],
+                                       rtol=1e-9)
+            assert result["epochs_minted"] == baseline["epochs_minted"]
+            assert result["digest"] == baseline["digest"], (
+                "drift digest diverged from the recorded baseline at the "
+                "pinned seed — drift, sensor or fit arithmetic changed")
+
+
+def test_s6_fleet_stale_accounting(run_once):
+    """The fleet-scale half of the claim: when measured energy drifts
+    past the guard's tolerance, admission accounts every stale decision
+    on the report — degraded, never silent."""
+
+    def experiment():
+        model = DriftingCostModel(
+            WorkCostModel(),
+            DriftProcess("fleet:energy", entropy=SEED, rate_per_s=5e-3))
+        fleet = EnergyGatewayFleet(
+            {"t0": "5J+2W", "t1": "3J+1W"},
+            policy=Policy(replicas=2, calibration_tolerance=0.17),
+            cost_model=model, entropy=SEED)
+        factory = RngFactory(SEED)
+        times = poisson_arrivals(200.0, 30.0, factory.stream("arrivals"))
+        tenants = zipf_tenant_trace(len(times), 2, factory)
+        return fleet.serve(fleet_request_trace(times, tenants, factory))
+
+    report = run_once(experiment, seed=SEED)
+    print_header("S6 fleet leg: drifting cost model vs. the "
+                 "calibration guard")
+    print(f"offered {report.offered:,}, admitted {report.admitted:,}; "
+          f"stale-calibration decisions {report.calibration_stale:,} "
+          f"(rejected {report.calibration_rejected:,})")
+    assert report.calibration_stale > 0, (
+        "the drifting fleet never tripped the calibration guard")
+    assert report.calibration_rejected == 0      # default action: widen
+    assert report.violations == {}

@@ -15,7 +15,7 @@ from repro.core.report import format_table
 from repro.hardware.profiles import SIM4090, build_gpu_workstation
 from repro.llm.batching import BatchedGPT2Interface, BatchedGPT2Runtime
 from repro.llm.config import GPT2_SMALL
-from repro.measurement.calibration import calibrate_gpu
+from repro.calibration import calibrate
 from repro.measurement.nvml import NVMLSim
 
 from conftest import print_header
@@ -30,7 +30,8 @@ def test_t1c_batching_curve(run_once):
         machine = build_gpu_workstation(SIM4090)
         gpu = machine.component("gpu0")
         nvml = NVMLSim(gpu, seed=7)
-        model = calibrate_gpu(gpu, nvml)
+        model = calibrate(machine, source="gpu0", nvml=nvml,
+                          seed=7).model
         runtime = BatchedGPT2Runtime(gpu, GPT2_SMALL)
         interface = BatchedGPT2Interface(GPT2_SMALL, model, SIM4090)
 

@@ -26,12 +26,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.calibration import calibrate
 from repro.core.report import format_table
 from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
 from repro.llm.config import GPT2_SMALL
 from repro.llm.interface import GPT2EnergyInterface
 from repro.llm.runtime import GPT2Runtime
-from repro.measurement.calibration import CalibratedModel, calibrate_gpu
 from repro.measurement.nvml import NVMLSim
 
 from conftest import print_header
@@ -41,24 +41,14 @@ MAX_TOKENS = 200
 SEED = 7
 
 
-def oracle_model(spec) -> CalibratedModel:
-    return CalibratedModel(spec.name, {
-        "instructions": spec.e_instruction,
-        "l1_wavefronts": spec.e_l1_wavefront,
-        "l2_sectors": spec.e_l2_sector,
-        "vram_sectors": spec.e_vram_sector,
-        "kernel_launches": spec.e_kernel_launch,
-        "busy_seconds": spec.p_static_w,
-    }, residual_rms=0.0, n_samples=0)
-
-
 def run_gpu(spec, use_oracle_units: bool = False) -> dict:
     """The full §5 pipeline on one simulated GPU."""
     machine = build_gpu_workstation(spec)
     gpu = machine.component("gpu0")
     nvml = NVMLSim(gpu, seed=SEED)
-    model = (oracle_model(spec) if use_oracle_units
-             else calibrate_gpu(gpu, nvml))
+    model = calibrate(machine, source="gpu0", nvml=nvml, seed=SEED,
+                      calibrator="oracle" if use_oracle_units
+                      else "microbench").model
     runtime = GPT2Runtime(gpu, GPT2_SMALL)
     interface = GPT2EnergyInterface(GPT2_SMALL, model, spec)
 

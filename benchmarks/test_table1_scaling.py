@@ -23,7 +23,7 @@ from repro.hardware.profiles import SIM4090, build_gpu_workstation
 from repro.llm.config import GPT2_LARGE, GPT2_MEDIUM, GPT2_SMALL
 from repro.llm.interface import GPT2EnergyInterface
 from repro.llm.runtime import GPT2Runtime
-from repro.measurement.calibration import calibrate_gpu
+from repro.calibration import calibrate
 from repro.measurement.nvml import NVMLSim
 
 from conftest import print_header
@@ -34,7 +34,8 @@ def test_t1b_model_size_sweep(run_once):
         machine = build_gpu_workstation(SIM4090)
         gpu = machine.component("gpu0")
         nvml = NVMLSim(gpu, seed=7)
-        model = calibrate_gpu(gpu, nvml)  # calibrated ONCE
+        model = calibrate(machine, source="gpu0", nvml=nvml,
+                          seed=7).model  # calibrated ONCE
         results = []
         for config in (GPT2_SMALL, GPT2_MEDIUM, GPT2_LARGE):
             runtime = GPT2Runtime(gpu, config)
@@ -79,7 +80,8 @@ def test_t1b_context_length_curve(run_once):
         machine = build_gpu_workstation(SIM4090)
         gpu = machine.component("gpu0")
         nvml = NVMLSim(gpu, seed=7)
-        model = calibrate_gpu(gpu, nvml)
+        model = calibrate(machine, source="gpu0", nvml=nvml,
+                          seed=7).model
         runtime = GPT2Runtime(gpu, GPT2_SMALL)
         interface = GPT2EnergyInterface(GPT2_SMALL, model, SIM4090)
 

@@ -12,12 +12,12 @@ import argparse
 
 import numpy as np
 
+from repro.calibration import calibrate
 from repro.core.report import format_table
 from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
 from repro.llm.config import GPT2_SMALL
 from repro.llm.interface import GPT2EnergyInterface
 from repro.llm.runtime import GPT2Runtime
-from repro.measurement.calibration import calibrate_gpu
 from repro.measurement.nvml import NVMLSim
 
 SPECS = {"sim4090": SIM4090, "sim3070": SIM3070}
@@ -37,7 +37,7 @@ def main():
     nvml = NVMLSim(gpu, seed=7)
 
     print("calibrating unit energies (gpu-cache-style microbenchmarks)...")
-    model = calibrate_gpu(gpu, nvml)
+    model = calibrate(machine, source="gpu0", nvml=nvml, seed=7).model
     print(model.describe())
 
     runtime = GPT2Runtime(gpu, GPT2_SMALL)

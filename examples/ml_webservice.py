@@ -17,12 +17,11 @@ from repro.apps.mlservice import (
     build_service_machine,
     build_service_stack,
 )
+from repro.calibration import calibrate
 from repro.core.ecv import BernoulliECV
 from repro.core.interface import evaluate
 from repro.core.report import describe_interface, format_comparison, \
     render_stack
-from repro.measurement.calibration import calibrate_gpu
-from repro.measurement.nvml import NVMLSim
 from repro.workloads.traces import image_request_trace
 
 
@@ -30,10 +29,9 @@ def main():
     print("building the service node (CPU + DRAM + NIC + sim4090 GPU)...")
     machine = build_service_machine()
     service = MLWebService(machine)
-    gpu = machine.component("gpu0")
 
     print("calibrating the GPU's unit energies via microbenchmarks...")
-    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=5))
+    model = calibrate(machine, source="gpu0", seed=5).model
     print(model.describe())
 
     print("\nserving 500 warm-up requests (Zipf-popular images)...")

@@ -1,0 +1,54 @@
+"""Online calibration: drift, streaming recalibration, staleness.
+
+The calibration subsystem closes the loop the paper's Table 1 leaves
+open: unit energies are calibrated *once*, but production hardware
+drifts (thermal state, aging, DVFS residency), so energy clarity
+requires calibration freshness to be a first-class observable.
+
+* :mod:`repro.calibration.api` — the unified :class:`Calibrator`
+  protocol/registry, the canonical :func:`calibrate` entry point and
+  versioned :class:`CalibrationEpoch` fingerprints.
+* :mod:`repro.calibration.drift` — seeded, replayable drift processes
+  installed on the hardware simulators.
+* :mod:`repro.calibration.recalibrate` — the streaming RLS/Kalman-style
+  recalibrator that keeps T1-class accuracy under drift.
+* :mod:`repro.calibration.guard` — the admission-side EWMA watchdog
+  raising the typed :class:`~repro.core.errors.CalibrationStale`.
+* :mod:`repro.calibration.scenario` — the drift scenario shared by the
+  ``repro-energy drift`` CLI and benchmark S6.
+"""
+
+from repro.calibration.api import (CALIBRATORS, DEFAULT_UNIT_QUANTUM,
+                                   CalibrationEpoch, Calibrator,
+                                   MicrobenchCalibrator, OracleCalibrator,
+                                   calibrate, register_calibrator,
+                                   resolve_calibrator)
+from repro.calibration.drift import (DRIFT_PRESETS, ComponentDrift,
+                                     DriftingCostModel, DriftPlan,
+                                     DriftProcess)
+from repro.calibration.guard import CalibrationGuard
+from repro.calibration.recalibrate import StreamingRecalibrator
+from repro.calibration.scenario import (DriftReport, format_drift_report,
+                                        run_drift_scenario)
+
+__all__ = [
+    "Calibrator",
+    "MicrobenchCalibrator",
+    "OracleCalibrator",
+    "CALIBRATORS",
+    "register_calibrator",
+    "resolve_calibrator",
+    "CalibrationEpoch",
+    "calibrate",
+    "DEFAULT_UNIT_QUANTUM",
+    "DriftProcess",
+    "ComponentDrift",
+    "DriftPlan",
+    "DriftingCostModel",
+    "DRIFT_PRESETS",
+    "CalibrationGuard",
+    "StreamingRecalibrator",
+    "DriftReport",
+    "run_drift_scenario",
+    "format_drift_report",
+]

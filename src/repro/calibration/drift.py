@@ -1,0 +1,271 @@
+"""Seeded slow-drift processes for the hardware simulators.
+
+Production silicon does not hold still: thermal state, aging and DVFS
+residency all move the effective unit energies and static power away
+from whatever a one-shot calibration measured.  A :class:`DriftProcess`
+models that movement as a deterministic aging ramp times an
+Ornstein-Uhlenbeck wander evaluated on a fixed time grid::
+
+    factor(t) = (1 + rate_per_s * (t - t0)) * exp(x_k),   k = floor((t - t0) / dt)
+    x_{k+1}   = x_k * exp(-dt/tau) + sigma * sqrt(1 - exp(-2*dt/tau)) * z_k
+
+where ``z_k`` is drawn from a ``numpy.random.SeedSequence`` spawned with
+key ``(_DRIFT_TAG, crc32(key), k)`` — the exact replay discipline of the
+Monte Carlo :class:`~repro.core.mcengine.ColumnStore` and the
+:class:`~repro.faults.FaultPlan`, under a tag of its own.  Because
+``x_k`` depends only on ``(entropy, key, k)``, the factor at any time is
+a pure function of the grid index: two runs at the same seed drift
+identically, and querying the process at different time partitions
+cannot change its path.
+
+A :class:`DriftPlan` bundles per-component :class:`ComponentDrift`
+triples (dynamic-energy factor, static-power factor, ambient wander) and
+installs them on a machine's components; the hardware modules
+(:mod:`repro.hardware.gpu`, :mod:`repro.hardware.cpu`) consult their
+optional ``drift`` attribute at energy-computation time, so the drift
+shows up in the ledger, in NVML measurements, and therefore in the
+prediction residuals the streaming recalibrator watches.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+import numpy as np
+
+from repro.core.errors import HardwareError
+from repro.core.mcengine import DEFAULT_ENTROPY
+
+__all__ = ["DriftProcess", "ComponentDrift", "DriftPlan",
+           "DriftingCostModel", "DRIFT_PRESETS"]
+
+#: Spawn-key tag for drift draws (Monte Carlo columns use 0xC0/0x0D,
+#: faults 0xFA, the fleet balancer 0xB7).
+_DRIFT_TAG = 0xD1
+
+
+class DriftProcess:
+    """One slowly-drifting multiplier, replayable under the seed discipline.
+
+    ``rate_per_s`` is the deterministic aging component (fractional
+    change per simulated second); ``sigma`` the stationary standard
+    deviation of the OU wander in log space; ``tau_s`` its mean-reversion
+    timescale; ``dt_s`` the evaluation grid.  ``factor(t)`` is 1.0 at
+    ``t0`` (no wander yet, no ramp) and stays strictly positive.
+    """
+
+    def __init__(self, key: str, *, entropy: int | None = None,
+                 rate_per_s: float = 0.0, sigma: float = 0.0,
+                 tau_s: float = 30.0, dt_s: float = 0.5,
+                 t0: float = 0.0) -> None:
+        if tau_s <= 0 or dt_s <= 0:
+            raise HardwareError(
+                f"drift timescales must be positive (tau={tau_s}, dt={dt_s})")
+        if sigma < 0:
+            raise HardwareError(f"drift sigma must be >= 0, got {sigma}")
+        self.key = str(key)
+        self.entropy = int(DEFAULT_ENTROPY if entropy is None else entropy)
+        self.rate_per_s = float(rate_per_s)
+        self.sigma = float(sigma)
+        self.tau_s = float(tau_s)
+        self.dt_s = float(dt_s)
+        self.t0 = float(t0)
+        self._key_crc = zlib.crc32(self.key.encode("utf-8"))
+        # Exact OU discretisation constants on the grid.
+        self._decay = math.exp(-self.dt_s / self.tau_s)
+        self._shock = self.sigma * math.sqrt(1.0 - self._decay * self._decay)
+        #: Cached OU prefix — x[k] is a pure function of (entropy, key, k),
+        #: so extending the cache never changes earlier values.
+        self._x: list[float] = [0.0]
+
+    def _draw(self, index: int) -> float:
+        seq = np.random.SeedSequence(
+            self.entropy, spawn_key=(_DRIFT_TAG, self._key_crc, int(index)))
+        return float(np.random.default_rng(seq).standard_normal())
+
+    def _state(self, index: int) -> float:
+        while len(self._x) <= index:
+            k = len(self._x)
+            self._x.append(self._x[-1] * self._decay
+                           + self._shock * self._draw(k - 1))
+        return self._x[index]
+
+    def factor(self, t: float) -> float:
+        """The multiplier at simulated time ``t`` (1.0 before ``t0``)."""
+        elapsed = t - self.t0
+        if elapsed <= 0:
+            return 1.0
+        index = int(elapsed / self.dt_s)
+        ramp = max(1.0 + self.rate_per_s * elapsed, 0.0)
+        return ramp * math.exp(self._state(index))
+
+    def delta(self, t: float) -> float:
+        """The additive excursion ``factor(t) - 1`` (ambient wander)."""
+        return self.factor(t) - 1.0
+
+    def rebased(self, t0: float) -> "DriftProcess":
+        """The same process with its origin moved to ``t0``."""
+        return DriftProcess(self.key, entropy=self.entropy,
+                            rate_per_s=self.rate_per_s, sigma=self.sigma,
+                            tau_s=self.tau_s, dt_s=self.dt_s, t0=t0)
+
+    def __repr__(self) -> str:
+        return (f"DriftProcess({self.key!r}, rate={self.rate_per_s:.3g}/s, "
+                f"sigma={self.sigma:.3g}, tau={self.tau_s:.3g} s)")
+
+
+class ComponentDrift:
+    """The drift triple one hardware component consults.
+
+    ``energy`` scales per-event dynamic energy, ``static`` scales static
+    power, ``ambient`` wanders the thermal node's ambient temperature
+    (additive, ``ambient_scale_c`` degrees per unit excursion).  Hardware
+    modules duck-type against this: a component with ``drift = None``
+    behaves exactly as before.
+    """
+
+    def __init__(self, energy: DriftProcess | None = None,
+                 static: DriftProcess | None = None,
+                 ambient: DriftProcess | None = None,
+                 ambient_scale_c: float = 40.0) -> None:
+        self.energy = energy
+        self.static = static
+        self.ambient = ambient
+        self.ambient_scale_c = float(ambient_scale_c)
+        self._base_ambient: float | None = None
+
+    def energy_factor(self, t: float) -> float:
+        return self.energy.factor(t) if self.energy is not None else 1.0
+
+    def static_factor(self, t: float) -> float:
+        return self.static.factor(t) if self.static is not None else 1.0
+
+    def advance(self, thermal, t: float) -> None:
+        """Apply the ambient wander to a thermal node at time ``t``."""
+        if self.ambient is None:
+            return
+        if self._base_ambient is None:
+            self._base_ambient = thermal.t_ambient
+        thermal.t_ambient = (self._base_ambient
+                             + self.ambient_scale_c * self.ambient.delta(t))
+
+    def rebased(self, t0: float) -> "ComponentDrift":
+        return ComponentDrift(
+            energy=self.energy.rebased(t0) if self.energy else None,
+            static=self.static.rebased(t0) if self.static else None,
+            ambient=self.ambient.rebased(t0) if self.ambient else None,
+            ambient_scale_c=self.ambient_scale_c)
+
+
+#: Named drift presets: (energy rate/s, energy sigma, static rate/s,
+#: static sigma, ambient sigma).  "gentle" drifts a few percent over a
+#: minute of simulated time — enough to break a frozen calibration's T1
+#: envelope while a streaming recalibrator tracks it; "harsh" is the
+#: stress shape.
+DRIFT_PRESETS: dict[str, dict[str, float]] = {
+    "none": dict(energy_rate=0.0, energy_sigma=0.0,
+                 static_rate=0.0, static_sigma=0.0, ambient_sigma=0.0),
+    "gentle": dict(energy_rate=1.5e-3, energy_sigma=0.01,
+                   static_rate=1.0e-3, static_sigma=0.01,
+                   ambient_sigma=0.005),
+    "harsh": dict(energy_rate=5.0e-3, energy_sigma=0.03,
+                  static_rate=4.0e-3, static_sigma=0.03,
+                  ambient_sigma=0.02),
+}
+
+
+class DriftPlan:
+    """Per-component drift processes, installable on a machine.
+
+    Mirrors :class:`~repro.faults.FaultPlan`: construct once from an
+    entropy, install on a machine, replay bitwise.  ``install`` rebases
+    every process to the machine's *current* clock, so drift starts at
+    install time (typically right after calibration) and the factor is
+    exactly 1.0 at that instant.
+    """
+
+    def __init__(self, drifts: dict[str, ComponentDrift],
+                 entropy: int | None = None, preset: str = "custom") -> None:
+        self.drifts = dict(drifts)
+        self.entropy = int(DEFAULT_ENTROPY if entropy is None else entropy)
+        self.preset = preset
+
+    @classmethod
+    def preset_for(cls, components: tuple[str, ...] | list[str],
+                   preset: str = "gentle",
+                   entropy: int | None = None,
+                   tau_s: float = 30.0, dt_s: float = 0.5) -> "DriftPlan":
+        """Build a plan applying one named preset to ``components``."""
+        try:
+            shape = DRIFT_PRESETS[preset]
+        except KeyError:
+            raise HardwareError(
+                f"unknown drift preset {preset!r}; expected one of "
+                f"{sorted(DRIFT_PRESETS)}") from None
+        entropy = int(DEFAULT_ENTROPY if entropy is None else entropy)
+        drifts = {}
+        for name in components:
+            drifts[name] = ComponentDrift(
+                energy=DriftProcess(f"{name}:energy", entropy=entropy,
+                                    rate_per_s=shape["energy_rate"],
+                                    sigma=shape["energy_sigma"],
+                                    tau_s=tau_s, dt_s=dt_s),
+                static=DriftProcess(f"{name}:static", entropy=entropy,
+                                    rate_per_s=shape["static_rate"],
+                                    sigma=shape["static_sigma"],
+                                    tau_s=tau_s, dt_s=dt_s),
+                ambient=DriftProcess(f"{name}:ambient", entropy=entropy,
+                                     sigma=shape["ambient_sigma"],
+                                     tau_s=4.0 * tau_s, dt_s=dt_s),
+            )
+        return cls(drifts, entropy=entropy, preset=preset)
+
+    def install(self, machine) -> None:
+        """Attach each component's drift, rebased to the machine clock."""
+        now = machine.now
+        for name, drift in self.drifts.items():
+            component = machine.component(name)
+            if not hasattr(component, "drift"):
+                raise HardwareError(
+                    f"component {name!r} ({type(component).__name__}) "
+                    f"does not support drift")
+            component.drift = drift.rebased(now)
+
+    def remove(self, machine) -> None:
+        """Detach this plan's drifts from the machine's components."""
+        for name in self.drifts:
+            machine.component(name).drift = None
+
+    def __repr__(self) -> str:
+        return (f"DriftPlan(preset={self.preset!r}, "
+                f"components={sorted(self.drifts)})")
+
+
+class DriftingCostModel:
+    """A fleet cost model whose *measured* energy drifts over time.
+
+    Wraps any :class:`repro.fleet.costmodel.CostModel`-shaped object:
+    predictions stay frozen (the calibrated view) while measurements are
+    scaled by a :class:`DriftProcess` evaluated at the request's arrival
+    time — the fleet-scale analogue of hardware drifting away from its
+    calibration.  Keep the drift's peak excursion times the inner
+    model's measurement spread inside the worst-case factor, or hard
+    admission can no longer cover settled draws.
+    """
+
+    name = "drifting"
+
+    def __init__(self, inner, process: DriftProcess) -> None:
+        self.inner = inner
+        self.process = process
+
+    def predict(self, request):
+        return self.inner.predict(request)
+
+    def measure(self, request) -> float:
+        return (self.inner.measure(request)
+                * self.process.factor(request.arrival_s))
+
+    def __repr__(self) -> str:
+        return f"DriftingCostModel({self.inner!r}, {self.process!r})"

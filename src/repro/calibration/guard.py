@@ -1,0 +1,79 @@
+"""The admission-side staleness guard: cheap, typed, accountable.
+
+Gateways and fleet replicas do not run the full streaming recalibrator
+on their hot path — they just need the alarm.  :class:`CalibrationGuard`
+is the EWMA half of :class:`~repro.calibration.StreamingRecalibrator`
+alone: feed it every request's ``(predicted, measured)`` Joules and ask
+:meth:`check` before admitting the next one.  When the EWMA of relative
+residuals exceeds tolerance it raises the typed
+:class:`~repro.core.errors.CalibrationStale` through the PR-5 ladder;
+the caller decides whether to widen its worst-case bound or reject, and
+accounts the degradation on its report either way — calibration rot is
+an observable, never a silent constant.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import CalibrationStale, MeasurementError
+
+__all__ = ["CalibrationGuard"]
+
+
+class CalibrationGuard:
+    """EWMA residual watchdog over prediction-vs-measurement pairs."""
+
+    def __init__(self, tolerance: float, *, alpha: float = 0.25,
+                 min_observations: int = 8,
+                 epoch: int | None = None) -> None:
+        if tolerance <= 0:
+            raise MeasurementError(f"tolerance must be > 0, got {tolerance}")
+        if not 0.0 < alpha <= 1.0:
+            raise MeasurementError(f"alpha must be in (0, 1], got {alpha}")
+        self.tolerance = float(tolerance)
+        self.alpha = float(alpha)
+        self.min_observations = int(min_observations)
+        self.epoch = epoch
+        self._ewma: float | None = None
+        self.observations = 0
+        self.stale_checks = 0
+
+    @property
+    def residual(self) -> float:
+        """The EWMA of relative residuals (0 before any observation)."""
+        return 0.0 if self._ewma is None else self._ewma
+
+    @property
+    def stale(self) -> bool:
+        """True once enough observations put the EWMA over tolerance."""
+        return (self.observations >= self.min_observations
+                and self.residual > self.tolerance)
+
+    def observe(self, predicted_joules: float, measured_joules: float
+                ) -> None:
+        """Fold in one served request's prediction error."""
+        if measured_joules <= 0:
+            return
+        rel = abs(predicted_joules - measured_joules) / measured_joules
+        self.observations += 1
+        self._ewma = (rel if self._ewma is None else
+                      self.alpha * rel + (1.0 - self.alpha) * self._ewma)
+
+    def check(self) -> None:
+        """Raise :class:`CalibrationStale` when the model has gone stale."""
+        if self.stale:
+            self.stale_checks += 1
+            raise CalibrationStale(
+                f"calibration is stale: EWMA residual {self.residual:.3f} "
+                f"> tolerance {self.tolerance:.3f}",
+                residual=self.residual, tolerance=self.tolerance,
+                epoch=self.epoch)
+
+    def reset(self) -> None:
+        """Forget accumulated residuals (after a recalibration)."""
+        self._ewma = None
+        self.observations = 0
+
+    def __repr__(self) -> str:
+        return (f"CalibrationGuard(residual={self.residual:.4f}, "
+                f"tolerance={self.tolerance}, n={self.observations}, "
+                f"stale={self.stale})")

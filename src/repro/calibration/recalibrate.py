@@ -1,0 +1,188 @@
+"""Streaming recalibration: a recursive fit over prediction residuals.
+
+The microbenchmark calibration is a batch fit taken once; under drift
+its unit energies go stale.  :class:`StreamingRecalibrator` keeps them
+fresh from the observations production serving already produces — each
+served request yields a ``(predicted counters, NVML-measured Joules)``
+pair, exactly the rows of the original calibration design matrix.
+
+The estimator is a Kalman filter for a random-walk coefficient model,
+run on *scale-free* features: with ``theta0`` the batch calibration and
+``z_i = x_i * theta0_i`` each metric's Joule share, one observation is
+
+    measured / sum(z)  =  u . w + noise,      u = z / sum(z)
+
+so the state ``w`` starts at exactly ``1`` per metric and tracks each
+unit energy's drift *ratio* (``w_i = 1.04`` means "instructions cost
+4 % more than at calibration time").  ``process_noise`` is the expected
+per-observation drift of those ratios and ``measurement_noise`` the
+sensor's relative error — both dimensionless, so the filter needs no
+per-device tuning even though raw counters span ten orders of
+magnitude.  Coefficients are clipped non-negative like the batch fit.
+Unlike exponential forgetting (whose stationary correction fraction is
+only ``1 - lambda`` per step), the random-walk Kalman gain stays large
+enough to track aging ramps without lag.
+
+Staleness is a separate, deliberately simple signal: an EWMA of the
+*current model's* relative residuals.  :meth:`check` raises the typed
+:class:`~repro.core.errors.CalibrationStale` through the PR-5 ladder
+when the EWMA exceeds tolerance — for a live recalibrator that means
+drift is outrunning the fit; for a frozen one (``freeze=True``) it is
+the paper's calibration-rot alarm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.calibration.api import DEFAULT_UNIT_QUANTUM, CalibrationEpoch
+from repro.core.errors import CalibrationStale, MeasurementError
+from repro.measurement.calibration import METRICS, CalibratedModel
+
+__all__ = ["StreamingRecalibrator"]
+
+
+class StreamingRecalibrator:
+    """Tracks unit energies online; mints a new epoch when they move.
+
+    ``process_noise`` is the assumed per-observation standard deviation
+    of each drift ratio's random walk; ``measurement_noise`` the
+    relative standard deviation of one measured reading; ``ewma_alpha``
+    the weight of the newest residual in the staleness EWMA;
+    ``tolerance`` the EWMA level at which the calibration counts as
+    stale; ``freeze`` disables the fit (observations still feed the
+    staleness EWMA — the frozen-calibration control leg of benchmark
+    S6).
+    """
+
+    def __init__(self, epoch: CalibrationEpoch, *,
+                 process_noise: float = 0.01,
+                 measurement_noise: float = 0.005,
+                 ewma_alpha: float = 0.25,
+                 tolerance: float = 0.05,
+                 min_observations: int = 8,
+                 quantum: float = DEFAULT_UNIT_QUANTUM,
+                 freeze: bool = False) -> None:
+        if process_noise <= 0 or measurement_noise <= 0:
+            raise MeasurementError(
+                "process and measurement noise must be > 0, got "
+                f"{process_noise} / {measurement_noise}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise MeasurementError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if tolerance <= 0:
+            raise MeasurementError(f"tolerance must be > 0, got {tolerance}")
+        self._epoch = epoch
+        self.process_noise = float(process_noise)
+        self.measurement_noise = float(measurement_noise)
+        self.ewma_alpha = float(ewma_alpha)
+        self.tolerance = float(tolerance)
+        self.min_observations = int(min_observations)
+        self.quantum = float(quantum)
+        self.freeze = bool(freeze)
+        self._model = epoch.model
+        self._theta0 = np.array(
+            [epoch.model.unit_energies[m] for m in METRICS])
+        self._w = np.ones(len(METRICS))
+        # Prior ratio uncertainty: generous relative to one quantum, so
+        # the first observations move the ratios freely.
+        self._P = np.eye(len(METRICS)) * 0.04
+        self._ewma: float | None = None
+        self.observations = 0
+        self.epochs_minted = 0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def epoch(self) -> CalibrationEpoch:
+        """The current (possibly recalibrated) epoch."""
+        return self._epoch
+
+    @property
+    def model(self) -> CalibratedModel:
+        """The current model — frozen input or running Kalman estimate."""
+        return self._model
+
+    @property
+    def residual(self) -> float:
+        """The staleness EWMA of relative residuals (0 before data)."""
+        return 0.0 if self._ewma is None else self._ewma
+
+    @property
+    def stale(self) -> bool:
+        """True once enough observations put the EWMA over tolerance."""
+        return (self.observations >= self.min_observations
+                and self.residual > self.tolerance)
+
+    def check(self) -> None:
+        """Raise :class:`CalibrationStale` if the model has gone stale."""
+        if self.stale:
+            raise CalibrationStale(
+                f"calibration for {self._epoch.source} is stale: EWMA "
+                f"residual {self.residual:.3f} > tolerance "
+                f"{self.tolerance:.3f} (epoch {self._epoch.epoch})",
+                residual=self.residual, tolerance=self.tolerance,
+                epoch=self._epoch.epoch)
+
+    # -- the update --------------------------------------------------------
+    def observe(self, counters: dict[str, float], measured_joules: float,
+                at: float | None = None) -> CalibrationEpoch | None:
+        """Fold in one ``(counters, measured Joules)`` observation.
+
+        Returns the freshly-minted :class:`CalibrationEpoch` when the
+        updated fit crosses a fingerprint quantum (callers propagate it
+        to their caches), else ``None``.
+        """
+        if measured_joules <= 0:
+            raise MeasurementError(
+                f"measured energy must be > 0, got {measured_joules}")
+        x = np.array([counters.get(m, 0.0) for m in METRICS])
+        z = x * self._theta0
+        base = float(z.sum())
+        if base <= 0:
+            raise MeasurementError(
+                "observation has no energy-bearing counters")
+        u = z / base
+        predicted = base * float(u @ self._w)
+        self.observations += 1
+        rel = abs(predicted - measured_joules) / measured_joules
+        self._ewma = (rel if self._ewma is None else
+                      self.ewma_alpha * rel
+                      + (1.0 - self.ewma_alpha) * self._ewma)
+        if self.freeze:
+            return None
+        # Kalman update for the random-walk ratio model (predict step:
+        # w unchanged, P grows by the process noise).
+        self._P += np.eye(len(METRICS)) * self.process_noise ** 2
+        Pu = self._P @ u
+        denom = self.measurement_noise ** 2 + float(u @ Pu)
+        gain = Pu / denom
+        innovation = measured_joules / base - float(u @ self._w)
+        self._w = np.clip(self._w + gain * innovation, 0.0, None)
+        self._P = self._P - np.outer(gain, Pu)
+        candidate = CalibratedModel(
+            gpu_name=self.model.gpu_name,
+            unit_energies={m: float(self._theta0[i] * self._w[i])
+                           for i, m in enumerate(METRICS)},
+            residual_rms=self.residual,
+            n_samples=self.observations)
+        refreshed = self._epoch.advanced(
+            candidate, at=float(at) if at is not None
+            else self._epoch.calibrated_at)
+        self._model = candidate
+        if refreshed.fingerprint(self.quantum) \
+                == self._epoch.fingerprint(self.quantum):
+            # Sub-quantum adjustment: the running model stays fresh but
+            # the epoch does not churn (downstream caches stay warm).
+            return None
+        self._epoch = refreshed
+        self.epochs_minted += 1
+        return refreshed
+
+    def predict_joules(self, counters: dict[str, float]) -> float:
+        """Predict with the current (tracking) model."""
+        return self.model.predict_joules(counters)
+
+    def __repr__(self) -> str:
+        return (f"StreamingRecalibrator(epoch={self._epoch.epoch}, "
+                f"n={self.observations}, residual={self.residual:.4f}, "
+                f"stale={self.stale}, freeze={self.freeze})")

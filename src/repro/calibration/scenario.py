@@ -1,0 +1,186 @@
+"""The drift scenario: calibrate once, drift, recalibrate online.
+
+Shared by the ``repro-energy drift`` CLI subcommand and benchmark S6.
+One run builds a GPU workstation, takes a batch calibration through the
+canonical :func:`~repro.calibration.calibrate` entry point, installs a
+seeded :class:`~repro.calibration.DriftPlan`, then serves windows of
+GPT-2 generations.  Every generation produces the Table-1 triple —
+predicted counters, predicted Joules, NVML-measured Joules — for two
+legs simultaneously:
+
+* **frozen** — the batch calibration used as-is (the status quo the
+  paper's calibration story implies);
+* **recalibrated** — a :class:`StreamingRecalibrator` folding each
+  observation into its running fit (skipped when ``recalibrate=False``).
+
+The resulting :class:`DriftReport` carries per-window errors, staleness
+flags and minted epochs, serialises to byte-stable JSON, and hashes to a
+sha256 digest — replays at a fixed seed are digest-identical because
+drift, sensor noise and workload shapes all live under the SeedSequence
+spawn discipline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.api import calibrate
+from repro.calibration.drift import DRIFT_PRESETS, DriftPlan
+from repro.calibration.guard import CalibrationGuard
+from repro.calibration.recalibrate import StreamingRecalibrator
+from repro.core.errors import MeasurementError
+
+__all__ = ["DriftReport", "run_drift_scenario", "format_drift_report"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One drift-scenario run, replayable and hashable."""
+
+    gpu: str
+    preset: str
+    seed: int
+    windows: int
+    generations: int
+    tolerance: float
+    horizon_s: float
+    # per-leg accuracy (mean/max |predicted - measured| / measured)
+    frozen_avg_error: float
+    frozen_max_error: float
+    recal_avg_error: float
+    recal_max_error: float
+    # staleness + epochs
+    frozen_stale: bool
+    recal_stale: bool
+    frozen_residual: float
+    recal_residual: float
+    epochs_minted: int
+    # per-window mean errors, in window order
+    frozen_window_errors: tuple[float, ...]
+    recal_window_errors: tuple[float, ...]
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON — the replay-identity check."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def format_drift_report(report: DriftReport) -> str:
+    """Human-readable rendering for the CLI."""
+    lines = [
+        f"drift scenario on {report.gpu} (preset={report.preset}, "
+        f"seed={report.seed})",
+        f"  windows x generations   {report.windows} x "
+        f"{report.generations // max(report.windows, 1)} "
+        f"({report.horizon_s:.1f} s simulated)",
+        f"  tolerance               {report.tolerance:.3f}",
+        f"  frozen   avg/max error  {report.frozen_avg_error:.2%} / "
+        f"{report.frozen_max_error:.2%}"
+        f"{'  [STALE]' if report.frozen_stale else ''}",
+        f"  recal    avg/max error  {report.recal_avg_error:.2%} / "
+        f"{report.recal_max_error:.2%}"
+        f"{'  [STALE]' if report.recal_stale else ''}",
+        f"  epochs minted           {report.epochs_minted}",
+        f"  digest                  {report.digest()[:16]}…",
+    ]
+    return "\n".join(lines)
+
+
+def run_drift_scenario(spec=None, *, windows: int = 8,
+                       gens_per_window: int = 2,
+                       preset: str = "gentle",
+                       seed: int = 7,
+                       tolerance: float = 0.05,
+                       idle_between_s: float = 10.0,
+                       recalibrate: bool = True,
+                       calibrator=None) -> DriftReport:
+    """Run the drift scenario once; see the module docstring."""
+    from repro.hardware.profiles import SIM4090, build_gpu_workstation
+    from repro.llm.config import GPT2_SMALL
+    from repro.llm.interface import GPT2EnergyInterface
+    from repro.llm.runtime import GPT2Runtime
+    from repro.measurement.nvml import NVMLSim
+
+    if windows < 1 or gens_per_window < 1:
+        raise MeasurementError("need at least one window and one "
+                               "generation per window")
+    if preset not in DRIFT_PRESETS:
+        raise MeasurementError(
+            f"unknown drift preset {preset!r}; expected one of "
+            f"{sorted(DRIFT_PRESETS)}")
+    if spec is None:
+        spec = SIM4090
+    machine = build_gpu_workstation(spec)
+    gpu = machine.component("gpu0")
+    nvml = NVMLSim(gpu, seed=seed)
+    epoch0 = calibrate(machine, source="gpu0", nvml=nvml,
+                       calibrator=calibrator, seed=seed)
+    # Drift starts *after* calibration: the fit is honest at install time.
+    plan = DriftPlan.preset_for(("gpu0",), preset=preset, entropy=seed)
+    plan.install(machine)
+
+    runtime = GPT2Runtime(gpu, GPT2_SMALL)
+    interface = GPT2EnergyInterface(GPT2_SMALL, epoch0.model, spec)
+    recal = StreamingRecalibrator(epoch0, tolerance=tolerance,
+                                  freeze=not recalibrate)
+    frozen_guard = CalibrationGuard(tolerance)
+
+    rng = np.random.default_rng(seed)
+    frozen_errors: list[float] = []
+    recal_errors: list[float] = []
+    frozen_window_means: list[float] = []
+    recal_window_means: list[float] = []
+    gap_s = idle_between_s / gens_per_window
+    for _ in range(windows):
+        window_frozen: list[float] = []
+        window_recal: list[float] = []
+        for _ in range(gens_per_window):
+            n_tokens = int(rng.integers(50, 201))
+            prompt_len = int(rng.integers(8, 65))
+            gpu.idle(gap_s)
+            stats = runtime.generate(prompt_len, n_tokens)
+            measured = nvml.measure_interval(stats.t_start, stats.t_end)
+            counters = interface.predicted_counters(prompt_len, n_tokens)
+            frozen_pred = epoch0.model.predict_joules(counters)
+            recal_pred = recal.predict_joules(counters)
+            window_frozen.append(abs(frozen_pred - measured) / measured)
+            window_recal.append(abs(recal_pred - measured) / measured)
+            frozen_guard.observe(frozen_pred, measured)
+            recal.observe(counters, measured, at=gpu.now)
+        frozen_errors.extend(window_frozen)
+        recal_errors.extend(window_recal)
+        frozen_window_means.append(float(np.mean(window_frozen)))
+        recal_window_means.append(float(np.mean(window_recal)))
+
+    return DriftReport(
+        gpu=spec.name,
+        preset=preset,
+        seed=int(seed),
+        windows=int(windows),
+        generations=windows * gens_per_window,
+        tolerance=float(tolerance),
+        horizon_s=float(gpu.now),
+        frozen_avg_error=float(np.mean(frozen_errors)),
+        frozen_max_error=float(np.max(frozen_errors)),
+        recal_avg_error=float(np.mean(recal_errors)),
+        recal_max_error=float(np.max(recal_errors)),
+        frozen_stale=frozen_guard.stale,
+        recal_stale=recal.stale,
+        frozen_residual=float(frozen_guard.residual),
+        recal_residual=float(recal.residual),
+        epochs_minted=int(recal.epochs_minted),
+        frozen_window_errors=tuple(frozen_window_means),
+        recal_window_errors=tuple(recal_window_means),
+    )

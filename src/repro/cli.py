@@ -33,13 +33,16 @@
 * ``fleet``       — the multi-replica serving fleet: a trace-driven
   multi-tenant workload through N gateway replicas behind an
   energy-aware balancer, with per-tenant budgets enforced fleet-wide by
-  sharded leases (optionally under replica-crash and lease faults).
+  sharded leases (optionally under replica-crash and lease faults);
+* ``drift``       — the calibration-drift drill: calibrate a GPU, let
+  its unit energies drift under a seeded plan, and compare a frozen
+  calibration against online streaming recalibration.
 
-``lint``, ``regress``, ``trace``, ``chaos`` and ``fleet`` share an
-exit-code convention: **0** clean, **1** findings (energy bugs or
-regressions, divergence beyond ``--max-error``, goodput below
-``--min-goodput``, or a fleet budget violation), **2** usage or
-configuration error.
+``lint``, ``regress``, ``trace``, ``chaos``, ``fleet`` and ``drift``
+share an exit-code convention: **0** clean, **1** findings (energy bugs
+or regressions, divergence beyond ``--max-error``, goodput below
+``--min-goodput``, a fleet budget violation, or a stale calibration),
+**2** usage or configuration error.
 """
 
 from __future__ import annotations
@@ -55,12 +58,12 @@ __all__ = ["main"]
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.calibration import calibrate
     from repro.hardware.profiles import SIM3070, SIM4090, \
         build_gpu_workstation
     from repro.llm.config import GPT2_SMALL
     from repro.llm.interface import GPT2EnergyInterface
     from repro.llm.runtime import GPT2Runtime
-    from repro.measurement.calibration import calibrate_gpu
     from repro.measurement.nvml import NVMLSim
 
     rows = []
@@ -68,7 +71,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         machine = build_gpu_workstation(spec)
         gpu = machine.component("gpu0")
         nvml = NVMLSim(gpu, seed=args.seed)
-        model = calibrate_gpu(gpu, nvml)
+        model = calibrate(machine, source="gpu0", nvml=nvml,
+                          seed=args.seed).model
         runtime = GPT2Runtime(gpu, GPT2_SMALL)
         interface = GPT2EnergyInterface(GPT2_SMALL, model, spec)
         rng = np.random.default_rng(3)
@@ -93,15 +97,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_mlservice(args: argparse.Namespace) -> int:
     from repro.apps.mlservice import MLWebService, build_service_machine, \
         build_service_stack
+    from repro.calibration import calibrate
     from repro.core.interface import evaluate
-    from repro.measurement.calibration import calibrate_gpu
-    from repro.measurement.nvml import NVMLSim
     from repro.workloads.traces import image_request_trace
 
     machine = build_service_machine()
     service = MLWebService(machine)
-    gpu = machine.component("gpu0")
-    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=args.seed))
+    model = calibrate(machine, source="gpu0", seed=args.seed).model
     rng = np.random.default_rng(11)
     for request in image_request_trace(500, rng):
         service.handle(request)
@@ -190,16 +192,14 @@ def _cmd_consensus(args: argparse.Namespace) -> int:
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.calibration import calibrate
     from repro.hardware.profiles import SIM3070, SIM4090, \
         build_gpu_workstation
-    from repro.measurement.calibration import calibrate_gpu
-    from repro.measurement.nvml import NVMLSim
 
     spec = {"sim4090": SIM4090, "sim3070": SIM3070}[args.gpu]
     machine = build_gpu_workstation(spec)
-    gpu = machine.component("gpu0")
-    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=args.seed))
-    print(model.describe())
+    epoch = calibrate(machine, source="gpu0", seed=args.seed)
+    print(epoch.model.describe())
     return 0
 
 
@@ -457,6 +457,45 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.calibration import format_drift_report, run_drift_scenario
+    from repro.core.errors import MeasurementError
+    from repro.hardware.profiles import SIM3070, SIM4090
+
+    if args.windows < 1:
+        print("repro-energy drift: --windows must be >= 1", file=sys.stderr)
+        return 2
+    if args.tolerance <= 0:
+        print("repro-energy drift: --tolerance must be positive",
+              file=sys.stderr)
+        return 2
+
+    spec = {"sim4090": SIM4090, "sim3070": SIM3070}[args.gpu]
+    try:
+        report = run_drift_scenario(
+            spec, windows=args.windows, preset=args.preset,
+            seed=args.seed, tolerance=args.tolerance,
+            recalibrate=not args.freeze)
+    except MeasurementError as exc:
+        print(f"repro-energy drift: {exc}", file=sys.stderr)
+        return 2
+    print(format_drift_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"drift report JSON written to {args.json}")
+    # The serving leg is the recalibrated one by default; --freeze turns
+    # recalibration off, so staleness there means the batch calibration
+    # did not survive the drift.
+    if report.recal_stale:
+        leg = "frozen" if args.freeze else "recalibrated"
+        print(f"repro-energy drift: the {leg} calibration went stale "
+              f"(residual {report.recal_residual:.3f} > tolerance "
+              f"{report.tolerance:.3f})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import numpy as _np
 
@@ -545,13 +584,11 @@ def _compile_targets() -> dict:
     def mlservice():
         from repro.apps.mlservice import (MLWebService, build_service_machine,
                                           build_service_stack)
-        from repro.measurement.calibration import calibrate_gpu
-        from repro.measurement.nvml import NVMLSim
+        from repro.calibration import calibrate
         machine = build_service_machine()
         service = MLWebService(machine)
-        gpu = machine.component("gpu0")
         stack = build_service_stack(
-            service, calibrate_gpu(gpu, NVMLSim(gpu, seed=5)))
+            service, calibrate(machine, source="gpu0", seed=5).model)
         targets = []
         for layer in stack.layers:
             for resource in layer.resources():
@@ -817,19 +854,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.apps.mlservice import MLWebService, build_service_machine, \
         build_service_stack
+    from repro.calibration import calibrate
     from repro.core.interface import evaluate
     from repro.core.session import MemoHook, SpanRecorder, chrome_trace, \
         layer_breakdown, render_span_tree
     from repro.core.units import as_joules
-    from repro.measurement.calibration import calibrate_gpu
-    from repro.measurement.nvml import NVMLSim
     from repro.workloads.traces import image_request_trace, \
         repeated_image_trace
 
     machine = build_service_machine()
     service = MLWebService(machine)
-    gpu = machine.component("gpu0")
-    model = calibrate_gpu(gpu, NVMLSim(gpu, seed=args.seed))
+    model = calibrate(machine, source="gpu0", seed=args.seed).model
     rng = np.random.default_rng(11)
     for request in image_request_trace(500, rng):
         service.handle(request)
@@ -1042,6 +1077,30 @@ def main(argv: list[str] | None = None) -> int:
     fleet.add_argument("--json", default=None,
                        help="also write the report JSON here")
     fleet.set_defaults(handler=_cmd_fleet)
+
+    drift = commands.add_parser(
+        "drift", help="calibration drift vs streaming recalibration",
+        epilog="exit codes: 0 = the serving calibration stayed fresh, "
+               "1 = it went stale under drift, 2 = usage or "
+               "configuration error.")
+    drift.add_argument("--gpu", choices=("sim4090", "sim3070"),
+                       default="sim4090")
+    drift.add_argument("--preset", choices=("none", "gentle", "harsh"),
+                       default="gentle",
+                       help="drift severity (default: %(default)s)")
+    drift.add_argument("--windows", type=int, default=8,
+                       help="serving windows to simulate "
+                            "(default: %(default)s)")
+    drift.add_argument("--tolerance", type=float, default=0.05,
+                       help="EWMA residual tolerance before the "
+                            "calibration counts as stale "
+                            "(default: %(default)s)")
+    drift.add_argument("--freeze", action="store_true",
+                       help="disable recalibration: serve the whole run "
+                            "on the batch calibration")
+    drift.add_argument("--json", default=None,
+                       help="also write the drift report JSON here")
+    drift.set_defaults(handler=_cmd_drift)
 
     bench = commands.add_parser(
         "bench", help="compare the Monte Carlo evaluation engines",

@@ -425,6 +425,7 @@ class CompileCache:
         self.maxsize = int(maxsize)
         self.p_quantum = float(p_quantum)
         self._entries: "OrderedDict[tuple, CompiledCall]" = OrderedDict()
+        self._epochs: dict[str, tuple] = {}
         self.stats = {"hits": 0, "misses": 0, "invalidations": 0,
                       "uncacheable": 0}
 
@@ -462,6 +463,26 @@ class CompileCache:
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return entry
+
+    def bind_epoch(self, interface_name: str, fingerprint: tuple) -> int:
+        """Pin an interface's entries to a calibration fingerprint.
+
+        The calibration seam: compiled kernels bake unit energies into
+        their constants, so when the bound
+        :class:`~repro.calibration.CalibrationEpoch`'s quantised
+        fingerprint changes, every entry for that interface is dropped
+        eagerly (a sub-quantum recalibration binds the same fingerprint
+        and is a no-op).  Returns the number of entries invalidated.
+        """
+        previous = self._epochs.get(interface_name)
+        self._epochs[interface_name] = fingerprint
+        if previous is None or previous == fingerprint:
+            return 0
+        stale = [key for key in self._entries if key[0] == interface_name]
+        for key in stale:
+            del self._entries[key]
+        self.stats["invalidations"] += len(stale)
+        return len(stale)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -39,6 +39,7 @@ __all__ = [
     "LintError",
     "RegressError",
     "MeasurementError",
+    "CalibrationStale",
     "HardwareError",
     "SchedulerError",
     "WorkloadError",
@@ -190,6 +191,37 @@ class MeasurementError(EnergyError):
     """Raised by simulated measurement channels (NVML/RAPL) on misuse."""
 
     code = "measurement"
+
+
+class CalibrationStale(MeasurementError):
+    """Typed degradation: a calibrated model no longer matches the device.
+
+    Raised by the calibration guard (:mod:`repro.calibration`) when the
+    EWMA of prediction-vs-measurement residuals exceeds the configured
+    tolerance — the hardware has drifted past what the frozen unit
+    energies can explain.  Consumers (gateway/fleet admission) catch it
+    and either widen their worst-case bounds or reject, accounting the
+    degradation on their reports; it travels the same fault/policy
+    ladder as :class:`FaultInjected`.
+    """
+
+    code = "calibration-stale"
+
+    def __init__(self, message: str = "calibration is stale",
+                 residual: float | None = None,
+                 tolerance: float | None = None,
+                 epoch: int | None = None) -> None:
+        super().__init__(message)
+        self.residual = residual
+        self.tolerance = tolerance
+        self.epoch = epoch
+
+    def to_dict(self) -> dict[str, Any]:
+        data = super().to_dict()
+        data["residual"] = self.residual
+        data["tolerance"] = self.tolerance
+        data["epoch"] = self.epoch
+        return data
 
 
 class HardwareError(EnergyError):

@@ -141,6 +141,17 @@ class Policy:
     #: Fleet: budget-shard lease time-to-live in simulated seconds;
     #: None keeps the fleet's default.
     lease_ttl_s: float | None = None
+    #: Calibration: EWMA residual tolerance before predictions count as
+    #: stale; None disables calibration guarding entirely.
+    calibration_tolerance: float | None = None
+    #: Calibration: what admission does with a stale calibration —
+    #: "widen" serves with an inflated worst-case bound, "reject" sheds.
+    calibration_action: str = "widen"
+    #: Calibration: worst-case bound inflation used by the "widen" action.
+    calibration_widen_factor: float = 1.5
+    #: Calibration: residual observations required before the guard may
+    #: declare staleness (avoids tripping on startup noise).
+    calibration_min_observations: int = 8
 
     def __post_init__(self) -> None:
         if self.replicas is not None and self.replicas < 1:
@@ -149,6 +160,23 @@ class Policy:
         if self.lease_ttl_s is not None and self.lease_ttl_s <= 0:
             raise ServingError(
                 f"lease_ttl_s must be positive, got {self.lease_ttl_s}")
+        if self.calibration_tolerance is not None \
+                and self.calibration_tolerance <= 0:
+            raise ServingError(
+                f"calibration_tolerance must be positive, got "
+                f"{self.calibration_tolerance}")
+        if self.calibration_action not in ("widen", "reject"):
+            raise ServingError(
+                f"calibration_action must be 'widen' or 'reject', got "
+                f"{self.calibration_action!r}")
+        if self.calibration_widen_factor < 1.0:
+            raise ServingError(
+                f"calibration_widen_factor must be >= 1, got "
+                f"{self.calibration_widen_factor}")
+        if self.calibration_min_observations < 1:
+            raise ServingError(
+                f"calibration_min_observations must be >= 1, got "
+                f"{self.calibration_min_observations}")
 
     @property
     def resilient(self) -> bool:

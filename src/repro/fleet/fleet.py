@@ -112,10 +112,21 @@ class EnergyGatewayFleet:
                     / (4.0 * self.n_replicas))
                 shards[tenant] = BudgetShard(
                     tenant, self.coordinator, chunk, self.lease_ttl_s)
+            guard = None
+            if policy.calibration_tolerance is not None:
+                # Lazy import: repro.calibration pulls in the hardware
+                # stack, which the fleet otherwise never needs.
+                from repro.calibration.guard import CalibrationGuard
+                guard = CalibrationGuard(
+                    policy.calibration_tolerance,
+                    min_observations=policy.calibration_min_observations)
             self.replicas.append(FleetReplica(
                 index, self.cost_model, shards,
                 power_watts=power_watts, queue_limit=queue_limit,
-                lease_gate=self._lease_gate))
+                lease_gate=self._lease_gate,
+                calibration_guard=guard,
+                calibration_action=policy.calibration_action,
+                calibration_widen_factor=policy.calibration_widen_factor))
 
     # -- fault wiring --------------------------------------------------------
     def inject_faults(self, plan: FaultPlan | None) -> None:
@@ -233,6 +244,10 @@ class EnergyGatewayFleet:
             dispatch_counts=dispatch_counts,
             replica_crashes=sum(r.crashes for r in self.replicas),
             lease_renewal_faults=self._lease_faults,
+            calibration_stale=sum(r.calibration_stale
+                                  for r in self.replicas),
+            calibration_rejected=sum(r.calibration_rejected
+                                     for r in self.replicas),
             lease_stats=self.coordinator.stats(),
             replica_reports=tuple(r.report(horizon) for r in self.replicas),
         )

@@ -28,6 +28,7 @@ import asyncio
 import math
 from typing import Callable
 
+from repro.core.errors import CalibrationStale
 from repro.fleet.costmodel import CostModel
 from repro.fleet.shards import BudgetShard
 from repro.serving.metrics import ServingReport
@@ -95,7 +96,10 @@ class FleetReplica:
                  shards: dict[str, BudgetShard],
                  power_watts: float = 50.0,
                  queue_limit: int = 256,
-                 lease_gate: Callable[[], bool] | None = None) -> None:
+                 lease_gate: Callable[[], bool] | None = None,
+                 calibration_guard=None,
+                 calibration_action: str = "widen",
+                 calibration_widen_factor: float = 1.5) -> None:
         self.index = int(index)
         self.cost_model = cost_model
         self.shards = shards
@@ -104,6 +108,13 @@ class FleetReplica:
         #: Consulted once per coordinator renewal round; returns False
         #: when the ``"fleet.lease"`` fault site fired for that round.
         self._lease_gate = lease_gate or (lambda: True)
+        #: Optional :class:`~repro.calibration.guard.CalibrationGuard`
+        #: watching this replica's prediction-vs-measured residual; when
+        #: it goes stale, admission widens the worst-case bound or sheds
+        #: per ``calibration_action`` — never serves silently.
+        self.calibration_guard = calibration_guard
+        self.calibration_action = calibration_action
+        self.calibration_widen_factor = float(calibration_widen_factor)
         self._queue: asyncio.Queue | None = None
         # -- balancer-visible load signal --------------------------------
         self._inflight_j = 0.0     # worst-mode joules enqueued, unfinished
@@ -115,6 +126,8 @@ class FleetReplica:
         self.offered = 0           # requests enqueued to this replica
         self.admitted = 0
         self.rejected_budget = 0   # lease could not cover the worst case
+        self.calibration_stale = 0     # decided while the guard was stale
+        self.calibration_rejected = 0  # of which shed outright
         self.shed_crash = 0        # queued requests lost to a crash
         self.crashes = 0
         self.measured_j = 0.0
@@ -215,6 +228,15 @@ class FleetReplica:
         now = request.arrival_s
         self._last_now = max(self._last_now, now)
         self._inflight_j -= worst_j
+        if self.calibration_guard is not None:
+            try:
+                self.calibration_guard.check()
+            except CalibrationStale:
+                self.calibration_stale += 1
+                if self.calibration_action == "reject":
+                    self.calibration_rejected += 1
+                    return
+                worst_j = worst_j * self.calibration_widen_factor
         shard = self.shards[tenant]
         if shard.needs_renewal(worst_j, now):
             covered = shard.ensure_lease(
@@ -225,6 +247,8 @@ class FleetReplica:
             self.rejected_budget += 1
             return
         measured = self.cost_model.measure(request)
+        if self.calibration_guard is not None:
+            self.calibration_guard.observe(expected_j, measured)
         shard.draw(measured, now)
         start = max(now, self._free_at)
         service_s = measured / self.power_watts
@@ -264,6 +288,8 @@ class FleetReplica:
             p99_latency_s=self.latency.percentile(99.0),
             fault_stats=({"replica_crashes": float(self.crashes)}
                          if self.crashes else {}),
+            calibration_stale=self.calibration_stale,
+            calibration_rejected=self.calibration_rejected,
         )
 
     def __repr__(self) -> str:

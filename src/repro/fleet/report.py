@@ -54,6 +54,11 @@ class FleetReport:
     dispatch_counts: tuple[int, ...] = ()
     replica_crashes: int = 0
     lease_renewal_faults: int = 0
+    #: Requests decided while a replica's calibration guard was stale
+    #: (served with widened bounds or shed — accounted, never silent).
+    calibration_stale: int = 0
+    #: The subset of stale-calibration requests that were shed.
+    calibration_rejected: int = 0
     #: Coordinator gossip statistics (grants, denials, returned joules).
     lease_stats: dict[str, float] = field(default_factory=dict)
     replica_reports: tuple[ServingReport, ...] = ()
@@ -119,6 +124,10 @@ def format_fleet_report(report: FleetReport,
         ["replica crashes", str(report.replica_crashes)],
         ["lease renewal faults", str(report.lease_renewal_faults)],
     ]
+    if report.calibration_stale:
+        rows.append(["stale-calibration requests",
+                     str(report.calibration_stale)])
+        rows.append(["  of which shed", str(report.calibration_rejected)])
     if report.lease_stats:
         rows.append(["lease grants",
                      str(int(report.lease_stats.get("grants", 0)))])

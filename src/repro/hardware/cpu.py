@@ -76,6 +76,9 @@ class Package(Component):
         self.leakage = leakage if leakage is not None else LeakageModel(0.004)
         self.cores: list["Core"] = []
         self.powered = True
+        #: Optional :class:`repro.calibration.ComponentDrift` (duck-typed):
+        #: when set, static power and the ambient temperature drift.
+        self.drift = None
 
     # -- power states ---------------------------------------------------------
     def set_powered(self, powered: bool) -> None:
@@ -97,18 +100,25 @@ class Package(Component):
             return 0.0
         base = (self.static_active_w if self.any_core_busy(self.now)
                 else self.static_idle_w)
-        return base * self.leakage.factor(self.thermal.temperature)
+        power = base * self.leakage.factor(self.thermal.temperature)
+        if self.drift is not None:
+            power *= self.drift.static_factor(self.now)
+        return power
 
     def on_advance(self, t_start: float, t_end: float) -> None:
         dt = t_end - t_start
         if dt <= 0:
             return
+        if self.drift is not None:
+            self.drift.advance(self.thermal, t_start)
         if self.powered:
             # Active whenever any core had work during the interval (a core
             # whose task just finished at t_end counts: it ran in [t0, t1]).
             busy = any(core.busy_until > t_start for core in self.cores)
             base = self.static_active_w if busy else self.static_idle_w
             power = base * self.leakage.factor(self.thermal.temperature)
+            if self.drift is not None:
+                power *= self.drift.static_factor(t_start)
             joules = power * dt
             if joules > 0:
                 self.log_activity(t_start, t_end, joules, tag="static")
@@ -126,6 +136,9 @@ class Core(Component):
         package.cores.append(self)
         self._opp: OPP = spec.opp_table.min_opp
         self.busy_until = 0.0
+        #: Optional :class:`repro.calibration.ComponentDrift` (duck-typed):
+        #: when set, per-work dynamic energy drifts over machine time.
+        self.drift = None
 
     # -- DVFS ------------------------------------------------------------------
     @property
@@ -155,7 +168,10 @@ class Core(Component):
         """Extra Joules (above idle) to execute ``work`` at an OPP."""
         chosen = opp if opp is not None else self._opp
         duration = self.duration_of(work, chosen)
-        return (chosen.power_active_w - chosen.power_idle_w) * duration
+        joules = (chosen.power_active_w - chosen.power_idle_w) * duration
+        if self.drift is not None:
+            joules *= self.drift.energy_factor(self.now)
+        return joules
 
     def execute_at(self, t_start: float, work: float, tag: str = "task"
                    ) -> tuple[float, float]:

@@ -52,6 +52,20 @@ class OPP:
         """
         return self.power_active_w / self.capacity
 
+    def scaled(self, power_factor: float) -> "OPP":
+        """This OPP with both power rails scaled by ``power_factor``.
+
+        The DVFS drift seam: an aged or hot part delivers the same
+        frequency/capacity at higher power, so drift scenarios pin cores
+        to a scaled table rather than mutating the frozen spec.
+        """
+        if power_factor < 0:
+            raise HardwareError(
+                f"power factor must be >= 0, got {power_factor}")
+        return OPP(self.frequency_hz, self.capacity,
+                   self.power_active_w * power_factor,
+                   self.power_idle_w * power_factor)
+
 
 class OPPTable:
     """The ordered list of OPPs a core type supports (ascending frequency)."""
@@ -89,6 +103,10 @@ class OPPTable:
     def max_capacity(self) -> float:
         """The capacity at the top OPP."""
         return self._opps[-1].capacity
+
+    def scaled(self, power_factor: float) -> "OPPTable":
+        """A table with every OPP's power scaled by ``power_factor``."""
+        return OPPTable([opp.scaled(power_factor) for opp in self._opps])
 
     def lowest_fitting(self, utilization: float) -> OPP:
         """The most efficient OPP whose capacity covers ``utilization``.

@@ -167,6 +167,10 @@ class GPU(Component):
         self.thermal = ThermalNode(spec.thermal_r, spec.thermal_c,
                                    spec.t_ambient)
         self.leakage = LeakageModel(spec.leakage_coeff, t_ref=spec.t_ambient)
+        #: Optional :class:`repro.calibration.ComponentDrift` (duck-typed):
+        #: when set, per-event energies, static power and the ambient
+        #: temperature wander away from the spec over machine time.
+        self.drift = None
 
     # -- execution ----------------------------------------------------------
     def kernel_duration(self, kernel: KernelProfile) -> float:
@@ -186,7 +190,7 @@ class GPU(Component):
         row_fraction = (kernel.row_miss_fraction
                         if kernel.row_miss_fraction is not None
                         else spec.row_miss_fraction_default)
-        return (
+        joules = (
             kernel.instructions * spec.e_instruction
             + kernel.l1_wavefronts * spec.e_l1_wavefront
             + kernel.l2_sectors * spec.e_l2_sector
@@ -194,6 +198,9 @@ class GPU(Component):
             + kernel.vram_sectors * row_fraction * spec.e_vram_row_activate
             + spec.e_kernel_launch
         )
+        if self.drift is not None:
+            joules *= self.drift.energy_factor(self.now)
+        return joules
 
     def launch(self, kernel: KernelProfile, tag: str | None = None) -> float:
         """Execute a kernel now; returns its duration in seconds.
@@ -231,13 +238,18 @@ class GPU(Component):
         return self.thermal.temperature
 
     def static_power(self) -> float:
-        return self.spec.p_static_w * self.leakage.factor(
+        power = self.spec.p_static_w * self.leakage.factor(
             self.thermal.temperature)
+        if self.drift is not None:
+            power *= self.drift.static_factor(self.now)
+        return power
 
     def on_advance(self, t_start: float, t_end: float) -> None:
         dt = t_end - t_start
         if dt <= 0:
             return
+        if self.drift is not None:
+            self.drift.advance(self.thermal, t_start)
         power = self.static_power()
         joules = power * dt
         if joules > 0:

@@ -228,19 +228,25 @@ def measure_launch_energy(gpu, nvml, static_power_w: float,
 def calibrate_gpu(gpu, nvml, suite=None, repeats: int = 20,
                   min_measure_seconds: float = 0.25,
                   idle_seconds: float = 2.0) -> CalibratedModel:
-    """The full calibration recipe: idle static power, launch overhead,
-    then the suite fit.
+    """Deprecated shim for the historical free-function recipe.
 
-    This is our analogue of "ran the gpu-cache microbenchmark with Nsight
-    Compute CLI to measure the energy for the individual metrics" (§5).
+    The calibration entry point is now
+    :func:`repro.calibration.calibrate` (canonical, keyword-only,
+    returning a versioned epoch) with the microbenchmark recipe living
+    in :class:`repro.calibration.MicrobenchCalibrator`.  This shim keeps
+    the old positional shape working — same arguments, same
+    :class:`CalibratedModel` result — but warns.
     """
-    from repro.measurement.microbench import run_suite
+    import warnings
 
-    static_power = measure_static_power(gpu, nvml, seconds=idle_seconds)
-    launch_energy = measure_launch_energy(gpu, nvml, static_power)
-    samples = run_suite(gpu, nvml, suite=suite, repeats=repeats,
-                        min_measure_seconds=min_measure_seconds)
-    return fit_unit_energies(
-        samples, gpu_name=gpu.spec.name,
-        fixed={"busy_seconds": static_power,
-               "kernel_launches": launch_energy})
+    warnings.warn(
+        "calibrate_gpu(gpu, nvml) is deprecated; use "
+        "repro.calibration.calibrate(machine, source=..., ...) (or "
+        "MicrobenchCalibrator directly) instead",
+        DeprecationWarning, stacklevel=2)
+    from repro.calibration.api import MicrobenchCalibrator
+
+    return MicrobenchCalibrator().calibrate_device(
+        gpu, nvml, suite=suite, repeats=repeats,
+        min_measure_seconds=min_measure_seconds,
+        idle_seconds=idle_seconds)

@@ -19,15 +19,21 @@ simulated workloads single-threaded.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.errors import MeasurementError
 from repro.hardware.gpu import GPU
-from repro.sim.rng import derive_seed
 
 __all__ = ["NVMLSensorProfile", "NVMLSim", "SENSOR_PROFILES"]
+
+#: Spawn-key tag for NVML sensor noise, alongside the Monte Carlo
+#: columns (0xC0/0x0D), faults (0xFA), fleet balancer (0xB7) and drift
+#: (0xD1) tags — so measurement noise replays bitwise across engines and
+#: never aliases another subsystem's stream.
+_NVML_TAG = 0x5E
 
 
 @dataclass(frozen=True)
@@ -73,8 +79,9 @@ class NVMLSim:
             profile = SENSOR_PROFILES.get(gpu.spec.name,
                                           NVMLSensorProfile(gpu.spec.name))
         self.profile = profile
-        self._rng = np.random.default_rng(
-            derive_seed(seed, f"nvml:{gpu.name}:{profile.name}"))
+        channel = zlib.crc32(f"{gpu.name}:{profile.name}".encode("utf-8"))
+        self._rng = np.random.default_rng(np.random.SeedSequence(
+            int(seed), spawn_key=(_NVML_TAG, channel)))
 
     # -- internals -------------------------------------------------------------
     def _ledger(self):

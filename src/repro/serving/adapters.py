@@ -131,15 +131,13 @@ class MLServiceAdapter(ServiceAdapter):
             build_service_machine,
             build_service_stack,
         )
-        from repro.measurement.calibration import calibrate_gpu
-        from repro.measurement.nvml import NVMLSim
+        from repro.calibration import calibrate
         from repro.workloads.traces import repeated_image_trace
 
         if machine is None:
             machine = build_service_machine()
         self.service = MLWebService(machine)
-        gpu = machine.component("gpu0")
-        calibrated = calibrate_gpu(gpu, NVMLSim(gpu, seed=seed))
+        calibrated = calibrate(machine, source="gpu0", seed=seed).model
         self.stack = build_service_stack(self.service, calibrated)
         interface = self.stack.resource("runtime/ml_webservice") \
             .energy_interface
@@ -226,14 +224,13 @@ class GPT2Adapter(ServiceAdapter):
         from repro.llm.config import GPT2_SMALL
         from repro.llm.interface import GPT2EnergyInterface
         from repro.llm.runtime import GPT2Runtime
-        from repro.measurement.calibration import calibrate_gpu
-        from repro.measurement.nvml import NVMLSim
+        from repro.calibration import calibrate
 
         if machine is None:
             machine = build_gpu_workstation(SIM4090)
         gpu = machine.component("gpu0")
         spec = gpu.spec
-        calibrated = calibrate_gpu(gpu, NVMLSim(gpu, seed=seed))
+        calibrated = calibrate(machine, source="gpu0", seed=seed).model
         self.runtime = GPT2Runtime(gpu, GPT2_SMALL)
         super().__init__("llm", machine,
                          GPT2EnergyInterface(GPT2_SMALL, calibrated, spec),

@@ -29,7 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
-from repro.core.errors import ServingError
+from repro.core.errors import CalibrationStale, ServingError
 from repro.core.policy import Policy, resolve_policy
 from repro.core.session import EvalSession
 from repro.core.units import as_joules
@@ -136,6 +136,16 @@ class EnergyAwareGateway:
         self._ledger_mark = 0.0
         self._eval_status: str | None = None
         self._eval_faults: list[str] = []
+        # The calibration guard watches served predictions against
+        # measured energy; stale predictions are widened or rejected per
+        # the policy, never trusted silently.
+        self.calibration_guard = None
+        if self.config.policy.calibration_tolerance is not None:
+            from repro.calibration.guard import CalibrationGuard
+            self.calibration_guard = CalibrationGuard(
+                self.config.policy.calibration_tolerance,
+                min_observations=self.config.policy
+                .calibration_min_observations)
 
     def inject_faults(self, plan) -> Any:
         """Install a :class:`repro.faults.FaultPlan` on the session.
@@ -354,12 +364,42 @@ class EnergyAwareGateway:
             ))
             return None
         expected, worst = predicted
+        stale: CalibrationStale | None = None
+        if self.calibration_guard is not None:
+            try:
+                self.calibration_guard.check()
+            except CalibrationStale as err:
+                stale = err
+        if stale is not None:
+            if self.config.policy.calibration_action == "reject":
+                self.metrics.add(RequestRecord(
+                    request_id=item.request_id,
+                    arrival_s=item.arrival_s,
+                    decision="reject",
+                    reason=f"calibration stale: residual "
+                           f"{stale.residual:.3f} > {stale.tolerance:.3f}",
+                    predicted_expected_j=expected,
+                    predicted_worst_j=worst,
+                    deferrals=item.deferrals,
+                    eval_status=self._eval_status,
+                    eval_faults=tuple(self._eval_faults),
+                    calibration_stale=True,
+                ))
+                return None
+            # "widen": keep serving, but admission must cover the drifted
+            # hardware — inflate the worst-case bound.
+            worst *= self.config.policy.calibration_widen_factor
         quantile = self._predict_quantile(item.request)
         item.costs = (expected, worst)
         degraded_request = self.adapter.degrade(item.request)
         degraded_costs: tuple[float, float] | None = None
         if degraded_request is not None:
             degraded_costs = self._predict(degraded_request)
+            if degraded_costs is not None and stale is not None:
+                degraded_costs = (
+                    degraded_costs[0],
+                    degraded_costs[1]
+                    * self.config.policy.calibration_widen_factor)
 
         ctx = AdmissionContext(
             now=now,
@@ -416,6 +456,8 @@ class EnergyAwareGateway:
             busy = machine.now - t0_machine
             measured = machine.ledger.total_joules() - joules_before
             self._settle(now)  # charges `measured` to the budget
+            if self.calibration_guard is not None:
+                self.calibration_guard.observe(predicted[0], measured)
             self._ewma_service_s = (
                 busy if self._ewma_service_s == 0.0
                 else (self.config.ewma_alpha * busy
@@ -437,6 +479,7 @@ class EnergyAwareGateway:
                 degraded=degraded,
                 eval_status=self._eval_status,
                 eval_faults=tuple(self._eval_faults),
+                calibration_stale=stale is not None,
             ))
             return busy
 
@@ -451,6 +494,7 @@ class EnergyAwareGateway:
             deferrals=item.deferrals,
             eval_status=self._eval_status,
             eval_faults=tuple(self._eval_faults),
+            calibration_stale=stale is not None,
         ))
         return None
 

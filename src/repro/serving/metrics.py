@@ -55,6 +55,9 @@ class RequestRecord:
     eval_status: str | None = None
     #: Error codes met while predicting (retries and degradations).
     eval_faults: tuple = ()
+    #: The calibration guard was stale when this request was decided
+    #: (served with a widened bound, or rejected outright).
+    calibration_stale: bool = False
 
     @property
     def admitted(self) -> bool:
@@ -106,6 +109,11 @@ class ServingReport:
     #: Fault-injection statistics from the session's fault hook, when a
     #: chaos run installed one (injected counts per site).
     fault_stats: dict[str, float] = field(default_factory=dict)
+    #: Requests decided while the calibration guard was stale (served
+    #: with widened bounds or rejected — never silently).
+    calibration_stale: int = 0
+    #: The subset of stale-calibration requests that were rejected.
+    calibration_rejected: int = 0
 
     @property
     def goodput(self) -> float:
@@ -183,6 +191,12 @@ class ServingMetrics:
             eval_rejected=sum(1 for r in self.records
                               if r.eval_status == "rejected"),
             fault_stats=dict(fault_stats or {}),
+            calibration_stale=sum(1 for r in self.records
+                                  if r.calibration_stale),
+            calibration_rejected=sum(1 for r in self.records
+                                     if r.calibration_stale
+                                     and r.decision == "reject"
+                                     and not r.admitted),
         )
 
 
@@ -240,4 +254,9 @@ def format_report(report: ServingReport, title: str = "serving report"
         rows.append(["rejected predictions", str(report.eval_rejected)])
         rows.append(["faults injected",
                      str(int(report.fault_stats.get("total_injected", 0)))])
+    if report.calibration_stale:
+        rows.append(["stale-calibration requests",
+                     str(report.calibration_stale)])
+        rows.append(["  of which rejected",
+                     str(report.calibration_rejected)])
     return format_table(["metric", "value"], rows, title=title)

@@ -11,8 +11,7 @@ from repro.apps.mlservice import (
     build_service_machine,
     build_service_stack,
 )
-from repro.measurement.calibration import calibrate_gpu
-from repro.measurement.nvml import NVMLSim
+from repro.calibration import calibrate
 from repro.workloads.traces import ImageRequest, image_request_trace
 
 
@@ -22,8 +21,7 @@ def build_service():
 
 
 def calibrated(machine, seed=5):
-    gpu = machine.component("gpu0")
-    return calibrate_gpu(gpu, NVMLSim(gpu, seed=seed))
+    return calibrate(machine, source="gpu0", seed=seed).model
 
 
 class TestCNNModel:

@@ -1,0 +1,124 @@
+"""Drift processes: replay identity, partition independence, install."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import ComponentDrift, DriftPlan, DriftProcess
+from repro.core.errors import HardwareError
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+
+
+class TestDriftProcess:
+    def test_factor_is_one_before_t0(self):
+        p = DriftProcess("k", entropy=1, rate_per_s=0.01, sigma=0.1, t0=5.0)
+        assert p.factor(0.0) == 1.0
+        assert p.factor(5.0) == 1.0
+
+    def test_replay_identity(self):
+        a = DriftProcess("k", entropy=42, rate_per_s=1e-3, sigma=0.05)
+        b = DriftProcess("k", entropy=42, rate_per_s=1e-3, sigma=0.05)
+        ts = np.linspace(0.0, 120.0, 241)
+        assert [a.factor(t) for t in ts] == [b.factor(t) for t in ts]
+
+    def test_partition_independence(self):
+        """Querying at a coarse grid then fine must not change the path."""
+        a = DriftProcess("k", entropy=7, sigma=0.05)
+        b = DriftProcess("k", entropy=7, sigma=0.05)
+        a.factor(100.0)                       # jump straight to the end
+        fine = [b.factor(t) for t in np.linspace(0.0, 100.0, 500)]
+        assert a.factor(100.0) == fine[-1]
+
+    def test_different_keys_different_paths(self):
+        a = DriftProcess("energy", entropy=7, sigma=0.1)
+        b = DriftProcess("static", entropy=7, sigma=0.1)
+        assert a.factor(60.0) != b.factor(60.0)
+
+    def test_different_entropy_different_paths(self):
+        a = DriftProcess("k", entropy=1, sigma=0.1)
+        b = DriftProcess("k", entropy=2, sigma=0.1)
+        assert a.factor(60.0) != b.factor(60.0)
+
+    def test_deterministic_ramp_without_sigma(self):
+        p = DriftProcess("k", entropy=3, rate_per_s=0.01)
+        assert p.factor(10.0) == pytest.approx(1.1)
+
+    def test_factor_stays_positive(self):
+        p = DriftProcess("k", entropy=9, rate_per_s=-1.0, sigma=0.2)
+        assert p.factor(1000.0) >= 0.0
+
+    def test_rebased_shifts_origin(self):
+        p = DriftProcess("k", entropy=3, rate_per_s=0.01)
+        q = p.rebased(50.0)
+        assert q.factor(50.0) == 1.0
+        assert q.factor(60.0) == pytest.approx(p.factor(10.0))
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            DriftProcess("k", tau_s=0.0)
+        with pytest.raises(HardwareError):
+            DriftProcess("k", sigma=-0.1)
+
+
+class TestDriftPlan:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(HardwareError):
+            DriftPlan.preset_for(("gpu0",), preset="cataclysmic")
+
+    def test_install_rebases_to_machine_clock(self):
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        gpu.idle(3.0)
+        plan = DriftPlan.preset_for(("gpu0",), preset="gentle", entropy=7)
+        plan.install(machine)
+        assert gpu.drift is not None
+        assert gpu.drift.energy_factor(machine.now) == 1.0
+
+    def test_install_rejects_component_without_drift_support(self):
+        machine = build_gpu_workstation(SIM4090)
+        plan = DriftPlan({"dram0": ComponentDrift()}, entropy=7)
+        with pytest.raises(HardwareError, match="drift"):
+            plan.install(machine)
+
+    def test_remove_detaches(self):
+        machine = build_gpu_workstation(SIM4090)
+        plan = DriftPlan.preset_for(("gpu0",), preset="gentle", entropy=7)
+        plan.install(machine)
+        plan.remove(machine)
+        assert machine.component("gpu0").drift is None
+
+    def test_drift_moves_measured_energy(self):
+        """The same workload costs more once an aging drift is installed."""
+        def run(with_drift):
+            machine = build_gpu_workstation(SIM4090)
+            gpu = machine.component("gpu0")
+            if with_drift:
+                plan = DriftPlan(
+                    {"gpu0": ComponentDrift(
+                        energy=DriftProcess("gpu0:energy", entropy=7,
+                                            rate_per_s=5e-3),
+                        static=DriftProcess("gpu0:static", entropy=7,
+                                            rate_per_s=5e-3))},
+                    entropy=7)
+                plan.install(machine)
+            t0 = machine.now
+            for _ in range(20):
+                gpu.idle(1.0)
+            return machine.ledger.energy_between(t0, machine.now)
+
+        assert run(True) > 1.02 * run(False)
+
+    def test_ambient_wander_moves_thermal_node(self):
+        machine = build_gpu_workstation(SIM4090)
+        gpu = machine.component("gpu0")
+        base = gpu.thermal.t_ambient
+        plan = DriftPlan(
+            {"gpu0": ComponentDrift(
+                ambient=DriftProcess("gpu0:ambient", entropy=7, sigma=0.05),
+                ambient_scale_c=40.0)},
+            entropy=7)
+        plan.install(machine)
+        # Stepped idles: drift is sampled at each advance's start time,
+        # so the wander needs the clock past t0 before it shows.
+        for _ in range(30):
+            gpu.idle(1.0)
+        assert gpu.thermal.t_ambient != base

@@ -1,0 +1,111 @@
+"""The calibration seam: epoch fingerprints gate the compile cache."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.calibration import calibrate
+from repro.compile import CompileCache
+from repro.core.ecv import BernoulliECV, ECVEnvironment
+from repro.core.interface import EnergyInterface
+from repro.core.units import Energy
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+
+
+class EpochIface(EnergyInterface):
+    def __init__(self, name="epochtest"):
+        super().__init__(name)
+        self.declare_ecv(BernoulliECV("hit", p=0.5, description="hit"))
+
+    def E_op(self, n):
+        return Energy(1e-9 * n if self.ecv("hit") else 20e-9 * n)
+
+
+def fill(cache, iface, n_entries=3):
+    for n in range(1, n_entries + 1):
+        cache.get(iface("E_op", 100 * n), ECVEnvironment.EMPTY)
+
+
+class TestBindEpoch:
+    def test_first_bind_invalidates_nothing(self):
+        cache = CompileCache()
+        iface = EpochIface()
+        fill(cache, iface)
+        assert cache.bind_epoch("epochtest", ("fp", 1)) == 0
+        assert len(cache) == 3
+
+    def test_rebinding_the_same_fingerprint_is_a_noop(self):
+        cache = CompileCache()
+        iface = EpochIface()
+        fill(cache, iface)
+        cache.bind_epoch("epochtest", ("fp", 1))
+        assert cache.bind_epoch("epochtest", ("fp", 1)) == 0
+        assert len(cache) == 3
+        assert cache.stats["invalidations"] == 0
+
+    def test_fingerprint_change_drops_only_that_interface(self):
+        cache = CompileCache()
+        mine = EpochIface("epochtest")
+        other = EpochIface("bystander")
+        fill(cache, mine, 3)
+        fill(cache, other, 2)
+        cache.bind_epoch("epochtest", ("fp", 1))
+        dropped = cache.bind_epoch("epochtest", ("fp", 2))
+        assert dropped == 3
+        assert len(cache) == 2     # the bystander's entries survive
+        assert cache.stats["invalidations"] == 3
+        # The bystander still hits.
+        cache.get(other("E_op", 100), ECVEnvironment.EMPTY)
+        assert cache.stats["hits"] >= 1
+
+    def test_dropped_entries_recompile_on_next_lookup(self):
+        cache = CompileCache()
+        iface = EpochIface()
+        first = cache.get(iface("E_op", 100), ECVEnvironment.EMPTY)
+        cache.bind_epoch("epochtest", ("fp", 1))
+        cache.bind_epoch("epochtest", ("fp", 2))
+        second = cache.get(iface("E_op", 100), ECVEnvironment.EMPTY)
+        assert second is not first
+        assert second.dist.mean() == pytest.approx(first.dist.mean())
+
+
+class TestEpochDrivenInvalidation:
+    """End to end with real CalibrationEpoch fingerprints."""
+
+    def setup_method(self):
+        from repro.calibration.api import DEFAULT_UNIT_QUANTUM as q
+        machine = build_gpu_workstation(SIM4090)
+        self.machine = machine
+        epoch = calibrate(machine, source="gpu0", calibrator="oracle")
+        # Snap the units to quantisation-bin centers: the x1.001 jitter
+        # below is then provably inside one bin (no boundary flakiness).
+        units = {m: math.exp(round(math.log(v) / q) * q)
+                 for m, v in epoch.model.unit_energies.items()}
+        self.epoch = replace(epoch,
+                             model=replace(epoch.model, unit_energies=units))
+
+    def _advanced(self, scale):
+        units = {m: v * scale
+                 for m, v in self.epoch.model.unit_energies.items()}
+        return self.epoch.advanced(
+            replace(self.epoch.model, unit_energies=units),
+            at=self.machine.now)
+
+    def test_sub_quantum_recalibration_keeps_the_cache_warm(self):
+        cache = CompileCache()
+        iface = EpochIface()
+        fill(cache, iface)
+        cache.bind_epoch(iface.name, self.epoch.fingerprint())
+        jittered = self._advanced(1.001)
+        assert cache.bind_epoch(iface.name, jittered.fingerprint()) == 0
+        assert len(cache) == 3
+
+    def test_super_quantum_recalibration_flushes(self):
+        cache = CompileCache()
+        iface = EpochIface()
+        fill(cache, iface)
+        cache.bind_epoch(iface.name, self.epoch.fingerprint())
+        drifted = self._advanced(1.10)
+        assert cache.bind_epoch(iface.name, drifted.fingerprint()) == 3
+        assert len(cache) == 0

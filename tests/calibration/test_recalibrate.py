@@ -1,0 +1,247 @@
+"""Streaming recalibration: convergence, staleness, epoch minting."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    CalibrationGuard,
+    StreamingRecalibrator,
+    calibrate,
+)
+from repro.core.errors import CalibrationStale, MeasurementError
+from repro.hardware.profiles import SIM4090, build_gpu_workstation
+from repro.measurement.calibration import METRICS
+
+
+def oracle_epoch():
+    machine = build_gpu_workstation(SIM4090)
+    return calibrate(machine, source="gpu0", calibrator="oracle")
+
+
+def workload_counters(rng):
+    """A plausibly-shaped counter vector (decode-dominated)."""
+    scale = float(rng.uniform(0.5, 2.0))
+    return {
+        "instructions": 2e9 * scale,
+        "l1_wavefronts": 5e7 * scale,
+        "l2_sectors": 3e7 * scale,
+        "vram_sectors": 4e8 * scale,
+        "kernel_launches": 4e3 * scale,
+        "busy_seconds": 0.4 * scale,
+    }
+
+
+class TestConvergence:
+    def test_tracks_a_uniform_drift_ramp(self):
+        """Measured energy ramps +0.4%/observation; the Kalman fit must
+        keep relative error well under the frozen model's."""
+        epoch = oracle_epoch()
+        recal = StreamingRecalibrator(epoch, tolerance=0.05)
+        rng = np.random.default_rng(0)
+        frozen_errors, recal_errors = [], []
+        for k in range(60):
+            counters = workload_counters(rng)
+            factor = 1.0 + 0.004 * k
+            measured = epoch.model.predict_joules(counters) * factor
+            frozen_errors.append(
+                abs(epoch.model.predict_joules(counters) - measured)
+                / measured)
+            recal_errors.append(
+                abs(recal.predict_joules(counters) - measured) / measured)
+            recal.observe(counters, measured)
+        # Skip the first few observations (the filter is still warming).
+        assert float(np.mean(recal_errors[10:])) \
+            < 0.25 * float(np.mean(frozen_errors[10:]))
+        assert not recal.stale
+
+    def test_frozen_leg_goes_stale_on_the_same_ramp(self):
+        epoch = oracle_epoch()
+        frozen = StreamingRecalibrator(epoch, tolerance=0.05, freeze=True)
+        rng = np.random.default_rng(0)
+        for k in range(60):
+            counters = workload_counters(rng)
+            measured = epoch.model.predict_joules(counters) * (1 + 0.004 * k)
+            frozen.observe(counters, measured)
+        assert frozen.stale
+        assert frozen.epochs_minted == 0
+        assert frozen.model is epoch.model
+
+    def test_noise_only_observations_stay_fresh(self):
+        epoch = oracle_epoch()
+        recal = StreamingRecalibrator(epoch, tolerance=0.05)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            counters = workload_counters(rng)
+            measured = epoch.model.predict_joules(counters) \
+                * float(rng.normal(1.0, 0.005))
+            recal.observe(counters, measured)
+        assert not recal.stale
+        assert recal.residual < 0.03
+
+
+class TestStaleness:
+    def test_stale_exactly_when_tolerance_crossed(self):
+        """Stale iff the EWMA *exceeds* (not merely reaches) tolerance.
+
+        Exact binary fractions keep the boundary comparison float-safe:
+        with predicted 1.0625 and measured 1.0 the relative residual is
+        exactly 0.0625.
+        """
+        at_tolerance = CalibrationGuard(0.0625, min_observations=1)
+        at_tolerance.observe(1.0625, 1.0)
+        assert at_tolerance.residual == 0.0625
+        assert not at_tolerance.stale
+        at_tolerance.check()   # must NOT raise at the boundary
+
+        over_tolerance = CalibrationGuard(0.0625, min_observations=1)
+        over_tolerance.observe(1.0635, 1.0)
+        assert over_tolerance.stale
+        with pytest.raises(CalibrationStale):
+            over_tolerance.check()
+
+    def test_recalibrator_staleness_direction(self):
+        epoch = oracle_epoch()
+        rng = np.random.default_rng(2)
+        counters = workload_counters(rng)
+        for rel, expect_stale in ((0.02, False), (0.20, True)):
+            recal = StreamingRecalibrator(epoch, tolerance=0.05,
+                                          min_observations=1, freeze=True)
+            measured = epoch.model.predict_joules(counters) * (1.0 + rel)
+            recal.observe(counters, measured)
+            assert recal.stale is expect_stale
+
+    def test_min_observations_gate(self):
+        epoch = oracle_epoch()
+        recal = StreamingRecalibrator(epoch, tolerance=0.01,
+                                      min_observations=5, freeze=True)
+        rng = np.random.default_rng(3)
+        counters = workload_counters(rng)
+        measured = epoch.model.predict_joules(counters) * 1.5
+        for n in range(4):
+            recal.observe(counters, measured)
+            assert not recal.stale        # gated by min_observations
+        recal.observe(counters, measured)
+        assert recal.stale
+
+    def test_check_raises_typed_error_with_fields(self):
+        epoch = oracle_epoch()
+        recal = StreamingRecalibrator(epoch, tolerance=0.02,
+                                      min_observations=1, freeze=True)
+        rng = np.random.default_rng(4)
+        counters = workload_counters(rng)
+        recal.observe(counters,
+                      epoch.model.predict_joules(counters) * 1.2)
+        with pytest.raises(CalibrationStale) as excinfo:
+            recal.check()
+        err = excinfo.value
+        assert err.code == "calibration-stale"
+        assert err.residual > err.tolerance == 0.02
+        assert err.epoch == epoch.epoch
+        payload = err.to_dict()
+        assert payload["residual"] == pytest.approx(err.residual)
+
+    def test_rejects_nonpositive_measurement(self):
+        epoch = oracle_epoch()
+        recal = StreamingRecalibrator(epoch)
+        rng = np.random.default_rng(5)
+        with pytest.raises(MeasurementError):
+            recal.observe(workload_counters(rng), 0.0)
+
+    def test_knob_validation(self):
+        epoch = oracle_epoch()
+        with pytest.raises(MeasurementError):
+            StreamingRecalibrator(epoch, process_noise=0.0)
+        with pytest.raises(MeasurementError):
+            StreamingRecalibrator(epoch, ewma_alpha=1.5)
+        with pytest.raises(MeasurementError):
+            StreamingRecalibrator(epoch, tolerance=-1.0)
+
+
+def bin_centered_epoch():
+    """An oracle epoch with units snapped to fingerprint-bin centers, so
+    sub-quantum wobble in the fit provably cannot flip a rounded print."""
+    import math
+    from dataclasses import replace
+
+    from repro.calibration.api import DEFAULT_UNIT_QUANTUM as q
+    epoch = oracle_epoch()
+    units = {m: math.exp(round(math.log(v) / q) * q)
+             for m, v in epoch.model.unit_energies.items()}
+    return replace(epoch, model=replace(epoch.model, unit_energies=units))
+
+
+class TestEpochMinting:
+    def test_large_drift_mints_epochs_small_jitter_does_not(self):
+        epoch = bin_centered_epoch()
+        recal = StreamingRecalibrator(epoch, tolerance=0.5)
+        rng = np.random.default_rng(6)
+        # Tiny jitter: no epoch churn.
+        for _ in range(20):
+            counters = workload_counters(rng)
+            measured = epoch.model.predict_joules(counters) \
+                * float(rng.normal(1.0, 0.001))
+            recal.observe(counters, measured)
+        assert recal.epochs_minted == 0
+        assert recal.epoch.epoch == epoch.epoch
+        # A 30% jump: the fit crosses quantum boundaries and mints.
+        minted = None
+        for _ in range(20):
+            counters = workload_counters(rng)
+            measured = epoch.model.predict_joules(counters) * 1.3
+            result = recal.observe(counters, measured)
+            minted = result or minted
+        assert recal.epochs_minted >= 1
+        assert minted is not None
+        assert minted.epoch > epoch.epoch
+        assert minted.fingerprint() != epoch.fingerprint()
+
+    def test_minted_epoch_never_mutates_the_original(self):
+        epoch = oracle_epoch()
+        original_units = dict(epoch.model.unit_energies)
+        recal = StreamingRecalibrator(epoch, tolerance=0.5)
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            counters = workload_counters(rng)
+            recal.observe(counters,
+                          epoch.model.predict_joules(counters) * 1.4)
+        assert epoch.model.unit_energies == original_units
+
+
+class TestGuard:
+    def test_guard_mirrors_recalibrator_ewma(self):
+        guard = CalibrationGuard(0.05, min_observations=1)
+        guard.observe(110.0, 100.0)
+        assert guard.residual == pytest.approx(0.1)
+        assert guard.stale
+        with pytest.raises(CalibrationStale):
+            guard.check()
+        assert guard.stale_checks == 1
+
+    def test_guard_ignores_nonpositive_measurements(self):
+        guard = CalibrationGuard(0.05)
+        guard.observe(1.0, 0.0)
+        assert guard.observations == 0
+
+    def test_reset_clears_state(self):
+        guard = CalibrationGuard(0.05, min_observations=1)
+        guard.observe(2.0, 1.0)
+        guard.reset()
+        assert not guard.stale
+        assert guard.residual == 0.0
+
+    def test_ewma_weighting(self):
+        guard = CalibrationGuard(0.5, alpha=0.25, min_observations=1)
+        guard.observe(1.2, 1.0)   # rel 0.2
+        guard.observe(1.0, 1.0)   # rel 0.0
+        assert guard.residual == pytest.approx(0.75 * 0.2)
+
+
+class TestModelShape:
+    def test_recalibrated_units_cover_all_metrics(self):
+        epoch = oracle_epoch()
+        recal = StreamingRecalibrator(epoch)
+        rng = np.random.default_rng(8)
+        counters = workload_counters(rng)
+        recal.observe(counters, epoch.model.predict_joules(counters) * 1.1)
+        assert set(recal.model.unit_energies) == set(METRICS)
+        assert all(v >= 0.0 for v in recal.model.unit_energies.values())

@@ -1,0 +1,173 @@
+"""Stale calibration through admission: accounted, never silent."""
+
+import dataclasses
+
+from repro.calibration import DriftProcess, DriftingCostModel
+from repro.core.interface import EnergyInterface
+from repro.core.policy import Policy
+from repro.core.units import Energy
+from repro.fleet import EnergyGatewayFleet, WorkCostModel, format_fleet_report
+from repro.serving import (
+    AdmitAllPolicy,
+    EnergyAwareGateway,
+    EnergyBudget,
+    GatewayConfig,
+    format_report,
+)
+from repro.serving.adapters import ServiceAdapter
+from repro.sim.rng import RngFactory
+from repro.workloads import (
+    fleet_request_trace,
+    poisson_arrivals,
+    zipf_tenant_trace,
+)
+
+
+class _Ledger:
+    def __init__(self):
+        self.joules = 0.0
+
+    def total_joules(self):
+        return self.joules
+
+
+class _FakeMachine:
+    def __init__(self):
+        self.now = 0.0
+        self.ledger = _Ledger()
+
+    def advance_to(self, t):
+        self.now = max(self.now, t)
+
+
+class _ConstInterface(EnergyInterface):
+    def __init__(self, joules):
+        super().__init__("const")
+        self.joules = joules
+
+    def E_op(self):
+        return Energy(self.joules)
+
+
+class MiscalibratedAdapter(ServiceAdapter):
+    """Predicts 1 J/op but actually burns ``true_joules`` — the drifted
+    hardware the calibration guard is there to catch."""
+
+    def __init__(self, true_joules=1.3):
+        super().__init__("miscal", _FakeMachine(), _ConstInterface(1.0))
+        self.true_joules = true_joules
+
+    def cost_call(self, request):
+        return "E_op", ()
+
+    def _run(self, request):
+        self.machine.now += 0.01
+        self.machine.ledger.joules += self.true_joules
+
+    def degrade(self, request):
+        return None
+
+
+def arrivals(n, spacing=0.1):
+    return [(spacing * (i + 1), f"req{i}") for i in range(n)]
+
+
+def serve(policy, n=10):
+    adapter = MiscalibratedAdapter()
+    gateway = EnergyAwareGateway(adapter, EnergyBudget("b", 1000.0),
+                                 AdmitAllPolicy(),
+                                 config=GatewayConfig(policy=policy))
+    return gateway.serve(arrivals(n))
+
+
+class TestGatewayAccounting:
+    def test_no_guard_by_default(self):
+        report = serve(Policy())
+        assert report.calibration_stale == 0
+        assert report.calibration_rejected == 0
+
+    def test_widen_serves_but_accounts(self):
+        report = serve(Policy(calibration_tolerance=0.1,
+                              calibration_min_observations=3))
+        # Residual 0.3/1.3 per request: stale after 3 observations, so
+        # every later request is decided under a stale guard.
+        assert report.admitted == 10
+        assert report.calibration_stale == 7
+        assert report.calibration_rejected == 0
+        assert "stale-calibration requests" in format_report(report)
+
+    def test_reject_sheds_and_accounts(self):
+        report = serve(Policy(calibration_tolerance=0.1,
+                              calibration_min_observations=3,
+                              calibration_action="reject"))
+        # Rejected requests never run, so the guard sees no fresh
+        # observations and the gateway stays closed.
+        assert report.admitted == 3
+        assert report.rejected == 7
+        assert report.calibration_stale == 7
+        assert report.calibration_rejected == 7
+
+    def test_stale_requests_flagged_on_records(self):
+        adapter = MiscalibratedAdapter()
+        gateway = EnergyAwareGateway(
+            adapter, EnergyBudget("b", 1000.0), AdmitAllPolicy(),
+            config=GatewayConfig(policy=Policy(
+                calibration_tolerance=0.1,
+                calibration_min_observations=3)))
+        gateway.serve(arrivals(10))
+        flagged = [r for r in gateway.metrics.records if r.calibration_stale]
+        assert len(flagged) == 7
+        assert all(r.admitted for r in flagged)   # widen mode still serves
+
+
+BUDGETS = {"t0": "5J+2W", "t1": "3J+1W", "t2": "2J+0.5W"}
+
+
+def drifting_trace(seed=42, rate=200.0, horizon=30.0):
+    rng = RngFactory(seed)
+    times = poisson_arrivals(rate, horizon, rng.stream("arrivals"))
+    ids = zipf_tenant_trace(len(times), 3, rng)
+    return list(fleet_request_trace(times, ids, rng))
+
+
+def run_drifting_fleet(action):
+    # WorkCostModel's spread (0.25) alone gives a stationary mean
+    # residual of ~0.125; tolerance 0.17 only trips once the drift ramp
+    # (5e-3/s over 30 s -> x1.15 peak) stacks on top.
+    model = DriftingCostModel(
+        WorkCostModel(),
+        DriftProcess("fleet:energy", entropy=7, rate_per_s=5e-3))
+    fleet = EnergyGatewayFleet(
+        BUDGETS,
+        policy=Policy(replicas=2, calibration_tolerance=0.17,
+                      calibration_action=action),
+        cost_model=model)
+    return fleet.serve(iter(drifting_trace()))
+
+
+class TestFleetAccounting:
+    def test_widen_accounts_and_keeps_serving(self):
+        report = run_drifting_fleet("widen")
+        assert report.calibration_stale > 0
+        assert report.calibration_rejected == 0
+        assert report.admitted > report.calibration_stale
+        assert report.violations == {}
+        # Per-replica counters sum to the fleet roll-up.
+        assert sum(r.calibration_stale for r in report.replica_reports) \
+            == report.calibration_stale
+        assert "stale-calibration requests" in format_fleet_report(report)
+
+    def test_reject_sheds_stale_requests(self):
+        report = run_drifting_fleet("reject")
+        assert report.calibration_rejected > 0
+        assert report.calibration_rejected == report.calibration_stale
+        # Shed requests are accounted under their own counter, so the
+        # ledger of outcomes still balances.
+        assert report.admitted + report.rejected + report.shed_crash \
+            + report.shed_no_replica + report.calibration_rejected \
+            == report.offered
+
+    def test_drifting_fleet_replays_bitwise(self):
+        a = run_drifting_fleet("widen")
+        b = run_drifting_fleet("widen")
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)

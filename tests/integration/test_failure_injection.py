@@ -14,7 +14,7 @@ from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
 from repro.llm.config import GPT2_SMALL
 from repro.llm.interface import GPT2EnergyInterface
 from repro.llm.runtime import GPT2Runtime
-from repro.measurement.calibration import calibrate_gpu
+from repro.calibration import calibrate
 from repro.measurement.nvml import NVMLSensorProfile, NVMLSim
 
 
@@ -25,12 +25,13 @@ class TestCrossDeviceCalibration:
         errors would be meaningless."""
         machine30 = build_gpu_workstation(SIM3070)
         gpu30 = machine30.component("gpu0")
-        wrong_model = calibrate_gpu(gpu30, NVMLSim(gpu30, seed=7))
+        wrong_model = calibrate(machine30, source="gpu0", seed=7).model
 
         machine40 = build_gpu_workstation(SIM4090)
         gpu40 = machine40.component("gpu0")
         nvml40 = NVMLSim(gpu40, seed=7)
-        right_model = calibrate_gpu(gpu40, nvml40)
+        right_model = calibrate(machine40, source="gpu0",
+                                nvml=nvml40).model
 
         runtime = GPT2Runtime(gpu40, GPT2_SMALL)
         gpu40.idle(0.05)
@@ -72,7 +73,7 @@ class TestDeadSensor:
         dead = NVMLSim(gpu, NVMLSensorProfile(
             "dead", energy_update_period=1e9, noise_std=0.0), seed=0)
         with pytest.raises(MeasurementError):
-            calibrate_gpu(gpu, dead)
+            calibrate(machine, source="gpu0", nvml=dead)
 
 
 class TestBatteryExhaustion:

@@ -28,7 +28,7 @@ from repro.llm.runtime import GPT2Runtime
 from repro.managers.base import SchedulerSim
 from repro.managers.eas import PeakEASScheduler
 from repro.managers.interface_scheduler import InterfaceScheduler
-from repro.measurement.calibration import calibrate_gpu
+from repro.calibration import calibrate
 from repro.measurement.meter import ledger_meter
 from repro.measurement.nvml import NVMLSim
 from repro.workloads.traces import image_request_trace
@@ -41,7 +41,8 @@ class TestTable1Pipeline:
         machine = build_gpu_workstation(spec)
         gpu = machine.component("gpu0")
         nvml = NVMLSim(gpu, seed=seed)
-        model = calibrate_gpu(gpu, nvml)
+        model = calibrate(machine, source="gpu0", nvml=nvml,
+                          seed=seed).model
         runtime = GPT2Runtime(gpu, GPT2_SMALL)
         interface = GPT2EnergyInterface(GPT2_SMALL, model, spec)
         rng = np.random.default_rng(3)
@@ -148,7 +149,7 @@ class TestServiceWorstCaseContract:
         machine = build_service_machine()
         service = MLWebService(machine)
         gpu = machine.component("gpu0")
-        model = calibrate_gpu(gpu, NVMLSim(gpu, seed=5))
+        model = calibrate(machine, source="gpu0", seed=5).model
         rng = np.random.default_rng(11)
         for request in image_request_trace(300, rng):
             service.handle(request)

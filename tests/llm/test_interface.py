@@ -6,7 +6,8 @@ from repro.hardware.profiles import SIM4090, build_gpu_workstation
 from repro.llm.config import GPT2_SMALL
 from repro.llm.interface import GPT2EnergyInterface
 from repro.llm.runtime import GPT2Runtime
-from repro.measurement.calibration import METRICS, CalibratedModel, calibrate_gpu
+from repro.calibration import calibrate
+from repro.measurement.calibration import METRICS, CalibratedModel
 from repro.measurement.nvml import NVMLSim
 
 
@@ -88,7 +89,7 @@ class TestEndToEndError:
         machine = build_gpu_workstation(SIM4090)
         gpu = machine.component("gpu0")
         nvml = NVMLSim(gpu, seed=2)
-        model = calibrate_gpu(gpu, nvml)
+        model = calibrate(machine, source="gpu0", nvml=nvml).model
         runtime = GPT2Runtime(gpu, GPT2_SMALL)
         interface = GPT2EnergyInterface(GPT2_SMALL, model, SIM4090)
         gpu.idle(0.05)

@@ -4,11 +4,11 @@ import pytest
 
 from repro.core.errors import MeasurementError
 from repro.hardware.profiles import SIM3070, SIM4090, build_gpu_workstation
+from repro.calibration import MicrobenchCalibrator
 from repro.measurement.calibration import (
     DYNAMIC_METRICS,
     METRICS,
     CalibratedModel,
-    calibrate_gpu,
     fit_unit_energies,
     measure_launch_energy,
     measure_static_power,
@@ -116,7 +116,7 @@ class TestStaticAndLaunchMeasurement:
 class TestFit:
     def test_full_calibration_recovers_unit_energies(self):
         _, gpu, nvml = build()
-        model = calibrate_gpu(gpu, nvml)
+        model = MicrobenchCalibrator().calibrate_device(gpu, nvml)
         assert model.unit_energies["instructions"] == pytest.approx(
             SIM4090.e_instruction, rel=0.25)
         # e_vram absorbs the average hidden row cost, so compare loosely.
@@ -131,8 +131,8 @@ class TestFit:
         fits it worse — the seed of Table 1's asymmetry."""
         _, gpu40, nvml40 = build(SIM4090)
         _, gpu30, nvml30 = build(SIM3070)
-        model40 = calibrate_gpu(gpu40, nvml40)
-        model30 = calibrate_gpu(gpu30, nvml30)
+        model40 = MicrobenchCalibrator().calibrate_device(gpu40, nvml40)
+        model30 = MicrobenchCalibrator().calibrate_device(gpu30, nvml30)
         assert model30.residual_rms > model40.residual_rms
 
     def test_predict_joules_linear(self):
@@ -161,7 +161,7 @@ class TestFit:
 
     def test_coefficients_never_negative(self):
         _, gpu, nvml = build(SIM3070, seed=3)
-        model = calibrate_gpu(gpu, nvml)
+        model = MicrobenchCalibrator().calibrate_device(gpu, nvml)
         assert all(value >= 0.0 for value in model.unit_energies.values())
 
     def test_dynamic_metrics_excludes_static(self):
@@ -170,7 +170,7 @@ class TestFit:
 
     def test_describe_mentions_all_metrics(self):
         _, gpu, nvml = build()
-        model = calibrate_gpu(gpu, nvml)
+        model = MicrobenchCalibrator().calibrate_device(gpu, nvml)
         text = model.describe()
         for metric in METRICS:
             assert metric in text
@@ -179,7 +179,7 @@ class TestFit:
 class TestPersistence:
     def test_json_round_trip(self):
         _, gpu, nvml = build()
-        model = calibrate_gpu(gpu, nvml)
+        model = MicrobenchCalibrator().calibrate_device(gpu, nvml)
         restored = CalibratedModel.from_json(model.to_json())
         assert restored.gpu_name == model.gpu_name
         assert restored.unit_energies == model.unit_energies
